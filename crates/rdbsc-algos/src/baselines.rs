@@ -1,0 +1,217 @@
+//! Baseline assignment policies from the prior spatial-crowdsourcing
+//! literature, used for ablation comparisons.
+//!
+//! The related-work section of the paper contrasts RDB-SC with earlier
+//! server-assigned-task systems whose objective is simply to **maximise the
+//! number of assigned (completed) tasks** — e.g. GeoCrowd [20] — and with
+//! naive policies such as sending each worker to its nearest reachable task.
+//! Neither optimises reliability or diversity. This module implements both so
+//! the benefit of the RDB-SC objectives can be quantified (see the
+//! `quickstart`/`landmark_photos` examples and the ablation tests).
+
+use crate::solver::SolveRequest;
+use rdbsc_model::{Assignment, TaskId, WorkerId};
+use std::collections::HashSet;
+
+/// Assigns every worker to its nearest reachable task (earliest arrival
+/// time), ignoring reliability and diversity entirely.
+pub fn nearest_task_assignment(request: &SolveRequest<'_>) -> Assignment {
+    let instance = request.instance;
+    let candidates = request.candidates;
+    let mut assignment = Assignment::for_instance(instance);
+    for w in 0..instance.num_workers() {
+        let worker = WorkerId::from(w);
+        let best = candidates
+            .pairs_of_worker(worker)
+            .min_by(|a, b| {
+                a.contribution
+                    .arrival
+                    .partial_cmp(&b.contribution.arrival)
+                    .expect("arrival times are not NaN")
+            })
+            .copied();
+        if let Some(pair) = best {
+            assignment
+                .assign_pair(&pair)
+                .expect("each worker is assigned at most once");
+        }
+    }
+    assignment
+}
+
+/// Greedy maximum-task-coverage assignment (the GeoCrowd-style objective):
+/// maximise the number of *distinct tasks* that receive at least one worker,
+/// then assign the remaining workers arbitrarily (earliest arrival first).
+///
+/// This is a 1-pass greedy matching: workers are scanned in increasing degree
+/// order (workers with fewer options first) and each takes an uncovered task
+/// if it can, which is the standard heuristic for maximum bipartite coverage.
+pub fn max_task_coverage_assignment(request: &SolveRequest<'_>) -> Assignment {
+    let instance = request.instance;
+    let candidates = request.candidates;
+    let mut assignment = Assignment::for_instance(instance);
+    let mut covered: HashSet<TaskId> = HashSet::new();
+
+    // Workers with the fewest candidate tasks choose first.
+    let mut workers: Vec<WorkerId> = (0..instance.num_workers())
+        .map(WorkerId::from)
+        .filter(|w| candidates.degree(*w) > 0)
+        .collect();
+    workers.sort_by_key(|w| candidates.degree(*w));
+
+    // Pass 1: cover as many distinct tasks as possible.
+    let mut leftover: Vec<WorkerId> = Vec::new();
+    for &w in &workers {
+        let uncovered = candidates
+            .pairs_of_worker(w)
+            .filter(|p| !covered.contains(&p.task))
+            .min_by(|a, b| {
+                a.contribution
+                    .arrival
+                    .partial_cmp(&b.contribution.arrival)
+                    .expect("arrival times are not NaN")
+            })
+            .copied();
+        match uncovered {
+            Some(pair) => {
+                covered.insert(pair.task);
+                assignment
+                    .assign_pair(&pair)
+                    .expect("worker is unassigned in pass 1");
+            }
+            None => leftover.push(w),
+        }
+    }
+
+    // Pass 2: the rest pile onto already-covered tasks (earliest arrival).
+    for w in leftover {
+        if let Some(pair) = candidates
+            .pairs_of_worker(w)
+            .min_by(|a, b| {
+                a.contribution
+                    .arrival
+                    .partial_cmp(&b.contribution.arrival)
+                    .expect("arrival times are not NaN")
+            })
+            .copied()
+        {
+            assignment
+                .assign_pair(&pair)
+                .expect("worker is unassigned in pass 2");
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy, GreedyConfig};
+    use rdbsc_geo::{AngleRange, Point};
+    use rdbsc_model::{
+        compute_valid_pairs, evaluate, Confidence, ProblemInstance, Task, TimeWindow, Worker,
+    };
+
+    fn conf(p: f64) -> Confidence {
+        Confidence::new(p).unwrap()
+    }
+
+    fn instance(m: usize, n: usize, seed: u64) -> ProblemInstance {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let tasks = (0..m)
+            .map(|_| {
+                Task::new(
+                    TaskId(0),
+                    Point::new(next(), next()),
+                    TimeWindow::new(0.0, 5.0 + 5.0 * next()).unwrap(),
+                )
+            })
+            .collect();
+        let workers = (0..n)
+            .map(|_| {
+                Worker::new(
+                    WorkerId(0),
+                    Point::new(next(), next()),
+                    0.2 + 0.2 * next(),
+                    AngleRange::full(),
+                    conf(0.8 + 0.15 * next()),
+                )
+                .unwrap()
+            })
+            .collect();
+        ProblemInstance::new(tasks, workers, 0.5)
+    }
+
+    #[test]
+    fn nearest_task_assignment_is_valid_and_complete() {
+        let inst = instance(10, 20, 1);
+        let candidates = compute_valid_pairs(&inst);
+        let request = SolveRequest::new(&inst, &candidates);
+        let a = nearest_task_assignment(&request);
+        assert!(a.validate(&inst).is_ok());
+        let connected = candidates
+            .by_worker
+            .iter()
+            .filter(|adj| !adj.is_empty())
+            .count();
+        assert_eq!(a.num_assigned(), connected);
+    }
+
+    #[test]
+    fn max_coverage_covers_at_least_as_many_tasks_as_nearest() {
+        for seed in 0..5u64 {
+            let inst = instance(15, 15, seed);
+            let candidates = compute_valid_pairs(&inst);
+            let request = SolveRequest::new(&inst, &candidates);
+            let nearest = nearest_task_assignment(&request);
+            let coverage = max_task_coverage_assignment(&request);
+            assert!(coverage.validate(&inst).is_ok());
+            let covered_by_nearest = nearest.non_empty_tasks().count();
+            let covered_by_coverage = coverage.non_empty_tasks().count();
+            assert!(
+                covered_by_coverage >= covered_by_nearest,
+                "seed {seed}: coverage baseline covered {covered_by_coverage} < nearest {covered_by_nearest}"
+            );
+        }
+    }
+
+    #[test]
+    fn rdbsc_greedy_beats_the_baselines_on_diversity() {
+        // The whole point of the paper: optimising for task count or distance
+        // leaves diversity on the table. Averaged over seeds for robustness.
+        let mut baseline_best = 0.0;
+        let mut rdbsc_total = 0.0;
+        for seed in 10..15u64 {
+            let inst = instance(8, 40, seed);
+            let candidates = compute_valid_pairs(&inst);
+            let request = SolveRequest::new(&inst, &candidates);
+            let nearest = evaluate(&inst, &nearest_task_assignment(&request)).total_std;
+            let coverage = evaluate(&inst, &max_task_coverage_assignment(&request)).total_std;
+            baseline_best += nearest.max(coverage);
+            rdbsc_total += evaluate(&inst, &greedy(&request, &GreedyConfig::default())).total_std;
+        }
+        assert!(
+            rdbsc_total > baseline_best,
+            "RDB-SC greedy ({rdbsc_total:.2}) should beat the best baseline ({baseline_best:.2})"
+        );
+    }
+
+    #[test]
+    fn baselines_handle_empty_candidate_graphs() {
+        let mut inst = instance(1, 1, 3);
+        inst.tasks[0].window = TimeWindow::new(0.0, 1e-9).unwrap();
+        inst.tasks[0].location = Point::new(0.99, 0.99);
+        inst.workers[0].location = Point::new(0.0, 0.0);
+        inst.workers[0].speed = 0.001;
+        let candidates = compute_valid_pairs(&inst);
+        let request = SolveRequest::new(&inst, &candidates);
+        assert_eq!(nearest_task_assignment(&request).num_assigned(), 0);
+        assert_eq!(max_task_coverage_assignment(&request).num_assigned(), 0);
+    }
+}

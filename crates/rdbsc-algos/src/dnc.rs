@@ -1,0 +1,532 @@
+//! The divide-and-conquer RDB-SC solver (Section 6, Figures 6–9).
+//!
+//! * **`BG_Partition`** (Figure 7): split the task set into two spatially
+//!   coherent, roughly even halves with balanced 2-means on the task
+//!   locations; workers whose reachable tasks all fall in one half go to that
+//!   half only, the rest are duplicated into both subproblems.
+//! * **Recursion** (Figure 6): subproblems with at most `γ` tasks are solved
+//!   directly with the sampling solver; larger ones are partitioned again.
+//! * **`SA_Merge`** (Figure 9): answers of two subproblems are merged by
+//!   resolving *conflicting workers* — workers assigned in both halves.
+//!   Independent conflicting workers (ICW) are resolved one by one;
+//!   dependent conflicting workers (DCW, those sharing a task with another
+//!   conflicting worker) are resolved jointly by enumerating the copy
+//!   choices within their dependency group (Lemmas 6.1 and 6.2).
+
+use crate::sampling::{sampling, SamplingConfig};
+use crate::solver::SolveRequest;
+use rand::Rng;
+use rdbsc_cluster::balanced_two_way_split;
+use rdbsc_model::objective::TaskPriors;
+use rdbsc_model::reliability::reliability;
+use rdbsc_model::valid_pairs::BipartiteCandidates;
+use rdbsc_model::{
+    rank_by_dominating_count, Assignment, Contribution, TaskId, WorkerId,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of the divide-and-conquer solver.
+#[derive(Debug, Clone, Copy)]
+pub struct DncConfig {
+    /// Subproblems with at most this many tasks are solved directly
+    /// (threshold `γ` of Figure 6).
+    pub gamma: usize,
+    /// Sampling configuration used for the leaf subproblems.
+    pub sampling: SamplingConfig,
+    /// Maximum size of a dependent-conflicting-worker group that is resolved
+    /// by exhaustive enumeration (`2^k` combinations); larger groups fall back
+    /// to a per-worker greedy resolution.
+    pub max_group_enumeration: usize,
+    /// Hard cap on the recursion depth (degenerate partitions stop early).
+    pub max_depth: usize,
+}
+
+impl Default for DncConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 16,
+            sampling: SamplingConfig::default(),
+            max_group_enumeration: 12,
+            max_depth: 32,
+        }
+    }
+}
+
+/// Runs the divide-and-conquer solver.
+pub fn divide_and_conquer<R: Rng + ?Sized>(
+    request: &SolveRequest<'_>,
+    config: &DncConfig,
+    rng: &mut R,
+) -> Assignment {
+    let instance = request.instance;
+    let all_tasks: Vec<TaskId> = instance.tasks.iter().map(|t| t.id).collect();
+    let all_workers: Vec<WorkerId> = instance.workers.iter().map(|w| w.id).collect();
+    solve_recursive(request, config, &all_tasks, &all_workers, 0, rng)
+}
+
+/// Restricts the candidate graph to a (task, worker) subset, keeping the
+/// global dense id space so sub-assignments compose directly.
+fn restrict_candidates(
+    full: &BipartiteCandidates,
+    tasks: &HashSet<TaskId>,
+    workers: &HashSet<WorkerId>,
+    num_tasks: usize,
+    num_workers: usize,
+) -> BipartiteCandidates {
+    let mut restricted = BipartiteCandidates::with_capacity(num_tasks, num_workers);
+    for pair in &full.pairs {
+        if tasks.contains(&pair.task) && workers.contains(&pair.worker) {
+            restricted.push(*pair);
+        }
+    }
+    restricted
+}
+
+fn solve_leaf<R: Rng + ?Sized>(
+    request: &SolveRequest<'_>,
+    config: &DncConfig,
+    tasks: &[TaskId],
+    workers: &[WorkerId],
+    rng: &mut R,
+) -> Assignment {
+    let task_set: HashSet<TaskId> = tasks.iter().copied().collect();
+    let worker_set: HashSet<WorkerId> = workers.iter().copied().collect();
+    let restricted = restrict_candidates(
+        request.candidates,
+        &task_set,
+        &worker_set,
+        request.instance.num_tasks(),
+        request.instance.num_workers(),
+    );
+    let mut leaf_request = SolveRequest::new(request.instance, &restricted);
+    if let Some(priors) = request.priors {
+        leaf_request = leaf_request.with_priors(priors);
+    }
+    sampling(&leaf_request, &config.sampling, rng)
+}
+
+fn solve_recursive<R: Rng + ?Sized>(
+    request: &SolveRequest<'_>,
+    config: &DncConfig,
+    tasks: &[TaskId],
+    workers: &[WorkerId],
+    depth: usize,
+    rng: &mut R,
+) -> Assignment {
+    if tasks.len() <= config.gamma.max(1) || depth >= config.max_depth {
+        return solve_leaf(request, config, tasks, workers, rng);
+    }
+
+    // ---- BG_Partition ----------------------------------------------------
+    let points: Vec<_> = tasks
+        .iter()
+        .map(|t| request.instance.tasks[t.index()].location)
+        .collect();
+    let (idx1, idx2) = balanced_two_way_split(&points, rng);
+    if idx1.is_empty() || idx2.is_empty() {
+        return solve_leaf(request, config, tasks, workers, rng);
+    }
+    let t1: Vec<TaskId> = idx1.iter().map(|&i| tasks[i]).collect();
+    let t2: Vec<TaskId> = idx2.iter().map(|&i| tasks[i]).collect();
+    let t1_set: HashSet<TaskId> = t1.iter().copied().collect();
+    let t2_set: HashSet<TaskId> = t2.iter().copied().collect();
+    let task_set: HashSet<TaskId> = tasks.iter().copied().collect();
+
+    let mut w1: Vec<WorkerId> = Vec::new();
+    let mut w2: Vec<WorkerId> = Vec::new();
+    for &w in workers {
+        let mut in_t1 = false;
+        let mut in_t2 = false;
+        for pair in request.candidates.pairs_of_worker(w) {
+            if !task_set.contains(&pair.task) {
+                continue;
+            }
+            if t1_set.contains(&pair.task) {
+                in_t1 = true;
+            } else if t2_set.contains(&pair.task) {
+                in_t2 = true;
+            }
+            if in_t1 && in_t2 {
+                break;
+            }
+        }
+        match (in_t1, in_t2) {
+            (true, false) => w1.push(w),
+            (false, true) => w2.push(w),
+            (true, true) => {
+                // Worker can serve both halves: duplicate it (conflict
+                // resolution happens at merge time).
+                w1.push(w);
+                w2.push(w);
+            }
+            (false, false) => {}
+        }
+    }
+
+    // ---- Recurse ----------------------------------------------------------
+    let s1 = solve_recursive(request, config, &t1, &w1, depth + 1, rng);
+    let s2 = solve_recursive(request, config, &t2, &w2, depth + 1, rng);
+
+    // ---- SA_Merge ----------------------------------------------------------
+    merge_answers(request, config, &s1, &s2)
+}
+
+/// Merges the answers of two subproblems by resolving conflicting workers.
+fn merge_answers(
+    request: &SolveRequest<'_>,
+    config: &DncConfig,
+    s1: &Assignment,
+    s2: &Assignment,
+) -> Assignment {
+    let instance = request.instance;
+    let mut merged = Assignment::for_instance(instance);
+
+    // Conflicting workers: assigned in both sub-answers (necessarily to
+    // different tasks, since the task sets of the halves are disjoint).
+    let mut conflicting: Vec<WorkerId> = Vec::new();
+    for w in 0..instance.num_workers() {
+        let id = WorkerId::from(w);
+        match (s1.task_of(id), s2.task_of(id)) {
+            (Some(_), Some(_)) => conflicting.push(id),
+            _ => {}
+        }
+    }
+    let conflict_set: HashSet<WorkerId> = conflicting.iter().copied().collect();
+
+    // Non-conflicting assignments are kept as they are (Lemma 6.1).
+    for source in [s1, s2] {
+        for (task, worker, contribution) in source.iter() {
+            if !conflict_set.contains(&worker) {
+                merged
+                    .assign(task, worker, contribution)
+                    .expect("disjoint halves cannot double-assign a non-conflicting worker");
+            }
+        }
+    }
+
+    if conflicting.is_empty() {
+        return merged;
+    }
+
+    // Group conflicting workers into dependency components: two conflicting
+    // workers are dependent when they touch a common task in either
+    // sub-answer (Lemma 6.2).
+    let tasks_of = |w: WorkerId| -> Vec<TaskId> {
+        [s1.task_of(w), s2.task_of(w)].into_iter().flatten().collect()
+    };
+    let mut task_to_conflicts: HashMap<TaskId, Vec<WorkerId>> = HashMap::new();
+    for &w in &conflicting {
+        for t in tasks_of(w) {
+            task_to_conflicts.entry(t).or_default().push(w);
+        }
+    }
+    // Union-find over the conflicting workers.
+    let index_of: HashMap<WorkerId, usize> = conflicting
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (w, i))
+        .collect();
+    let mut parent: Vec<usize> = (0..conflicting.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for members in task_to_conflicts.values() {
+        for pair in members.windows(2) {
+            let a = find(&mut parent, index_of[&pair[0]]);
+            let b = find(&mut parent, index_of[&pair[1]]);
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<WorkerId>> = HashMap::new();
+    for (i, &w) in conflicting.iter().enumerate() {
+        groups.entry(find(&mut parent, i)).or_default().push(w);
+    }
+
+    // Resolve each group. Groups touch disjoint task sets, so they can be
+    // resolved independently against the already-merged non-conflicting
+    // assignments (Lemma 6.2).
+    let mut group_list: Vec<Vec<WorkerId>> = groups.into_values().collect();
+    group_list.sort_by_key(|g| g.first().map(|w| w.index()).unwrap_or(0));
+    for group in group_list {
+        resolve_group(request, config, s1, s2, &group, &mut merged);
+    }
+    merged
+}
+
+/// Chooses, for every conflicting worker in `group`, whether to keep its
+/// first-half or second-half assignment, maximising the local
+/// (min-reliability, summed E[STD]) objective over the tasks the group
+/// touches.
+fn resolve_group(
+    request: &SolveRequest<'_>,
+    config: &DncConfig,
+    s1: &Assignment,
+    s2: &Assignment,
+    group: &[WorkerId],
+    merged: &mut Assignment,
+) {
+    let instance = request.instance;
+    let empty_priors;
+    let priors: &TaskPriors = match request.priors {
+        Some(p) => p,
+        None => {
+            empty_priors = TaskPriors::empty(instance.num_tasks());
+            &empty_priors
+        }
+    };
+
+    // The tasks this group may affect.
+    let mut affected: Vec<TaskId> = Vec::new();
+    for &w in group {
+        for t in [s1.task_of(w), s2.task_of(w)].into_iter().flatten() {
+            if !affected.contains(&t) {
+                affected.push(t);
+            }
+        }
+    }
+
+    // Base contributions of each affected task (already-merged workers plus
+    // banked priors).
+    let base: HashMap<TaskId, Vec<Contribution>> = affected
+        .iter()
+        .map(|&t| {
+            let mut cs = merged.contributions_of(t);
+            cs.extend_from_slice(priors.of(t));
+            (t, cs)
+        })
+        .collect();
+
+    // The two copies of each group worker.
+    let copy_of = |source: &Assignment, w: WorkerId| -> Option<(TaskId, Contribution)> {
+        source.task_of(w).and_then(|t| {
+            source
+                .workers_of(t)
+                .iter()
+                .find(|(wid, _)| *wid == w)
+                .map(|(_, c)| (t, *c))
+        })
+    };
+    let copies: Vec<(Option<(TaskId, Contribution)>, Option<(TaskId, Contribution)>)> = group
+        .iter()
+        .map(|&w| (copy_of(s1, w), copy_of(s2, w)))
+        .collect();
+
+    // Evaluate one choice vector (bit i set = keep the second-half copy).
+    let evaluate_choice = |mask: usize| -> (f64, f64) {
+        let mut contributions: HashMap<TaskId, Vec<Contribution>> = base.clone();
+        for (i, copy) in copies.iter().enumerate() {
+            let chosen = if mask & (1 << i) != 0 { copy.1 } else { copy.0 };
+            if let Some((t, c)) = chosen {
+                contributions.entry(t).or_default().push(c);
+            }
+        }
+        let mut min_rel = f64::INFINITY;
+        let mut total_std = 0.0;
+        for &t in &affected {
+            let cs = contributions.get(&t).cloned().unwrap_or_default();
+            let confidences: Vec<_> = cs.iter().map(|c| c.confidence).collect();
+            let rel = reliability(&confidences);
+            if !cs.is_empty() {
+                min_rel = min_rel.min(rel);
+            } else {
+                min_rel = min_rel.min(0.0);
+            }
+            total_std += rdbsc_model::objective::task_expected_std_of(instance, t, &cs);
+        }
+        if min_rel == f64::INFINITY {
+            min_rel = 1.0;
+        }
+        (min_rel, total_std)
+    };
+
+    let best_mask = if group.len() <= config.max_group_enumeration {
+        // Exhaustive enumeration of the 2^k copy choices.
+        let options: Vec<(f64, f64)> = (0..(1usize << group.len())).map(evaluate_choice).collect();
+        rank_by_dominating_count(&options).unwrap_or(0)
+    } else {
+        // Greedy per-worker fallback for oversized groups: decide each worker
+        // on its own, keeping earlier decisions fixed.
+        let mut mask = 0usize;
+        for i in 0..group.len() {
+            let keep_first = evaluate_choice(mask);
+            let keep_second = evaluate_choice(mask | (1 << i));
+            if let Some(1) = rank_by_dominating_count(&[keep_first, keep_second]) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    };
+
+    for (i, (&w, copy)) in group.iter().zip(copies.iter()).enumerate() {
+        let chosen = if best_mask & (1 << i) != 0 { copy.1 } else { copy.0 };
+        if let Some((t, c)) = chosen {
+            merged
+                .assign(t, w, c)
+                .expect("conflicting worker is unassigned in the merged strategy until now");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdbsc_geo::{AngleRange, Point};
+    use rdbsc_model::{
+        compute_valid_pairs, evaluate, Confidence, ProblemInstance, Task, TimeWindow, Worker,
+    };
+
+    fn conf(p: f64) -> Confidence {
+        Confidence::new(p).unwrap()
+    }
+
+    fn grid_instance(m: usize, n: usize, seed: u64) -> ProblemInstance {
+        // Deterministic pseudo-random layout without pulling in rand here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let tasks = (0..m)
+            .map(|_| {
+                Task::new(
+                    TaskId(0),
+                    Point::new(next(), next()),
+                    TimeWindow::new(0.0, 2.0 + 8.0 * next()).unwrap(),
+                )
+            })
+            .collect();
+        let workers = (0..n)
+            .map(|_| {
+                Worker::new(
+                    WorkerId(0),
+                    Point::new(next(), next()),
+                    0.2 + 0.3 * next(),
+                    AngleRange::new(next() * 6.28, 1.0 + 2.0 * next()),
+                    conf(0.8 + 0.19 * next()),
+                )
+                .unwrap()
+            })
+            .collect();
+        ProblemInstance::new(tasks, workers, 0.5)
+    }
+
+    #[test]
+    fn produces_valid_assignments() {
+        let instance = grid_instance(40, 60, 1);
+        let candidates = compute_valid_pairs(&instance);
+        let mut rng = StdRng::seed_from_u64(2);
+        let assignment = divide_and_conquer(
+            &SolveRequest::new(&instance, &candidates),
+            &DncConfig::default(),
+            &mut rng,
+        );
+        assert!(assignment.validate(&instance).is_ok());
+        // Every worker that has at least one reachable task should end up
+        // assigned: D&C duplicates workers but the merge keeps exactly one copy.
+        let connected = candidates
+            .by_worker
+            .iter()
+            .filter(|adj| !adj.is_empty())
+            .count();
+        assert_eq!(assignment.num_assigned(), connected);
+    }
+
+    #[test]
+    fn recursion_matches_leaf_solver_on_small_instances() {
+        // With gamma larger than m, D&C degenerates into a single sampling call.
+        let instance = grid_instance(10, 15, 3);
+        let candidates = compute_valid_pairs(&instance);
+        let config = DncConfig {
+            gamma: 100,
+            ..DncConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let direct = sampling(
+            &SolveRequest::new(&instance, &candidates),
+            &config.sampling,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let dnc = divide_and_conquer(&SolveRequest::new(&instance, &candidates), &config, &mut rng);
+        let v1 = evaluate(&instance, &direct);
+        let v2 = evaluate(&instance, &dnc);
+        assert_eq!(v1.assigned_workers, v2.assigned_workers);
+        assert!((v1.total_std - v2.total_std).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_recursion_still_assigns_all_connected_workers() {
+        let instance = grid_instance(64, 80, 7);
+        let candidates = compute_valid_pairs(&instance);
+        let config = DncConfig {
+            gamma: 4,
+            ..DncConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let assignment =
+            divide_and_conquer(&SolveRequest::new(&instance, &candidates), &config, &mut rng);
+        assert!(assignment.validate(&instance).is_ok());
+        let connected = candidates
+            .by_worker
+            .iter()
+            .filter(|adj| !adj.is_empty())
+            .count();
+        assert_eq!(assignment.num_assigned(), connected);
+    }
+
+    #[test]
+    fn merge_resolves_conflicts_to_a_single_copy() {
+        // Construct two sub-answers that both assign the same worker.
+        let instance = grid_instance(4, 4, 13);
+        let candidates = compute_valid_pairs(&instance);
+        // find a worker with at least two candidate tasks
+        let Some((w, adj)) = candidates
+            .by_worker
+            .iter()
+            .enumerate()
+            .find(|(_, adj)| adj.len() >= 2)
+        else {
+            // degenerate instance; nothing to test
+            return;
+        };
+        let p1 = candidates.pairs[adj[0]];
+        let p2 = candidates.pairs[adj[1]];
+        let mut s1 = Assignment::for_instance(&instance);
+        s1.assign_pair(&p1).unwrap();
+        let mut s2 = Assignment::for_instance(&instance);
+        s2.assign_pair(&p2).unwrap();
+        let request = SolveRequest::new(&instance, &candidates);
+        let merged = merge_answers(&request, &DncConfig::default(), &s1, &s2);
+        let wid = WorkerId::from(w);
+        assert!(merged.task_of(wid).is_some());
+        assert_eq!(merged.num_assigned(), 1);
+    }
+
+    #[test]
+    fn quality_is_close_to_plain_sampling() {
+        // D&C trades a little accuracy for scalability; on a medium instance
+        // its diversity should be within a reasonable factor of sampling's.
+        let instance = grid_instance(60, 80, 21);
+        let candidates = compute_valid_pairs(&instance);
+        let request = SolveRequest::new(&instance, &candidates);
+        let s = sampling(
+            &request,
+            &SamplingConfig::default(),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let d = divide_and_conquer(&request, &DncConfig::default(), &mut StdRng::seed_from_u64(1));
+        let vs = evaluate(&instance, &s);
+        let vd = evaluate(&instance, &d);
+        assert!(vd.total_std >= 0.5 * vs.total_std);
+        assert!(vd.min_reliability >= 0.5 * vs.min_reliability);
+    }
+}

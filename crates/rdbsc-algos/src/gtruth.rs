@@ -1,0 +1,116 @@
+//! The G-TRUTH baseline (Section 8.1).
+//!
+//! The RDB-SC problem is NP-hard, so the paper does not compare against the
+//! true optimum at scale. Instead it uses the divide-and-conquer solver with
+//! the embedded sampling budget enlarged by a factor of ten as a sub-optimal
+//! but strong reference ("G-TRUTH"). This module reproduces that baseline.
+
+use crate::dnc::{divide_and_conquer, DncConfig};
+use crate::solver::SolveRequest;
+use rand::Rng;
+use rdbsc_model::Assignment;
+
+/// Configuration of the G-TRUTH baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct GroundTruthConfig {
+    /// The divide-and-conquer configuration to start from.
+    pub dnc: DncConfig,
+    /// Multiplier applied to the sampling budget (the paper uses 10).
+    pub sample_factor: usize,
+}
+
+impl Default for GroundTruthConfig {
+    fn default() -> Self {
+        Self {
+            dnc: DncConfig::default(),
+            sample_factor: 10,
+        }
+    }
+}
+
+/// Runs the G-TRUTH baseline: divide-and-conquer with a `sample_factor`×
+/// larger sampling budget at the leaves.
+pub fn ground_truth<R: Rng + ?Sized>(
+    request: &SolveRequest<'_>,
+    config: &GroundTruthConfig,
+    rng: &mut R,
+) -> Assignment {
+    let mut dnc = config.dnc;
+    dnc.sampling = dnc.sampling.scaled(config.sample_factor.max(1));
+    divide_and_conquer(request, &dnc, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdbsc_geo::{AngleRange, Point};
+    use rdbsc_model::{
+        compute_valid_pairs, evaluate, Confidence, ProblemInstance, Task, TaskId, TimeWindow,
+        Worker, WorkerId,
+    };
+
+    fn instance() -> ProblemInstance {
+        let tasks = (0..12)
+            .map(|i| {
+                Task::new(
+                    TaskId(0),
+                    Point::new(0.1 + 0.07 * i as f64, 0.5),
+                    TimeWindow::new(0.0, 10.0).unwrap(),
+                )
+            })
+            .collect();
+        let workers = (0..20)
+            .map(|j| {
+                Worker::new(
+                    WorkerId(0),
+                    Point::new(0.05 * j as f64, 0.3 + 0.02 * j as f64),
+                    0.3,
+                    AngleRange::full(),
+                    Confidence::new(0.85).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        ProblemInstance::new(tasks, workers, 0.5)
+    }
+
+    #[test]
+    fn ground_truth_is_valid_and_at_least_as_good_as_default_dnc_on_average() {
+        let inst = instance();
+        let candidates = compute_valid_pairs(&inst);
+        let request = SolveRequest::new(&inst, &candidates);
+        let mut gt_total = 0.0;
+        let mut dnc_total = 0.0;
+        for seed in 0..4u64 {
+            let gt = ground_truth(
+                &request,
+                &GroundTruthConfig::default(),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            assert!(gt.validate(&inst).is_ok());
+            let dc = divide_and_conquer(
+                &request,
+                &DncConfig::default(),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            gt_total += evaluate(&inst, &gt).total_std;
+            dnc_total += evaluate(&inst, &dc).total_std;
+        }
+        assert!(
+            gt_total >= dnc_total * 0.95,
+            "G-TRUTH ({gt_total}) should not be clearly worse than D&C ({dnc_total})"
+        );
+    }
+
+    #[test]
+    fn sample_factor_scales_the_leaf_budget() {
+        let config = GroundTruthConfig::default();
+        let scaled = config.dnc.sampling.scaled(config.sample_factor);
+        assert_eq!(
+            scaled.max_samples,
+            config.dnc.sampling.max_samples * config.sample_factor
+        );
+    }
+}

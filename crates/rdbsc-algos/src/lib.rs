@@ -1,0 +1,44 @@
+//! # rdbsc-algos
+//!
+//! The RDB-SC assignment algorithms:
+//!
+//! * [`greedy`] — the iterative best-pair greedy of Section 4 (Figure 3),
+//!   with the dominance-based pair ranking and the lower/upper-bound pruning
+//!   of Section 4.3.
+//! * [`sampling`] — the random-sampling solver of Section 5 (Figure 5), with
+//!   the (ε, δ) sample-size determination of Section 5.2.
+//! * [`dnc`] — the divide-and-conquer solver of Section 6 (Figures 6–9):
+//!   `BG_Partition` via balanced 2-means on task locations and `SA_Merge`
+//!   with independent/dependent conflicting-worker resolution.
+//! * [`gtruth`] — the G-TRUTH baseline of Section 8.1 (divide-and-conquer
+//!   with a 10× larger sample size).
+//! * [`exact`] — an exhaustive optimal solver for tiny instances, used as a
+//!   test oracle.
+//! * [`incremental`] — the periodic incremental updating strategy of
+//!   Figure 10, used by the platform simulator.
+//! * [`baselines`] — prior-work assignment policies (nearest task,
+//!   maximum task coverage) used for ablation comparisons.
+//!
+//! All solvers share the [`SolveRequest`] input (instance + valid-pair graph
+//! + optional banked priors) and produce an `Assignment`.
+
+pub mod baselines;
+pub mod dnc;
+pub mod exact;
+pub mod greedy;
+pub mod gtruth;
+pub mod incremental;
+pub mod pruning;
+pub mod sample_size;
+pub mod sampling;
+pub mod solver;
+
+pub use baselines::{max_task_coverage_assignment, nearest_task_assignment};
+pub use dnc::{divide_and_conquer, DncConfig};
+pub use exact::{exact_best, ExactConfig};
+pub use greedy::{greedy, GreedyConfig};
+pub use gtruth::{ground_truth, GroundTruthConfig};
+pub use incremental::{IncrementalAssigner, IncrementalConfig, RoundOutcome};
+pub use sample_size::{certified_sample_size, determine_sample_size, simple_sample_size};
+pub use sampling::{sampling, SamplingConfig};
+pub use solver::{SolveRequest, Solver};

@@ -1,0 +1,254 @@
+//! The SAMPLING RDB-SC solver (Section 5, Figure 5).
+//!
+//! Each sample is one complete task-and-worker assignment obtained by letting
+//! every worker pick one of its valid tasks uniformly at random. `K` samples
+//! are drawn — with `K` chosen by the (ε, δ) bound of Section 5.2 — and the
+//! sample with the best (minimum-reliability, total-diversity) pair under the
+//! dominating-count ranking is returned.
+
+use crate::sample_size::certified_sample_size;
+use crate::solver::SolveRequest;
+use rand::Rng;
+use rdbsc_model::objective::{evaluate_with_priors, MinReliabilityScope, TaskPriors};
+use rdbsc_model::{rank_by_dominating_count, Assignment};
+
+/// Configuration of the sampling solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingConfig {
+    /// Rank-error fraction ε of the (ε, δ) guarantee.
+    pub epsilon: f64,
+    /// Confidence δ of the (ε, δ) guarantee.
+    pub delta: f64,
+    /// Lower clamp on the number of samples.
+    pub min_samples: usize,
+    /// Upper clamp on the number of samples (keeps worst-case cost bounded).
+    pub max_samples: usize,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.01,
+            delta: 0.95,
+            min_samples: 16,
+            max_samples: 2_048,
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// The configuration with the sample count multiplied by `factor`
+    /// (used by the G-TRUTH baseline).
+    pub fn scaled(&self, factor: usize) -> Self {
+        Self {
+            epsilon: self.epsilon / factor.max(1) as f64,
+            delta: self.delta,
+            min_samples: self.min_samples.saturating_mul(factor),
+            max_samples: self.max_samples.saturating_mul(factor),
+        }
+    }
+
+    /// The number of samples this configuration draws for a population of
+    /// the given log-size (the certified (ε, δ) bound, clamped into the
+    /// configured range).
+    pub fn sample_count(&self, ln_population: f64) -> usize {
+        certified_sample_size(ln_population, self.epsilon, self.delta, self.max_samples)
+            .clamp(self.min_samples.max(1), self.max_samples.max(1))
+    }
+}
+
+/// Runs the sampling solver.
+pub fn sampling<R: Rng + ?Sized>(
+    request: &SolveRequest<'_>,
+    config: &SamplingConfig,
+    rng: &mut R,
+) -> Assignment {
+    let instance = request.instance;
+    let candidates = request.candidates;
+    let empty_priors;
+    let priors: &TaskPriors = match request.priors {
+        Some(p) => p,
+        None => {
+            empty_priors = TaskPriors::empty(instance.num_tasks());
+            &empty_priors
+        }
+    };
+
+    // Workers that can serve at least one task.
+    let connected: Vec<usize> = candidates
+        .by_worker
+        .iter()
+        .enumerate()
+        .filter(|(_, adj)| !adj.is_empty())
+        .map(|(w, _)| w)
+        .collect();
+    if connected.is_empty() {
+        return Assignment::for_instance(instance);
+    }
+
+    let k = config.sample_count(candidates.ln_population());
+
+    let mut best: Option<Assignment> = None;
+    let mut values: Vec<(f64, f64)> = Vec::with_capacity(k);
+    let mut samples: Vec<Assignment> = Vec::with_capacity(k);
+
+    for _ in 0..k {
+        let mut assignment = Assignment::for_instance(instance);
+        for &w in &connected {
+            let adj = &candidates.by_worker[w];
+            let pick = adj[rng.gen_range(0..adj.len())];
+            assignment
+                .assign_pair(&candidates.pairs[pick])
+                .expect("sampled pair references an unassigned worker");
+        }
+        let value = evaluate_with_priors(
+            instance,
+            &assignment,
+            priors,
+            MinReliabilityScope::NonEmptyTasks,
+        );
+        values.push(value.as_bi_objective());
+        samples.push(assignment);
+    }
+
+    if let Some(best_idx) = rank_by_dominating_count(&values) {
+        best = Some(samples.swap_remove(best_idx));
+    }
+    best.unwrap_or_else(|| Assignment::for_instance(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdbsc_geo::{AngleRange, Point};
+    use rdbsc_model::{
+        compute_valid_pairs, evaluate, Confidence, ProblemInstance, Task, TaskId, TimeWindow,
+        Worker, WorkerId,
+    };
+
+    fn conf(p: f64) -> Confidence {
+        Confidence::new(p).unwrap()
+    }
+
+    fn instance(m: usize, n: usize) -> ProblemInstance {
+        let tasks = (0..m)
+            .map(|i| {
+                Task::new(
+                    TaskId(0),
+                    Point::new(0.2 + 0.6 * (i as f64 / m.max(2) as f64), 0.5),
+                    TimeWindow::new(0.0, 20.0).unwrap(),
+                )
+            })
+            .collect();
+        let workers = (0..n)
+            .map(|j| {
+                Worker::new(
+                    WorkerId(0),
+                    Point::new(
+                        0.1 + 0.8 * (j as f64 / n.max(2) as f64),
+                        0.2 + 0.6 * ((j * 7 % n.max(1)) as f64 / n.max(2) as f64),
+                    ),
+                    0.3,
+                    AngleRange::full(),
+                    conf(0.85 + 0.01 * (j % 10) as f64),
+                )
+                .unwrap()
+            })
+            .collect();
+        ProblemInstance::new(tasks, workers, 0.5)
+    }
+
+    #[test]
+    fn produces_a_valid_full_assignment() {
+        let inst = instance(3, 8);
+        let candidates = compute_valid_pairs(&inst);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = sampling(
+            &SolveRequest::new(&inst, &candidates),
+            &SamplingConfig::default(),
+            &mut rng,
+        );
+        assert!(a.validate(&inst).is_ok());
+        // every connected worker must be assigned
+        let connected = candidates
+            .by_worker
+            .iter()
+            .filter(|adj| !adj.is_empty())
+            .count();
+        assert_eq!(a.num_assigned(), connected);
+    }
+
+    #[test]
+    fn is_deterministic_for_a_fixed_seed() {
+        let inst = instance(3, 8);
+        let candidates = compute_valid_pairs(&inst);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = sampling(
+                &SolveRequest::new(&inst, &candidates),
+                &SamplingConfig::default(),
+                &mut rng,
+            );
+            evaluate(&inst, &a)
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.min_reliability, b.min_reliability);
+        assert_eq!(a.total_std, b.total_std);
+    }
+
+    #[test]
+    fn more_samples_do_not_hurt_quality() {
+        let inst = instance(4, 12);
+        let candidates = compute_valid_pairs(&inst);
+        let small = SamplingConfig {
+            min_samples: 1,
+            max_samples: 1,
+            ..Default::default()
+        };
+        let large = SamplingConfig {
+            min_samples: 256,
+            max_samples: 256,
+            ..Default::default()
+        };
+        // Average over a few seeds to smooth out randomness.
+        let avg = |cfg: &SamplingConfig| {
+            let mut total = 0.0;
+            for seed in 0..5u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = sampling(&SolveRequest::new(&inst, &candidates), cfg, &mut rng);
+                total += evaluate(&inst, &a).total_std;
+            }
+            total / 5.0
+        };
+        assert!(avg(&large) >= avg(&small) - 1e-9);
+    }
+
+    #[test]
+    fn empty_candidate_graph_yields_empty_assignment() {
+        let inst = instance(1, 1);
+        // Make the single task unreachable by shrinking its window.
+        let mut inst = inst;
+        inst.tasks[0].window = TimeWindow::new(0.0, 1e-6).unwrap();
+        inst.tasks[0].location = Point::new(0.99, 0.99);
+        let candidates = compute_valid_pairs(&inst);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = sampling(
+            &SolveRequest::new(&inst, &candidates),
+            &SamplingConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(a.num_assigned(), 0);
+    }
+
+    #[test]
+    fn scaled_config_multiplies_sample_budget() {
+        let base = SamplingConfig::default();
+        let scaled = base.scaled(10);
+        assert_eq!(scaled.max_samples, base.max_samples * 10);
+        assert_eq!(scaled.min_samples, base.min_samples * 10);
+        assert!(scaled.sample_count(1_000.0) >= base.sample_count(1_000.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Common solver input and a unified solver enum used by the experiment
+//! harness.
+
+use crate::dnc::DncConfig;
+use crate::greedy::GreedyConfig;
+use crate::gtruth::GroundTruthConfig;
+use crate::sampling::SamplingConfig;
+use rand::Rng;
+use rdbsc_model::objective::TaskPriors;
+use rdbsc_model::{Assignment, BipartiteCandidates, ProblemInstance};
+
+/// The input shared by every RDB-SC solver: the problem instance, the graph
+/// of valid task-and-worker pairs, and (for incremental rounds) the
+/// contributions each task has already banked.
+#[derive(Clone, Copy)]
+pub struct SolveRequest<'a> {
+    /// The problem instance.
+    pub instance: &'a ProblemInstance,
+    /// All valid task-and-worker pairs (from `compute_valid_pairs` or the
+    /// grid index).
+    pub candidates: &'a BipartiteCandidates,
+    /// Banked contributions per task (answers already received); `None`
+    /// means a fresh, static assignment.
+    pub priors: Option<&'a TaskPriors>,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// A request with no banked priors.
+    pub fn new(instance: &'a ProblemInstance, candidates: &'a BipartiteCandidates) -> Self {
+        Self {
+            instance,
+            candidates,
+            priors: None,
+        }
+    }
+
+    /// Sets the banked priors.
+    pub fn with_priors(mut self, priors: &'a TaskPriors) -> Self {
+        self.priors = Some(priors);
+        self
+    }
+
+    /// The prior contributions of a task (empty slice when none).
+    pub fn priors_of(&self, task: rdbsc_model::TaskId) -> &[rdbsc_model::Contribution] {
+        self.priors.map(|p| p.of(task)).unwrap_or(&[])
+    }
+}
+
+/// The four approaches compared throughout the paper's evaluation.
+#[derive(Debug, Clone)]
+pub enum Solver {
+    /// GREEDY (Section 4).
+    Greedy(GreedyConfig),
+    /// SAMPLING (Section 5).
+    Sampling(SamplingConfig),
+    /// D&C — divide-and-conquer with sampling at the leaves (Section 6).
+    DivideAndConquer(DncConfig),
+    /// G-TRUTH — divide-and-conquer with a 10× sample size (Section 8.1).
+    GroundTruth(GroundTruthConfig),
+}
+
+impl Solver {
+    /// Short display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Solver::Greedy(_) => "GREEDY",
+            Solver::Sampling(_) => "SAMPLING",
+            Solver::DivideAndConquer(_) => "D&C",
+            Solver::GroundTruth(_) => "G-TRUTH",
+        }
+    }
+
+    /// Runs the solver on a request.
+    pub fn solve<R: Rng + ?Sized>(&self, request: &SolveRequest<'_>, rng: &mut R) -> Assignment {
+        match self {
+            Solver::Greedy(cfg) => crate::greedy::greedy(request, cfg),
+            Solver::Sampling(cfg) => crate::sampling::sampling(request, cfg, rng),
+            Solver::DivideAndConquer(cfg) => crate::dnc::divide_and_conquer(request, cfg, rng),
+            Solver::GroundTruth(cfg) => crate::gtruth::ground_truth(request, cfg, rng),
+        }
+    }
+
+    /// The default line-up compared in the paper's figures.
+    pub fn paper_lineup() -> Vec<Solver> {
+        vec![
+            Solver::Greedy(GreedyConfig::default()),
+            Solver::Sampling(SamplingConfig::default()),
+            Solver::DivideAndConquer(DncConfig::default()),
+            Solver::GroundTruth(GroundTruthConfig::default()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_names_match_paper_legends() {
+        let names: Vec<&str> = Solver::paper_lineup().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["GREEDY", "SAMPLING", "D&C", "G-TRUTH"]);
+    }
+}

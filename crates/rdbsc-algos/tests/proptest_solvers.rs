@@ -1,0 +1,129 @@
+//! Property-based tests over randomly generated RDB-SC instances: every
+//! solver must always produce a feasible assignment, assign every connected
+//! worker, and never beat the exact per-objective optima on instances small
+//! enough to enumerate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc_algos::{
+    divide_and_conquer, exact_best, greedy, max_task_coverage_assignment,
+    nearest_task_assignment, sampling, DncConfig, ExactConfig, GreedyConfig, SamplingConfig,
+    SolveRequest,
+};
+use rdbsc_geo::{AngleRange, Point};
+use rdbsc_model::{
+    compute_valid_pairs, evaluate, Confidence, ProblemInstance, Task, TaskId, TimeWindow, Worker,
+    WorkerId,
+};
+
+/// Strategy generating a small random instance.
+fn instance_strategy(
+    max_tasks: usize,
+    max_workers: usize,
+) -> impl Strategy<Value = ProblemInstance> {
+    let tasks = proptest::collection::vec(
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..5.0, 0.1f64..5.0),
+        1..=max_tasks,
+    );
+    let workers = proptest::collection::vec(
+        (
+            0.0f64..1.0,          // x
+            0.0f64..1.0,          // y
+            0.01f64..0.5,         // speed
+            0.0f64..6.283,        // heading start
+            0.05f64..6.283,       // heading width
+            0.0f64..1.0,          // confidence
+            0.0f64..3.0,          // check-in time
+        ),
+        1..=max_workers,
+    );
+    (tasks, workers).prop_map(|(ts, ws)| {
+        let tasks = ts
+            .into_iter()
+            .map(|(x, y, start, len)| {
+                Task::new(
+                    TaskId(0),
+                    Point::new(x, y),
+                    TimeWindow::new(start, start + len).unwrap(),
+                )
+            })
+            .collect();
+        let workers = ws
+            .into_iter()
+            .map(|(x, y, speed, heading, width, p, check_in)| {
+                Worker::new(
+                    WorkerId(0),
+                    Point::new(x, y),
+                    speed,
+                    AngleRange::new(heading, width),
+                    Confidence::new(p).unwrap(),
+                )
+                .unwrap()
+                .with_available_from(check_in)
+            })
+            .collect();
+        ProblemInstance::new(tasks, workers, 0.5)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every solver produces a valid assignment covering all connected
+    /// workers, and the two objectives are within their theoretical bounds.
+    #[test]
+    fn solvers_always_produce_feasible_full_assignments(
+        instance in instance_strategy(6, 10),
+        seed in 0u64..1_000,
+    ) {
+        let candidates = compute_valid_pairs(&instance);
+        let connected = candidates.by_worker.iter().filter(|a| !a.is_empty()).count();
+        let request = SolveRequest::new(&instance, &candidates);
+
+        let assignments = vec![
+            ("greedy", greedy(&request, &GreedyConfig::default())),
+            ("sampling", sampling(&request, &SamplingConfig {
+                min_samples: 4, max_samples: 32, ..SamplingConfig::default()
+            }, &mut StdRng::seed_from_u64(seed))),
+            ("dnc", divide_and_conquer(&request, &DncConfig {
+                gamma: 3,
+                sampling: SamplingConfig { min_samples: 4, max_samples: 32, ..SamplingConfig::default() },
+                ..DncConfig::default()
+            }, &mut StdRng::seed_from_u64(seed))),
+            ("nearest", nearest_task_assignment(&request)),
+            ("coverage", max_task_coverage_assignment(&request)),
+        ];
+        for (name, assignment) in assignments {
+            prop_assert!(assignment.validate(&instance).is_ok(), "{name} produced an invalid assignment");
+            prop_assert_eq!(assignment.num_assigned(), connected, "{} must assign every connected worker", name);
+            let value = evaluate(&instance, &assignment);
+            prop_assert!((0.0..=1.0).contains(&value.min_reliability), "{name}");
+            prop_assert!(value.total_std >= 0.0 && value.total_std.is_finite(), "{name}");
+        }
+    }
+
+    /// On instances small enough for exhaustive enumeration, no solver
+    /// exceeds the exact per-objective optima.
+    #[test]
+    fn no_solver_exceeds_the_exact_optima(
+        instance in instance_strategy(3, 5),
+        seed in 0u64..1_000,
+    ) {
+        let candidates = compute_valid_pairs(&instance);
+        let request = SolveRequest::new(&instance, &candidates);
+        let Some(summary) = exact_best(&request, &ExactConfig { max_assignments: 5_000 }) else {
+            return Ok(());
+        };
+        let solutions = vec![
+            evaluate(&instance, &greedy(&request, &GreedyConfig::default())),
+            evaluate(&instance, &sampling(&request, &SamplingConfig {
+                min_samples: 8, max_samples: 32, ..SamplingConfig::default()
+            }, &mut StdRng::seed_from_u64(seed))),
+        ];
+        for value in solutions {
+            prop_assert!(value.min_reliability <= summary.max_min_reliability + 1e-9);
+            prop_assert!(value.total_std <= summary.max_total_std + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Benchmarks of the expected-diversity computation: the polynomial
+//! reduction of Section 3.2 vs. the exhaustive possible-worlds oracle, and
+//! its scaling in the number of assigned workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdbsc_model::possible_worlds::expected_std_exhaustive;
+use rdbsc_model::{expected_std, Confidence, Contribution, TimeWindow};
+
+fn contributions(r: usize) -> Vec<Contribution> {
+    (0..r)
+        .map(|i| {
+            Contribution::new(
+                Confidence::new(0.5 + 0.4 * ((i * 7 % 10) as f64) / 10.0).unwrap(),
+                (i as f64) * 0.61,
+                (i as f64 * 0.37) % 10.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_expected_diversity(c: &mut Criterion) {
+    let window = TimeWindow::new(0.0, 10.0).unwrap();
+    let mut group = c.benchmark_group("expected_diversity");
+    for r in [4usize, 8, 12] {
+        let cs = contributions(r);
+        group.bench_with_input(BenchmarkId::new("matrix_reduction", r), &r, |b, _| {
+            b.iter(|| expected_std(&cs, window, 0.5))
+        });
+        group.bench_with_input(BenchmarkId::new("possible_worlds", r), &r, |b, _| {
+            b.iter(|| expected_std_exhaustive(&cs, window, 0.5))
+        });
+    }
+    for r in [32usize, 128, 512] {
+        let cs = contributions(r);
+        group.bench_with_input(BenchmarkId::new("matrix_reduction_large", r), &r, |b, _| {
+            b.iter(|| expected_std(&cs, window, 0.5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expected_diversity);
+criterion_main!(benches);

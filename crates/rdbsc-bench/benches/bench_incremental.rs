@@ -1,0 +1,72 @@
+//! Benchmarks of one incremental-assignment round and of a short platform
+//! simulation — the Criterion counterpart of Figure 18.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc_algos::{IncrementalAssigner, IncrementalConfig, SamplingConfig, Solver};
+use rdbsc_model::compute_valid_pairs;
+use rdbsc_platform::{PlatformConfig, PlatformSim};
+use rdbsc_workloads::{generate_instance, ExperimentConfig};
+
+fn bench_incremental_round(c: &mut Criterion) {
+    let config = ExperimentConfig::small_default()
+        .with_tasks(200)
+        .with_workers(200)
+        .with_seed(13);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let instance = generate_instance(&config, &mut rng);
+    let candidates = compute_valid_pairs(&instance);
+
+    c.bench_function("incremental_round_200x200", |b| {
+        b.iter_batched(
+            || {
+                (
+                    IncrementalAssigner::new(
+                        instance.num_tasks(),
+                        instance.num_workers(),
+                        IncrementalConfig {
+                            solver: Solver::Sampling(SamplingConfig::default()),
+                        },
+                    ),
+                    StdRng::seed_from_u64(3),
+                )
+            },
+            |(mut assigner, mut rng)| assigner.assign_round(&instance, &candidates, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_platform_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_platform");
+    group.sample_size(10);
+    for interval in [1.0f64, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_30min", format!("{interval}min")),
+            &interval,
+            |b, &interval| {
+                b.iter_batched(
+                    || StdRng::seed_from_u64(17),
+                    |mut rng| {
+                        let mut sim = PlatformSim::new(
+                            PlatformConfig {
+                                t_interval: interval,
+                                total_duration: 30.0,
+                                ..PlatformConfig::default()
+                            },
+                            Solver::Sampling(SamplingConfig::default()),
+                            &mut rng,
+                        );
+                        sim.run(&mut rng)
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_round, bench_platform_run);
+criterion_main!(benches);

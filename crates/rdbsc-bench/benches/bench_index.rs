@@ -1,0 +1,62 @@
+//! Grid-index benchmarks: construction, dynamic maintenance and valid-pair
+//! retrieval with vs. without the index — the Criterion counterpart of
+//! Figure 17.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc_index::GridIndex;
+use rdbsc_workloads::{generate_instance, ExperimentConfig};
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_grid_index");
+    group.sample_size(10);
+    for n in [500usize, 1000] {
+        let config = ExperimentConfig::small_default()
+            .with_tasks(1000)
+            .with_workers(n)
+            .with_seed(9);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let instance = generate_instance(&config, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("construction", n), &n, |b, _| {
+            b.iter(|| {
+                let mut index = GridIndex::from_instance(&instance);
+                index.refresh_tcell_lists();
+                index
+            })
+        });
+
+        let mut built = GridIndex::from_instance(&instance);
+        built.refresh_tcell_lists();
+
+        group.bench_with_input(BenchmarkId::new("retrieval_with_index", n), &n, |b, _| {
+            b.iter_batched(
+                || built.clone(),
+                |mut index| index.retrieve_valid_pairs(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("retrieval_without_index", n), &n, |b, _| {
+            b.iter(|| built.retrieve_valid_pairs_bruteforce())
+        });
+
+        group.bench_with_input(BenchmarkId::new("worker_churn", n), &n, |b, _| {
+            b.iter_batched(
+                || built.clone(),
+                |mut index| {
+                    for w in instance.workers.iter().take(32) {
+                        index.remove_worker(w.id);
+                        index.insert_worker(*w);
+                    }
+                    index
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

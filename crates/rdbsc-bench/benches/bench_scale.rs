@@ -1,0 +1,60 @@
+//! Scaling benchmarks: solver running time as the number of tasks (m) and
+//! workers (n) grows — the Criterion counterpart of Figure 16.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc_algos::{SolveRequest, Solver};
+use rdbsc_model::compute_valid_pairs;
+use rdbsc_workloads::{generate_instance, ExperimentConfig};
+
+fn bench_scale_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16a_scale_m");
+    group.sample_size(10);
+    for m in [100usize, 200, 400] {
+        let config = ExperimentConfig::small_default()
+            .with_tasks(m)
+            .with_workers(200)
+            .with_seed(5);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let instance = generate_instance(&config, &mut rng);
+        let candidates = compute_valid_pairs(&instance);
+        for solver in Solver::paper_lineup() {
+            group.bench_with_input(BenchmarkId::new(solver.name(), m), &m, |b, _| {
+                b.iter_batched(
+                    || StdRng::seed_from_u64(3),
+                    |mut rng| solver.solve(&SolveRequest::new(&instance, &candidates), &mut rng),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scale_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16b_scale_n");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let config = ExperimentConfig::small_default()
+            .with_tasks(200)
+            .with_workers(n)
+            .with_seed(5);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let instance = generate_instance(&config, &mut rng);
+        let candidates = compute_valid_pairs(&instance);
+        for solver in Solver::paper_lineup() {
+            group.bench_with_input(BenchmarkId::new(solver.name(), n), &n, |b, _| {
+                b.iter_batched(
+                    || StdRng::seed_from_u64(3),
+                    |mut rng| solver.solve(&SolveRequest::new(&instance, &candidates), &mut rng),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_m, bench_scale_n);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the four RDB-SC approaches on a fixed
+//! medium-size UNIFORM instance (backs Figures 11–15 and 22–27 of the paper:
+//! same code path, fixed parameters).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc_algos::{SolveRequest, Solver};
+use rdbsc_model::compute_valid_pairs;
+use rdbsc_workloads::{generate_instance, ExperimentConfig};
+
+fn bench_solvers(c: &mut Criterion) {
+    let config = ExperimentConfig::small_default()
+        .with_tasks(200)
+        .with_workers(200)
+        .with_seed(11);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let instance = generate_instance(&config, &mut rng);
+    let candidates = compute_valid_pairs(&instance);
+
+    let mut group = c.benchmark_group("solvers_200x200");
+    group.sample_size(10);
+    for solver in Solver::paper_lineup() {
+        group.bench_function(solver.name(), |b| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(3),
+                |mut rng| {
+                    let request = SolveRequest::new(&instance, &candidates);
+                    solver.solve(&request, &mut rng)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # rdbsc-cluster
+//!
+//! A small 2-D k-means clustering substrate.
+//!
+//! The divide-and-conquer RDB-SC solver partitions the task set into two
+//! spatially coherent, roughly even halves ("partition tasks into two even
+//! sets with KMeans", Figure 7 of the paper). This crate provides Lloyd's
+//! algorithm with k-means++-style seeding plus a balanced two-way split
+//! helper tailored to that use.
+
+pub mod kmeans;
+
+pub use kmeans::{balanced_two_way_split, kmeans, KMeansConfig, KMeansResult};

@@ -1,0 +1,291 @@
+//! The worker motion / reachability model.
+//!
+//! Constraint 1 of the RDB-SC problem (Definition 4) requires that a worker
+//! assigned to a task arrives at the task's location *within the task's valid
+//! period* `[sᵢ, eᵢ]`, while moving in a direction that lies inside the
+//! worker's registered cone `[α⁻ⱼ, α⁺ⱼ]`.
+//!
+//! [`MotionModel`] captures a worker's kinematic state (current location,
+//! scalar speed, heading cone and the time from which the worker is
+//! available) and answers reachability queries against target points and time
+//! windows.
+
+use crate::angle::AngleRange;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Kinematic state of a moving worker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionModel {
+    /// Current location of the worker.
+    pub location: Point,
+    /// Scalar speed (data-space units per time unit). Must be `> 0` for the
+    /// worker to reach any non-coincident point.
+    pub speed: f64,
+    /// Registered moving-direction cone `[α⁻, α⁺]`.
+    pub heading: AngleRange,
+    /// Time at which the worker becomes available (check-in time). Travel
+    /// starts no earlier than this.
+    pub available_from: f64,
+}
+
+/// Result of a reachability query: either the target is unreachable under the
+/// direction/deadline constraints, or it is reachable with the given effective
+/// arrival time and approach direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Reachability {
+    /// The target cannot be served by this worker.
+    Unreachable(UnreachableReason),
+    /// The target can be served.
+    Reachable {
+        /// Time at which the worker physically arrives at the target (travel
+        /// only, before any waiting).
+        raw_arrival: f64,
+        /// Effective arrival used for temporal diversity: the raw arrival,
+        /// pushed forward to the window start if the worker arrives early and
+        /// waiting is allowed.
+        effective_arrival: f64,
+        /// Direction of travel from the worker towards the target, in
+        /// `[0, 2π)`.
+        travel_direction: f64,
+    },
+}
+
+/// Why a target is not reachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnreachableReason {
+    /// The travel direction falls outside the worker's heading cone.
+    DirectionOutsideCone,
+    /// The worker cannot arrive before the window closes.
+    TooLate,
+    /// The worker would arrive before the window opens and waiting is not
+    /// allowed by the query.
+    TooEarly,
+    /// The worker's speed is zero (or negative) and the target is elsewhere.
+    Immobile,
+}
+
+impl MotionModel {
+    /// Creates a motion model available from time `0`.
+    pub fn new(location: Point, speed: f64, heading: AngleRange) -> Self {
+        Self {
+            location,
+            speed,
+            heading,
+            available_from: 0.0,
+        }
+    }
+
+    /// Creates a motion model with an explicit check-in time.
+    pub fn with_available_from(mut self, t: f64) -> Self {
+        self.available_from = t;
+        self
+    }
+
+    /// Travel time from the worker's location to `target`; `None` when the
+    /// worker cannot move (zero speed) and the target is not the current
+    /// location.
+    pub fn travel_time(&self, target: Point) -> Option<f64> {
+        let dist = self.location.distance(target);
+        if dist == 0.0 {
+            return Some(0.0);
+        }
+        if self.speed <= 0.0 {
+            return None;
+        }
+        Some(dist / self.speed)
+    }
+
+    /// Raw arrival time at `target` when departing at `depart_at` (clamped to
+    /// `available_from`).
+    pub fn arrival_time(&self, target: Point, depart_at: f64) -> Option<f64> {
+        let start = depart_at.max(self.available_from);
+        self.travel_time(target).map(|t| start + t)
+    }
+
+    /// Direction of travel towards `target` (radians in `[0, 2π)`).
+    pub fn direction_towards(&self, target: Point) -> f64 {
+        self.location.direction_to(target)
+    }
+
+    /// Is the direction towards `target` within the worker's heading cone?
+    /// A target coinciding with the worker's location is always acceptable.
+    pub fn direction_allows(&self, target: Point) -> bool {
+        if self.location.distance_sq(target) == 0.0 {
+            return true;
+        }
+        self.heading.contains(self.direction_towards(target))
+    }
+
+    /// Full reachability query against a target and a time window
+    /// `[window_start, window_end]`, departing at `depart_at`.
+    ///
+    /// `allow_wait` controls what happens when the worker would arrive before
+    /// the window opens: if `true` (the default interpretation used
+    /// throughout this reproduction), the worker waits at the location and
+    /// the effective arrival is `window_start`; if `false`, such an early
+    /// arrival is rejected (strict reading of "arrival time falls into the
+    /// valid period").
+    pub fn reach(
+        &self,
+        target: Point,
+        window_start: f64,
+        window_end: f64,
+        depart_at: f64,
+        allow_wait: bool,
+    ) -> Reachability {
+        if !self.direction_allows(target) {
+            return Reachability::Unreachable(UnreachableReason::DirectionOutsideCone);
+        }
+        let Some(raw_arrival) = self.arrival_time(target, depart_at) else {
+            return Reachability::Unreachable(UnreachableReason::Immobile);
+        };
+        if raw_arrival > window_end + crate::EPSILON {
+            return Reachability::Unreachable(UnreachableReason::TooLate);
+        }
+        let effective_arrival = if raw_arrival < window_start {
+            if allow_wait {
+                window_start
+            } else {
+                return Reachability::Unreachable(UnreachableReason::TooEarly);
+            }
+        } else {
+            raw_arrival
+        };
+        Reachability::Reachable {
+            raw_arrival,
+            effective_arrival,
+            travel_direction: self.direction_towards(target),
+        }
+    }
+
+    /// Convenience: `true` when [`reach`](Self::reach) succeeds.
+    pub fn can_reach(
+        &self,
+        target: Point,
+        window_start: f64,
+        window_end: f64,
+        depart_at: f64,
+        allow_wait: bool,
+    ) -> bool {
+        matches!(
+            self.reach(target, window_start, window_end, depart_at, allow_wait),
+            Reachability::Reachable { .. }
+        )
+    }
+
+    /// The farthest distance the worker can cover before `deadline` when
+    /// departing at `depart_at` (never negative).
+    pub fn max_travel_distance(&self, depart_at: f64, deadline: f64) -> f64 {
+        let start = depart_at.max(self.available_from);
+        let budget = (deadline - start).max(0.0);
+        budget * self.speed.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    fn east_worker() -> MotionModel {
+        MotionModel::new(
+            Point::new(0.0, 0.0),
+            1.0,
+            AngleRange::from_bounds(-FRAC_PI_4, FRAC_PI_4),
+        )
+    }
+
+    #[test]
+    fn travel_and_arrival_times() {
+        let w = east_worker();
+        assert_eq!(w.travel_time(Point::new(2.0, 0.0)), Some(2.0));
+        assert_eq!(w.arrival_time(Point::new(2.0, 0.0), 1.0), Some(3.0));
+        // available_from pushes departure forward.
+        let w = east_worker().with_available_from(5.0);
+        assert_eq!(w.arrival_time(Point::new(2.0, 0.0), 1.0), Some(7.0));
+    }
+
+    #[test]
+    fn immobile_worker_cannot_travel() {
+        let w = MotionModel::new(Point::ORIGIN, 0.0, AngleRange::full());
+        assert_eq!(w.travel_time(Point::new(1.0, 0.0)), None);
+        assert_eq!(w.travel_time(Point::ORIGIN), Some(0.0));
+        assert!(matches!(
+            w.reach(Point::new(1.0, 0.0), 0.0, 10.0, 0.0, true),
+            Reachability::Unreachable(UnreachableReason::Immobile)
+        ));
+    }
+
+    #[test]
+    fn direction_constraint_rejects_backwards_tasks() {
+        let w = east_worker();
+        assert!(w.direction_allows(Point::new(1.0, 0.2)));
+        assert!(!w.direction_allows(Point::new(-1.0, 0.0)));
+        assert!(matches!(
+            w.reach(Point::new(-1.0, 0.0), 0.0, 100.0, 0.0, true),
+            Reachability::Unreachable(UnreachableReason::DirectionOutsideCone)
+        ));
+    }
+
+    #[test]
+    fn deadline_constraint() {
+        let w = east_worker();
+        // distance 2, speed 1 -> arrival 2.0; window [0, 1.5] is too late.
+        assert!(matches!(
+            w.reach(Point::new(2.0, 0.0), 0.0, 1.5, 0.0, true),
+            Reachability::Unreachable(UnreachableReason::TooLate)
+        ));
+        // window [0, 2.5] works.
+        match w.reach(Point::new(2.0, 0.0), 0.0, 2.5, 0.0, true) {
+            Reachability::Reachable {
+                raw_arrival,
+                effective_arrival,
+                travel_direction,
+            } => {
+                assert!((raw_arrival - 2.0).abs() < 1e-12);
+                assert!((effective_arrival - 2.0).abs() < 1e-12);
+                assert!((travel_direction - 0.0).abs() < 1e-12);
+            }
+            other => panic!("expected reachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_arrival_waits_or_is_rejected() {
+        let w = east_worker();
+        // Arrival at t=1, window opens at t=5.
+        match w.reach(Point::new(1.0, 0.0), 5.0, 10.0, 0.0, true) {
+            Reachability::Reachable {
+                raw_arrival,
+                effective_arrival,
+                ..
+            } => {
+                assert!((raw_arrival - 1.0).abs() < 1e-12);
+                assert!((effective_arrival - 5.0).abs() < 1e-12);
+            }
+            other => panic!("expected reachable, got {other:?}"),
+        }
+        assert!(matches!(
+            w.reach(Point::new(1.0, 0.0), 5.0, 10.0, 0.0, false),
+            Reachability::Unreachable(UnreachableReason::TooEarly)
+        ));
+    }
+
+    #[test]
+    fn coincident_target_is_always_reachable_in_window() {
+        let w = MotionModel::new(
+            Point::new(0.3, 0.3),
+            0.5,
+            AngleRange::from_bounds(PI, PI + FRAC_PI_2),
+        );
+        assert!(w.can_reach(Point::new(0.3, 0.3), 0.0, 1.0, 0.0, true));
+    }
+
+    #[test]
+    fn max_travel_distance_budget() {
+        let w = east_worker().with_available_from(2.0);
+        assert!((w.max_travel_distance(0.0, 5.0) - 3.0).abs() < 1e-12);
+        assert_eq!(w.max_travel_distance(0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! 2-D points in the unit (or arbitrary) planar data space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or vector) in the 2-D data space.
+///
+/// The paper works in the normalised space `[0, 1]²` for synthetic data and
+/// in a lat/lon bounding box for the Beijing datasets; `Point` is agnostic to
+/// the choice of units.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (cheaper when only comparisons
+    /// are needed).
+    #[inline]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// The direction angle (radians in `[0, 2π)`) of the vector from `self`
+    /// towards `other`. Returns `0.0` when the points coincide.
+    #[inline]
+    pub fn direction_to(&self, other: Point) -> f64 {
+        let dy = other.y - self.y;
+        let dx = other.x - self.x;
+        if dx == 0.0 && dy == 0.0 {
+            return 0.0;
+        }
+        crate::angle::normalize_angle(dy.atan2(dx))
+    }
+
+    /// Midpoint of the segment `self` – `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// The point reached by travelling `dist` in direction `angle` (radians).
+    #[inline]
+    pub fn translate_polar(&self, angle: f64, dist: f64) -> Point {
+        Point::new(self.x + dist * angle.cos(), self.y + dist * angle.sin())
+    }
+
+    /// Component-wise linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+
+    /// Euclidean norm when interpreting the point as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn distance_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(0.2, 0.9);
+        let b = Point::new(-1.5, 4.25);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_to_cardinal_points() {
+        let o = Point::ORIGIN;
+        assert!((o.direction_to(Point::new(1.0, 0.0)) - 0.0).abs() < 1e-12);
+        assert!((o.direction_to(Point::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((o.direction_to(Point::new(-1.0, 0.0)) - PI).abs() < 1e-12);
+        assert!((o.direction_to(Point::new(0.0, -1.0)) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_to_same_point_is_zero() {
+        let p = Point::new(0.3, 0.3);
+        assert_eq!(p.direction_to(p), 0.0);
+    }
+
+    #[test]
+    fn translate_polar_round_trip() {
+        let p = Point::new(0.5, 0.5);
+        let q = p.translate_polar(1.2, 0.7);
+        assert!((p.distance(q) - 0.7).abs() < 1e-12);
+        assert!((p.direction_to(q) - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -4.0);
+        let m = a.midpoint(b);
+        let l = a.lerp(b, 0.5);
+        assert!((m.x - l.x).abs() < 1e-12 && (m.y - l.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a + b, Point::new(4.0, 7.0));
+        assert_eq!(b - a, Point::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert!((Point::new(3.0, 4.0).norm() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fan-shaped (circular sector) regions.
+//!
+//! Section 8.1 of the paper describes workers configuring a *fan-shaped
+//! working area*: a sector anchored at the worker's location, opening along
+//! the worker's moving-direction cone and bounded by the maximum distance the
+//! worker can still cover. The same shape is used when deriving workers from
+//! taxi trajectories (the minimal sector at the start point containing all
+//! later trajectory points).
+
+use crate::angle::AngleRange;
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A circular sector: apex, angular range and radius.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sector {
+    /// Apex (the worker's location).
+    pub apex: Point,
+    /// Angular opening of the sector.
+    pub angles: AngleRange,
+    /// Radius (maximum travel distance). `f64::INFINITY` means unbounded.
+    pub radius: f64,
+}
+
+impl Sector {
+    /// Creates a sector.
+    pub fn new(apex: Point, angles: AngleRange, radius: f64) -> Self {
+        Self {
+            apex,
+            angles,
+            radius,
+        }
+    }
+
+    /// Does the sector contain point `p`?
+    pub fn contains(&self, p: Point) -> bool {
+        let d = self.apex.distance(p);
+        if d > self.radius + crate::EPSILON {
+            return false;
+        }
+        if d == 0.0 {
+            return true;
+        }
+        self.angles.contains(self.apex.direction_to(p))
+    }
+
+    /// The smallest sector at `apex` with the given `radius` that contains
+    /// every point in `points` (ignoring points farther than `radius` is NOT
+    /// done — the radius is simply taken as given; callers typically pass the
+    /// maximum observed distance).
+    ///
+    /// Used to derive a worker's direction cone from a trajectory: the cone
+    /// is the minimal covering arc of the directions from the start point to
+    /// every later trajectory point.
+    pub fn covering(apex: Point, points: &[Point], radius: f64) -> Self {
+        let angles: Vec<f64> = points
+            .iter()
+            .filter(|p| apex.distance_sq(**p) > 0.0)
+            .map(|p| apex.direction_to(*p))
+            .collect();
+        Sector::new(apex, AngleRange::covering_arc(&angles), radius)
+    }
+
+    /// Conservative test: might the sector intersect rectangle `rect`?
+    ///
+    /// Guaranteed to return `true` whenever an intersection exists (no false
+    /// negatives); may return `true` for some near-miss configurations. Used
+    /// by the grid index for cell-level pruning, where only false positives
+    /// are acceptable.
+    pub fn may_intersect_rect(&self, rect: &Rect) -> bool {
+        // Distance pruning: the rectangle must come within `radius` of the apex.
+        if rect.min_distance_to_point(self.apex) > self.radius + crate::EPSILON {
+            return false;
+        }
+        if rect.contains(self.apex) || self.angles.is_full() {
+            return true;
+        }
+        // Angular pruning: the directions from the apex towards the rectangle
+        // form an arc; if that arc misses the sector's opening entirely, the
+        // sector cannot reach the rectangle.
+        let apex_rect = Rect::new(self.apex.x, self.apex.y, self.apex.x, self.apex.y);
+        let dir = apex_rect.direction_range_to(rect);
+        self.angles.intersects(&dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    fn east_sector() -> Sector {
+        Sector::new(
+            Point::ORIGIN,
+            AngleRange::from_bounds(-FRAC_PI_4, FRAC_PI_4),
+            2.0,
+        )
+    }
+
+    #[test]
+    fn contains_points_in_opening() {
+        let s = east_sector();
+        assert!(s.contains(Point::new(1.0, 0.0)));
+        assert!(s.contains(Point::new(1.0, 0.5)));
+        assert!(s.contains(Point::ORIGIN));
+        assert!(!s.contains(Point::new(-1.0, 0.0)), "behind the apex");
+        assert!(!s.contains(Point::new(3.0, 0.0)), "beyond the radius");
+        assert!(!s.contains(Point::new(0.0, 1.0)), "outside the cone");
+    }
+
+    #[test]
+    fn covering_sector_from_trajectory() {
+        let apex = Point::ORIGIN;
+        let pts = [
+            Point::new(1.0, 0.1),
+            Point::new(2.0, 0.5),
+            Point::new(1.5, -0.4),
+        ];
+        let s = Sector::covering(apex, &pts, 3.0);
+        for p in pts {
+            assert!(s.contains(p), "covering sector must contain {p}");
+        }
+        assert!(s.angles.width() < FRAC_PI_2);
+    }
+
+    #[test]
+    fn covering_sector_ignores_apex_duplicates() {
+        let apex = Point::new(0.5, 0.5);
+        let s = Sector::covering(apex, &[apex, Point::new(1.0, 0.5)], 1.0);
+        assert!(s.contains(Point::new(1.0, 0.5)));
+        assert!(s.angles.width() < 1e-9);
+    }
+
+    #[test]
+    fn may_intersect_rect_distance_prune() {
+        let s = east_sector();
+        let far = Rect::new(10.0, 10.0, 11.0, 11.0);
+        assert!(!s.may_intersect_rect(&far));
+    }
+
+    #[test]
+    fn may_intersect_rect_angle_prune() {
+        let s = east_sector();
+        let behind = Rect::new(-1.5, -0.2, -1.0, 0.2);
+        assert!(!s.may_intersect_rect(&behind));
+        let ahead = Rect::new(1.0, -0.2, 1.5, 0.2);
+        assert!(s.may_intersect_rect(&ahead));
+    }
+
+    #[test]
+    fn may_intersect_rect_containing_apex() {
+        let s = Sector::new(
+            Point::new(0.5, 0.5),
+            AngleRange::from_bounds(PI, PI + 0.1),
+            0.1,
+        );
+        let r = Rect::unit();
+        assert!(s.may_intersect_rect(&r));
+    }
+
+    #[test]
+    fn no_false_negative_sampled() {
+        // Sample points inside the sector; any rect containing such a point
+        // must not be pruned.
+        let s = east_sector();
+        for i in 1..10 {
+            let d = 0.2 * i as f64;
+            let p = Point::new(d * 0.9, d * 0.1);
+            if s.contains(p) {
+                let r = Rect::new(p.x - 0.05, p.y - 0.05, p.x + 0.05, p.y + 0.05);
+                assert!(s.may_intersect_rect(&r));
+            }
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! The RDB-SC-Grid index structure and its dynamic maintenance (Section 7).
+
+use crate::cost_model::{optimal_eta, CostModelParams};
+use rdbsc_geo::{AngleRange, Point, Rect};
+use rdbsc_model::valid_pairs::{check_pair, BipartiteCandidates, ValidPair};
+use rdbsc_model::{ProblemInstance, Task, TaskId, Worker, WorkerId};
+use std::collections::HashMap;
+
+/// One grid cell: its geometry, the ids of the tasks and workers currently
+/// inside it, summary bounds used for cell-level pruning, and its
+/// `tcell_list` (reachable cells).
+#[derive(Debug, Clone)]
+struct Cell {
+    rect: Rect,
+    tasks: Vec<TaskId>,
+    workers: Vec<WorkerId>,
+    /// Maximum speed over the workers in the cell (`v_max(cellᵢ)`).
+    v_max: f64,
+    /// Earliest check-in time over the workers in the cell.
+    min_available_from: f64,
+    /// Angular hull of the workers' heading cones (None when no workers).
+    heading_hull: Option<AngleRange>,
+    /// Latest deadline over the tasks in the cell (`e_max`).
+    e_max: f64,
+    /// Earliest start over the tasks in the cell (`s_min`).
+    s_min: f64,
+    /// Ids (indices) of the cells reachable by at least one worker of this
+    /// cell.
+    tcell_list: Vec<usize>,
+    /// Whether `tcell_list` needs recomputation after an update.
+    tcell_dirty: bool,
+}
+
+impl Cell {
+    fn new(rect: Rect) -> Self {
+        Self {
+            rect,
+            tasks: Vec::new(),
+            workers: Vec::new(),
+            v_max: 0.0,
+            min_available_from: f64::INFINITY,
+            heading_hull: None,
+            e_max: f64::NEG_INFINITY,
+            s_min: f64::INFINITY,
+            tcell_list: Vec::new(),
+            tcell_dirty: true,
+        }
+    }
+
+    fn has_workers(&self) -> bool {
+        !self.workers.is_empty()
+    }
+
+    fn has_tasks(&self) -> bool {
+        !self.tasks.is_empty()
+    }
+}
+
+/// Summary statistics of the index, used in experiments and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridStats {
+    /// Cell side `η`.
+    pub eta: f64,
+    /// Number of cells per axis.
+    pub cells_per_axis: usize,
+    /// Total number of cells.
+    pub num_cells: usize,
+    /// Number of indexed tasks.
+    pub num_tasks: usize,
+    /// Number of indexed workers.
+    pub num_workers: usize,
+    /// Average `tcell_list` length over cells that contain workers.
+    pub avg_tcell_len: f64,
+    /// Fraction of (worker-cell, task-cell) pairs pruned by the cell-level
+    /// tests.
+    pub pruned_fraction: f64,
+}
+
+/// The cost-model-based grid index over moving workers and time-constrained
+/// spatial tasks.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    space: Rect,
+    eta: f64,
+    cells_per_axis: usize,
+    cells: Vec<Cell>,
+    tasks: HashMap<TaskId, Task>,
+    workers: HashMap<WorkerId, Worker>,
+    /// Time at which assignments depart (mirrors `ProblemInstance::depart_at`).
+    pub depart_at: f64,
+    /// Whether early-arriving workers may wait for a task's window to open.
+    pub allow_wait: bool,
+}
+
+impl GridIndex {
+    /// Creates an empty index over `space` with cell side `eta`.
+    ///
+    /// `eta` is clamped so that the number of cells per axis stays within
+    /// `[1, 1024]` (a 2-D grid of more than ~10⁶ cells stops being useful and
+    /// only wastes memory).
+    pub fn new(space: Rect, eta: f64) -> Self {
+        let extent = space.width().max(space.height()).max(1e-9);
+        let mut cells_per_axis = (extent / eta.max(1e-9)).ceil() as usize;
+        cells_per_axis = cells_per_axis.clamp(1, 1024);
+        let eta = extent / cells_per_axis as f64;
+        let mut cells = Vec::with_capacity(cells_per_axis * cells_per_axis);
+        for row in 0..cells_per_axis {
+            for col in 0..cells_per_axis {
+                let min_x = space.min_x + col as f64 * eta;
+                let min_y = space.min_y + row as f64 * eta;
+                cells.push(Cell::new(Rect::new(min_x, min_y, min_x + eta, min_y + eta)));
+            }
+        }
+        Self {
+            space,
+            eta,
+            cells_per_axis,
+            cells,
+            tasks: HashMap::new(),
+            workers: HashMap::new(),
+            depart_at: 0.0,
+            allow_wait: true,
+        }
+    }
+
+    /// Builds an index for a problem instance, choosing `η` from the cost
+    /// model (Appendix I) using the instance's task count and the maximum
+    /// distance any worker can cover before the latest deadline as `L_max`.
+    pub fn from_instance(instance: &ProblemInstance) -> Self {
+        let latest_deadline = instance
+            .tasks
+            .iter()
+            .map(|t| t.window.end)
+            .fold(0.0f64, f64::max);
+        let l_max = instance
+            .workers
+            .iter()
+            .map(|w| w.motion().max_travel_distance(instance.depart_at, latest_deadline))
+            .fold(0.0f64, f64::max)
+            .min(1.0);
+        let params = CostModelParams::uniform(l_max.max(1e-3), instance.num_tasks().max(2));
+        let mut index = GridIndex::new(Rect::unit(), optimal_eta(&params));
+        index.depart_at = instance.depart_at;
+        index.allow_wait = instance.allow_wait;
+        for task in &instance.tasks {
+            index.insert_task(*task);
+        }
+        for worker in &instance.workers {
+            index.insert_worker(*worker);
+        }
+        index
+    }
+
+    /// Builds an index for an instance with an explicit cell side.
+    pub fn from_instance_with_eta(instance: &ProblemInstance, eta: f64) -> Self {
+        let mut index = GridIndex::new(Rect::unit(), eta);
+        index.depart_at = instance.depart_at;
+        index.allow_wait = instance.allow_wait;
+        for task in &instance.tasks {
+            index.insert_task(*task);
+        }
+        for worker in &instance.workers {
+            index.insert_worker(*worker);
+        }
+        index
+    }
+
+    /// The cell side `η` actually in use.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of indexed tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of indexed workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Index of the cell containing a point (points outside the data space
+    /// are clamped onto it).
+    pub fn cell_of(&self, p: Point) -> usize {
+        let clamped = self.space.clamp_point(p);
+        let col = (((clamped.x - self.space.min_x) / self.eta) as usize)
+            .min(self.cells_per_axis - 1);
+        let row = (((clamped.y - self.space.min_y) / self.eta) as usize)
+            .min(self.cells_per_axis - 1);
+        row * self.cells_per_axis + col
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic maintenance (Section 7.2)
+    // ------------------------------------------------------------------
+
+    /// Inserts (or replaces) a task. `O(1)` cell lookup plus summary update.
+    pub fn insert_task(&mut self, task: Task) {
+        if self.tasks.insert(task.id, task).is_some() {
+            self.detach_task(task.id, None);
+        }
+        let cell_idx = self.cell_of(task.location);
+        let cell = &mut self.cells[cell_idx];
+        cell.tasks.push(task.id);
+        cell.e_max = cell.e_max.max(task.window.end);
+        cell.s_min = cell.s_min.min(task.window.start);
+        // A new task can only *add* reachable targets; every worker cell's
+        // tcell_list may gain this cell.
+        self.mark_all_worker_cells_dirty();
+    }
+
+    /// Removes a task (no-op when absent).
+    pub fn remove_task(&mut self, id: TaskId) {
+        if self.tasks.remove(&id).is_some() {
+            self.detach_task(id, None);
+            self.mark_all_worker_cells_dirty();
+        }
+    }
+
+    /// Inserts (or replaces) a worker.
+    pub fn insert_worker(&mut self, worker: Worker) {
+        if self.workers.insert(worker.id, worker).is_some() {
+            self.detach_worker(worker.id);
+        }
+        let cell_idx = self.cell_of(worker.location);
+        let cell = &mut self.cells[cell_idx];
+        cell.workers.push(worker.id);
+        cell.v_max = cell.v_max.max(worker.speed);
+        cell.min_available_from = cell.min_available_from.min(worker.available_from);
+        cell.heading_hull = Some(match cell.heading_hull {
+            Some(hull) => hull.union_hull(&worker.heading),
+            None => worker.heading,
+        });
+        cell.tcell_dirty = true;
+    }
+
+    /// Removes a worker (no-op when absent).
+    pub fn remove_worker(&mut self, id: WorkerId) {
+        if self.workers.remove(&id).is_some() {
+            self.detach_worker(id);
+        }
+    }
+
+    fn detach_task(&mut self, id: TaskId, hint_cell: Option<usize>) {
+        let cell_indices: Vec<usize> = match hint_cell {
+            Some(c) => vec![c],
+            None => (0..self.cells.len()).collect(),
+        };
+        for c in cell_indices {
+            let cell = &mut self.cells[c];
+            let before = cell.tasks.len();
+            cell.tasks.retain(|t| *t != id);
+            if cell.tasks.len() != before {
+                // Recompute the task summary of this cell.
+                let (mut e_max, mut s_min) = (f64::NEG_INFINITY, f64::INFINITY);
+                for t in &cell.tasks {
+                    if let Some(task) = self.tasks.get(t) {
+                        e_max = e_max.max(task.window.end);
+                        s_min = s_min.min(task.window.start);
+                    }
+                }
+                cell.e_max = e_max;
+                cell.s_min = s_min;
+                return;
+            }
+        }
+    }
+
+    fn detach_worker(&mut self, id: WorkerId) {
+        for c in 0..self.cells.len() {
+            let cell = &mut self.cells[c];
+            let before = cell.workers.len();
+            cell.workers.retain(|w| *w != id);
+            if cell.workers.len() != before {
+                // Recompute the worker summary of this cell.
+                let mut v_max = 0.0f64;
+                let mut min_avail = f64::INFINITY;
+                let mut hull: Option<AngleRange> = None;
+                for w in &cell.workers {
+                    if let Some(worker) = self.workers.get(w) {
+                        v_max = v_max.max(worker.speed);
+                        min_avail = min_avail.min(worker.available_from);
+                        hull = Some(match hull {
+                            Some(h) => h.union_hull(&worker.heading),
+                            None => worker.heading,
+                        });
+                    }
+                }
+                cell.v_max = v_max;
+                cell.min_available_from = min_avail;
+                cell.heading_hull = hull;
+                cell.tcell_dirty = true;
+                return;
+            }
+        }
+    }
+
+    fn mark_all_worker_cells_dirty(&mut self) {
+        for cell in &mut self.cells {
+            if cell.has_workers() {
+                cell.tcell_dirty = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cell-level pruning and tcell_list maintenance (Section 7.1)
+    // ------------------------------------------------------------------
+
+    /// Can any worker of `from` possibly serve any task of `to`?
+    ///
+    /// Conservative: never prunes a reachable pair. Combines the paper's
+    /// minimum-travel-time test (`d_min / v_max` vs. latest deadline) with an
+    /// angular-hull test on the workers' heading cones.
+    fn cell_pair_reachable(&self, from: &Cell, to: &Cell) -> bool {
+        if !from.has_workers() || !to.has_tasks() {
+            return false;
+        }
+        let Some(hull) = from.heading_hull else {
+            return false;
+        };
+        // Minimum possible arrival time at the target cell.
+        let depart = self.depart_at.max(from.min_available_from);
+        let d_min = from.rect.min_distance(&to.rect);
+        if d_min > 0.0 {
+            if from.v_max <= 0.0 {
+                return false;
+            }
+            let t_min = depart + d_min / from.v_max;
+            if t_min > to.e_max {
+                return false;
+            }
+            // Angular pruning: the directions towards the target cell must
+            // overlap the workers' heading hull.
+            let directions = from.rect.direction_range_to(&to.rect);
+            if !hull.intersects(&directions) {
+                return false;
+            }
+        } else {
+            // Overlapping or identical cells: a worker may be arbitrarily
+            // close to (or on top of) a task, so never prune; still require
+            // the deadline to be in the future.
+            if depart > to.e_max {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Recomputes the `tcell_list` of every dirty cell. Returns the number of
+    /// lists rebuilt.
+    pub fn refresh_tcell_lists(&mut self) -> usize {
+        let mut rebuilt = 0;
+        for i in 0..self.cells.len() {
+            if !self.cells[i].tcell_dirty {
+                continue;
+            }
+            if !self.cells[i].has_workers() {
+                self.cells[i].tcell_list.clear();
+                self.cells[i].tcell_dirty = false;
+                continue;
+            }
+            let mut list = Vec::new();
+            for j in 0..self.cells.len() {
+                if self.cells[j].has_tasks() && self.cell_pair_reachable(&self.cells[i], &self.cells[j])
+                {
+                    list.push(j);
+                }
+            }
+            self.cells[i].tcell_list = list;
+            self.cells[i].tcell_dirty = false;
+            rebuilt += 1;
+        }
+        rebuilt
+    }
+
+    // ------------------------------------------------------------------
+    // Valid-pair retrieval
+    // ------------------------------------------------------------------
+
+    fn candidate_capacity(&self) -> (usize, usize) {
+        let max_task = self.tasks.keys().map(|t| t.index() + 1).max().unwrap_or(0);
+        let max_worker = self
+            .workers
+            .keys()
+            .map(|w| w.index() + 1)
+            .max()
+            .unwrap_or(0);
+        (max_task, max_worker)
+    }
+
+    /// Retrieves every valid task-and-worker pair using the index
+    /// (cell-level pruning via `tcell_list`, then exact per-pair checks).
+    pub fn retrieve_valid_pairs(&mut self) -> BipartiteCandidates {
+        self.refresh_tcell_lists();
+        let (task_cap, worker_cap) = self.candidate_capacity();
+        let mut graph = BipartiteCandidates::with_capacity(task_cap, worker_cap);
+        for i in 0..self.cells.len() {
+            if !self.cells[i].has_workers() {
+                continue;
+            }
+            // Materialise the cell's workers and the reachable cells' tasks
+            // once, so the inner loop does no hash lookups.
+            let cell_workers: Vec<Worker> = self.cells[i]
+                .workers
+                .iter()
+                .map(|id| self.workers[id])
+                .collect();
+            for &j in &self.cells[i].tcell_list {
+                let cell_tasks: Vec<Task> = self.cells[j]
+                    .tasks
+                    .iter()
+                    .map(|id| self.tasks[id])
+                    .collect();
+                for worker in &cell_workers {
+                    for task in &cell_tasks {
+                        if let Some(contribution) =
+                            check_pair(task, worker, self.depart_at, self.allow_wait)
+                        {
+                            graph.push(ValidPair {
+                                task: task.id,
+                                worker: worker.id,
+                                contribution,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// Retrieves every valid pair by brute force (no cell pruning), used to
+    /// measure the index's benefit (Figure 17(b)) and to validate it.
+    pub fn retrieve_valid_pairs_bruteforce(&self) -> BipartiteCandidates {
+        let (task_cap, worker_cap) = self.candidate_capacity();
+        let mut graph = BipartiteCandidates::with_capacity(task_cap, worker_cap);
+        for task in self.tasks.values() {
+            for worker in self.workers.values() {
+                if let Some(contribution) =
+                    check_pair(task, worker, self.depart_at, self.allow_wait)
+                {
+                    graph.push(ValidPair {
+                        task: task.id,
+                        worker: worker.id,
+                        contribution,
+                    });
+                }
+            }
+        }
+        graph
+    }
+
+    /// Summary statistics (requires the `tcell_list`s to be fresh; call
+    /// [`refresh_tcell_lists`](Self::refresh_tcell_lists) first when in
+    /// doubt).
+    pub fn stats(&self) -> GridStats {
+        let worker_cells: Vec<&Cell> = self.cells.iter().filter(|c| c.has_workers()).collect();
+        let task_cells = self.cells.iter().filter(|c| c.has_tasks()).count();
+        let total_tcell: usize = worker_cells.iter().map(|c| c.tcell_list.len()).sum();
+        let avg = if worker_cells.is_empty() {
+            0.0
+        } else {
+            total_tcell as f64 / worker_cells.len() as f64
+        };
+        let possible = worker_cells.len() * task_cells;
+        let pruned_fraction = if possible == 0 {
+            0.0
+        } else {
+            1.0 - total_tcell as f64 / possible as f64
+        };
+        GridStats {
+            eta: self.eta,
+            cells_per_axis: self.cells_per_axis,
+            num_cells: self.cells.len(),
+            num_tasks: self.tasks.len(),
+            num_workers: self.workers.len(),
+            avg_tcell_len: avg,
+            pruned_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbsc_geo::AngleRange;
+    use rdbsc_model::{Confidence, TimeWindow};
+    use std::f64::consts::PI;
+
+    fn task(id: u32, x: f64, y: f64, start: f64, end: f64) -> Task {
+        Task::new(
+            TaskId(id),
+            Point::new(x, y),
+            TimeWindow::new(start, end).unwrap(),
+        )
+    }
+
+    fn worker(id: u32, x: f64, y: f64, speed: f64, heading: AngleRange) -> Worker {
+        Worker::new(
+            WorkerId(id),
+            Point::new(x, y),
+            speed,
+            heading,
+            Confidence::new(0.9).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn small_instance() -> ProblemInstance {
+        let tasks = vec![
+            task(0, 0.2, 0.2, 0.0, 5.0),
+            task(1, 0.8, 0.8, 0.0, 5.0),
+            task(2, 0.8, 0.2, 0.0, 0.5),
+        ];
+        let workers = vec![
+            worker(0, 0.1, 0.1, 0.5, AngleRange::full()),
+            worker(1, 0.9, 0.9, 0.5, AngleRange::from_bounds(PI, 1.5 * PI)),
+            worker(2, 0.5, 0.5, 0.05, AngleRange::full()),
+        ];
+        ProblemInstance::new(tasks, workers, 0.5)
+    }
+
+    #[test]
+    fn grid_geometry_and_cell_lookup() {
+        let g = GridIndex::new(Rect::unit(), 0.25);
+        assert_eq!(g.num_cells(), 16);
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), 0);
+        assert_eq!(g.cell_of(Point::new(0.99, 0.99)), 15);
+        // Points outside the space are clamped.
+        assert_eq!(g.cell_of(Point::new(2.0, 2.0)), 15);
+        assert_eq!(g.cell_of(Point::new(-1.0, -1.0)), 0);
+    }
+
+    #[test]
+    fn eta_is_clamped_to_a_sane_number_of_cells() {
+        let g = GridIndex::new(Rect::unit(), 1e-9);
+        assert!(g.num_cells() <= 1024 * 1024);
+        let g = GridIndex::new(Rect::unit(), 10.0);
+        assert_eq!(g.num_cells(), 1);
+    }
+
+    #[test]
+    fn index_retrieval_matches_bruteforce() {
+        let instance = small_instance();
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.2);
+        let with_index = index.retrieve_valid_pairs();
+        let brute = index.retrieve_valid_pairs_bruteforce();
+        let mut a: Vec<(TaskId, WorkerId)> =
+            with_index.pairs.iter().map(|p| (p.task, p.worker)).collect();
+        let mut b: Vec<(TaskId, WorkerId)> =
+            brute.pairs.iter().map(|p| (p.task, p.worker)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "index retrieval must agree with brute force");
+        // And with the model-level brute force over the instance.
+        let model = rdbsc_model::compute_valid_pairs(&instance);
+        let mut c: Vec<(TaskId, WorkerId)> =
+            model.pairs.iter().map(|p| (p.task, p.worker)).collect();
+        c.sort();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn dynamic_insert_and_remove_keep_retrieval_correct() {
+        let instance = small_instance();
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.25);
+
+        // Remove a worker: its pairs must disappear.
+        index.remove_worker(WorkerId(0));
+        let pairs = index.retrieve_valid_pairs();
+        assert!(pairs.pairs.iter().all(|p| p.worker != WorkerId(0)));
+        assert_eq!(index.num_workers(), 2);
+
+        // Re-insert it: pairs must come back and match brute force.
+        index.insert_worker(instance.workers[0]);
+        let with_index = index.retrieve_valid_pairs();
+        let brute = index.retrieve_valid_pairs_bruteforce();
+        assert_eq!(with_index.num_pairs(), brute.num_pairs());
+
+        // Remove a task.
+        index.remove_task(TaskId(1));
+        let pairs = index.retrieve_valid_pairs();
+        assert!(pairs.pairs.iter().all(|p| p.task != TaskId(1)));
+        assert_eq!(index.num_tasks(), 2);
+
+        // Insert a brand-new task next to the slow worker.
+        index.insert_task(task(3, 0.5, 0.5, 0.0, 10.0));
+        let pairs = index.retrieve_valid_pairs();
+        assert!(
+            pairs.pairs.iter().any(|p| p.task == TaskId(3) && p.worker == WorkerId(2)),
+            "the slow worker sits on the new task and must be able to serve it"
+        );
+        let brute = index.retrieve_valid_pairs_bruteforce();
+        assert_eq!(pairs.num_pairs(), brute.num_pairs());
+    }
+
+    #[test]
+    fn replacing_a_worker_updates_its_cell() {
+        let instance = small_instance();
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.25);
+        // Move worker 0 to the opposite corner with a new heading.
+        let moved = worker(0, 0.95, 0.95, 0.5, AngleRange::from_bounds(PI, 1.5 * PI));
+        index.insert_worker(moved);
+        assert_eq!(index.num_workers(), 3);
+        let with_index = index.retrieve_valid_pairs();
+        let brute = index.retrieve_valid_pairs_bruteforce();
+        assert_eq!(with_index.num_pairs(), brute.num_pairs());
+    }
+
+    #[test]
+    fn pruning_actually_prunes_far_unreachable_cells() {
+        // A slow worker in one corner and a short-deadline task in the other:
+        // the task's cell must not appear in the worker's tcell_list.
+        let tasks = vec![task(0, 0.95, 0.95, 0.0, 0.1)];
+        let workers = vec![worker(0, 0.05, 0.05, 0.1, AngleRange::full())];
+        let instance = ProblemInstance::new(tasks, workers, 0.5);
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.1);
+        index.refresh_tcell_lists();
+        let stats = index.stats();
+        assert_eq!(stats.avg_tcell_len, 0.0, "unreachable task cell must be pruned");
+        assert!(index.retrieve_valid_pairs().pairs.is_empty());
+    }
+
+    #[test]
+    fn angular_pruning_drops_cells_behind_the_worker() {
+        // Worker heading strictly east; a task far to the west is open for a
+        // long time (so the time test alone cannot prune it).
+        let tasks = vec![task(0, 0.05, 0.5, 0.0, 100.0), task(1, 0.95, 0.5, 0.0, 100.0)];
+        let workers = vec![worker(0, 0.5, 0.5, 0.5, AngleRange::from_bounds(-0.3, 0.3))];
+        let instance = ProblemInstance::new(tasks, workers, 0.5);
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.1);
+        let pairs = index.retrieve_valid_pairs();
+        assert_eq!(pairs.num_pairs(), 1);
+        assert_eq!(pairs.pairs[0].task, TaskId(1));
+        let stats = index.stats();
+        assert!(stats.pruned_fraction > 0.0);
+    }
+
+    #[test]
+    fn from_instance_uses_cost_model_eta() {
+        let instance = small_instance();
+        let index = GridIndex::from_instance(&instance);
+        assert!(index.eta() > 0.0 && index.eta() <= 1.0);
+        assert_eq!(index.num_tasks(), 3);
+        assert_eq!(index.num_workers(), 3);
+    }
+
+    #[test]
+    fn stats_report_counts() {
+        let instance = small_instance();
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.25);
+        index.refresh_tcell_lists();
+        let stats = index.stats();
+        assert_eq!(stats.num_tasks, 3);
+        assert_eq!(stats.num_workers, 3);
+        assert_eq!(stats.num_cells, 16);
+        assert!(stats.avg_tcell_len >= 1.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # rdbsc-index
+//!
+//! The cost-model-based grid index (**RDB-SC-Grid**, Section 7 of the paper).
+//!
+//! The index partitions the data space into square cells of side `η`, stores
+//! per-cell task and worker lists together with summary bounds (maximum
+//! worker speed, angular hull of worker headings, latest task deadline), and
+//! maintains for every cell a `tcell_list` — the cells that are *reachable*
+//! for at least one of its workers. Cell-level pruning (minimum inter-cell
+//! distance over maximum speed vs. the latest deadline, plus an angular-hull
+//! test) keeps the lists small, which makes retrieving the valid
+//! task-and-worker pairs much cheaper than the brute-force `O(m·n)` scan.
+//!
+//! The cell side `η` is chosen by the cost model of Appendix I: the expected
+//! update cost combines the number of cells in the reachable area with the
+//! expected number of tasks in it, estimated through the correlation fractal
+//! dimension (power law) of the task distribution.
+
+pub mod cost_model;
+pub mod grid;
+
+pub use cost_model::{estimate_fractal_dimension, optimal_eta, update_cost, CostModelParams};
+pub use grid::{GridIndex, GridStats};

@@ -1,0 +1,248 @@
+//! Skyline dominance and top-k-dominating ranking on (reliability, diversity)
+//! pairs.
+//!
+//! Both the greedy algorithm (to rank candidate task-and-worker pairs by how
+//! many other candidates they dominate) and the sampling algorithm (to pick
+//! the best sampled assignment) use the dominance relation of the skyline
+//! operator and the *dominating count* ranking of top-k dominating queries,
+//! exactly as referenced in the paper ([13] and [22]).
+
+/// A bi-objective value: the first component is the reliability-related
+/// objective, the second the diversity-related one. Both are maximised.
+pub type BiObjective = (f64, f64);
+
+/// Does `a` dominate `b`? (`a` is at least as good in both components and
+/// strictly better in at least one.)
+#[inline]
+pub fn dominates(a: BiObjective, b: BiObjective) -> bool {
+    (a.0 >= b.0 && a.1 >= b.1) && (a.0 > b.0 || a.1 > b.1)
+}
+
+/// For each candidate, the number of other candidates it dominates
+/// (quadratic reference implementation; see [`dominating_counts_fast`] for
+/// the `O(n log n)` version used on large inputs).
+pub fn dominating_counts(values: &[BiObjective]) -> Vec<usize> {
+    let n = values.len();
+    let mut counts = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && dominates(values[i], values[j]) {
+                counts[i] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Fenwick tree (binary indexed tree) over candidate ranks, used by
+/// [`dominating_counts_fast`].
+struct Fenwick {
+    tree: Vec<usize>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Number of added elements with index `<= i`.
+    fn prefix(&self, mut i: usize) -> usize {
+        i += 1;
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+}
+
+/// `O(n log n)` computation of the dominating counts.
+///
+/// `count_i = #{j : x_j ≤ x_i ∧ y_j ≤ y_i} − #{j : (x_j, y_j) = (x_i, y_i)}`
+/// (the second term removes the candidate itself and exact duplicates, which
+/// do not dominate each other). Computed by sweeping candidates in increasing
+/// `x` order while maintaining a Fenwick tree over the `y` ranks.
+pub fn dominating_counts_fast(values: &[BiObjective]) -> Vec<usize> {
+    let n = values.len();
+    if n < 2 {
+        return vec![0; n];
+    }
+    // Rank-compress the y coordinates.
+    let mut ys: Vec<f64> = values.iter().map(|v| v.1).collect();
+    ys.sort_by(|a, b| a.partial_cmp(b).expect("objective values are not NaN"));
+    ys.dedup();
+    let y_rank = |y: f64| ys.partition_point(|&v| v < y);
+
+    // Count exact duplicates.
+    use std::collections::HashMap;
+    let mut duplicates: HashMap<(u64, u64), usize> = HashMap::new();
+    for v in values {
+        *duplicates.entry((v.0.to_bits(), v.1.to_bits())).or_insert(0) += 1;
+    }
+
+    // Sweep in increasing x order; candidates with equal x are processed as a
+    // batch (queried first, then inserted) because equal-x candidates with
+    // smaller y are still dominated.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .0
+            .partial_cmp(&values[b].0)
+            .expect("objective values are not NaN")
+    });
+    let mut counts = vec![0usize; n];
+    let mut fenwick = Fenwick::new(ys.len());
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && values[order[j]].0 == values[order[i]].0 {
+            j += 1;
+        }
+        // Query the whole equal-x batch against everything inserted so far
+        // plus the batch itself (handled via the duplicate correction below
+        // and by inserting the batch before querying it — equal-x,
+        // smaller-or-equal-y candidates are legitimate dominees unless they
+        // are exact duplicates).
+        for &idx in &order[i..j] {
+            fenwick.add(y_rank(values[idx].1));
+        }
+        for &idx in &order[i..j] {
+            let le = fenwick.prefix(y_rank(values[idx].1));
+            let dup = duplicates[&(values[idx].0.to_bits(), values[idx].1.to_bits())];
+            counts[idx] = le - dup;
+        }
+        i = j;
+    }
+    counts
+}
+
+/// Indices of the candidates that are *not* dominated by any other candidate
+/// (the skyline / Pareto front).
+pub fn skyline(values: &[BiObjective]) -> Vec<usize> {
+    (0..values.len())
+        .filter(|&i| !values.iter().enumerate().any(|(j, &v)| j != i && dominates(v, values[i])))
+        .collect()
+}
+
+/// Ranks candidates by their dominating count and returns the index of the
+/// best one (the candidate dominating the most others). Ties are broken by
+/// the sum of the two components, then by index (for determinism).
+///
+/// Returns `None` for an empty slice.
+pub fn rank_by_dominating_count(values: &[BiObjective]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let counts = if values.len() <= 256 {
+        dominating_counts(values)
+    } else {
+        dominating_counts_fast(values)
+    };
+    let mut best = 0usize;
+    for i in 1..values.len() {
+        let better = counts[i] > counts[best]
+            || (counts[i] == counts[best]
+                && values[i].0 + values[i].1 > values[best].0 + values[best].1 + 1e-15);
+        if better {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates((2.0, 2.0), (1.0, 1.0)));
+        assert!(dominates((2.0, 1.0), (1.0, 1.0)));
+        assert!(dominates((1.0, 2.0), (1.0, 1.0)));
+        assert!(!dominates((1.0, 1.0), (1.0, 1.0)), "equal points do not dominate");
+        assert!(!dominates((2.0, 0.5), (1.0, 1.0)), "incomparable");
+        assert!(!dominates((0.5, 2.0), (1.0, 1.0)), "incomparable");
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let pts = [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)];
+        for &a in &pts {
+            assert!(!dominates(a, a));
+            for &b in &pts {
+                if dominates(a, b) {
+                    assert!(!dominates(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_and_skyline() {
+        let values = vec![(1.0, 1.0), (2.0, 2.0), (0.5, 3.0), (2.0, 0.1)];
+        let counts = dominating_counts(&values);
+        assert_eq!(counts, vec![0, 2, 0, 0]);
+        let sky = skyline(&values);
+        assert_eq!(sky, vec![1, 2]);
+    }
+
+    #[test]
+    fn rank_picks_most_dominating() {
+        let values = vec![(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)];
+        assert_eq!(rank_by_dominating_count(&values), Some(1));
+    }
+
+    #[test]
+    fn rank_breaks_ties_by_sum_then_index() {
+        // No candidate dominates another; the one with the largest sum wins.
+        let values = vec![(1.0, 2.0), (2.5, 1.0), (0.0, 3.0)];
+        assert_eq!(rank_by_dominating_count(&values), Some(1));
+        // Full tie: first index wins.
+        let values = vec![(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(rank_by_dominating_count(&values), Some(0));
+    }
+
+    #[test]
+    fn rank_empty_is_none() {
+        assert_eq!(rank_by_dominating_count(&[]), None);
+    }
+
+    #[test]
+    fn fast_counts_match_quadratic_counts() {
+        // Pseudo-random values with deliberate ties and duplicates.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 * 8.0).round() / 8.0
+        };
+        for n in [2usize, 3, 10, 57, 300] {
+            let values: Vec<BiObjective> = (0..n).map(|_| (next(), next())).collect();
+            assert_eq!(
+                dominating_counts(&values),
+                dominating_counts_fast(&values),
+                "mismatch for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_counts_handle_duplicates_and_degenerate_inputs() {
+        assert_eq!(dominating_counts_fast(&[]), Vec::<usize>::new());
+        assert_eq!(dominating_counts_fast(&[(1.0, 1.0)]), vec![0]);
+        let values = vec![(1.0, 1.0), (1.0, 1.0), (0.0, 0.0), (2.0, 2.0)];
+        assert_eq!(dominating_counts(&values), dominating_counts_fast(&values));
+    }
+}

@@ -1,0 +1,295 @@
+//! Polynomial computation of the expected spatial/temporal diversity
+//! (Section 3.2, Eqs. 9–11, Lemma 3.1).
+//!
+//! The paper reduces the exponential possible-worlds expectation (Eq. 6) to
+//! the sum of two matrices `M_SD` and `M_TD`, whose entry `(j, k)` is the
+//! probability that a particular angular gap / time sub-interval exists in a
+//! possible world, multiplied by that gap's entropy term. Conceptually:
+//!
+//! * A gap from worker `j`'s ray counter-clockwise to worker `k`'s ray exists
+//!   exactly when both `j` and `k` succeed and every worker whose ray lies
+//!   strictly between them fails.
+//! * A time sub-interval from boundary `a` to boundary `b` (boundaries are
+//!   worker arrivals plus the window endpoints) exists exactly when both
+//!   boundaries are "real" (their workers succeed, window endpoints always
+//!   are) and every worker arriving strictly between them fails.
+//!
+//! This module implements exactly that decomposition with running products,
+//! giving `O(r²)` arithmetic per task (the paper quotes `O(r³)` for the naive
+//! per-entry evaluation). Correctness is cross-checked against the
+//! exhaustive oracle in [`crate::possible_worlds`] by unit and property
+//! tests.
+
+use crate::diversity::entropy_term;
+use crate::task::TimeWindow;
+use crate::valid_pairs::Contribution;
+use rdbsc_geo::FULL_TURN;
+
+/// Expected spatial diversity `E[SD]` of a worker set under possible-worlds
+/// semantics.
+pub fn expected_sd(contributions: &[Contribution]) -> f64 {
+    let r = contributions.len();
+    if r < 2 {
+        // With fewer than two successful workers SD is always 0.
+        return 0.0;
+    }
+    // Sort rays by angle; remember each worker's success probability.
+    let mut order: Vec<usize> = (0..r).collect();
+    order.sort_by(|&a, &b| {
+        contributions[a]
+            .angle
+            .partial_cmp(&contributions[b].angle)
+            .expect("angle must not be NaN")
+    });
+    let angles: Vec<f64> = order.iter().map(|&i| contributions[i].angle).collect();
+    let probs: Vec<f64> = order.iter().map(|&i| contributions[i].p()).collect();
+
+    // Elementary angular gaps between consecutive rays (cyclic, sums to 2π).
+    let mut gaps = vec![0.0; r];
+    for x in 0..r {
+        let next = if x + 1 == r {
+            angles[0] + FULL_TURN
+        } else {
+            angles[x + 1]
+        };
+        gaps[x] = (next - angles[x]).max(0.0);
+    }
+
+    let mut expectation = 0.0;
+    for j in 0..r {
+        // Walk counter-clockwise from ray j; `absent` accumulates the
+        // probability that all rays strictly between j and the current k fail.
+        let mut absent = 1.0;
+        let mut arc = 0.0;
+        for step in 1..r {
+            let k = (j + step) % r;
+            arc += gaps[(j + step - 1) % r];
+            let prob = probs[j] * probs[k] * absent;
+            if prob > 0.0 {
+                expectation += prob * entropy_term(arc / FULL_TURN);
+            }
+            absent *= 1.0 - probs[k];
+            if absent == 0.0 && probs[j] == 0.0 {
+                break;
+            }
+        }
+    }
+    expectation
+}
+
+/// Expected temporal diversity `E[TD]` of a worker set under possible-worlds
+/// semantics.
+pub fn expected_td(contributions: &[Contribution], window: TimeWindow) -> f64 {
+    let duration = window.duration();
+    let r = contributions.len();
+    if duration <= 0.0 || r == 0 {
+        return 0.0;
+    }
+    // Sort arrivals (clamped into the window).
+    let mut order: Vec<usize> = (0..r).collect();
+    order.sort_by(|&a, &b| {
+        contributions[a]
+            .arrival
+            .partial_cmp(&contributions[b].arrival)
+            .expect("arrival must not be NaN")
+    });
+    let arrivals: Vec<f64> = order
+        .iter()
+        .map(|&i| window.clamp(contributions[i].arrival))
+        .collect();
+    let probs: Vec<f64> = order.iter().map(|&i| contributions[i].p()).collect();
+
+    let mut expectation = 0.0;
+
+    // Sub-intervals bounded on the left by the window start.
+    {
+        let mut absent = 1.0;
+        for k in 0..r {
+            let length = arrivals[k] - window.start;
+            let prob = probs[k] * absent;
+            if prob > 0.0 {
+                expectation += prob * entropy_term(length / duration);
+            }
+            absent *= 1.0 - probs[k];
+        }
+        // The interval [start, end] with every worker absent has fraction 1
+        // and entropy 0, so it never contributes.
+    }
+
+    // Sub-intervals bounded by two worker arrivals, and those bounded on the
+    // right by the window end.
+    for j in 0..r {
+        let mut absent = 1.0;
+        for k in (j + 1)..r {
+            let length = arrivals[k] - arrivals[j];
+            let prob = probs[j] * probs[k] * absent;
+            if prob > 0.0 {
+                expectation += prob * entropy_term(length / duration);
+            }
+            absent *= 1.0 - probs[k];
+        }
+        // [arrival_j, end] exists when j succeeds and every later worker fails.
+        let length = window.end - arrivals[j];
+        let prob = probs[j] * absent;
+        if prob > 0.0 {
+            expectation += prob * entropy_term(length / duration);
+        }
+    }
+    expectation
+}
+
+/// Expected combined diversity `E[STD] = β·E[SD] + (1−β)·E[TD]` (Lemma 3.1).
+pub fn expected_std(contributions: &[Contribution], window: TimeWindow, beta: f64) -> f64 {
+    let beta = beta.clamp(0.0, 1.0);
+    let sd = if beta > 0.0 {
+        expected_sd(contributions)
+    } else {
+        0.0
+    };
+    let td = if beta < 1.0 {
+        expected_td(contributions, window)
+    } else {
+        0.0
+    };
+    beta * sd + (1.0 - beta) * td
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::possible_worlds::{
+        expected_sd_exhaustive, expected_std_exhaustive, expected_td_exhaustive,
+    };
+    use crate::reliability::Confidence;
+    use std::f64::consts::PI;
+
+    fn contribution(p: f64, angle: f64, arrival: f64) -> Contribution {
+        Contribution::new(Confidence::new(p).unwrap(), angle, arrival)
+    }
+
+    fn window() -> TimeWindow {
+        TimeWindow::new(0.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn empty_and_singleton_sets() {
+        assert_eq!(expected_sd(&[]), 0.0);
+        assert_eq!(expected_td(&[], window()), 0.0);
+        let single = [contribution(0.8, 1.0, 5.0)];
+        assert_eq!(expected_sd(&single), 0.0);
+        // Single worker: E[TD] = p * TD({arrival}).
+        assert!((expected_td(&single, window()) - 0.8 * 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_two_workers() {
+        let cs = [contribution(0.7, 0.0, 2.0), contribution(0.4, PI, 7.0)];
+        assert!((expected_sd(&cs) - expected_sd_exhaustive(&cs)).abs() < 1e-12);
+        assert!((expected_td(&cs, window()) - expected_td_exhaustive(&cs, window())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_mixed_sets() {
+        let sets: Vec<Vec<Contribution>> = vec![
+            vec![
+                contribution(0.9, 0.1, 1.0),
+                contribution(0.5, 2.0, 4.0),
+                contribution(0.3, 4.5, 8.0),
+            ],
+            vec![
+                contribution(0.2, 0.0, 0.0),
+                contribution(0.8, 3.0, 10.0),
+                contribution(0.6, 3.1, 5.0),
+                contribution(0.95, 6.0, 5.0),
+            ],
+            vec![
+                contribution(1.0, 1.0, 2.0),
+                contribution(0.0, 2.0, 3.0),
+                contribution(0.5, 3.0, 4.0),
+                contribution(0.5, 3.0, 4.0), // exact duplicate contribution
+                contribution(0.7, 5.9, 9.9),
+            ],
+        ];
+        for cs in sets {
+            let w = window();
+            assert!(
+                (expected_sd(&cs) - expected_sd_exhaustive(&cs)).abs() < 1e-9,
+                "E[SD] mismatch for {cs:?}"
+            );
+            assert!(
+                (expected_td(&cs, w) - expected_td_exhaustive(&cs, w)).abs() < 1e-9,
+                "E[TD] mismatch for {cs:?}"
+            );
+            for beta in [0.0, 0.3, 0.5, 1.0] {
+                assert!(
+                    (expected_std(&cs, w, beta) - expected_std_exhaustive(&cs, w, beta)).abs()
+                        < 1e-9,
+                    "E[STD] mismatch for beta={beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certain_workers_reduce_to_deterministic_diversity() {
+        let cs = [
+            contribution(1.0, 0.0, 2.0),
+            contribution(1.0, 2.0, 5.0),
+            contribution(1.0, 4.0, 8.0),
+        ];
+        let w = window();
+        let angles = [0.0, 2.0, 4.0];
+        let arrivals = [2.0, 5.0, 8.0];
+        assert!(
+            (expected_sd(&cs) - crate::diversity::spatial_diversity(&angles)).abs() < 1e-12
+        );
+        assert!(
+            (expected_td(&cs, w) - crate::diversity::temporal_diversity(&arrivals, w)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn monotone_under_added_worker() {
+        // Lemma 4.2: adding a worker never decreases E[STD].
+        let base = vec![contribution(0.6, 0.5, 3.0), contribution(0.4, 3.5, 6.0)];
+        let mut extended = base.clone();
+        extended.push(contribution(0.5, 2.0, 8.5));
+        let w = window();
+        for beta in [0.0, 0.4, 1.0] {
+            assert!(
+                expected_std(&extended, w, beta) >= expected_std(&base, w, beta) - 1e-12,
+                "beta={beta}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_window_gives_zero_td() {
+        let cs = [contribution(0.9, 0.0, 5.0), contribution(0.9, 1.0, 5.0)];
+        let w = TimeWindow::new(5.0, 5.0).unwrap();
+        assert_eq!(expected_td(&cs, w), 0.0);
+    }
+
+    #[test]
+    fn beta_extremes_select_single_component() {
+        let cs = [
+            contribution(0.7, 0.0, 2.0),
+            contribution(0.6, 2.0, 6.0),
+            contribution(0.5, 4.0, 9.0),
+        ];
+        let w = window();
+        assert!((expected_std(&cs, w, 1.0) - expected_sd(&cs)).abs() < 1e-12);
+        assert!((expected_std(&cs, w, 0.0) - expected_td(&cs, w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_sets_stay_finite_and_positive() {
+        let cs: Vec<Contribution> = (0..50)
+            .map(|i| contribution(0.5 + 0.005 * (i % 10) as f64, i as f64 * 0.37, (i % 11) as f64))
+            .collect();
+        let v = expected_std(&cs, window(), 0.5);
+        assert!(v.is_finite());
+        assert!(v > 0.0);
+    }
+}

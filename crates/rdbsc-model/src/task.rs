@@ -1,0 +1,130 @@
+//! Time-constrained spatial tasks (Definition 1).
+
+use crate::error::ModelError;
+use crate::ids::TaskId;
+use rdbsc_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// The valid period `[s, e]` during which a task may be served.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Start of the valid period (`sᵢ`).
+    pub start: f64,
+    /// End of the valid period / expiration time (`eᵢ`).
+    pub end: f64,
+}
+
+impl TimeWindow {
+    /// Creates a window, validating `start <= end` and finiteness.
+    pub fn new(start: f64, end: f64) -> Result<Self, ModelError> {
+        if !start.is_finite() || !end.is_finite() || end < start {
+            return Err(ModelError::InvalidTimeWindow { start, end });
+        }
+        Ok(Self { start, end })
+    }
+
+    /// Window length (`eᵢ − sᵢ`), the paper's expiration-time range `rt`.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Does the window contain time `t` (inclusive)?
+    #[inline]
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t <= self.end
+    }
+
+    /// Clamp a time into the window.
+    #[inline]
+    pub fn clamp(&self, t: f64) -> f64 {
+        t.clamp(self.start, self.end)
+    }
+}
+
+/// A time-constrained spatial task `tᵢ` (Definition 1): a location `lᵢ` and a
+/// valid period `[sᵢ, eᵢ]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Identifier (index within the instance).
+    pub id: TaskId,
+    /// Location `lᵢ` where the task must be performed.
+    pub location: Point,
+    /// Valid period `[sᵢ, eᵢ]`.
+    pub window: TimeWindow,
+    /// Requester-specified balance weight `β ∈ [0, 1]` between spatial and
+    /// temporal diversity (Eq. 5). Tasks may override the instance default.
+    pub beta: Option<f64>,
+}
+
+impl Task {
+    /// Creates a task with the instance-level default `β`.
+    pub fn new(id: TaskId, location: Point, window: TimeWindow) -> Self {
+        Self {
+            id,
+            location,
+            window,
+            beta: None,
+        }
+    }
+
+    /// Creates a task with a per-task `β`, validated to `[0, 1]`.
+    pub fn with_beta(
+        id: TaskId,
+        location: Point,
+        window: TimeWindow,
+        beta: f64,
+    ) -> Result<Self, ModelError> {
+        if !(0.0..=1.0).contains(&beta) || !beta.is_finite() {
+            return Err(ModelError::InvalidBeta(beta));
+        }
+        Ok(Self {
+            id,
+            location,
+            window,
+            beta: Some(beta),
+        })
+    }
+
+    /// The effective `β` given the instance default.
+    #[inline]
+    pub fn effective_beta(&self, default_beta: f64) -> f64 {
+        self.beta.unwrap_or(default_beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_validation() {
+        assert!(TimeWindow::new(0.0, 1.0).is_ok());
+        assert!(TimeWindow::new(1.0, 1.0).is_ok());
+        assert!(TimeWindow::new(2.0, 1.0).is_err());
+        assert!(TimeWindow::new(f64::NAN, 1.0).is_err());
+        assert!(TimeWindow::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn window_queries() {
+        let w = TimeWindow::new(1.0, 3.0).unwrap();
+        assert_eq!(w.duration(), 2.0);
+        assert!(w.contains(1.0) && w.contains(3.0) && w.contains(2.0));
+        assert!(!w.contains(0.5) && !w.contains(3.5));
+        assert_eq!(w.clamp(0.0), 1.0);
+        assert_eq!(w.clamp(10.0), 3.0);
+        assert_eq!(w.clamp(2.0), 2.0);
+    }
+
+    #[test]
+    fn task_beta_validation_and_default() {
+        let w = TimeWindow::new(0.0, 1.0).unwrap();
+        let t = Task::new(TaskId(0), Point::ORIGIN, w);
+        assert_eq!(t.effective_beta(0.5), 0.5);
+        let t = Task::with_beta(TaskId(0), Point::ORIGIN, w, 0.8).unwrap();
+        assert_eq!(t.effective_beta(0.5), 0.8);
+        assert!(Task::with_beta(TaskId(0), Point::ORIGIN, w, 1.2).is_err());
+        assert!(Task::with_beta(TaskId(0), Point::ORIGIN, w, -0.1).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Dynamically moving workers (Definition 2).
+
+use crate::error::ModelError;
+use crate::ids::WorkerId;
+use crate::reliability::Confidence;
+use rdbsc_geo::{AngleRange, MotionModel, Point};
+use serde::{Deserialize, Serialize};
+
+/// A dynamically moving worker `wⱼ` (Definition 2): current location `lⱼ`,
+/// velocity `vⱼ`, moving-direction cone `[α⁻ⱼ, α⁺ⱼ]` and confidence `pⱼ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Identifier (index within the instance).
+    pub id: WorkerId,
+    /// Current location `lⱼ`.
+    pub location: Point,
+    /// Scalar speed `vⱼ` (data-space units per time unit).
+    pub speed: f64,
+    /// Registered moving-direction cone `[α⁻ⱼ, α⁺ⱼ]`. A worker free to move
+    /// anywhere registers the full circle.
+    pub heading: AngleRange,
+    /// Confidence `pⱼ ∈ [0, 1]` that the worker reliably completes a task.
+    pub confidence: Confidence,
+    /// Check-in time: the worker is available to start travelling from this
+    /// time on (0 for workers present from the beginning).
+    pub available_from: f64,
+}
+
+impl Worker {
+    /// Creates a worker available from time 0, validating the speed.
+    pub fn new(
+        id: WorkerId,
+        location: Point,
+        speed: f64,
+        heading: AngleRange,
+        confidence: Confidence,
+    ) -> Result<Self, ModelError> {
+        if !speed.is_finite() || speed < 0.0 {
+            return Err(ModelError::InvalidSpeed(speed));
+        }
+        Ok(Self {
+            id,
+            location,
+            speed,
+            heading,
+            confidence,
+            available_from: 0.0,
+        })
+    }
+
+    /// Sets the check-in time.
+    pub fn with_available_from(mut self, t: f64) -> Self {
+        self.available_from = t;
+        self
+    }
+
+    /// The worker's kinematic state as a [`MotionModel`].
+    pub fn motion(&self) -> MotionModel {
+        MotionModel::new(self.location, self.speed, self.heading)
+            .with_available_from(self.available_from)
+    }
+
+    /// Probability `pⱼ` as a plain `f64`.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.confidence.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_4;
+
+    #[test]
+    fn worker_construction_validates_speed() {
+        let c = Confidence::new(0.9).unwrap();
+        assert!(Worker::new(WorkerId(0), Point::ORIGIN, 0.5, AngleRange::full(), c).is_ok());
+        assert!(Worker::new(WorkerId(0), Point::ORIGIN, -0.5, AngleRange::full(), c).is_err());
+        assert!(Worker::new(WorkerId(0), Point::ORIGIN, f64::NAN, AngleRange::full(), c).is_err());
+    }
+
+    #[test]
+    fn motion_model_reflects_worker_fields() {
+        let c = Confidence::new(0.8).unwrap();
+        let w = Worker::new(
+            WorkerId(1),
+            Point::new(0.1, 0.2),
+            0.3,
+            AngleRange::from_bounds(0.0, FRAC_PI_4),
+            c,
+        )
+        .unwrap()
+        .with_available_from(2.0);
+        let m = w.motion();
+        assert_eq!(m.location, w.location);
+        assert_eq!(m.speed, 0.3);
+        assert_eq!(m.available_from, 2.0);
+        assert!((w.p() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the RDB-SC model crate.
+//!
+//! The headline property is the equivalence (Lemma 3.1) between the
+//! polynomial expected-diversity computation and the exhaustive
+//! possible-worlds expectation, exercised over random worker sets.
+
+use proptest::prelude::*;
+use rdbsc_model::possible_worlds::{
+    expected_sd_exhaustive, expected_std_exhaustive, expected_td_exhaustive,
+};
+use rdbsc_model::{
+    expected_sd, expected_std, expected_td, log_reliability, reliability, spatial_diversity,
+    temporal_diversity, Confidence, Contribution, TimeWindow,
+};
+
+/// Strategy generating a small worker set as (p, angle, arrival) triples.
+fn contribution_set(max_len: usize) -> impl Strategy<Value = Vec<Contribution>> {
+    proptest::collection::vec(
+        (0.0f64..=1.0, 0.0f64..6.2831, 0.0f64..10.0),
+        0..=max_len,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(p, a, t)| Contribution::new(Confidence::new(p).unwrap(), a, t))
+            .collect()
+    })
+}
+
+fn window() -> TimeWindow {
+    TimeWindow::new(0.0, 10.0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lemma 3.1: the matrix/decomposition computation equals the exhaustive
+    /// possible-worlds expectation.
+    #[test]
+    fn expected_diversity_matches_exhaustive(cs in contribution_set(8), beta in 0.0f64..=1.0) {
+        let w = window();
+        let sd_fast = expected_sd(&cs);
+        let sd_slow = expected_sd_exhaustive(&cs);
+        prop_assert!((sd_fast - sd_slow).abs() < 1e-8, "E[SD] {sd_fast} vs {sd_slow}");
+        let td_fast = expected_td(&cs, w);
+        let td_slow = expected_td_exhaustive(&cs, w);
+        prop_assert!((td_fast - td_slow).abs() < 1e-8, "E[TD] {td_fast} vs {td_slow}");
+        let std_fast = expected_std(&cs, w, beta);
+        let std_slow = expected_std_exhaustive(&cs, w, beta);
+        prop_assert!((std_fast - std_slow).abs() < 1e-8, "E[STD] {std_fast} vs {std_slow}");
+    }
+
+    /// Expected diversity is bounded above by the deterministic diversity of
+    /// the full worker set (every possible world's STD is at most that, by
+    /// the monotonicity of Lemma 4.2).
+    #[test]
+    fn expected_bounded_by_deterministic(cs in contribution_set(8), beta in 0.0f64..=1.0) {
+        let w = window();
+        let angles: Vec<f64> = cs.iter().map(|c| c.angle).collect();
+        let arrivals: Vec<f64> = cs.iter().map(|c| c.arrival).collect();
+        let det = beta * spatial_diversity(&angles) + (1.0 - beta) * temporal_diversity(&arrivals, w);
+        prop_assert!(expected_std(&cs, w, beta) <= det + 1e-9);
+        prop_assert!(expected_std(&cs, w, beta) >= -1e-12);
+    }
+
+    /// Lemma 4.2 (monotonicity): appending one more worker never decreases
+    /// the expected diversity.
+    #[test]
+    fn expected_std_monotone_in_workers(
+        cs in contribution_set(7),
+        p in 0.0f64..=1.0,
+        angle in 0.0f64..6.2831,
+        arrival in 0.0f64..10.0,
+        beta in 0.0f64..=1.0,
+    ) {
+        let w = window();
+        let base = expected_std(&cs, w, beta);
+        let mut extended = cs.clone();
+        extended.push(Contribution::new(Confidence::new(p).unwrap(), angle, arrival));
+        let after = expected_std(&extended, w, beta);
+        prop_assert!(after >= base - 1e-9, "adding a worker decreased E[STD]: {base} -> {after}");
+    }
+
+    /// Reliability identities: rel = 1 - exp(-R) and both are monotone in the
+    /// worker set (Lemma 4.1).
+    #[test]
+    fn reliability_identities(ps in proptest::collection::vec(0.0f64..0.999, 0..10), extra in 0.0f64..0.999) {
+        let cs: Vec<Confidence> = ps.iter().map(|&p| Confidence::new(p).unwrap()).collect();
+        let rel = reliability(&cs);
+        let log_rel = log_reliability(&cs);
+        prop_assert!((rel - (1.0 - (-log_rel).exp())).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&rel));
+        let mut more = cs.clone();
+        more.push(Confidence::new(extra).unwrap());
+        prop_assert!(reliability(&more) >= rel - 1e-12);
+        prop_assert!(log_reliability(&more) >= log_rel - 1e-12);
+    }
+
+    /// Diversity entropies are bounded by ln of the number of parts.
+    #[test]
+    fn diversity_entropy_bounds(
+        angles in proptest::collection::vec(0.0f64..6.2831, 2..12),
+        arrivals in proptest::collection::vec(0.0f64..10.0, 1..12),
+    ) {
+        let sd = spatial_diversity(&angles);
+        prop_assert!(sd >= 0.0 && sd <= (angles.len() as f64).ln() + 1e-9);
+        let td = temporal_diversity(&arrivals, window());
+        prop_assert!(td >= 0.0 && td <= ((arrivals.len() + 1) as f64).ln() + 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! The answer-accuracy metric of the gMission deployment (Section 8.1).
+//!
+//! When a worker answers a task by taking a photo, the platform records the
+//! facing direction, location and timestamp of the answer and compares them
+//! with the task's required angle and time constraint. The paper defines the
+//! (error) quantity
+//!
+//! ```text
+//! Accuracy_ij = β_i · Δθ_ij / π + (1 − β_i) · Δt_ij / (e_i − s_i)
+//! ```
+//!
+//! with `0 ≤ Δθ ≤ π` and `0 ≤ Δt < e − s`. Despite its name this is an
+//! error: 0 is a perfect answer and 1 the worst possible one. This module
+//! keeps the paper's formula as [`answer_error`] and exposes the more
+//! intuitive [`answer_accuracy`] `= 1 − error`.
+
+use rdbsc_model::TimeWindow;
+use serde::{Deserialize, Serialize};
+
+/// One answer received by the platform, with the deviations from what the
+/// assignment expected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnswerRecord {
+    /// Angular deviation `Δθ` between the expected and actual facing
+    /// direction, in radians (`[0, π]`).
+    pub angle_error: f64,
+    /// Temporal deviation `Δt` between the expected and actual answer time,
+    /// in time units (`[0, e − s)`).
+    pub time_error: f64,
+}
+
+impl AnswerRecord {
+    /// Creates a record, clamping both deviations into their valid ranges.
+    pub fn new(angle_error: f64, time_error: f64, window: TimeWindow) -> Self {
+        let max_dt = (window.duration()).max(0.0);
+        Self {
+            angle_error: angle_error.abs().min(std::f64::consts::PI),
+            time_error: time_error.abs().min(max_dt),
+        }
+    }
+}
+
+/// The paper's `Accuracy_ij` formula (an error in `[0, 1]`; 0 is best).
+pub fn answer_error(record: &AnswerRecord, window: TimeWindow, beta: f64) -> f64 {
+    let beta = beta.clamp(0.0, 1.0);
+    let duration = window.duration();
+    let time_term = if duration > 0.0 {
+        (record.time_error / duration).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let angle_term = (record.angle_error / std::f64::consts::PI).clamp(0.0, 1.0);
+    beta * angle_term + (1.0 - beta) * time_term
+}
+
+/// `1 − answer_error`: 1 is a perfect answer.
+pub fn answer_accuracy(record: &AnswerRecord, window: TimeWindow, beta: f64) -> f64 {
+    1.0 - answer_error(record, window, beta)
+}
+
+/// The accuracy of a task: the mean accuracy of all its answers (the paper
+/// averages the answers' accuracy values). Returns `None` when there are no
+/// answers.
+pub fn task_accuracy(records: &[AnswerRecord], window: TimeWindow, beta: f64) -> Option<f64> {
+    if records.is_empty() {
+        return None;
+    }
+    Some(
+        records
+            .iter()
+            .map(|r| answer_accuracy(r, window, beta))
+            .sum::<f64>()
+            / records.len() as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn window() -> TimeWindow {
+        TimeWindow::new(0.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn perfect_answer_has_zero_error() {
+        let r = AnswerRecord::new(0.0, 0.0, window());
+        assert_eq!(answer_error(&r, window(), 0.5), 0.0);
+        assert_eq!(answer_accuracy(&r, window(), 0.5), 1.0);
+    }
+
+    #[test]
+    fn worst_answer_has_error_one() {
+        let r = AnswerRecord::new(PI, 10.0, window());
+        assert!((answer_error(&r, window(), 0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_weights_the_two_components() {
+        let r = AnswerRecord::new(PI, 0.0, window());
+        assert!((answer_error(&r, window(), 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(answer_error(&r, window(), 0.0), 0.0);
+        assert!((answer_error(&r, window(), 0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_clamps_out_of_range_inputs() {
+        let r = AnswerRecord::new(10.0, 100.0, window());
+        assert!(r.angle_error <= PI);
+        assert!(r.time_error <= 10.0);
+        let e = answer_error(&r, window(), 0.5);
+        assert!((0.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn degenerate_window_ignores_the_time_term() {
+        let w = TimeWindow::new(5.0, 5.0).unwrap();
+        let r = AnswerRecord::new(0.0, 3.0, w);
+        assert_eq!(answer_error(&r, w, 0.0), 0.0);
+    }
+
+    #[test]
+    fn task_accuracy_averages_answers() {
+        let w = window();
+        let perfect = AnswerRecord::new(0.0, 0.0, w);
+        let poor = AnswerRecord::new(PI, 10.0, w);
+        let avg = task_accuracy(&[perfect, poor], w, 0.5).unwrap();
+        assert!((avg - 0.5).abs() < 1e-9);
+        assert_eq!(task_accuracy(&[], w, 0.5), None);
+    }
+}

@@ -1,0 +1,21 @@
+//! # rdbsc-platform
+//!
+//! A discrete-event simulator of a gMission-style spatial-crowdsourcing
+//! deployment (Section 8.1 and 8.4 of the paper): sites asking photo tasks
+//! with fixed opening times, a small population of walking users whose
+//! reliabilities come from a peer-rating model, periodic incremental
+//! re-assignment every `t_interval`, Bernoulli task completion, noisy
+//! answers, and the paper's answer-accuracy metric.
+//!
+//! The simulator stands in for the live human deployment the paper ran
+//! (10 users, 5 sites, 15-minute task openings) and is what the Figure 18
+//! reproduction drives; the [`coverage`] module provides the quantitative
+//! stand-in for the 3-D reconstruction showcase (Figures 19–20).
+
+pub mod accuracy;
+pub mod coverage;
+pub mod sim;
+
+pub use accuracy::{answer_accuracy, answer_error, AnswerRecord};
+pub use coverage::{angular_coverage, temporal_coverage, CoverageReport};
+pub use sim::{PlatformConfig, PlatformSim, RoundStats, SimulationReport};

@@ -1,0 +1,28 @@
+//! # rdbsc-workloads
+//!
+//! Workload generators reproducing the data sets of the RDB-SC paper's
+//! experimental study (Section 8.1, Table 2):
+//!
+//! * [`synthetic`] — UNIFORM and SKEWED synthetic instances over `[0, 1]²`
+//!   with the parameter grid of Table 2;
+//! * [`poi`] — a simulated Point-of-Interest data set standing in for the
+//!   Beijing POI data (clustered urban density; tasks are drawn from it);
+//! * [`trajectories`] — a simulated taxi-trajectory data set standing in for
+//!   T-Drive; workers are derived exactly as in the paper (start point,
+//!   average speed, minimal enclosing direction sector);
+//! * [`peer_rating`] — the gMission peer-rating model that turns photo scores
+//!   into worker reliabilities;
+//! * [`config`] — the Table 2 experiment configuration with paper defaults
+//!   and the scaled-down defaults used by the laptop-scale harness.
+
+pub mod config;
+pub mod peer_rating;
+pub mod poi;
+pub mod synthetic;
+pub mod trajectories;
+
+pub use config::{Distribution, ExperimentConfig, Scale};
+pub use peer_rating::{PeerRatingModel, RatedUser};
+pub use poi::PoiGenerator;
+pub use synthetic::generate_instance;
+pub use trajectories::{Trajectory, TrajectoryGenerator};

@@ -1,0 +1,51 @@
+//! Running the gMission-style platform simulator: periodic incremental
+//! assignment of walking users to photo tasks at a handful of sites
+//! (Section 8.4 / Figure 18 of the paper).
+//!
+//! Run with `cargo run --release --example dynamic_platform`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc::prelude::*;
+
+fn main() {
+    println!("gMission-style deployment: 5 sites, 10 users, 15-minute task openings\n");
+    println!(
+        "{:>10} {:>8} {:>10} {:>16} {:>12} {:>14} {:>10}",
+        "t_interval", "rounds", "answers", "min reliability", "total_STD", "mean accuracy", "coverage"
+    );
+
+    // Sweep the update interval from 1 to 4 minutes, as in Figure 18.
+    for t_interval in [1.0, 2.0, 3.0, 4.0] {
+        let config = PlatformConfig {
+            t_interval,
+            total_duration: 60.0,
+            ..PlatformConfig::default()
+        };
+        let solver = Solver::Sampling(SamplingConfig::default());
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut sim = PlatformSim::new(config, solver, &mut rng);
+        let report = sim.run(&mut rng);
+
+        println!(
+            "{:>10} {:>8} {:>10} {:>16.4} {:>12.4} {:>14} {:>9.0}%",
+            format!("{t_interval} min"),
+            report.rounds.len(),
+            report.total_answers,
+            report.min_reliability,
+            report.total_std,
+            report
+                .mean_accuracy
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            report.mean_coverage(0.5) * 100.0
+        );
+    }
+
+    println!(
+        "\nLonger update intervals mean fewer assignment rounds, so each user serves\n\
+         fewer tasks over the hour and the accumulated diversity drops — the trend\n\
+         of Figure 18(b). Reliability stays high because every answered task still\n\
+         has at least one reliable answer."
+    );
+}

@@ -1,0 +1,65 @@
+//! Example 2 of the paper: monitoring available parking spaces over a region.
+//!
+//! Parking lots cluster around a city centre (SKEWED distribution); each lot
+//! asks for photos taken from different directions and at different times of
+//! its opening hours, so the availability trend can be predicted. The example
+//! sweeps the requester-specified balance weight β (spatial- vs.
+//! temporal-diversity preference, Figure 22 of the paper) and compares the
+//! three approximation algorithms.
+//!
+//! Run with `cargo run --release --example parking_monitoring`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc::prelude::*;
+
+fn main() {
+    // A skewed city: 90 % of the parking lots and drivers concentrate around
+    // the centre, the rest spread uniformly (the paper's SKEWED setting).
+    let base = ExperimentConfig::small_default()
+        .with_tasks(200)
+        .with_workers(250)
+        .with_distribution(Distribution::Skewed)
+        // Parking lots are monitored over longer windows than firework shows.
+        .with_rt_range(1.0, 2.0)
+        .with_seed(2024);
+
+    println!("parking-space monitoring over a skewed region");
+    println!(
+        "{:<10} {:<12} {:>16} {:>14}",
+        "beta", "approach", "min reliability", "total_STD"
+    );
+
+    // Sweep the requester's preference: β → 1 favours photos from many
+    // directions, β → 0 favours photos spread over the opening hours.
+    for (label, config) in ExperimentConfig::sweep_beta(&base) {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let instance = generate_instance(&config, &mut rng);
+        let candidates = compute_valid_pairs(&instance);
+        let request = SolveRequest::new(&instance, &candidates);
+
+        for solver in [
+            Solver::Greedy(GreedyConfig::default()),
+            Solver::Sampling(SamplingConfig::default()),
+            Solver::DivideAndConquer(DncConfig::default()),
+        ] {
+            let mut solver_rng = StdRng::seed_from_u64(7);
+            let assignment = solver.solve(&request, &mut solver_rng);
+            let value = evaluate(&instance, &assignment);
+            println!(
+                "{:<10} {:<12} {:>16.4} {:>14.4}",
+                label,
+                solver.name(),
+                value.min_reliability,
+                value.total_std
+            );
+        }
+    }
+
+    println!(
+        "\nAs in Figure 22 of the paper, the minimum reliability is insensitive to β.\n\
+         With roughly one worker per parking lot the temporal component dominates, so\n\
+         raising β (more weight on spatial diversity) lowers total_STD for the\n\
+         worker-spreading approaches — see EXPERIMENTS.md for the discussion."
+    );
+}

@@ -1,0 +1,110 @@
+//! Integration tests of the platform simulator and the incremental
+//! assignment strategy across solvers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc::prelude::*;
+
+fn quick_platform(t_interval: f64) -> PlatformConfig {
+    PlatformConfig {
+        t_interval,
+        total_duration: 30.0,
+        ..PlatformConfig::default()
+    }
+}
+
+#[test]
+fn platform_runs_with_every_solver() {
+    for solver in Solver::paper_lineup() {
+        let name = solver.name();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut sim = PlatformSim::new(quick_platform(2.0), solver, &mut rng);
+        let report = sim.run(&mut rng);
+        assert_eq!(report.rounds.len(), 15, "{name}: unexpected round count");
+        assert!(
+            report.total_answers > 0,
+            "{name}: expected at least one answer in 30 minutes"
+        );
+        assert!(report.min_reliability > 0.0, "{name}");
+        assert!(report.total_std > 0.0, "{name}");
+    }
+}
+
+#[test]
+fn objective_grows_as_answers_accumulate() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut sim = PlatformSim::new(
+        quick_platform(1.0),
+        Solver::Sampling(SamplingConfig::default()),
+        &mut rng,
+    );
+    let report = sim.run(&mut rng);
+    let first = report.rounds.first().unwrap().objective.total_std;
+    let last = report.rounds.last().unwrap().objective.total_std;
+    assert!(
+        last >= first,
+        "diversity should accumulate over the run ({first} -> {last})"
+    );
+}
+
+#[test]
+fn shorter_intervals_never_collect_fewer_answers() {
+    let run = |interval: f64| {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut sim = PlatformSim::new(
+            quick_platform(interval),
+            Solver::Sampling(SamplingConfig::default()),
+            &mut rng,
+        );
+        sim.run(&mut rng)
+    };
+    let fast = run(1.0);
+    let slow = run(4.0);
+    // More frequent assignment rounds give users more opportunities to serve
+    // tasks over the same wall-clock duration.
+    assert!(
+        fast.total_answers >= slow.total_answers,
+        "1-minute interval collected {} answers, 4-minute interval {}",
+        fast.total_answers,
+        slow.total_answers
+    );
+}
+
+#[test]
+fn incremental_assigner_composes_with_generated_workloads() {
+    // Use the synthetic generator (not the platform) to drive the incremental
+    // assigner directly: repeated rounds with completions in between.
+    let config = ExperimentConfig::small_default()
+        .with_tasks(40)
+        .with_workers(60)
+        .with_seed(3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let instance = generate_instance(&config, &mut rng);
+    let candidates = compute_valid_pairs(&instance);
+    let mut assigner = IncrementalAssigner::new(
+        instance.num_tasks(),
+        instance.num_workers(),
+        IncrementalConfig {
+            solver: Solver::Greedy(GreedyConfig::default()),
+        },
+    );
+
+    let mut answered = 0usize;
+    for _ in 0..3 {
+        let outcome = assigner.assign_round(&instance, &candidates, &mut rng);
+        // Complete half of the en-route workers, release the rest.
+        let travelling: Vec<_> = assigner.committed().iter().collect();
+        for (i, (_, worker, contribution)) in travelling.into_iter().enumerate() {
+            if i % 2 == 0 {
+                assigner.record_answer(worker, contribution);
+                answered += 1;
+            } else {
+                assigner.release_worker(worker);
+            }
+        }
+        assert!(outcome.objective.total_std >= 0.0);
+    }
+    assert!(answered > 0);
+    let final_objective = assigner.current_objective(&instance);
+    assert!(final_objective.total_std > 0.0);
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: workload generation → valid-pair
+//! computation → solvers → objective evaluation, compared against the exact
+//! oracle on small instances.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc::prelude::*;
+
+fn small_instance(seed: u64, m: usize, n: usize) -> ProblemInstance {
+    let config = ExperimentConfig::small_default()
+        .with_tasks(m)
+        .with_workers(n)
+        .with_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_instance(&config, &mut rng)
+}
+
+#[test]
+fn all_solvers_produce_valid_assignments_on_synthetic_data() {
+    let instance = small_instance(11, 60, 90);
+    let candidates = compute_valid_pairs(&instance);
+    let request = SolveRequest::new(&instance, &candidates);
+    let connected = candidates
+        .by_worker
+        .iter()
+        .filter(|adj| !adj.is_empty())
+        .count();
+
+    for solver in Solver::paper_lineup() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let assignment = solver.solve(&request, &mut rng);
+        assignment
+            .validate(&instance)
+            .unwrap_or_else(|e| panic!("{} produced an invalid assignment: {e}", solver.name()));
+        assert_eq!(
+            assignment.num_assigned(),
+            connected,
+            "{} must assign every connected worker",
+            solver.name()
+        );
+        let value = evaluate(&instance, &assignment);
+        assert!(value.min_reliability > 0.0);
+        assert!(value.total_std > 0.0);
+    }
+}
+
+#[test]
+fn solvers_respect_worker_uniqueness_and_reachability_on_skewed_data() {
+    let config = ExperimentConfig::small_default()
+        .with_tasks(50)
+        .with_workers(70)
+        .with_distribution(Distribution::Skewed)
+        .with_seed(5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let instance = generate_instance(&config, &mut rng);
+    let candidates = compute_valid_pairs(&instance);
+    let request = SolveRequest::new(&instance, &candidates);
+    for solver in Solver::paper_lineup() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let assignment = solver.solve(&request, &mut rng);
+        assert!(assignment.validate(&instance).is_ok());
+    }
+}
+
+#[test]
+fn approximation_quality_vs_exact_oracle_on_tiny_instances() {
+    // Small instances where the exact enumeration is feasible: every
+    // approximation algorithm should reach a large fraction of the optimum
+    // total diversity and never exceed the per-objective optima.
+    let mut checked = 0;
+    for seed in 0..16u64 {
+        if checked >= 4 {
+            break;
+        }
+        let instance = small_instance(100 + seed, 5, 8);
+        let candidates = compute_valid_pairs(&instance);
+        let request = SolveRequest::new(&instance, &candidates);
+        let Some(summary) = exact_best(&request, &ExactConfig::default()) else {
+            continue;
+        };
+        if summary.max_total_std <= 0.0 {
+            continue;
+        }
+        checked += 1;
+        for solver in Solver::paper_lineup() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let assignment = solver.solve(&request, &mut rng);
+            let value = evaluate(&instance, &assignment);
+            assert!(
+                value.total_std <= summary.max_total_std + 1e-9,
+                "{} exceeded the exact optimum",
+                solver.name()
+            );
+            assert!(
+                value.min_reliability <= summary.max_min_reliability + 1e-9,
+                "{} exceeded the exact reliability optimum",
+                solver.name()
+            );
+            // GREEDY is excluded from the quality floor: on degenerate tiny
+            // instances its documented "bad start-up" behaviour can leave it
+            // arbitrarily far from the optimum diversity (the paper makes the
+            // same observation for small m).
+            if !matches!(solver, Solver::Greedy(_)) {
+                assert!(
+                    value.total_std >= 0.35 * summary.max_total_std,
+                    "{} reached only {:.3} of optimum {:.3} (seed {seed})",
+                    solver.name(),
+                    value.total_std,
+                    summary.max_total_std
+                );
+            }
+        }
+    }
+    assert!(checked >= 2, "too few tiny instances were solvable exactly");
+}
+
+#[test]
+fn sampling_and_dnc_are_competitive_with_greedy_on_diversity() {
+    // Figure 13b of the paper reports SAMPLING and D&C above GREEDY for small
+    // m at the paper's scale (thousands of tasks); at the tiny scale of this
+    // test the gap is within noise, so we assert competitiveness (within a
+    // modest factor) here and leave the full-shape comparison to the
+    // experiment harness (see EXPERIMENTS.md, Figures 13/14/23/24).
+    let mut greedy_total = 0.0;
+    let mut sampling_total = 0.0;
+    let mut dnc_total = 0.0;
+    for seed in 0..5u64 {
+        let instance = small_instance(200 + seed, 40, 120);
+        let candidates = compute_valid_pairs(&instance);
+        let request = SolveRequest::new(&instance, &candidates);
+        let g = greedy(&request, &GreedyConfig::default());
+        greedy_total += evaluate(&instance, &g).total_std;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sampling(&request, &SamplingConfig::default(), &mut rng);
+        sampling_total += evaluate(&instance, &s).total_std;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = divide_and_conquer(&request, &DncConfig::default(), &mut rng);
+        dnc_total += evaluate(&instance, &d).total_std;
+    }
+    assert!(
+        sampling_total > 0.75 * greedy_total,
+        "SAMPLING ({sampling_total:.2}) should be competitive with GREEDY ({greedy_total:.2})"
+    );
+    assert!(
+        dnc_total > 0.75 * greedy_total,
+        "D&C ({dnc_total:.2}) should be competitive with GREEDY ({greedy_total:.2})"
+    );
+    assert!(greedy_total > 0.0 && sampling_total > 0.0 && dnc_total > 0.0);
+}
+
+#[test]
+fn priors_are_respected_across_the_whole_pipeline() {
+    let instance = small_instance(33, 20, 30);
+    let candidates = compute_valid_pairs(&instance);
+    // Pretend the first task already has two answers banked.
+    let mut priors = TaskPriors::empty(instance.num_tasks());
+    priors.add(
+        TaskId(0),
+        Contribution::new(Confidence::new(0.95).unwrap(), 1.0, instance.tasks[0].window.start),
+    );
+    priors.add(
+        TaskId(0),
+        Contribution::new(Confidence::new(0.9).unwrap(), 4.0, instance.tasks[0].window.end),
+    );
+    let request = SolveRequest::new(&instance, &candidates).with_priors(&priors);
+    for solver in Solver::paper_lineup() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let assignment = solver.solve(&request, &mut rng);
+        assert!(assignment.validate(&instance).is_ok());
+    }
+}
