@@ -3,7 +3,7 @@
 //!
 //! The related-work section of the paper contrasts RDB-SC with earlier
 //! server-assigned-task systems whose objective is simply to **maximise the
-//! number of assigned (completed) tasks** — e.g. GeoCrowd [20] — and with
+//! number of assigned (completed) tasks** — e.g. GeoCrowd \[20\] — and with
 //! naive policies such as sending each worker to its nearest reachable task.
 //! Neither optimises reliability or diversity. This module implements both so
 //! the benefit of the RDB-SC objectives can be quantified (see the

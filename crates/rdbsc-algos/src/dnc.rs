@@ -186,9 +186,8 @@ fn merge_answers(
     let mut conflicting: Vec<WorkerId> = Vec::new();
     for w in 0..instance.num_workers() {
         let id = WorkerId::from(w);
-        match (s1.task_of(id), s2.task_of(id)) {
-            (Some(_), Some(_)) => conflicting.push(id),
-            _ => {}
+        if let (Some(_), Some(_)) = (s1.task_of(id), s2.task_of(id)) {
+            conflicting.push(id);
         }
     }
     let conflict_set: HashSet<WorkerId> = conflicting.iter().copied().collect();
@@ -312,7 +311,8 @@ fn resolve_group(
                 .map(|(_, c)| (t, *c))
         })
     };
-    let copies: Vec<(Option<(TaskId, Contribution)>, Option<(TaskId, Contribution)>)> = group
+    type AssignedCopy = Option<(TaskId, Contribution)>;
+    let copies: Vec<(AssignedCopy, AssignedCopy)> = group
         .iter()
         .map(|&w| (copy_of(s1, w), copy_of(s2, w)))
         .collect();
@@ -411,7 +411,7 @@ mod tests {
                     WorkerId(0),
                     Point::new(next(), next()),
                     0.2 + 0.3 * next(),
-                    AngleRange::new(next() * 6.28, 1.0 + 2.0 * next()),
+                    AngleRange::new(next() * std::f64::consts::TAU, 1.0 + 2.0 * next()),
                     conf(0.8 + 0.19 * next()),
                 )
                 .unwrap()

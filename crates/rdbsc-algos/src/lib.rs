@@ -2,10 +2,10 @@
 //!
 //! The RDB-SC assignment algorithms:
 //!
-//! * [`greedy`] — the iterative best-pair greedy of Section 4 (Figure 3),
+//! * [`mod@greedy`] — the iterative best-pair greedy of Section 4 (Figure 3),
 //!   with the dominance-based pair ranking and the lower/upper-bound pruning
 //!   of Section 4.3.
-//! * [`sampling`] — the random-sampling solver of Section 5 (Figure 5), with
+//! * [`mod@sampling`] — the random-sampling solver of Section 5 (Figure 5), with
 //!   the (ε, δ) sample-size determination of Section 5.2.
 //! * [`dnc`] — the divide-and-conquer solver of Section 6 (Figures 6–9):
 //!   `BG_Partition` via balanced 2-means on task locations and `SA_Merge`
@@ -19,8 +19,60 @@
 //! * [`baselines`] — prior-work assignment policies (nearest task,
 //!   maximum task coverage) used for ablation comparisons.
 //!
-//! All solvers share the [`SolveRequest`] input (instance + valid-pair graph
-//! + optional banked priors) and produce an `Assignment`.
+//! All solvers share the [`SolveRequest`] input (instance, valid-pair graph,
+//! optional banked priors) and produce an `Assignment`. Two entry points
+//! sit on top:
+//!
+//! * [`Solver`] — the paper's four approaches as one enum, for harnesses
+//!   that sweep strategies;
+//! * [`BatchSolver`] — the *sharded* solving interface used by the online
+//!   engine: one call per independent spatial shard, safe to invoke from
+//!   multiple threads. Every [`Solver`] is a `BatchSolver` that applies
+//!   itself to each shard; adaptive implementations pick a strategy per
+//!   shard from its size and deadline slack.
+//!
+//! ## Example
+//!
+//! Solve a small instance with the paper line-up and compare objectives:
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use rdbsc_algos::{SolveRequest, Solver};
+//! use rdbsc_geo::{AngleRange, Point};
+//! use rdbsc_model::{
+//!     compute_valid_pairs, evaluate, Confidence, ProblemInstance, Task, TaskId, TimeWindow,
+//!     Worker, WorkerId,
+//! };
+//!
+//! let tasks = vec![
+//!     Task::new(TaskId(0), Point::new(0.4, 0.5), TimeWindow::new(0.0, 8.0).unwrap()),
+//!     Task::new(TaskId(1), Point::new(0.6, 0.5), TimeWindow::new(0.0, 8.0).unwrap()),
+//! ];
+//! let workers = (0..4)
+//!     .map(|j| {
+//!         Worker::new(
+//!             WorkerId(j),
+//!             Point::new(0.1 + 0.2 * j as f64, 0.3),
+//!             0.4,
+//!             AngleRange::full(),
+//!             Confidence::new(0.9).unwrap(),
+//!         )
+//!         .unwrap()
+//!     })
+//!     .collect();
+//! let instance = ProblemInstance::new(tasks, workers, 0.5);
+//! let candidates = compute_valid_pairs(&instance);
+//! let request = SolveRequest::new(&instance, &candidates);
+//!
+//! for solver in Solver::paper_lineup() {
+//!     let mut rng = StdRng::seed_from_u64(1);
+//!     let assignment = solver.solve(&request, &mut rng);
+//!     let value = evaluate(&instance, &assignment);
+//!     assert_eq!(value.assigned_workers, 4, "{} left workers idle", solver.name());
+//!     assert!(value.min_reliability > 0.0);
+//! }
+//! ```
 
 pub mod baselines;
 pub mod dnc;
@@ -41,4 +93,4 @@ pub use gtruth::{ground_truth, GroundTruthConfig};
 pub use incremental::{IncrementalAssigner, IncrementalConfig, RoundOutcome};
 pub use sample_size::{certified_sample_size, determine_sample_size, simple_sample_size};
 pub use sampling::{sampling, SamplingConfig};
-pub use solver::{SolveRequest, Solver};
+pub use solver::{BatchSolver, SolveRequest, Solver};

@@ -5,6 +5,7 @@ use crate::dnc::DncConfig;
 use crate::greedy::GreedyConfig;
 use crate::gtruth::GroundTruthConfig;
 use crate::sampling::SamplingConfig;
+use rand::rngs::StdRng;
 use rand::Rng;
 use rdbsc_model::objective::TaskPriors;
 use rdbsc_model::{Assignment, BipartiteCandidates, ProblemInstance};
@@ -88,6 +89,89 @@ impl Solver {
             Solver::DivideAndConquer(DncConfig::default()),
             Solver::GroundTruth(GroundTruthConfig::default()),
         ]
+    }
+}
+
+/// A solver usable for **batched, sharded** solving: given one shard of a
+/// partitioned instance, produce that shard's assignment.
+///
+/// The online engine partitions the live instance into independent spatial
+/// shards (connected components of the grid index's cell-reachability
+/// relation) and calls `solve_shard` once per shard, potentially from
+/// multiple threads — hence the `Sync` bound. Implementations may inspect
+/// the shard (its size, its tasks' deadline slack) to pick a strategy per
+/// shard; the blanket implementation for [`Solver`] simply applies one fixed
+/// algorithm to every shard.
+///
+/// The trait is object-safe (the RNG is the concrete [`StdRng`]), so engines
+/// can hold `Box<dyn BatchSolver>`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use rdbsc_algos::{BatchSolver, GreedyConfig, SolveRequest, Solver};
+/// use rdbsc_geo::{AngleRange, Point};
+/// use rdbsc_model::{
+///     compute_valid_pairs, Confidence, ProblemInstance, Task, TaskId, TimeWindow, Worker,
+///     WorkerId,
+/// };
+///
+/// let task = Task::new(TaskId(0), Point::new(0.5, 0.5), TimeWindow::new(0.0, 10.0).unwrap());
+/// let worker = Worker::new(
+///     WorkerId(0),
+///     Point::new(0.4, 0.4),
+///     0.5,
+///     AngleRange::full(),
+///     Confidence::new(0.9).unwrap(),
+/// )
+/// .unwrap();
+/// let shard = ProblemInstance::new(vec![task], vec![worker], 0.5);
+/// let candidates = compute_valid_pairs(&shard);
+///
+/// // Any `Solver` is a `BatchSolver` applying itself to every shard.
+/// let batch: &dyn BatchSolver = &Solver::Greedy(GreedyConfig::default());
+/// let assignment = batch.solve_shard(
+///     &SolveRequest::new(&shard, &candidates),
+///     &mut StdRng::seed_from_u64(1),
+/// );
+/// assert_eq!(assignment.num_assigned(), 1);
+/// ```
+pub trait BatchSolver: Sync {
+    /// Solves one shard. `request` is the shard's instance, candidate pairs
+    /// and (for incremental rounds) banked priors; `rng` is the shard's own
+    /// deterministic generator.
+    fn solve_shard(&self, request: &SolveRequest<'_>, rng: &mut StdRng) -> Assignment;
+
+    /// Display name for diagnostics, given the shard the name applies to
+    /// (adaptive implementations report the strategy they picked).
+    fn strategy_name(&self, _request: &SolveRequest<'_>) -> &'static str {
+        "BATCH"
+    }
+
+    /// Solves one shard and reports the strategy used, in one call.
+    ///
+    /// Engines that want both should call this instead of
+    /// [`strategy_name`](Self::strategy_name) + [`solve_shard`](Self::solve_shard):
+    /// adaptive implementations override it so the (possibly costly)
+    /// strategy decision runs once per shard.
+    fn solve_shard_named(
+        &self,
+        request: &SolveRequest<'_>,
+        rng: &mut StdRng,
+    ) -> (&'static str, Assignment) {
+        (self.strategy_name(request), self.solve_shard(request, rng))
+    }
+}
+
+impl BatchSolver for Solver {
+    fn solve_shard(&self, request: &SolveRequest<'_>, rng: &mut StdRng) -> Assignment {
+        self.solve(request, rng)
+    }
+
+    fn strategy_name(&self, _request: &SolveRequest<'_>) -> &'static str {
+        self.name()
     }
 }
 

@@ -4,6 +4,7 @@
 //! enough to enumerate.
 
 use proptest::prelude::*;
+use std::f64::consts::TAU;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdbsc_algos::{
@@ -31,8 +32,8 @@ fn instance_strategy(
             0.0f64..1.0,          // x
             0.0f64..1.0,          // y
             0.01f64..0.5,         // speed
-            0.0f64..6.283,        // heading start
-            0.05f64..6.283,       // heading width
+            0.0f64..TAU,          // heading start
+            0.05f64..TAU,         // heading width
             0.0f64..1.0,          // confidence
             0.0f64..3.0,          // check-in time
         ),

@@ -1,0 +1,60 @@
+//! Online-assignment throughput: the parallel sharded engine vs. the
+//! single-threaded monolithic re-solve, as the worker count grows.
+//!
+//! Each iteration performs one full update round over the same live state:
+//! the baseline retrieves the valid pairs of the whole instance and solves it
+//! with one SAMPLING run (the seed platform's per-round behaviour); the
+//! engine extracts the independent spatial shards and solves them in
+//! parallel with the cost-model-driven adaptive solver.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc_algos::{SamplingConfig, SolveRequest, Solver};
+use rdbsc_index::GridIndex;
+use rdbsc_platform::engine::{AssignmentEngine, EngineConfig};
+use rdbsc_workloads::{generate_metro_instance, MetroConfig};
+
+fn bench_update_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_update_round");
+    group.sample_size(10);
+    for n in [1_000usize, 2_000, 5_000] {
+        let config = MetroConfig::default().with_tasks(1_000).with_workers(n);
+        let mut rng = StdRng::seed_from_u64(11);
+        let instance = generate_metro_instance(&config, &mut rng);
+        let index = GridIndex::from_instance(&instance);
+
+        group.bench_with_input(BenchmarkId::new("full_resolve", n), &n, |b, _| {
+            b.iter_batched(
+                || index.clone(),
+                |mut index| {
+                    let candidates = index.retrieve_valid_pairs();
+                    let request = SolveRequest::new(&instance, &candidates);
+                    let solver = Solver::Sampling(SamplingConfig::default());
+                    solver.solve(&request, &mut StdRng::seed_from_u64(3))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        group.bench_with_input(BenchmarkId::new("sharded_engine", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    AssignmentEngine::new(
+                        index.clone(),
+                        EngineConfig {
+                            seed: 3,
+                            ..EngineConfig::default()
+                        },
+                    )
+                },
+                |mut engine| engine.tick(0.0),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_round);
+criterion_main!(benches);

@@ -100,7 +100,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&rendered).expect("figures serialise to JSON");
+        let json = rdbsc_bench::figures_to_json(&rendered);
         std::fs::write(&path, json).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

@@ -14,11 +14,10 @@ use rdbsc_index::GridIndex;
 use rdbsc_model::ProblemInstance;
 use rdbsc_platform::{PlatformConfig, PlatformSim};
 use rdbsc_workloads::{generate_instance, Distribution, ExperimentConfig, PoiGenerator, Scale};
-use serde::Serialize;
 use std::time::Instant;
 
 /// Which measurement a figure panel reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolverMetric {
     /// Minimum task reliability (the paper's "(a)" panels).
     MinReliability,
@@ -47,7 +46,7 @@ impl SolverMetric {
 }
 
 /// One reproduced figure panel.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier, e.g. `"fig13a"`.
     pub id: String,
@@ -62,7 +61,7 @@ pub struct Figure {
 }
 
 /// One x-axis point of a figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureRow {
     /// The x-axis value label.
     pub x: String,
@@ -93,6 +92,63 @@ impl Figure {
         }
         out
     }
+}
+
+/// Serialises rendered figures to pretty-printed JSON (hand-rolled: the
+/// offline build environment has no serde).
+pub fn figures_to_json(figures: &[Figure]) -> String {
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, fig) in figures.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"id\": \"{}\",\n", escape(&fig.id)));
+        out.push_str(&format!("    \"title\": \"{}\",\n", escape(&fig.title)));
+        out.push_str(&format!("    \"x_label\": \"{}\",\n", escape(&fig.x_label)));
+        let columns: Vec<String> = fig
+            .columns
+            .iter()
+            .map(|c| format!("\"{}\"", escape(c)))
+            .collect();
+        out.push_str(&format!("    \"columns\": [{}],\n", columns.join(", ")));
+        out.push_str("    \"rows\": [\n");
+        for (j, row) in fig.rows.iter().enumerate() {
+            let values: Vec<String> = row.values.iter().map(|v| number(*v)).collect();
+            out.push_str(&format!(
+                "      {{\"x\": \"{}\", \"values\": [{}]}}{}\n",
+                escape(&row.x),
+                values.join(", "),
+                if j + 1 < fig.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ]\n");
+        out.push_str(&format!(
+            "  }}{}\n",
+            if i + 1 < figures.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
 }
 
 /// All figure identifiers the harness can reproduce, in paper order.

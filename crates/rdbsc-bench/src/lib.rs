@@ -16,5 +16,5 @@
 pub mod figures;
 pub mod runner;
 
-pub use figures::{all_figure_ids, run_figure, Figure, FigureRow, SolverMetric};
+pub use figures::{all_figure_ids, figures_to_json, run_figure, Figure, FigureRow, SolverMetric};
 pub use runner::{run_lineup_on, HarnessOptions};

@@ -6,7 +6,6 @@ use rand::SeedableRng;
 use rdbsc_algos::{SolveRequest, Solver};
 use rdbsc_model::{compute_valid_pairs, evaluate, ProblemInstance};
 use rdbsc_workloads::Scale;
-use serde::Serialize;
 use std::time::Instant;
 
 /// Options shared by every experiment run.
@@ -28,7 +27,7 @@ impl Default for HarnessOptions {
 }
 
 /// The measurements recorded for one solver at one x-axis point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SolverMeasurement {
     /// Solver display name (GREEDY / SAMPLING / D&C / G-TRUTH).
     pub solver: String,

@@ -7,7 +7,6 @@
 //! provides the *minimal covering arc* operation needed by the grid index's
 //! cell-level pruning (Section 7.1).
 
-use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
 /// One full turn, `2π`.
@@ -39,7 +38,7 @@ pub fn ccw_delta(from: f64, to: f64) -> f64 {
 ///
 /// `width == 2π` represents the full circle (a worker with no preferred
 /// direction registers `[0, 2π]` per the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AngleRange {
     start: f64,
     width: f64,

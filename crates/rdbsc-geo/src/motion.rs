@@ -12,10 +12,9 @@
 
 use crate::angle::AngleRange;
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 
 /// Kinematic state of a moving worker.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MotionModel {
     /// Current location of the worker.
     pub location: Point,

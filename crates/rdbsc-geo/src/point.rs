@@ -1,6 +1,5 @@
 //! 2-D points in the unit (or arbitrary) planar data space.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
@@ -9,7 +8,7 @@ use std::ops::{Add, Mul, Sub};
 /// The paper works in the normalised space `[0, 1]²` for synthetic data and
 /// in a lat/lon bounding box for the Beijing datasets; `Point` is agnostic to
 /// the choice of units.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     pub x: f64,
     pub y: f64,

@@ -10,10 +10,9 @@
 use crate::angle::AngleRange;
 use crate::point::Point;
 use crate::rect::Rect;
-use serde::{Deserialize, Serialize};
 
 /// A circular sector: apex, angular range and radius.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sector {
     /// Apex (the worker's location).
     pub apex: Point,

@@ -1,16 +1,33 @@
 //! The RDB-SC-Grid index structure and its dynamic maintenance (Section 7).
+//!
+//! Maintenance is *incremental*: the index keeps reverse maps from task and
+//! worker ids to their cells, so attaching or detaching an object touches one
+//! cell instead of scanning the grid, and it tracks dirtiness at cell
+//! granularity in two flavours:
+//!
+//! * a **worker-side dirty cell** (the cell's worker summary — `v_max`,
+//!   heading hull, earliest check-in — changed) needs its whole `tcell_list`
+//!   rebuilt, which costs one reachability test per task-bearing cell;
+//! * a **task-side dirty cell** (the cell's task summary — `e_max`, `s_min`,
+//!   emptiness — changed) only needs *its own membership* re-decided in every
+//!   worker cell's `tcell_list`, which costs one reachability test per
+//!   worker-bearing cell.
+//!
+//! A burst of task arrivals/expirations therefore costs
+//! `O(worker_cells · changed_cells)` instead of the full
+//! `O(worker_cells · cells)` rebuild the seed implementation performed.
 
 use crate::cost_model::{optimal_eta, CostModelParams};
 use rdbsc_geo::{AngleRange, Point, Rect};
 use rdbsc_model::valid_pairs::{check_pair, BipartiteCandidates, ValidPair};
 use rdbsc_model::{ProblemInstance, Task, TaskId, Worker, WorkerId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// One grid cell: its geometry, the ids of the tasks and workers currently
 /// inside it, summary bounds used for cell-level pruning, and its
 /// `tcell_list` (reachable cells).
 #[derive(Debug, Clone)]
-struct Cell {
+pub(crate) struct Cell {
     rect: Rect,
     tasks: Vec<TaskId>,
     workers: Vec<WorkerId>,
@@ -25,9 +42,10 @@ struct Cell {
     /// Earliest start over the tasks in the cell (`s_min`).
     s_min: f64,
     /// Ids (indices) of the cells reachable by at least one worker of this
-    /// cell.
+    /// cell. Kept sorted ascending.
     tcell_list: Vec<usize>,
-    /// Whether `tcell_list` needs recomputation after an update.
+    /// Whether `tcell_list` needs full recomputation (the cell's *worker*
+    /// summary changed).
     tcell_dirty: bool,
 }
 
@@ -78,6 +96,44 @@ pub struct GridStats {
 
 /// The cost-model-based grid index over moving workers and time-constrained
 /// spatial tasks.
+///
+/// # Examples
+///
+/// Build an index, retrieve the valid pairs, then maintain it incrementally
+/// as workers move and tasks arrive:
+///
+/// ```
+/// use rdbsc_geo::{AngleRange, Point, Rect};
+/// use rdbsc_index::GridIndex;
+/// use rdbsc_model::{Confidence, Task, TaskId, TimeWindow, Worker, WorkerId};
+///
+/// let mut index = GridIndex::new(Rect::unit(), 0.25);
+/// index.insert_task(Task::new(
+///     TaskId(0),
+///     Point::new(0.8, 0.8),
+///     TimeWindow::new(0.0, 10.0).unwrap(),
+/// ));
+/// index.insert_worker(
+///     Worker::new(
+///         WorkerId(0),
+///         Point::new(0.2, 0.2),
+///         0.5,
+///         AngleRange::full(),
+///         Confidence::new(0.9).unwrap(),
+///     )
+///     .unwrap(),
+/// );
+/// assert_eq!(index.retrieve_valid_pairs().num_pairs(), 1);
+///
+/// // The worker walks towards the task: an O(1) relocation, no rebuild.
+/// index.relocate_worker(WorkerId(0), Point::new(0.6, 0.6));
+/// assert_eq!(index.retrieve_valid_pairs().num_pairs(), 1);
+///
+/// // The task expires and is removed; only its cell's membership in the
+/// // worker cells' reachability lists is re-decided.
+/// index.remove_task(TaskId(0));
+/// assert_eq!(index.retrieve_valid_pairs().num_pairs(), 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     space: Rect,
@@ -86,6 +142,23 @@ pub struct GridIndex {
     cells: Vec<Cell>,
     tasks: HashMap<TaskId, Task>,
     workers: HashMap<WorkerId, Worker>,
+    /// Reverse map: the cell currently holding each task.
+    task_cell: HashMap<TaskId, usize>,
+    /// Reverse map: the cell currently holding each worker.
+    worker_cell: HashMap<WorkerId, usize>,
+    /// Cells currently holding at least one task (sorted).
+    task_cell_set: BTreeSet<usize>,
+    /// Cells currently holding at least one worker (sorted).
+    worker_cell_set: BTreeSet<usize>,
+    /// Cells whose *task* summary changed since the last refresh; their
+    /// membership in every worker cell's `tcell_list` must be re-decided.
+    dirty_task_cells: BTreeSet<usize>,
+    /// The `depart_at` the `tcell_list`s were last refreshed under. A later
+    /// departure only shrinks reachability (cached lists stay conservative
+    /// over-approximations), but an *earlier* one grows it, so
+    /// [`refresh_tcell_lists`](Self::refresh_tcell_lists) must detect the
+    /// rewind and rebuild.
+    tcell_depart_at: f64,
     /// Time at which assignments depart (mirrors `ProblemInstance::depart_at`).
     pub depart_at: f64,
     /// Whether early-arriving workers may wait for a task's window to open.
@@ -118,6 +191,12 @@ impl GridIndex {
             cells,
             tasks: HashMap::new(),
             workers: HashMap::new(),
+            task_cell: HashMap::new(),
+            worker_cell: HashMap::new(),
+            task_cell_set: BTreeSet::new(),
+            worker_cell_set: BTreeSet::new(),
+            dirty_task_cells: BTreeSet::new(),
+            tcell_depart_at: 0.0,
             depart_at: 0.0,
             allow_wait: true,
         }
@@ -185,6 +264,38 @@ impl GridIndex {
         self.workers.len()
     }
 
+    /// The live task with the given id, if indexed.
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(&id)
+    }
+
+    /// The live worker with the given id, if indexed.
+    pub fn worker(&self, id: WorkerId) -> Option<&Worker> {
+        self.workers.get(&id)
+    }
+
+    /// Iterates over the live tasks (arbitrary order).
+    pub fn tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.values()
+    }
+
+    /// Iterates over the live workers (arbitrary order).
+    pub fn workers(&self) -> impl Iterator<Item = &Worker> {
+        self.workers.values()
+    }
+
+    /// Ids of the live tasks whose valid period has ended at time `now`.
+    pub fn expired_tasks(&self, now: f64) -> Vec<TaskId> {
+        let mut expired: Vec<TaskId> = self
+            .tasks
+            .values()
+            .filter(|t| t.window.end < now)
+            .map(|t| t.id)
+            .collect();
+        expired.sort();
+        expired
+    }
+
     /// Index of the cell containing a point (points outside the data space
     /// are clamped onto it).
     pub fn cell_of(&self, p: Point) -> usize {
@@ -196,6 +307,22 @@ impl GridIndex {
         row * self.cells_per_axis + col
     }
 
+    pub(crate) fn worker_cell_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.worker_cell_set.iter().copied()
+    }
+
+    pub(crate) fn tasks_of_cell(&self, idx: usize) -> &[TaskId] {
+        &self.cells[idx].tasks
+    }
+
+    pub(crate) fn workers_of_cell(&self, idx: usize) -> &[WorkerId] {
+        &self.cells[idx].workers
+    }
+
+    pub(crate) fn tcell_list_of(&self, idx: usize) -> &[usize] {
+        &self.cells[idx].tcell_list
+    }
+
     // ------------------------------------------------------------------
     // Dynamic maintenance (Section 7.2)
     // ------------------------------------------------------------------
@@ -203,24 +330,48 @@ impl GridIndex {
     /// Inserts (or replaces) a task. `O(1)` cell lookup plus summary update.
     pub fn insert_task(&mut self, task: Task) {
         if self.tasks.insert(task.id, task).is_some() {
-            self.detach_task(task.id, None);
+            self.detach_task(task.id);
         }
         let cell_idx = self.cell_of(task.location);
+        self.task_cell.insert(task.id, cell_idx);
+        self.task_cell_set.insert(cell_idx);
         let cell = &mut self.cells[cell_idx];
         cell.tasks.push(task.id);
         cell.e_max = cell.e_max.max(task.window.end);
         cell.s_min = cell.s_min.min(task.window.start);
-        // A new task can only *add* reachable targets; every worker cell's
-        // tcell_list may gain this cell.
-        self.mark_all_worker_cells_dirty();
+        // Only this cell's membership in the worker cells' reachability lists
+        // can change.
+        self.dirty_task_cells.insert(cell_idx);
     }
 
     /// Removes a task (no-op when absent).
     pub fn remove_task(&mut self, id: TaskId) {
         if self.tasks.remove(&id).is_some() {
-            self.detach_task(id, None);
-            self.mark_all_worker_cells_dirty();
+            self.detach_task(id);
         }
+    }
+
+    /// Moves a live task to a new location, updating at most two cells.
+    /// No-op when the task is not indexed.
+    pub fn relocate_task(&mut self, id: TaskId, to: Point) {
+        let Some(task) = self.tasks.get_mut(&id) else {
+            return;
+        };
+        task.location = to;
+        let task = *task;
+        let old_cell = self.task_cell.get(&id).copied();
+        let new_cell = self.cell_of(to);
+        if old_cell == Some(new_cell) {
+            return; // summaries do not depend on the position inside the cell
+        }
+        self.detach_task(id);
+        self.task_cell.insert(id, new_cell);
+        self.task_cell_set.insert(new_cell);
+        let cell = &mut self.cells[new_cell];
+        cell.tasks.push(id);
+        cell.e_max = cell.e_max.max(task.window.end);
+        cell.s_min = cell.s_min.min(task.window.start);
+        self.dirty_task_cells.insert(new_cell);
     }
 
     /// Inserts (or replaces) a worker.
@@ -229,6 +380,8 @@ impl GridIndex {
             self.detach_worker(worker.id);
         }
         let cell_idx = self.cell_of(worker.location);
+        self.worker_cell.insert(worker.id, cell_idx);
+        self.worker_cell_set.insert(cell_idx);
         let cell = &mut self.cells[cell_idx];
         cell.workers.push(worker.id);
         cell.v_max = cell.v_max.max(worker.speed);
@@ -247,65 +400,83 @@ impl GridIndex {
         }
     }
 
-    fn detach_task(&mut self, id: TaskId, hint_cell: Option<usize>) {
-        let cell_indices: Vec<usize> = match hint_cell {
-            Some(c) => vec![c],
-            None => (0..self.cells.len()).collect(),
+    /// Moves a live worker to a new location, updating at most two cells.
+    /// No-op when the worker is not indexed.
+    pub fn relocate_worker(&mut self, id: WorkerId, to: Point) {
+        let Some(worker) = self.workers.get_mut(&id) else {
+            return;
         };
-        for c in cell_indices {
-            let cell = &mut self.cells[c];
-            let before = cell.tasks.len();
-            cell.tasks.retain(|t| *t != id);
-            if cell.tasks.len() != before {
-                // Recompute the task summary of this cell.
-                let (mut e_max, mut s_min) = (f64::NEG_INFINITY, f64::INFINITY);
-                for t in &cell.tasks {
-                    if let Some(task) = self.tasks.get(t) {
-                        e_max = e_max.max(task.window.end);
-                        s_min = s_min.min(task.window.start);
-                    }
-                }
-                cell.e_max = e_max;
-                cell.s_min = s_min;
-                return;
-            }
+        worker.location = to;
+        let worker = *worker;
+        let old_cell = self.worker_cell.get(&id).copied();
+        let new_cell = self.cell_of(to);
+        if old_cell == Some(new_cell) {
+            return; // summaries do not depend on the position inside the cell
         }
+        self.detach_worker(id);
+        self.worker_cell.insert(id, new_cell);
+        self.worker_cell_set.insert(new_cell);
+        let cell = &mut self.cells[new_cell];
+        cell.workers.push(id);
+        cell.v_max = cell.v_max.max(worker.speed);
+        cell.min_available_from = cell.min_available_from.min(worker.available_from);
+        cell.heading_hull = Some(match cell.heading_hull {
+            Some(hull) => hull.union_hull(&worker.heading),
+            None => worker.heading,
+        });
+        cell.tcell_dirty = true;
     }
 
+    /// Detaches a task from its cell (O(cell population)) and refreshes the
+    /// cell's task summary.
+    fn detach_task(&mut self, id: TaskId) {
+        let Some(cell_idx) = self.task_cell.remove(&id) else {
+            return;
+        };
+        let cell = &mut self.cells[cell_idx];
+        cell.tasks.retain(|t| *t != id);
+        let (mut e_max, mut s_min) = (f64::NEG_INFINITY, f64::INFINITY);
+        for t in &cell.tasks {
+            if let Some(task) = self.tasks.get(t) {
+                e_max = e_max.max(task.window.end);
+                s_min = s_min.min(task.window.start);
+            }
+        }
+        cell.e_max = e_max;
+        cell.s_min = s_min;
+        if cell.tasks.is_empty() {
+            self.task_cell_set.remove(&cell_idx);
+        }
+        self.dirty_task_cells.insert(cell_idx);
+    }
+
+    /// Detaches a worker from its cell (O(cell population)) and refreshes the
+    /// cell's worker summary.
     fn detach_worker(&mut self, id: WorkerId) {
-        for c in 0..self.cells.len() {
-            let cell = &mut self.cells[c];
-            let before = cell.workers.len();
-            cell.workers.retain(|w| *w != id);
-            if cell.workers.len() != before {
-                // Recompute the worker summary of this cell.
-                let mut v_max = 0.0f64;
-                let mut min_avail = f64::INFINITY;
-                let mut hull: Option<AngleRange> = None;
-                for w in &cell.workers {
-                    if let Some(worker) = self.workers.get(w) {
-                        v_max = v_max.max(worker.speed);
-                        min_avail = min_avail.min(worker.available_from);
-                        hull = Some(match hull {
-                            Some(h) => h.union_hull(&worker.heading),
-                            None => worker.heading,
-                        });
-                    }
-                }
-                cell.v_max = v_max;
-                cell.min_available_from = min_avail;
-                cell.heading_hull = hull;
-                cell.tcell_dirty = true;
-                return;
+        let Some(cell_idx) = self.worker_cell.remove(&id) else {
+            return;
+        };
+        let cell = &mut self.cells[cell_idx];
+        cell.workers.retain(|w| *w != id);
+        let mut v_max = 0.0f64;
+        let mut min_avail = f64::INFINITY;
+        let mut hull: Option<AngleRange> = None;
+        for w in &cell.workers {
+            if let Some(worker) = self.workers.get(w) {
+                v_max = v_max.max(worker.speed);
+                min_avail = min_avail.min(worker.available_from);
+                hull = Some(match hull {
+                    Some(h) => h.union_hull(&worker.heading),
+                    None => worker.heading,
+                });
             }
         }
-    }
-
-    fn mark_all_worker_cells_dirty(&mut self) {
-        for cell in &mut self.cells {
-            if cell.has_workers() {
-                cell.tcell_dirty = true;
-            }
+        cell.v_max = v_max;
+        cell.min_available_from = min_avail;
+        cell.heading_hull = hull;
+        cell.tcell_dirty = true;
+        if cell.workers.is_empty() {
+            self.worker_cell_set.remove(&cell_idx);
         }
     }
 
@@ -353,31 +524,84 @@ impl GridIndex {
         true
     }
 
-    /// Recomputes the `tcell_list` of every dirty cell. Returns the number of
-    /// lists rebuilt.
+    /// Brings every `tcell_list` up to date and returns the number of cells
+    /// whose list was (fully or partially) recomputed.
+    ///
+    /// Worker-side dirty cells rebuild their whole list by scanning the
+    /// task-bearing cells; task-side dirty cells only have their own
+    /// membership re-decided in each worker cell's list. Lists stay sorted,
+    /// so the incremental path converges to exactly the same state as a full
+    /// rebuild.
     pub fn refresh_tcell_lists(&mut self) -> usize {
-        let mut rebuilt = 0;
-        for i in 0..self.cells.len() {
-            if !self.cells[i].tcell_dirty {
-                continue;
+        // A departure time earlier than the one the lists were built under
+        // grows reachability, so the cached lists may be missing cells:
+        // rebuild them all. (Later departures only shrink reachability; the
+        // cached over-approximation stays sound and the exact per-pair check
+        // filters the rest.)
+        if self.depart_at < self.tcell_depart_at {
+            for cell in &mut self.cells {
+                if cell.has_workers() {
+                    cell.tcell_dirty = true;
+                }
             }
+        }
+        self.tcell_depart_at = self.depart_at;
+
+        // Full rebuilds for cells whose worker summary changed. Iterate over
+        // a snapshot because the loop needs simultaneous borrow of `self`.
+        let mut rebuilt = BTreeSet::new();
+        let dirty_worker_cells: Vec<usize> = (0..self.cells.len())
+            .filter(|&i| self.cells[i].tcell_dirty)
+            .collect();
+        let task_cells: Vec<usize> = self.task_cell_set.iter().copied().collect();
+        for i in dirty_worker_cells {
             if !self.cells[i].has_workers() {
                 self.cells[i].tcell_list.clear();
                 self.cells[i].tcell_dirty = false;
                 continue;
             }
             let mut list = Vec::new();
-            for j in 0..self.cells.len() {
-                if self.cells[j].has_tasks() && self.cell_pair_reachable(&self.cells[i], &self.cells[j])
-                {
-                    list.push(j);
+            for &j in &task_cells {
+                if self.cell_pair_reachable(&self.cells[i], &self.cells[j]) {
+                    list.push(j); // ascending: task_cells is sorted
                 }
             }
             self.cells[i].tcell_list = list;
             self.cells[i].tcell_dirty = false;
-            rebuilt += 1;
+            rebuilt.insert(i);
         }
-        rebuilt
+
+        // Targeted membership updates for cells whose task summary changed.
+        // Cells fully rebuilt above already saw the new task summaries and
+        // are skipped; `touched` only tracks membership *edits*, so one edit
+        // must not suppress edits for later dirty task cells.
+        let mut touched = rebuilt.clone();
+        let dirty_task_cells: Vec<usize> = std::mem::take(&mut self.dirty_task_cells)
+            .into_iter()
+            .collect();
+        let worker_cells: Vec<usize> = self.worker_cell_set.iter().copied().collect();
+        for j in dirty_task_cells {
+            for &i in &worker_cells {
+                if rebuilt.contains(&i) {
+                    continue; // already fully rebuilt above
+                }
+                let reachable = self.cell_pair_reachable(&self.cells[i], &self.cells[j]);
+                let list = &mut self.cells[i].tcell_list;
+                match (list.binary_search(&j), reachable) {
+                    (Ok(_), true) | (Err(_), false) => {}
+                    (Ok(pos), false) => {
+                        list.remove(pos);
+                        touched.insert(i);
+                    }
+                    (Err(pos), true) => {
+                        list.insert(pos, j);
+                        touched.insert(i);
+                    }
+                }
+            }
+        }
+
+        touched.len()
     }
 
     // ------------------------------------------------------------------
@@ -395,16 +619,15 @@ impl GridIndex {
         (max_task, max_worker)
     }
 
-    /// Retrieves every valid task-and-worker pair using the index
-    /// (cell-level pruning via `tcell_list`, then exact per-pair checks).
-    pub fn retrieve_valid_pairs(&mut self) -> BipartiteCandidates {
-        self.refresh_tcell_lists();
-        let (task_cap, worker_cap) = self.candidate_capacity();
-        let mut graph = BipartiteCandidates::with_capacity(task_cap, worker_cap);
-        for i in 0..self.cells.len() {
-            if !self.cells[i].has_workers() {
-                continue;
-            }
+    /// Runs the exact per-pair check over the cell-pruned candidates of the
+    /// given worker cells (their `tcell_list`s must be fresh), feeding each
+    /// valid pair to `sink`. Shared by [`retrieve_valid_pairs`](Self::retrieve_valid_pairs)
+    /// and the shard extraction so the two retrieval paths cannot drift.
+    pub(crate) fn for_each_cell_pruned_pair<F>(&self, worker_cells: &[usize], mut sink: F)
+    where
+        F: FnMut(&Task, &Worker, rdbsc_model::Contribution),
+    {
+        for &i in worker_cells {
             // Materialise the cell's workers and the reachable cells' tasks
             // once, so the inner loop does no hash lookups.
             let cell_workers: Vec<Worker> = self.cells[i]
@@ -423,16 +646,28 @@ impl GridIndex {
                         if let Some(contribution) =
                             check_pair(task, worker, self.depart_at, self.allow_wait)
                         {
-                            graph.push(ValidPair {
-                                task: task.id,
-                                worker: worker.id,
-                                contribution,
-                            });
+                            sink(task, worker, contribution);
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Retrieves every valid task-and-worker pair using the index
+    /// (cell-level pruning via `tcell_list`, then exact per-pair checks).
+    pub fn retrieve_valid_pairs(&mut self) -> BipartiteCandidates {
+        self.refresh_tcell_lists();
+        let (task_cap, worker_cap) = self.candidate_capacity();
+        let mut graph = BipartiteCandidates::with_capacity(task_cap, worker_cap);
+        let worker_cells: Vec<usize> = self.worker_cell_set.iter().copied().collect();
+        self.for_each_cell_pruned_pair(&worker_cells, |task, worker, contribution| {
+            graph.push(ValidPair {
+                task: task.id,
+                worker: worker.id,
+                contribution,
+            });
+        });
         graph
     }
 
@@ -455,6 +690,25 @@ impl GridIndex {
             }
         }
         graph
+    }
+
+    /// Rebuilds a dense [`ProblemInstance`] view of the live tasks and
+    /// workers, together with the mapping from the dense ids back to the live
+    /// ids. Tasks and workers appear in ascending id order, so the view is
+    /// deterministic.
+    pub fn to_instance(&self, beta: f64) -> (ProblemInstance, rdbsc_model::instance::SubInstanceMapping) {
+        let mut tasks: Vec<Task> = self.tasks.values().copied().collect();
+        tasks.sort_by_key(|t| t.id);
+        let mut workers: Vec<Worker> = self.workers.values().copied().collect();
+        workers.sort_by_key(|w| w.id);
+        let mapping = rdbsc_model::instance::SubInstanceMapping {
+            tasks: tasks.iter().map(|t| t.id).collect(),
+            workers: workers.iter().map(|w| w.id).collect(),
+        };
+        let mut instance = ProblemInstance::new(tasks, workers, beta);
+        instance.depart_at = self.depart_at;
+        instance.allow_wait = self.allow_wait;
+        (instance, mapping)
     }
 
     /// Summary statistics (requires the `tcell_list`s to be fresh; call
@@ -615,6 +869,49 @@ mod tests {
     }
 
     #[test]
+    fn relocations_keep_retrieval_correct() {
+        let instance = small_instance();
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.25);
+        // Worker 1 walks to the south-west corner in several small steps
+        // (some within the same cell, some crossing cells).
+        for step in 0..6 {
+            let t = step as f64 / 5.0;
+            index.relocate_worker(WorkerId(1), Point::new(0.9 - 0.8 * t, 0.9 - 0.8 * t));
+            let pairs = index.retrieve_valid_pairs();
+            let brute = index.retrieve_valid_pairs_bruteforce();
+            assert_eq!(pairs.num_pairs(), brute.num_pairs(), "worker step {step}");
+        }
+        // A task drifts across the space too.
+        for step in 0..4 {
+            let t = step as f64 / 3.0;
+            index.relocate_task(TaskId(0), Point::new(0.2 + 0.6 * t, 0.2));
+            let pairs = index.retrieve_valid_pairs();
+            let brute = index.retrieve_valid_pairs_bruteforce();
+            assert_eq!(pairs.num_pairs(), brute.num_pairs(), "task step {step}");
+        }
+        // Relocating unknown ids is a no-op.
+        index.relocate_worker(WorkerId(99), Point::new(0.5, 0.5));
+        index.relocate_task(TaskId(99), Point::new(0.5, 0.5));
+        assert_eq!(index.num_workers(), 3);
+        assert_eq!(index.num_tasks(), 3);
+    }
+
+    #[test]
+    fn targeted_task_updates_do_not_trigger_full_rebuilds() {
+        let instance = small_instance();
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.25);
+        index.refresh_tcell_lists();
+
+        // A task insertion far from everything marks one task cell dirty; the
+        // refresh touches at most the worker cells (membership re-decision),
+        // and a second refresh touches nothing.
+        index.insert_task(task(7, 0.05, 0.95, 0.0, 50.0));
+        let touched = index.refresh_tcell_lists();
+        assert!(touched <= 3, "targeted update touched {touched} cells");
+        assert_eq!(index.refresh_tcell_lists(), 0);
+    }
+
+    #[test]
     fn pruning_actually_prunes_far_unreachable_cells() {
         // A slow worker in one corner and a short-deadline task in the other:
         // the task's cell must not appear in the worker's tcell_list.
@@ -662,5 +959,48 @@ mod tests {
         assert_eq!(stats.num_workers, 3);
         assert_eq!(stats.num_cells, 16);
         assert!(stats.avg_tcell_len >= 1.0);
+    }
+
+    #[test]
+    fn to_instance_round_trips_live_objects() {
+        let instance = small_instance();
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.25);
+        index.remove_task(TaskId(1));
+        let (view, mapping) = index.to_instance(0.5);
+        assert_eq!(view.num_tasks(), 2);
+        assert_eq!(view.num_workers(), 3);
+        // Dense ids map back to the surviving live ids, in order.
+        assert_eq!(mapping.tasks, vec![TaskId(0), TaskId(2)]);
+        assert_eq!(view.tasks[1].location, instance.tasks[2].location);
+    }
+
+    #[test]
+    fn rewinding_depart_at_rebuilds_the_cached_reachability() {
+        // Regression test: the lists were built under a late departure that
+        // prunes the task; moving the departure back must re-grow them.
+        let tasks = vec![task(0, 0.9, 0.5, 0.0, 1.0)];
+        let workers = vec![worker(0, 0.1, 0.5, 1.0, AngleRange::full())];
+        let instance = ProblemInstance::new(tasks, workers, 0.5);
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.25);
+        index.depart_at = 2.0; // past the deadline: nothing reachable
+        assert_eq!(index.retrieve_valid_pairs().num_pairs(), 0);
+        index.depart_at = 0.0; // rewind: the pair is reachable again
+        assert_eq!(
+            index.retrieve_valid_pairs().num_pairs(),
+            index.retrieve_valid_pairs_bruteforce().num_pairs(),
+        );
+        assert_eq!(index.retrieve_valid_pairs().num_pairs(), 1);
+    }
+
+    #[test]
+    fn expired_tasks_are_reported() {
+        let instance = small_instance();
+        let index = GridIndex::from_instance_with_eta(&instance, 0.25);
+        assert!(index.expired_tasks(0.0).is_empty());
+        assert_eq!(index.expired_tasks(1.0), vec![TaskId(2)]);
+        assert_eq!(
+            index.expired_tasks(10.0),
+            vec![TaskId(0), TaskId(1), TaskId(2)]
+        );
     }
 }

@@ -1,0 +1,302 @@
+//! Spatial sharding: decomposing the live index into independent
+//! sub-problems.
+//!
+//! Two cells interact only when some worker of one can reach some task of
+//! the other, i.e. when the target cell appears in the source cell's
+//! `tcell_list`. The connected components of that reachability relation
+//! therefore partition the instance into sub-problems that share **no valid
+//! pair**: an assignment computed inside one shard can never conflict with,
+//! or influence the objective of, another shard. The online engine solves
+//! shards in parallel and merges the per-shard assignments back.
+//!
+//! Components containing only tasks (no worker can reach them) or only
+//! workers (nothing for them to serve) are dropped: they contribute no valid
+//! pair, so dropping them is lossless and shrinks the solve further.
+
+use crate::grid::GridIndex;
+use rdbsc_model::instance::SubInstanceMapping;
+use rdbsc_model::valid_pairs::{BipartiteCandidates, ValidPair};
+use rdbsc_model::{ProblemInstance, Task, TaskId, Worker, WorkerId};
+use std::collections::HashMap;
+
+/// One independent sub-problem extracted from the live index.
+#[derive(Debug, Clone)]
+pub struct ProblemShard {
+    /// The shard as a dense, self-contained instance (ids re-numbered).
+    pub instance: ProblemInstance,
+    /// Mapping from the shard's dense ids back to the live ids.
+    pub mapping: SubInstanceMapping,
+    /// The shard's valid pairs (in shard-local dense ids), retrieved with
+    /// cell-level pruning while the shard was extracted.
+    pub candidates: BipartiteCandidates,
+}
+
+impl ProblemShard {
+    /// Number of tasks in the shard.
+    pub fn num_tasks(&self) -> usize {
+        self.instance.num_tasks()
+    }
+
+    /// Number of workers in the shard.
+    pub fn num_workers(&self) -> usize {
+        self.instance.num_workers()
+    }
+
+    /// Number of valid pairs in the shard.
+    pub fn num_pairs(&self) -> usize {
+        self.candidates.num_pairs()
+    }
+}
+
+/// Union-find over cell indices with path halving.
+struct DisjointSets {
+    parent: Vec<usize>,
+}
+
+impl DisjointSets {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: the smaller cell index wins the root.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+impl GridIndex {
+    /// Partitions the live instance into independent spatial shards: the
+    /// connected components of the cell-reachability relation, each packaged
+    /// as a dense sub-instance with its valid pairs.
+    ///
+    /// Shards are returned in deterministic order (ascending minimal cell
+    /// index) with tasks and workers in ascending live-id order, so repeated
+    /// extraction over the same state yields identical output.
+    pub fn extract_shards(&mut self, beta: f64) -> Vec<ProblemShard> {
+        self.refresh_tcell_lists();
+
+        let mut sets = DisjointSets::new(self.num_cells());
+        let worker_cells: Vec<usize> = self.worker_cell_indices().collect();
+        for &i in &worker_cells {
+            for &j in self.tcell_list_of(i) {
+                sets.union(i, j);
+            }
+        }
+
+        // Group worker cells and task cells by component root; only
+        // components with both kinds can produce valid pairs.
+        let mut comp_worker_cells: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &i in &worker_cells {
+            if !self.tcell_list_of(i).is_empty() {
+                comp_worker_cells.entry(sets.find(i)).or_default().push(i);
+            }
+        }
+
+        let mut roots: Vec<usize> = comp_worker_cells.keys().copied().collect();
+        roots.sort_unstable();
+
+        let mut shards = Vec::with_capacity(roots.len());
+        for root in roots {
+            let cells = &comp_worker_cells[&root];
+
+            let mut worker_ids: Vec<WorkerId> = cells
+                .iter()
+                .flat_map(|&i| self.workers_of_cell(i).iter().copied())
+                .collect();
+            worker_ids.sort_unstable();
+
+            // The component's task cells are exactly the union of its worker
+            // cells' tcell_lists (a task cell outside every tcell_list is
+            // unreachable and belongs to no shard).
+            let mut task_cells: Vec<usize> = cells
+                .iter()
+                .flat_map(|&i| self.tcell_list_of(i).iter().copied())
+                .collect();
+            task_cells.sort_unstable();
+            task_cells.dedup();
+
+            let mut task_ids: Vec<TaskId> = task_cells
+                .iter()
+                .flat_map(|&j| self.tasks_of_cell(j).iter().copied())
+                .collect();
+            task_ids.sort_unstable();
+
+            let tasks: Vec<Task> = task_ids
+                .iter()
+                .map(|id| *self.task(*id).expect("indexed task"))
+                .collect();
+            let workers: Vec<Worker> = worker_ids
+                .iter()
+                .map(|id| *self.worker(*id).expect("indexed worker"))
+                .collect();
+
+            let local_task: HashMap<TaskId, TaskId> = task_ids
+                .iter()
+                .enumerate()
+                .map(|(local, live)| (*live, TaskId::from(local)))
+                .collect();
+            let local_worker: HashMap<WorkerId, WorkerId> = worker_ids
+                .iter()
+                .enumerate()
+                .map(|(local, live)| (*live, WorkerId::from(local)))
+                .collect();
+
+            let mapping = SubInstanceMapping {
+                tasks: task_ids.clone(),
+                workers: worker_ids.clone(),
+            };
+            let mut instance = ProblemInstance::new(tasks, workers, beta);
+            instance.depart_at = self.depart_at;
+            instance.allow_wait = self.allow_wait;
+
+            // Cell-pruned pair retrieval, re-expressed in shard-local ids.
+            let mut candidates =
+                BipartiteCandidates::with_capacity(instance.num_tasks(), instance.num_workers());
+            self.for_each_cell_pruned_pair(cells, |task, worker, contribution| {
+                candidates.push(ValidPair {
+                    task: local_task[&task.id],
+                    worker: local_worker[&worker.id],
+                    contribution,
+                });
+            });
+
+            shards.push(ProblemShard {
+                instance,
+                mapping,
+                candidates,
+            });
+        }
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbsc_geo::{AngleRange, Point, Rect};
+    use rdbsc_model::{Confidence, TimeWindow};
+
+    fn task(id: u32, x: f64, y: f64) -> Task {
+        Task::new(
+            TaskId(id),
+            Point::new(x, y),
+            TimeWindow::new(0.0, 1.0).unwrap(),
+        )
+    }
+
+    fn worker(id: u32, x: f64, y: f64, speed: f64) -> Worker {
+        Worker::new(
+            WorkerId(id),
+            Point::new(x, y),
+            speed,
+            AngleRange::full(),
+            Confidence::new(0.9).unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Two well-separated clusters of slow workers and near tasks: the
+    /// extraction must produce two shards that partition the valid pairs.
+    #[test]
+    fn separated_clusters_become_separate_shards() {
+        let mut index = GridIndex::new(Rect::unit(), 0.1);
+        // Cluster A near (0.1, 0.1); cluster B near (0.9, 0.9). Speeds are
+        // low enough that neither cluster can reach the other within the
+        // 1-minute task windows.
+        index.insert_task(task(0, 0.10, 0.12));
+        index.insert_task(task(1, 0.14, 0.10));
+        index.insert_worker(worker(0, 0.08, 0.08, 0.1));
+        index.insert_worker(worker(1, 0.12, 0.14, 0.1));
+        index.insert_task(task(2, 0.90, 0.88));
+        index.insert_worker(worker(2, 0.92, 0.92, 0.1));
+        // An unreachable task floating alone — must not appear in any shard.
+        index.insert_task(task(3, 0.5, 0.02));
+
+        let shards = index.extract_shards(0.5);
+        assert_eq!(shards.len(), 2);
+        let sizes: Vec<(usize, usize)> = shards
+            .iter()
+            .map(|s| (s.num_tasks(), s.num_workers()))
+            .collect();
+        assert_eq!(sizes, vec![(2, 2), (1, 1)]);
+
+        // Per-shard candidates together equal the global retrieval.
+        let global = index.retrieve_valid_pairs();
+        let mut global_pairs: Vec<(TaskId, WorkerId)> =
+            global.pairs.iter().map(|p| (p.task, p.worker)).collect();
+        global_pairs.sort();
+        let mut shard_pairs: Vec<(TaskId, WorkerId)> = shards
+            .iter()
+            .flat_map(|s| {
+                s.candidates
+                    .pairs
+                    .iter()
+                    .map(|p| (s.mapping.task(p.task), s.mapping.worker(p.worker)))
+            })
+            .collect();
+        shard_pairs.sort();
+        assert_eq!(shard_pairs, global_pairs);
+    }
+
+    #[test]
+    fn one_fast_worker_merges_everything_into_one_shard() {
+        let mut index = GridIndex::new(Rect::unit(), 0.1);
+        index.insert_task(task(0, 0.1, 0.1));
+        index.insert_task(task(1, 0.9, 0.9));
+        index.insert_worker(worker(0, 0.5, 0.5, 5.0));
+        let shards = index.extract_shards(0.5);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].num_tasks(), 2);
+        assert_eq!(shards[0].num_workers(), 1);
+        assert_eq!(shards[0].num_pairs(), 2);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let build = || {
+            let mut index = GridIndex::new(Rect::unit(), 0.2);
+            for i in 0..20 {
+                index.insert_task(task(i, (i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0));
+            }
+            for j in 0..20 {
+                index.insert_worker(worker(
+                    j,
+                    (j as f64 * 0.53) % 1.0,
+                    (j as f64 * 0.29) % 1.0,
+                    0.2,
+                ));
+            }
+            index.extract_shards(0.5)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.iter().zip(b.iter()) {
+            assert_eq!(sa.mapping.tasks, sb.mapping.tasks);
+            assert_eq!(sa.mapping.workers, sb.mapping.workers);
+            assert_eq!(sa.num_pairs(), sb.num_pairs());
+        }
+    }
+
+    #[test]
+    fn empty_index_yields_no_shards() {
+        let mut index = GridIndex::new(Rect::unit(), 0.25);
+        assert!(index.extract_shards(0.5).is_empty());
+        index.insert_worker(worker(0, 0.5, 0.5, 0.5));
+        assert!(index.extract_shards(0.5).is_empty(), "worker-only component is dropped");
+    }
+}

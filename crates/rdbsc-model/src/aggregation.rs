@@ -12,10 +12,9 @@
 use crate::task::TimeWindow;
 use crate::valid_pairs::Contribution;
 use rdbsc_geo::angle::ccw_delta;
-use serde::{Deserialize, Serialize};
 
 /// Parameters controlling when two answers are considered "similar".
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AggregationConfig {
     /// Two answers whose approach angles differ by at most this (radians)
     /// are spatially similar.
@@ -35,7 +34,7 @@ impl Default for AggregationConfig {
 }
 
 /// One aggregated group of answers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AnswerGroup {
     /// Indices (into the input slice) of the answers in this group.
     pub members: Vec<usize>,

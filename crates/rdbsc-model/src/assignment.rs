@@ -10,10 +10,9 @@ use crate::error::ModelError;
 use crate::ids::{TaskId, WorkerId};
 use crate::instance::ProblemInstance;
 use crate::valid_pairs::{check_pair, Contribution, ValidPair};
-use serde::{Deserialize, Serialize};
 
 /// A task-and-worker assignment strategy.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Assignment {
     /// For each task (dense index), the workers assigned to it together with
     /// their contributions.

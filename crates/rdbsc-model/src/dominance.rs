@@ -5,7 +5,7 @@
 //! many other candidates they dominate) and the sampling algorithm (to pick
 //! the best sampled assignment) use the dominance relation of the skyline
 //! operator and the *dominating count* ranking of top-k dominating queries,
-//! exactly as referenced in the paper ([13] and [22]).
+//! exactly as referenced in the paper (\[13\] and \[22\]).
 
 /// A bi-objective value: the first component is the reliability-related
 /// objective, the second the diversity-related one. Both are maximised.

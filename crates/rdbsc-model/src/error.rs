@@ -9,7 +9,12 @@ pub enum ModelError {
     /// A confidence value fell outside `[0, 1]` or was not finite.
     InvalidConfidence(f64),
     /// A time window had `end < start` or non-finite bounds.
-    InvalidTimeWindow { start: f64, end: f64 },
+    InvalidTimeWindow {
+        /// The rejected window's start.
+        start: f64,
+        /// The rejected window's end.
+        end: f64,
+    },
     /// A worker speed was negative or non-finite.
     InvalidSpeed(f64),
     /// A referenced task id does not exist in the instance.
@@ -19,7 +24,12 @@ pub enum ModelError {
     /// A worker was assigned to more than one task.
     WorkerAssignedTwice(WorkerId),
     /// An assignment pair violates the reachability constraint.
-    InvalidPair { task: TaskId, worker: WorkerId },
+    InvalidPair {
+        /// The task of the rejected pair.
+        task: TaskId,
+        /// The worker of the rejected pair.
+        worker: WorkerId,
+    },
     /// The diversity balance weight `β` fell outside `[0, 1]`.
     InvalidBeta(f64),
 }

@@ -4,18 +4,17 @@
 //! task array with a worker id (and vice versa), a class of bug that is easy
 //! to introduce in assignment code that juggles both.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a spatial task (index into the instance's task vector).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct TaskId(pub u32);
 
 /// Identifier of a worker (index into the instance's worker vector).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct WorkerId(pub u32);
 

@@ -5,14 +5,13 @@ use crate::error::ModelError;
 use crate::ids::{TaskId, WorkerId};
 use crate::task::Task;
 use crate::worker::Worker;
-use serde::{Deserialize, Serialize};
 
 /// An RDB-SC problem instance.
 ///
 /// Tasks and workers are stored in dense vectors and identified by their
 /// index ([`TaskId`] / [`WorkerId`]); the constructor re-numbers ids to match
 /// positions so the rest of the system can index in O(1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProblemInstance {
     /// The `m` time-constrained spatial tasks.
     pub tasks: Vec<Task>,

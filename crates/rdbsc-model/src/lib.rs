@@ -11,13 +11,15 @@
 //! |---|---|
 //! | Definition 1 (tasks) | [`task`] |
 //! | Definition 2 (workers) | [`worker`] |
-//! | Definition 3 / Eq. 1, 8 (reliability) | [`reliability`] |
+//! | Definition 3 / Eq. 1, 8 (reliability) | [`mod@reliability`] |
 //! | Eqs. 3–5 (SD/TD/STD entropy) | [`diversity`] |
 //! | Eq. 2, 6 (possible worlds) | [`possible_worlds`] |
 //! | Eqs. 9–11, Lemma 3.1 (matrix reduction) | [`expected`] |
 //! | Definition 4 (the RDB-SC problem) | [`instance`], [`assignment`], [`objective`] |
 //! | Valid task-and-worker pairs (constraint 1) | [`valid_pairs`] |
 //! | Skyline dominance / top-k dominating ranks | [`dominance`] |
+
+#![deny(missing_docs)]
 
 pub mod aggregation;
 pub mod assignment;

@@ -8,7 +8,6 @@ use crate::ids::TaskId;
 use crate::instance::ProblemInstance;
 use crate::reliability::{log_reliability, reliability};
 use crate::valid_pairs::Contribution;
-use serde::{Deserialize, Serialize};
 
 /// Contributions a task has *already* banked before the current assignment
 /// round — e.g. answers received from previously assigned workers in the
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Priors participate in both the reliability and the expected-diversity of a
 /// task, exactly like newly assigned workers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TaskPriors {
     per_task: Vec<Vec<Contribution>>,
 }
@@ -52,7 +51,7 @@ impl TaskPriors {
 }
 
 /// The value of an assignment under the two RDB-SC objectives.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObjectiveValue {
     /// `min_i rel(tᵢ, Wᵢ)` over the tasks considered (see
     /// [`MinReliabilityScope`]). `1.0` when no task is considered (e.g. an

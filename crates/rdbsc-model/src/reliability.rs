@@ -7,10 +7,9 @@
 //!   incremental updates (Lemma 4.1).
 
 use crate::error::ModelError;
-use serde::{Deserialize, Serialize};
 
 /// A worker confidence `p ∈ [0, 1]`, validated at construction.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Confidence(f64);
 
 impl Confidence {

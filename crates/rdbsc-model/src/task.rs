@@ -3,10 +3,9 @@
 use crate::error::ModelError;
 use crate::ids::TaskId;
 use rdbsc_geo::Point;
-use serde::{Deserialize, Serialize};
 
 /// The valid period `[s, e]` during which a task may be served.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeWindow {
     /// Start of the valid period (`sᵢ`).
     pub start: f64,
@@ -44,7 +43,7 @@ impl TimeWindow {
 
 /// A time-constrained spatial task `tᵢ` (Definition 1): a location `lᵢ` and a
 /// valid period `[sᵢ, eᵢ]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Task {
     /// Identifier (index within the instance).
     pub id: TaskId,

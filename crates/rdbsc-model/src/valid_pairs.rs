@@ -7,13 +7,12 @@ use crate::reliability::Confidence;
 use crate::task::Task;
 use crate::worker::Worker;
 use rdbsc_geo::{normalize_angle, Reachability};
-use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
 /// What a single worker contributes to a task it is assigned to: its
 /// confidence, the angle of the ray from the task towards the worker
 /// (spatial diversity) and its effective arrival time (temporal diversity).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Contribution {
     /// Worker confidence `pⱼ`.
     pub confidence: Confidence,
@@ -45,9 +44,11 @@ impl Contribution {
 
 /// A valid task-and-worker pair: the worker can arrive at the task's location
 /// within its valid period while respecting its moving-direction cone.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValidPair {
+    /// The task of the pair.
     pub task: TaskId,
+    /// The worker that can serve it.
     pub worker: WorkerId,
     /// The contribution the worker would make to the task.
     pub contribution: Contribution,

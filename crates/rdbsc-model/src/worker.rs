@@ -4,11 +4,10 @@ use crate::error::ModelError;
 use crate::ids::WorkerId;
 use crate::reliability::Confidence;
 use rdbsc_geo::{AngleRange, MotionModel, Point};
-use serde::{Deserialize, Serialize};
 
 /// A dynamically moving worker `wⱼ` (Definition 2): current location `lⱼ`,
 /// velocity `vⱼ`, moving-direction cone `[α⁻ⱼ, α⁺ⱼ]` and confidence `pⱼ`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Worker {
     /// Identifier (index within the instance).
     pub id: WorkerId,

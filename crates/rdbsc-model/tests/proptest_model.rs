@@ -5,6 +5,7 @@
 //! possible-worlds expectation, exercised over random worker sets.
 
 use proptest::prelude::*;
+use std::f64::consts::TAU;
 use rdbsc_model::possible_worlds::{
     expected_sd_exhaustive, expected_std_exhaustive, expected_td_exhaustive,
 };
@@ -16,7 +17,7 @@ use rdbsc_model::{
 /// Strategy generating a small worker set as (p, angle, arrival) triples.
 fn contribution_set(max_len: usize) -> impl Strategy<Value = Vec<Contribution>> {
     proptest::collection::vec(
-        (0.0f64..=1.0, 0.0f64..6.2831, 0.0f64..10.0),
+        (0.0f64..=1.0, 0.0f64..TAU, 0.0f64..10.0),
         0..=max_len,
     )
     .prop_map(|v| {
@@ -68,7 +69,7 @@ proptest! {
     fn expected_std_monotone_in_workers(
         cs in contribution_set(7),
         p in 0.0f64..=1.0,
-        angle in 0.0f64..6.2831,
+        angle in 0.0f64..TAU,
         arrival in 0.0f64..10.0,
         beta in 0.0f64..=1.0,
     ) {
@@ -98,7 +99,7 @@ proptest! {
     /// Diversity entropies are bounded by ln of the number of parts.
     #[test]
     fn diversity_entropy_bounds(
-        angles in proptest::collection::vec(0.0f64..6.2831, 2..12),
+        angles in proptest::collection::vec(0.0f64..TAU, 2..12),
         arrivals in proptest::collection::vec(0.0f64..10.0, 1..12),
     ) {
         let sd = spatial_diversity(&angles);

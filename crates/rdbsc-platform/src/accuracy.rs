@@ -15,11 +15,10 @@
 //! intuitive [`answer_accuracy`] `= 1 − error`.
 
 use rdbsc_model::TimeWindow;
-use serde::{Deserialize, Serialize};
 
 /// One answer received by the platform, with the deviations from what the
 /// assignment expected.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnswerRecord {
     /// Angular deviation `Δθ` between the expected and actual facing
     /// direction, in radians (`[0, π]`).

@@ -12,10 +12,9 @@
 
 use rdbsc_geo::{normalize_angle, FULL_TURN};
 use rdbsc_model::TimeWindow;
-use serde::{Deserialize, Serialize};
 
 /// Coverage summary of one task's accepted answers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoverageReport {
     /// Fraction of the full circle covered by the photo directions
     /// (each widened by the field of view).

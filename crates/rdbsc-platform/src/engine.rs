@@ -1,0 +1,867 @@
+//! The parallel batched online assignment engine.
+//!
+//! The platform simulator in [`crate::sim`] re-solves the whole instance
+//! single-threadedly every `t_interval`. That is faithful to the paper's
+//! Figure 10 but nowhere near "heavy traffic" territory: with thousands of
+//! live workers the monolithic re-solve dominates the interval. This module
+//! replaces it with an **event-driven, sharded, parallel** loop:
+//!
+//! 1. Worker moves, task arrivals and task expirations arrive as
+//!    [`EngineEvent`]s and are applied to the grid index *incrementally*
+//!    (`O(1)` cell updates, dirty-cell tracking — no rebuilds).
+//! 2. At every [`AssignmentEngine::tick`], the live instance is partitioned
+//!    into independent spatial shards — the connected components of the
+//!    index's cell-reachability relation — which by construction share no
+//!    valid pair, so solving them separately loses nothing.
+//! 3. Shards are solved **in parallel** on scoped OS threads (see
+//!    [`crate::par`]); the per-shard solver is chosen by the cost-model-based
+//!    [`AdaptiveBatchSolver`] (greedy for small shards, sampling under tight
+//!    deadlines, divide-and-conquer for large clustered shards).
+//! 4. Per-shard assignments are merged back into the engine's standing
+//!    state: newly assigned workers become *en route* and stay unavailable
+//!    until the platform reports an answer or a give-up, mirroring the
+//!    incremental strategy's `S_c`.
+//!
+//! Determinism: shard extraction is deterministic, every shard gets its own
+//! seed derived from `(engine seed, tick, shard index)`, and results are
+//! merged in shard order — so a run's output does not depend on thread
+//! scheduling or the number of threads.
+
+use crate::par::{default_parallelism, parallel_map};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc_algos::solver::{BatchSolver, SolveRequest};
+use rdbsc_algos::{DncConfig, GreedyConfig, SamplingConfig, Solver};
+use rdbsc_index::cost_model::estimate_fractal_dimension;
+use rdbsc_index::{GridIndex, ProblemShard};
+use rdbsc_model::objective::TaskPriors;
+use rdbsc_model::valid_pairs::{BipartiteCandidates, ValidPair};
+use rdbsc_model::{
+    expected_std, reliability, Assignment, Contribution, Task, TaskId, Worker, WorkerId,
+};
+use rdbsc_geo::{Point, Rect};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// An update to the live instance, applied incrementally at the next tick.
+#[derive(Debug, Clone)]
+pub enum EngineEvent {
+    /// A new task was posted (or an existing one re-posted with new data).
+    TaskArrived(Task),
+    /// A task was withdrawn or expired server-side.
+    TaskExpired(TaskId),
+    /// A worker checked in (or re-registered with new speed/heading).
+    WorkerCheckIn(Worker),
+    /// A worker reported a new position.
+    WorkerMoved(WorkerId, Point),
+    /// A worker checked out; if en route, its assignment is released.
+    WorkerLeft(WorkerId),
+}
+
+/// Configuration of the engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Diversity balance weight `β` used when building shard instances.
+    pub beta: f64,
+    /// Worker threads for the sharded solve; `0` means "use all cores".
+    pub parallelism: usize,
+    /// Base seed; every `(tick, shard)` derives its own generator from it.
+    pub seed: u64,
+    /// Remove tasks whose valid period has ended at the start of each tick
+    /// (releasing any worker still travelling towards them).
+    pub auto_expire: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            beta: 0.5,
+            parallelism: 0,
+            seed: 42,
+            auto_expire: true,
+        }
+    }
+}
+
+/// The cost-model-driven per-shard strategy selector.
+///
+/// The choice mirrors the paper's evaluation (Section 8.2/8.3: greedy has
+/// the best quality but the steepest running-time curve; sampling is the
+/// cheapest; divide-and-conquer sits in between and shines when the task set
+/// partitions cleanly) plus the correlation fractal dimension `D₂` from the
+/// index's cost model (Appendix I) as the clusteredness signal:
+///
+/// * shards whose pair count is below [`greedy_max_pairs`] are solved with
+///   **GREEDY** — at that size its superlinear cost is irrelevant and its
+///   quality is the best available;
+/// * larger shards whose tightest deadline is closer than [`urgent_slack`]
+///   use **SAMPLING** — the cheapest solver, guaranteeing the round finishes
+///   while the answers still matter;
+/// * remaining large shards estimate `D₂` of their task locations:
+///   clustered shards (`D₂ ≤` [`clustered_d2`]) with at least
+///   [`dnc_min_tasks`] tasks go to **D&C**, whose 2-means partitioning
+///   exploits exactly that structure; the rest use **SAMPLING**.
+///
+/// [`greedy_max_pairs`]: AdaptiveBatchSolver::greedy_max_pairs
+/// [`urgent_slack`]: AdaptiveBatchSolver::urgent_slack
+/// [`clustered_d2`]: AdaptiveBatchSolver::clustered_d2
+/// [`dnc_min_tasks`]: AdaptiveBatchSolver::dnc_min_tasks
+#[derive(Debug, Clone)]
+pub struct AdaptiveBatchSolver {
+    /// Shards with at most this many valid pairs are solved greedily.
+    pub greedy_max_pairs: usize,
+    /// Slack threshold (time units between departure and the shard's
+    /// tightest deadline) below which large shards fall back to sampling.
+    pub urgent_slack: f64,
+    /// Minimum task count for divide-and-conquer to be worth its
+    /// partition/merge overhead.
+    pub dnc_min_tasks: usize,
+    /// Fractal-dimension threshold under which a shard counts as clustered.
+    pub clustered_d2: f64,
+    /// Configuration for the greedy solver.
+    pub greedy: GreedyConfig,
+    /// Configuration for the sampling solver.
+    pub sampling: SamplingConfig,
+    /// Configuration for the divide-and-conquer solver.
+    pub dnc: DncConfig,
+}
+
+impl Default for AdaptiveBatchSolver {
+    fn default() -> Self {
+        Self {
+            greedy_max_pairs: 1_500,
+            urgent_slack: 0.5,
+            dnc_min_tasks: 64,
+            clustered_d2: 1.6,
+            greedy: GreedyConfig::default(),
+            sampling: SamplingConfig::default(),
+            dnc: DncConfig::default(),
+        }
+    }
+}
+
+impl AdaptiveBatchSolver {
+    /// Picks the solver for a shard (see the type-level docs for the rules).
+    pub fn choose(&self, request: &SolveRequest<'_>) -> Solver {
+        let instance = request.instance;
+        let pairs = request.candidates.num_pairs();
+        if pairs <= self.greedy_max_pairs {
+            return Solver::Greedy(self.greedy);
+        }
+        let min_slack = instance
+            .tasks
+            .iter()
+            .map(|t| t.window.end - instance.depart_at)
+            .fold(f64::INFINITY, f64::min);
+        if min_slack < self.urgent_slack {
+            return Solver::Sampling(self.sampling);
+        }
+        if instance.num_tasks() >= self.dnc_min_tasks {
+            let locations: Vec<Point> = instance.tasks.iter().map(|t| t.location).collect();
+            let d2 = estimate_fractal_dimension(&locations, Rect::unit());
+            if d2 <= self.clustered_d2 {
+                return Solver::DivideAndConquer(self.dnc);
+            }
+        }
+        Solver::Sampling(self.sampling)
+    }
+}
+
+impl BatchSolver for AdaptiveBatchSolver {
+    fn solve_shard(&self, request: &SolveRequest<'_>, rng: &mut StdRng) -> Assignment {
+        self.choose(request).solve(request, rng)
+    }
+
+    fn strategy_name(&self, request: &SolveRequest<'_>) -> &'static str {
+        self.choose(request).name()
+    }
+
+    fn solve_shard_named(
+        &self,
+        request: &SolveRequest<'_>,
+        rng: &mut StdRng,
+    ) -> (&'static str, Assignment) {
+        // One decision per shard: the slack scan and fractal-dimension
+        // estimate are not repeated for the name.
+        let solver = self.choose(request);
+        (solver.name(), solver.solve(request, rng))
+    }
+}
+
+/// What one engine tick did.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// The tick's time (workers depart no earlier).
+    pub now: f64,
+    /// Events drained from the queue this tick.
+    pub events_applied: usize,
+    /// Tasks auto-expired at the start of the tick.
+    pub tasks_expired: usize,
+    /// Number of independent shards solved.
+    pub num_shards: usize,
+    /// Valid pairs in the largest shard (the parallel critical path).
+    pub largest_shard_pairs: usize,
+    /// Solver picked per shard, in shard order.
+    pub strategies: Vec<&'static str>,
+    /// The pairs newly committed this tick, in live ids.
+    pub new_assignments: Vec<ValidPair>,
+    /// Wall-clock seconds spent in the sharded solve (excludes event
+    /// application and shard extraction).
+    pub solve_seconds: f64,
+    /// Per-shard solve seconds, in shard order. Their maximum is the
+    /// parallel critical path: with enough cores the sharded solve takes
+    /// `max` instead of `sum` seconds.
+    pub shard_solve_seconds: Vec<f64>,
+}
+
+impl TickReport {
+    /// The parallel critical path: the slowest single shard's solve time.
+    pub fn critical_path_seconds(&self) -> f64 {
+        self.shard_solve_seconds
+            .iter()
+            .fold(0.0f64, |acc, s| acc.max(*s))
+    }
+}
+
+/// Aggregate quality of the engine's standing state (banked answers plus
+/// en-route workers), mirroring [`rdbsc_model::ObjectiveValue`] for the
+/// online setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineObjective {
+    /// Minimum reliability over tasks with at least one contribution.
+    /// `1.0` when no task has any.
+    pub min_reliability: f64,
+    /// Total expected spatial/temporal diversity over all tasks (live and
+    /// retired) with contributions.
+    pub total_std: f64,
+    /// Number of tasks with at least one contribution.
+    pub covered_tasks: usize,
+}
+
+/// The event-driven parallel assignment engine.
+///
+/// See the [module docs](self) for the architecture. Typical driving loop:
+///
+/// ```
+/// use rdbsc_geo::{AngleRange, Point, Rect};
+/// use rdbsc_index::GridIndex;
+/// use rdbsc_model::{Confidence, Task, TaskId, TimeWindow, Worker, WorkerId};
+/// use rdbsc_platform::engine::{AssignmentEngine, EngineConfig, EngineEvent};
+///
+/// let mut engine = AssignmentEngine::new(
+///     GridIndex::new(Rect::unit(), 0.25),
+///     EngineConfig::default(),
+/// );
+/// engine.submit(EngineEvent::TaskArrived(Task::new(
+///     TaskId(0),
+///     Point::new(0.6, 0.6),
+///     TimeWindow::new(0.0, 10.0).unwrap(),
+/// )));
+/// engine.submit(EngineEvent::WorkerCheckIn(
+///     Worker::new(
+///         WorkerId(0),
+///         Point::new(0.5, 0.5),
+///         0.5,
+///         AngleRange::full(),
+///         Confidence::new(0.9).unwrap(),
+///     )
+///     .unwrap(),
+/// ));
+/// let report = engine.tick(0.0);
+/// assert_eq!(report.new_assignments.len(), 1);
+///
+/// // The worker arrives and answers; its contribution is banked and the
+/// // worker becomes available again.
+/// let pair = report.new_assignments[0];
+/// engine.record_answer(pair.worker, pair.contribution);
+/// assert!(engine.current_objective().min_reliability > 0.0);
+/// ```
+pub struct AssignmentEngine {
+    index: GridIndex,
+    config: EngineConfig,
+    solver: Box<dyn BatchSolver + Send>,
+    pending: Vec<EngineEvent>,
+    /// Workers currently travelling under the standing assignment.
+    committed: HashMap<WorkerId, (TaskId, Contribution)>,
+    /// Answers received, per task (live or retired).
+    banked: HashMap<TaskId, Vec<Contribution>>,
+    /// Tasks that expired or were withdrawn, kept for objective accounting.
+    retired: HashMap<TaskId, Task>,
+    tick_count: u64,
+}
+
+impl AssignmentEngine {
+    /// Creates an engine over an index (usually empty) with the
+    /// cost-model-driven [`AdaptiveBatchSolver`].
+    pub fn new(index: GridIndex, config: EngineConfig) -> Self {
+        Self::with_solver(index, config, Box::new(AdaptiveBatchSolver::default()))
+    }
+
+    /// Creates an engine with an explicit per-shard solver (e.g. a fixed
+    /// [`Solver`] for apples-to-apples comparisons).
+    pub fn with_solver(
+        index: GridIndex,
+        config: EngineConfig,
+        solver: Box<dyn BatchSolver + Send>,
+    ) -> Self {
+        Self {
+            index,
+            config,
+            solver,
+            pending: Vec::new(),
+            committed: HashMap::new(),
+            banked: HashMap::new(),
+            retired: HashMap::new(),
+            tick_count: 0,
+        }
+    }
+
+    /// Queues an event for the next tick.
+    pub fn submit(&mut self, event: EngineEvent) {
+        self.pending.push(event);
+    }
+
+    /// Queues many events for the next tick.
+    pub fn submit_all<I: IntoIterator<Item = EngineEvent>>(&mut self, events: I) {
+        self.pending.extend(events);
+    }
+
+    /// Number of live tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.index.num_tasks()
+    }
+
+    /// Number of live workers.
+    pub fn num_workers(&self) -> usize {
+        self.index.num_workers()
+    }
+
+    /// Is the worker currently travelling under the standing assignment?
+    pub fn is_committed(&self, worker: WorkerId) -> bool {
+        self.committed.contains_key(&worker)
+    }
+
+    /// The live index (read-only).
+    pub fn index(&self) -> &GridIndex {
+        &self.index
+    }
+
+    /// The worker completed its task: its contribution is banked and the
+    /// worker becomes available for the next tick. No-op when the worker was
+    /// not en route.
+    pub fn record_answer(&mut self, worker: WorkerId, contribution: Contribution) {
+        if let Some((task, _)) = self.committed.remove(&worker) {
+            self.banked.entry(task).or_default().push(contribution);
+        }
+    }
+
+    /// The worker gave up (rejection, missed deadline, …): it becomes
+    /// available again and nothing is banked.
+    pub fn release_worker(&mut self, worker: WorkerId) {
+        self.committed.remove(&worker);
+    }
+
+    /// Runs one engine round at time `now`: drains the event queue, expires
+    /// stale tasks, shards the live instance and solves the shards in
+    /// parallel, committing the newly assigned workers.
+    pub fn tick(&mut self, now: f64) -> TickReport {
+        let events: Vec<EngineEvent> = std::mem::take(&mut self.pending);
+        let events_applied = events.len();
+        for event in events {
+            self.apply(event);
+        }
+
+        let mut tasks_expired = 0usize;
+        if self.config.auto_expire {
+            for id in self.index.expired_tasks(now) {
+                self.retire_task(id);
+                tasks_expired += 1;
+            }
+        }
+
+        self.index.depart_at = now;
+        let shards = self.index.extract_shards(self.config.beta);
+
+        // Restrict every shard to available (non-committed) workers and
+        // carry the banked + en-route contributions in as priors.
+        let prepared: Vec<(ProblemShard, BipartiteCandidates, TaskPriors)> = shards
+            .into_iter()
+            .filter_map(|shard| {
+                let mut available = BipartiteCandidates::with_capacity(
+                    shard.instance.num_tasks(),
+                    shard.instance.num_workers(),
+                );
+                for pair in &shard.candidates.pairs {
+                    let live_worker = shard.mapping.worker(pair.worker);
+                    if !self.committed.contains_key(&live_worker) {
+                        available.push(*pair);
+                    }
+                }
+                if available.pairs.is_empty() {
+                    return None;
+                }
+                let mut priors = TaskPriors::empty(shard.instance.num_tasks());
+                let live_to_local: HashMap<TaskId, TaskId> = shard
+                    .mapping
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .map(|(local, live)| (*live, TaskId::from(local)))
+                    .collect();
+                for (live, contributions) in &self.banked {
+                    if let Some(local) = live_to_local.get(live) {
+                        for c in contributions {
+                            priors.add(*local, *c);
+                        }
+                    }
+                }
+                for (task, contribution) in self.committed.values() {
+                    if let Some(local) = live_to_local.get(task) {
+                        priors.add(*local, *contribution);
+                    }
+                }
+                Some((shard, available, priors))
+            })
+            .collect();
+
+        let num_shards = prepared.len();
+        let largest_shard_pairs = prepared
+            .iter()
+            .map(|(_, available, _)| available.num_pairs())
+            .max()
+            .unwrap_or(0);
+
+        let threads = if self.config.parallelism == 0 {
+            default_parallelism()
+        } else {
+            self.config.parallelism
+        };
+        let base_seed = mix_seed(self.config.seed, self.tick_count);
+        let solver = self.solver.as_ref();
+
+        let started = Instant::now();
+        let solved: Vec<(ProblemShard, Assignment, &'static str, f64)> = parallel_map(
+            prepared,
+            threads,
+            |shard_idx, (shard, available, priors)| {
+                let shard_started = Instant::now();
+                let request =
+                    SolveRequest::new(&shard.instance, &available).with_priors(&priors);
+                let mut rng = StdRng::seed_from_u64(mix_seed(base_seed, shard_idx as u64));
+                let (strategy, assignment) = solver.solve_shard_named(&request, &mut rng);
+                (
+                    shard,
+                    assignment,
+                    strategy,
+                    shard_started.elapsed().as_secs_f64(),
+                )
+            },
+        );
+        let solve_seconds = started.elapsed().as_secs_f64();
+
+        let mut new_assignments = Vec::new();
+        let mut strategies = Vec::with_capacity(solved.len());
+        let mut shard_solve_seconds = Vec::with_capacity(solved.len());
+        for (shard, assignment, strategy, seconds) in solved {
+            strategies.push(strategy);
+            shard_solve_seconds.push(seconds);
+            for (local_task, local_worker, contribution) in assignment.iter() {
+                let task = shard.mapping.task(local_task);
+                let worker = shard.mapping.worker(local_worker);
+                debug_assert!(!self.committed.contains_key(&worker));
+                self.committed.insert(worker, (task, contribution));
+                new_assignments.push(ValidPair {
+                    task,
+                    worker,
+                    contribution,
+                });
+            }
+        }
+
+        self.tick_count += 1;
+        TickReport {
+            now,
+            events_applied,
+            tasks_expired,
+            num_shards,
+            largest_shard_pairs,
+            strategies,
+            new_assignments,
+            solve_seconds,
+            shard_solve_seconds,
+        }
+    }
+
+    /// The quality of the standing state: banked answers plus en-route
+    /// workers, over live and retired tasks.
+    pub fn current_objective(&self) -> EngineObjective {
+        // Overlay the (small) en-route set on the banked answers without
+        // cloning the whole banked map: only tasks with an en-route worker
+        // need a merged contribution vector.
+        let mut en_route: HashMap<TaskId, Vec<Contribution>> = HashMap::new();
+        for (worker_task, contribution) in self.committed.values() {
+            en_route
+                .entry(*worker_task)
+                .or_default()
+                .push(*contribution);
+        }
+
+        let mut min_reliability = f64::INFINITY;
+        let mut total_std = 0.0;
+        let mut covered_tasks = 0usize;
+        let mut merged = Vec::new();
+        let mut score = |task_id: &TaskId, contributions: &[Contribution]| {
+            if contributions.is_empty() {
+                return;
+            }
+            let Some(task) = self
+                .index
+                .task(*task_id)
+                .or_else(|| self.retired.get(task_id))
+            else {
+                return;
+            };
+            covered_tasks += 1;
+            let confidences: Vec<_> = contributions.iter().map(|c| c.confidence).collect();
+            min_reliability = min_reliability.min(reliability(&confidences));
+            total_std += expected_std(
+                contributions,
+                task.window,
+                task.effective_beta(self.config.beta),
+            );
+        };
+        for (task_id, banked) in &self.banked {
+            match en_route.remove(task_id) {
+                Some(extra) => {
+                    merged.clear();
+                    merged.extend_from_slice(banked);
+                    merged.extend_from_slice(&extra);
+                    score(task_id, &merged);
+                }
+                None => score(task_id, banked),
+            }
+        }
+        for (task_id, extra) in &en_route {
+            score(task_id, extra);
+        }
+
+        if min_reliability == f64::INFINITY {
+            min_reliability = 1.0;
+        }
+        EngineObjective {
+            min_reliability,
+            total_std,
+            covered_tasks,
+        }
+    }
+
+    fn apply(&mut self, event: EngineEvent) {
+        match event {
+            EngineEvent::TaskArrived(task) => {
+                self.retired.remove(&task.id);
+                self.index.insert_task(task);
+            }
+            EngineEvent::TaskExpired(id) => self.retire_task(id),
+            EngineEvent::WorkerCheckIn(worker) => self.index.insert_worker(worker),
+            EngineEvent::WorkerMoved(id, to) => self.index.relocate_worker(id, to),
+            EngineEvent::WorkerLeft(id) => {
+                self.committed.remove(&id);
+                self.index.remove_worker(id);
+            }
+        }
+    }
+
+    /// Removes a task from the live index, releasing workers still
+    /// travelling towards it, and keeps it around for objective accounting.
+    fn retire_task(&mut self, id: TaskId) {
+        if let Some(task) = self.index.task(id).copied() {
+            self.retired.insert(id, task);
+            self.index.remove_task(id);
+        }
+        self.committed.retain(|_, (task, _)| *task != id);
+    }
+}
+
+/// SplitMix64-style mixing for per-tick / per-shard seeds.
+fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rdbsc_geo::AngleRange;
+    use rdbsc_model::valid_pairs::compute_valid_pairs;
+    use rdbsc_model::{evaluate, Confidence, ProblemInstance, TimeWindow};
+
+    fn task(id: u32, x: f64, y: f64, start: f64, end: f64) -> Task {
+        Task::new(
+            TaskId(id),
+            Point::new(x, y),
+            TimeWindow::new(start, end).unwrap(),
+        )
+    }
+
+    fn worker(id: u32, x: f64, y: f64, speed: f64) -> Worker {
+        Worker::new(
+            WorkerId(id),
+            Point::new(x, y),
+            speed,
+            AngleRange::full(),
+            Confidence::new(0.9).unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// A clustered world: `clusters` groups of co-located tasks and workers,
+    /// too slow to cross between groups before the deadlines.
+    fn clustered_events(clusters: usize, per_cluster: usize) -> Vec<EngineEvent> {
+        let mut events = Vec::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut next_task = 0u32;
+        let mut next_worker = 0u32;
+        for c in 0..clusters {
+            let cx = 0.15 + 0.7 * (c % 3) as f64 / 2.0;
+            let cy = 0.15 + 0.7 * (c / 3) as f64 / 2.0;
+            for _ in 0..per_cluster {
+                let dx: f64 = rng.gen_range(-0.04..0.04);
+                let dy: f64 = rng.gen_range(-0.04..0.04);
+                events.push(EngineEvent::TaskArrived(task(
+                    next_task,
+                    cx + dx,
+                    cy + dy,
+                    0.0,
+                    2.0,
+                )));
+                next_task += 1;
+                let dx: f64 = rng.gen_range(-0.04..0.04);
+                let dy: f64 = rng.gen_range(-0.04..0.04);
+                events.push(EngineEvent::WorkerCheckIn(worker(
+                    next_worker,
+                    cx + dx,
+                    cy + dy,
+                    0.08,
+                )));
+                next_worker += 1;
+            }
+        }
+        events
+    }
+
+    fn engine_with(events: Vec<EngineEvent>, parallelism: usize) -> AssignmentEngine {
+        let mut engine = AssignmentEngine::new(
+            GridIndex::new(Rect::unit(), 0.1),
+            EngineConfig {
+                parallelism,
+                ..EngineConfig::default()
+            },
+        );
+        engine.submit_all(events);
+        engine
+    }
+
+    #[test]
+    fn tick_assigns_and_commits_workers() {
+        let mut engine = engine_with(clustered_events(4, 6), 1);
+        let report = engine.tick(0.0);
+        assert!(report.num_shards >= 2, "clusters must shard: {}", report.num_shards);
+        assert!(!report.new_assignments.is_empty());
+        for pair in &report.new_assignments {
+            assert!(engine.is_committed(pair.worker));
+        }
+        // A second tick with no completions assigns nothing new.
+        let second = engine.tick(0.1);
+        assert!(second.new_assignments.is_empty());
+    }
+
+    #[test]
+    fn engine_result_is_independent_of_parallelism() {
+        let run = |threads: usize| {
+            let mut engine = engine_with(clustered_events(5, 8), threads);
+            let report = engine.tick(0.0);
+            let mut pairs: Vec<(TaskId, WorkerId)> = report
+                .new_assignments
+                .iter()
+                .map(|p| (p.task, p.worker))
+                .collect();
+            pairs.sort();
+            pairs
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential, parallel, "thread count must not change the result");
+    }
+
+    #[test]
+    fn engine_quality_matches_monolithic_solve() {
+        // The shards share no valid pair, so the sharded solve must reach the
+        // same objective as one monolithic greedy solve over the full
+        // instance (both end up greedy here: shards are small).
+        let events = clustered_events(4, 6);
+        let mut engine = engine_with(events.clone(), 2);
+        let report = engine.tick(0.0);
+
+        // Monolithic baseline over the identical instance.
+        let tasks: Vec<Task> = events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::TaskArrived(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        let workers: Vec<Worker> = events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::WorkerCheckIn(w) => Some(*w),
+                _ => None,
+            })
+            .collect();
+        let instance = ProblemInstance::new(tasks, workers, 0.5);
+        let candidates = compute_valid_pairs(&instance);
+        let request = SolveRequest::new(&instance, &candidates);
+        let baseline = rdbsc_algos::greedy(&request, &GreedyConfig::default());
+        let baseline_value = evaluate(&instance, &baseline);
+
+        // Compare: engine committed pairs vs the baseline assignment.
+        let mut engine_assignment = Assignment::for_instance(&instance);
+        for pair in &report.new_assignments {
+            engine_assignment
+                .assign(pair.task, pair.worker, pair.contribution)
+                .unwrap();
+        }
+        let engine_value = evaluate(&instance, &engine_assignment);
+
+        assert_eq!(engine_value.assigned_workers, baseline_value.assigned_workers);
+        assert!(
+            (engine_value.total_std - baseline_value.total_std).abs()
+                <= 0.05 * baseline_value.total_std.max(1e-9),
+            "sharded {} vs monolithic {}",
+            engine_value.total_std,
+            baseline_value.total_std
+        );
+        assert!(
+            (engine_value.min_reliability - baseline_value.min_reliability).abs() < 1e-9,
+            "sharded {} vs monolithic {}",
+            engine_value.min_reliability,
+            baseline_value.min_reliability
+        );
+    }
+
+    #[test]
+    fn answers_release_workers_and_bank_contributions() {
+        let mut engine = engine_with(clustered_events(2, 4), 1);
+        let report = engine.tick(0.0);
+        let done = report.new_assignments[0];
+        engine.record_answer(done.worker, done.contribution);
+        assert!(!engine.is_committed(done.worker));
+        let objective = engine.current_objective();
+        assert!(objective.min_reliability > 0.0);
+        assert!(objective.covered_tasks >= 1);
+        // The freed worker can serve again.
+        let next = engine.tick(0.1);
+        assert!(next.new_assignments.iter().any(|p| p.worker == done.worker));
+    }
+
+    #[test]
+    fn expiration_retires_tasks_and_releases_travellers() {
+        let mut engine = AssignmentEngine::new(
+            GridIndex::new(Rect::unit(), 0.2),
+            EngineConfig::default(),
+        );
+        engine.submit(EngineEvent::TaskArrived(task(0, 0.5, 0.5, 0.0, 1.0)));
+        engine.submit(EngineEvent::WorkerCheckIn(worker(0, 0.4, 0.4, 0.5)));
+        let report = engine.tick(0.0);
+        assert_eq!(report.new_assignments.len(), 1);
+        assert!(engine.is_committed(WorkerId(0)));
+
+        // Time passes beyond the deadline without an answer.
+        let late = engine.tick(2.0);
+        assert_eq!(late.tasks_expired, 1);
+        assert_eq!(engine.num_tasks(), 0);
+        assert!(!engine.is_committed(WorkerId(0)), "traveller must be released");
+    }
+
+    #[test]
+    fn worker_events_update_the_live_state() {
+        let mut engine = AssignmentEngine::new(
+            GridIndex::new(Rect::unit(), 0.2),
+            EngineConfig::default(),
+        );
+        engine.submit(EngineEvent::TaskArrived(task(0, 0.9, 0.9, 0.0, 2.0)));
+        engine.submit(EngineEvent::WorkerCheckIn(worker(0, 0.1, 0.1, 0.05)));
+        let report = engine.tick(0.0);
+        assert!(report.new_assignments.is_empty(), "too slow from afar");
+
+        // The worker wanders close to the task and becomes assignable.
+        engine.submit(EngineEvent::WorkerMoved(WorkerId(0), Point::new(0.85, 0.85)));
+        let report = engine.tick(0.1);
+        assert_eq!(report.new_assignments.len(), 1);
+
+        // It leaves: the commitment disappears with it.
+        engine.submit(EngineEvent::WorkerLeft(WorkerId(0)));
+        engine.tick(0.2);
+        assert_eq!(engine.num_workers(), 0);
+        assert!(!engine.is_committed(WorkerId(0)));
+    }
+
+    #[test]
+    fn adaptive_solver_picks_greedy_for_small_shards() {
+        let solver = AdaptiveBatchSolver::default();
+        let instance = ProblemInstance::new(
+            vec![task(0, 0.5, 0.5, 0.0, 10.0)],
+            vec![worker(0, 0.4, 0.4, 0.5)],
+            0.5,
+        );
+        let candidates = compute_valid_pairs(&instance);
+        let request = SolveRequest::new(&instance, &candidates);
+        assert_eq!(solver.strategy_name(&request), "GREEDY");
+    }
+
+    #[test]
+    fn adaptive_solver_prefers_sampling_under_tight_deadlines() {
+        let solver = AdaptiveBatchSolver {
+            greedy_max_pairs: 0, // force the large-shard path
+            ..AdaptiveBatchSolver::default()
+        };
+        let tight = ProblemInstance::new(
+            vec![task(0, 0.5, 0.5, 0.0, 0.2)],
+            vec![worker(0, 0.45, 0.45, 0.5)],
+            0.5,
+        );
+        let candidates = compute_valid_pairs(&tight);
+        let request = SolveRequest::new(&tight, &candidates);
+        assert_eq!(solver.strategy_name(&request), "SAMPLING");
+    }
+
+    #[test]
+    fn adaptive_solver_uses_dnc_for_large_clustered_shards() {
+        let solver = AdaptiveBatchSolver {
+            greedy_max_pairs: 0,
+            dnc_min_tasks: 32,
+            ..AdaptiveBatchSolver::default()
+        };
+        // Two tight clusters of tasks -> low fractal dimension.
+        let mut tasks = Vec::new();
+        for i in 0..64u32 {
+            let (cx, cy) = if i % 2 == 0 { (0.2, 0.2) } else { (0.8, 0.8) };
+            tasks.push(task(
+                i,
+                cx + 0.01 * ((i / 2) % 4) as f64,
+                cy + 0.01 * ((i / 8) % 4) as f64,
+                0.0,
+                10.0,
+            ));
+        }
+        let workers = (0..8).map(|j| worker(j, 0.5, 0.5, 2.0)).collect();
+        let clustered = ProblemInstance::new(tasks, workers, 0.5);
+        let candidates = compute_valid_pairs(&clustered);
+        let request = SolveRequest::new(&clustered, &candidates);
+        assert_eq!(solver.strategy_name(&request), "D&C");
+    }
+}

@@ -11,11 +11,23 @@
 //! (10 users, 5 sites, 15-minute task openings) and is what the Figure 18
 //! reproduction drives; the [`coverage`] module provides the quantitative
 //! stand-in for the 3-D reconstruction showcase (Figures 19–20).
+//!
+//! Beyond the paper-faithful simulator, the [`engine`] module scales the
+//! incremental setting up: an event-driven **parallel batched assignment
+//! engine** that maintains the grid index incrementally, partitions the live
+//! instance into independent spatial shards and solves them concurrently
+//! with a cost-model-driven per-shard strategy choice (see the module docs
+//! for the architecture).
 
 pub mod accuracy;
 pub mod coverage;
+pub mod engine;
+pub mod par;
 pub mod sim;
 
 pub use accuracy::{answer_accuracy, answer_error, AnswerRecord};
 pub use coverage::{angular_coverage, temporal_coverage, CoverageReport};
+pub use engine::{
+    AdaptiveBatchSolver, AssignmentEngine, EngineConfig, EngineEvent, EngineObjective, TickReport,
+};
 pub use sim::{PlatformConfig, PlatformSim, RoundStats, SimulationReport};

@@ -2,11 +2,11 @@
 //!
 //! | Parameter | Paper values (defaults in bold) |
 //! |---|---|
-//! | expiration-time range `rt` | [0.25,0.5], **[0.5,1]**, [1,2], [2,3] |
+//! | expiration-time range `rt` | \[0.25,0.5\], **\[0.5,1\]**, \[1,2\], \[2,3\] |
 //! | worker reliability `[p_min, p_max]` | (0.8,1), (0.85,1), **(0.9,1)**, (0.95,1) |
 //! | number of tasks `m` | 5K, 8K, **10K**, 50K, 100K |
 //! | number of workers `n` | 5K, 8K, **10K**, 15K, 20K |
-//! | worker velocity `[v−, v+]` | [0.1,0.2], **[0.2,0.3]**, [0.3,0.4], [0.4,0.5] |
+//! | worker velocity `[v−, v+]` | \[0.1,0.2\], **\[0.2,0.3\]**, \[0.3,0.4\], \[0.4,0.5\] |
 //! | moving-angle range `(α+ − α−)` | (0,π/8] … **(0,π/6]** … (0,π/4] |
 //! | balance weight `β` | (0,0.2] … **(0.4,0.6]** … (0.8,1) |
 //!
@@ -14,11 +14,10 @@
 //! laptop, so the harness also defines a proportionally scaled-down
 //! [`Scale::Small`] used as the default for the figure reproductions.
 
-use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
 /// Spatial distribution of tasks and workers (Section 8.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Distribution {
     /// Locations drawn uniformly over `[0, 1]²`.
     #[default]
@@ -29,7 +28,7 @@ pub enum Distribution {
 }
 
 /// Whether to run at the paper's scale or at a laptop-friendly scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
     /// Laptop-scale: every figure regenerates in minutes.
     #[default]
@@ -40,7 +39,7 @@ pub enum Scale {
 
 /// A full experiment configuration (one column of Table 2 plus the data
 /// distribution).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// Number of tasks `m`.
     pub num_tasks: usize,

@@ -79,8 +79,8 @@ pub mod prelude {
     };
     pub use rdbsc_platform::{PlatformConfig, PlatformSim, SimulationReport};
     pub use rdbsc_workloads::{
-        generate_instance, Distribution, ExperimentConfig, PoiGenerator, Scale,
-        TrajectoryGenerator,
+        generate_instance, generate_metro_instance, Distribution, ExperimentConfig, MetroConfig,
+        PoiGenerator, Scale, TrajectoryGenerator,
     };
 }
 

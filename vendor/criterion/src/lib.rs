@@ -1,0 +1,280 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the API surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`BatchSize`], `iter`/`iter_batched`
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — implemented as a
+//! plain wall-clock timer: each benchmark runs a warm-up pass and
+//! `sample_size` timed samples and prints the median per-iteration time.
+//! There is no statistical analysis, no HTML report and no comparison against
+//! saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point used by some criterion idioms (`criterion::black_box`).
+pub use core::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one setup per
+/// routine call regardless of the variant, so this only mirrors the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup per iteration is cheap.
+    SmallInput,
+    /// Large inputs: batches should be small.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `"{name}/{parameter}"`.
+    pub fn new<P: std::fmt::Display>(name: impl Into<String>, parameter: P) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id with no parameter part.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// The per-benchmark timing driver handed to closures as `b`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<L, F>(&mut self, id: L, f: F) -> &mut Self
+    where
+        L: IntoBenchmarkLabel,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.criterion.run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by an input value.
+    pub fn bench_with_input<L, I, F>(&mut self, id: L, input: &I, mut f: F) -> &mut Self
+    where
+        L: IntoBenchmarkLabel,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.criterion.run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let samples = self.default_sample_size;
+        self.run_one(&label, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: usize, mut f: F) {
+        // Warm-up: one sample with a single iteration to estimate cost and
+        // pick an iteration count targeting ~20ms per sample.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(20).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000)
+            as u64;
+
+        let mut per_iter_times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            per_iter_times.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter_times.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_times[per_iter_times.len() / 2];
+        let best = per_iter_times[0];
+        println!(
+            "bench {label:<48} median {:>12}  best {:>12}  ({samples} samples x {iters} iters)",
+            format_time(median),
+            format_time(best),
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter_batched(|| vec![1u64; n as usize], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(BenchmarkId::new("solver", 42).into_label(), "solver/42");
+        assert_eq!(BenchmarkId::from_parameter("x").into_label(), "x");
+    }
+}
