@@ -287,6 +287,10 @@ pub struct AssignmentEngine {
     banked: HashMap<TaskId, Vec<Contribution>>,
     /// Tasks that expired or were withdrawn, kept for objective accounting.
     retired: HashMap<TaskId, Task>,
+    /// Running total of banked answers, so the count is O(1) (the banked
+    /// map grows for the engine's lifetime; summing it on every metrics
+    /// scrape would hold the engine lock for O(answers)).
+    banked_total: usize,
     tick_count: u64,
 }
 
@@ -312,6 +316,7 @@ impl AssignmentEngine {
             committed: HashMap::new(),
             banked: HashMap::new(),
             retired: HashMap::new(),
+            banked_total: 0,
             tick_count: 0,
         }
     }
@@ -324,6 +329,11 @@ impl AssignmentEngine {
     /// Queues many events for the next tick.
     pub fn submit_all<I: IntoIterator<Item = EngineEvent>>(&mut self, events: I) {
         self.pending.extend(events);
+    }
+
+    /// Number of events queued and not yet applied by a tick.
+    pub fn num_pending_events(&self) -> usize {
+        self.pending.len()
     }
 
     /// Number of live tasks.
@@ -341,17 +351,61 @@ impl AssignmentEngine {
         self.committed.contains_key(&worker)
     }
 
+    /// Number of workers currently travelling under the standing assignment.
+    pub fn num_committed(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Number of answers banked so far (over live and retired tasks).
+    pub fn num_banked_answers(&self) -> usize {
+        debug_assert_eq!(
+            self.banked_total,
+            self.banked.values().map(Vec::len).sum::<usize>()
+        );
+        self.banked_total
+    }
+
+    /// Number of ticks run so far.
+    pub fn num_ticks(&self) -> u64 {
+        self.tick_count
+    }
+
+    /// The standing committed pairs (workers currently en route), sorted by
+    /// `(task, worker)` so the listing is deterministic.
+    pub fn committed_assignments(&self) -> Vec<ValidPair> {
+        let mut pairs: Vec<ValidPair> = self
+            .committed
+            .iter()
+            .map(|(worker, (task, contribution))| ValidPair {
+                task: *task,
+                worker: *worker,
+                contribution: *contribution,
+            })
+            .collect();
+        pairs.sort_by_key(|p| (p.task, p.worker));
+        pairs
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
     /// The live index (read-only).
     pub fn index(&self) -> &GridIndex {
         &self.index
     }
 
     /// The worker completed its task: its contribution is banked and the
-    /// worker becomes available for the next tick. No-op when the worker was
-    /// not en route.
-    pub fn record_answer(&mut self, worker: WorkerId, contribution: Contribution) {
+    /// worker becomes available for the next tick. Returns `false` (banking
+    /// nothing) when the worker was not en route.
+    pub fn record_answer(&mut self, worker: WorkerId, contribution: Contribution) -> bool {
         if let Some((task, _)) = self.committed.remove(&worker) {
             self.banked.entry(task).or_default().push(contribution);
+            self.banked_total += 1;
+            true
+        } else {
+            false
         }
     }
 

@@ -1,0 +1,319 @@
+//! A thread-safe command facade over the [`AssignmentEngine`].
+//!
+//! The engine itself is a plain `&mut self` state machine, which is right
+//! for the simulation driver but useless to a network server whose request
+//! handlers, micro-batch flusher and metrics scrapers all live on different
+//! threads. [`EngineHandle`] wraps one engine behind an `Arc<Mutex<_>>` and
+//! exposes a *command API* — submit a task, move a worker, expire a task,
+//! run a tick, query the standing assignments or a consistent snapshot —
+//! so any number of threads can drive the same live instance.
+//!
+//! Design notes:
+//!
+//! * **Short critical sections.** Every command except [`EngineHandle::tick`]
+//!   holds the lock for `O(1)`-ish work (event submissions only push onto the
+//!   engine's pending queue). The tick holds it for the sharded solve, which
+//!   is the intended serialisation point: the engine's determinism contract
+//!   (per-`(tick, shard)` seeding) requires ticks to be totally ordered.
+//! * **Cumulative serving stats.** The handle counts events, ticks and
+//!   assignments across the engine's lifetime so a `/metrics` endpoint can
+//!   report totals without replaying tick reports.
+//! * **Cloning is sharing.** `EngineHandle::clone` hands out another handle
+//!   to the *same* engine, like `Arc`.
+
+use crate::engine::{AssignmentEngine, EngineObjective, TickReport};
+use rdbsc_geo::Point;
+use rdbsc_model::valid_pairs::ValidPair;
+use rdbsc_model::{Contribution, Task, TaskId, Worker, WorkerId};
+use std::sync::{Arc, Mutex};
+
+use crate::engine::EngineEvent;
+
+/// A consistent point-in-time view of the engine's serving state, cheap to
+/// take (no per-task work beyond the objective fold) and safe to expose on a
+/// metrics endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// The time passed to the most recent tick (0 before the first).
+    pub now: f64,
+    /// Ticks run so far.
+    pub ticks: u64,
+    /// Events applied by ticks so far (excludes still-pending ones).
+    pub events_applied: u64,
+    /// Events submitted but not yet applied by a tick.
+    pub pending_events: usize,
+    /// Live tasks in the index.
+    pub live_tasks: usize,
+    /// Live workers in the index.
+    pub live_workers: usize,
+    /// Workers currently en route under the standing assignment.
+    pub committed_workers: usize,
+    /// Answers banked so far (live and retired tasks).
+    pub banked_answers: usize,
+    /// Assignments committed across the engine's lifetime.
+    pub total_assignments: u64,
+    /// The online objective over the standing state.
+    pub objective: EngineObjective,
+}
+
+struct Shared {
+    engine: AssignmentEngine,
+    last_now: f64,
+    events_applied: u64,
+    total_assignments: u64,
+}
+
+/// A clonable, thread-safe handle to a shared [`AssignmentEngine`].
+///
+/// ```
+/// use rdbsc_geo::{AngleRange, Point, Rect};
+/// use rdbsc_index::GridIndex;
+/// use rdbsc_model::{Confidence, Task, TaskId, TimeWindow, Worker, WorkerId};
+/// use rdbsc_platform::engine::{AssignmentEngine, EngineConfig};
+/// use rdbsc_platform::handle::EngineHandle;
+///
+/// let handle = EngineHandle::new(AssignmentEngine::new(
+///     GridIndex::new(Rect::unit(), 0.25),
+///     EngineConfig::default(),
+/// ));
+/// handle.submit_task(Task::new(
+///     TaskId(0),
+///     Point::new(0.6, 0.6),
+///     TimeWindow::new(0.0, 10.0).unwrap(),
+/// ));
+/// handle.check_in(
+///     Worker::new(
+///         WorkerId(0),
+///         Point::new(0.5, 0.5),
+///         0.5,
+///         AngleRange::full(),
+///         Confidence::new(0.9).unwrap(),
+///     )
+///     .unwrap(),
+/// );
+/// let report = handle.tick(0.0);
+/// assert_eq!(report.new_assignments.len(), 1);
+/// assert_eq!(handle.assignments().len(), 1);
+/// assert_eq!(handle.snapshot().total_assignments, 1);
+/// ```
+#[derive(Clone)]
+pub struct EngineHandle {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl EngineHandle {
+    /// Wraps an engine (typically freshly constructed) in a shared handle.
+    pub fn new(engine: AssignmentEngine) -> Self {
+        Self {
+            shared: Arc::new(Mutex::new(Shared {
+                engine,
+                last_now: 0.0,
+                events_applied: 0,
+                total_assignments: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Shared> {
+        // A poisoned engine lock means a solver thread panicked mid-tick;
+        // the state may be mid-merge, so serving must stop rather than hand
+        // out corrupt assignments.
+        self.shared.lock().expect("engine lock poisoned")
+    }
+
+    /// Queues a raw engine event for the next tick.
+    pub fn submit(&self, event: EngineEvent) {
+        self.lock().engine.submit(event);
+    }
+
+    /// Queues many events (in order) for the next tick.
+    pub fn submit_all<I: IntoIterator<Item = EngineEvent>>(&self, events: I) {
+        self.lock().engine.submit_all(events);
+    }
+
+    /// Command: a new task was posted.
+    pub fn submit_task(&self, task: Task) {
+        self.submit(EngineEvent::TaskArrived(task));
+    }
+
+    /// Command: a task was withdrawn or expired server-side.
+    pub fn expire_task(&self, id: TaskId) {
+        self.submit(EngineEvent::TaskExpired(id));
+    }
+
+    /// Command: a worker checked in (or re-registered).
+    pub fn check_in(&self, worker: Worker) {
+        self.submit(EngineEvent::WorkerCheckIn(worker));
+    }
+
+    /// Command: a worker heartbeat reported a new position.
+    pub fn move_worker(&self, id: WorkerId, to: Point) {
+        self.submit(EngineEvent::WorkerMoved(id, to));
+    }
+
+    /// Command: a worker checked out.
+    pub fn worker_left(&self, id: WorkerId) {
+        self.submit(EngineEvent::WorkerLeft(id));
+    }
+
+    /// Command: an en-route worker delivered its answer. Returns `false`
+    /// (and banks nothing) when the worker was not committed.
+    pub fn record_answer(&self, worker: WorkerId, contribution: Contribution) -> bool {
+        self.lock().engine.record_answer(worker, contribution)
+    }
+
+    /// Command: an en-route worker gave up; it becomes available again.
+    pub fn release_worker(&self, worker: WorkerId) {
+        self.lock().engine.release_worker(worker);
+    }
+
+    /// Runs one engine round at time `now` (see [`AssignmentEngine::tick`]).
+    ///
+    /// Ticks are serialised: concurrent callers run one after another, which
+    /// is what the engine's per-`(tick, shard)` seeding needs.
+    pub fn tick(&self, now: f64) -> TickReport {
+        let mut shared = self.lock();
+        let report = shared.engine.tick(now);
+        shared.last_now = now;
+        shared.events_applied += report.events_applied as u64;
+        shared.total_assignments += report.new_assignments.len() as u64;
+        report
+    }
+
+    /// Like [`EngineHandle::tick`], but skips (returning `None`) when the
+    /// engine has nothing to do — no pending events and no live tasks. This
+    /// keeps an idle serving loop from burning ticks (and advancing the
+    /// deterministic tick counter) while the platform is quiet.
+    pub fn tick_if_active(&self, now: f64) -> Option<TickReport> {
+        let mut shared = self.lock();
+        if shared.engine.num_pending_events() == 0 && shared.engine.num_tasks() == 0 {
+            return None;
+        }
+        let report = shared.engine.tick(now);
+        shared.last_now = now;
+        shared.events_applied += report.events_applied as u64;
+        shared.total_assignments += report.new_assignments.len() as u64;
+        Some(report)
+    }
+
+    /// Query: is the worker currently en route?
+    pub fn is_committed(&self, worker: WorkerId) -> bool {
+        self.lock().engine.is_committed(worker)
+    }
+
+    /// Query: the standing committed pairs, sorted by `(task, worker)`.
+    pub fn assignments(&self) -> Vec<ValidPair> {
+        self.lock().engine.committed_assignments()
+    }
+
+    /// Query: a consistent snapshot of the serving state.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let shared = self.lock();
+        EngineSnapshot {
+            now: shared.last_now,
+            ticks: shared.engine.num_ticks(),
+            events_applied: shared.events_applied,
+            pending_events: shared.engine.num_pending_events(),
+            live_tasks: shared.engine.num_tasks(),
+            live_workers: shared.engine.num_workers(),
+            committed_workers: shared.engine.num_committed(),
+            banked_answers: shared.engine.num_banked_answers(),
+            total_assignments: shared.total_assignments,
+            objective: shared.engine.current_objective(),
+        }
+    }
+
+    /// Runs a closure with the locked engine, for callers that need an
+    /// operation the command API does not cover (tests, admin endpoints).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut AssignmentEngine) -> R) -> R {
+        f(&mut self.lock().engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use rdbsc_geo::{AngleRange, Rect};
+    use rdbsc_index::GridIndex;
+    use rdbsc_model::{Confidence, TimeWindow};
+
+    fn handle() -> EngineHandle {
+        EngineHandle::new(AssignmentEngine::new(
+            GridIndex::new(Rect::unit(), 0.2),
+            EngineConfig::default(),
+        ))
+    }
+
+    fn task(id: u32, x: f64, y: f64) -> Task {
+        Task::new(TaskId(id), Point::new(x, y), TimeWindow::new(0.0, 10.0).unwrap())
+    }
+
+    fn worker(id: u32, x: f64, y: f64) -> Worker {
+        Worker::new(
+            WorkerId(id),
+            Point::new(x, y),
+            0.5,
+            AngleRange::full(),
+            Confidence::new(0.9).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn commands_flow_through_to_the_engine() {
+        let h = handle();
+        h.submit_task(task(0, 0.6, 0.6));
+        h.check_in(worker(0, 0.5, 0.5));
+        let report = h.tick(0.0);
+        assert_eq!(report.new_assignments.len(), 1);
+        let pair = report.new_assignments[0];
+        assert!(h.is_committed(pair.worker));
+        assert_eq!(h.assignments(), vec![pair]);
+
+        assert!(h.record_answer(pair.worker, pair.contribution));
+        assert!(!h.is_committed(pair.worker));
+        assert!(!h.record_answer(pair.worker, pair.contribution));
+
+        let snap = h.snapshot();
+        assert_eq!(snap.ticks, 1);
+        assert_eq!(snap.events_applied, 2);
+        assert_eq!(snap.total_assignments, 1);
+        assert_eq!(snap.banked_answers, 1);
+        assert!(snap.objective.min_reliability > 0.0);
+    }
+
+    #[test]
+    fn idle_engine_skips_ticks() {
+        let h = handle();
+        assert!(h.tick_if_active(0.0).is_none());
+        assert_eq!(h.snapshot().ticks, 0);
+        h.submit_task(task(0, 0.5, 0.5));
+        assert!(h.tick_if_active(0.1).is_some());
+        // Live task keeps the loop active even with no new events.
+        assert!(h.tick_if_active(0.2).is_some());
+        h.expire_task(TaskId(0));
+        assert!(h.tick_if_active(0.3).is_some()); // applies the expiration
+        assert!(h.tick_if_active(0.4).is_none()); // now truly idle
+    }
+
+    #[test]
+    fn concurrent_submissions_are_all_applied() {
+        let h = handle();
+        let threads: Vec<_> = (0..4u32)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25u32 {
+                        h.check_in(worker(t * 25 + i, 0.5, 0.5));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        h.tick(0.0);
+        assert_eq!(h.snapshot().live_workers, 100);
+    }
+}

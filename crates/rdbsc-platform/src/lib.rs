@@ -17,11 +17,17 @@
 //! engine** that maintains the grid index incrementally, partitions the live
 //! instance into independent spatial shards and solves them concurrently
 //! with a cost-model-driven per-shard strategy choice (see the module docs
-//! for the architecture).
+//! for the architecture). The [`handle`] module wraps that engine in a
+//! thread-safe [`EngineHandle`] command API so network servers (see the
+//! `rdbsc-server` crate) and other multi-threaded drivers can share one
+//! live instance.
+
+#![deny(missing_docs)]
 
 pub mod accuracy;
 pub mod coverage;
 pub mod engine;
+pub mod handle;
 pub mod par;
 pub mod sim;
 
@@ -30,4 +36,5 @@ pub use coverage::{angular_coverage, temporal_coverage, CoverageReport};
 pub use engine::{
     AdaptiveBatchSolver, AssignmentEngine, EngineConfig, EngineEvent, EngineObjective, TickReport,
 };
+pub use handle::{EngineHandle, EngineSnapshot};
 pub use sim::{PlatformConfig, PlatformSim, RoundStats, SimulationReport};

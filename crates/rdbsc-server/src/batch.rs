@@ -1,0 +1,288 @@
+//! The micro-batching front between request threads and the engine.
+//!
+//! Request handlers never touch the engine lock on the hot path: task
+//! arrivals, worker check-ins, heartbeats and expirations go into a shared
+//! buffer, and a dedicated flusher thread coalesces them into engine ticks.
+//! A flush happens when either
+//!
+//! * the configured **flush interval** elapses (the coalescing window), or
+//! * the buffer reaches **max batch** events (back-pressure on bursts),
+//!
+//! whichever comes first. With a zero interval the flusher is not started at
+//! all — *manual tick mode* — and ticks only happen through
+//! [`MicroBatcher::flush_and_tick`] (the `POST /tick` route), which is what
+//! deterministic end-to-end verification uses.
+
+use crate::metrics::ServerMetrics;
+use rdbsc_platform::{EngineEvent, EngineHandle, TickReport};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Maps wall-clock time onto the engine's simulation time axis.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    start: Instant,
+    scale: f64,
+}
+
+impl Clock {
+    /// A clock starting now, advancing `scale` simulation time units per
+    /// wall-clock second.
+    pub fn new(scale: f64) -> Self {
+        Self {
+            start: Instant::now(),
+            scale,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * self.scale
+    }
+}
+
+/// The shared event buffer plus its flush policy.
+pub struct MicroBatcher {
+    buffer: Mutex<Vec<EngineEvent>>,
+    wake: Condvar,
+    max_batch: usize,
+    max_buffered: usize,
+}
+
+impl MicroBatcher {
+    /// A batcher flushing early once `max_batch` events are buffered and
+    /// rejecting pushes beyond `max_buffered` — connection-level admission
+    /// control alone cannot stop a few keep-alive clients from pipelining
+    /// events faster than the engine drains them (and in manual-tick mode
+    /// nothing drains the buffer at all until `POST /tick`).
+    pub fn new(max_batch: usize, max_buffered: usize) -> Self {
+        let max_batch = max_batch.max(1);
+        Self {
+            buffer: Mutex::new(Vec::new()),
+            wake: Condvar::new(),
+            max_batch,
+            max_buffered: max_buffered.max(max_batch),
+        }
+    }
+
+    /// Buffers one event; returns the buffer length after the push, or the
+    /// event itself when the buffer is saturated (the caller sheds with 429).
+    pub fn push(&self, event: EngineEvent) -> Result<usize, EngineEvent> {
+        let mut buffer = self.buffer.lock().expect("batch buffer lock");
+        if buffer.len() >= self.max_buffered {
+            return Err(event);
+        }
+        buffer.push(event);
+        let len = buffer.len();
+        if len >= self.max_batch {
+            self.wake.notify_all();
+        }
+        Ok(len)
+    }
+
+    /// Takes everything buffered so far (preserving submission order).
+    pub fn drain(&self) -> Vec<EngineEvent> {
+        std::mem::take(&mut *self.buffer.lock().expect("batch buffer lock"))
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().expect("batch buffer lock").len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the buffer into the engine and runs one tick at `now`,
+    /// regardless of the flush policy (the manual-tick path).
+    pub fn flush_and_tick(&self, handle: &EngineHandle, now: f64) -> TickReport {
+        let events = self.drain();
+        if !events.is_empty() {
+            handle.submit_all(events);
+        }
+        handle.tick(now)
+    }
+
+    /// Wakes the flusher thread (used on shutdown for the final drain).
+    pub fn notify(&self) {
+        self.wake.notify_all();
+    }
+
+    /// Blocks until `deadline` passes, the buffer reaches `max_batch`, or
+    /// `stop` is raised — whichever happens first.
+    fn wait_for_flush(&self, deadline: Instant, stop: &AtomicBool) {
+        let mut buffer = self.buffer.lock().expect("batch buffer lock");
+        loop {
+            if stop.load(Ordering::Acquire) || buffer.len() >= self.max_batch {
+                return;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return;
+            };
+            if remaining.is_zero() {
+                return;
+            }
+            let (guard, _timeout) = self
+                .wake
+                .wait_timeout(buffer, remaining)
+                .expect("batch buffer lock");
+            buffer = guard;
+        }
+    }
+}
+
+/// The flusher loop: coalesces buffered events into engine ticks every
+/// `interval` (or earlier on a full batch) until `stop` is raised, then does
+/// one final drain-and-tick so no accepted event is lost on shutdown.
+pub fn run_flusher(
+    batcher: Arc<MicroBatcher>,
+    handle: EngineHandle,
+    clock: Clock,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+) {
+    loop {
+        let deadline = Instant::now() + interval;
+        batcher.wait_for_flush(deadline, &stop);
+        let stopping = stop.load(Ordering::Acquire);
+
+        let events = batcher.drain();
+        if !events.is_empty() {
+            handle.submit_all(events);
+        }
+        let tick_started = Instant::now();
+        if handle.tick_if_active(clock.now()).is_some() {
+            metrics.batch_flushes.incr();
+            metrics.tick_latency.record(tick_started.elapsed());
+        }
+
+        if stopping {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbsc_geo::{AngleRange, Point, Rect};
+    use rdbsc_index::GridIndex;
+    use rdbsc_model::{Confidence, Task, TaskId, TimeWindow, Worker, WorkerId};
+    use rdbsc_platform::{AssignmentEngine, EngineConfig};
+
+    fn handle() -> EngineHandle {
+        EngineHandle::new(AssignmentEngine::new(
+            GridIndex::new(Rect::unit(), 0.2),
+            EngineConfig::default(),
+        ))
+    }
+
+    fn arrival(id: u32) -> EngineEvent {
+        EngineEvent::TaskArrived(Task::new(
+            TaskId(id),
+            Point::new(0.5, 0.5),
+            TimeWindow::new(0.0, 10.0).unwrap(),
+        ))
+    }
+
+    fn check_in(id: u32) -> EngineEvent {
+        EngineEvent::WorkerCheckIn(
+            Worker::new(
+                WorkerId(id),
+                Point::new(0.45, 0.45),
+                0.5,
+                AngleRange::full(),
+                Confidence::new(0.9).unwrap(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn manual_flush_applies_buffered_events_in_order() {
+        let batcher = MicroBatcher::new(1024, 65_536);
+        let h = handle();
+        batcher.push(arrival(0)).unwrap();
+        batcher.push(check_in(0)).unwrap();
+        assert_eq!(batcher.len(), 2);
+        let report = batcher.flush_and_tick(&h, 0.0);
+        assert!(batcher.is_empty());
+        assert_eq!(report.events_applied, 2);
+        assert_eq!(report.new_assignments.len(), 1);
+    }
+
+    #[test]
+    fn flusher_coalesces_and_drains_on_shutdown() {
+        let batcher = Arc::new(MicroBatcher::new(1024, 65_536));
+        let h = handle();
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::default());
+        let flusher = {
+            let (b, h, s, m) = (batcher.clone(), h.clone(), stop.clone(), metrics.clone());
+            std::thread::spawn(move || {
+                run_flusher(b, h, Clock::new(1.0), Duration::from_millis(5), s, m)
+            })
+        };
+        batcher.push(arrival(0)).unwrap();
+        batcher.push(check_in(0)).unwrap();
+        // The interval flush picks the events up without an explicit tick.
+        let started = Instant::now();
+        while h.snapshot().total_assignments == 0 && started.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(h.snapshot().total_assignments, 1);
+
+        // Events pushed right before shutdown still land (final drain).
+        batcher.push(arrival(1)).unwrap();
+        stop.store(true, Ordering::Release);
+        batcher.notify();
+        flusher.join().unwrap();
+        assert!(batcher.is_empty());
+        assert_eq!(h.snapshot().live_tasks, 2);
+        assert!(metrics.batch_flushes.get() >= 1);
+    }
+
+    #[test]
+    fn saturated_buffer_rejects_events() {
+        let batcher = MicroBatcher::new(2, 2);
+        assert!(batcher.push(arrival(0)).is_ok());
+        assert!(batcher.push(arrival(1)).is_ok());
+        let rejected = batcher.push(arrival(2));
+        assert!(rejected.is_err(), "third event must be shed");
+        assert_eq!(batcher.len(), 2);
+        // Draining frees the space again.
+        let h = handle();
+        batcher.flush_and_tick(&h, 0.0);
+        assert!(batcher.push(arrival(2)).is_ok());
+    }
+
+    #[test]
+    fn full_batch_triggers_an_early_flush() {
+        let batcher = Arc::new(MicroBatcher::new(4, 65_536));
+        let h = handle();
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::default());
+        let flusher = {
+            let (b, h, s, m) = (batcher.clone(), h.clone(), stop.clone(), metrics.clone());
+            // An hour-long interval: only the size trigger can flush.
+            std::thread::spawn(move || {
+                run_flusher(b, h, Clock::new(1.0), Duration::from_secs(3600), s, m)
+            })
+        };
+        for i in 0..4 {
+            batcher.push(arrival(i)).unwrap();
+        }
+        let started = Instant::now();
+        while h.snapshot().live_tasks < 4 && started.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(h.snapshot().live_tasks, 4, "size threshold must flush");
+        stop.store(true, Ordering::Release);
+        batcher.notify();
+        flusher.join().unwrap();
+    }
+}

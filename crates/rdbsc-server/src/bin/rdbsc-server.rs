@@ -1,0 +1,87 @@
+//! The `rdbsc-server` binary: parse flags, start the serving subsystem,
+//! block until it shuts down (via `POST /admin/shutdown`).
+
+use rdbsc_platform::EngineConfig;
+use rdbsc_server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rdbsc-server [--addr HOST:PORT] [--threads N] [--queue N]\n\
+         \x20                 [--flush-interval-ms N] [--max-batch N] [--seed N]\n\
+         \x20                 [--beta F] [--cell-size F] [--time-scale F]\n\
+         \n\
+         --flush-interval-ms 0 enables manual tick mode: the engine only\n\
+         advances on POST /tick. Stop the server with POST /admin/shutdown."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig::default();
+    let mut engine = EngineConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            usage();
+        }
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("{flag} requires a value");
+            usage();
+        };
+        i += 1;
+        let parse_err = |what: &str| -> ! {
+            eprintln!("{flag}: cannot parse {what:?}");
+            usage();
+        };
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--threads" => {
+                config.threads = value.parse().unwrap_or_else(|_| parse_err(value))
+            }
+            "--queue" => {
+                config.queue_capacity = value.parse().unwrap_or_else(|_| parse_err(value))
+            }
+            "--flush-interval-ms" => {
+                let ms: u64 = value.parse().unwrap_or_else(|_| parse_err(value));
+                config.flush_interval = Duration::from_millis(ms);
+            }
+            "--max-batch" => {
+                config.max_batch = value.parse().unwrap_or_else(|_| parse_err(value))
+            }
+            "--seed" => engine.seed = value.parse().unwrap_or_else(|_| parse_err(value)),
+            "--beta" => engine.beta = value.parse().unwrap_or_else(|_| parse_err(value)),
+            "--cell-size" => {
+                config.cell_size = value.parse().unwrap_or_else(|_| parse_err(value))
+            }
+            "--time-scale" => {
+                config.time_scale = value.parse().unwrap_or_else(|_| parse_err(value))
+            }
+            _ => {
+                eprintln!("unknown flag {flag}");
+                usage();
+            }
+        }
+    }
+    config.engine = engine;
+
+    let mode = if config.flush_interval.is_zero() {
+        "manual-tick".to_string()
+    } else {
+        format!("flush every {:?}", config.flush_interval)
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("rdbsc-server listening on http://{} ({mode})", server.addr());
+    server.join();
+    println!("rdbsc-server stopped");
+}

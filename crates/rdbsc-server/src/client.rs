@@ -1,0 +1,164 @@
+//! A minimal blocking HTTP/1.1 client for loopback use.
+//!
+//! This is the client half of the serving subsystem's closed loop: the
+//! end-to-end tests and the `rdbsc-bench` load generator drive the server
+//! through it. Keep-alive by default; when the server closes the connection
+//! (shed, shutdown, error) the next request transparently reconnects.
+
+use crate::error::ServerError;
+use crate::json::{parse, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response as seen by the client.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// The body, decoded as UTF-8.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Json, ServerError> {
+        Ok(parse(&self.body)?)
+    }
+
+    /// Is the status in the 2xx class?
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A keep-alive HTTP/1.1 connection to one server address.
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `addr`; connections are opened lazily.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            timeout: Duration::from_secs(10),
+            stream: None,
+        }
+    }
+
+    /// Overrides the per-operation socket timeout (default 10 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connection(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("connection just set"))
+    }
+
+    /// Sends a `GET`.
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, ServerError> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends a `POST` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &Json) -> Result<ClientResponse, ServerError> {
+        self.request("POST", path, Some(body.to_string_compact()))
+    }
+
+    /// Sends one request and reads the response. On an I/O error the cached
+    /// connection is dropped, so the next call reconnects.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+    ) -> Result<ClientResponse, ServerError> {
+        let result = self.request_inner(method, path, body);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn request_inner(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+    ) -> Result<ClientResponse, ServerError> {
+        let reader = self.connection()?;
+        let body = body.unwrap_or_default();
+        // One write for head + body (see `http::write_response` on Nagle).
+        let mut wire = format!(
+            "{method} {path} HTTP/1.1\r\nhost: rdbsc\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(body.as_bytes());
+        {
+            let stream = reader.get_mut();
+            stream.write_all(&wire)?;
+            stream.flush()?;
+        }
+
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            self.stream = None;
+            return Err(ServerError::BadRequest(
+                "server closed the connection before responding".into(),
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                ServerError::BadRequest(format!("bad status line {status_line:?}"))
+            })?;
+
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(ServerError::BadRequest("eof inside response headers".into()));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
+                        ServerError::BadRequest("bad response Content-Length".into())
+                    })?;
+                } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if close {
+            self.stream = None;
+        }
+        Ok(ClientResponse {
+            status,
+            body: String::from_utf8(body)
+                .map_err(|_| ServerError::BadRequest("response body is not UTF-8".into()))?,
+        })
+    }
+}

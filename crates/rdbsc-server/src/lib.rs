@@ -1,0 +1,68 @@
+//! # rdbsc-server
+//!
+//! The online serving subsystem: a single-binary HTTP/1.1 service exposing
+//! the parallel batched assignment engine (`rdbsc-platform::engine`) to
+//! request-driven traffic — workers heartbeat their positions, tasks arrive
+//! over the wire, and the system admits, micro-batches and answers them
+//! under load.
+//!
+//! The container this repo builds in is offline, so everything is
+//! hand-rolled on `std`: the HTTP layer ([`http`]) sits directly on
+//! `std::net`, the JSON codec ([`json`]) stands in for serde, and the worker
+//! pool/queue use `std::sync` primitives. The architecture:
+//!
+//! ```text
+//!   clients ──► acceptor ──► bounded queue ──► worker pool ──► router
+//!                   │ full?                                       │
+//!                   └─► 429 (load shed)        events ────────────┤
+//!                                                ▼                │ queries
+//!                                          MicroBatcher           │
+//!                                 flush interval / full batch     │
+//!                                                ▼                ▼
+//!                                          EngineHandle  ◄────────┘
+//!                                                ▼
+//!                                  sharded parallel solve (tick)
+//! ```
+//!
+//! ## Routes
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `POST /tasks` | submit a task (micro-batched) |
+//! | `POST /tasks/expire` | withdraw a task |
+//! | `POST /workers` | worker check-in |
+//! | `POST /workers/heartbeat` | worker position update |
+//! | `POST /workers/leave` | worker check-out |
+//! | `POST /answers` | en-route worker delivered its answer |
+//! | `GET /assignments` | the standing committed pairs |
+//! | `GET /snapshot` | serving-state snapshot |
+//! | `GET /metrics` | counters + latency histograms + engine state |
+//! | `POST /tick` | force a micro-batch flush + engine tick |
+//! | `POST /admin/shutdown` | graceful shutdown |
+//! | `GET /healthz` | liveness |
+//!
+//! Event-submitting routes answer `202 Accepted` immediately — assignment
+//! happens at the next micro-batch flush. Run the binary with
+//! `cargo run --release -p rdbsc-server -- --help`, and drive it with the
+//! closed-loop load generator in `rdbsc-bench` (`--bin loadgen`).
+
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod client;
+pub mod dto;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use batch::{Clock, MicroBatcher};
+pub use client::{ClientResponse, HttpClient};
+pub use dto::{
+    AnswerDto, AssignmentDto, HeartbeatDto, IdDto, SnapshotDto, TaskDto, TickDto, WorkerDto,
+};
+pub use error::ServerError;
+pub use json::{parse, Json, JsonError};
+pub use metrics::{Counter, LatencyHistogram, ServerMetrics};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,249 @@
+//! Serving metrics: atomic counters and log-bucketed latency histograms.
+//!
+//! Everything here is updated lock-free from request threads and scraped by
+//! `GET /metrics` without stopping the world; the histogram gives exact
+//! counts and sub-bucket-resolution percentile estimates (linear
+//! interpolation inside the winning bucket), which is plenty for p50/p99
+//! over log-spaced buckets.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (microseconds, inclusive) of the histogram buckets: roughly
+/// 1-2-5 per decade from 10 µs to 10 s, plus an overflow bucket.
+const BUCKET_BOUNDS_US: [u64; 19] = [
+    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
+    500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram (microsecond resolution).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|bound| us <= *bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// Estimates the `p`-th percentile (`0 < p <= 100`) in microseconds by
+    /// linear interpolation inside the winning bucket. 0 when empty.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if seen + in_bucket >= rank {
+                let lower = if idx == 0 { 0 } else { BUCKET_BOUNDS_US[idx - 1] };
+                let upper = if idx < BUCKET_BOUNDS_US.len() {
+                    BUCKET_BOUNDS_US[idx]
+                } else {
+                    self.max_us.load(Ordering::Relaxed).max(lower + 1)
+                };
+                let fraction = if in_bucket == 0 {
+                    0.0
+                } else {
+                    (rank - seen) as f64 / in_bucket as f64
+                };
+                return lower as f64 + fraction * (upper - lower) as f64;
+            }
+            seen += in_bucket;
+        }
+        self.max_us.load(Ordering::Relaxed) as f64
+    }
+
+    /// Renders the histogram's summary as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Num(self.count() as f64)),
+            ("mean_us", Json::Num(self.mean_us())),
+            ("p50_us", Json::Num(self.percentile_us(50.0))),
+            ("p90_us", Json::Num(self.percentile_us(90.0))),
+            ("p99_us", Json::Num(self.percentile_us(99.0))),
+            ("max_us", Json::Num(self.max_us.load(Ordering::Relaxed) as f64)),
+        ])
+    }
+}
+
+/// All the server's metrics, shared by every thread.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted and queued.
+    pub connections_accepted: Counter,
+    /// Connections shed with 429 because the queue was full.
+    pub connections_shed: Counter,
+    /// Requests fully parsed and routed.
+    pub requests_total: Counter,
+    /// Responses by class.
+    pub responses_2xx: Counter,
+    /// 4xx responses (client errors, including shed requests).
+    pub responses_4xx: Counter,
+    /// 5xx responses.
+    pub responses_5xx: Counter,
+    /// Engine events accepted into the micro-batch buffer.
+    pub events_buffered: Counter,
+    /// Micro-batch flushes (engine ticks triggered by the batcher).
+    pub batch_flushes: Counter,
+    /// Per-request handling latency (parse → response written).
+    pub request_latency: LatencyHistogram,
+    /// Engine tick latency as seen by the flusher.
+    pub tick_latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Counts a response with the given status.
+    pub fn count_status(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.incr(),
+            400..=499 => self.responses_4xx.incr(),
+            _ => self.responses_5xx.incr(),
+        }
+    }
+
+    /// Renders every metric as one JSON object (the `/metrics` body).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "connections",
+                Json::obj([
+                    ("accepted", Json::Num(self.connections_accepted.get() as f64)),
+                    ("shed", Json::Num(self.connections_shed.get() as f64)),
+                ]),
+            ),
+            (
+                "requests",
+                Json::obj([
+                    ("total", Json::Num(self.requests_total.get() as f64)),
+                    ("responses_2xx", Json::Num(self.responses_2xx.get() as f64)),
+                    ("responses_4xx", Json::Num(self.responses_4xx.get() as f64)),
+                    ("responses_5xx", Json::Num(self.responses_5xx.get() as f64)),
+                ]),
+            ),
+            (
+                "batching",
+                Json::obj([
+                    ("events_buffered", Json::Num(self.events_buffered.get() as f64)),
+                    ("flushes", Json::Num(self.batch_flushes.get() as f64)),
+                ]),
+            ),
+            ("request_latency", self.request_latency.to_json()),
+            ("tick_latency", self.tick_latency.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let h = LatencyHistogram::default();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile_us(50.0);
+        let p99 = h.percentile_us(99.0);
+        assert!((20_000.0..=60_000.0).contains(&p50), "p50 {p50}");
+        assert!((90_000.0..=110_000.0).contains(&p99), "p99 {p99}");
+        assert!(p99 >= p50);
+        assert!((h.mean_us() - 50_500.0).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn histogram_handles_empty_and_overflow() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_us(99.0), 0.0);
+        h.record(Duration::from_secs(60)); // beyond the last bound
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile_us(50.0) > 10_000_000.0);
+    }
+
+    #[test]
+    fn status_classes_are_counted() {
+        let m = ServerMetrics::default();
+        m.count_status(200);
+        m.count_status(202);
+        m.count_status(429);
+        m.count_status(503);
+        assert_eq!(m.responses_2xx.get(), 2);
+        assert_eq!(m.responses_4xx.get(), 1);
+        assert_eq!(m.responses_5xx.get(), 1);
+        let rendered = m.to_json().to_string_compact();
+        assert!(rendered.contains("\"shed\":0"));
+    }
+}

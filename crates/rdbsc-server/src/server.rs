@@ -1,0 +1,643 @@
+//! The serving loop: acceptor, bounded connection queue, worker pool,
+//! router and graceful shutdown.
+//!
+//! ```text
+//!   clients ──► acceptor ──► bounded queue ──► worker pool ──► router
+//!                   │ full?                        │
+//!                   └─► 429 + close (shed)         ├─► events → MicroBatcher ─► EngineHandle.tick
+//!                                                  └─► queries ─────────────► EngineHandle
+//! ```
+//!
+//! Admission control is at the connection level: when the queue is full the
+//! acceptor answers `429 Too Many Requests` (with `retry-after`) and closes,
+//! spending no worker time on the connection. Accepted connections are
+//! served keep-alive until the peer closes or shutdown begins.
+
+use crate::batch::{run_flusher, Clock, MicroBatcher};
+use crate::dto::{
+    AnswerDto, AssignmentDto, HeartbeatDto, IdDto, SnapshotDto, TaskDto, TickDto, WorkerDto,
+};
+use crate::error::ServerError;
+use crate::http::{read_request, write_response, Method, Request, Response};
+use crate::json::{parse, Json};
+use crate::metrics::ServerMetrics;
+use rdbsc_geo::{Point, Rect};
+use rdbsc_index::GridIndex;
+use rdbsc_model::{TaskId, WorkerId};
+use rdbsc_platform::{AssignmentEngine, EngineConfig, EngineEvent, EngineHandle};
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of the serving subsystem.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads serving connections; 0 means `4 × available cores`.
+    pub threads: usize,
+    /// Bounded connection-queue capacity; beyond it, connections are shed
+    /// with 429.
+    ///
+    /// The server is thread-per-connection: an accepted keep-alive
+    /// connection occupies a worker for its lifetime (bounded by
+    /// [`idle_timeout`](Self::idle_timeout)), so connections queued beyond
+    /// `threads` wait for a worker to free rather than being shed. Size
+    /// `threads` to the expected concurrent-connection count for
+    /// latency-sensitive serving, and keep the queue shallow so overload
+    /// turns into fast 429s instead of deep queueing.
+    pub queue_capacity: usize,
+    /// Micro-batch coalescing window. `Duration::ZERO` disables the flusher
+    /// entirely (*manual tick mode*: only `POST /tick` advances the engine).
+    pub flush_interval: Duration,
+    /// Flush early once this many events are buffered.
+    pub max_batch: usize,
+    /// Hard cap on buffered (not yet ticked) events; beyond it, event
+    /// routes answer 429 until the flusher (or `POST /tick`) drains.
+    pub max_buffered_events: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Simulation time units per wall-clock second.
+    pub time_scale: f64,
+    /// How long an idle keep-alive connection may hold a worker thread
+    /// before it is closed.
+    pub idle_timeout: Duration,
+    /// The served spatial area.
+    pub area: Rect,
+    /// Grid-index cell size.
+    pub cell_size: f64,
+    /// The engine configuration (seed, β, parallelism, auto-expire).
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8700".to_string(),
+            threads: 0,
+            queue_capacity: 64,
+            flush_interval: Duration::from_millis(20),
+            max_batch: 512,
+            max_buffered_events: 65_536,
+            max_body_bytes: 64 * 1024,
+            time_scale: 1.0,
+            idle_timeout: Duration::from_secs(10),
+            area: Rect::unit(),
+            cell_size: 0.1,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The effective worker-thread count.
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            4 * std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// The bounded hand-off between the acceptor and the worker pool.
+struct ConnectionQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnectionQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Tries to enqueue; hands the stream back when the queue is saturated
+    /// so the acceptor can shed it with a 429.
+    fn offer(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut queue = self.queue.lock().expect("connection queue lock");
+        if queue.len() >= self.capacity {
+            return Err(stream);
+        }
+        queue.push_back(stream);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops a connection, waiting up to `timeout`.
+    fn poll(&self, timeout: Duration) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().expect("connection queue lock");
+        if let Some(stream) = queue.pop_front() {
+            return Some(stream);
+        }
+        let (mut queue, _) = self
+            .ready
+            .wait_timeout(queue, timeout)
+            .expect("connection queue lock");
+        queue.pop_front()
+    }
+}
+
+/// Open connections currently owned by worker threads, so shutdown can
+/// interrupt reads blocked on idle keep-alive peers: closing the read side
+/// turns the blocked `read_request` into a clean EOF while the write side
+/// stays usable for an in-flight response.
+#[derive(Default)]
+struct ConnectionRegistry {
+    streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl ConnectionRegistry {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .expect("connection registry lock")
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams
+            .lock()
+            .expect("connection registry lock")
+            .remove(&id);
+    }
+
+    fn shutdown_reads(&self) {
+        for stream in self
+            .streams
+            .lock()
+            .expect("connection registry lock")
+            .values()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
+
+/// A running serving subsystem. Dropping it without calling
+/// [`Server::shutdown`] leaves the threads running until process exit; call
+/// [`Server::shutdown`] (or hit `POST /admin/shutdown`) for a graceful
+/// drain, then [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Shared {
+    addr: SocketAddr,
+    handle: EngineHandle,
+    batcher: Arc<MicroBatcher>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    clock: Clock,
+    max_body_bytes: usize,
+    idle_timeout: Duration,
+    registry: ConnectionRegistry,
+}
+
+/// Raises the stop flag, wakes the flusher for its final drain, unblocks
+/// reads parked on idle keep-alive connections, and unblocks the acceptor's
+/// blocking `accept` with one last loopback connection.
+fn trigger_shutdown(shared: &Shared) {
+    if shared.stop.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    shared.batcher.notify();
+    shared.registry.shutdown_reads();
+    let _ = TcpStream::connect(shared.addr);
+}
+
+impl Server {
+    /// Builds a fresh engine from the config and starts serving on
+    /// `config.addr`.
+    pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
+        let engine = AssignmentEngine::new(
+            GridIndex::new(config.area, config.cell_size),
+            config.engine.clone(),
+        );
+        Self::start_with_handle(config, EngineHandle::new(engine))
+    }
+
+    /// Starts serving an existing engine handle (tests and embedded use).
+    pub fn start_with_handle(
+        config: ServerConfig,
+        handle: EngineHandle,
+    ) -> Result<Server, ServerError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let batcher = Arc::new(MicroBatcher::new(
+            config.max_batch,
+            config.max_buffered_events,
+        ));
+        let queue = Arc::new(ConnectionQueue::new(config.queue_capacity));
+        let clock = Clock::new(config.time_scale);
+        let manual_tick = config.flush_interval.is_zero();
+
+        let shared = Arc::new(Shared {
+            addr,
+            handle: handle.clone(),
+            batcher: batcher.clone(),
+            metrics: metrics.clone(),
+            stop: stop.clone(),
+            clock: clock.clone(),
+            max_body_bytes: config.max_body_bytes,
+            idle_timeout: config.idle_timeout,
+            registry: ConnectionRegistry::default(),
+        });
+
+        let mut threads = Vec::new();
+
+        if !manual_tick {
+            let (b, h, s, m) = (batcher.clone(), handle.clone(), stop.clone(), metrics.clone());
+            let interval = config.flush_interval;
+            let flusher_clock = clock.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("rdbsc-flusher".into())
+                    .spawn(move || run_flusher(b, h, flusher_clock, interval, s, m))
+                    .expect("spawn flusher"),
+            );
+        }
+
+        for i in 0..config.effective_threads() {
+            let (q, sh) = (queue.clone(), shared.clone());
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rdbsc-worker-{i}"))
+                    .spawn(move || worker_loop(q, sh))
+                    .expect("spawn worker"),
+            );
+        }
+
+        {
+            let (q, m, s) = (queue.clone(), metrics.clone(), stop.clone());
+            threads.push(
+                std::thread::Builder::new()
+                    .name("rdbsc-acceptor".into())
+                    .spawn(move || acceptor_loop(listener, q, m, s))
+                    .expect("spawn acceptor"),
+            );
+        }
+
+        Ok(Server { shared, threads })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The engine handle the server is driving.
+    pub fn handle(&self) -> &EngineHandle {
+        &self.shared.handle
+    }
+
+    /// The serving metrics.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.shared.metrics
+    }
+
+    /// Begins a graceful shutdown: stop accepting, finish in-flight
+    /// connections, run a final micro-batch flush.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Waits for every server thread to exit. Call [`Server::shutdown`]
+    /// first (or this blocks until someone hits `POST /admin/shutdown`).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        // A request thread may have buffered an event after the flusher's
+        // final drain; park any such leftovers in the engine's own queue so
+        // an embedder resuming the handle does not lose them.
+        let leftovers = self.shared.batcher.drain();
+        if !leftovers.is_empty() {
+            self.shared.handle.submit_all(leftovers);
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    queue: Arc<ConnectionQueue>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+) {
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = incoming else {
+            // Persistent accept failures (EMFILE under fd exhaustion) would
+            // otherwise busy-spin this thread at 100% CPU.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        // Responses are small; waiting for ACKs (Nagle) only adds latency.
+        let _ = stream.set_nodelay(true);
+        match queue.offer(stream) {
+            Ok(()) => metrics.connections_accepted.incr(),
+            Err(mut stream) => {
+                metrics.connections_shed.incr();
+                metrics.count_status(429);
+                let _ = write_response(
+                    &mut stream,
+                    &Response::from_error(&ServerError::Overloaded),
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(queue: Arc<ConnectionQueue>, shared: Arc<Shared>) {
+    loop {
+        let stopping = shared.stop.load(Ordering::Acquire);
+        let timeout = if stopping {
+            // Drain whatever is still queued (each request gets a clean
+            // 503 + close), then exit.
+            Duration::ZERO
+        } else {
+            Duration::from_millis(50)
+        };
+        match queue.poll(timeout) {
+            Some(stream) => serve_connection(stream, &shared),
+            None if stopping => return,
+            None => continue,
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    // Registering lets shutdown interrupt a read parked on this connection;
+    // the guard deregisters on every exit path.
+    let registration = shared.registry.register(&stream);
+    struct Deregister<'a>(&'a Shared, Option<u64>);
+    impl Drop for Deregister<'_> {
+        fn drop(&mut self) {
+            if let Some(id) = self.1 {
+                self.0.registry.deregister(id);
+            }
+        }
+    }
+    let _guard = Deregister(shared, registration);
+    // Timeouts are set once here (not per request — that is a setsockopt
+    // per request on the hot path) and tightened exactly once when the
+    // stop flag is first observed. The write timeout also bounds how long
+    // a peer that stops reading mid-response can pin this worker: shutdown
+    // only closes the read half (so in-flight responses can finish), which
+    // would otherwise leave a blocked `write_all` stuck forever.
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    let _ = stream.set_write_timeout(Some(shared.idle_timeout));
+    let mut draining = false;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if !draining && shared.stop.load(Ordering::Acquire) {
+            // Shutdown drain: barely wait on idle peers at all.
+            draining = true;
+            let _ = reader.get_ref().set_read_timeout(Some(Duration::from_millis(100)));
+        }
+        let request = match read_request(&mut reader, shared.max_body_bytes) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // peer closed cleanly
+            Err(ServerError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::UnexpectedEof
+                        | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                // Idle timeout or the peer went away mid-request: nobody is
+                // listening for an error body.
+                return;
+            }
+            Err(e) => {
+                // Malformed request: answer if the socket still works, then
+                // drop the connection (framing may be lost).
+                let _ = write_response(&mut writer, &Response::from_error(&e).with_close());
+                shared.metrics.count_status(e.status());
+                return;
+            }
+        };
+        let started = Instant::now();
+        shared.metrics.requests_total.incr();
+        let close_requested = request.close;
+        let mut response = match route(&request, shared) {
+            Ok(response) => response,
+            Err(e) => Response::from_error(&e),
+        };
+        if close_requested || shared.stop.load(Ordering::Acquire) {
+            response = response.with_close();
+        }
+        shared.metrics.count_status(response.status);
+        shared.metrics.request_latency.record(started.elapsed());
+        if write_response(&mut writer, &response).is_err() || response.close {
+            return;
+        }
+    }
+}
+
+/// 202 on a buffered event, 429 when the micro-batch buffer is saturated
+/// (the flusher or `POST /tick` must drain before more events are taken).
+fn accepted_body(push_result: Result<usize, EngineEvent>) -> Result<Response, ServerError> {
+    let buffered = push_result.map_err(|_| ServerError::Overloaded)?;
+    Ok(Response::json(
+        202,
+        Json::obj([
+            ("accepted", Json::Bool(true)),
+            ("buffered", Json::Num(buffered as f64)),
+        ])
+        .to_string_compact(),
+    ))
+}
+
+fn parse_body(request: &Request) -> Result<Json, ServerError> {
+    Ok(parse(request.body_utf8()?)?)
+}
+
+// Locations outside the served area are legal (they index into the border
+// cells), but NaN/∞ would poison the grid index.
+fn require_finite_point(x: f64, y: f64) -> Result<Point, ServerError> {
+    if !x.is_finite() || !y.is_finite() {
+        return Err(ServerError::BadField {
+            field: "x/y",
+            expected: "finite coordinates",
+        });
+    }
+    Ok(Point::new(x, y))
+}
+
+fn route(request: &Request, shared: &Shared) -> Result<Response, ServerError> {
+    if shared.stop.load(Ordering::Acquire) && request.path != "/healthz" {
+        return Err(ServerError::ShuttingDown);
+    }
+    match (request.method, request.path.as_str()) {
+        (Method::Get, "/healthz") => Ok(Response::json(
+            200,
+            Json::obj([("status", Json::Str("ok".into()))]).to_string_compact(),
+        )),
+
+        (Method::Get, "/metrics") => {
+            let mut body = shared.metrics.to_json();
+            if let Json::Obj(map) = &mut body {
+                map.insert(
+                    "engine".to_string(),
+                    SnapshotDto::from_snapshot(&shared.handle.snapshot()).to_json(),
+                );
+            }
+            Ok(Response::json(200, body.to_string_compact()))
+        }
+
+        (Method::Get, "/snapshot") => Ok(Response::json(
+            200,
+            SnapshotDto::from_snapshot(&shared.handle.snapshot())
+                .to_json()
+                .to_string_compact(),
+        )),
+
+        (Method::Get, "/assignments") => {
+            let pairs = shared.handle.assignments();
+            let body = Json::Arr(
+                pairs
+                    .iter()
+                    .map(|p| AssignmentDto::from_pair(p).to_json())
+                    .collect(),
+            );
+            Ok(Response::json(200, body.to_string_compact()))
+        }
+
+        (Method::Post, "/tasks") => {
+            let task = TaskDto::from_json(&parse_body(request)?)?.into_task()?;
+            require_finite_point(task.location.x, task.location.y)?;
+            let buffered = shared.batcher.push(EngineEvent::TaskArrived(task));
+            shared.metrics.events_buffered.incr();
+            accepted_body(buffered)
+        }
+
+        (Method::Post, "/tasks/expire") => {
+            let dto = IdDto::from_json(&parse_body(request)?)?;
+            let buffered = shared
+                .batcher
+                .push(EngineEvent::TaskExpired(TaskId(dto.id)));
+            shared.metrics.events_buffered.incr();
+            accepted_body(buffered)
+        }
+
+        (Method::Post, "/workers") => {
+            let worker = WorkerDto::from_json(&parse_body(request)?)?.into_worker()?;
+            require_finite_point(worker.location.x, worker.location.y)?;
+            let buffered = shared.batcher.push(EngineEvent::WorkerCheckIn(worker));
+            shared.metrics.events_buffered.incr();
+            accepted_body(buffered)
+        }
+
+        (Method::Post, "/workers/heartbeat") => {
+            let dto = HeartbeatDto::from_json(&parse_body(request)?)?;
+            let to = require_finite_point(dto.x, dto.y)?;
+            let buffered = shared
+                .batcher
+                .push(EngineEvent::WorkerMoved(WorkerId(dto.id), to));
+            shared.metrics.events_buffered.incr();
+            accepted_body(buffered)
+        }
+
+        (Method::Post, "/workers/leave") => {
+            let dto = IdDto::from_json(&parse_body(request)?)?;
+            let buffered = shared
+                .batcher
+                .push(EngineEvent::WorkerLeft(WorkerId(dto.id)));
+            shared.metrics.events_buffered.incr();
+            accepted_body(buffered)
+        }
+
+        (Method::Post, "/answers") => {
+            let (worker, contribution) =
+                AnswerDto::from_json(&parse_body(request)?)?.into_answer()?;
+            let banked = shared.handle.record_answer(worker, contribution);
+            Ok(Response::json(
+                200,
+                Json::obj([("banked", Json::Bool(banked))]).to_string_compact(),
+            ))
+        }
+
+        (Method::Post, "/tick") => {
+            let body = if request.body.is_empty() {
+                Json::Obj(Default::default())
+            } else {
+                parse_body(request)?
+            };
+            let now = match body.get("now") {
+                Some(v) => v.as_num().ok_or(ServerError::BadField {
+                    field: "now",
+                    expected: "a number",
+                })?,
+                None => shared.clock.now(),
+            };
+            if !now.is_finite() {
+                return Err(ServerError::BadField {
+                    field: "now",
+                    expected: "a finite number",
+                });
+            }
+            let report = shared.batcher.flush_and_tick(&shared.handle, now);
+            shared.metrics.batch_flushes.incr();
+            Ok(Response::json(
+                200,
+                TickDto::from_report(&report).to_json().to_string_compact(),
+            ))
+        }
+
+        (Method::Post, "/admin/shutdown") => {
+            trigger_shutdown(shared);
+            Ok(Response::json(
+                200,
+                Json::obj([("stopping", Json::Bool(true))]).to_string_compact(),
+            )
+            .with_close())
+        }
+
+        (method, path) => {
+            let known_get = ["/healthz", "/metrics", "/snapshot", "/assignments"];
+            let known_post = [
+                "/tasks",
+                "/tasks/expire",
+                "/workers",
+                "/workers/heartbeat",
+                "/workers/leave",
+                "/answers",
+                "/tick",
+                "/admin/shutdown",
+            ];
+            let exists_for_other_method = match method {
+                Method::Get => known_post.contains(&path),
+                Method::Post => known_get.contains(&path),
+            };
+            if exists_for_other_method {
+                Err(ServerError::MethodNotAllowed)
+            } else {
+                Err(ServerError::NotFound(path.to_string()))
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! End-to-end tests: a real server on a loopback socket, driven through the
+//! HTTP client, checked against an offline engine run on the same event
+//! stream.
+
+use rdbsc_index::GridIndex;
+use rdbsc_platform::{AssignmentEngine, EngineEvent, EngineHandle};
+use rdbsc_server::dto::{AssignmentDto, SnapshotDto, TaskDto, WorkerDto};
+use rdbsc_server::json::Json;
+use rdbsc_server::{HttpClient, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+fn manual_tick_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        flush_interval: Duration::ZERO, // only POST /tick advances the engine
+        ..ServerConfig::default()
+    }
+}
+
+fn task_dto(id: u32, x: f64, y: f64) -> TaskDto {
+    TaskDto {
+        id,
+        x,
+        y,
+        start: 0.0,
+        end: 10.0,
+        beta: None,
+    }
+}
+
+fn worker_dto(id: u32, x: f64, y: f64) -> WorkerDto {
+    WorkerDto {
+        id,
+        x,
+        y,
+        speed: 0.5,
+        heading: None,
+        confidence: 0.9,
+        available_from: 0.0,
+    }
+}
+
+/// A small clustered world: two groups far apart, workers near the tasks.
+fn scenario() -> (Vec<TaskDto>, Vec<WorkerDto>) {
+    let mut tasks = Vec::new();
+    let mut workers = Vec::new();
+    let mut id = 0u32;
+    for (cx, cy) in [(0.2, 0.2), (0.8, 0.8)] {
+        for i in 0..5 {
+            let offset = 0.015 * i as f64;
+            tasks.push(task_dto(id, cx + offset, cy - offset));
+            workers.push(worker_dto(id, cx - offset, cy + offset));
+            id += 1;
+        }
+    }
+    (tasks, workers)
+}
+
+#[test]
+fn server_matches_offline_engine_on_the_same_event_stream() {
+    let config = manual_tick_config();
+    let engine_config = config.engine.clone();
+    let (cell_size, area) = (config.cell_size, config.area);
+    let server = Server::start(config).expect("server must start");
+    let mut client = HttpClient::new(server.addr());
+
+    let (tasks, workers) = scenario();
+    for t in &tasks {
+        let response = client.post("/tasks", &t.to_json()).unwrap();
+        assert_eq!(response.status, 202, "{}", response.body);
+    }
+    for w in &workers {
+        let response = client.post("/workers", &w.to_json()).unwrap();
+        assert_eq!(response.status, 202, "{}", response.body);
+    }
+
+    // One controlled tick at t=0.
+    let response = client
+        .post("/tick", &Json::obj([("now", Json::Num(0.0))]))
+        .unwrap();
+    assert_eq!(response.status, 200);
+    let online: Vec<AssignmentDto> = client
+        .get("/assignments")
+        .unwrap()
+        .json()
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| AssignmentDto::from_json(v).unwrap())
+        .collect();
+    assert!(!online.is_empty(), "the scenario must produce assignments");
+
+    // The same event stream, straight into an offline engine.
+    let offline_handle = EngineHandle::new(AssignmentEngine::new(
+        GridIndex::new(area, cell_size),
+        engine_config,
+    ));
+    for t in &tasks {
+        offline_handle.submit(EngineEvent::TaskArrived(t.clone().into_task().unwrap()));
+    }
+    for w in &workers {
+        offline_handle.submit(EngineEvent::WorkerCheckIn(
+            w.clone().into_worker().unwrap(),
+        ));
+    }
+    offline_handle.tick(0.0);
+    let offline: Vec<AssignmentDto> = offline_handle
+        .assignments()
+        .iter()
+        .map(AssignmentDto::from_pair)
+        .collect();
+
+    assert_eq!(online, offline, "served assignments must equal the offline run");
+
+    let snapshot = SnapshotDto::from_json(&client.get("/snapshot").unwrap().json().unwrap())
+        .unwrap();
+    assert_eq!(snapshot.total_assignments as usize, online.len());
+    assert_eq!(snapshot.live_tasks as usize, tasks.len());
+    assert_eq!(snapshot.live_workers as usize, workers.len());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn auto_flush_assigns_without_explicit_ticks() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        flush_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).expect("server must start");
+    let mut client = HttpClient::new(server.addr());
+
+    let (tasks, workers) = scenario();
+    for t in &tasks {
+        assert!(client.post("/tasks", &t.to_json()).unwrap().is_success());
+    }
+    for w in &workers {
+        assert!(client.post("/workers", &w.to_json()).unwrap().is_success());
+    }
+
+    let started = Instant::now();
+    let mut assigned = 0.0;
+    while started.elapsed() < Duration::from_secs(10) {
+        let snapshot =
+            SnapshotDto::from_json(&client.get("/snapshot").unwrap().json().unwrap()).unwrap();
+        assigned = snapshot.total_assignments;
+        if assigned > 0.0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(assigned > 0.0, "the micro-batch flusher must tick on its own");
+
+    // Completing an answer frees the worker and banks the contribution.
+    let pair = &client.get("/assignments").unwrap().json().unwrap().as_arr().unwrap()[0]
+        .clone();
+    let pair = AssignmentDto::from_json(pair).unwrap();
+    let answer = Json::obj([
+        ("worker", Json::Num(pair.worker as f64)),
+        ("confidence", Json::Num(pair.confidence)),
+        ("angle", Json::Num(pair.angle)),
+        ("arrival", Json::Num(pair.arrival)),
+    ]);
+    let response = client.post("/answers", &answer).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.json().unwrap().get("banked"), Some(&Json::Bool(true)));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn bad_requests_get_400s_not_crashes() {
+    let server = Server::start(manual_tick_config()).expect("server must start");
+    let mut client = HttpClient::new(server.addr());
+
+    // Malformed JSON.
+    let r = client
+        .request("POST", "/tasks", Some("{not json".to_string()))
+        .unwrap();
+    assert_eq!(r.status, 400);
+    // Valid JSON, missing fields.
+    let r = client.post("/tasks", &Json::obj([("id", Json::Num(1.0))])).unwrap();
+    assert_eq!(r.status, 400);
+    // Valid fields, invalid model object (end < start).
+    let mut bad = task_dto(1, 0.5, 0.5);
+    bad.start = 5.0;
+    bad.end = 1.0;
+    let r = client.post("/tasks", &bad.to_json()).unwrap();
+    assert_eq!(r.status, 400);
+    // Unknown route, wrong method.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/tasks").unwrap().status, 405);
+    assert_eq!(
+        client.post("/snapshot", &Json::obj([])).unwrap().status,
+        405
+    );
+
+    // The connection (and server) still works after all that.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn metrics_report_counters_and_latencies() {
+    let server = Server::start(manual_tick_config()).expect("server must start");
+    let mut client = HttpClient::new(server.addr());
+
+    for _ in 0..5 {
+        assert!(client.get("/healthz").unwrap().is_success());
+    }
+    let _ = client.get("/nope");
+
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let requests = metrics.get("requests").unwrap();
+    assert!(requests.get("total").unwrap().as_num().unwrap() >= 6.0);
+    assert!(requests.get("responses_2xx").unwrap().as_num().unwrap() >= 5.0);
+    assert!(requests.get("responses_4xx").unwrap().as_num().unwrap() >= 1.0);
+    let latency = metrics.get("request_latency").unwrap();
+    assert!(latency.get("count").unwrap().as_num().unwrap() >= 6.0);
+    assert!(metrics.get("engine").is_some());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn saturated_queue_sheds_with_429() {
+    // One worker thread and a one-slot queue: the third concurrent
+    // connection must be shed.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        queue_capacity: 1,
+        flush_interval: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).expect("server must start");
+    let addr = server.addr();
+
+    // Connection A: occupies the single worker thread (keep-alive).
+    let mut a = HttpClient::new(addr);
+    assert!(a.get("/healthz").unwrap().is_success());
+    // Connection B: sits in the queue (never popped while A is open).
+    let _b = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // Connection C: queue full -> 429 from the acceptor.
+    let mut c = HttpClient::new(addr).with_timeout(Duration::from_secs(5));
+    let shed = c.get("/healthz").unwrap();
+    assert_eq!(shed.status, 429, "{}", shed.body);
+    assert!(shed.body.contains("retry"), "{}", shed.body);
+    assert!(server.metrics().connections_shed.get() >= 1);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn graceful_shutdown_via_the_admin_route() {
+    let server = Server::start(manual_tick_config()).expect("server must start");
+    let addr = server.addr();
+    let mut client = HttpClient::new(addr);
+    assert!(client.get("/healthz").unwrap().is_success());
+
+    let response = client.post("/admin/shutdown", &Json::obj([])).unwrap();
+    assert_eq!(response.status, 200);
+    // join() returning proves every thread exited.
+    server.join();
+    // And the port is actually released.
+    assert!(std::net::TcpListener::bind(addr).is_ok());
+}

@@ -51,7 +51,8 @@
 //! | [`index`] | the RDB-SC-Grid cost-model-based grid index |
 //! | [`algos`] | greedy / sampling / divide-and-conquer / exact / incremental solvers |
 //! | [`workloads`] | UNIFORM & SKEWED generators, simulated POI / trajectory data, Table 2 config |
-//! | [`platform`] | the gMission-style platform simulator, accuracy and coverage metrics |
+//! | [`platform`] | the platform simulator, the parallel assignment engine + [`EngineHandle`](rdbsc_platform::EngineHandle) |
+//! | [`server`] | the HTTP/1.1 online serving subsystem (admission control, micro-batching, metrics) |
 
 pub use rdbsc_algos as algos;
 pub use rdbsc_cluster as cluster;
@@ -59,6 +60,7 @@ pub use rdbsc_geo as geo;
 pub use rdbsc_index as index;
 pub use rdbsc_model as model;
 pub use rdbsc_platform as platform;
+pub use rdbsc_server as server;
 pub use rdbsc_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
@@ -77,7 +79,11 @@ pub mod prelude {
         Contribution, ObjectiveValue, ProblemInstance, Task, TaskId, TaskPriors, TimeWindow,
         ValidPair, Worker, WorkerId,
     };
-    pub use rdbsc_platform::{PlatformConfig, PlatformSim, SimulationReport};
+    pub use rdbsc_platform::{
+        AssignmentEngine, EngineConfig, EngineEvent, EngineHandle, PlatformConfig, PlatformSim,
+        SimulationReport,
+    };
+    pub use rdbsc_server::{Server, ServerConfig};
     pub use rdbsc_workloads::{
         generate_instance, generate_metro_instance, Distribution, ExperimentConfig, MetroConfig,
         PoiGenerator, Scale, TrajectoryGenerator,
@@ -95,6 +101,8 @@ mod tests {
         let _ = SamplingConfig::default();
         let _ = DncConfig::default();
         let _ = PlatformConfig::default();
+        let _ = ServerConfig::default();
+        let _ = EngineConfig::default();
         let _ = Point::new(0.0, 0.0);
     }
 }
