@@ -1,34 +1,47 @@
 //! Grid-index benchmarks: construction, dynamic maintenance and valid-pair
 //! retrieval with vs. without the index — the Criterion counterpart of
-//! Figure 17.
+//! Figure 17 — now A/B across the two `SpatialIndex` backends (the classic
+//! grid and the flat dense grid). The closed-loop A/B with the recorded
+//! `BENCH_index.json` verdict lives in the `index_ab` binary.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rdbsc_index::GridIndex;
+use rdbsc_index::{FlatGridIndex, GridIndex, SpatialIndex};
+use rdbsc_model::ProblemInstance;
 use rdbsc_workloads::{generate_instance, ExperimentConfig};
 
-fn bench_index(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig17_grid_index");
+fn instance_for(n: usize) -> ProblemInstance {
+    let config = ExperimentConfig::small_default()
+        .with_tasks(1000)
+        .with_workers(n)
+        .with_seed(9);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    generate_instance(&config, &mut rng)
+}
+
+/// The per-backend body: construction, pruned retrieval, brute force, and a
+/// worker-churn maintenance round — identical work for both backends.
+fn bench_backend<I, New>(c: &mut Criterion, name: &str, new: New)
+where
+    I: SpatialIndex + Clone,
+    New: Fn(&ProblemInstance) -> I,
+{
+    let mut group = c.benchmark_group(format!("fig17_{name}_index"));
     group.sample_size(10);
     for n in [500usize, 1000] {
-        let config = ExperimentConfig::small_default()
-            .with_tasks(1000)
-            .with_workers(n)
-            .with_seed(9);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let instance = generate_instance(&config, &mut rng);
+        let instance = instance_for(n);
 
         group.bench_with_input(BenchmarkId::new("construction", n), &n, |b, _| {
             b.iter(|| {
-                let mut index = GridIndex::from_instance(&instance);
-                index.refresh_tcell_lists();
+                let mut index = new(&instance);
+                index.refresh();
                 index
             })
         });
 
-        let mut built = GridIndex::from_instance(&instance);
-        built.refresh_tcell_lists();
+        let mut built = new(&instance);
+        built.refresh();
 
         group.bench_with_input(BenchmarkId::new("retrieval_with_index", n), &n, |b, _| {
             b.iter_batched(
@@ -56,6 +69,11 @@ fn bench_index(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    bench_backend(c, "grid", GridIndex::from_instance);
+    bench_backend(c, "flat", FlatGridIndex::from_instance);
 }
 
 criterion_group!(benches, bench_index);

@@ -1,0 +1,416 @@
+//! A/B benchmark of the spatial-index backends on a worker-movement-heavy
+//! online workload.
+//!
+//! One deterministic event script — a metro-style city with every worker
+//! reporting a new position each tick plus a trickle of task churn — is
+//! generated once and replayed against each [`SpatialIndex`] backend. Each
+//! tick applies the maintenance events and runs a pruned candidate
+//! retrieval, i.e. exactly the index work one engine round performs; the
+//! score is maintenance+query throughput (events + retrieved pairs per
+//! second). The run also *verifies* the cross-backend determinism contract:
+//! every tick's candidate list must be element-wise identical across
+//! backends.
+//!
+//! ```text
+//! cargo run --release -p rdbsc-bench --bin index_ab -- --json BENCH_index.json --min-speedup 1.2
+//! cargo run --release -p rdbsc-bench --bin index_ab -- --smoke   # tiny CI workload
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdbsc_geo::{Point, Rect};
+use rdbsc_index::{
+    choose_backend, FlatGridIndex, GridIndex, IndexBackend, SpatialIndex, WorkloadProfile,
+};
+use rdbsc_model::{Task, TaskId, TimeWindow, ValidPair, Worker, WorkerId};
+use rdbsc_server::json::Json;
+use rdbsc_workloads::{generate_metro_instance, MetroConfig};
+use std::time::Instant;
+
+struct Args {
+    workers: usize,
+    tasks: usize,
+    ticks: usize,
+    seed: u64,
+    cell_size: f64,
+    json_path: Option<String>,
+    min_speedup: f64,
+    smoke: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: index_ab [--workers N] [--tasks N] [--ticks N] [--seed N]\n\
+         \x20              [--cell-size F] [--json FILE] [--min-speedup F] [--smoke]\n\
+         \n\
+         Replays one worker-movement-heavy event script against the grid and\n\
+         flat-grid index backends, checks their candidate streams are\n\
+         identical, and reports maintenance+query throughput."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    // Defaults model a dense metro serving area: tens of workers per cell,
+    // every worker heartbeating a new position each tick. Density is what
+    // separates the backends — the grid pays an O(cell population) eager
+    // summary repair per cross-cell move, the flat backend pays O(1).
+    let mut args = Args {
+        workers: 6_000,
+        tasks: 300,
+        ticks: 30,
+        seed: 17,
+        cell_size: 0.1,
+        json_path: None,
+        min_speedup: 0.0,
+        smoke: false,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < raw.len() {
+        let flag = raw[i].as_str();
+        i += 1;
+        match flag {
+            "--help" | "-h" => usage(),
+            "--smoke" => {
+                args.smoke = true;
+                args.workers = 300;
+                args.tasks = 100;
+                args.ticks = 8;
+            }
+            _ => {
+                let Some(value) = raw.get(i) else {
+                    eprintln!("{flag} requires a value");
+                    usage();
+                };
+                i += 1;
+                let bad = |what: &str| -> ! {
+                    eprintln!("{flag}: cannot parse {what:?}");
+                    usage();
+                };
+                match flag {
+                    "--workers" => args.workers = value.parse().unwrap_or_else(|_| bad(value)),
+                    "--tasks" => args.tasks = value.parse().unwrap_or_else(|_| bad(value)),
+                    "--ticks" => args.ticks = value.parse().unwrap_or_else(|_| bad(value)),
+                    "--seed" => args.seed = value.parse().unwrap_or_else(|_| bad(value)),
+                    "--cell-size" => {
+                        args.cell_size = value.parse().unwrap_or_else(|_| bad(value))
+                    }
+                    "--json" => args.json_path = Some(value.clone()),
+                    "--min-speedup" => {
+                        args.min_speedup = value.parse().unwrap_or_else(|_| bad(value))
+                    }
+                    _ => {
+                        eprintln!("unknown flag {flag}");
+                        usage();
+                    }
+                }
+            }
+        }
+    }
+    args
+}
+
+/// One maintenance event of the pre-generated script.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    MoveWorker(WorkerId, Point),
+    InsertTask(Task),
+    RemoveTask(TaskId),
+}
+
+/// The deterministic workload: initial placement plus per-tick event lists.
+struct Script {
+    initial_tasks: Vec<Task>,
+    initial_workers: Vec<Worker>,
+    ticks: Vec<Vec<Op>>,
+}
+
+/// Builds the script once, so every backend replays byte-identical input:
+/// every worker takes a local random-walk step each tick (the
+/// movement-heavy part — most steps cross a cell boundary) and ~2% of the
+/// task set churns (expire + re-post elsewhere).
+///
+/// The fleet is *homogeneous* (one speed, free heading, available
+/// immediately), the common serving shape: a courier/driver fleet whose
+/// cell summaries are movement-stable, so the backends' per-event
+/// bookkeeping — not the shared reachability rebuilds — carries the cost.
+fn build_script(args: &Args) -> Script {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let config = MetroConfig::default()
+        .with_tasks(args.tasks)
+        .with_workers(args.workers);
+    let instance = generate_metro_instance(&config, &mut rng);
+    let horizon = args.ticks as f64 * 0.1 + 4.0;
+    let initial_tasks: Vec<Task> = instance
+        .tasks
+        .iter()
+        .map(|t| {
+            Task::new(
+                t.id,
+                t.location,
+                TimeWindow::new(0.0, horizon).expect("valid window"),
+            )
+        })
+        .collect();
+    let initial_workers: Vec<Worker> = instance
+        .workers
+        .iter()
+        .map(|w| {
+            Worker::new(
+                w.id,
+                w.location,
+                0.04,
+                rdbsc_geo::AngleRange::full(),
+                w.confidence,
+            )
+            .expect("valid worker")
+        })
+        .collect();
+
+    let mut positions: Vec<Point> = initial_workers.iter().map(|w| w.location).collect();
+    let mut next_task_id = initial_tasks.len() as u32;
+    let mut live_tasks: Vec<TaskId> = initial_tasks.iter().map(|t| t.id).collect();
+    let churn = (args.tasks / 50).max(1);
+    let ticks = (0..args.ticks)
+        .map(|_| {
+            let mut ops = Vec::with_capacity(args.workers + 2 * churn);
+            for (idx, worker) in initial_workers.iter().enumerate() {
+                let step = 2.5 * args.cell_size;
+                let to = Point::new(
+                    (positions[idx].x + rng.gen_range(-step..step)).clamp(0.0, 1.0),
+                    (positions[idx].y + rng.gen_range(-step..step)).clamp(0.0, 1.0),
+                );
+                positions[idx] = to;
+                ops.push(Op::MoveWorker(worker.id, to));
+            }
+            for _ in 0..churn {
+                let victim = live_tasks[rng.gen_range(0..live_tasks.len())];
+                if let Some(pos) = live_tasks.iter().position(|t| *t == victim) {
+                    live_tasks.swap_remove(pos);
+                    ops.push(Op::RemoveTask(victim));
+                }
+                let replacement = Task::new(
+                    TaskId(next_task_id),
+                    Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                    TimeWindow::new(0.0, horizon).expect("valid window"),
+                );
+                next_task_id += 1;
+                live_tasks.push(replacement.id);
+                ops.push(Op::InsertTask(replacement));
+            }
+            ops
+        })
+        .collect();
+
+    Script {
+        initial_tasks,
+        initial_workers,
+        ticks,
+    }
+}
+
+struct RunOutcome {
+    seconds: f64,
+    events: u64,
+    pairs: u64,
+    /// One order-sensitive digest per tick over the full candidate list
+    /// (task, worker, contribution bits). Digests rather than retained
+    /// lists: a full run emits tens of millions of pairs, and holding them
+    /// for the identity check would let allocator pressure from run A skew
+    /// run B's timing.
+    tick_digests: Vec<u64>,
+    relocations: u64,
+    cells_repaired: u64,
+    tcell_rebuilds: u64,
+}
+
+/// FNV-1a over the candidate stream, order-sensitive.
+fn digest_pairs(pairs: &[ValidPair]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut absorb = |v: u64| {
+        hash ^= v;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for p in pairs {
+        absorb(p.task.0 as u64);
+        absorb(p.worker.0 as u64);
+        absorb(p.contribution.angle.to_bits());
+        absorb(p.contribution.arrival.to_bits());
+    }
+    hash
+}
+
+/// Replays the script on one backend: apply each tick's events, then run the
+/// pruned retrieval — the per-round index work of the online engine.
+fn run_backend<I: SpatialIndex>(mut index: I, script: &Script) -> RunOutcome {
+    for task in &script.initial_tasks {
+        index.insert_task(*task);
+    }
+    for worker in &script.initial_workers {
+        index.insert_worker(*worker);
+    }
+    index.refresh(); // initial build is not part of the timed maintenance
+
+    let mut events = 0u64;
+    let mut pairs = 0u64;
+    let mut tick_digests = Vec::with_capacity(script.ticks.len());
+    let counters_before = index.maintenance_counters();
+    let started = Instant::now();
+    for (tick, ops) in script.ticks.iter().enumerate() {
+        for op in ops {
+            match *op {
+                Op::MoveWorker(id, to) => index.relocate_worker(id, to),
+                Op::InsertTask(task) => index.insert_task(task),
+                Op::RemoveTask(id) => index.remove_task(id),
+            }
+        }
+        events += ops.len() as u64;
+        index.set_depart_at(tick as f64 * 0.1);
+        let graph = index.retrieve_valid_pairs();
+        pairs += graph.num_pairs() as u64;
+        tick_digests.push(digest_pairs(&graph.pairs));
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let delta = index.maintenance_counters().delta_since(&counters_before);
+    RunOutcome {
+        seconds,
+        events,
+        pairs,
+        tick_digests,
+        relocations: delta.relocations,
+        cells_repaired: delta.cells_repaired,
+        tcell_rebuilds: delta.tcell_rebuilds,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let script = build_script(&args);
+    let space = Rect::unit();
+
+    println!(
+        "index A/B: {} workers x {} ticks, {} tasks, cell size {} ({})",
+        args.workers,
+        args.ticks,
+        args.tasks,
+        args.cell_size,
+        if args.smoke { "smoke" } else { "full" },
+    );
+
+    let grid = run_backend(GridIndex::new(space, args.cell_size), &script);
+    let flat = run_backend(FlatGridIndex::new(space, args.cell_size), &script);
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Determinism contract: element-wise identical candidate streams
+    // (order-sensitive digests per tick).
+    if grid.tick_digests.len() != flat.tick_digests.len() {
+        failures.push("backends ran different tick counts".into());
+    }
+    for (tick, (g, f)) in grid
+        .tick_digests
+        .iter()
+        .zip(flat.tick_digests.iter())
+        .enumerate()
+    {
+        if g != f {
+            failures.push(format!("candidate stream diverged at tick {tick}"));
+            break;
+        }
+    }
+    if grid.pairs == 0 {
+        failures.push("the workload produced no candidate pairs at all".into());
+    }
+
+    let throughput = |o: &RunOutcome| (o.events + o.pairs) as f64 / o.seconds.max(1e-9);
+    let grid_tp = throughput(&grid);
+    let flat_tp = throughput(&flat);
+    let speedup = flat_tp / grid_tp.max(1e-9);
+
+    // What the cost model would have picked for the measured shape.
+    let num_cells = GridIndex::new(space, args.cell_size).num_cells() as f64;
+    let objects = (args.workers + args.tasks) as f64;
+    let profile = WorkloadProfile {
+        objects_per_cell: objects / num_cells.max(1.0),
+        churn_per_object: grid.relocations as f64 / (objects * args.ticks.max(1) as f64),
+    };
+    let recommended = choose_backend(&profile);
+
+    println!(
+        "grid      : {:>10.3} ms, {:>12.0} ops/s ({} relocations, {} repairs, {} rebuilds)",
+        grid.seconds * 1e3,
+        grid_tp,
+        grid.relocations,
+        grid.cells_repaired,
+        grid.tcell_rebuilds,
+    );
+    println!(
+        "flat-grid : {:>10.3} ms, {:>12.0} ops/s ({} relocations, {} repairs, {} rebuilds)",
+        flat.seconds * 1e3,
+        flat_tp,
+        flat.relocations,
+        flat.cells_repaired,
+        flat.tcell_rebuilds,
+    );
+    println!(
+        "speedup   : {speedup:.2}x (flat over grid); cost model recommends {} here",
+        recommended.name(),
+    );
+
+    if args.min_speedup > 0.0 && speedup < args.min_speedup {
+        failures.push(format!(
+            "{speedup:.2}x is below --min-speedup {}",
+            args.min_speedup
+        ));
+    }
+    if recommended != IndexBackend::FlatGrid {
+        // Informational only: the heuristic sees this movement-heavy shape.
+        println!("note: heuristic picked {} for this profile", recommended.name());
+    }
+
+    if let Some(path) = &args.json_path {
+        let backend_json = |o: &RunOutcome, tp: f64| {
+            Json::obj([
+                ("seconds", Json::Num(o.seconds)),
+                ("events", Json::Num(o.events as f64)),
+                ("pairs", Json::Num(o.pairs as f64)),
+                ("throughput_ops_per_s", Json::Num(tp)),
+                ("relocations", Json::Num(o.relocations as f64)),
+                ("cells_repaired", Json::Num(o.cells_repaired as f64)),
+                ("tcell_rebuilds", Json::Num(o.tcell_rebuilds as f64)),
+            ])
+        };
+        let report = Json::obj([
+            ("bench", Json::Str("rdbsc-index backend A/B (movement-heavy)".into())),
+            ("workers", Json::Num(args.workers as f64)),
+            ("tasks", Json::Num(args.tasks as f64)),
+            ("ticks", Json::Num(args.ticks as f64)),
+            ("cell_size", Json::Num(args.cell_size)),
+            ("seed", Json::Num(args.seed as f64)),
+            ("smoke", Json::Bool(args.smoke)),
+            ("grid", backend_json(&grid, grid_tp)),
+            ("flat_grid", backend_json(&flat, flat_tp)),
+            ("speedup_flat_over_grid", Json::Num(speedup)),
+            (
+                "candidates_identical",
+                Json::Bool(!failures.iter().any(|f| f.contains("diverged"))),
+            ),
+            ("recommended_backend", Json::Str(recommended.name().into())),
+        ]);
+        if let Err(e) = std::fs::write(path, report.to_string_compact()) {
+            eprintln!("cannot write {path}: {e}");
+            failures.push(format!("cannot write {path}"));
+        } else {
+            println!("report    : {path}");
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("OK");
+}

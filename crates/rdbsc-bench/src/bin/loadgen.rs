@@ -202,7 +202,10 @@ fn run_verify(seed: u64) -> Result<usize, String> {
         .map(|v| AssignmentDto::from_json(v).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
 
-    // The identical stream, straight into an offline engine.
+    // The identical stream, straight into an offline engine — deliberately
+    // on the *classic grid* backend while the spawned server serves on its
+    // default flat backend, so this equivalence check also exercises the
+    // spatial-index layer's cross-backend determinism contract.
     let offline_handle = EngineHandle::new(AssignmentEngine::new(
         GridIndex::new(area, cell_size),
         engine_config,

@@ -94,31 +94,13 @@ impl Figure {
     }
 }
 
-/// Serialises rendered figures to pretty-printed JSON (hand-rolled: the
-/// offline build environment has no serde).
+/// Serialises rendered figures to pretty-printed JSON. The float formatting
+/// and string escaping are the workspace-shared helpers from
+/// [`rdbsc_server::json`], so figure dumps, `/metrics` scrapes and
+/// `BENCH_*.json` reports all format values identically (and parse back
+/// losslessly).
 pub fn figures_to_json(figures: &[Figure]) -> String {
-    fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-    fn number(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v}")
-        } else {
-            "null".to_string()
-        }
-    }
+    use rdbsc_server::json::{escape_str as escape, format_f64 as number};
     let mut out = String::from("[\n");
     for (i, fig) in figures.iter().enumerate() {
         out.push_str("  {\n");
@@ -655,6 +637,34 @@ mod tests {
         // Rendering produces one line per row plus the two header lines.
         let rendered = panels[0].render();
         assert_eq!(rendered.lines().count(), 2 + panels[0].rows.len());
+    }
+
+    #[test]
+    fn figures_json_round_trips_through_the_shared_parser() {
+        // The figure dump uses the workspace-shared float/escape helpers, so
+        // it must parse back with the shared parser, values intact.
+        let figure = Figure {
+            id: "fig\"x".into(),
+            title: "τ — newline\n".into(),
+            x_label: "m".into(),
+            columns: vec!["GREEDY".into()],
+            rows: vec![FigureRow {
+                x: "1000".into(),
+                values: vec![0.1 + 0.2, f64::NAN],
+            }],
+        };
+        let dumped = figures_to_json(&[figure]);
+        let parsed = rdbsc_server::json::parse(&dumped).expect("dump must parse");
+        let fig = &parsed.as_arr().unwrap()[0];
+        assert_eq!(fig.get("id").unwrap().as_str(), Some("fig\"x"));
+        let values = fig.get("rows").unwrap().as_arr().unwrap()[0]
+            .get("values")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .to_vec();
+        assert_eq!(values[0].as_num(), Some(0.1 + 0.2), "lossless float");
+        assert_eq!(values[1], rdbsc_server::json::Json::Null, "NaN becomes null");
     }
 
     #[test]

@@ -16,52 +16,61 @@
 //! A burst of task arrivals/expirations therefore costs
 //! `O(worker_cells · changed_cells)` instead of the full
 //! `O(worker_cells · cells)` rebuild the seed implementation performed.
+//!
+//! `GridIndex` is one backend of the [`SpatialIndex`] abstraction; see
+//! [`crate::FlatGridIndex`] for the dense-cell alternative optimised for
+//! worker-movement-heavy workloads.
 
 use crate::cost_model::{optimal_eta, CostModelParams};
-use rdbsc_geo::{AngleRange, Point, Rect};
-use rdbsc_model::valid_pairs::{check_pair, BipartiteCandidates, ValidPair};
+use crate::geometry::GridGeometry;
+use crate::topology::{
+    bruteforce_pairs, cell_pair_reachable, retrieve_pairs_via, CellTopology, PairScratch,
+    TaskCellSummary, WorkerCellSummary,
+};
+use crate::traits::{MaintenanceCounters, SpatialIndex};
+use rdbsc_geo::{Point, Rect};
+use rdbsc_model::valid_pairs::BipartiteCandidates;
 use rdbsc_model::{ProblemInstance, Task, TaskId, Worker, WorkerId};
 use std::collections::{BTreeSet, HashMap};
 
-/// One grid cell: its geometry, the ids of the tasks and workers currently
-/// inside it, summary bounds used for cell-level pruning, and its
+/// One grid cell: the ids of the tasks and workers currently inside it
+/// (ascending), the summary bounds used for cell-level pruning, and its
 /// `tcell_list` (reachable cells).
 #[derive(Debug, Clone)]
 pub(crate) struct Cell {
-    rect: Rect,
     tasks: Vec<TaskId>,
     workers: Vec<WorkerId>,
-    /// Maximum speed over the workers in the cell (`v_max(cellᵢ)`).
-    v_max: f64,
-    /// Earliest check-in time over the workers in the cell.
-    min_available_from: f64,
-    /// Angular hull of the workers' heading cones (None when no workers).
-    heading_hull: Option<AngleRange>,
-    /// Latest deadline over the tasks in the cell (`e_max`).
-    e_max: f64,
-    /// Earliest start over the tasks in the cell (`s_min`).
-    s_min: f64,
+    worker_summary: WorkerCellSummary,
+    task_summary: TaskCellSummary,
+    /// The worker summary the `tcell_list` was last decided under. The list
+    /// is a pure function of the summaries, so at refresh time a rebuild is
+    /// needed exactly when the current summary differs — the same trigger
+    /// the flat backend uses, which keeps the two backends' cached lists
+    /// (and therefore shard decompositions) identical even across A-B-A
+    /// changes between refreshes.
+    listed_worker_summary: WorkerCellSummary,
+    /// The task summary this cell's membership in the worker cells' lists
+    /// was last decided under (same refresh-time-compare contract).
+    listed_task_summary: TaskCellSummary,
     /// Ids (indices) of the cells reachable by at least one worker of this
     /// cell. Kept sorted ascending.
     tcell_list: Vec<usize>,
-    /// Whether `tcell_list` needs full recomputation (the cell's *worker*
-    /// summary changed).
+    /// Whether the cell's worker membership changed since the last refresh
+    /// (the refresh then compares summaries to decide on a rebuild).
     tcell_dirty: bool,
 }
 
 impl Cell {
-    fn new(rect: Rect) -> Self {
+    fn new() -> Self {
         Self {
-            rect,
             tasks: Vec::new(),
             workers: Vec::new(),
-            v_max: 0.0,
-            min_available_from: f64::INFINITY,
-            heading_hull: None,
-            e_max: f64::NEG_INFINITY,
-            s_min: f64::INFINITY,
+            worker_summary: WorkerCellSummary::EMPTY,
+            task_summary: TaskCellSummary::EMPTY,
+            listed_worker_summary: WorkerCellSummary::EMPTY,
+            listed_task_summary: TaskCellSummary::EMPTY,
             tcell_list: Vec::new(),
-            tcell_dirty: true,
+            tcell_dirty: false,
         }
     }
 
@@ -71,6 +80,22 @@ impl Cell {
 
     fn has_tasks(&self) -> bool {
         !self.tasks.is_empty()
+    }
+}
+
+/// Inserts `value` into an ascending vector, keeping it sorted (no-op style
+/// duplicate handling is not needed: ids are unique per kind).
+fn sorted_insert<T: Ord + Copy>(vec: &mut Vec<T>, value: T) {
+    match vec.binary_search(&value) {
+        Ok(_) => {}
+        Err(pos) => vec.insert(pos, value),
+    }
+}
+
+/// Removes `value` from an ascending vector, if present.
+fn sorted_remove<T: Ord + Copy>(vec: &mut Vec<T>, value: T) {
+    if let Ok(pos) = vec.binary_search(&value) {
+        vec.remove(pos);
     }
 }
 
@@ -136,9 +161,7 @@ pub struct GridStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GridIndex {
-    space: Rect,
-    eta: f64,
-    cells_per_axis: usize,
+    geometry: GridGeometry,
     cells: Vec<Cell>,
     tasks: HashMap<TaskId, Task>,
     workers: HashMap<WorkerId, Worker>,
@@ -159,6 +182,10 @@ pub struct GridIndex {
     /// [`refresh_tcell_lists`](Self::refresh_tcell_lists) must detect the
     /// rewind and rebuild.
     tcell_depart_at: f64,
+    /// Cumulative maintenance-cost counters.
+    counters: MaintenanceCounters,
+    /// Reusable candidate-generation buffers (hot path, no per-cell allocs).
+    scratch: PairScratch,
     /// Time at which assignments depart (mirrors `ProblemInstance::depart_at`).
     pub depart_at: f64,
     /// Whether early-arriving workers may wait for a task's window to open.
@@ -172,22 +199,10 @@ impl GridIndex {
     /// `[1, 1024]` (a 2-D grid of more than ~10⁶ cells stops being useful and
     /// only wastes memory).
     pub fn new(space: Rect, eta: f64) -> Self {
-        let extent = space.width().max(space.height()).max(1e-9);
-        let mut cells_per_axis = (extent / eta.max(1e-9)).ceil() as usize;
-        cells_per_axis = cells_per_axis.clamp(1, 1024);
-        let eta = extent / cells_per_axis as f64;
-        let mut cells = Vec::with_capacity(cells_per_axis * cells_per_axis);
-        for row in 0..cells_per_axis {
-            for col in 0..cells_per_axis {
-                let min_x = space.min_x + col as f64 * eta;
-                let min_y = space.min_y + row as f64 * eta;
-                cells.push(Cell::new(Rect::new(min_x, min_y, min_x + eta, min_y + eta)));
-            }
-        }
+        let geometry = GridGeometry::new(space, eta);
+        let cells = (0..geometry.num_cells()).map(|_| Cell::new()).collect();
         Self {
-            space,
-            eta,
-            cells_per_axis,
+            geometry,
             cells,
             tasks: HashMap::new(),
             workers: HashMap::new(),
@@ -197,6 +212,8 @@ impl GridIndex {
             worker_cell_set: BTreeSet::new(),
             dirty_task_cells: BTreeSet::new(),
             tcell_depart_at: 0.0,
+            counters: MaintenanceCounters::default(),
+            scratch: PairScratch::default(),
             depart_at: 0.0,
             allow_wait: true,
         }
@@ -206,47 +223,21 @@ impl GridIndex {
     /// model (Appendix I) using the instance's task count and the maximum
     /// distance any worker can cover before the latest deadline as `L_max`.
     pub fn from_instance(instance: &ProblemInstance) -> Self {
-        let latest_deadline = instance
-            .tasks
-            .iter()
-            .map(|t| t.window.end)
-            .fold(0.0f64, f64::max);
-        let l_max = instance
-            .workers
-            .iter()
-            .map(|w| w.motion().max_travel_distance(instance.depart_at, latest_deadline))
-            .fold(0.0f64, f64::max)
-            .min(1.0);
-        let params = CostModelParams::uniform(l_max.max(1e-3), instance.num_tasks().max(2));
-        let mut index = GridIndex::new(Rect::unit(), optimal_eta(&params));
-        index.depart_at = instance.depart_at;
-        index.allow_wait = instance.allow_wait;
-        for task in &instance.tasks {
-            index.insert_task(*task);
-        }
-        for worker in &instance.workers {
-            index.insert_worker(*worker);
-        }
+        let mut index = GridIndex::new(Rect::unit(), instance_eta(instance));
+        crate::traits::populate_from_instance(&mut index, instance);
         index
     }
 
     /// Builds an index for an instance with an explicit cell side.
     pub fn from_instance_with_eta(instance: &ProblemInstance, eta: f64) -> Self {
         let mut index = GridIndex::new(Rect::unit(), eta);
-        index.depart_at = instance.depart_at;
-        index.allow_wait = instance.allow_wait;
-        for task in &instance.tasks {
-            index.insert_task(*task);
-        }
-        for worker in &instance.workers {
-            index.insert_worker(*worker);
-        }
+        crate::traits::populate_from_instance(&mut index, instance);
         index
     }
 
     /// The cell side `η` actually in use.
     pub fn eta(&self) -> f64 {
-        self.eta
+        self.geometry.eta()
     }
 
     /// Number of cells.
@@ -299,28 +290,12 @@ impl GridIndex {
     /// Index of the cell containing a point (points outside the data space
     /// are clamped onto it).
     pub fn cell_of(&self, p: Point) -> usize {
-        let clamped = self.space.clamp_point(p);
-        let col = (((clamped.x - self.space.min_x) / self.eta) as usize)
-            .min(self.cells_per_axis - 1);
-        let row = (((clamped.y - self.space.min_y) / self.eta) as usize)
-            .min(self.cells_per_axis - 1);
-        row * self.cells_per_axis + col
+        self.geometry.cell_of(p)
     }
 
-    pub(crate) fn worker_cell_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.worker_cell_set.iter().copied()
-    }
-
-    pub(crate) fn tasks_of_cell(&self, idx: usize) -> &[TaskId] {
-        &self.cells[idx].tasks
-    }
-
-    pub(crate) fn workers_of_cell(&self, idx: usize) -> &[WorkerId] {
-        &self.cells[idx].workers
-    }
-
-    pub(crate) fn tcell_list_of(&self, idx: usize) -> &[usize] {
-        &self.cells[idx].tcell_list
+    /// The cumulative maintenance counters (relocations, repairs, rebuilds).
+    pub fn maintenance_counters(&self) -> MaintenanceCounters {
+        self.counters
     }
 
     // ------------------------------------------------------------------
@@ -332,13 +307,12 @@ impl GridIndex {
         if self.tasks.insert(task.id, task).is_some() {
             self.detach_task(task.id);
         }
-        let cell_idx = self.cell_of(task.location);
+        let cell_idx = self.geometry.cell_of(task.location);
         self.task_cell.insert(task.id, cell_idx);
         self.task_cell_set.insert(cell_idx);
         let cell = &mut self.cells[cell_idx];
-        cell.tasks.push(task.id);
-        cell.e_max = cell.e_max.max(task.window.end);
-        cell.s_min = cell.s_min.min(task.window.start);
+        sorted_insert(&mut cell.tasks, task.id);
+        cell.task_summary.absorb(&task);
         // Only this cell's membership in the worker cells' reachability lists
         // can change.
         self.dirty_task_cells.insert(cell_idx);
@@ -360,17 +334,17 @@ impl GridIndex {
         task.location = to;
         let task = *task;
         let old_cell = self.task_cell.get(&id).copied();
-        let new_cell = self.cell_of(to);
+        let new_cell = self.geometry.cell_of(to);
         if old_cell == Some(new_cell) {
             return; // summaries do not depend on the position inside the cell
         }
+        self.counters.relocations += 1;
         self.detach_task(id);
         self.task_cell.insert(id, new_cell);
         self.task_cell_set.insert(new_cell);
         let cell = &mut self.cells[new_cell];
-        cell.tasks.push(id);
-        cell.e_max = cell.e_max.max(task.window.end);
-        cell.s_min = cell.s_min.min(task.window.start);
+        sorted_insert(&mut cell.tasks, id);
+        cell.task_summary.absorb(&task);
         self.dirty_task_cells.insert(new_cell);
     }
 
@@ -379,18 +353,11 @@ impl GridIndex {
         if self.workers.insert(worker.id, worker).is_some() {
             self.detach_worker(worker.id);
         }
-        let cell_idx = self.cell_of(worker.location);
+        let cell_idx = self.geometry.cell_of(worker.location);
         self.worker_cell.insert(worker.id, cell_idx);
         self.worker_cell_set.insert(cell_idx);
-        let cell = &mut self.cells[cell_idx];
-        cell.workers.push(worker.id);
-        cell.v_max = cell.v_max.max(worker.speed);
-        cell.min_available_from = cell.min_available_from.min(worker.available_from);
-        cell.heading_hull = Some(match cell.heading_hull {
-            Some(hull) => hull.union_hull(&worker.heading),
-            None => worker.heading,
-        });
-        cell.tcell_dirty = true;
+        sorted_insert(&mut self.cells[cell_idx].workers, worker.id);
+        self.repair_worker_summary(cell_idx);
     }
 
     /// Removes a worker (no-op when absent).
@@ -407,23 +374,33 @@ impl GridIndex {
             return;
         };
         worker.location = to;
-        let worker = *worker;
         let old_cell = self.worker_cell.get(&id).copied();
-        let new_cell = self.cell_of(to);
+        let new_cell = self.geometry.cell_of(to);
         if old_cell == Some(new_cell) {
             return; // summaries do not depend on the position inside the cell
         }
+        self.counters.relocations += 1;
         self.detach_worker(id);
         self.worker_cell.insert(id, new_cell);
         self.worker_cell_set.insert(new_cell);
-        let cell = &mut self.cells[new_cell];
-        cell.workers.push(id);
-        cell.v_max = cell.v_max.max(worker.speed);
-        cell.min_available_from = cell.min_available_from.min(worker.available_from);
-        cell.heading_hull = Some(match cell.heading_hull {
-            Some(hull) => hull.union_hull(&worker.heading),
-            None => worker.heading,
-        });
+        sorted_insert(&mut self.cells[new_cell].workers, id);
+        self.repair_worker_summary(new_cell);
+    }
+
+    /// Recomputes a cell's worker summary from its (ascending) membership.
+    ///
+    /// Recomputing — rather than folding the new worker into the cached
+    /// value — keeps the summary a pure function of the membership *set*,
+    /// independent of arrival order, which the cross-backend determinism
+    /// contract needs (the heading-hull union is not order-exact in floats).
+    /// The rebuild decision itself happens at refresh time, against the
+    /// summary the list was last decided under.
+    fn repair_worker_summary(&mut self, cell_idx: usize) {
+        let summary = WorkerCellSummary::compute(
+            self.cells[cell_idx].workers.iter().map(|w| &self.workers[w]),
+        );
+        let cell = &mut self.cells[cell_idx];
+        cell.worker_summary = summary;
         cell.tcell_dirty = true;
     }
 
@@ -434,16 +411,9 @@ impl GridIndex {
             return;
         };
         let cell = &mut self.cells[cell_idx];
-        cell.tasks.retain(|t| *t != id);
-        let (mut e_max, mut s_min) = (f64::NEG_INFINITY, f64::INFINITY);
-        for t in &cell.tasks {
-            if let Some(task) = self.tasks.get(t) {
-                e_max = e_max.max(task.window.end);
-                s_min = s_min.min(task.window.start);
-            }
-        }
-        cell.e_max = e_max;
-        cell.s_min = s_min;
+        sorted_remove(&mut cell.tasks, id);
+        cell.task_summary =
+            TaskCellSummary::compute(cell.tasks.iter().map(|t| &self.tasks[t]));
         if cell.tasks.is_empty() {
             self.task_cell_set.remove(&cell_idx);
         }
@@ -456,26 +426,9 @@ impl GridIndex {
         let Some(cell_idx) = self.worker_cell.remove(&id) else {
             return;
         };
-        let cell = &mut self.cells[cell_idx];
-        cell.workers.retain(|w| *w != id);
-        let mut v_max = 0.0f64;
-        let mut min_avail = f64::INFINITY;
-        let mut hull: Option<AngleRange> = None;
-        for w in &cell.workers {
-            if let Some(worker) = self.workers.get(w) {
-                v_max = v_max.max(worker.speed);
-                min_avail = min_avail.min(worker.available_from);
-                hull = Some(match hull {
-                    Some(h) => h.union_hull(&worker.heading),
-                    None => worker.heading,
-                });
-            }
-        }
-        cell.v_max = v_max;
-        cell.min_available_from = min_avail;
-        cell.heading_hull = hull;
-        cell.tcell_dirty = true;
-        if cell.workers.is_empty() {
+        sorted_remove(&mut self.cells[cell_idx].workers, id);
+        self.repair_worker_summary(cell_idx);
+        if self.cells[cell_idx].workers.is_empty() {
             self.worker_cell_set.remove(&cell_idx);
         }
     }
@@ -483,46 +436,6 @@ impl GridIndex {
     // ------------------------------------------------------------------
     // Cell-level pruning and tcell_list maintenance (Section 7.1)
     // ------------------------------------------------------------------
-
-    /// Can any worker of `from` possibly serve any task of `to`?
-    ///
-    /// Conservative: never prunes a reachable pair. Combines the paper's
-    /// minimum-travel-time test (`d_min / v_max` vs. latest deadline) with an
-    /// angular-hull test on the workers' heading cones.
-    fn cell_pair_reachable(&self, from: &Cell, to: &Cell) -> bool {
-        if !from.has_workers() || !to.has_tasks() {
-            return false;
-        }
-        let Some(hull) = from.heading_hull else {
-            return false;
-        };
-        // Minimum possible arrival time at the target cell.
-        let depart = self.depart_at.max(from.min_available_from);
-        let d_min = from.rect.min_distance(&to.rect);
-        if d_min > 0.0 {
-            if from.v_max <= 0.0 {
-                return false;
-            }
-            let t_min = depart + d_min / from.v_max;
-            if t_min > to.e_max {
-                return false;
-            }
-            // Angular pruning: the directions towards the target cell must
-            // overlap the workers' heading hull.
-            let directions = from.rect.direction_range_to(&to.rect);
-            if !hull.intersects(&directions) {
-                return false;
-            }
-        } else {
-            // Overlapping or identical cells: a worker may be arbitrarily
-            // close to (or on top of) a task, so never prune; still require
-            // the deadline to be in the future.
-            if depart > to.e_max {
-                return false;
-            }
-        }
-        true
-    }
 
     /// Brings every `tcell_list` up to date and returns the number of cells
     /// whose list was (fully or partially) recomputed.
@@ -535,57 +448,88 @@ impl GridIndex {
     pub fn refresh_tcell_lists(&mut self) -> usize {
         // A departure time earlier than the one the lists were built under
         // grows reachability, so the cached lists may be missing cells:
-        // rebuild them all. (Later departures only shrink reachability; the
-        // cached over-approximation stays sound and the exact per-pair check
-        // filters the rest.)
-        if self.depart_at < self.tcell_depart_at {
-            for cell in &mut self.cells {
-                if cell.has_workers() {
-                    cell.tcell_dirty = true;
-                }
-            }
-        }
+        // rebuild every worker-bearing cell. (Later departures only shrink
+        // reachability; the cached over-approximation stays sound and the
+        // exact per-pair check filters the rest.)
+        let force = self.depart_at < self.tcell_depart_at;
         self.tcell_depart_at = self.depart_at;
 
-        // Full rebuilds for cells whose worker summary changed. Iterate over
-        // a snapshot because the loop needs simultaneous borrow of `self`.
-        let mut rebuilt = BTreeSet::new();
-        let dirty_worker_cells: Vec<usize> = (0..self.cells.len())
+        // Candidate cells: membership changed since the last refresh (plus
+        // every worker cell on a rewind). A rebuild actually happens only
+        // when the *summary* the list was last decided under differs — the
+        // list is a pure function of the summaries, so an unchanged summary
+        // proves the cached list is still exact. Iterate over a snapshot
+        // because the loop needs simultaneous borrow of `self`.
+        let mut dirty_worker_cells: Vec<usize> = (0..self.cells.len())
             .filter(|&i| self.cells[i].tcell_dirty)
             .collect();
+        if force {
+            dirty_worker_cells.extend(self.worker_cell_set.iter().copied());
+            dirty_worker_cells.sort_unstable();
+            dirty_worker_cells.dedup();
+        }
         let task_cells: Vec<usize> = self.task_cell_set.iter().copied().collect();
+        let mut rebuilt = BTreeSet::new();
         for i in dirty_worker_cells {
-            if !self.cells[i].has_workers() {
-                self.cells[i].tcell_list.clear();
-                self.cells[i].tcell_dirty = false;
+            self.cells[i].tcell_dirty = false;
+            let changed =
+                self.cells[i].worker_summary != self.cells[i].listed_worker_summary;
+            if !(changed || force && self.cells[i].has_workers()) {
                 continue;
             }
-            let mut list = Vec::new();
+            self.cells[i].listed_worker_summary = self.cells[i].worker_summary;
+            if !self.cells[i].has_workers() {
+                self.cells[i].tcell_list.clear();
+                continue;
+            }
+            let from_rect = self.geometry.rect_of(i);
+            let from = self.cells[i].worker_summary;
+            let mut list = std::mem::take(&mut self.cells[i].tcell_list);
+            list.clear();
             for &j in &task_cells {
-                if self.cell_pair_reachable(&self.cells[i], &self.cells[j]) {
+                if cell_pair_reachable(
+                    self.depart_at,
+                    &from_rect,
+                    &from,
+                    &self.geometry.rect_of(j),
+                    &self.cells[j].task_summary,
+                ) {
                     list.push(j); // ascending: task_cells is sorted
                 }
             }
             self.cells[i].tcell_list = list;
-            self.cells[i].tcell_dirty = false;
             rebuilt.insert(i);
         }
+        self.counters.tcell_rebuilds += rebuilt.len() as u64;
 
-        // Targeted membership updates for cells whose task summary changed.
-        // Cells fully rebuilt above already saw the new task summaries and
-        // are skipped; `touched` only tracks membership *edits*, so one edit
-        // must not suppress edits for later dirty task cells.
+        // Targeted membership updates for cells whose task summary changed
+        // since their membership was last decided. Cells fully rebuilt above
+        // already saw the new task summaries and are skipped; `touched` only
+        // tracks membership *edits*, so one edit must not suppress edits for
+        // later dirty task cells.
         let mut touched = rebuilt.clone();
         let dirty_task_cells: Vec<usize> = std::mem::take(&mut self.dirty_task_cells)
             .into_iter()
             .collect();
         let worker_cells: Vec<usize> = self.worker_cell_set.iter().copied().collect();
         for j in dirty_task_cells {
+            if self.cells[j].task_summary == self.cells[j].listed_task_summary {
+                continue; // membership decisions are still exact
+            }
+            self.cells[j].listed_task_summary = self.cells[j].task_summary;
+            let to_rect = self.geometry.rect_of(j);
+            let to = self.cells[j].task_summary;
             for &i in &worker_cells {
                 if rebuilt.contains(&i) {
                     continue; // already fully rebuilt above
                 }
-                let reachable = self.cell_pair_reachable(&self.cells[i], &self.cells[j]);
+                let reachable = cell_pair_reachable(
+                    self.depart_at,
+                    &self.geometry.rect_of(i),
+                    &self.cells[i].worker_summary,
+                    &to_rect,
+                    &to,
+                );
                 let list = &mut self.cells[i].tcell_list;
                 match (list.binary_search(&j), reachable) {
                     (Ok(_), true) | (Err(_), false) => {}
@@ -601,6 +545,7 @@ impl GridIndex {
             }
         }
 
+        self.counters.cells_repaired += touched.len() as u64;
         touched.len()
     }
 
@@ -608,7 +553,7 @@ impl GridIndex {
     // Valid-pair retrieval
     // ------------------------------------------------------------------
 
-    fn candidate_capacity(&self) -> (usize, usize) {
+    fn id_capacity(&self) -> (usize, usize) {
         let max_task = self.tasks.keys().map(|t| t.index() + 1).max().unwrap_or(0);
         let max_worker = self
             .workers
@@ -619,77 +564,27 @@ impl GridIndex {
         (max_task, max_worker)
     }
 
-    /// Runs the exact per-pair check over the cell-pruned candidates of the
-    /// given worker cells (their `tcell_list`s must be fresh), feeding each
-    /// valid pair to `sink`. Shared by [`retrieve_valid_pairs`](Self::retrieve_valid_pairs)
-    /// and the shard extraction so the two retrieval paths cannot drift.
-    pub(crate) fn for_each_cell_pruned_pair<F>(&self, worker_cells: &[usize], mut sink: F)
-    where
-        F: FnMut(&Task, &Worker, rdbsc_model::Contribution),
-    {
-        for &i in worker_cells {
-            // Materialise the cell's workers and the reachable cells' tasks
-            // once, so the inner loop does no hash lookups.
-            let cell_workers: Vec<Worker> = self.cells[i]
-                .workers
-                .iter()
-                .map(|id| self.workers[id])
-                .collect();
-            for &j in &self.cells[i].tcell_list {
-                let cell_tasks: Vec<Task> = self.cells[j]
-                    .tasks
-                    .iter()
-                    .map(|id| self.tasks[id])
-                    .collect();
-                for worker in &cell_workers {
-                    for task in &cell_tasks {
-                        if let Some(contribution) =
-                            check_pair(task, worker, self.depart_at, self.allow_wait)
-                        {
-                            sink(task, worker, contribution);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     /// Retrieves every valid task-and-worker pair using the index
     /// (cell-level pruning via `tcell_list`, then exact per-pair checks).
     pub fn retrieve_valid_pairs(&mut self) -> BipartiteCandidates {
         self.refresh_tcell_lists();
-        let (task_cap, worker_cap) = self.candidate_capacity();
-        let mut graph = BipartiteCandidates::with_capacity(task_cap, worker_cap);
-        let worker_cells: Vec<usize> = self.worker_cell_set.iter().copied().collect();
-        self.for_each_cell_pruned_pair(&worker_cells, |task, worker, contribution| {
-            graph.push(ValidPair {
-                task: task.id,
-                worker: worker.id,
-                contribution,
-            });
-        });
-        graph
+        crate::topology::with_scratch(self, retrieve_pairs_via)
     }
 
     /// Retrieves every valid pair by brute force (no cell pruning), used to
     /// measure the index's benefit (Figure 17(b)) and to validate it.
     pub fn retrieve_valid_pairs_bruteforce(&self) -> BipartiteCandidates {
-        let (task_cap, worker_cap) = self.candidate_capacity();
-        let mut graph = BipartiteCandidates::with_capacity(task_cap, worker_cap);
-        for task in self.tasks.values() {
-            for worker in self.workers.values() {
-                if let Some(contribution) =
-                    check_pair(task, worker, self.depart_at, self.allow_wait)
-                {
-                    graph.push(ValidPair {
-                        task: task.id,
-                        worker: worker.id,
-                        contribution,
-                    });
-                }
-            }
-        }
-        graph
+        let mut tasks: Vec<Task> = self.tasks.values().copied().collect();
+        tasks.sort_by_key(|t| t.id);
+        let mut workers: Vec<Worker> = self.workers.values().copied().collect();
+        workers.sort_by_key(|w| w.id);
+        bruteforce_pairs(
+            tasks.iter().copied(),
+            workers.iter().copied(),
+            self.depart_at,
+            self.allow_wait,
+            self.id_capacity(),
+        )
     }
 
     /// Rebuilds a dense [`ProblemInstance`] view of the live tasks and
@@ -730,8 +625,8 @@ impl GridIndex {
             1.0 - total_tcell as f64 / possible as f64
         };
         GridStats {
-            eta: self.eta,
-            cells_per_axis: self.cells_per_axis,
+            eta: self.geometry.eta(),
+            cells_per_axis: self.geometry.cells_per_axis(),
             num_cells: self.cells.len(),
             num_tasks: self.tasks.len(),
             num_workers: self.workers.len(),
@@ -740,6 +635,138 @@ impl GridIndex {
         }
     }
 }
+
+/// The cost-model `η` for an instance: `L_max` from the maximum distance any
+/// worker can cover before the latest deadline, `N` from the task count.
+/// Shared by both backends' `from_instance` constructors.
+pub(crate) fn instance_eta(instance: &ProblemInstance) -> f64 {
+    let latest_deadline = instance
+        .tasks
+        .iter()
+        .map(|t| t.window.end)
+        .fold(0.0f64, f64::max);
+    let l_max = instance
+        .workers
+        .iter()
+        .map(|w| w.motion().max_travel_distance(instance.depart_at, latest_deadline))
+        .fold(0.0f64, f64::max)
+        .min(1.0);
+    let params = CostModelParams::uniform(l_max.max(1e-3), instance.num_tasks().max(2));
+    optimal_eta(&params)
+}
+
+impl CellTopology for GridIndex {
+    fn depart_at(&self) -> f64 {
+        self.depart_at
+    }
+    fn allow_wait(&self) -> bool {
+        self.allow_wait
+    }
+    fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+    fn worker_cell_indices(&self) -> Vec<usize> {
+        self.worker_cell_set.iter().copied().collect()
+    }
+    fn tcell_list_of(&self, cell: usize) -> &[usize] {
+        &self.cells[cell].tcell_list
+    }
+    fn task_ids_of(&self, cell: usize) -> &[TaskId] {
+        &self.cells[cell].tasks
+    }
+    fn worker_ids_of(&self, cell: usize) -> &[WorkerId] {
+        &self.cells[cell].workers
+    }
+    fn fill_cell_workers(&self, cell: usize, out: &mut Vec<Worker>) {
+        out.extend(self.cells[cell].workers.iter().map(|id| self.workers[id]));
+    }
+    fn fill_cell_tasks(&self, cell: usize, out: &mut Vec<Task>) {
+        out.extend(self.cells[cell].tasks.iter().map(|id| self.tasks[id]));
+    }
+    fn task_by_id(&self, id: TaskId) -> Task {
+        self.tasks[&id]
+    }
+    fn worker_by_id(&self, id: WorkerId) -> Worker {
+        self.workers[&id]
+    }
+    fn candidate_capacity(&self) -> (usize, usize) {
+        self.id_capacity()
+    }
+    fn take_scratch(&mut self) -> PairScratch {
+        std::mem::take(&mut self.scratch)
+    }
+    fn put_scratch(&mut self, scratch: PairScratch) {
+        self.scratch = scratch;
+    }
+}
+
+impl SpatialIndex for GridIndex {
+    fn backend_name(&self) -> &'static str {
+        "grid"
+    }
+    fn depart_at(&self) -> f64 {
+        self.depart_at
+    }
+    fn set_depart_at(&mut self, at: f64) {
+        self.depart_at = at;
+    }
+    fn allow_wait(&self) -> bool {
+        self.allow_wait
+    }
+    fn set_allow_wait(&mut self, allow: bool) {
+        self.allow_wait = allow;
+    }
+    fn num_tasks(&self) -> usize {
+        self.num_tasks()
+    }
+    fn num_workers(&self) -> usize {
+        self.num_workers()
+    }
+    fn task(&self, id: TaskId) -> Option<&Task> {
+        self.task(id)
+    }
+    fn worker(&self, id: WorkerId) -> Option<&Worker> {
+        self.worker(id)
+    }
+    fn expired_tasks(&self, now: f64) -> Vec<TaskId> {
+        self.expired_tasks(now)
+    }
+    fn insert_task(&mut self, task: Task) {
+        self.insert_task(task);
+    }
+    fn remove_task(&mut self, id: TaskId) {
+        self.remove_task(id);
+    }
+    fn relocate_task(&mut self, id: TaskId, to: Point) {
+        self.relocate_task(id, to);
+    }
+    fn insert_worker(&mut self, worker: Worker) {
+        self.insert_worker(worker);
+    }
+    fn remove_worker(&mut self, id: WorkerId) {
+        self.remove_worker(id);
+    }
+    fn relocate_worker(&mut self, id: WorkerId, to: Point) {
+        self.relocate_worker(id, to);
+    }
+    fn refresh(&mut self) -> usize {
+        self.refresh_tcell_lists()
+    }
+    fn retrieve_valid_pairs(&mut self) -> BipartiteCandidates {
+        self.retrieve_valid_pairs()
+    }
+    fn retrieve_valid_pairs_bruteforce(&self) -> BipartiteCandidates {
+        self.retrieve_valid_pairs_bruteforce()
+    }
+    fn extract_shards(&mut self, beta: f64) -> Vec<ProblemShard> {
+        self.extract_shards(beta)
+    }
+    fn maintenance_counters(&self) -> MaintenanceCounters {
+        self.counters
+    }
+}
+
+use crate::shard::ProblemShard;
 
 #[cfg(test)]
 mod tests {
@@ -894,6 +921,8 @@ mod tests {
         index.relocate_task(TaskId(99), Point::new(0.5, 0.5));
         assert_eq!(index.num_workers(), 3);
         assert_eq!(index.num_tasks(), 3);
+        // Cross-cell moves were counted.
+        assert!(index.maintenance_counters().relocations >= 4);
     }
 
     #[test]
@@ -1002,5 +1031,21 @@ mod tests {
             index.expired_tasks(10.0),
             vec![TaskId(0), TaskId(1), TaskId(2)]
         );
+    }
+
+    #[test]
+    fn maintenance_counters_accumulate() {
+        let instance = small_instance();
+        let mut index = GridIndex::from_instance_with_eta(&instance, 0.25);
+        let before = index.maintenance_counters();
+        index.refresh_tcell_lists();
+        let after = index.maintenance_counters();
+        let delta = after.delta_since(&before);
+        assert!(delta.tcell_rebuilds > 0, "initial refresh rebuilds lists");
+        assert!(delta.cells_repaired >= delta.tcell_rebuilds);
+        // A second refresh with no changes repairs nothing.
+        let idle = index.maintenance_counters();
+        index.refresh_tcell_lists();
+        assert_eq!(index.maintenance_counters(), idle);
     }
 }

@@ -1,26 +1,36 @@
 //! # rdbsc-index
 //!
-//! The cost-model-based grid index (**RDB-SC-Grid**, Section 7 of the paper)
-//! with incremental maintenance and spatial sharding.
+//! The pluggable spatial-index layer: a [`SpatialIndex`] trait covering the
+//! full maintenance + query surface the online engine uses, with two
+//! backends — the paper's cost-model-based grid (**RDB-SC-Grid**, Section 7)
+//! and a flat dense grid optimised for worker-movement-heavy workloads —
+//! plus incremental maintenance and spatial sharding shared across them.
 //!
-//! The index partitions the data space into square cells of side `η`, stores
-//! per-cell task and worker lists together with summary bounds (maximum
-//! worker speed, angular hull of worker headings, latest task deadline), and
-//! maintains for every cell a `tcell_list` — the cells that are *reachable*
-//! for at least one of its workers. Cell-level pruning (minimum inter-cell
-//! distance over maximum speed vs. the latest deadline, plus an angular-hull
-//! test) keeps the lists small, which makes retrieving the valid
-//! task-and-worker pairs much cheaper than the brute-force `O(m·n)` scan.
+//! Every backend partitions the data space into square cells of side `η`,
+//! stores per-cell task and worker lists together with summary bounds
+//! (maximum worker speed, angular hull of worker headings, latest task
+//! deadline), and maintains for every cell a `tcell_list` — the cells that
+//! are *reachable* for at least one of its workers. Cell-level pruning
+//! (minimum inter-cell distance over maximum speed vs. the latest deadline,
+//! plus an angular-hull test) keeps the lists small, which makes retrieving
+//! the valid task-and-worker pairs much cheaper than the brute-force
+//! `O(m·n)` scan.
 //!
-//! Three capabilities build on that structure:
+//! The capabilities on top of that structure:
 //!
-//! * **Incremental maintenance** ([`grid`]): inserts, removals and
-//!   relocations touch one or two cells via reverse maps, and `tcell_list`s
-//!   are repaired through dirty-cell tracking instead of full rebuilds — a
-//!   burst of task churn costs `O(worker_cells · changed_cells)`.
-//! * **Cost-model `η` selection** ([`cost_model`]): the cell side is chosen
-//!   by minimising the expected update cost of Appendix I, estimated through
-//!   the correlation fractal dimension (power law) of the task distribution.
+//! * **The [`SpatialIndex`] abstraction** ([`traits`]): insert/remove/
+//!   relocate tasks and workers, pruned candidate retrieval, shard
+//!   extraction and maintenance counters — backend-generic, with a
+//!   cross-backend determinism contract (identical candidate sequences and
+//!   shard decompositions for the same live state).
+//! * **Two backends**: [`GridIndex`] ([`grid`]) with `BTreeSet` occupancy
+//!   sets and eager per-event summary repair, and [`FlatGridIndex`]
+//!   ([`flat`]) with slot-arena storage behind generational handles, O(1)
+//!   relocation and lazy batched summary repair.
+//! * **Cost-model `η` and backend selection** ([`cost_model`]): the cell
+//!   side is chosen by minimising the expected update cost of Appendix I
+//!   (via the correlation fractal dimension of the task distribution), and
+//!   [`choose_backend`] picks a backend from object density × churn rate.
 //! * **Spatial sharding** ([`shard`]): the connected components of the
 //!   cell-reachability relation partition the live instance into independent
 //!   sub-problems that the online engine solves in parallel.
@@ -66,11 +76,27 @@
 //! let shards = index.extract_shards(0.5);
 //! assert!(shards.is_empty(), "no tasks left, nothing to shard");
 //! ```
+//!
+//! Swap [`FlatGridIndex`] in for the same behaviour with a different cost
+//! profile — see the [`SpatialIndex`] docs for the shared surface.
+
+#![deny(missing_docs)]
 
 pub mod cost_model;
+pub mod flat;
+pub mod geometry;
 pub mod grid;
 pub mod shard;
+mod topology;
+pub mod traits;
 
-pub use cost_model::{estimate_fractal_dimension, optimal_eta, update_cost, CostModelParams};
+pub use cost_model::{
+    choose_backend, estimate_fractal_dimension, optimal_eta, update_cost, CostModelParams,
+    IndexBackend, WorkloadProfile,
+};
+pub use flat::FlatGridIndex;
 pub use grid::{GridIndex, GridStats};
 pub use shard::ProblemShard;
+pub use traits::{
+    populate_from_instance, DynSpatialIndex, MaintenanceCounters, SpatialIndex,
+};

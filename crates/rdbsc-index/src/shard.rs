@@ -12,8 +12,14 @@
 //! Components containing only tasks (no worker can reach them) or only
 //! workers (nothing for them to serve) are dropped: they contribute no valid
 //! pair, so dropping them is lossless and shrinks the solve further.
+//!
+//! The extraction is written once against the backend-shared cell-topology
+//! view (`crate::topology`), so every [`crate::SpatialIndex`] backend
+//! produces the *identical* shard decomposition for the same live state —
+//! the determinism guarantee the parallel engine's reproducibility rests on.
 
 use crate::grid::GridIndex;
+use crate::topology::{for_each_cell_pruned_pair, CellTopology, PairScratch};
 use rdbsc_model::instance::SubInstanceMapping;
 use rdbsc_model::valid_pairs::{BipartiteCandidates, ValidPair};
 use rdbsc_model::{ProblemInstance, Task, TaskId, Worker, WorkerId};
@@ -78,6 +84,104 @@ impl DisjointSets {
     }
 }
 
+/// The backend-shared extraction body. The caller must have refreshed the
+/// index (fresh `tcell_list`s).
+pub(crate) fn extract_shards_via<C: CellTopology + ?Sized>(
+    index: &C,
+    beta: f64,
+    scratch: &mut PairScratch,
+) -> Vec<ProblemShard> {
+    let mut sets = DisjointSets::new(index.num_cells());
+    let worker_cells: Vec<usize> = index.worker_cell_indices();
+    for &i in &worker_cells {
+        for &j in index.tcell_list_of(i) {
+            sets.union(i, j);
+        }
+    }
+
+    // Group worker cells by component root; only components with both kinds
+    // of cells can produce valid pairs.
+    let mut comp_worker_cells: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &i in &worker_cells {
+        if !index.tcell_list_of(i).is_empty() {
+            comp_worker_cells.entry(sets.find(i)).or_default().push(i);
+        }
+    }
+
+    let mut roots: Vec<usize> = comp_worker_cells.keys().copied().collect();
+    roots.sort_unstable();
+
+    let mut shards = Vec::with_capacity(roots.len());
+    for root in roots {
+        let cells = &comp_worker_cells[&root];
+
+        let mut worker_ids: Vec<WorkerId> = cells
+            .iter()
+            .flat_map(|&i| index.worker_ids_of(i).iter().copied())
+            .collect();
+        worker_ids.sort_unstable();
+
+        // The component's task cells are exactly the union of its worker
+        // cells' tcell_lists (a task cell outside every tcell_list is
+        // unreachable and belongs to no shard).
+        let mut task_cells: Vec<usize> = cells
+            .iter()
+            .flat_map(|&i| index.tcell_list_of(i).iter().copied())
+            .collect();
+        task_cells.sort_unstable();
+        task_cells.dedup();
+
+        let mut task_ids: Vec<TaskId> = task_cells
+            .iter()
+            .flat_map(|&j| index.task_ids_of(j).iter().copied())
+            .collect();
+        task_ids.sort_unstable();
+
+        let tasks: Vec<Task> = task_ids.iter().map(|id| index.task_by_id(*id)).collect();
+        let workers: Vec<Worker> = worker_ids
+            .iter()
+            .map(|id| index.worker_by_id(*id))
+            .collect();
+
+        let local_task: HashMap<TaskId, TaskId> = task_ids
+            .iter()
+            .enumerate()
+            .map(|(local, live)| (*live, TaskId::from(local)))
+            .collect();
+        let local_worker: HashMap<WorkerId, WorkerId> = worker_ids
+            .iter()
+            .enumerate()
+            .map(|(local, live)| (*live, WorkerId::from(local)))
+            .collect();
+
+        let mapping = SubInstanceMapping {
+            tasks: task_ids.clone(),
+            workers: worker_ids.clone(),
+        };
+        let mut instance = ProblemInstance::new(tasks, workers, beta);
+        instance.depart_at = index.depart_at();
+        instance.allow_wait = index.allow_wait();
+
+        // Cell-pruned pair retrieval, re-expressed in shard-local ids.
+        let mut candidates =
+            BipartiteCandidates::with_capacity(instance.num_tasks(), instance.num_workers());
+        for_each_cell_pruned_pair(index, cells, scratch, |task, worker, contribution| {
+            candidates.push(ValidPair {
+                task: local_task[&task.id],
+                worker: local_worker[&worker.id],
+                contribution,
+            });
+        });
+
+        shards.push(ProblemShard {
+            instance,
+            mapping,
+            candidates,
+        });
+    }
+    shards
+}
+
 impl GridIndex {
     /// Partitions the live instance into independent spatial shards: the
     /// connected components of the cell-reachability relation, each packaged
@@ -85,102 +189,13 @@ impl GridIndex {
     ///
     /// Shards are returned in deterministic order (ascending minimal cell
     /// index) with tasks and workers in ascending live-id order, so repeated
-    /// extraction over the same state yields identical output.
+    /// extraction over the same state — with *any* backend — yields identical
+    /// output.
     pub fn extract_shards(&mut self, beta: f64) -> Vec<ProblemShard> {
         self.refresh_tcell_lists();
-
-        let mut sets = DisjointSets::new(self.num_cells());
-        let worker_cells: Vec<usize> = self.worker_cell_indices().collect();
-        for &i in &worker_cells {
-            for &j in self.tcell_list_of(i) {
-                sets.union(i, j);
-            }
-        }
-
-        // Group worker cells and task cells by component root; only
-        // components with both kinds can produce valid pairs.
-        let mut comp_worker_cells: HashMap<usize, Vec<usize>> = HashMap::new();
-        for &i in &worker_cells {
-            if !self.tcell_list_of(i).is_empty() {
-                comp_worker_cells.entry(sets.find(i)).or_default().push(i);
-            }
-        }
-
-        let mut roots: Vec<usize> = comp_worker_cells.keys().copied().collect();
-        roots.sort_unstable();
-
-        let mut shards = Vec::with_capacity(roots.len());
-        for root in roots {
-            let cells = &comp_worker_cells[&root];
-
-            let mut worker_ids: Vec<WorkerId> = cells
-                .iter()
-                .flat_map(|&i| self.workers_of_cell(i).iter().copied())
-                .collect();
-            worker_ids.sort_unstable();
-
-            // The component's task cells are exactly the union of its worker
-            // cells' tcell_lists (a task cell outside every tcell_list is
-            // unreachable and belongs to no shard).
-            let mut task_cells: Vec<usize> = cells
-                .iter()
-                .flat_map(|&i| self.tcell_list_of(i).iter().copied())
-                .collect();
-            task_cells.sort_unstable();
-            task_cells.dedup();
-
-            let mut task_ids: Vec<TaskId> = task_cells
-                .iter()
-                .flat_map(|&j| self.tasks_of_cell(j).iter().copied())
-                .collect();
-            task_ids.sort_unstable();
-
-            let tasks: Vec<Task> = task_ids
-                .iter()
-                .map(|id| *self.task(*id).expect("indexed task"))
-                .collect();
-            let workers: Vec<Worker> = worker_ids
-                .iter()
-                .map(|id| *self.worker(*id).expect("indexed worker"))
-                .collect();
-
-            let local_task: HashMap<TaskId, TaskId> = task_ids
-                .iter()
-                .enumerate()
-                .map(|(local, live)| (*live, TaskId::from(local)))
-                .collect();
-            let local_worker: HashMap<WorkerId, WorkerId> = worker_ids
-                .iter()
-                .enumerate()
-                .map(|(local, live)| (*live, WorkerId::from(local)))
-                .collect();
-
-            let mapping = SubInstanceMapping {
-                tasks: task_ids.clone(),
-                workers: worker_ids.clone(),
-            };
-            let mut instance = ProblemInstance::new(tasks, workers, beta);
-            instance.depart_at = self.depart_at;
-            instance.allow_wait = self.allow_wait;
-
-            // Cell-pruned pair retrieval, re-expressed in shard-local ids.
-            let mut candidates =
-                BipartiteCandidates::with_capacity(instance.num_tasks(), instance.num_workers());
-            self.for_each_cell_pruned_pair(cells, |task, worker, contribution| {
-                candidates.push(ValidPair {
-                    task: local_task[&task.id],
-                    worker: local_worker[&worker.id],
-                    contribution,
-                });
-            });
-
-            shards.push(ProblemShard {
-                instance,
-                mapping,
-                candidates,
-            });
-        }
-        shards
+        crate::topology::with_scratch(self, |index, scratch| {
+            extract_shards_via(index, beta, scratch)
+        })
     }
 }
 

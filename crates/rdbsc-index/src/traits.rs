@@ -1,0 +1,290 @@
+//! The pluggable spatial-index abstraction.
+//!
+//! [`SpatialIndex`] covers the full maintenance + query surface the online
+//! engine uses: incremental inserts/removals/relocations of tasks and
+//! workers, candidate-pair generation with cell-level pruning,
+//! connected-component shard extraction, and maintenance-cost counters. Any
+//! backend implementing it can be dropped into
+//! `rdbsc_platform::AssignmentEngine`, the serving stack and the benches
+//! without touching them.
+//!
+//! Two backends ship today:
+//!
+//! * [`crate::GridIndex`] — the paper's RDB-SC-Grid (Section 7): `BTreeSet`
+//!   occupancy sets, eager per-event summary repair, dirty-cell `tcell_list`
+//!   maintenance.
+//! * [`crate::FlatGridIndex`] — a flat dense-grid backend in the spirit of
+//!   `flat_spatial`: slot-arena object storage behind generational handles,
+//!   O(1) cross-cell relocation, *lazy* cell-summary repair batched into
+//!   [`SpatialIndex::refresh`], and reachability-list rebuilds skipped when a
+//!   repaired summary turns out unchanged.
+//!
+//! **Determinism contract.** For the same `(space, η)` and the same live
+//! object set, every backend must produce the *identical* candidate-pair
+//! sequence from [`SpatialIndex::retrieve_valid_pairs`] and the identical
+//! shard decomposition from [`SpatialIndex::extract_shards`] — element order
+//! included. The engine's byte-for-byte reproducibility across backends
+//! rests on this; the cross-backend property tests enforce it.
+
+use crate::shard::ProblemShard;
+use rdbsc_geo::Point;
+use rdbsc_model::valid_pairs::BipartiteCandidates;
+use rdbsc_model::{ProblemInstance, Task, TaskId, Worker, WorkerId};
+
+/// Cumulative maintenance-cost counters of a spatial index.
+///
+/// All counters are monotone over the index's lifetime; use
+/// [`MaintenanceCounters::delta_since`] to get per-tick figures (the engine
+/// does this and reports the delta in its `TickReport`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceCounters {
+    /// Cross-cell relocations applied (same-cell moves are free and not
+    /// counted).
+    pub relocations: u64,
+    /// Cells whose cached reachability state was repaired during a refresh
+    /// (full `tcell_list` rebuilds plus targeted membership edits).
+    pub cells_repaired: u64,
+    /// Full `tcell_list` rebuilds performed (each costs one reachability
+    /// test per task-bearing cell).
+    pub tcell_rebuilds: u64,
+}
+
+impl MaintenanceCounters {
+    /// The work done since `earlier` (saturating, so a stale snapshot never
+    /// underflows).
+    pub fn delta_since(&self, earlier: &MaintenanceCounters) -> MaintenanceCounters {
+        MaintenanceCounters {
+            relocations: self.relocations.saturating_sub(earlier.relocations),
+            cells_repaired: self.cells_repaired.saturating_sub(earlier.cells_repaired),
+            tcell_rebuilds: self.tcell_rebuilds.saturating_sub(earlier.tcell_rebuilds),
+        }
+    }
+}
+
+/// A dynamically maintained spatial index over moving workers and
+/// time-constrained tasks.
+///
+/// See the [module docs](self) for the backend line-up and the determinism
+/// contract. The trait is object-safe; [`DynSpatialIndex`] is the boxed form
+/// the server uses to pick a backend at runtime.
+///
+/// # Examples
+///
+/// Drive either backend through the common surface:
+///
+/// ```
+/// use rdbsc_geo::{AngleRange, Point, Rect};
+/// use rdbsc_index::{FlatGridIndex, GridIndex, SpatialIndex};
+/// use rdbsc_model::{Confidence, Task, TaskId, TimeWindow, Worker, WorkerId};
+///
+/// fn serve<I: SpatialIndex>(index: &mut I) -> usize {
+///     index.insert_task(Task::new(
+///         TaskId(0),
+///         Point::new(0.6, 0.6),
+///         TimeWindow::new(0.0, 10.0).unwrap(),
+///     ));
+///     index.insert_worker(
+///         Worker::new(
+///             WorkerId(0),
+///             Point::new(0.5, 0.5),
+///             0.5,
+///             AngleRange::full(),
+///             Confidence::new(0.9).unwrap(),
+///         )
+///         .unwrap(),
+///     );
+///     // An O(1) cross-cell relocation, then pruned candidate retrieval.
+///     index.relocate_worker(WorkerId(0), Point::new(0.3, 0.3));
+///     index.retrieve_valid_pairs().num_pairs()
+/// }
+///
+/// let mut grid = GridIndex::new(Rect::unit(), 0.25);
+/// let mut flat = FlatGridIndex::new(Rect::unit(), 0.25);
+/// assert_eq!(serve(&mut grid), 1);
+/// assert_eq!(serve(&mut flat), 1);
+/// assert_eq!(grid.maintenance_counters().relocations, 1);
+/// ```
+pub trait SpatialIndex: Send {
+    /// A short, stable backend identifier (`"grid"`, `"flat-grid"`), exposed
+    /// on the server's `/metrics` and snapshot endpoints.
+    fn backend_name(&self) -> &'static str;
+
+    /// Time at which assignments depart (workers leave no earlier).
+    fn depart_at(&self) -> f64;
+
+    /// Sets the departure time. Moving it *backwards* grows reachability, so
+    /// backends must detect the rewind and rebuild their cached pruning
+    /// state on the next [`SpatialIndex::refresh`].
+    fn set_depart_at(&mut self, at: f64);
+
+    /// Whether early-arriving workers may wait for a task's window to open.
+    fn allow_wait(&self) -> bool;
+
+    /// Sets the waiting policy.
+    fn set_allow_wait(&mut self, allow: bool);
+
+    /// Number of live (indexed) tasks.
+    fn num_tasks(&self) -> usize;
+
+    /// Number of live (indexed) workers.
+    fn num_workers(&self) -> usize;
+
+    /// The live task with the given id, if indexed.
+    fn task(&self, id: TaskId) -> Option<&Task>;
+
+    /// The live worker with the given id, if indexed.
+    fn worker(&self, id: WorkerId) -> Option<&Worker>;
+
+    /// Ids of the live tasks whose valid period has ended at time `now`,
+    /// in ascending id order.
+    fn expired_tasks(&self, now: f64) -> Vec<TaskId>;
+
+    /// Inserts (or replaces) a task.
+    fn insert_task(&mut self, task: Task);
+
+    /// Removes a task (no-op when absent).
+    fn remove_task(&mut self, id: TaskId);
+
+    /// Moves a live task to a new location (no-op when absent).
+    fn relocate_task(&mut self, id: TaskId, to: Point);
+
+    /// Inserts (or replaces) a worker.
+    fn insert_worker(&mut self, worker: Worker);
+
+    /// Removes a worker (no-op when absent).
+    fn remove_worker(&mut self, id: WorkerId);
+
+    /// Moves a live worker to a new location (no-op when absent).
+    fn relocate_worker(&mut self, id: WorkerId, to: Point);
+
+    /// Brings every cached summary and reachability list up to date and
+    /// returns the number of cells whose reachability state was repaired.
+    /// Called implicitly by the retrieval entry points.
+    fn refresh(&mut self) -> usize;
+
+    /// Retrieves every valid task-and-worker pair using the index's
+    /// cell-level pruning, in the backend-independent deterministic order.
+    fn retrieve_valid_pairs(&mut self) -> BipartiteCandidates;
+
+    /// Retrieves every valid pair by brute force (no pruning); used to
+    /// validate the index and to measure its benefit.
+    fn retrieve_valid_pairs_bruteforce(&self) -> BipartiteCandidates;
+
+    /// Partitions the live instance into independent spatial shards — the
+    /// connected components of the cell-reachability relation — each
+    /// packaged as a dense sub-instance with its valid pairs.
+    fn extract_shards(&mut self, beta: f64) -> Vec<ProblemShard>;
+
+    /// The cumulative maintenance-cost counters.
+    fn maintenance_counters(&self) -> MaintenanceCounters;
+}
+
+/// A boxed, dynamically chosen spatial index (the server's engine type).
+pub type DynSpatialIndex = Box<dyn SpatialIndex>;
+
+impl<I: SpatialIndex + ?Sized> SpatialIndex for Box<I> {
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+    fn depart_at(&self) -> f64 {
+        (**self).depart_at()
+    }
+    fn set_depart_at(&mut self, at: f64) {
+        (**self).set_depart_at(at);
+    }
+    fn allow_wait(&self) -> bool {
+        (**self).allow_wait()
+    }
+    fn set_allow_wait(&mut self, allow: bool) {
+        (**self).set_allow_wait(allow);
+    }
+    fn num_tasks(&self) -> usize {
+        (**self).num_tasks()
+    }
+    fn num_workers(&self) -> usize {
+        (**self).num_workers()
+    }
+    fn task(&self, id: TaskId) -> Option<&Task> {
+        (**self).task(id)
+    }
+    fn worker(&self, id: WorkerId) -> Option<&Worker> {
+        (**self).worker(id)
+    }
+    fn expired_tasks(&self, now: f64) -> Vec<TaskId> {
+        (**self).expired_tasks(now)
+    }
+    fn insert_task(&mut self, task: Task) {
+        (**self).insert_task(task);
+    }
+    fn remove_task(&mut self, id: TaskId) {
+        (**self).remove_task(id);
+    }
+    fn relocate_task(&mut self, id: TaskId, to: Point) {
+        (**self).relocate_task(id, to);
+    }
+    fn insert_worker(&mut self, worker: Worker) {
+        (**self).insert_worker(worker);
+    }
+    fn remove_worker(&mut self, id: WorkerId) {
+        (**self).remove_worker(id);
+    }
+    fn relocate_worker(&mut self, id: WorkerId, to: Point) {
+        (**self).relocate_worker(id, to);
+    }
+    fn refresh(&mut self) -> usize {
+        (**self).refresh()
+    }
+    fn retrieve_valid_pairs(&mut self) -> BipartiteCandidates {
+        (**self).retrieve_valid_pairs()
+    }
+    fn retrieve_valid_pairs_bruteforce(&self) -> BipartiteCandidates {
+        (**self).retrieve_valid_pairs_bruteforce()
+    }
+    fn extract_shards(&mut self, beta: f64) -> Vec<ProblemShard> {
+        (**self).extract_shards(beta)
+    }
+    fn maintenance_counters(&self) -> MaintenanceCounters {
+        (**self).maintenance_counters()
+    }
+}
+
+/// Loads a problem instance into an (empty) index: copies the departure time
+/// and waiting policy, then inserts every task and worker.
+pub fn populate_from_instance<I: SpatialIndex + ?Sized>(
+    index: &mut I,
+    instance: &ProblemInstance,
+) {
+    index.set_depart_at(instance.depart_at);
+    index.set_allow_wait(instance.allow_wait);
+    for task in &instance.tasks {
+        index.insert_task(*task);
+    }
+    for worker in &instance.workers {
+        index.insert_worker(*worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_deltas_saturate() {
+        let earlier = MaintenanceCounters {
+            relocations: 5,
+            cells_repaired: 2,
+            tcell_rebuilds: 1,
+        };
+        let later = MaintenanceCounters {
+            relocations: 9,
+            cells_repaired: 2,
+            tcell_rebuilds: 4,
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.relocations, 4);
+        assert_eq!(delta.cells_repaired, 0);
+        assert_eq!(delta.tcell_rebuilds, 3);
+        // A stale (newer) snapshot saturates instead of wrapping.
+        assert_eq!(earlier.delta_since(&later).relocations, 0);
+    }
+}

@@ -33,7 +33,7 @@ use rand::SeedableRng;
 use rdbsc_algos::solver::{BatchSolver, SolveRequest};
 use rdbsc_algos::{DncConfig, GreedyConfig, SamplingConfig, Solver};
 use rdbsc_index::cost_model::estimate_fractal_dimension;
-use rdbsc_index::{GridIndex, ProblemShard};
+use rdbsc_index::{GridIndex, MaintenanceCounters, ProblemShard, SpatialIndex};
 use rdbsc_model::objective::TaskPriors;
 use rdbsc_model::valid_pairs::{BipartiteCandidates, ValidPair};
 use rdbsc_model::{
@@ -212,6 +212,10 @@ pub struct TickReport {
     /// parallel critical path: with enough cores the sharded solve takes
     /// `max` instead of `sum` seconds.
     pub shard_solve_seconds: Vec<f64>,
+    /// Index maintenance performed during this tick (event application plus
+    /// the refresh inside shard extraction): cross-cell relocations, cells
+    /// repaired and `tcell_list` rebuilds.
+    pub index_maintenance: MaintenanceCounters,
 }
 
 impl TickReport {
@@ -276,8 +280,8 @@ pub struct EngineObjective {
 /// engine.record_answer(pair.worker, pair.contribution);
 /// assert!(engine.current_objective().min_reliability > 0.0);
 /// ```
-pub struct AssignmentEngine {
-    index: GridIndex,
+pub struct AssignmentEngine<I: SpatialIndex = GridIndex> {
+    index: I,
     config: EngineConfig,
     solver: Box<dyn BatchSolver + Send>,
     pending: Vec<EngineEvent>,
@@ -294,17 +298,17 @@ pub struct AssignmentEngine {
     tick_count: u64,
 }
 
-impl AssignmentEngine {
+impl<I: SpatialIndex> AssignmentEngine<I> {
     /// Creates an engine over an index (usually empty) with the
     /// cost-model-driven [`AdaptiveBatchSolver`].
-    pub fn new(index: GridIndex, config: EngineConfig) -> Self {
+    pub fn new(index: I, config: EngineConfig) -> Self {
         Self::with_solver(index, config, Box::new(AdaptiveBatchSolver::default()))
     }
 
     /// Creates an engine with an explicit per-shard solver (e.g. a fixed
     /// [`Solver`] for apples-to-apples comparisons).
     pub fn with_solver(
-        index: GridIndex,
+        index: I,
         config: EngineConfig,
         solver: Box<dyn BatchSolver + Send>,
     ) -> Self {
@@ -327,7 +331,7 @@ impl AssignmentEngine {
     }
 
     /// Queues many events for the next tick.
-    pub fn submit_all<I: IntoIterator<Item = EngineEvent>>(&mut self, events: I) {
+    pub fn submit_all<E: IntoIterator<Item = EngineEvent>>(&mut self, events: E) {
         self.pending.extend(events);
     }
 
@@ -392,7 +396,7 @@ impl AssignmentEngine {
     }
 
     /// The live index (read-only).
-    pub fn index(&self) -> &GridIndex {
+    pub fn index(&self) -> &I {
         &self.index
     }
 
@@ -419,6 +423,7 @@ impl AssignmentEngine {
     /// stale tasks, shards the live instance and solves the shards in
     /// parallel, committing the newly assigned workers.
     pub fn tick(&mut self, now: f64) -> TickReport {
+        let counters_before = self.index.maintenance_counters();
         let events: Vec<EngineEvent> = std::mem::take(&mut self.pending);
         let events_applied = events.len();
         for event in events {
@@ -433,8 +438,12 @@ impl AssignmentEngine {
             }
         }
 
-        self.index.depart_at = now;
+        self.index.set_depart_at(now);
         let shards = self.index.extract_shards(self.config.beta);
+        let index_maintenance = self
+            .index
+            .maintenance_counters()
+            .delta_since(&counters_before);
 
         // Restrict every shard to available (non-committed) workers and
         // carry the banked + en-route contributions in as priors.
@@ -543,6 +552,7 @@ impl AssignmentEngine {
             new_assignments,
             solve_seconds,
             shard_solve_seconds,
+            index_maintenance,
         }
     }
 
@@ -732,6 +742,65 @@ mod tests {
         // A second tick with no completions assigns nothing new.
         let second = engine.tick(0.1);
         assert!(second.new_assignments.is_empty());
+    }
+
+    #[test]
+    fn engine_result_is_byte_identical_across_backends() {
+        use rdbsc_index::FlatGridIndex;
+        // Drive a grid-backed and a flat-backed engine through the identical
+        // multi-tick script (arrivals, answers, a wave of worker movement)
+        // and require *element-wise identical* tick outputs — the
+        // cross-backend determinism contract the pluggable index layer
+        // guarantees.
+        fn drive<I: SpatialIndex>(index: I) -> Vec<Vec<ValidPair>> {
+            let mut engine = AssignmentEngine::new(
+                index,
+                EngineConfig {
+                    parallelism: 2,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.submit_all(clustered_events(5, 6));
+            let mut outputs = Vec::new();
+            let first = engine.tick(0.0);
+            // Complete a few assignments so workers free up and move.
+            for pair in first.new_assignments.iter().take(5) {
+                engine.record_answer(pair.worker, pair.contribution);
+            }
+            outputs.push(first.new_assignments);
+            for (i, id) in (0..30u32).enumerate() {
+                engine.submit(EngineEvent::WorkerMoved(
+                    WorkerId(id),
+                    Point::new(0.1 + 0.027 * i as f64, 0.8 - 0.021 * i as f64),
+                ));
+            }
+            outputs.push(engine.tick(0.5).new_assignments);
+            outputs.push(engine.tick(1.0).new_assignments);
+            outputs
+        }
+        let grid = drive(GridIndex::new(Rect::unit(), 0.1));
+        let flat = drive(FlatGridIndex::new(Rect::unit(), 0.1));
+        assert_eq!(grid, flat, "backends must produce identical assignments");
+        assert!(grid.iter().map(Vec::len).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn tick_reports_index_maintenance_deltas() {
+        let mut engine = engine_with(clustered_events(3, 5), 1);
+        let first = engine.tick(0.0);
+        assert!(
+            first.index_maintenance.tcell_rebuilds > 0,
+            "first tick builds the reachability lists"
+        );
+        // A wave of cross-cell movement shows up as relocations.
+        for id in 0..10u32 {
+            engine.submit(EngineEvent::WorkerMoved(WorkerId(id), Point::new(0.95, 0.05)));
+        }
+        let second = engine.tick(0.1);
+        assert!(second.index_maintenance.relocations > 0);
+        // An idle tick performs no maintenance.
+        let idle = engine.tick(0.2);
+        assert_eq!(idle.index_maintenance, MaintenanceCounters::default());
     }
 
     #[test]

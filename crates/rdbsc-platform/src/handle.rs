@@ -23,6 +23,7 @@
 
 use crate::engine::{AssignmentEngine, EngineObjective, TickReport};
 use rdbsc_geo::Point;
+use rdbsc_index::{GridIndex, MaintenanceCounters, SpatialIndex};
 use rdbsc_model::valid_pairs::ValidPair;
 use rdbsc_model::{Contribution, Task, TaskId, Worker, WorkerId};
 use std::sync::{Arc, Mutex};
@@ -54,10 +55,14 @@ pub struct EngineSnapshot {
     pub total_assignments: u64,
     /// The online objective over the standing state.
     pub objective: EngineObjective,
+    /// The active spatial-index backend (`"grid"` / `"flat-grid"`).
+    pub backend: &'static str,
+    /// The index's cumulative maintenance counters.
+    pub index_counters: MaintenanceCounters,
 }
 
-struct Shared {
-    engine: AssignmentEngine,
+struct Shared<I: SpatialIndex> {
+    engine: AssignmentEngine<I>,
     last_now: f64,
     events_applied: u64,
     total_assignments: u64,
@@ -96,14 +101,21 @@ struct Shared {
 /// assert_eq!(handle.assignments().len(), 1);
 /// assert_eq!(handle.snapshot().total_assignments, 1);
 /// ```
-#[derive(Clone)]
-pub struct EngineHandle {
-    shared: Arc<Mutex<Shared>>,
+pub struct EngineHandle<I: SpatialIndex = GridIndex> {
+    shared: Arc<Mutex<Shared<I>>>,
 }
 
-impl EngineHandle {
+impl<I: SpatialIndex> Clone for EngineHandle<I> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<I: SpatialIndex> EngineHandle<I> {
     /// Wraps an engine (typically freshly constructed) in a shared handle.
-    pub fn new(engine: AssignmentEngine) -> Self {
+    pub fn new(engine: AssignmentEngine<I>) -> Self {
         Self {
             shared: Arc::new(Mutex::new(Shared {
                 engine,
@@ -114,7 +126,7 @@ impl EngineHandle {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Shared> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Shared<I>> {
         // A poisoned engine lock means a solver thread panicked mid-tick;
         // the state may be mid-merge, so serving must stop rather than hand
         // out corrupt assignments.
@@ -127,7 +139,7 @@ impl EngineHandle {
     }
 
     /// Queues many events (in order) for the next tick.
-    pub fn submit_all<I: IntoIterator<Item = EngineEvent>>(&self, events: I) {
+    pub fn submit_all<E: IntoIterator<Item = EngineEvent>>(&self, events: E) {
         self.lock().engine.submit_all(events);
     }
 
@@ -220,12 +232,14 @@ impl EngineHandle {
             banked_answers: shared.engine.num_banked_answers(),
             total_assignments: shared.total_assignments,
             objective: shared.engine.current_objective(),
+            backend: shared.engine.index().backend_name(),
+            index_counters: shared.engine.index().maintenance_counters(),
         }
     }
 
     /// Runs a closure with the locked engine, for callers that need an
     /// operation the command API does not cover (tests, admin endpoints).
-    pub fn with_engine<R>(&self, f: impl FnOnce(&mut AssignmentEngine) -> R) -> R {
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut AssignmentEngine<I>) -> R) -> R {
         f(&mut self.lock().engine)
     }
 }
@@ -281,6 +295,30 @@ mod tests {
         assert_eq!(snap.total_assignments, 1);
         assert_eq!(snap.banked_answers, 1);
         assert!(snap.objective.min_reliability > 0.0);
+        assert_eq!(snap.backend, "grid");
+        assert!(snap.index_counters.tcell_rebuilds > 0);
+    }
+
+    #[test]
+    fn handle_is_backend_generic() {
+        use rdbsc_index::{DynSpatialIndex, FlatGridIndex};
+        // A flat-backed handle and a boxed (runtime-chosen) handle both
+        // drive the same command API.
+        let flat = EngineHandle::new(AssignmentEngine::new(
+            FlatGridIndex::new(Rect::unit(), 0.2),
+            EngineConfig::default(),
+        ));
+        flat.submit_task(task(0, 0.6, 0.6));
+        flat.check_in(worker(0, 0.5, 0.5));
+        assert_eq!(flat.tick(0.0).new_assignments.len(), 1);
+        assert_eq!(flat.snapshot().backend, "flat-grid");
+
+        let boxed: DynSpatialIndex = Box::new(FlatGridIndex::new(Rect::unit(), 0.2));
+        let handle = EngineHandle::new(AssignmentEngine::new(boxed, EngineConfig::default()));
+        handle.submit_task(task(0, 0.6, 0.6));
+        handle.check_in(worker(0, 0.5, 0.5));
+        assert_eq!(handle.tick(0.0).new_assignments.len(), 1);
+        assert_eq!(handle.snapshot().backend, "flat-grid");
     }
 
     #[test]

@@ -16,12 +16,13 @@ use crate::coverage::{coverage_report, CoverageReport};
 use rand::Rng;
 use rand_distr::{Distribution as RandDistribution, Normal};
 use rdbsc_algos::{IncrementalAssigner, IncrementalConfig, Solver};
-use rdbsc_model::valid_pairs::check_pair;
+use rdbsc_index::cost_model::{optimal_eta, CostModelParams};
+use rdbsc_index::{GridIndex, SpatialIndex};
 use rdbsc_model::{
     BipartiteCandidates, Confidence, ObjectiveValue, ProblemInstance, Task, TaskId, TimeWindow,
     ValidPair, Worker, WorkerId,
 };
-use rdbsc_geo::{AngleRange, Point};
+use rdbsc_geo::{AngleRange, Point, Rect};
 use rdbsc_workloads::{PeerRatingModel, RatedUser};
 use std::collections::HashMap;
 
@@ -137,20 +138,44 @@ struct UserState {
     en_route: Option<ValidPair>,
 }
 
-/// The platform simulator.
-pub struct PlatformSim {
+/// The platform simulator, generic over the spatial index its per-round
+/// candidate retrieval runs on (the classic grid by default).
+pub struct PlatformSim<I: SpatialIndex = GridIndex> {
     config: PlatformConfig,
     tasks: Vec<Task>,
     users: Vec<UserState>,
     answers: HashMap<TaskId, Vec<(AnswerRecord, f64, f64)>>, // (record, direction, time)
     assigner: IncrementalAssigner,
+    /// The live index: all of the run's tasks plus the users' current
+    /// positions, maintained incrementally across rounds.
+    index: I,
 }
 
-impl PlatformSim {
+impl PlatformSim<GridIndex> {
     /// Builds a simulation: lays the sites out, creates one task per site per
     /// opening wave over the whole duration, and derives user reliabilities
-    /// from the peer-rating model.
+    /// from the peer-rating model. Candidates are retrieved through a
+    /// cost-model-sized [`GridIndex`]; use
+    /// [`PlatformSim::with_index`] to run on a different backend.
     pub fn new<R: Rng + ?Sized>(config: PlatformConfig, solver: Solver, rng: &mut R) -> Self {
+        // L_max: the farthest a user can walk while one task wave is open.
+        let l_max = (config.user_speed * config.task_open_duration).clamp(1e-3, 1.0);
+        let num_sites = config.num_sites.max(1);
+        let waves = (config.total_duration / config.task_open_duration.max(1e-9)).ceil() as usize;
+        let params = CostModelParams::uniform(l_max, (num_sites * waves.max(1)).max(2));
+        let index = GridIndex::new(Rect::unit(), optimal_eta(&params));
+        Self::with_index(config, solver, index, rng)
+    }
+}
+
+impl<I: SpatialIndex> PlatformSim<I> {
+    /// Builds a simulation on an explicit (empty) spatial-index backend.
+    pub fn with_index<R: Rng + ?Sized>(
+        config: PlatformConfig,
+        solver: Solver,
+        index: I,
+        rng: &mut R,
+    ) -> Self {
         // Sites on a circle whose neighbouring distance is walkable in about
         // two minutes at the configured speed.
         let spacing = 2.0 * config.user_speed;
@@ -163,19 +188,25 @@ impl PlatformSim {
             })
             .collect();
 
-        // One task per site per opening wave.
+        // One task per site per opening wave, with dense ids (the same
+        // renumbering `ProblemInstance::new` applies, so the live index and
+        // the per-round instances always agree on ids).
         let mut tasks = Vec::new();
         let mut wave_start = 0.0;
         while wave_start < config.total_duration {
             for site in &sites {
                 let end = (wave_start + config.task_open_duration).min(config.total_duration);
                 tasks.push(Task::new(
-                    TaskId(0),
+                    TaskId::from(tasks.len()),
                     *site,
                     TimeWindow::new(wave_start, end).expect("valid wave window"),
                 ));
             }
             wave_start += config.task_open_duration;
+        }
+        let mut index = index;
+        for task in &tasks {
+            index.insert_task(*task);
         }
 
         // Users with peer-rated reliabilities, starting near the centre.
@@ -212,6 +243,7 @@ impl PlatformSim {
                 num_users,
                 IncrementalConfig { solver },
             ),
+            index,
         }
     }
 
@@ -243,25 +275,20 @@ impl PlatformSim {
         instance
     }
 
-    /// Valid pairs at time `now`, restricted to tasks that are still open.
-    fn candidates_at(&self, instance: &ProblemInstance, now: f64) -> BipartiteCandidates {
-        let mut graph =
-            BipartiteCandidates::with_capacity(instance.num_tasks(), instance.num_workers());
-        for task in &instance.tasks {
-            if task.window.end < now {
-                continue;
-            }
-            for worker in &instance.workers {
-                if let Some(contribution) = check_pair(task, worker, now, instance.allow_wait) {
-                    graph.push(ValidPair {
-                        task: task.id,
-                        worker: worker.id,
-                        contribution,
-                    });
-                }
-            }
+    /// Valid pairs at time `now`, retrieved through the live index: expired
+    /// task waves are dropped from the index, the users' fresh positions and
+    /// availability are written in, and the cell-pruned retrieval produces
+    /// exactly the pairs the brute-force `check_pair` scan would.
+    fn candidates_at(&mut self, instance: &ProblemInstance, now: f64) -> BipartiteCandidates {
+        for id in self.index.expired_tasks(now) {
+            self.index.remove_task(id);
         }
-        graph
+        for worker in &instance.workers {
+            self.index.insert_worker(*worker);
+        }
+        self.index.set_depart_at(now);
+        self.index.set_allow_wait(instance.allow_wait);
+        self.index.retrieve_valid_pairs()
     }
 
     /// Runs the whole simulation and returns the report.

@@ -14,6 +14,7 @@
 //! deterministic end-to-end verification uses.
 
 use crate::metrics::ServerMetrics;
+use rdbsc_index::SpatialIndex;
 use rdbsc_platform::{EngineEvent, EngineHandle, TickReport};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -98,7 +99,11 @@ impl MicroBatcher {
 
     /// Drains the buffer into the engine and runs one tick at `now`,
     /// regardless of the flush policy (the manual-tick path).
-    pub fn flush_and_tick(&self, handle: &EngineHandle, now: f64) -> TickReport {
+    pub fn flush_and_tick<I: SpatialIndex>(
+        &self,
+        handle: &EngineHandle<I>,
+        now: f64,
+    ) -> TickReport {
         let events = self.drain();
         if !events.is_empty() {
             handle.submit_all(events);
@@ -137,9 +142,9 @@ impl MicroBatcher {
 /// The flusher loop: coalesces buffered events into engine ticks every
 /// `interval` (or earlier on a full batch) until `stop` is raised, then does
 /// one final drain-and-tick so no accepted event is lost on shutdown.
-pub fn run_flusher(
+pub fn run_flusher<I: SpatialIndex>(
     batcher: Arc<MicroBatcher>,
-    handle: EngineHandle,
+    handle: EngineHandle<I>,
     clock: Clock,
     interval: Duration,
     stop: Arc<AtomicBool>,

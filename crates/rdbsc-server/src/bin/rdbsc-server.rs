@@ -1,6 +1,7 @@
 //! The `rdbsc-server` binary: parse flags, start the serving subsystem,
 //! block until it shuts down (via `POST /admin/shutdown`).
 
+use rdbsc_index::IndexBackend;
 use rdbsc_platform::EngineConfig;
 use rdbsc_server::{Server, ServerConfig};
 use std::time::Duration;
@@ -10,9 +11,12 @@ fn usage() -> ! {
         "usage: rdbsc-server [--addr HOST:PORT] [--threads N] [--queue N]\n\
          \x20                 [--flush-interval-ms N] [--max-batch N] [--seed N]\n\
          \x20                 [--beta F] [--cell-size F] [--time-scale F]\n\
+         \x20                 [--backend grid|flat-grid]\n\
          \n\
          --flush-interval-ms 0 enables manual tick mode: the engine only\n\
-         advances on POST /tick. Stop the server with POST /admin/shutdown."
+         advances on POST /tick. Stop the server with POST /admin/shutdown.\n\
+         --backend picks the spatial index (default flat-grid; results are\n\
+         identical across backends, only the cost profile changes)."
     );
     std::process::exit(2);
 }
@@ -60,6 +64,10 @@ fn main() {
             }
             "--time-scale" => {
                 config.time_scale = value.parse().unwrap_or_else(|_| parse_err(value))
+            }
+            "--backend" => {
+                config.backend =
+                    IndexBackend::parse(value).unwrap_or_else(|| parse_err(value))
             }
             _ => {
                 eprintln!("unknown flag {flag}");

@@ -39,6 +39,18 @@ fn opt_num(value: &Json, field: &'static str) -> Result<Option<f64>, ServerError
     }
 }
 
+fn string(value: &Json, field: &'static str) -> Result<String, ServerError> {
+    value
+        .get(field)
+        .ok_or(ServerError::MissingField(field))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or(ServerError::BadField {
+            field,
+            expected: "a string",
+        })
+}
+
 fn id(value: &Json, field: &'static str) -> Result<u32, ServerError> {
     let n = num(value, field)?;
     if n.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&n) {
@@ -394,6 +406,14 @@ pub struct SnapshotDto {
     pub total_std: f64,
     /// Tasks with at least one contribution.
     pub covered_tasks: f64,
+    /// The active spatial-index backend (`"grid"` / `"flat-grid"`).
+    pub backend: String,
+    /// Cross-cell relocations applied by the index so far.
+    pub index_relocations: f64,
+    /// Index cells whose cached reachability state was repaired so far.
+    pub index_cells_repaired: f64,
+    /// Full reachability-list rebuilds performed by the index so far.
+    pub index_tcell_rebuilds: f64,
 }
 
 impl SnapshotDto {
@@ -412,6 +432,10 @@ impl SnapshotDto {
             min_reliability: s.objective.min_reliability,
             total_std: s.objective.total_std,
             covered_tasks: s.objective.covered_tasks as f64,
+            backend: s.backend.to_string(),
+            index_relocations: s.index_counters.relocations as f64,
+            index_cells_repaired: s.index_counters.cells_repaired as f64,
+            index_tcell_rebuilds: s.index_counters.tcell_rebuilds as f64,
         }
     }
 
@@ -430,6 +454,10 @@ impl SnapshotDto {
             ("min_reliability", Json::Num(self.min_reliability)),
             ("total_std", Json::Num(self.total_std)),
             ("covered_tasks", Json::Num(self.covered_tasks)),
+            ("backend", Json::Str(self.backend.clone())),
+            ("index_relocations", Json::Num(self.index_relocations)),
+            ("index_cells_repaired", Json::Num(self.index_cells_repaired)),
+            ("index_tcell_rebuilds", Json::Num(self.index_tcell_rebuilds)),
         ])
     }
 
@@ -448,6 +476,10 @@ impl SnapshotDto {
             min_reliability: num(value, "min_reliability")?,
             total_std: num(value, "total_std")?,
             covered_tasks: num(value, "covered_tasks")?,
+            backend: string(value, "backend")?,
+            index_relocations: num(value, "index_relocations")?,
+            index_cells_repaired: num(value, "index_cells_repaired")?,
+            index_tcell_rebuilds: num(value, "index_tcell_rebuilds")?,
         })
     }
 }

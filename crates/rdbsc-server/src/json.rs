@@ -141,10 +141,16 @@ impl fmt::Display for Json {
     }
 }
 
-fn write_number(n: f64, out: &mut String) {
+/// Appends a JSON number to `out`: the shortest `f64` representation that
+/// round-trips (no trailing `.0` on integral values), with non-finite values
+/// written as `null` (JSON has no NaN/Infinity).
+///
+/// This is *the* float formatting of the whole workspace — the serialiser
+/// here and the bench harness's report writers all go through it, so every
+/// JSON artifact (`/metrics`, `BENCH_*.json`, figure dumps) formats numbers
+/// identically and parses back losslessly.
+pub fn write_f64(n: f64, out: &mut String) {
     if !n.is_finite() {
-        // JSON has no NaN/Infinity; well-formed DTOs validate finiteness
-        // before encoding, so this only guards ad-hoc metrics values.
         out.push_str("null");
         return;
     }
@@ -153,8 +159,16 @@ fn write_number(n: f64, out: &mut String) {
     let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
 }
 
-fn write_string(s: &str, out: &mut String) {
-    out.push('"');
+/// [`write_f64`] into a fresh `String`.
+pub fn format_f64(n: f64) -> String {
+    let mut out = String::new();
+    write_f64(n, &mut out);
+    out
+}
+
+/// Appends the RFC 8259 escaping of `s` to `out` (contents only — no
+/// surrounding quotes), shared with the bench harness's report writers.
+pub fn escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -170,6 +184,22 @@ fn write_string(s: &str, out: &mut String) {
             c => out.push(c),
         }
     }
+}
+
+/// [`escape_into`] into a fresh `String`.
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+fn write_number(n: f64, out: &mut String) {
+    write_f64(n, out);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    escape_into(s, out);
     out.push('"');
 }
 
@@ -549,5 +579,43 @@ mod tests {
             assert_eq!(back, n, "{n} -> {encoded}");
         }
         assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn shared_float_helper_round_trips() {
+        // The shared helper and the serialiser must agree byte for byte.
+        for n in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            1e-9,
+            1e300,
+            123456789.0,
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        ] {
+            let formatted = format_f64(n);
+            assert_eq!(formatted, Json::Num(n).to_string_compact());
+            let back: f64 = formatted.parse().unwrap();
+            assert_eq!(back, n, "{n} -> {formatted}");
+        }
+        assert_eq!(format_f64(f64::NAN), "null");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+        assert_eq!(format_f64(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn shared_escape_helper_matches_the_serialiser() {
+        for s in ["", "plain", "quote\" slash\\", "nl\n tab\t \u{1} emoji😀"] {
+            let via_helper = format!("\"{}\"", escape_str(s));
+            assert_eq!(via_helper, Json::Str(s.to_string()).to_string_compact());
+            assert_eq!(
+                parse(&via_helper).unwrap(),
+                Json::Str(s.to_string()),
+                "escape of {s:?} must parse back"
+            );
+        }
     }
 }

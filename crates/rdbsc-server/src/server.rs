@@ -22,7 +22,7 @@ use crate::http::{read_request, write_response, Method, Request, Response};
 use crate::json::{parse, Json};
 use crate::metrics::ServerMetrics;
 use rdbsc_geo::{Point, Rect};
-use rdbsc_index::GridIndex;
+use rdbsc_index::{DynSpatialIndex, IndexBackend};
 use rdbsc_model::{TaskId, WorkerId};
 use rdbsc_platform::{AssignmentEngine, EngineConfig, EngineEvent, EngineHandle};
 use std::collections::VecDeque;
@@ -69,6 +69,13 @@ pub struct ServerConfig {
     pub area: Rect,
     /// Grid-index cell size.
     pub cell_size: f64,
+    /// The spatial-index backend the engine runs on. Serving is
+    /// worker-movement-heavy (heartbeats dominate), which is exactly the
+    /// flat backend's sweet spot per the cost model's
+    /// [`rdbsc_index::choose_backend`]; the engine's results are
+    /// byte-identical across backends, so this only changes the cost
+    /// profile.
+    pub backend: IndexBackend,
     /// The engine configuration (seed, β, parallelism, auto-expire).
     pub engine: EngineConfig,
 }
@@ -87,6 +94,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(10),
             area: Rect::unit(),
             cell_size: 0.1,
+            backend: IndexBackend::FlatGrid,
             engine: EngineConfig::default(),
         }
     }
@@ -198,7 +206,7 @@ pub struct Server {
 
 struct Shared {
     addr: SocketAddr,
-    handle: EngineHandle,
+    handle: EngineHandle<DynSpatialIndex>,
     batcher: Arc<MicroBatcher>,
     metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
@@ -221,11 +229,11 @@ fn trigger_shutdown(shared: &Shared) {
 }
 
 impl Server {
-    /// Builds a fresh engine from the config and starts serving on
-    /// `config.addr`.
+    /// Builds a fresh engine from the config (on the configured index
+    /// backend) and starts serving on `config.addr`.
     pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
         let engine = AssignmentEngine::new(
-            GridIndex::new(config.area, config.cell_size),
+            config.backend.build(config.area, config.cell_size),
             config.engine.clone(),
         );
         Self::start_with_handle(config, EngineHandle::new(engine))
@@ -234,7 +242,7 @@ impl Server {
     /// Starts serving an existing engine handle (tests and embedded use).
     pub fn start_with_handle(
         config: ServerConfig,
-        handle: EngineHandle,
+        handle: EngineHandle<DynSpatialIndex>,
     ) -> Result<Server, ServerError> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -303,7 +311,7 @@ impl Server {
     }
 
     /// The engine handle the server is driving.
-    pub fn handle(&self) -> &EngineHandle {
+    pub fn handle(&self) -> &EngineHandle<DynSpatialIndex> {
         &self.shared.handle
     }
 

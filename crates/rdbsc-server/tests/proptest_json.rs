@@ -156,7 +156,8 @@ proptest! {
     }
 
     #[test]
-    fn report_dtos_round_trip(v in proptest::collection::vec(0.0f64..1.0e9, 12)) {
+    fn report_dtos_round_trip(v in proptest::collection::vec(0.0f64..1.0e9, 15)) {
+        let flat = (v[0] as u64).is_multiple_of(2);
         let snapshot = SnapshotDto {
             now: v[0],
             ticks: v[1].trunc(),
@@ -170,6 +171,10 @@ proptest! {
             min_reliability: finite(v[9] / 1.0e9),
             total_std: v[10],
             covered_tasks: v[11].trunc(),
+            backend: if flat { "flat-grid" } else { "grid" }.to_string(),
+            index_relocations: v[12].trunc(),
+            index_cells_repaired: v[13].trunc(),
+            index_tcell_rebuilds: v[14].trunc(),
         };
         let encoded = snapshot.to_json().to_string_compact();
         prop_assert_eq!(

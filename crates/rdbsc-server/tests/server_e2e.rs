@@ -112,6 +112,9 @@ fn server_matches_offline_engine_on_the_same_event_stream() {
         .map(AssignmentDto::from_pair)
         .collect();
 
+    // The server defaults to the flat backend while the offline engine ran
+    // on the classic grid — matching outputs here is the cross-backend
+    // determinism contract observed end to end over the wire.
     assert_eq!(online, offline, "served assignments must equal the offline run");
 
     let snapshot = SnapshotDto::from_json(&client.get("/snapshot").unwrap().json().unwrap())
@@ -119,6 +122,11 @@ fn server_matches_offline_engine_on_the_same_event_stream() {
     assert_eq!(snapshot.total_assignments as usize, online.len());
     assert_eq!(snapshot.live_tasks as usize, tasks.len());
     assert_eq!(snapshot.live_workers as usize, workers.len());
+    assert_eq!(snapshot.backend, "flat-grid", "default serving backend");
+    assert!(
+        snapshot.index_tcell_rebuilds >= 1.0,
+        "the tick must have built reachability lists"
+    );
 
     server.shutdown();
     server.join();
@@ -225,7 +233,13 @@ fn metrics_report_counters_and_latencies() {
     assert!(requests.get("responses_4xx").unwrap().as_num().unwrap() >= 1.0);
     let latency = metrics.get("request_latency").unwrap();
     assert!(latency.get("count").unwrap().as_num().unwrap() >= 6.0);
-    assert!(metrics.get("engine").is_some());
+    let engine = metrics.get("engine").unwrap();
+    // The active index backend and its maintenance counters are scraped
+    // alongside the serving counters.
+    assert_eq!(engine.get("backend").unwrap().as_str(), Some("flat-grid"));
+    assert!(engine.get("index_relocations").unwrap().as_num().is_some());
+    assert!(engine.get("index_cells_repaired").unwrap().as_num().is_some());
+    assert!(engine.get("index_tcell_rebuilds").unwrap().as_num().is_some());
 
     server.shutdown();
     server.join();

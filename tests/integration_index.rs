@@ -97,6 +97,30 @@ fn index_prunes_a_meaningful_fraction_of_cell_pairs() {
 }
 
 #[test]
+fn both_backends_agree_on_generated_workloads() {
+    // The prelude exposes the whole pluggable-index surface; the two
+    // backends must produce element-wise identical candidate streams on
+    // generated workloads (the deeper churn coverage lives in
+    // `tests/proptest_backends.rs`).
+    for (seed, distribution) in [(4, Distribution::Uniform), (5, Distribution::Skewed)] {
+        let instance = generate(seed, distribution, 120, 120);
+        let mut grid = GridIndex::from_instance_with_eta(&instance, 0.15);
+        let mut flat = FlatGridIndex::from_instance_with_eta(&instance, 0.15);
+        let from_grid = grid.retrieve_valid_pairs();
+        let from_flat = SpatialIndex::retrieve_valid_pairs(&mut flat);
+        let stream = |g: &BipartiteCandidates| -> Vec<(TaskId, WorkerId)> {
+            g.pairs.iter().map(|p| (p.task, p.worker)).collect()
+        };
+        assert_eq!(
+            stream(&from_grid),
+            stream(&from_flat),
+            "backends diverged for {distribution:?}"
+        );
+        assert_eq!(pair_set(&from_flat), pair_set(&compute_valid_pairs(&instance)));
+    }
+}
+
+#[test]
 fn solvers_work_identically_from_index_and_bruteforce_candidates() {
     let instance = generate(9, Distribution::Uniform, 80, 100);
     let brute = compute_valid_pairs(&instance);
