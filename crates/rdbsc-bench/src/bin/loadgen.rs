@@ -11,12 +11,13 @@
 //!
 //! 1. **verify** (`--verify`, spawn mode only): boots a *manual-tick* server,
 //!    plays a deterministic seeded workload through it, forces a tick, and
-//!    asserts the served assignments equal an offline
-//!    [`AssignmentEngine`] run on the same
-//!    event stream — byte-for-byte.
+//!    asserts the served assignments equal an offline engine run (the
+//!    identically configured — and, with `--partitions N`, identically
+//!    partitioned — replica) on the same event stream, byte-for-byte.
 //! 2. **bench**: boots an auto-flush server (or targets `--addr`), runs the
-//!    closed loop for `--duration` seconds, and reports sustained req/s and
-//!    p50/p99/max latency, plus the engine's assignment counters.
+//!    closed loop for a warm-up (excluded from the histogram) plus
+//!    `--duration` seconds, and reports sustained req/s and p50/p99/max
+//!    latency over the recorded window, plus the engine's counters.
 //!
 //! ```text
 //! cargo run --release -p rdbsc-bench --bin loadgen -- \
@@ -28,11 +29,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rdbsc_platform::{AssignmentEngine, EngineEvent, EngineHandle};
+use rdbsc_platform::EngineEvent;
 use rdbsc_server::dto::{AssignmentDto, SnapshotDto, TaskDto, WorkerDto};
 use rdbsc_server::json::Json;
 use rdbsc_server::{HttpClient, Server, ServerConfig};
-use rdbsc_index::GridIndex;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -41,9 +41,11 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 struct Args {
     addr: Option<String>,
     duration_s: f64,
+    warmup_s: f64,
     connections: usize,
     workers: u32,
     seed: u64,
+    partitions: usize,
     verify: bool,
     min_rps: f64,
     json_path: Option<String>,
@@ -52,12 +54,17 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--spawn | --addr HOST:PORT] [--duration SECS]\n\
-         \x20              [--connections N] [--workers N] [--seed N]\n\
-         \x20              [--verify] [--min-rps N] [--json FILE]\n\
+         \x20              [--warmup SECS] [--connections N] [--workers N]\n\
+         \x20              [--seed N] [--partitions N] [--verify]\n\
+         \x20              [--min-rps N] [--json FILE]\n\
          \n\
          --spawn (default) boots the server in-process on an ephemeral\n\
          loopback port; --verify adds the deterministic offline-equivalence\n\
-         phase (spawn mode only)."
+         phase (spawn mode only). --partitions boots the spawned server as\n\
+         a region-partitioned multi-engine (verify then replays against an\n\
+         identically partitioned offline replica). --warmup runs the closed\n\
+         loop that long before the recorded window starts, so boot and\n\
+         first-connection costs stay out of the latency histogram."
     );
     std::process::exit(2);
 }
@@ -66,9 +73,11 @@ fn parse_args() -> Args {
     let mut args = Args {
         addr: None,
         duration_s: 5.0,
+        warmup_s: 1.0,
         connections: 4,
         workers: 120,
         seed: 7,
+        partitions: 1,
         verify: false,
         min_rps: 0.0,
         json_path: None,
@@ -82,8 +91,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => usage(),
             "--spawn" => args.addr = None,
             "--verify" => args.verify = true,
-            "--addr" | "--duration" | "--connections" | "--workers" | "--seed" | "--min-rps"
-            | "--json" => {
+            "--addr" | "--duration" | "--warmup" | "--connections" | "--workers" | "--seed"
+            | "--partitions" | "--min-rps" | "--json" => {
                 let Some(value) = argv.get(i) else {
                     eprintln!("{flag} requires a value");
                     usage();
@@ -98,11 +107,18 @@ fn parse_args() -> Args {
                     "--duration" => {
                         args.duration_s = value.parse().unwrap_or_else(|_| bad(value))
                     }
+                    "--warmup" => args.warmup_s = value.parse().unwrap_or_else(|_| bad(value)),
                     "--connections" => {
                         args.connections = value.parse().unwrap_or_else(|_| bad(value))
                     }
                     "--workers" => args.workers = value.parse().unwrap_or_else(|_| bad(value)),
                     "--seed" => args.seed = value.parse().unwrap_or_else(|_| bad(value)),
+                    "--partitions" => {
+                        args.partitions = value.parse().unwrap_or_else(|_| bad(value));
+                        if args.partitions == 0 {
+                            bad(value);
+                        }
+                    }
                     "--min-rps" => args.min_rps = value.parse().unwrap_or_else(|_| bad(value)),
                     "--json" => args.json_path = Some(value.clone()),
                     _ => unreachable!(),
@@ -158,15 +174,22 @@ fn task_dto(rng: &mut StdRng, id: u32, start: f64) -> TaskDto {
 }
 
 /// Phase 1: deterministic serving vs the offline engine, same event stream.
-fn run_verify(seed: u64) -> Result<usize, String> {
+fn run_verify(seed: u64, partitions: usize) -> Result<usize, String> {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
         flush_interval: Duration::ZERO, // manual tick: we control time
+        partitions,
         ..ServerConfig::default()
     };
-    let engine_config = config.engine.clone();
-    let (area, cell_size) = (config.area, config.cell_size);
+    // The offline replica is the identically partitioned engine the server
+    // config describes, but deliberately on the *classic grid* backend while
+    // the spawned server serves on its default flat backend — so this
+    // equivalence check also exercises the spatial-index layer's
+    // cross-backend determinism contract (and, with --partitions > 1, the
+    // partition router's determinism on top of it).
+    let mut offline_config = config.clone();
+    offline_config.backend = rdbsc_index::IndexBackend::Grid;
     let server = Server::start(config).map_err(|e| format!("server start: {e}"))?;
     let mut client = HttpClient::new(server.addr());
 
@@ -202,14 +225,8 @@ fn run_verify(seed: u64) -> Result<usize, String> {
         .map(|v| AssignmentDto::from_json(v).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
 
-    // The identical stream, straight into an offline engine — deliberately
-    // on the *classic grid* backend while the spawned server serves on its
-    // default flat backend, so this equivalence check also exercises the
-    // spatial-index layer's cross-backend determinism contract.
-    let offline_handle = EngineHandle::new(AssignmentEngine::new(
-        GridIndex::new(area, cell_size),
-        engine_config,
-    ));
+    // The identical stream, straight into the offline replica.
+    let offline_handle = offline_config.build_handle();
     for t in &tasks {
         offline_handle.submit(EngineEvent::TaskArrived(
             t.clone().into_task().map_err(|e| e.to_string())?,
@@ -246,6 +263,7 @@ fn run_verify(seed: u64) -> Result<usize, String> {
 #[derive(Default)]
 struct ClientStats {
     latencies_us: Vec<u64>,
+    warmup_requests: u64,
     status_2xx: u64,
     status_429: u64,
     status_other: u64,
@@ -281,12 +299,19 @@ fn run_bench(addr: SocketAddr, args: &Args, time_offset: f64) -> Result<BenchOut
     drop(setup);
 
     let stop = Arc::new(AtomicBool::new(false));
+    // The latency histogram only opens once the warm-up elapses: the first
+    // seconds cover server boot, connection establishment and the engine's
+    // initial index builds, whose multi-millisecond outliers otherwise
+    // dominate latency_max (110 ms max against a 5.7 ms p99 in the
+    // pre-warm-up BENCH_server.json) without saying anything about steady
+    // state.
+    let recording = Arc::new(AtomicBool::new(args.warmup_s <= 0.0));
     let next_task_id = Arc::new(AtomicU32::new(0));
-    let bench_started = Instant::now();
 
     let mut threads = Vec::new();
     for thread_idx in 0..args.connections.max(1) {
         let stop = stop.clone();
+        let recording = recording.clone();
         let next_task_id = next_task_id.clone();
         let workers = args.workers;
         let connections = args.connections.max(1);
@@ -314,6 +339,7 @@ fn run_bench(addr: SocketAddr, args: &Args, time_offset: f64) -> Result<BenchOut
                 op += 1;
                 let now = time_offset + started.elapsed().as_secs_f64();
                 let request_started = Instant::now();
+                let recording_now = recording.load(Ordering::Relaxed);
                 let result = if last_task.elapsed() >= task_interval {
                     // A fresh task arrival.
                     last_task = Instant::now();
@@ -326,8 +352,13 @@ fn run_bench(addr: SocketAddr, args: &Args, time_offset: f64) -> Result<BenchOut
                     if thread_idx == 0 {
                         match client.get("/assignments") {
                             Ok(r) => {
-                                record(&mut stats, r.status, request_started.elapsed());
-                                answer_pairs(&mut client, &r, &mut stats);
+                                record(
+                                    &mut stats,
+                                    r.status,
+                                    request_started.elapsed(),
+                                    recording_now,
+                                );
+                                answer_pairs(&mut client, &r, &mut stats, recording_now);
                                 continue;
                             }
                             Err(e) => Err(e),
@@ -353,7 +384,12 @@ fn run_bench(addr: SocketAddr, args: &Args, time_offset: f64) -> Result<BenchOut
                     )
                 };
                 match result {
-                    Ok(r) => record(&mut stats, r.status, request_started.elapsed()),
+                    Ok(r) => record(
+                        &mut stats,
+                        r.status,
+                        request_started.elapsed(),
+                        recording_now,
+                    ),
                     Err(_) => stats.io_errors += 1,
                 }
             }
@@ -361,17 +397,23 @@ fn run_bench(addr: SocketAddr, args: &Args, time_offset: f64) -> Result<BenchOut
         }));
     }
 
+    if args.warmup_s > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(args.warmup_s));
+        recording.store(true, Ordering::Relaxed);
+    }
+    let bench_started = Instant::now(); // the recorded window opens here
     std::thread::sleep(Duration::from_secs_f64(args.duration_s));
+    let elapsed_s = bench_started.elapsed().as_secs_f64();
     stop.store(true, Ordering::Relaxed);
     for t in threads {
         let thread_stats = t.join().map_err(|_| "client thread panicked")?;
         stats.latencies_us.extend(thread_stats.latencies_us);
+        stats.warmup_requests += thread_stats.warmup_requests;
         stats.status_2xx += thread_stats.status_2xx;
         stats.status_429 += thread_stats.status_429;
         stats.status_other += thread_stats.status_other;
         stats.io_errors += thread_stats.io_errors;
     }
-    let elapsed_s = bench_started.elapsed().as_secs_f64();
 
     let mut finisher = HttpClient::new(addr);
     let snapshot = SnapshotDto::from_json(
@@ -389,7 +431,12 @@ fn run_bench(addr: SocketAddr, args: &Args, time_offset: f64) -> Result<BenchOut
     })
 }
 
-fn answer_pairs(client: &mut HttpClient, response: &rdbsc_server::ClientResponse, stats: &mut ClientStats) {
+fn answer_pairs(
+    client: &mut HttpClient,
+    response: &rdbsc_server::ClientResponse,
+    stats: &mut ClientStats,
+    recording: bool,
+) {
     let Ok(body) = response.json() else { return };
     let Some(pairs) = body.as_arr() else { return };
     for pair in pairs.iter().take(16) {
@@ -404,14 +451,20 @@ fn answer_pairs(client: &mut HttpClient, response: &rdbsc_server::ClientResponse
         ]);
         let started = Instant::now();
         match client.post("/answers", &answer) {
-            Ok(r) => record(stats, r.status, started.elapsed()),
+            Ok(r) => record(stats, r.status, started.elapsed(), recording),
             Err(_) => stats.io_errors += 1,
         }
     }
 }
 
-fn record(stats: &mut ClientStats, status: u16, latency: Duration) {
-    stats.latencies_us.push(latency.as_micros() as u64);
+/// Statuses are always counted (a 5xx during warm-up is still a failure);
+/// the latency histogram only collects inside the recorded window.
+fn record(stats: &mut ClientStats, status: u16, latency: Duration, recording: bool) {
+    if recording {
+        stats.latencies_us.push(latency.as_micros() as u64);
+    } else {
+        stats.warmup_requests += 1;
+    }
     match status {
         200..=299 => stats.status_2xx += 1,
         429 => stats.status_429 += 1,
@@ -433,15 +486,26 @@ fn main() {
 
     // ---- Phase 1: deterministic offline equivalence --------------------
     let mut verified_assignments = 0usize;
+    if args.addr.is_some() && args.partitions > 1 {
+        // The flag only shapes servers this process boots; silently
+        // recording it against an external server would mislabel the report.
+        eprintln!("--partitions needs --spawn (an external server's partition count is its own)");
+        std::process::exit(2);
+    }
     if args.verify {
         if args.addr.is_some() {
             eprintln!("--verify needs --spawn (it controls the server's ticks)");
             std::process::exit(2);
         }
-        match run_verify(args.seed) {
+        match run_verify(args.seed, args.partitions) {
             Ok(n) => {
                 verified_assignments = n;
-                println!("verify : PASS — {n} served assignments identical to the offline engine");
+                println!(
+                    "verify : PASS — {n} served assignments identical to the offline engine \
+                     ({} partition{})",
+                    args.partitions,
+                    if args.partitions == 1 { "" } else { "s" }
+                );
             }
             Err(e) => {
                 println!("verify : FAIL — {e}");
@@ -458,6 +522,7 @@ fn main() {
             // the spare two serve setup and ad-hoc scrapes.
             threads: args.connections + 2,
             flush_interval: Duration::from_millis(25),
+            partitions: args.partitions,
             engine: rdbsc_platform::EngineConfig {
                 seed: args.seed,
                 ..rdbsc_platform::EngineConfig::default()
@@ -518,8 +583,9 @@ fn main() {
     let max_ms = latencies.last().copied().unwrap_or(0) as f64 / 1000.0;
 
     println!(
-        "bench  : {:.0} requests in {:.2}s over {} connections -> {:.0} req/s",
-        requests, outcome.elapsed_s, args.connections, rps
+        "bench  : {:.0} requests in {:.2}s over {} connections -> {:.0} req/s \
+         ({} warm-up requests excluded)",
+        requests, outcome.elapsed_s, args.connections, rps, outcome.stats.warmup_requests
     );
     println!(
         "latency: p50 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
@@ -567,8 +633,14 @@ fn main() {
             ("bench", Json::Str("rdbsc-server closed-loop loadgen".into())),
             ("unix_time", Json::Num(unix_now as f64)),
             ("duration_s", Json::Num(outcome.elapsed_s)),
+            ("warmup_s", Json::Num(args.warmup_s)),
+            (
+                "warmup_requests_excluded",
+                Json::Num(outcome.stats.warmup_requests as f64),
+            ),
             ("connections", Json::Num(args.connections as f64)),
             ("workers", Json::Num(args.workers as f64)),
+            ("partitions", Json::Num(args.partitions as f64)),
             ("requests", Json::Num(requests)),
             ("rps", Json::Num(rps)),
             ("latency_p50_ms", Json::Num(p50_ms)),

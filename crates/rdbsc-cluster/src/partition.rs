@@ -1,0 +1,491 @@
+//! Static spatial region partitioning for multi-engine serving.
+//!
+//! The online engine already decomposes each tick into independent shards,
+//! but one engine still owns the whole data space behind one lock. The
+//! partitioned platform layer (`rdbsc-platform`) instead runs one engine per
+//! **region** — a rectangular, grid-cell-aligned slice of the data space —
+//! and routes events by location. This module produces those regions.
+//!
+//! Two strategies:
+//!
+//! * [`PartitionStrategy::Uniform`] — a static baseline: recursively halve
+//!   the region with the most cells at its middle cell boundary. Data-free,
+//!   so it is what a server uses at boot when no workload sample exists yet.
+//! * [`PartitionStrategy::KMeans`] — data-driven boundaries: recursively
+//!   split the region holding the most sample points, placing the cut at the
+//!   midpoint of the two 2-means centroids (snapped to a cell boundary), so
+//!   dense metro areas end up in their own partitions instead of being
+//!   bisected.
+//!
+//! Everything is deterministic: the k-means runs are seeded per split, every
+//! tie-break is explicit, and the final regions are sorted by their
+//! `(row, col)` origin — the same inputs always yield the same partition
+//! indices. Regions are aligned to the grid cells of a
+//! [`GridGeometry`], so a per-region index over the region's rectangle uses
+//! exactly the cell boundaries of the global grid.
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdbsc_geo::{Point, Rect};
+use rdbsc_index::geometry::GridGeometry;
+
+/// How [`RegionPartitioner::split`] places region boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Static near-even splits at middle cell boundaries (no data needed).
+    Uniform,
+    /// 2-means-seeded boundaries between the densest sample clusters; the
+    /// seed makes the centroid initialisation (and thus the whole layout)
+    /// deterministic.
+    KMeans {
+        /// Base seed; every split derives its own generator from it.
+        seed: u64,
+    },
+}
+
+/// A half-open rectangle of grid cells: columns `[col0, col1)`, rows
+/// `[row0, row1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRange {
+    /// First column (inclusive).
+    pub col0: usize,
+    /// First row (inclusive).
+    pub row0: usize,
+    /// One past the last column.
+    pub col1: usize,
+    /// One past the last row.
+    pub row1: usize,
+}
+
+impl CellRange {
+    fn cols(&self) -> usize {
+        self.col1 - self.col0
+    }
+
+    fn rows(&self) -> usize {
+        self.row1 - self.row0
+    }
+
+    /// Number of grid cells covered.
+    pub fn num_cells(&self) -> usize {
+        self.cols() * self.rows()
+    }
+
+    fn contains(&self, col: usize, row: usize) -> bool {
+        (self.col0..self.col1).contains(&col) && (self.row0..self.row1).contains(&row)
+    }
+}
+
+/// A complete, disjoint cover of a grid's cells by rectangular regions.
+///
+/// Built by [`RegionPartitioner::split`]; consumed by the partitioned engine
+/// to (a) construct one spatial index per region rectangle and (b) route
+/// events with [`RegionPartition::partition_of`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionPartition {
+    geometry: GridGeometry,
+    regions: Vec<CellRange>,
+}
+
+impl RegionPartition {
+    /// The trivial partition: one region covering the whole grid.
+    pub fn single(geometry: GridGeometry) -> Self {
+        let n = geometry.cells_per_axis();
+        Self {
+            geometry,
+            regions: vec![CellRange {
+                col0: 0,
+                row0: 0,
+                col1: n,
+                row1: n,
+            }],
+        }
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The grid geometry the regions are aligned to.
+    pub fn geometry(&self) -> &GridGeometry {
+        &self.geometry
+    }
+
+    /// The cell range of a region.
+    pub fn cells(&self, region: usize) -> CellRange {
+        self.regions[region]
+    }
+
+    /// The data-space rectangle of a region (the union of its cells).
+    pub fn region_rect(&self, region: usize) -> Rect {
+        let r = self.regions[region];
+        let space = self.geometry.space();
+        let eta = self.geometry.eta();
+        Rect::new(
+            space.min_x + r.col0 as f64 * eta,
+            space.min_y + r.row0 as f64 * eta,
+            space.min_x + r.col1 as f64 * eta,
+            space.min_y + r.row1 as f64 * eta,
+        )
+    }
+
+    /// The region owning a point. Points outside the data space are clamped
+    /// onto it first (exactly like the grid index's cell lookup), so every
+    /// point maps to exactly one region.
+    pub fn partition_of(&self, p: Point) -> usize {
+        let idx = self.geometry.cell_of(p);
+        let per_axis = self.geometry.cells_per_axis();
+        let (col, row) = (idx % per_axis, idx / per_axis);
+        self.regions
+            .iter()
+            .position(|r| r.contains(col, row))
+            .expect("regions tile the grid")
+    }
+}
+
+/// Splits a grid into rectangular regions (see the [module docs](self)).
+#[derive(Debug, Clone, Copy)]
+pub struct RegionPartitioner {
+    /// The boundary-placement strategy.
+    pub strategy: PartitionStrategy,
+}
+
+impl RegionPartitioner {
+    /// The static uniform splitter.
+    pub fn uniform() -> Self {
+        Self {
+            strategy: PartitionStrategy::Uniform,
+        }
+    }
+
+    /// The k-means-seeded data-driven splitter.
+    pub fn kmeans(seed: u64) -> Self {
+        Self {
+            strategy: PartitionStrategy::KMeans { seed },
+        }
+    }
+
+    /// Splits the grid into (up to) `regions` rectangular cell-aligned
+    /// regions. `sample` is the workload sample the k-means strategy places
+    /// boundaries from (task and worker locations, typically); the uniform
+    /// strategy ignores it. The region count is clamped to the number of
+    /// grid cells; the result always tiles the grid exactly.
+    pub fn split(
+        &self,
+        geometry: GridGeometry,
+        regions: usize,
+        sample: &[Point],
+    ) -> RegionPartition {
+        let per_axis = geometry.cells_per_axis();
+        let target = regions.clamp(1, geometry.num_cells());
+        let full = CellRange {
+            col0: 0,
+            row0: 0,
+            col1: per_axis,
+            row1: per_axis,
+        };
+        // Each pending region carries the indices of the sample points in it.
+        let mut pending: Vec<(CellRange, Vec<usize>)> =
+            vec![(full, (0..sample.len()).collect())];
+        let mut split_counter = 0u64;
+
+        while pending.len() < target {
+            let Some(pick) = self.pick_region(&pending) else {
+                break; // nothing splittable left (all regions single cells)
+            };
+            let (range, points) = pending[pick].clone();
+            let (axis, boundary) = self.place_boundary(&geometry, range, &points, sample, {
+                split_counter += 1;
+                split_counter
+            });
+            let (left, right) = split_range(range, axis, boundary);
+            let (mut left_pts, mut right_pts) = (Vec::new(), Vec::new());
+            for i in points {
+                let idx = geometry.cell_of(sample[i]);
+                let coord = match axis {
+                    Axis::Cols => idx % per_axis,
+                    Axis::Rows => idx / per_axis,
+                };
+                if coord < boundary {
+                    left_pts.push(i);
+                } else {
+                    right_pts.push(i);
+                }
+            }
+            pending[pick] = (left, left_pts);
+            pending.insert(pick + 1, (right, right_pts));
+        }
+
+        // Canonical region order: by (row, col) origin — partition indices
+        // must not depend on the split sequence.
+        let mut regions: Vec<CellRange> = pending.into_iter().map(|(r, _)| r).collect();
+        regions.sort_by_key(|r| (r.row0, r.col0));
+        RegionPartition { geometry, regions }
+    }
+
+    /// The region to split next, or `None` when no region is splittable.
+    /// Uniform picks the most cells; k-means the most sample points (cells,
+    /// then position, break ties) — always the lowest index on a full tie.
+    fn pick_region(&self, pending: &[(CellRange, Vec<usize>)]) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, _))| r.cols() > 1 || r.rows() > 1)
+            .max_by(|(ia, (ra, pa)), (ib, (rb, pb))| {
+                let key = |r: &CellRange, pts: &Vec<usize>| match self.strategy {
+                    PartitionStrategy::Uniform => (r.num_cells(), 0usize),
+                    PartitionStrategy::KMeans { .. } => (pts.len(), r.num_cells()),
+                };
+                key(ra, pa)
+                    .cmp(&key(rb, pb))
+                    // max_by returns the *last* maximum; prefer the lower
+                    // index on ties by treating it as larger.
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Chooses the split axis and the cell boundary on it (within the open
+    /// interval of the region, so both halves keep at least one cell).
+    fn place_boundary(
+        &self,
+        geometry: &GridGeometry,
+        range: CellRange,
+        points: &[usize],
+        sample: &[Point],
+        split_counter: u64,
+    ) -> (Axis, usize) {
+        if let PartitionStrategy::KMeans { seed } = self.strategy {
+            if points.len() >= 2 {
+                let pts: Vec<Point> = points.iter().map(|&i| sample[i]).collect();
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, split_counter));
+                let result = kmeans(
+                    &pts,
+                    KMeansConfig {
+                        k: 2,
+                        ..KMeansConfig::default()
+                    },
+                    &mut rng,
+                );
+                if result.centroids.len() == 2 {
+                    let (a, b) = (result.centroids[0], result.centroids[1]);
+                    let (dx, dy) = ((a.x - b.x).abs(), (a.y - b.y).abs());
+                    // The axis with the larger centroid separation, provided
+                    // the region is at least two cells wide on it.
+                    let prefer_cols = dx >= dy;
+                    let axis = match (prefer_cols, range.cols() > 1, range.rows() > 1) {
+                        (true, true, _) | (false, true, false) => Axis::Cols,
+                        (false, _, true) | (true, false, true) => Axis::Rows,
+                        _ => Axis::Cols,
+                    };
+                    let space = geometry.space();
+                    let (mid, origin) = match axis {
+                        Axis::Cols => (0.5 * (a.x + b.x), space.min_x),
+                        Axis::Rows => (0.5 * (a.y + b.y), space.min_y),
+                    };
+                    let snapped = ((mid - origin) / geometry.eta()).round() as isize;
+                    let (lo, hi) = match axis {
+                        Axis::Cols => (range.col0 + 1, range.col1 - 1),
+                        Axis::Rows => (range.row0 + 1, range.row1 - 1),
+                    };
+                    let boundary = (snapped.max(0) as usize).clamp(lo, hi);
+                    return (axis, boundary);
+                }
+            }
+        }
+        // Uniform placement (and the k-means fallback for point-free
+        // regions): halve the wider side at its middle cell boundary.
+        let axis = if range.cols() >= range.rows() {
+            Axis::Cols
+        } else {
+            Axis::Rows
+        };
+        let boundary = match axis {
+            Axis::Cols => range.col0 + range.cols() / 2,
+            Axis::Rows => range.row0 + range.rows() / 2,
+        };
+        (axis, boundary)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    Cols,
+    Rows,
+}
+
+fn split_range(range: CellRange, axis: Axis, boundary: usize) -> (CellRange, CellRange) {
+    match axis {
+        Axis::Cols => (
+            CellRange {
+                col1: boundary,
+                ..range
+            },
+            CellRange {
+                col0: boundary,
+                ..range
+            },
+        ),
+        Axis::Rows => (
+            CellRange {
+                row1: boundary,
+                ..range
+            },
+            CellRange {
+                row0: boundary,
+                ..range
+            },
+        ),
+    }
+}
+
+/// SplitMix64-style seed mixing: derives an independent, deterministic
+/// sub-seed from a base seed and a salt. Shared by the partitioner's
+/// per-split k-means runs and the assignment engine's per-`(tick, shard)`
+/// generators, so seed-derivation tweaks cannot silently diverge.
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> GridGeometry {
+        GridGeometry::new(Rect::unit(), 0.1) // 10 × 10 cells
+    }
+
+    fn assert_tiles(partition: &RegionPartition) {
+        let per_axis = partition.geometry().cells_per_axis();
+        let mut covered = vec![0usize; per_axis * per_axis];
+        for i in 0..partition.num_regions() {
+            let r = partition.cells(i);
+            assert!(r.col0 < r.col1 && r.row0 < r.row1, "empty region {r:?}");
+            for row in r.row0..r.row1 {
+                for col in r.col0..r.col1 {
+                    covered[row * per_axis + col] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "regions must tile exactly once");
+    }
+
+    #[test]
+    fn uniform_split_tiles_and_balances() {
+        for n in [1, 2, 3, 4, 7, 8] {
+            let partition = RegionPartitioner::uniform().split(geometry(), n, &[]);
+            assert_eq!(partition.num_regions(), n);
+            assert_tiles(&partition);
+            let cells: Vec<usize> =
+                (0..n).map(|i| partition.cells(i).num_cells()).collect();
+            let (min, max) = (
+                *cells.iter().min().unwrap(),
+                *cells.iter().max().unwrap(),
+            );
+            // Halving at cell granularity cannot be perfectly even (an odd
+            // 5-cell side splits 2/3), but no region may dwarf another.
+            assert!(
+                max <= 3 * min,
+                "uniform split too uneven for n={n}: {cells:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn region_count_is_clamped_to_the_cell_count() {
+        let tiny = GridGeometry::new(Rect::unit(), 0.5); // 2 × 2 cells
+        let partition = RegionPartitioner::uniform().split(tiny, 64, &[]);
+        assert_eq!(partition.num_regions(), 4);
+        assert_tiles(&partition);
+        let partition = RegionPartitioner::uniform().split(tiny, 0, &[]);
+        assert_eq!(partition.num_regions(), 1);
+    }
+
+    #[test]
+    fn partition_of_is_total_and_consistent_with_rects() {
+        let partition = RegionPartitioner::uniform().split(geometry(), 4, &[]);
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(i as f64 / 40.0, j as f64 / 40.0);
+                let region = partition.partition_of(p);
+                let rect = partition.region_rect(region);
+                assert!(
+                    p.x >= rect.min_x - 1e-12
+                        && p.x <= rect.max_x + 1e-12
+                        && p.y >= rect.min_y - 1e-12
+                        && p.y <= rect.max_y + 1e-12,
+                    "{p:?} routed to region {region} with rect {rect:?}"
+                );
+            }
+        }
+        // Points outside the space clamp to a border region, never panic.
+        partition.partition_of(Point::new(-5.0, 99.0));
+    }
+
+    #[test]
+    fn kmeans_split_separates_two_blobs() {
+        let mut sample = Vec::new();
+        for i in 0..50 {
+            sample.push(Point::new(0.15 + 0.001 * i as f64, 0.5));
+            sample.push(Point::new(0.85 + 0.001 * i as f64, 0.5));
+        }
+        let partition = RegionPartitioner::kmeans(7).split(geometry(), 2, &sample);
+        assert_eq!(partition.num_regions(), 2);
+        assert_tiles(&partition);
+        let left = partition.partition_of(Point::new(0.15, 0.5));
+        let right = partition.partition_of(Point::new(0.85, 0.5));
+        assert_ne!(left, right, "the two blobs must land in different regions");
+        // The boundary sits between the blobs, not through either of them.
+        for p in &sample {
+            let own = partition.partition_of(*p);
+            let expect = if p.x < 0.5 { left } else { right };
+            assert_eq!(own, expect, "sample point {p:?} split off its blob");
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let sample: Vec<Point> = (0..100)
+            .map(|i| Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0))
+            .collect();
+        for partitioner in [RegionPartitioner::uniform(), RegionPartitioner::kmeans(3)] {
+            let a = partitioner.split(geometry(), 5, &sample);
+            let b = partitioner.split(geometry(), 5, &sample);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn regions_are_ordered_by_origin() {
+        let partition = RegionPartitioner::uniform().split(geometry(), 6, &[]);
+        let origins: Vec<(usize, usize)> = (0..6)
+            .map(|i| (partition.cells(i).row0, partition.cells(i).col0))
+            .collect();
+        let mut sorted = origins.clone();
+        sorted.sort();
+        assert_eq!(origins, sorted);
+    }
+
+    #[test]
+    fn region_rects_align_with_global_cell_boundaries() {
+        let geometry = geometry();
+        let partition = RegionPartitioner::uniform().split(geometry, 4, &[]);
+        for i in 0..partition.num_regions() {
+            let rect = partition.region_rect(i);
+            for coord in [rect.min_x, rect.min_y, rect.max_x, rect.max_y] {
+                let cells = coord / geometry.eta();
+                assert!(
+                    (cells - cells.round()).abs() < 1e-9,
+                    "rect edge {coord} is not on a cell boundary"
+                );
+            }
+        }
+    }
+}

@@ -623,6 +623,20 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         match event {
             EngineEvent::TaskArrived(task) => {
                 self.retired.remove(&task.id);
+                // Re-posting a *live* task id with different data (moved
+                // location, new window, new β) invalidates the standing
+                // commitments: an en-route worker's contribution (approach
+                // angle, arrival, deadline fit) was computed against the old
+                // definition, and leaving it committed would either bank a
+                // stale answer or orphan the traveller. Release those
+                // workers so the next tick re-solves them against the new
+                // definition. An *identical* re-post (an at-least-once wire
+                // retry) is idempotent and keeps commitments.
+                if let Some(old) = self.index.task(task.id) {
+                    if *old != task {
+                        self.committed.retain(|_, (t, _)| *t != task.id);
+                    }
+                }
                 self.index.insert_task(task);
             }
             EngineEvent::TaskExpired(id) => self.retire_task(id),
@@ -646,15 +660,9 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
     }
 }
 
-/// SplitMix64-style mixing for per-tick / per-shard seeds.
-fn mix_seed(seed: u64, salt: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// Per-tick / per-shard seed derivation: the shared SplitMix64-style mixer
+// (also used by the region partitioner's per-split k-means seeding).
+use rdbsc_cluster::mix_seed;
 
 #[cfg(test)]
 mod tests {
@@ -931,6 +939,61 @@ mod tests {
         engine.tick(0.2);
         assert_eq!(engine.num_workers(), 0);
         assert!(!engine.is_committed(WorkerId(0)));
+    }
+
+    #[test]
+    fn identical_task_repost_keeps_the_en_route_worker() {
+        // At-least-once delivery: a wire retry of the same task post must
+        // not tear down the standing assignment.
+        let mut engine = AssignmentEngine::new(
+            GridIndex::new(Rect::unit(), 0.2),
+            EngineConfig::default(),
+        );
+        let posted = task(0, 0.5, 0.5, 0.0, 5.0);
+        engine.submit(EngineEvent::TaskArrived(posted));
+        engine.submit(EngineEvent::WorkerCheckIn(worker(0, 0.4, 0.4, 0.5)));
+        let report = engine.tick(0.0);
+        assert_eq!(report.new_assignments.len(), 1);
+
+        engine.submit(EngineEvent::TaskArrived(posted)); // identical retry
+        let retry = engine.tick(0.1);
+        assert!(engine.is_committed(WorkerId(0)), "retry must keep the commitment");
+        assert!(
+            retry.new_assignments.is_empty(),
+            "no double-commit on an idempotent re-post"
+        );
+    }
+
+    #[test]
+    fn changed_task_repost_releases_the_en_route_worker() {
+        // The task moved: the worker's committed contribution (angle,
+        // arrival) was computed against the old location, so the engine
+        // releases it and re-solves against the new definition.
+        let mut engine = AssignmentEngine::new(
+            GridIndex::new(Rect::unit(), 0.2),
+            EngineConfig::default(),
+        );
+        engine.submit(EngineEvent::TaskArrived(task(0, 0.5, 0.5, 0.0, 5.0)));
+        engine.submit(EngineEvent::WorkerCheckIn(worker(0, 0.4, 0.4, 0.5)));
+        let first = engine.tick(0.0);
+        assert_eq!(first.new_assignments.len(), 1);
+        let old_contribution = first.new_assignments[0].contribution;
+
+        engine.submit(EngineEvent::TaskArrived(task(0, 0.7, 0.7, 0.0, 5.0)));
+        let second = engine.tick(0.1);
+        assert_eq!(
+            second.new_assignments.len(),
+            1,
+            "released worker re-solves against the new definition"
+        );
+        let new_pair = second.new_assignments[0];
+        assert_eq!(new_pair.worker, WorkerId(0));
+        assert_ne!(
+            new_pair.contribution.arrival, old_contribution.arrival,
+            "the commitment must be recomputed, not carried over"
+        );
+        assert!(engine.is_committed(WorkerId(0)));
+        assert_eq!(engine.num_committed(), 1, "exactly one commitment stands");
     }
 
     #[test]

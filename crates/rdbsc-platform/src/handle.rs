@@ -1,4 +1,5 @@
-//! A thread-safe command facade over the [`AssignmentEngine`].
+//! A thread-safe command facade over the assignment engine — single or
+//! region-partitioned.
 //!
 //! The engine itself is a plain `&mut self` state machine, which is right
 //! for the simulation driver but useless to a network server whose request
@@ -8,13 +9,23 @@
 //! run a tick, query the standing assignments or a consistent snapshot —
 //! so any number of threads can drive the same live instance.
 //!
+//! The handle is **partition-aware**: it drives either a single
+//! [`AssignmentEngine`] ([`EngineHandle::new`]) or a
+//! [`PartitionedEngine`] running one
+//! engine per spatial region ([`EngineHandle::new_partitioned`]) behind the
+//! same command surface. Partition-specific introspection
+//! ([`EngineHandle::num_partitions`], [`EngineHandle::partition_snapshots`],
+//! [`EngineHandle::handoffs`]) degrades gracefully on a single engine.
+//!
 //! Design notes:
 //!
 //! * **Short critical sections.** Every command except [`EngineHandle::tick`]
 //!   holds the lock for `O(1)`-ish work (event submissions only push onto the
 //!   engine's pending queue). The tick holds it for the sharded solve, which
 //!   is the intended serialisation point: the engine's determinism contract
-//!   (per-`(tick, shard)` seeding) requires ticks to be totally ordered.
+//!   (per-`(tick, shard)` seeding) requires ticks to be totally ordered. On a
+//!   partitioned core the tick broadcast fans the solve out to the partition
+//!   threads, which run concurrently while the handle lock is held.
 //! * **Cumulative serving stats.** The handle counts events, ticks and
 //!   assignments across the engine's lifetime so a `/metrics` endpoint can
 //!   report totals without replaying tick reports.
@@ -22,6 +33,7 @@
 //!   to the *same* engine, like `Arc`.
 
 use crate::engine::{AssignmentEngine, EngineObjective, TickReport};
+use crate::partition::PartitionedEngine;
 use rdbsc_geo::Point;
 use rdbsc_index::{GridIndex, MaintenanceCounters, SpatialIndex};
 use rdbsc_model::valid_pairs::ValidPair;
@@ -61,8 +73,103 @@ pub struct EngineSnapshot {
     pub index_counters: MaintenanceCounters,
 }
 
+/// What the handle drives: one engine over the whole space, or one engine
+/// per region behind the partitioned router.
+enum Core<I: SpatialIndex> {
+    Single(AssignmentEngine<I>),
+    Partitioned(PartitionedEngine),
+}
+
+impl<I: SpatialIndex> Core<I> {
+    fn submit(&mut self, event: EngineEvent) {
+        match self {
+            Core::Single(engine) => engine.submit(event),
+            Core::Partitioned(engine) => engine.submit(event),
+        }
+    }
+
+    fn submit_all<E: IntoIterator<Item = EngineEvent>>(&mut self, events: E) {
+        match self {
+            Core::Single(engine) => engine.submit_all(events),
+            Core::Partitioned(engine) => engine.submit_all(events),
+        }
+    }
+
+    fn tick(&mut self, now: f64) -> TickReport {
+        match self {
+            Core::Single(engine) => engine.tick(now),
+            Core::Partitioned(engine) => engine.tick(now),
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        match self {
+            Core::Single(engine) => {
+                engine.num_pending_events() > 0 || engine.num_tasks() > 0
+            }
+            Core::Partitioned(engine) => engine.is_active(),
+        }
+    }
+
+    fn record_answer(&mut self, worker: WorkerId, contribution: Contribution) -> bool {
+        match self {
+            Core::Single(engine) => engine.record_answer(worker, contribution),
+            Core::Partitioned(engine) => engine.record_answer(worker, contribution),
+        }
+    }
+
+    fn release_worker(&mut self, worker: WorkerId) {
+        match self {
+            Core::Single(engine) => engine.release_worker(worker),
+            Core::Partitioned(engine) => engine.release_worker(worker),
+        }
+    }
+
+    fn is_committed(&self, worker: WorkerId) -> bool {
+        match self {
+            Core::Single(engine) => engine.is_committed(worker),
+            Core::Partitioned(engine) => engine.is_committed(worker),
+        }
+    }
+
+    fn committed_assignments(&self) -> Vec<ValidPair> {
+        match self {
+            Core::Single(engine) => engine.committed_assignments(),
+            Core::Partitioned(engine) => engine.committed_assignments(),
+        }
+    }
+}
+
+impl EngineSnapshot {
+    /// Captures an engine's serving state alongside the lifetime counters
+    /// its driver keeps (the handle for a single engine, each partition
+    /// thread for a partitioned one) — the one place the field wiring
+    /// lives, so the single and partitioned views cannot drift.
+    pub(crate) fn capture<I: SpatialIndex>(
+        engine: &AssignmentEngine<I>,
+        now: f64,
+        events_applied: u64,
+        total_assignments: u64,
+    ) -> Self {
+        Self {
+            now,
+            ticks: engine.num_ticks(),
+            events_applied,
+            pending_events: engine.num_pending_events(),
+            live_tasks: engine.num_tasks(),
+            live_workers: engine.num_workers(),
+            committed_workers: engine.num_committed(),
+            banked_answers: engine.num_banked_answers(),
+            total_assignments,
+            objective: engine.current_objective(),
+            backend: engine.index().backend_name(),
+            index_counters: engine.index().maintenance_counters(),
+        }
+    }
+}
+
 struct Shared<I: SpatialIndex> {
-    engine: AssignmentEngine<I>,
+    core: Core<I>,
     last_now: f64,
     events_applied: u64,
     total_assignments: u64,
@@ -116,9 +223,21 @@ impl<I: SpatialIndex> Clone for EngineHandle<I> {
 impl<I: SpatialIndex> EngineHandle<I> {
     /// Wraps an engine (typically freshly constructed) in a shared handle.
     pub fn new(engine: AssignmentEngine<I>) -> Self {
+        Self::with_core(Core::Single(engine))
+    }
+
+    /// Wraps a region-partitioned multi-engine
+    /// ([`PartitionedEngine`]) in a shared handle. The command API is
+    /// identical; events are routed by location, ticks run lockstep across
+    /// every partition, and queries return merged views.
+    pub fn new_partitioned(engine: PartitionedEngine) -> Self {
+        Self::with_core(Core::Partitioned(engine))
+    }
+
+    fn with_core(core: Core<I>) -> Self {
         Self {
             shared: Arc::new(Mutex::new(Shared {
-                engine,
+                core,
                 last_now: 0.0,
                 events_applied: 0,
                 total_assignments: 0,
@@ -135,12 +254,12 @@ impl<I: SpatialIndex> EngineHandle<I> {
 
     /// Queues a raw engine event for the next tick.
     pub fn submit(&self, event: EngineEvent) {
-        self.lock().engine.submit(event);
+        self.lock().core.submit(event);
     }
 
     /// Queues many events (in order) for the next tick.
     pub fn submit_all<E: IntoIterator<Item = EngineEvent>>(&self, events: E) {
-        self.lock().engine.submit_all(events);
+        self.lock().core.submit_all(events);
     }
 
     /// Command: a new task was posted.
@@ -171,12 +290,12 @@ impl<I: SpatialIndex> EngineHandle<I> {
     /// Command: an en-route worker delivered its answer. Returns `false`
     /// (and banks nothing) when the worker was not committed.
     pub fn record_answer(&self, worker: WorkerId, contribution: Contribution) -> bool {
-        self.lock().engine.record_answer(worker, contribution)
+        self.lock().core.record_answer(worker, contribution)
     }
 
     /// Command: an en-route worker gave up; it becomes available again.
     pub fn release_worker(&self, worker: WorkerId) {
-        self.lock().engine.release_worker(worker);
+        self.lock().core.release_worker(worker);
     }
 
     /// Runs one engine round at time `now` (see [`AssignmentEngine::tick`]).
@@ -185,7 +304,7 @@ impl<I: SpatialIndex> EngineHandle<I> {
     /// is what the engine's per-`(tick, shard)` seeding needs.
     pub fn tick(&self, now: f64) -> TickReport {
         let mut shared = self.lock();
-        let report = shared.engine.tick(now);
+        let report = shared.core.tick(now);
         shared.last_now = now;
         shared.events_applied += report.events_applied as u64;
         shared.total_assignments += report.new_assignments.len() as u64;
@@ -195,13 +314,15 @@ impl<I: SpatialIndex> EngineHandle<I> {
     /// Like [`EngineHandle::tick`], but skips (returning `None`) when the
     /// engine has nothing to do — no pending events and no live tasks. This
     /// keeps an idle serving loop from burning ticks (and advancing the
-    /// deterministic tick counter) while the platform is quiet.
+    /// deterministic tick counter) while the platform is quiet. On a
+    /// partitioned core one active partition ticks all of them (ticks are
+    /// lockstep).
     pub fn tick_if_active(&self, now: f64) -> Option<TickReport> {
         let mut shared = self.lock();
-        if shared.engine.num_pending_events() == 0 && shared.engine.num_tasks() == 0 {
+        if !shared.core.is_active() {
             return None;
         }
-        let report = shared.engine.tick(now);
+        let report = shared.core.tick(now);
         shared.last_now = now;
         shared.events_applied += report.events_applied as u64;
         shared.total_assignments += report.new_assignments.len() as u64;
@@ -210,37 +331,74 @@ impl<I: SpatialIndex> EngineHandle<I> {
 
     /// Query: is the worker currently en route?
     pub fn is_committed(&self, worker: WorkerId) -> bool {
-        self.lock().engine.is_committed(worker)
+        self.lock().core.is_committed(worker)
     }
 
-    /// Query: the standing committed pairs, sorted by `(task, worker)`.
+    /// Query: the standing committed pairs — sorted by `(task, worker)` on
+    /// a single engine, by `(partition, task, worker)` on a partitioned one.
     pub fn assignments(&self) -> Vec<ValidPair> {
-        self.lock().engine.committed_assignments()
+        self.lock().core.committed_assignments()
     }
 
-    /// Query: a consistent snapshot of the serving state.
+    /// Query: a consistent snapshot of the serving state (the merged
+    /// platform-wide view when partitioned).
     pub fn snapshot(&self) -> EngineSnapshot {
         let shared = self.lock();
-        EngineSnapshot {
-            now: shared.last_now,
-            ticks: shared.engine.num_ticks(),
-            events_applied: shared.events_applied,
-            pending_events: shared.engine.num_pending_events(),
-            live_tasks: shared.engine.num_tasks(),
-            live_workers: shared.engine.num_workers(),
-            committed_workers: shared.engine.num_committed(),
-            banked_answers: shared.engine.num_banked_answers(),
-            total_assignments: shared.total_assignments,
-            objective: shared.engine.current_objective(),
-            backend: shared.engine.index().backend_name(),
-            index_counters: shared.engine.index().maintenance_counters(),
+        match &shared.core {
+            Core::Single(engine) => EngineSnapshot::capture(
+                engine,
+                shared.last_now,
+                shared.events_applied,
+                shared.total_assignments,
+            ),
+            Core::Partitioned(engine) => engine.snapshot(),
+        }
+    }
+
+    /// Query: the number of partitions behind this handle (1 for a plain
+    /// single-engine handle).
+    pub fn num_partitions(&self) -> usize {
+        match &self.lock().core {
+            Core::Single(_) => 1,
+            Core::Partitioned(engine) => engine.num_partitions(),
+        }
+    }
+
+    /// Query: one snapshot per partition, in partition order (a single
+    /// engine reports itself as its only partition).
+    pub fn partition_snapshots(&self) -> Vec<EngineSnapshot> {
+        {
+            let shared = self.lock();
+            if let Core::Partitioned(engine) = &shared.core {
+                return engine.partition_snapshots();
+            }
+        } // release the lock before snapshot() re-takes it
+        vec![self.snapshot()]
+    }
+
+    /// Query: cross-partition worker handoffs performed so far (0 on a
+    /// single engine).
+    pub fn handoffs(&self) -> u64 {
+        match &self.lock().core {
+            Core::Single(_) => 0,
+            Core::Partitioned(engine) => engine.handoffs(),
         }
     }
 
     /// Runs a closure with the locked engine, for callers that need an
     /// operation the command API does not cover (tests, admin endpoints).
+    ///
+    /// # Panics
+    ///
+    /// On a partitioned handle — the engines live on their own threads and
+    /// cannot be borrowed; use the command API instead.
     pub fn with_engine<R>(&self, f: impl FnOnce(&mut AssignmentEngine<I>) -> R) -> R {
-        f(&mut self.lock().engine)
+        match &mut self.lock().core {
+            Core::Single(engine) => f(engine),
+            Core::Partitioned(_) => {
+                panic!("with_engine is only available on a single-engine handle")
+            }
+        }
     }
 }
 

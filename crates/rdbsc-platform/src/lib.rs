@@ -17,7 +17,10 @@
 //! engine** that maintains the grid index incrementally, partitions the live
 //! instance into independent spatial shards and solves them concurrently
 //! with a cost-model-driven per-shard strategy choice (see the module docs
-//! for the architecture). The [`handle`] module wraps that engine in a
+//! for the architecture). The [`partition`] module scales *across* engines:
+//! a [`PartitionedEngine`] runs one assignment engine per spatial region on
+//! its own thread, routes events by location and hands workers off across
+//! region boundaries. The [`handle`] module wraps either form in a
 //! thread-safe [`EngineHandle`] command API so network servers (see the
 //! `rdbsc-server` crate) and other multi-threaded drivers can share one
 //! live instance.
@@ -29,6 +32,7 @@ pub mod coverage;
 pub mod engine;
 pub mod handle;
 pub mod par;
+pub mod partition;
 pub mod sim;
 
 pub use accuracy::{answer_accuracy, answer_error, AnswerRecord};
@@ -37,4 +41,5 @@ pub use engine::{
     AdaptiveBatchSolver, AssignmentEngine, EngineConfig, EngineEvent, EngineObjective, TickReport,
 };
 pub use handle::{EngineHandle, EngineSnapshot};
+pub use partition::{merge_snapshots, PartitionedEngine};
 pub use sim::{PlatformConfig, PlatformSim, RoundStats, SimulationReport};

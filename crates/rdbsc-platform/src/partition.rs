@@ -1,0 +1,968 @@
+//! Region-partitioned multi-engine serving.
+//!
+//! One [`AssignmentEngine`] owns the whole data space behind one lock — fine
+//! for a single metro area, a ceiling for "heavy traffic from millions of
+//! users". [`PartitionedEngine`] removes that ceiling by running **one
+//! engine per spatial region on its own OS thread** and routing
+//! [`EngineEvent`]s by location:
+//!
+//! ```text
+//!                         ┌► partition 0 thread: AssignmentEngine over region 0
+//!   events ──► router ────┼► partition 1 thread: AssignmentEngine over region 1
+//!   (by location)         └► partition 2 thread: AssignmentEngine over region 2
+//!                              ▲ ticks broadcast, solved concurrently,
+//!                              └ reports merged in partition order
+//! ```
+//!
+//! Regions come from [`rdbsc_cluster::RegionPartitioner`]: rectangular,
+//! aligned to the grid cells of the index geometry, with either static
+//! uniform boundaries or k-means-seeded data-driven ones.
+//!
+//! ## Cross-partition worker handoff
+//!
+//! Workers move; regions do not. When a [`EngineEvent::WorkerMoved`] (or a
+//! re-[`EngineEvent::WorkerCheckIn`]) lands on the other side of a region
+//! boundary, the router **hands the worker off** using the engines' existing
+//! machinery: a [`EngineEvent::WorkerLeft`] detaches it from its old engine
+//! and a [`EngineEvent::WorkerCheckIn`] (with the router's last-known worker
+//! record at the new position) registers it with the new one. Two rules keep
+//! the handoff loss-free:
+//!
+//! * **Committed workers stay put.** A worker en route to a task is serving
+//!   that task's partition; tearing it out would drop the commitment. The
+//!   handoff is *deferred*: the move is forwarded to the old engine (whose
+//!   index clamps out-of-region positions onto its border cells) and the
+//!   worker is handed off only once it delivers its answer, gives up, or is
+//!   released by a task expiration — with its banked contribution staying in
+//!   the partition of the task it answered.
+//! * **Exactly-one residency.** Handoff enqueues the `WorkerLeft` and the
+//!   `WorkerCheckIn` in the same inter-tick window, and every engine drains
+//!   its queue at the next lockstep tick — so a worker is live in exactly
+//!   one engine whenever any engine solves.
+//!
+//! ## Determinism contract
+//!
+//! * With **one partition** the router degenerates to a pass-through and the
+//!   output (tick reports, assignments, snapshots) is **byte-identical** to
+//!   a plain [`AssignmentEngine`] fed the same event stream.
+//! * With **N partitions** the routed per-engine event streams depend only
+//!   on the submission order, each engine is deterministic per its own
+//!   config seed, ticks are lockstep, and merged listings are ordered by
+//!   `(partition, task, worker)` — so the output is independent of thread
+//!   scheduling.
+//!
+//! Known approximation: a task re-posted at a location in a *different*
+//! partition is treated as withdraw-then-arrive (the old partition retires
+//! it, commitments there are released); within one partition the engine's
+//! own re-post semantics apply (see [`AssignmentEngine::tick`]).
+
+use crate::engine::{AssignmentEngine, EngineEvent, EngineObjective, TickReport};
+use crate::handle::EngineSnapshot;
+use rdbsc_cluster::RegionPartition;
+use rdbsc_geo::Rect;
+use rdbsc_index::{MaintenanceCounters, SpatialIndex};
+use rdbsc_model::valid_pairs::ValidPair;
+use rdbsc_model::{Contribution, TaskId, Worker, WorkerId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A command processed by one partition's engine thread.
+enum Command {
+    /// Queue events for the next tick.
+    Submit(Vec<EngineEvent>),
+    /// Run one engine round and reply with the report plus the engine's
+    /// post-tick committed worker set (the router's handoff oracle).
+    Tick {
+        now: f64,
+        reply: Sender<(TickReport, Vec<WorkerId>)>,
+    },
+    /// Bank an answer; replies whether the worker was en route.
+    RecordAnswer {
+        worker: WorkerId,
+        contribution: Contribution,
+        reply: Sender<bool>,
+    },
+    /// Release an en-route worker without banking.
+    Release(WorkerId),
+    /// Reply with the standing committed pairs, sorted by `(task, worker)`.
+    Assignments(Sender<Vec<ValidPair>>),
+    /// Reply with a consistent snapshot of this partition's state.
+    Snapshot(Sender<EngineSnapshot>),
+    /// Reply whether the partition has anything to do (pending events or
+    /// live tasks).
+    IsActive(Sender<bool>),
+    /// Reply whether this partition's index holds the worker (test/debug
+    /// residency probe).
+    HasWorker(WorkerId, Sender<bool>),
+    /// Exit the thread.
+    Shutdown,
+}
+
+/// The per-partition engine thread: owns one [`AssignmentEngine`] plus the
+/// same serving counters an [`crate::handle::EngineHandle`] keeps, so a
+/// partition can answer snapshot queries on its own.
+fn slot_loop<I: SpatialIndex>(mut engine: AssignmentEngine<I>, commands: Receiver<Command>) {
+    let mut last_now = 0.0f64;
+    let mut events_applied = 0u64;
+    let mut total_assignments = 0u64;
+    while let Ok(command) = commands.recv() {
+        match command {
+            Command::Submit(events) => engine.submit_all(events),
+            Command::Tick { now, reply } => {
+                let report = engine.tick(now);
+                last_now = now;
+                events_applied += report.events_applied as u64;
+                total_assignments += report.new_assignments.len() as u64;
+                let committed: Vec<WorkerId> = engine
+                    .committed_assignments()
+                    .iter()
+                    .map(|p| p.worker)
+                    .collect();
+                let _ = reply.send((report, committed));
+            }
+            Command::RecordAnswer {
+                worker,
+                contribution,
+                reply,
+            } => {
+                let _ = reply.send(engine.record_answer(worker, contribution));
+            }
+            Command::Release(worker) => engine.release_worker(worker),
+            Command::Assignments(reply) => {
+                let _ = reply.send(engine.committed_assignments());
+            }
+            Command::Snapshot(reply) => {
+                let _ = reply.send(EngineSnapshot::capture(
+                    &engine,
+                    last_now,
+                    events_applied,
+                    total_assignments,
+                ));
+            }
+            Command::IsActive(reply) => {
+                let _ =
+                    reply.send(engine.num_pending_events() > 0 || engine.num_tasks() > 0);
+            }
+            Command::HasWorker(id, reply) => {
+                let _ = reply.send(engine.index().worker(id).is_some());
+            }
+            Command::Shutdown => return,
+        }
+    }
+}
+
+/// The router's view of one known worker.
+#[derive(Debug, Clone, Copy)]
+struct WorkerEntry {
+    /// The partition whose engine currently owns the worker.
+    home: usize,
+    /// Last-known full record (what a handoff re-registers on the far side).
+    record: Worker,
+    /// A `WorkerLeft` has been routed but not yet applied by a tick. The
+    /// engine keeps the worker (and any commitment) until then, so commands
+    /// arriving in the submit-to-tick window must still route to `home` —
+    /// exactly like a plain engine whose queue holds the same pending leave.
+    departed: bool,
+}
+
+/// N region-local [`AssignmentEngine`]s behind one location-routing façade
+/// (see the [module docs](self) for the architecture, the handoff protocol
+/// and the determinism contract).
+///
+/// The API deliberately mirrors the single engine's — `submit`, `tick`,
+/// `record_answer`, `committed_assignments` — so
+/// [`crate::handle::EngineHandle`] can drive either interchangeably.
+pub struct PartitionedEngine {
+    partition: RegionPartition,
+    slots: Vec<Sender<Command>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Pending routed events, one buffer per partition, flushed as one
+    /// `Command::Submit` per partition at the end of every submit call —
+    /// per-partition order is what determinism needs, and batching spares a
+    /// channel round-trip per event on the ingestion hot path.
+    outbox: Vec<Vec<EngineEvent>>,
+    /// Each known worker's routing state.
+    worker_home: HashMap<WorkerId, WorkerEntry>,
+    /// Each known live task's partition (entries for auto-expired tasks
+    /// linger until an explicit expire names them; the growth is bounded by
+    /// the total tasks ever posted, like the engines' own retired maps).
+    task_home: HashMap<TaskId, usize>,
+    /// Workers currently en route somewhere, rebuilt exactly from the
+    /// engines' own committed sets at every tick.
+    committed: HashSet<WorkerId>,
+    /// Boundary-crossing workers whose handoff waits for their commitment
+    /// to clear. Ordered so the post-tick resolution is deterministic.
+    pending_handoff: BTreeSet<WorkerId>,
+    handoffs: u64,
+}
+
+impl PartitionedEngine {
+    /// Wraps one pre-built engine per region. Panics unless
+    /// `engines.len() == partition.num_regions()`. Each engine starts its
+    /// own named OS thread immediately.
+    pub fn new<I: SpatialIndex + 'static>(
+        partition: RegionPartition,
+        engines: Vec<AssignmentEngine<I>>,
+    ) -> Self {
+        assert_eq!(
+            engines.len(),
+            partition.num_regions(),
+            "one engine per region required"
+        );
+        let mut slots = Vec::with_capacity(engines.len());
+        let mut threads = Vec::with_capacity(engines.len());
+        for (i, engine) in engines.into_iter().enumerate() {
+            let (tx, rx) = channel();
+            slots.push(tx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rdbsc-partition-{i}"))
+                    .spawn(move || slot_loop(engine, rx))
+                    .expect("spawn partition thread"),
+            );
+        }
+        let outbox = (0..slots.len()).map(|_| Vec::new()).collect();
+        Self {
+            partition,
+            slots,
+            threads,
+            outbox,
+            worker_home: HashMap::new(),
+            task_home: HashMap::new(),
+            committed: HashSet::new(),
+            pending_handoff: BTreeSet::new(),
+            handoffs: 0,
+        }
+    }
+
+    /// Builds one engine per region with `make_index` supplying each
+    /// region's spatial index (over the region rectangle) and a shared
+    /// engine configuration — every partition runs the same config,
+    /// including the seed, which is what makes the single-partition case
+    /// byte-identical to a plain engine.
+    pub fn build<I, F>(
+        partition: RegionPartition,
+        config: crate::engine::EngineConfig,
+        mut make_index: F,
+    ) -> Self
+    where
+        I: SpatialIndex + 'static,
+        F: FnMut(Rect) -> I,
+    {
+        let engines = (0..partition.num_regions())
+            .map(|i| AssignmentEngine::new(make_index(partition.region_rect(i)), config.clone()))
+            .collect();
+        Self::new(partition, engines)
+    }
+
+    /// Number of partitions (= engine threads).
+    pub fn num_partitions(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The region rectangles, in partition order.
+    pub fn regions(&self) -> Vec<Rect> {
+        (0..self.partition.num_regions())
+            .map(|i| self.partition.region_rect(i))
+            .collect()
+    }
+
+    /// The region partition the router uses.
+    pub fn region_partition(&self) -> &RegionPartition {
+        &self.partition
+    }
+
+    /// Cross-partition worker handoffs performed so far.
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// Buffers a routed event for `slot`; [`Self::flush_outbox`] ships it.
+    fn send(&mut self, slot: usize, event: EngineEvent) {
+        self.outbox[slot].push(event);
+    }
+
+    /// Ships every buffered event, one `Submit` command per partition.
+    fn flush_outbox(&mut self) {
+        for (slot, buffer) in self.outbox.iter_mut().enumerate() {
+            if !buffer.is_empty() {
+                self.slots[slot]
+                    .send(Command::Submit(std::mem::take(buffer)))
+                    .expect("partition thread alive");
+            }
+        }
+    }
+
+    fn send_command(&self, slot: usize, command: Command) {
+        self.slots[slot]
+            .send(command)
+            .expect("partition thread alive");
+    }
+
+    /// Detaches `id` from `from` and re-registers `record` with the
+    /// partition owning its current location, via the engines' ordinary
+    /// leave/check-in machinery.
+    fn handoff(&mut self, id: WorkerId, from: usize, record: Worker) {
+        let target = self.partition.partition_of(record.location);
+        debug_assert_ne!(target, from);
+        self.worker_home.insert(
+            id,
+            WorkerEntry {
+                home: target,
+                record,
+                departed: false,
+            },
+        );
+        self.handoffs += 1;
+        self.send(from, EngineEvent::WorkerLeft(id));
+        self.send(target, EngineEvent::WorkerCheckIn(record));
+    }
+
+    /// Routes one event into the outbox (shipped by [`Self::flush_outbox`]).
+    fn route(&mut self, event: EngineEvent) {
+        match event {
+            EngineEvent::TaskArrived(task) => {
+                let target = self.partition.partition_of(task.location);
+                if let Some(old) = self.task_home.insert(task.id, target) {
+                    if old != target {
+                        // Cross-partition re-post: withdraw from the old
+                        // region before arriving fresh in the new one.
+                        self.send(old, EngineEvent::TaskExpired(task.id));
+                    }
+                }
+                self.send(target, EngineEvent::TaskArrived(task));
+            }
+            EngineEvent::TaskExpired(id) => {
+                // Unknown ids go to partition 0, where the expire is the
+                // same no-op a plain engine would apply (and the event
+                // accounting stays identical in the 1-partition case).
+                let target = self.task_home.remove(&id).unwrap_or(0);
+                self.send(target, EngineEvent::TaskExpired(id));
+            }
+            EngineEvent::WorkerCheckIn(worker) => {
+                let target = self.partition.partition_of(worker.location);
+                match self.worker_home.get(&worker.id).copied() {
+                    // A departed entry is routing history, not residency:
+                    // the queued leave clears any commitment before this
+                    // check-in applies, so register fresh at the target.
+                    Some(entry) if entry.departed => {
+                        self.worker_home.insert(
+                            worker.id,
+                            WorkerEntry {
+                                home: target,
+                                record: worker,
+                                departed: false,
+                            },
+                        );
+                        self.send(target, EngineEvent::WorkerCheckIn(worker));
+                    }
+                    Some(entry) if entry.home == target => {
+                        self.pending_handoff.remove(&worker.id);
+                        self.worker_home.insert(
+                            worker.id,
+                            WorkerEntry {
+                                record: worker,
+                                ..entry
+                            },
+                        );
+                        self.send(entry.home, EngineEvent::WorkerCheckIn(worker));
+                    }
+                    Some(entry) if self.committed.contains(&worker.id) => {
+                        // Re-registration while en route: the engine keeps
+                        // the commitment, so the worker stays with it and
+                        // the handoff waits.
+                        self.pending_handoff.insert(worker.id);
+                        self.worker_home.insert(
+                            worker.id,
+                            WorkerEntry {
+                                record: worker,
+                                ..entry
+                            },
+                        );
+                        self.send(entry.home, EngineEvent::WorkerCheckIn(worker));
+                    }
+                    Some(entry) => {
+                        self.pending_handoff.remove(&worker.id);
+                        self.handoff(worker.id, entry.home, worker);
+                    }
+                    None => {
+                        self.worker_home.insert(
+                            worker.id,
+                            WorkerEntry {
+                                home: target,
+                                record: worker,
+                                departed: false,
+                            },
+                        );
+                        self.send(target, EngineEvent::WorkerCheckIn(worker));
+                    }
+                }
+            }
+            EngineEvent::WorkerMoved(id, to) => {
+                let target = self.partition.partition_of(to);
+                match self.worker_home.get(&id).copied() {
+                    // Departed: the engine applies the queued leave first,
+                    // making this move its usual absent-worker no-op.
+                    Some(entry) if entry.departed => {
+                        self.send(entry.home, EngineEvent::WorkerMoved(id, to));
+                    }
+                    Some(mut entry) => {
+                        entry.record.location = to;
+                        if entry.home == target {
+                            self.pending_handoff.remove(&id);
+                            self.worker_home.insert(id, entry);
+                            self.send(entry.home, EngineEvent::WorkerMoved(id, to));
+                        } else if self.committed.contains(&id) {
+                            // En route: stays with its task's partition (the
+                            // index clamps the position onto border cells);
+                            // hand off once the commitment clears.
+                            self.pending_handoff.insert(id);
+                            self.worker_home.insert(id, entry);
+                            self.send(entry.home, EngineEvent::WorkerMoved(id, to));
+                        } else {
+                            self.pending_handoff.remove(&id);
+                            self.handoff(id, entry.home, entry.record);
+                        }
+                    }
+                    // Unknown worker: forward to the target partition where
+                    // the move is the plain engine's no-op.
+                    None => self.send(target, EngineEvent::WorkerMoved(id, to)),
+                }
+            }
+            EngineEvent::WorkerLeft(id) => {
+                // Route the leave to the worker's home but keep the entry
+                // (tombstoned) until the next tick applies it: a plain
+                // engine only removes the worker at the tick, so commands
+                // in the submit-to-tick window (an answer delivery, say)
+                // must still reach the engine that holds the commitment.
+                self.pending_handoff.remove(&id);
+                let target = match self.worker_home.get_mut(&id) {
+                    Some(entry) => {
+                        entry.departed = true;
+                        entry.home
+                    }
+                    None => 0, // no-op there; keeps 1-partition accounting identical
+                };
+                self.send(target, EngineEvent::WorkerLeft(id));
+            }
+        }
+    }
+
+    /// Queues one event, routed by location, for the next tick.
+    pub fn submit(&mut self, event: EngineEvent) {
+        self.route(event);
+        self.flush_outbox();
+    }
+
+    /// Queues many events (in order) for the next tick, shipping one
+    /// batched submit per partition.
+    pub fn submit_all<E: IntoIterator<Item = EngineEvent>>(&mut self, events: E) {
+        for event in events {
+            self.route(event);
+        }
+        self.flush_outbox();
+    }
+
+    /// Runs one lockstep engine round at time `now` on **every** partition
+    /// concurrently, merges the per-partition reports in partition order,
+    /// refreshes the router's committed-worker view and resolves any
+    /// deferred handoffs whose commitment has cleared.
+    pub fn tick(&mut self, now: f64) -> TickReport {
+        let replies: Vec<Receiver<(TickReport, Vec<WorkerId>)>> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let (tx, rx) = channel();
+                slot.send(Command::Tick { now, reply: tx })
+                    .expect("partition thread alive");
+                rx
+            })
+            .collect();
+        let results: Vec<(TickReport, Vec<WorkerId>)> = replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("partition thread alive"))
+            .collect();
+
+        self.committed.clear();
+        let mut merged = TickReport {
+            now,
+            events_applied: 0,
+            tasks_expired: 0,
+            num_shards: 0,
+            largest_shard_pairs: 0,
+            strategies: Vec::new(),
+            new_assignments: Vec::new(),
+            solve_seconds: 0.0,
+            shard_solve_seconds: Vec::new(),
+            index_maintenance: MaintenanceCounters::default(),
+        };
+        for (report, committed) in results {
+            merged.events_applied += report.events_applied;
+            merged.tasks_expired += report.tasks_expired;
+            merged.num_shards += report.num_shards;
+            merged.largest_shard_pairs =
+                merged.largest_shard_pairs.max(report.largest_shard_pairs);
+            merged.strategies.extend(report.strategies);
+            merged.new_assignments.extend(report.new_assignments);
+            // Partitions solve concurrently: the round's wall time is the
+            // slowest partition's, not the sum.
+            merged.solve_seconds = merged.solve_seconds.max(report.solve_seconds);
+            merged
+                .shard_solve_seconds
+                .extend(report.shard_solve_seconds);
+            merged.index_maintenance.relocations += report.index_maintenance.relocations;
+            merged.index_maintenance.cells_repaired +=
+                report.index_maintenance.cells_repaired;
+            merged.index_maintenance.tcell_rebuilds +=
+                report.index_maintenance.tcell_rebuilds;
+            self.committed.extend(committed);
+        }
+
+        // Departed tombstones have served their purpose: every routed
+        // leave was in its engine's queue before this tick, so the workers
+        // are gone now and the routing entries can go too.
+        self.worker_home.retain(|_, entry| !entry.departed);
+
+        // Deferred handoffs: commitments may have cleared (answer banked
+        // before the tick, task expired during it). BTreeSet order makes the
+        // resolution sequence deterministic.
+        let pending: Vec<WorkerId> = self.pending_handoff.iter().copied().collect();
+        for id in pending {
+            if self.committed.contains(&id) {
+                continue;
+            }
+            self.pending_handoff.remove(&id);
+            let Some(entry) = self.worker_home.get(&id).copied() else {
+                continue;
+            };
+            if self.partition.partition_of(entry.record.location) != entry.home {
+                self.handoff(id, entry.home, entry.record);
+            }
+        }
+        self.flush_outbox();
+        merged
+    }
+
+    /// Does any partition have pending events or live tasks? (The partitioned
+    /// analogue of the idle check behind
+    /// [`crate::handle::EngineHandle::tick_if_active`]; ticks stay lockstep,
+    /// so one active partition ticks all of them.)
+    pub fn is_active(&self) -> bool {
+        let replies: Vec<Receiver<bool>> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let (tx, rx) = channel();
+                slot.send(Command::IsActive(tx)).expect("partition thread alive");
+                rx
+            })
+            .collect();
+        replies
+            .into_iter()
+            .any(|rx| rx.recv().expect("partition thread alive"))
+    }
+
+    /// Banks an en-route worker's answer in its partition; a now-free
+    /// boundary-crossing worker is immediately handed off to the partition
+    /// of its last reported position. Returns `false` when the worker was
+    /// not en route.
+    pub fn record_answer(&mut self, worker: WorkerId, contribution: Contribution) -> bool {
+        let Some(entry) = self.worker_home.get(&worker).copied() else {
+            return false;
+        };
+        let (tx, rx) = channel();
+        self.send_command(
+            entry.home,
+            Command::RecordAnswer {
+                worker,
+                contribution,
+                reply: tx,
+            },
+        );
+        let banked = rx.recv().expect("partition thread alive");
+        if banked {
+            self.committed.remove(&worker);
+            if self.pending_handoff.remove(&worker)
+                && self.partition.partition_of(entry.record.location) != entry.home
+            {
+                self.handoff(worker, entry.home, entry.record);
+                self.flush_outbox();
+            }
+        }
+        banked
+    }
+
+    /// Releases an en-route worker (gave up / rejected) in its partition,
+    /// performing a deferred handoff if one is waiting on it.
+    pub fn release_worker(&mut self, worker: WorkerId) {
+        let Some(entry) = self.worker_home.get(&worker).copied() else {
+            return;
+        };
+        self.send_command(entry.home, Command::Release(worker));
+        self.committed.remove(&worker);
+        if self.pending_handoff.remove(&worker)
+            && self.partition.partition_of(entry.record.location) != entry.home
+        {
+            self.handoff(worker, entry.home, entry.record);
+            self.flush_outbox();
+        }
+    }
+
+    /// Is the worker currently en route (in any partition)?
+    pub fn is_committed(&self, worker: WorkerId) -> bool {
+        self.committed.contains(&worker)
+    }
+
+    /// The standing committed pairs across all partitions, ordered by
+    /// `(partition, task, worker)` — partition-major concatenation of the
+    /// per-engine sorted listings.
+    pub fn committed_assignments(&self) -> Vec<ValidPair> {
+        let mut merged = Vec::new();
+        for slot in 0..self.slots.len() {
+            let (tx, rx) = channel();
+            self.send_command(slot, Command::Assignments(tx));
+            merged.extend(rx.recv().expect("partition thread alive"));
+        }
+        merged
+    }
+
+    /// One consistent snapshot per partition, in partition order.
+    pub fn partition_snapshots(&self) -> Vec<EngineSnapshot> {
+        let replies: Vec<Receiver<EngineSnapshot>> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let (tx, rx) = channel();
+                slot.send(Command::Snapshot(tx)).expect("partition thread alive");
+                rx
+            })
+            .collect();
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("partition thread alive"))
+            .collect()
+    }
+
+    /// The merged serving snapshot: counters summed, objective folded
+    /// (minimum reliability over covered partitions, diversity summed).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        merge_snapshots(&self.partition_snapshots())
+    }
+
+    /// The partitions whose index currently holds the worker. The handoff
+    /// invariant says this has at most one element once queues are drained;
+    /// the property tests assert exactly that.
+    pub fn partitions_holding(&self, id: WorkerId) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&slot| {
+                let (tx, rx) = channel();
+                self.send_command(slot, Command::HasWorker(id, tx));
+                rx.recv().expect("partition thread alive")
+            })
+            .collect()
+    }
+}
+
+impl Drop for PartitionedEngine {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let _ = slot.send(Command::Shutdown);
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Folds per-partition snapshots into one platform-wide view (lockstep
+/// ticks, summed counters, merged objective).
+pub fn merge_snapshots(parts: &[EngineSnapshot]) -> EngineSnapshot {
+    let mut merged = EngineSnapshot {
+        now: parts.first().map(|p| p.now).unwrap_or(0.0),
+        ticks: parts.first().map(|p| p.ticks).unwrap_or(0),
+        events_applied: 0,
+        pending_events: 0,
+        live_tasks: 0,
+        live_workers: 0,
+        committed_workers: 0,
+        banked_answers: 0,
+        total_assignments: 0,
+        objective: EngineObjective {
+            min_reliability: f64::INFINITY,
+            total_std: 0.0,
+            covered_tasks: 0,
+        },
+        backend: parts.first().map(|p| p.backend).unwrap_or("none"),
+        index_counters: MaintenanceCounters::default(),
+    };
+    for p in parts {
+        merged.events_applied += p.events_applied;
+        merged.pending_events += p.pending_events;
+        merged.live_tasks += p.live_tasks;
+        merged.live_workers += p.live_workers;
+        merged.committed_workers += p.committed_workers;
+        merged.banked_answers += p.banked_answers;
+        merged.total_assignments += p.total_assignments;
+        merged.objective.total_std += p.objective.total_std;
+        merged.objective.covered_tasks += p.objective.covered_tasks;
+        if p.objective.covered_tasks > 0 {
+            merged.objective.min_reliability = merged
+                .objective
+                .min_reliability
+                .min(p.objective.min_reliability);
+        }
+        merged.index_counters.relocations += p.index_counters.relocations;
+        merged.index_counters.cells_repaired += p.index_counters.cells_repaired;
+        merged.index_counters.tcell_rebuilds += p.index_counters.tcell_rebuilds;
+    }
+    if merged.objective.covered_tasks == 0 {
+        merged.objective.min_reliability = 1.0;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use rdbsc_cluster::RegionPartitioner;
+    use rdbsc_geo::{AngleRange, Point};
+    use rdbsc_index::geometry::GridGeometry;
+    use rdbsc_index::GridIndex;
+    use rdbsc_model::{Confidence, Task, TimeWindow};
+
+    fn task(id: u32, x: f64, y: f64, start: f64, end: f64) -> Task {
+        Task::new(
+            TaskId(id),
+            Point::new(x, y),
+            TimeWindow::new(start, end).unwrap(),
+        )
+    }
+
+    fn worker(id: u32, x: f64, y: f64, speed: f64) -> Worker {
+        Worker::new(
+            WorkerId(id),
+            Point::new(x, y),
+            speed,
+            AngleRange::full(),
+            Confidence::new(0.9).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn partitioned(n: usize) -> PartitionedEngine {
+        let geometry = GridGeometry::new(Rect::unit(), 0.1);
+        let partition = RegionPartitioner::uniform().split(geometry, n, &[]);
+        PartitionedEngine::build(partition, EngineConfig::default(), |rect| {
+            GridIndex::new(rect, 0.1)
+        })
+    }
+
+    /// A two-sided script: tasks and workers in the left (x < 0.5) and right
+    /// halves, matching a 2-way uniform split's vertical boundary.
+    fn two_sided_events() -> Vec<EngineEvent> {
+        let mut events = Vec::new();
+        for i in 0..6u32 {
+            let x = if i % 2 == 0 { 0.2 } else { 0.8 };
+            events.push(EngineEvent::TaskArrived(task(i, x, 0.5, 0.0, 5.0)));
+            events.push(EngineEvent::WorkerCheckIn(worker(i, x, 0.45, 0.3)));
+        }
+        events
+    }
+
+    #[test]
+    fn single_partition_matches_plain_engine() {
+        let mut plain = AssignmentEngine::new(
+            GridIndex::new(Rect::unit(), 0.1),
+            EngineConfig::default(),
+        );
+        let mut split = partitioned(1);
+        let events = two_sided_events();
+        plain.submit_all(events.clone());
+        split.submit_all(events);
+
+        let a = plain.tick(0.0);
+        let b = split.tick(0.0);
+        assert_eq!(a.new_assignments, b.new_assignments);
+        assert_eq!(a.events_applied, b.events_applied);
+        assert_eq!(a.num_shards, b.num_shards);
+        assert_eq!(a.strategies, b.strategies);
+        assert_eq!(plain.committed_assignments(), split.committed_assignments());
+
+        // Answers flow identically.
+        let pair = a.new_assignments[0];
+        assert!(plain.record_answer(pair.worker, pair.contribution));
+        assert!(split.record_answer(pair.worker, pair.contribution));
+        assert_eq!(
+            plain.tick(0.5).new_assignments,
+            split.tick(0.5).new_assignments
+        );
+        assert_eq!(split.handoffs(), 0);
+    }
+
+    #[test]
+    fn events_route_to_the_owning_partition() {
+        let mut split = partitioned(2);
+        split.submit_all(two_sided_events());
+        let report = split.tick(0.0);
+        assert!(!report.new_assignments.is_empty());
+        let snaps = split.partition_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].live_tasks, 3);
+        assert_eq!(snaps[1].live_tasks, 3);
+        assert_eq!(snaps[0].live_workers, 3);
+        assert_eq!(snaps[1].live_workers, 3);
+        let merged = split.snapshot();
+        assert_eq!(merged.live_tasks, 6);
+        assert_eq!(merged.live_workers, 6);
+    }
+
+    #[test]
+    fn free_worker_crossing_the_boundary_is_handed_off() {
+        let mut split = partitioned(2);
+        split.submit(EngineEvent::WorkerCheckIn(worker(0, 0.2, 0.5, 0.3)));
+        split.tick(0.0);
+        assert_eq!(split.partitions_holding(WorkerId(0)), vec![0]);
+
+        split.submit(EngineEvent::WorkerMoved(WorkerId(0), Point::new(0.8, 0.5)));
+        split.tick(0.1);
+        assert_eq!(split.handoffs(), 1);
+        assert_eq!(split.partitions_holding(WorkerId(0)), vec![1]);
+
+        // A task near its new home is served by the new partition's engine.
+        split.submit(EngineEvent::TaskArrived(task(0, 0.82, 0.5, 0.0, 5.0)));
+        let report = split.tick(0.2);
+        assert_eq!(report.new_assignments.len(), 1);
+        assert_eq!(report.new_assignments[0].worker, WorkerId(0));
+    }
+
+    #[test]
+    fn committed_worker_handoff_waits_for_the_answer() {
+        let mut split = partitioned(2);
+        split.submit(EngineEvent::TaskArrived(task(0, 0.2, 0.5, 0.0, 8.0)));
+        split.submit(EngineEvent::WorkerCheckIn(worker(0, 0.25, 0.5, 0.4)));
+        let report = split.tick(0.0);
+        assert_eq!(report.new_assignments.len(), 1);
+        let pair = report.new_assignments[0];
+        assert!(split.is_committed(pair.worker));
+
+        // The committed worker reports from the far side of the boundary:
+        // no handoff yet — the commitment pins it to partition 0.
+        split.submit(EngineEvent::WorkerMoved(pair.worker, Point::new(0.8, 0.5)));
+        split.tick(0.5);
+        assert_eq!(split.handoffs(), 0);
+        assert_eq!(split.partitions_holding(pair.worker), vec![0]);
+        assert_eq!(split.committed_assignments().len(), 1);
+
+        // The answer banks in partition 0 (where the task lives) and the
+        // handoff fires immediately after.
+        assert!(split.record_answer(pair.worker, pair.contribution));
+        assert_eq!(split.handoffs(), 1);
+        assert_eq!(split.snapshot().banked_answers, 1);
+        split.tick(1.0);
+        assert_eq!(split.partitions_holding(pair.worker), vec![1]);
+        assert!(split.snapshot().objective.min_reliability > 0.0);
+    }
+
+    #[test]
+    fn expiration_releases_and_then_hands_off() {
+        let mut split = partitioned(2);
+        split.submit(EngineEvent::TaskArrived(task(0, 0.2, 0.5, 0.0, 1.0)));
+        split.submit(EngineEvent::WorkerCheckIn(worker(0, 0.25, 0.5, 0.4)));
+        let report = split.tick(0.0);
+        assert_eq!(report.new_assignments.len(), 1);
+        split.submit(EngineEvent::WorkerMoved(WorkerId(0), Point::new(0.9, 0.5)));
+        split.tick(0.5); // still committed, still partition 0
+        assert_eq!(split.partitions_holding(WorkerId(0)), vec![0]);
+
+        // The task expires without an answer: the engine releases the
+        // traveller and the post-tick resolution hands it off.
+        let late = split.tick(2.0);
+        assert_eq!(late.tasks_expired, 1);
+        assert_eq!(split.handoffs(), 1);
+        split.tick(2.1);
+        assert_eq!(split.partitions_holding(WorkerId(0)), vec![1]);
+    }
+
+    #[test]
+    fn oscillation_between_ticks_settles_in_one_partition() {
+        let mut split = partitioned(2);
+        split.submit(EngineEvent::WorkerCheckIn(worker(0, 0.2, 0.5, 0.3)));
+        split.tick(0.0);
+        // Two boundary crossings within one inter-tick window.
+        split.submit(EngineEvent::WorkerMoved(WorkerId(0), Point::new(0.8, 0.5)));
+        split.submit(EngineEvent::WorkerMoved(WorkerId(0), Point::new(0.2, 0.5)));
+        split.tick(0.1);
+        assert_eq!(split.handoffs(), 2);
+        assert_eq!(split.partitions_holding(WorkerId(0)), vec![0]);
+        assert_eq!(split.snapshot().live_workers, 1);
+    }
+
+    #[test]
+    fn answer_after_queued_leave_still_banks_like_the_plain_engine() {
+        // A leave is only applied at the next tick; an answer delivered in
+        // the submit-to-tick window must still reach the engine holding the
+        // commitment — on one partition this must match the plain engine
+        // byte for byte.
+        let drive_plain = |mut engine: AssignmentEngine<GridIndex>| {
+            engine.submit(EngineEvent::TaskArrived(task(0, 0.2, 0.5, 0.0, 8.0)));
+            engine.submit(EngineEvent::WorkerCheckIn(worker(0, 0.25, 0.5, 0.4)));
+            let pair = engine.tick(0.0).new_assignments[0];
+            engine.submit(EngineEvent::WorkerLeft(pair.worker));
+            let banked = engine.record_answer(pair.worker, pair.contribution);
+            engine.tick(0.5);
+            (banked, engine.num_workers(), engine.num_banked_answers())
+        };
+        let plain = drive_plain(AssignmentEngine::new(
+            GridIndex::new(Rect::unit(), 0.1),
+            EngineConfig::default(),
+        ));
+        assert_eq!(plain, (true, 0, 1), "plain engine banks, then removes");
+
+        for partitions in [1, 2] {
+            let mut split = partitioned(partitions);
+            split.submit(EngineEvent::TaskArrived(task(0, 0.2, 0.5, 0.0, 8.0)));
+            split.submit(EngineEvent::WorkerCheckIn(worker(0, 0.25, 0.5, 0.4)));
+            let pair = split.tick(0.0).new_assignments[0];
+            split.submit(EngineEvent::WorkerLeft(pair.worker));
+            assert!(
+                split.record_answer(pair.worker, pair.contribution),
+                "{partitions}-partition answer in the leave window must bank"
+            );
+            split.tick(0.5);
+            assert_eq!(split.snapshot().live_workers, 0);
+            assert_eq!(split.snapshot().banked_answers, 1);
+            assert!(split.partitions_holding(pair.worker).is_empty());
+            // The tombstoned routing entry is cleaned up by the tick; a
+            // later move is the usual unknown-worker no-op.
+            split.submit(EngineEvent::WorkerMoved(pair.worker, Point::new(0.9, 0.5)));
+            split.tick(1.0);
+            assert!(split.partitions_holding(pair.worker).is_empty());
+        }
+    }
+
+    #[test]
+    fn worker_left_removes_everywhere() {
+        let mut split = partitioned(2);
+        split.submit(EngineEvent::WorkerCheckIn(worker(0, 0.2, 0.5, 0.3)));
+        split.submit(EngineEvent::WorkerMoved(WorkerId(0), Point::new(0.8, 0.5)));
+        split.submit(EngineEvent::WorkerLeft(WorkerId(0)));
+        split.tick(0.0);
+        assert!(split.partitions_holding(WorkerId(0)).is_empty());
+        assert_eq!(split.snapshot().live_workers, 0);
+    }
+
+    #[test]
+    fn cross_partition_task_repost_withdraws_the_old_copy() {
+        let mut split = partitioned(2);
+        split.submit(EngineEvent::TaskArrived(task(0, 0.2, 0.5, 0.0, 5.0)));
+        split.tick(0.0);
+        assert_eq!(split.partition_snapshots()[0].live_tasks, 1);
+        split.submit(EngineEvent::TaskArrived(task(0, 0.8, 0.5, 0.0, 5.0)));
+        split.tick(0.1);
+        let snaps = split.partition_snapshots();
+        assert_eq!(snaps[0].live_tasks, 0, "old copy withdrawn");
+        assert_eq!(snaps[1].live_tasks, 1, "new copy lives right");
+    }
+}

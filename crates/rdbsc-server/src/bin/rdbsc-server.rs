@@ -11,12 +11,14 @@ fn usage() -> ! {
         "usage: rdbsc-server [--addr HOST:PORT] [--threads N] [--queue N]\n\
          \x20                 [--flush-interval-ms N] [--max-batch N] [--seed N]\n\
          \x20                 [--beta F] [--cell-size F] [--time-scale F]\n\
-         \x20                 [--backend grid|flat-grid]\n\
+         \x20                 [--backend grid|flat-grid] [--partitions N]\n\
          \n\
          --flush-interval-ms 0 enables manual tick mode: the engine only\n\
          advances on POST /tick. Stop the server with POST /admin/shutdown.\n\
          --backend picks the spatial index (default flat-grid; results are\n\
-         identical across backends, only the cost profile changes)."
+         identical across backends, only the cost profile changes).\n\
+         --partitions N serves N spatial regions, one engine per region on\n\
+         its own thread, with cross-region worker handoff (default 1)."
     );
     std::process::exit(2);
 }
@@ -69,6 +71,13 @@ fn main() {
                 config.backend =
                     IndexBackend::parse(value).unwrap_or_else(|| parse_err(value))
             }
+            "--partitions" => {
+                config.partitions = value.parse().unwrap_or_else(|_| parse_err(value));
+                if config.partitions == 0 {
+                    eprintln!("--partitions must be at least 1");
+                    usage();
+                }
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage();
@@ -77,11 +86,14 @@ fn main() {
     }
     config.engine = engine;
 
-    let mode = if config.flush_interval.is_zero() {
+    let mut mode = if config.flush_interval.is_zero() {
         "manual-tick".to_string()
     } else {
         format!("flush every {:?}", config.flush_interval)
     };
+    if config.partitions > 1 {
+        mode.push_str(&format!(", {} partitions", config.partitions));
+    }
     let server = match Server::start(config) {
         Ok(server) => server,
         Err(e) => {

@@ -153,14 +153,22 @@ pub fn read_request(
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
 
-    let connection = headers
+    // `Connection` is a comma-separated token list (RFC 9110 §7.6.1):
+    // `Connection: keep-alive, te` is legal and must still mean keep-alive.
+    // Tokens are matched case-insensitively after trimming; an explicit
+    // `close` wins over `keep-alive` if a (nonsensical) peer sends both.
+    let connection_tokens: Vec<String> = headers
         .iter()
-        .find(|(k, _)| k == "connection")
-        .map(|(_, v)| v.to_ascii_lowercase());
-    let close = match connection.as_deref() {
-        Some("close") => true,
-        Some("keep-alive") => false,
-        _ => version == "HTTP/1.0",
+        .filter(|(k, _)| k == "connection")
+        .flat_map(|(_, v)| v.split(','))
+        .map(|token| token.trim().to_ascii_lowercase())
+        .collect();
+    let close = if connection_tokens.iter().any(|t| t == "close") {
+        true
+    } else if connection_tokens.iter().any(|t| t == "keep-alive") {
+        false
+    } else {
+        version == "HTTP/1.0"
     };
 
     let (path, query) = match target.split_once('?') {
@@ -312,6 +320,53 @@ mod tests {
         assert!(req.close);
         let req = parse_raw(b"GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
         assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_header_token_lists_are_honoured() {
+        // A legal token list must not fall through to the version default.
+        let req = parse_raw(b"GET / HTTP/1.0\r\nConnection: keep-alive, te\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.close, "keep-alive inside a token list must be seen");
+        let req = parse_raw(b"GET / HTTP/1.1\r\nConnection: close, te\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close, "close inside a token list must be seen");
+        // Odd whitespace and an unknown leading token.
+        let req = parse_raw(b"GET / HTTP/1.1\r\nConnection: te ,  close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close);
+        // Unknown tokens alone keep the version default.
+        let req = parse_raw(b"GET / HTTP/1.0\r\nConnection: te, upgrade\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close, "unknown tokens fall back to the 1.0 default");
+    }
+
+    #[test]
+    fn connection_header_tokens_match_case_insensitively() {
+        let req = parse_raw(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close);
+        let req = parse_raw(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.close);
+        let req = parse_raw(b"GET / HTTP/1.0\r\nCONNECTION: KEEP-ALIVE, TE\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.close, "header name and tokens are case-insensitive");
+    }
+
+    #[test]
+    fn explicit_close_wins_over_keep_alive() {
+        let req = parse_raw(b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.close, "close is the safe reading of a contradictory list");
     }
 
     #[test]

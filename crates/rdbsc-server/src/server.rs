@@ -21,10 +21,15 @@ use crate::error::ServerError;
 use crate::http::{read_request, write_response, Method, Request, Response};
 use crate::json::{parse, Json};
 use crate::metrics::ServerMetrics;
+use rdbsc_cluster::RegionPartitioner;
 use rdbsc_geo::{Point, Rect};
+use rdbsc_index::geometry::GridGeometry;
 use rdbsc_index::{DynSpatialIndex, IndexBackend};
 use rdbsc_model::{TaskId, WorkerId};
-use rdbsc_platform::{AssignmentEngine, EngineConfig, EngineEvent, EngineHandle};
+use rdbsc_platform::{
+    merge_snapshots, AssignmentEngine, EngineConfig, EngineEvent, EngineHandle,
+    PartitionedEngine,
+};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,6 +81,12 @@ pub struct ServerConfig {
     /// byte-identical across backends, so this only changes the cost
     /// profile.
     pub backend: IndexBackend,
+    /// Number of spatial partitions to serve. `1` (the default) runs the
+    /// classic single engine; `N > 1` runs one engine per region on its own
+    /// thread behind the partitioned router (uniform grid-cell-aligned
+    /// regions — the server has no workload sample at boot), with events
+    /// routed by location and workers handed off across region boundaries.
+    pub partitions: usize,
     /// The engine configuration (seed, β, parallelism, auto-expire).
     pub engine: EngineConfig,
 }
@@ -95,6 +106,7 @@ impl Default for ServerConfig {
             area: Rect::unit(),
             cell_size: 0.1,
             backend: IndexBackend::FlatGrid,
+            partitions: 1,
             engine: EngineConfig::default(),
         }
     }
@@ -110,6 +122,28 @@ impl ServerConfig {
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
+    }
+
+    /// Builds the engine handle this configuration describes: a single
+    /// engine over the whole area, or — with
+    /// [`partitions`](Self::partitions) `> 1` — one engine per uniform
+    /// grid-cell-aligned region behind the partitioned router. Exposed so
+    /// embedders (the load generator's offline verification replica, tests)
+    /// can construct the byte-identical engine the server would serve.
+    pub fn build_handle(&self) -> EngineHandle<DynSpatialIndex> {
+        if self.partitions <= 1 {
+            return EngineHandle::new(AssignmentEngine::new(
+                self.backend.build(self.area, self.cell_size),
+                self.engine.clone(),
+            ));
+        }
+        let geometry = GridGeometry::new(self.area, self.cell_size);
+        let partition =
+            RegionPartitioner::uniform().split(geometry, self.partitions, &[]);
+        let engine = PartitionedEngine::build(partition, self.engine.clone(), |rect| {
+            self.backend.build(rect, self.cell_size)
+        });
+        EngineHandle::new_partitioned(engine)
     }
 }
 
@@ -229,14 +263,11 @@ fn trigger_shutdown(shared: &Shared) {
 }
 
 impl Server {
-    /// Builds a fresh engine from the config (on the configured index
-    /// backend) and starts serving on `config.addr`.
+    /// Builds a fresh engine from the config — single or partitioned, on
+    /// the configured index backend — and starts serving on `config.addr`.
     pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
-        let engine = AssignmentEngine::new(
-            config.backend.build(config.area, config.cell_size),
-            config.engine.clone(),
-        );
-        Self::start_with_handle(config, EngineHandle::new(engine))
+        let handle = config.build_handle();
+        Self::start_with_handle(config, handle)
     }
 
     /// Starts serving an existing engine handle (tests and embedded use).
@@ -509,10 +540,41 @@ fn route(request: &Request, shared: &Shared) -> Result<Response, ServerError> {
         (Method::Get, "/metrics") => {
             let mut body = shared.metrics.to_json();
             if let Json::Obj(map) = &mut body {
+                // One snapshot pass feeds both the merged "engine" view and
+                // the per-partition breakdown, so the two always reconcile
+                // (separate handle queries could interleave with a tick).
+                let snapshots = shared.handle.partition_snapshots();
+                let merged = if snapshots.len() > 1 {
+                    merge_snapshots(&snapshots)
+                } else {
+                    snapshots[0].clone()
+                };
                 map.insert(
                     "engine".to_string(),
-                    SnapshotDto::from_snapshot(&shared.handle.snapshot()).to_json(),
+                    SnapshotDto::from_snapshot(&merged).to_json(),
                 );
+                map.insert(
+                    "partitions_count".to_string(),
+                    Json::Num(snapshots.len() as f64),
+                );
+                if snapshots.len() > 1 {
+                    map.insert(
+                        "handoffs".to_string(),
+                        Json::Num(shared.handle.handoffs() as f64),
+                    );
+                    let partitions = snapshots
+                        .iter()
+                        .enumerate()
+                        .map(|(i, snapshot)| {
+                            let mut entry = SnapshotDto::from_snapshot(snapshot).to_json();
+                            if let Json::Obj(fields) = &mut entry {
+                                fields.insert("partition".to_string(), Json::Num(i as f64));
+                            }
+                            entry
+                        })
+                        .collect();
+                    map.insert("partitions".to_string(), Json::Arr(partitions));
+                }
             }
             Ok(Response::json(200, body.to_string_compact()))
         }

@@ -133,6 +133,106 @@ fn server_matches_offline_engine_on_the_same_event_stream() {
 }
 
 #[test]
+fn partitioned_server_matches_its_offline_replica() {
+    // Two partitions over the unit square (uniform split: left/right
+    // halves); the scenario's two clusters land one per partition. The
+    // offline replica is the byte-identical partitioned engine the server
+    // config describes, but on the classic grid backend — so this exercises
+    // the router determinism AND the cross-backend contract over the wire.
+    let config = ServerConfig {
+        partitions: 2,
+        ..manual_tick_config()
+    };
+    let mut offline_config = config.clone();
+    offline_config.backend = rdbsc_index::IndexBackend::Grid;
+    let server = Server::start(config).expect("server must start");
+    let mut client = HttpClient::new(server.addr());
+
+    let (tasks, workers) = scenario();
+    for t in &tasks {
+        assert_eq!(client.post("/tasks", &t.to_json()).unwrap().status, 202);
+    }
+    for w in &workers {
+        assert_eq!(client.post("/workers", &w.to_json()).unwrap().status, 202);
+    }
+    // A worker wanders across the partition boundary before the first tick.
+    let crossing = Json::obj([
+        ("id", Json::Num(0.0)),
+        ("x", Json::Num(0.85)),
+        ("y", Json::Num(0.85)),
+    ]);
+    assert_eq!(
+        client.post("/workers/heartbeat", &crossing).unwrap().status,
+        202
+    );
+
+    client
+        .post("/tick", &Json::obj([("now", Json::Num(0.0))]))
+        .unwrap();
+    let online: Vec<AssignmentDto> = client
+        .get("/assignments")
+        .unwrap()
+        .json()
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| AssignmentDto::from_json(v).unwrap())
+        .collect();
+    assert!(!online.is_empty(), "the scenario must produce assignments");
+
+    let offline_handle = offline_config.build_handle();
+    for t in &tasks {
+        offline_handle.submit(EngineEvent::TaskArrived(t.clone().into_task().unwrap()));
+    }
+    for w in &workers {
+        offline_handle.submit(EngineEvent::WorkerCheckIn(
+            w.clone().into_worker().unwrap(),
+        ));
+    }
+    offline_handle.submit(EngineEvent::WorkerMoved(
+        rdbsc_model::WorkerId(0),
+        rdbsc_geo::Point::new(0.85, 0.85),
+    ));
+    offline_handle.tick(0.0);
+    let offline: Vec<AssignmentDto> = offline_handle
+        .assignments()
+        .iter()
+        .map(AssignmentDto::from_pair)
+        .collect();
+    assert_eq!(online, offline, "partitioned serving must match its replica");
+
+    // The merged snapshot covers both partitions; /metrics breaks them out.
+    let snapshot =
+        SnapshotDto::from_json(&client.get("/snapshot").unwrap().json().unwrap()).unwrap();
+    assert_eq!(snapshot.live_tasks as usize, tasks.len());
+    assert_eq!(snapshot.live_workers as usize, workers.len());
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    assert_eq!(
+        metrics.get("partitions_count").unwrap().as_num(),
+        Some(2.0)
+    );
+    let partitions = metrics.get("partitions").unwrap().as_arr().unwrap();
+    assert_eq!(partitions.len(), 2);
+    let live_per_partition: Vec<f64> = partitions
+        .iter()
+        .map(|p| p.get("live_tasks").unwrap().as_num().unwrap())
+        .collect();
+    assert_eq!(live_per_partition.iter().sum::<f64>() as usize, tasks.len());
+    assert!(
+        live_per_partition.iter().all(|&n| n > 0.0),
+        "both partitions must hold part of the workload: {live_per_partition:?}"
+    );
+    assert!(metrics.get("handoffs").unwrap().as_num().is_some());
+    for (i, p) in partitions.iter().enumerate() {
+        assert_eq!(p.get("partition").unwrap().as_num(), Some(i as f64));
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn auto_flush_assigns_without_explicit_ticks() {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
