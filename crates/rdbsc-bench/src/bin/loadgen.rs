@@ -32,7 +32,7 @@ use rand::{Rng, SeedableRng};
 use rdbsc_platform::EngineEvent;
 use rdbsc_server::dto::{AssignmentDto, SnapshotDto, TaskDto, WorkerDto};
 use rdbsc_server::json::Json;
-use rdbsc_server::{HttpClient, Server, ServerConfig};
+use rdbsc_server::{HttpClient, PartitionDaemon, PartitiondConfig, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -46,6 +46,7 @@ struct Args {
     workers: u32,
     seed: u64,
     partitions: usize,
+    remote_partitions: usize,
     verify: bool,
     min_rps: f64,
     json_path: Option<String>,
@@ -55,16 +56,20 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--spawn | --addr HOST:PORT] [--duration SECS]\n\
          \x20              [--warmup SECS] [--connections N] [--workers N]\n\
-         \x20              [--seed N] [--partitions N] [--verify]\n\
-         \x20              [--min-rps N] [--json FILE]\n\
+         \x20              [--seed N] [--partitions N] [--remote-partitions N]\n\
+         \x20              [--verify] [--min-rps N] [--json FILE]\n\
          \n\
          --spawn (default) boots the server in-process on an ephemeral\n\
          loopback port; --verify adds the deterministic offline-equivalence\n\
          phase (spawn mode only). --partitions boots the spawned server as\n\
          a region-partitioned multi-engine (verify then replays against an\n\
-         identically partitioned offline replica). --warmup runs the closed\n\
-         loop that long before the recorded window starts, so boot and\n\
-         first-connection costs stay out of the latency histogram."
+         identically partitioned offline replica). --remote-partitions K\n\
+         additionally boots K rdbsc-partitiond daemons on loopback and\n\
+         serves the first K regions through them over the partition\n\
+         protocol — a mixed local/remote topology whose verify phase proves\n\
+         the determinism contract holds across the wire. --warmup runs the\n\
+         closed loop that long before the recorded window starts, so boot\n\
+         and first-connection costs stay out of the latency histogram."
     );
     std::process::exit(2);
 }
@@ -78,6 +83,7 @@ fn parse_args() -> Args {
         workers: 120,
         seed: 7,
         partitions: 1,
+        remote_partitions: 0,
         verify: false,
         min_rps: 0.0,
         json_path: None,
@@ -92,7 +98,7 @@ fn parse_args() -> Args {
             "--spawn" => args.addr = None,
             "--verify" => args.verify = true,
             "--addr" | "--duration" | "--warmup" | "--connections" | "--workers" | "--seed"
-            | "--partitions" | "--min-rps" | "--json" => {
+            | "--partitions" | "--remote-partitions" | "--min-rps" | "--json" => {
                 let Some(value) = argv.get(i) else {
                     eprintln!("{flag} requires a value");
                     usage();
@@ -118,6 +124,10 @@ fn parse_args() -> Args {
                         if args.partitions == 0 {
                             bad(value);
                         }
+                    }
+                    "--remote-partitions" => {
+                        args.remote_partitions =
+                            value.parse().unwrap_or_else(|_| bad(value));
                     }
                     "--min-rps" => args.min_rps = value.parse().unwrap_or_else(|_| bad(value)),
                     "--json" => args.json_path = Some(value.clone()),
@@ -173,23 +183,43 @@ fn task_dto(rng: &mut StdRng, id: u32, start: f64) -> TaskDto {
     }
 }
 
+/// Boots `n` partition daemons on ephemeral loopback ports.
+fn spawn_daemons(n: usize) -> Result<(Vec<PartitionDaemon>, Vec<String>), String> {
+    let mut daemons = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let daemon = PartitionDaemon::start(PartitiondConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..PartitiondConfig::default()
+        })
+        .map_err(|e| format!("daemon start: {e}"))?;
+        addrs.push(daemon.addr().to_string());
+        daemons.push(daemon);
+    }
+    Ok((daemons, addrs))
+}
+
 /// Phase 1: deterministic serving vs the offline engine, same event stream.
-fn run_verify(seed: u64, partitions: usize) -> Result<usize, String> {
+fn run_verify(seed: u64, partitions: usize, remote_partitions: usize) -> Result<usize, String> {
+    let (daemons, remote_addrs) = spawn_daemons(remote_partitions)?;
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
         flush_interval: Duration::ZERO, // manual tick: we control time
         partitions,
+        remote_partitions: remote_addrs,
         ..ServerConfig::default()
     };
     // The offline replica is the identically partitioned engine the server
-    // config describes, but deliberately on the *classic grid* backend while
-    // the spawned server serves on its default flat backend — so this
-    // equivalence check also exercises the spatial-index layer's
-    // cross-backend determinism contract (and, with --partitions > 1, the
-    // partition router's determinism on top of it).
+    // config describes, but deliberately all-in-process and on the *classic
+    // grid* backend while the spawned server serves on its default flat
+    // backend (and, with --remote-partitions, over the wire) — so this
+    // equivalence check exercises the spatial-index layer's cross-backend
+    // determinism contract, the partition router's determinism on top of
+    // it, and the partition protocol's wire fidelity all at once.
     let mut offline_config = config.clone();
     offline_config.backend = rdbsc_index::IndexBackend::Grid;
+    offline_config.remote_partitions = Vec::new();
     let server = Server::start(config).map_err(|e| format!("server start: {e}"))?;
     let mut client = HttpClient::new(server.addr());
 
@@ -226,7 +256,9 @@ fn run_verify(seed: u64, partitions: usize) -> Result<usize, String> {
         .collect::<Result<_, _>>()?;
 
     // The identical stream, straight into the offline replica.
-    let offline_handle = offline_config.build_handle();
+    let offline_handle = offline_config
+        .build_handle()
+        .map_err(|e| format!("offline replica: {e}"))?;
     for t in &tasks {
         offline_handle.submit(EngineEvent::TaskArrived(
             t.clone().into_task().map_err(|e| e.to_string())?,
@@ -245,7 +277,10 @@ fn run_verify(seed: u64, partitions: usize) -> Result<usize, String> {
         .collect();
 
     server.shutdown();
-    server.join();
+    server.join(); // tears the remote daemons down too (graceful drain)
+    for daemon in daemons {
+        daemon.join();
+    }
 
     if online.is_empty() {
         return Err("verification scenario produced no assignments".into());
@@ -486,10 +521,19 @@ fn main() {
 
     // ---- Phase 1: deterministic offline equivalence --------------------
     let mut verified_assignments = 0usize;
-    if args.addr.is_some() && args.partitions > 1 {
-        // The flag only shapes servers this process boots; silently
-        // recording it against an external server would mislabel the report.
-        eprintln!("--partitions needs --spawn (an external server's partition count is its own)");
+    if args.addr.is_some() && (args.partitions > 1 || args.remote_partitions > 0) {
+        // The flags only shape servers this process boots; silently
+        // recording them against an external server would mislabel the report.
+        eprintln!(
+            "--partitions/--remote-partitions need --spawn (an external server's topology is its own)"
+        );
+        std::process::exit(2);
+    }
+    if args.remote_partitions > args.partitions {
+        eprintln!(
+            "--remote-partitions {} exceeds --partitions {}",
+            args.remote_partitions, args.partitions
+        );
         std::process::exit(2);
     }
     if args.verify {
@@ -497,14 +541,15 @@ fn main() {
             eprintln!("--verify needs --spawn (it controls the server's ticks)");
             std::process::exit(2);
         }
-        match run_verify(args.seed, args.partitions) {
+        match run_verify(args.seed, args.partitions, args.remote_partitions) {
             Ok(n) => {
                 verified_assignments = n;
                 println!(
                     "verify : PASS — {n} served assignments identical to the offline engine \
-                     ({} partition{})",
+                     ({} partition{}, {} remote)",
                     args.partitions,
-                    if args.partitions == 1 { "" } else { "s" }
+                    if args.partitions == 1 { "" } else { "s" },
+                    args.remote_partitions,
                 );
             }
             Err(e) => {
@@ -516,6 +561,13 @@ fn main() {
 
     // ---- Phase 2: the closed loop --------------------------------------
     let spawned = if args.addr.is_none() {
+        let (daemons, remote_addrs) = match spawn_daemons(args.remote_partitions) {
+            Ok(spawned) => spawned,
+            Err(e) => {
+                eprintln!("failed to spawn partition daemons: {e}");
+                std::process::exit(1);
+            }
+        };
         let config = ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             // Every closed-loop client deserves a dedicated worker thread;
@@ -523,6 +575,7 @@ fn main() {
             threads: args.connections + 2,
             flush_interval: Duration::from_millis(25),
             partitions: args.partitions,
+            remote_partitions: remote_addrs,
             engine: rdbsc_platform::EngineConfig {
                 seed: args.seed,
                 ..rdbsc_platform::EngineConfig::default()
@@ -530,7 +583,7 @@ fn main() {
             ..ServerConfig::default()
         };
         match Server::start(config) {
-            Ok(server) => Some(server),
+            Ok(server) => Some((server, daemons)),
             Err(e) => {
                 eprintln!("failed to spawn server: {e}");
                 std::process::exit(1);
@@ -540,7 +593,7 @@ fn main() {
         None
     };
     let addr: SocketAddr = match &spawned {
-        Some(server) => server.addr(),
+        Some((server, _)) => server.addr(),
         None => {
             let text = args.addr.clone().expect("addr or spawn");
             match text.parse() {
@@ -569,9 +622,12 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if let Some(server) = spawned {
+    if let Some((server, daemons)) = spawned {
         server.shutdown();
-        server.join();
+        server.join(); // drains + stops any remote partition daemons
+        for daemon in daemons {
+            daemon.join();
+        }
     }
 
     let mut latencies = outcome.stats.latencies_us.clone();
@@ -641,6 +697,10 @@ fn main() {
             ("connections", Json::Num(args.connections as f64)),
             ("workers", Json::Num(args.workers as f64)),
             ("partitions", Json::Num(args.partitions as f64)),
+            (
+                "remote_partitions",
+                Json::Num(args.remote_partitions as f64),
+            ),
             ("requests", Json::Num(requests)),
             ("rps", Json::Num(rps)),
             ("latency_p50_ms", Json::Num(p50_ms)),

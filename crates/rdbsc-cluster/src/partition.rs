@@ -103,9 +103,72 @@ impl RegionPartition {
         }
     }
 
+    /// Rebuilds a partition from its parts — the deserialization half of the
+    /// routing table a router ships to `rdbsc-partitiond` daemons, so both
+    /// sides agree on the region geometry down to the cell. Validates what
+    /// [`RegionPartitioner::split`] guarantees by construction:
+    ///
+    /// * every range is non-empty and within the grid,
+    /// * the ranges tile the grid **exactly** (disjoint, complete cover),
+    /// * the ranges arrive in canonical `(row0, col0)` order — region order
+    ///   IS the partition index mapping, so a reordered table would silently
+    ///   route events to the wrong engines if it were accepted.
+    pub fn from_regions(
+        geometry: GridGeometry,
+        regions: Vec<CellRange>,
+    ) -> Result<Self, String> {
+        if regions.is_empty() {
+            return Err("a routing table needs at least one region".into());
+        }
+        let per_axis = geometry.cells_per_axis();
+        let mut covered = vec![false; geometry.num_cells()];
+        for (i, r) in regions.iter().enumerate() {
+            if r.col0 >= r.col1 || r.row0 >= r.row1 {
+                return Err(format!("region {i} is empty or inverted: {r:?}"));
+            }
+            if r.col1 > per_axis || r.row1 > per_axis {
+                return Err(format!(
+                    "region {i} exceeds the {per_axis}x{per_axis} grid: {r:?}"
+                ));
+            }
+            for row in r.row0..r.row1 {
+                for col in r.col0..r.col1 {
+                    let cell = &mut covered[row * per_axis + col];
+                    if *cell {
+                        return Err(format!(
+                            "region {i} overlaps an earlier region at cell ({col}, {row})"
+                        ));
+                    }
+                    *cell = true;
+                }
+            }
+        }
+        if !covered.iter().all(|c| *c) {
+            return Err("regions do not cover the whole grid".into());
+        }
+        if !regions.windows(2).all(|w| {
+            (w[0].row0, w[0].col0) < (w[1].row0, w[1].col0)
+        }) {
+            return Err(
+                "regions are not in canonical (row, col) order — the region \
+                 order is the partition index mapping and must match the \
+                 router's"
+                    .into(),
+            );
+        }
+        Ok(Self { geometry, regions })
+    }
+
     /// Number of regions.
     pub fn num_regions(&self) -> usize {
         self.regions.len()
+    }
+
+    /// The cell ranges of every region, in partition order — the
+    /// serialization half of the routing table (see
+    /// [`RegionPartition::from_regions`]).
+    pub fn regions(&self) -> &[CellRange] {
+        &self.regions
     }
 
     /// The grid geometry the regions are aligned to.
@@ -487,5 +550,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn routing_tables_round_trip_through_their_parts() {
+        for n in [1, 2, 3, 4, 7] {
+            let partition = RegionPartitioner::uniform().split(geometry(), n, &[]);
+            let rebuilt = RegionPartition::from_regions(
+                *partition.geometry(),
+                partition.regions().to_vec(),
+            )
+            .expect("a split's own regions must validate");
+            assert_eq!(rebuilt, partition, "{n} regions");
+        }
+    }
+
+    #[test]
+    fn from_regions_rejects_malformed_tables() {
+        let g = geometry();
+        let full = |col0, row0, col1, row1| CellRange { col0, row0, col1, row1 };
+        // Empty table.
+        assert!(RegionPartition::from_regions(g, vec![]).is_err());
+        // Inverted region.
+        assert!(RegionPartition::from_regions(g, vec![full(5, 0, 5, 10)]).is_err());
+        // Out of the grid.
+        assert!(RegionPartition::from_regions(g, vec![full(0, 0, 11, 10)]).is_err());
+        // Incomplete cover.
+        assert!(
+            RegionPartition::from_regions(g, vec![full(0, 0, 5, 10)]).is_err(),
+            "half the grid uncovered"
+        );
+        // Overlap.
+        assert!(RegionPartition::from_regions(
+            g,
+            vec![full(0, 0, 6, 10), full(5, 0, 10, 10)]
+        )
+        .is_err());
+        // Non-canonical order: the index mapping would silently differ.
+        assert!(RegionPartition::from_regions(
+            g,
+            vec![full(5, 0, 10, 10), full(0, 0, 5, 10)]
+        )
+        .is_err());
+        // The canonical version of the same split is fine.
+        assert!(RegionPartition::from_regions(
+            g,
+            vec![full(0, 0, 5, 10), full(5, 0, 10, 10)]
+        )
+        .is_ok());
     }
 }

@@ -37,6 +37,23 @@ impl GridGeometry {
         }
     }
 
+    /// Lays a grid with an explicit axis count (clamped to `[1, 1024]`),
+    /// computing the effective `η` exactly as [`GridGeometry::new`] does
+    /// after its own clamp. This is the **wire-safe** constructor: a routing
+    /// table shipping the integer axis count reconstructs the identical
+    /// geometry on the far side, whereas re-deriving the count from the
+    /// float `η` (`ceil(extent / η)`) can land one ulp above the integer
+    /// and produce an off-by-one grid.
+    pub fn with_cells_per_axis(space: Rect, cells_per_axis: usize) -> Self {
+        let extent = space.width().max(space.height()).max(1e-9);
+        let cells_per_axis = cells_per_axis.clamp(1, 1024);
+        Self {
+            space,
+            eta: extent / cells_per_axis as f64,
+            cells_per_axis,
+        }
+    }
+
     /// The data space the grid covers.
     pub fn space(&self) -> Rect {
         self.space
@@ -100,6 +117,25 @@ mod tests {
             );
             assert_eq!(g.cell_of(centre), idx);
         }
+    }
+
+    #[test]
+    fn explicit_axis_count_reconstructs_any_geometry_exactly() {
+        // The float-eta round trip is NOT idempotent for every axis count
+        // (ceil(extent / (extent / n)) can exceed n by one ulp's worth);
+        // the integer round trip must be, for all of them.
+        for n in 1..=1024usize {
+            let original = GridGeometry::with_cells_per_axis(Rect::unit(), n);
+            assert_eq!(original.cells_per_axis(), n);
+            let rebuilt =
+                GridGeometry::with_cells_per_axis(original.space(), original.cells_per_axis());
+            assert_eq!(rebuilt, original, "axis count {n}");
+        }
+        // And it matches what new() produces for the same effective count.
+        let via_eta = GridGeometry::new(Rect::unit(), 0.25);
+        let via_count =
+            GridGeometry::with_cells_per_axis(Rect::unit(), via_eta.cells_per_axis());
+        assert_eq!(via_count, via_eta);
     }
 
     #[test]

@@ -562,12 +562,21 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         // Overlay the (small) en-route set on the banked answers without
         // cloning the whole banked map: only tasks with an en-route worker
         // need a merged contribution vector.
+        // Built in ascending worker order (not HashMap order) so each
+        // task's contribution vector — and therefore the float fold inside
+        // expected_std — is identical on every engine with the same state.
+        let mut committed: Vec<(WorkerId, (TaskId, Contribution))> = self
+            .committed
+            .iter()
+            .map(|(w, tc)| (*w, *tc))
+            .collect();
+        committed.sort_unstable_by_key(|(worker, _)| *worker);
         let mut en_route: HashMap<TaskId, Vec<Contribution>> = HashMap::new();
-        for (worker_task, contribution) in self.committed.values() {
+        for (_, (worker_task, contribution)) in committed {
             en_route
-                .entry(*worker_task)
+                .entry(worker_task)
                 .or_default()
-                .push(*contribution);
+                .push(contribution);
         }
 
         let mut min_reliability = f64::INFINITY;
@@ -594,7 +603,14 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
                 task.effective_beta(self.config.beta),
             );
         };
-        for (task_id, banked) in &self.banked {
+        // Fold in ascending task order: float addition is not associative,
+        // so a HashMap-order fold would make total_std differ in the last
+        // ulp between identically-stated engines — breaking the protocol's
+        // byte-identical snapshot contract across processes.
+        let mut banked_ids: Vec<TaskId> = self.banked.keys().copied().collect();
+        banked_ids.sort_unstable();
+        for task_id in &banked_ids {
+            let banked = &self.banked[task_id];
             match en_route.remove(task_id) {
                 Some(extra) => {
                     merged.clear();
@@ -605,8 +621,10 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
                 None => score(task_id, banked),
             }
         }
-        for (task_id, extra) in &en_route {
-            score(task_id, extra);
+        let mut en_route_ids: Vec<TaskId> = en_route.keys().copied().collect();
+        en_route_ids.sort_unstable();
+        for task_id in &en_route_ids {
+            score(task_id, &en_route[task_id]);
         }
 
         if min_reliability == f64::INFINITY {

@@ -102,7 +102,7 @@ impl<I: SpatialIndex> Core<I> {
         }
     }
 
-    fn is_active(&self) -> bool {
+    fn is_active(&mut self) -> bool {
         match self {
             Core::Single(engine) => {
                 engine.num_pending_events() > 0 || engine.num_tasks() > 0
@@ -132,7 +132,7 @@ impl<I: SpatialIndex> Core<I> {
         }
     }
 
-    fn committed_assignments(&self) -> Vec<ValidPair> {
+    fn committed_assignments(&mut self) -> Vec<ValidPair> {
         match self {
             Core::Single(engine) => engine.committed_assignments(),
             Core::Partitioned(engine) => engine.committed_assignments(),
@@ -343,8 +343,9 @@ impl<I: SpatialIndex> EngineHandle<I> {
     /// Query: a consistent snapshot of the serving state (the merged
     /// platform-wide view when partitioned).
     pub fn snapshot(&self) -> EngineSnapshot {
-        let shared = self.lock();
-        match &shared.core {
+        let mut shared = self.lock();
+        let shared = &mut *shared;
+        match &mut shared.core {
             Core::Single(engine) => EngineSnapshot::capture(
                 engine,
                 shared.last_now,
@@ -368,8 +369,8 @@ impl<I: SpatialIndex> EngineHandle<I> {
     /// engine reports itself as its only partition).
     pub fn partition_snapshots(&self) -> Vec<EngineSnapshot> {
         {
-            let shared = self.lock();
-            if let Core::Partitioned(engine) = &shared.core {
+            let mut shared = self.lock();
+            if let Core::Partitioned(engine) = &mut shared.core {
                 return engine.partition_snapshots();
             }
         } // release the lock before snapshot() re-takes it
@@ -382,6 +383,30 @@ impl<I: SpatialIndex> EngineHandle<I> {
         match &self.lock().core {
             Core::Single(_) => 0,
             Core::Partitioned(engine) => engine.handoffs(),
+        }
+    }
+
+    /// Query: each partition's transport identity (backend kind, endpoint)
+    /// plus its protocol counters — empty on a single engine, which has no
+    /// partition protocol in the path.
+    pub fn partition_transports(&self) -> Vec<crate::partition::PartitionTransport> {
+        match &self.lock().core {
+            Core::Single(_) => Vec::new(),
+            Core::Partitioned(engine) => engine.transport_stats(),
+        }
+    }
+
+    /// Gracefully shuts down a partitioned core: ships buffered routed
+    /// events, runs one final drain tick (so nothing queued is dropped and
+    /// deferred handoffs resolve), then drains and stops every partition —
+    /// including remote daemons, which exit on their shutdown command.
+    /// Returns the final merged snapshot, or `None` on a single-engine
+    /// handle (whose engine needs no teardown). Commands issued after this
+    /// panic; it is the last call on a serving topology.
+    pub fn shutdown_partitions(&self) -> Option<EngineSnapshot> {
+        match &mut self.lock().core {
+            Core::Single(_) => None,
+            Core::Partitioned(engine) => Some(engine.shutdown()),
         }
     }
 

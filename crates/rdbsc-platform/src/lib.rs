@@ -18,12 +18,16 @@
 //! instance into independent spatial shards and solves them concurrently
 //! with a cost-model-driven per-shard strategy choice (see the module docs
 //! for the architecture). The [`partition`] module scales *across* engines:
-//! a [`PartitionedEngine`] runs one assignment engine per spatial region on
-//! its own thread, routes events by location and hands workers off across
-//! region boundaries. The [`handle`] module wraps either form in a
-//! thread-safe [`EngineHandle`] command API so network servers (see the
-//! `rdbsc-server` crate) and other multi-threaded drivers can share one
-//! live instance.
+//! a [`PartitionedEngine`] runs one assignment engine per spatial region,
+//! routes events by location and hands workers off across region
+//! boundaries. The [`protocol`] module defines the **partition command
+//! protocol** the router speaks — an object-safe [`PartitionClient`] trait
+//! whose backends host a partition's engine on a local thread
+//! ([`protocol::InProcessClient`]) or, via `rdbsc-server`'s HTTP backend
+//! and the `rdbsc-partitiond` daemon, in another process or on another
+//! host. The [`handle`] module wraps either form in a thread-safe
+//! [`EngineHandle`] command API so network servers (see the `rdbsc-server`
+//! crate) and other multi-threaded drivers can share one live instance.
 
 #![deny(missing_docs)]
 
@@ -33,7 +37,9 @@ pub mod engine;
 pub mod handle;
 pub mod par;
 pub mod partition;
+pub mod protocol;
 pub mod sim;
+pub mod stats;
 
 pub use accuracy::{answer_accuracy, answer_error, AnswerRecord};
 pub use coverage::{angular_coverage, temporal_coverage, CoverageReport};
@@ -41,5 +47,10 @@ pub use engine::{
     AdaptiveBatchSolver, AssignmentEngine, EngineConfig, EngineEvent, EngineObjective, TickReport,
 };
 pub use handle::{EngineHandle, EngineSnapshot};
-pub use partition::{merge_snapshots, PartitionedEngine};
+pub use partition::{merge_snapshots, PartitionTransport, PartitionedEngine};
+pub use protocol::{
+    EnginePartition, InProcessClient, PartitionClient, PartitionError, PartitionTick,
+    ProtocolCounters, ProtocolStats, PROTOCOL_VERSION,
+};
 pub use sim::{PlatformConfig, PlatformSim, RoundStats, SimulationReport};
+pub use stats::{Counter, LatencyHistogram};

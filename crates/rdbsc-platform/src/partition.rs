@@ -1,17 +1,22 @@
-//! Region-partitioned multi-engine serving.
+//! Region-partitioned multi-engine serving behind the partition protocol.
 //!
 //! One [`AssignmentEngine`] owns the whole data space behind one lock — fine
 //! for a single metro area, a ceiling for "heavy traffic from millions of
 //! users". [`PartitionedEngine`] removes that ceiling by running **one
-//! engine per spatial region on its own OS thread** and routing
-//! [`EngineEvent`]s by location:
+//! engine per spatial region** and routing [`EngineEvent`]s by location.
+//! Since PR 5 the router is transport-agnostic: it holds one
+//! [`PartitionClient`] per region and speaks the versioned partition
+//! protocol ([`crate::protocol`]), so a region's engine can be a thread in
+//! this process ([`InProcessClient`]) or a daemon on another host
+//! (`rdbsc-server::HttpPartitionClient` → `rdbsc-partitiond`):
 //!
 //! ```text
-//!                         ┌► partition 0 thread: AssignmentEngine over region 0
-//!   events ──► router ────┼► partition 1 thread: AssignmentEngine over region 1
-//!   (by location)         └► partition 2 thread: AssignmentEngine over region 2
-//!                              ▲ ticks broadcast, solved concurrently,
-//!                              └ reports merged in partition order
+//!                         ┌► PartitionClient 0 ─ thread: engine over region 0
+//!   events ──► router ────┼► PartitionClient 1 ─ thread: engine over region 1
+//!   (by location)         └► PartitionClient 2 ─ HTTP ──► rdbsc-partitiond
+//!                              ▲ ticks begin on every client before any
+//!                              └ reply is collected → partitions solve
+//!                                concurrently, reports merge in order
 //! ```
 //!
 //! Regions come from [`rdbsc_cluster::RegionPartitioner`]: rectangular,
@@ -44,12 +49,22 @@
 //!
 //! * With **one partition** the router degenerates to a pass-through and the
 //!   output (tick reports, assignments, snapshots) is **byte-identical** to
-//!   a plain [`AssignmentEngine`] fed the same event stream.
+//!   a plain [`AssignmentEngine`] fed the same event stream — whether the
+//!   partition is a thread or a daemon across the wire.
 //! * With **N partitions** the routed per-engine event streams depend only
 //!   on the submission order, each engine is deterministic per its own
 //!   config seed, ticks are lockstep, and merged listings are ordered by
 //!   `(partition, task, worker)` — so the output is independent of thread
-//!   scheduling.
+//!   scheduling *and* of which transport hosts each partition
+//!   (`rdbsc-bench --bin remote_scale` proves a mixed local/remote topology
+//!   byte-identical to the all-in-process one).
+//!
+//! ## Failure model
+//!
+//! The router treats a partition command failure as fatal and panics with
+//! the partition's endpoint: the partitions are one logical engine, and
+//! continuing without a region would silently serve wrong answers.
+//! Partition failover/replication is future work (see ROADMAP).
 //!
 //! Known approximation: a task re-posted at a location in a *different*
 //! partition is treated as withdraw-then-arrive (the old partition retires
@@ -58,99 +73,13 @@
 
 use crate::engine::{AssignmentEngine, EngineEvent, EngineObjective, TickReport};
 use crate::handle::EngineSnapshot;
+use crate::protocol::{InProcessClient, PartitionClient, PartitionError, ProtocolStats};
 use rdbsc_cluster::RegionPartition;
 use rdbsc_geo::Rect;
 use rdbsc_index::{MaintenanceCounters, SpatialIndex};
 use rdbsc_model::valid_pairs::ValidPair;
 use rdbsc_model::{Contribution, TaskId, Worker, WorkerId};
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::thread::JoinHandle;
-
-/// A command processed by one partition's engine thread.
-enum Command {
-    /// Queue events for the next tick.
-    Submit(Vec<EngineEvent>),
-    /// Run one engine round and reply with the report plus the engine's
-    /// post-tick committed worker set (the router's handoff oracle).
-    Tick {
-        now: f64,
-        reply: Sender<(TickReport, Vec<WorkerId>)>,
-    },
-    /// Bank an answer; replies whether the worker was en route.
-    RecordAnswer {
-        worker: WorkerId,
-        contribution: Contribution,
-        reply: Sender<bool>,
-    },
-    /// Release an en-route worker without banking.
-    Release(WorkerId),
-    /// Reply with the standing committed pairs, sorted by `(task, worker)`.
-    Assignments(Sender<Vec<ValidPair>>),
-    /// Reply with a consistent snapshot of this partition's state.
-    Snapshot(Sender<EngineSnapshot>),
-    /// Reply whether the partition has anything to do (pending events or
-    /// live tasks).
-    IsActive(Sender<bool>),
-    /// Reply whether this partition's index holds the worker (test/debug
-    /// residency probe).
-    HasWorker(WorkerId, Sender<bool>),
-    /// Exit the thread.
-    Shutdown,
-}
-
-/// The per-partition engine thread: owns one [`AssignmentEngine`] plus the
-/// same serving counters an [`crate::handle::EngineHandle`] keeps, so a
-/// partition can answer snapshot queries on its own.
-fn slot_loop<I: SpatialIndex>(mut engine: AssignmentEngine<I>, commands: Receiver<Command>) {
-    let mut last_now = 0.0f64;
-    let mut events_applied = 0u64;
-    let mut total_assignments = 0u64;
-    while let Ok(command) = commands.recv() {
-        match command {
-            Command::Submit(events) => engine.submit_all(events),
-            Command::Tick { now, reply } => {
-                let report = engine.tick(now);
-                last_now = now;
-                events_applied += report.events_applied as u64;
-                total_assignments += report.new_assignments.len() as u64;
-                let committed: Vec<WorkerId> = engine
-                    .committed_assignments()
-                    .iter()
-                    .map(|p| p.worker)
-                    .collect();
-                let _ = reply.send((report, committed));
-            }
-            Command::RecordAnswer {
-                worker,
-                contribution,
-                reply,
-            } => {
-                let _ = reply.send(engine.record_answer(worker, contribution));
-            }
-            Command::Release(worker) => engine.release_worker(worker),
-            Command::Assignments(reply) => {
-                let _ = reply.send(engine.committed_assignments());
-            }
-            Command::Snapshot(reply) => {
-                let _ = reply.send(EngineSnapshot::capture(
-                    &engine,
-                    last_now,
-                    events_applied,
-                    total_assignments,
-                ));
-            }
-            Command::IsActive(reply) => {
-                let _ =
-                    reply.send(engine.num_pending_events() > 0 || engine.num_tasks() > 0);
-            }
-            Command::HasWorker(id, reply) => {
-                let _ = reply.send(engine.index().worker(id).is_some());
-            }
-            Command::Shutdown => return,
-        }
-    }
-}
 
 /// The router's view of one known worker.
 #[derive(Debug, Clone, Copy)]
@@ -166,21 +95,34 @@ struct WorkerEntry {
     departed: bool,
 }
 
-/// N region-local [`AssignmentEngine`]s behind one location-routing façade
-/// (see the [module docs](self) for the architecture, the handoff protocol
-/// and the determinism contract).
+/// One partition's transport identity plus its protocol counters — what the
+/// router surfaces per region on `/metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionTransport {
+    /// The region index.
+    pub partition: usize,
+    /// The backend kind (`"in-process"` / `"http"`).
+    pub kind: &'static str,
+    /// The thread label or network address.
+    pub endpoint: String,
+    /// The client's protocol counters at snapshot time.
+    pub stats: ProtocolStats,
+}
+
+/// N region-local engines behind one location-routing façade, each reached
+/// through a [`PartitionClient`] (see the [module docs](self) for the
+/// architecture, the handoff protocol and the determinism contract).
 ///
 /// The API deliberately mirrors the single engine's — `submit`, `tick`,
 /// `record_answer`, `committed_assignments` — so
 /// [`crate::handle::EngineHandle`] can drive either interchangeably.
 pub struct PartitionedEngine {
     partition: RegionPartition,
-    slots: Vec<Sender<Command>>,
-    threads: Vec<JoinHandle<()>>,
+    clients: Vec<Box<dyn PartitionClient>>,
     /// Pending routed events, one buffer per partition, flushed as one
-    /// `Command::Submit` per partition at the end of every submit call —
+    /// submit command per partition at the end of every submit call —
     /// per-partition order is what determinism needs, and batching spares a
-    /// channel round-trip per event on the ingestion hot path.
+    /// protocol round trip per event on the ingestion hot path.
     outbox: Vec<Vec<EngineEvent>>,
     /// Each known worker's routing state.
     worker_home: HashMap<WorkerId, WorkerEntry>,
@@ -195,49 +137,39 @@ pub struct PartitionedEngine {
     /// to clear. Ordered so the post-tick resolution is deterministic.
     pending_handoff: BTreeSet<WorkerId>,
     handoffs: u64,
+    /// The most recent tick time (what the graceful-shutdown drain tick
+    /// runs at).
+    last_now: f64,
+    /// Set once [`Self::shutdown`] has run; commands after it are bugs.
+    shut: bool,
 }
 
 impl PartitionedEngine {
-    /// Wraps one pre-built engine per region. Panics unless
-    /// `engines.len() == partition.num_regions()`. Each engine starts its
-    /// own named OS thread immediately.
-    pub fn new<I: SpatialIndex + 'static>(
-        partition: RegionPartition,
-        engines: Vec<AssignmentEngine<I>>,
-    ) -> Self {
+    /// Wraps one protocol client per region. Panics unless
+    /// `clients.len() == partition.num_regions()`.
+    pub fn new(partition: RegionPartition, clients: Vec<Box<dyn PartitionClient>>) -> Self {
         assert_eq!(
-            engines.len(),
+            clients.len(),
             partition.num_regions(),
-            "one engine per region required"
+            "one partition client per region required"
         );
-        let mut slots = Vec::with_capacity(engines.len());
-        let mut threads = Vec::with_capacity(engines.len());
-        for (i, engine) in engines.into_iter().enumerate() {
-            let (tx, rx) = channel();
-            slots.push(tx);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("rdbsc-partition-{i}"))
-                    .spawn(move || slot_loop(engine, rx))
-                    .expect("spawn partition thread"),
-            );
-        }
-        let outbox = (0..slots.len()).map(|_| Vec::new()).collect();
+        let outbox = (0..clients.len()).map(|_| Vec::new()).collect();
         Self {
             partition,
-            slots,
-            threads,
+            clients,
             outbox,
             worker_home: HashMap::new(),
             task_home: HashMap::new(),
             committed: HashSet::new(),
             pending_handoff: BTreeSet::new(),
             handoffs: 0,
+            last_now: 0.0,
+            shut: false,
         }
     }
 
-    /// Builds one engine per region with `make_index` supplying each
-    /// region's spatial index (over the region rectangle) and a shared
+    /// Builds one in-process engine per region with `make_index` supplying
+    /// each region's spatial index (over the region rectangle) and a shared
     /// engine configuration — every partition runs the same config,
     /// including the seed, which is what makes the single-partition case
     /// byte-identical to a plain engine.
@@ -250,15 +182,19 @@ impl PartitionedEngine {
         I: SpatialIndex + 'static,
         F: FnMut(Rect) -> I,
     {
-        let engines = (0..partition.num_regions())
-            .map(|i| AssignmentEngine::new(make_index(partition.region_rect(i)), config.clone()))
+        let clients = (0..partition.num_regions())
+            .map(|i| {
+                let engine =
+                    AssignmentEngine::new(make_index(partition.region_rect(i)), config.clone());
+                Box::new(InProcessClient::spawn(i, engine)) as Box<dyn PartitionClient>
+            })
             .collect();
-        Self::new(partition, engines)
+        Self::new(partition, clients)
     }
 
-    /// Number of partitions (= engine threads).
+    /// Number of partitions (= protocol clients).
     pub fn num_partitions(&self) -> usize {
-        self.slots.len()
+        self.clients.len()
     }
 
     /// The region rectangles, in partition order.
@@ -278,26 +214,55 @@ impl PartitionedEngine {
         self.handoffs
     }
 
+    /// Each partition's transport identity and protocol counters, in
+    /// partition order.
+    pub fn transport_stats(&self) -> Vec<PartitionTransport> {
+        self.clients
+            .iter()
+            .enumerate()
+            .map(|(i, client)| PartitionTransport {
+                partition: i,
+                kind: client.kind(),
+                endpoint: client.endpoint(),
+                stats: client.counters().stats(),
+            })
+            .collect()
+    }
+
+    /// A partition command failed: the topology has lost a region, and the
+    /// router cannot serve correct answers without it.
+    fn protocol_failure(&self, slot: usize, error: PartitionError) -> ! {
+        panic!(
+            "partition {slot} ({}) failed: {error}",
+            self.clients[slot].endpoint()
+        );
+    }
+
     /// Buffers a routed event for `slot`; [`Self::flush_outbox`] ships it.
     fn send(&mut self, slot: usize, event: EngineEvent) {
         self.outbox[slot].push(event);
     }
 
-    /// Ships every buffered event, one `Submit` command per partition.
+    /// Ships every buffered event, one split-phase submit per partition:
+    /// all dispatches go out before any completion is awaited, so remote
+    /// partitions ingest concurrently.
     fn flush_outbox(&mut self) {
-        for (slot, buffer) in self.outbox.iter_mut().enumerate() {
-            if !buffer.is_empty() {
-                self.slots[slot]
-                    .send(Command::Submit(std::mem::take(buffer)))
-                    .expect("partition thread alive");
+        let mut inflight = Vec::new();
+        for slot in 0..self.outbox.len() {
+            if self.outbox[slot].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.outbox[slot]);
+            if let Err(e) = self.clients[slot].begin_submit(batch) {
+                self.protocol_failure(slot, e);
+            }
+            inflight.push(slot);
+        }
+        for slot in inflight {
+            if let Err(e) = self.clients[slot].finish_submit() {
+                self.protocol_failure(slot, e);
             }
         }
-    }
-
-    fn send_command(&self, slot: usize, command: Command) {
-        self.slots[slot]
-            .send(command)
-            .expect("partition thread alive");
     }
 
     /// Detaches `id` from `from` and re-registers `record` with the
@@ -465,24 +430,24 @@ impl PartitionedEngine {
     }
 
     /// Runs one lockstep engine round at time `now` on **every** partition
-    /// concurrently, merges the per-partition reports in partition order,
-    /// refreshes the router's committed-worker view and resolves any
+    /// concurrently (tick commands are dispatched to all clients before any
+    /// reply is collected), merges the per-partition reports in partition
+    /// order, refreshes the router's committed-worker view and resolves any
     /// deferred handoffs whose commitment has cleared.
     pub fn tick(&mut self, now: f64) -> TickReport {
-        let replies: Vec<Receiver<(TickReport, Vec<WorkerId>)>> = self
-            .slots
-            .iter()
-            .map(|slot| {
-                let (tx, rx) = channel();
-                slot.send(Command::Tick { now, reply: tx })
-                    .expect("partition thread alive");
-                rx
-            })
-            .collect();
-        let results: Vec<(TickReport, Vec<WorkerId>)> = replies
-            .into_iter()
-            .map(|rx| rx.recv().expect("partition thread alive"))
-            .collect();
+        for slot in 0..self.clients.len() {
+            if let Err(e) = self.clients[slot].begin_tick(now) {
+                self.protocol_failure(slot, e);
+            }
+        }
+        let mut results = Vec::with_capacity(self.clients.len());
+        for slot in 0..self.clients.len() {
+            match self.clients[slot].finish_tick() {
+                Ok(reply) => results.push(reply),
+                Err(e) => self.protocol_failure(slot, e),
+            }
+        }
+        self.last_now = now;
 
         self.committed.clear();
         let mut merged = TickReport {
@@ -497,7 +462,8 @@ impl PartitionedEngine {
             shard_solve_seconds: Vec::new(),
             index_maintenance: MaintenanceCounters::default(),
         };
-        for (report, committed) in results {
+        for reply in results {
+            let report = reply.report;
             merged.events_applied += report.events_applied;
             merged.tasks_expired += report.tasks_expired;
             merged.num_shards += report.num_shards;
@@ -516,7 +482,7 @@ impl PartitionedEngine {
                 report.index_maintenance.cells_repaired;
             merged.index_maintenance.tcell_rebuilds +=
                 report.index_maintenance.tcell_rebuilds;
-            self.committed.extend(committed);
+            self.committed.extend(reply.committed);
         }
 
         // Departed tombstones have served their purpose: every routed
@@ -548,19 +514,15 @@ impl PartitionedEngine {
     /// analogue of the idle check behind
     /// [`crate::handle::EngineHandle::tick_if_active`]; ticks stay lockstep,
     /// so one active partition ticks all of them.)
-    pub fn is_active(&self) -> bool {
-        let replies: Vec<Receiver<bool>> = self
-            .slots
-            .iter()
-            .map(|slot| {
-                let (tx, rx) = channel();
-                slot.send(Command::IsActive(tx)).expect("partition thread alive");
-                rx
-            })
-            .collect();
-        replies
-            .into_iter()
-            .any(|rx| rx.recv().expect("partition thread alive"))
+    pub fn is_active(&mut self) -> bool {
+        for slot in 0..self.clients.len() {
+            match self.clients[slot].is_active() {
+                Ok(true) => return true,
+                Ok(false) => {}
+                Err(e) => self.protocol_failure(slot, e),
+            }
+        }
+        false
     }
 
     /// Banks an en-route worker's answer in its partition; a now-free
@@ -571,16 +533,10 @@ impl PartitionedEngine {
         let Some(entry) = self.worker_home.get(&worker).copied() else {
             return false;
         };
-        let (tx, rx) = channel();
-        self.send_command(
-            entry.home,
-            Command::RecordAnswer {
-                worker,
-                contribution,
-                reply: tx,
-            },
-        );
-        let banked = rx.recv().expect("partition thread alive");
+        let banked = match self.clients[entry.home].record_answer(worker, contribution) {
+            Ok(banked) => banked,
+            Err(e) => self.protocol_failure(entry.home, e),
+        };
         if banked {
             self.committed.remove(&worker);
             if self.pending_handoff.remove(&worker)
@@ -599,7 +555,9 @@ impl PartitionedEngine {
         let Some(entry) = self.worker_home.get(&worker).copied() else {
             return;
         };
-        self.send_command(entry.home, Command::Release(worker));
+        if let Err(e) = self.clients[entry.home].release_worker(worker) {
+            self.protocol_failure(entry.home, e);
+        }
         self.committed.remove(&worker);
         if self.pending_handoff.remove(&worker)
             && self.partition.partition_of(entry.record.location) != entry.home
@@ -617,61 +575,82 @@ impl PartitionedEngine {
     /// The standing committed pairs across all partitions, ordered by
     /// `(partition, task, worker)` — partition-major concatenation of the
     /// per-engine sorted listings.
-    pub fn committed_assignments(&self) -> Vec<ValidPair> {
+    pub fn committed_assignments(&mut self) -> Vec<ValidPair> {
         let mut merged = Vec::new();
-        for slot in 0..self.slots.len() {
-            let (tx, rx) = channel();
-            self.send_command(slot, Command::Assignments(tx));
-            merged.extend(rx.recv().expect("partition thread alive"));
+        for slot in 0..self.clients.len() {
+            match self.clients[slot].assignments() {
+                Ok(pairs) => merged.extend(pairs),
+                Err(e) => self.protocol_failure(slot, e),
+            }
         }
         merged
     }
 
     /// One consistent snapshot per partition, in partition order.
-    pub fn partition_snapshots(&self) -> Vec<EngineSnapshot> {
-        let replies: Vec<Receiver<EngineSnapshot>> = self
-            .slots
-            .iter()
-            .map(|slot| {
-                let (tx, rx) = channel();
-                slot.send(Command::Snapshot(tx)).expect("partition thread alive");
-                rx
-            })
-            .collect();
-        replies
-            .into_iter()
-            .map(|rx| rx.recv().expect("partition thread alive"))
-            .collect()
+    pub fn partition_snapshots(&mut self) -> Vec<EngineSnapshot> {
+        let mut snapshots = Vec::with_capacity(self.clients.len());
+        for slot in 0..self.clients.len() {
+            match self.clients[slot].snapshot() {
+                Ok(snapshot) => snapshots.push(snapshot),
+                Err(e) => self.protocol_failure(slot, e),
+            }
+        }
+        snapshots
     }
 
     /// The merged serving snapshot: counters summed, objective folded
     /// (minimum reliability over covered partitions, diversity summed).
-    pub fn snapshot(&self) -> EngineSnapshot {
+    pub fn snapshot(&mut self) -> EngineSnapshot {
         merge_snapshots(&self.partition_snapshots())
     }
 
     /// The partitions whose index currently holds the worker. The handoff
     /// invariant says this has at most one element once queues are drained;
     /// the property tests assert exactly that.
-    pub fn partitions_holding(&self, id: WorkerId) -> Vec<usize> {
-        (0..self.slots.len())
-            .filter(|&slot| {
-                let (tx, rx) = channel();
-                self.send_command(slot, Command::HasWorker(id, tx));
-                rx.recv().expect("partition thread alive")
-            })
-            .collect()
+    pub fn partitions_holding(&mut self, id: WorkerId) -> Vec<usize> {
+        let mut holding = Vec::new();
+        for slot in 0..self.clients.len() {
+            match self.clients[slot].has_worker(id) {
+                Ok(true) => holding.push(slot),
+                Ok(false) => {}
+                Err(e) => self.protocol_failure(slot, e),
+            }
+        }
+        holding
     }
-}
 
-impl Drop for PartitionedEngine {
-    fn drop(&mut self) {
-        for slot in &self.slots {
-            let _ = slot.send(Command::Shutdown);
+    /// Graceful shutdown with drain ordering: ship any buffered routed
+    /// events, run one final drain tick so queued events apply and deferred
+    /// handoffs resolve, capture the final merged snapshot, then drain and
+    /// stop every partition (a daemon answers 503 to commands after its
+    /// drain, then exits on the shutdown command). Returns the final
+    /// snapshot so callers can assert nothing queued was dropped.
+    ///
+    /// # Panics
+    ///
+    /// If called twice.
+    pub fn shutdown(&mut self) -> EngineSnapshot {
+        assert!(!self.shut, "PartitionedEngine::shutdown called twice");
+        self.flush_outbox();
+        if self.is_active() {
+            // The drain tick: applies whatever the queues hold and fires
+            // any deferred handoffs whose commitment has cleared. Re-using
+            // the last tick time keeps the engines' monotone-time rule.
+            self.tick(self.last_now);
         }
-        for thread in self.threads.drain(..) {
-            let _ = thread.join();
+        let snapshot = self.snapshot();
+        for slot in 0..self.clients.len() {
+            // Best effort from here on: an already-dead partition must not
+            // stop the others from being released.
+            if let Err(e) = self.clients[slot].drain() {
+                eprintln!("partition {slot} drain failed: {e}");
+            }
+            if let Err(e) = self.clients[slot].shutdown() {
+                eprintln!("partition {slot} shutdown failed: {e}");
+            }
         }
+        self.shut = true;
+        snapshot
     }
 }
 
@@ -816,6 +795,22 @@ mod tests {
         let merged = split.snapshot();
         assert_eq!(merged.live_tasks, 6);
         assert_eq!(merged.live_workers, 6);
+    }
+
+    #[test]
+    fn transport_stats_name_the_in_process_backend() {
+        let mut split = partitioned(2);
+        split.submit_all(two_sided_events());
+        split.tick(0.0);
+        let transports = split.transport_stats();
+        assert_eq!(transports.len(), 2);
+        for (i, t) in transports.iter().enumerate() {
+            assert_eq!(t.partition, i);
+            assert_eq!(t.kind, "in-process");
+            assert_eq!(t.endpoint, format!("rdbsc-partition-{i}"));
+            assert!(t.stats.requests >= 2, "submit + tick each count");
+            assert_eq!(t.stats.bytes_sent, 0);
+        }
     }
 
     #[test]
@@ -964,5 +959,36 @@ mod tests {
         let snaps = split.partition_snapshots();
         assert_eq!(snaps[0].live_tasks, 0, "old copy withdrawn");
         assert_eq!(snaps[1].live_tasks, 1, "new copy lives right");
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_queued_events_and_deferred_handoffs() {
+        // The regression this locks in: a shutdown right after a submit
+        // used to stop the engines with the events still queued — they were
+        // never applied. The graceful path runs a final drain tick first.
+        let mut split = partitioned(2);
+        split.submit_all(two_sided_events());
+        // Nothing has ticked yet: all 12 events are still queued.
+        assert_eq!(split.snapshot().pending_events, 12);
+        let final_snapshot = split.shutdown();
+        assert_eq!(final_snapshot.pending_events, 0, "drain tick applied the queue");
+        assert_eq!(final_snapshot.events_applied, 12);
+        assert_eq!(final_snapshot.live_tasks, 6);
+        assert_eq!(final_snapshot.live_workers, 6);
+
+        // Deferred-handoff flush: a committed worker whose answer lands in
+        // the submit-to-shutdown window is handed off by the drain tick.
+        let mut split = partitioned(2);
+        split.submit(EngineEvent::TaskArrived(task(0, 0.2, 0.5, 0.0, 8.0)));
+        split.submit(EngineEvent::WorkerCheckIn(worker(0, 0.25, 0.5, 0.4)));
+        let pair = split.tick(0.0).new_assignments[0];
+        split.submit(EngineEvent::WorkerMoved(pair.worker, Point::new(0.8, 0.5)));
+        split.tick(0.5); // commitment pins the worker left of the boundary
+        assert!(split.record_answer(pair.worker, pair.contribution));
+        assert_eq!(split.handoffs(), 1, "answer released the deferred handoff");
+        let final_snapshot = split.shutdown();
+        assert_eq!(final_snapshot.pending_events, 0, "handoff events were applied");
+        assert_eq!(final_snapshot.banked_answers, 1);
+        assert_eq!(final_snapshot.live_workers, 1);
     }
 }

@@ -1,0 +1,625 @@
+//! The partition command protocol: the explicit, versioned API one spatial
+//! partition serves to the router.
+//!
+//! PR 4 partitioned the engine by region, but the router talked to its
+//! engines through hard-wired `mpsc` channel ends — an implementation, not
+//! an interface, and one that pinned every partition into the router's
+//! process. This module turns the per-partition surface into a first-class
+//! **protocol**:
+//!
+//! * [`PartitionClient`] — the object-safe, `Send` trait covering the full
+//!   command surface a partition serves: submit a routed event batch, run a
+//!   lockstep tick (returning the tick report plus the partition's committed
+//!   worker set, the router's handoff oracle), bank an answer, release a
+//!   worker, list assignments, snapshot, residency probe, drain and
+//!   shutdown. The router ([`crate::partition::PartitionedEngine`]) holds
+//!   one `Box<dyn PartitionClient>` per region and nothing else — whether
+//!   the engine lives on a thread or on another host is the backend's
+//!   business.
+//! * [`InProcessClient`] — the thread-per-partition backend: today's
+//!   engine-on-an-OS-thread behind channels, now just one implementation of
+//!   the protocol.
+//! * `rdbsc-server::HttpPartitionClient` — the wire backend: the same
+//!   protocol over persistent keep-alive HTTP/1.1 to an `rdbsc-partitiond`
+//!   daemon hosting the partition's engine in its own process (or on its
+//!   own host).
+//!
+//! ## Split-phase commands
+//!
+//! The lockstep tick is the one operation where partitions must run
+//! **concurrently** — the round's wall time is the slowest partition's, not
+//! the sum. A synchronous `tick()` call per client would serialise remote
+//! solves, so the hot commands are split-phase: [`PartitionClient::begin_tick`]
+//! dispatches the command (channel send, or HTTP request write) and
+//! [`PartitionClient::finish_tick`] collects the reply (channel receive, or
+//! HTTP response read). The router begins on every partition before
+//! finishing any, so N daemons solve their regions at the same time. Submit
+//! gets the same treatment — it is the ingestion hot path.
+//!
+//! ## Versioning
+//!
+//! [`PROTOCOL_VERSION`] names the command-surface revision. In-process
+//! clients are always current; wire backends perform a handshake and refuse
+//! to drive a daemon speaking a different version.
+//!
+//! ## Determinism
+//!
+//! The protocol carries exactly the information the PR 4 router used, so
+//! the determinism contract is transport-independent: byte-identical event
+//! streams produce byte-identical tick replies whether a partition is a
+//! thread or a daemon (floats survive the wire because the JSON codec
+//! prints shortest-round-trip forms). `rdbsc-bench --bin remote_scale`
+//! asserts this end to end.
+
+use crate::engine::{AssignmentEngine, EngineEvent, TickReport};
+use crate::handle::EngineSnapshot;
+use crate::stats::{Counter, LatencyHistogram};
+use rdbsc_index::SpatialIndex;
+use rdbsc_model::valid_pairs::ValidPair;
+use rdbsc_model::{Contribution, WorkerId};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The partition command protocol revision this build speaks. Bump on any
+/// incompatible change to the command surface or its wire encoding.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Why a partition command failed.
+#[derive(Debug)]
+pub enum PartitionError {
+    /// The transport to the partition failed (thread gone, connection
+    /// refused, read/write error).
+    Transport {
+        /// The partition's endpoint (thread label or network address).
+        endpoint: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The partition answered, but not with what the protocol requires
+    /// (version mismatch, malformed reply, wrong request id, rejected
+    /// configuration).
+    Protocol {
+        /// The partition's endpoint.
+        endpoint: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The partition is draining for shutdown and no longer takes commands.
+    Draining {
+        /// The partition's endpoint.
+        endpoint: String,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::Transport { endpoint, detail } => {
+                write!(f, "partition transport to {endpoint} failed: {detail}")
+            }
+            PartitionError::Protocol { endpoint, detail } => {
+                write!(f, "partition protocol error from {endpoint}: {detail}")
+            }
+            PartitionError::Draining { endpoint } => {
+                write!(f, "partition {endpoint} is draining and refuses commands")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// One lockstep tick's reply: what the tick did, plus the partition's
+/// post-tick committed worker set — the router's handoff oracle (a committed
+/// worker must stay with its task's partition until the commitment clears).
+#[derive(Debug, Clone)]
+pub struct PartitionTick {
+    /// The partition engine's tick report.
+    pub report: TickReport,
+    /// Workers committed (en route) in this partition after the tick, in
+    /// the engine's deterministic `(task, worker)` listing order.
+    pub committed: Vec<WorkerId>,
+}
+
+/// Per-partition protocol counters the router keeps for each client, so
+/// cross-process overhead is observable on `/metrics`: commands issued,
+/// wire retries/reconnects, bytes moved, command latency percentiles.
+#[derive(Debug, Default)]
+pub struct ProtocolCounters {
+    /// Protocol commands completed (one per logical command, both phases of
+    /// a split-phase command counted once).
+    pub requests: Counter,
+    /// Commands re-sent after a stale-connection reconnect (wire backends).
+    pub retries: Counter,
+    /// Connections opened beyond the first (wire backends).
+    pub reconnects: Counter,
+    /// Request bytes written to the transport (0 for in-process).
+    pub bytes_sent: Counter,
+    /// Response bytes read from the transport (0 for in-process).
+    pub bytes_received: Counter,
+    /// Per-command latency (dispatch to reply, including the engine work).
+    pub command_latency: LatencyHistogram,
+}
+
+/// A point-in-time copy of one partition's [`ProtocolCounters`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolStats {
+    /// Commands completed.
+    pub requests: u64,
+    /// Commands re-sent after a reconnect.
+    pub retries: u64,
+    /// Connections opened beyond the first.
+    pub reconnects: u64,
+    /// Request bytes written.
+    pub bytes_sent: u64,
+    /// Response bytes read.
+    pub bytes_received: u64,
+    /// Median command latency (µs).
+    pub latency_p50_us: f64,
+    /// 99th-percentile command latency (µs).
+    pub latency_p99_us: f64,
+    /// Worst command latency (µs).
+    pub latency_max_us: u64,
+}
+
+impl ProtocolCounters {
+    /// Snapshots the counters.
+    pub fn stats(&self) -> ProtocolStats {
+        ProtocolStats {
+            requests: self.requests.get(),
+            retries: self.retries.get(),
+            reconnects: self.reconnects.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
+            latency_p50_us: self.command_latency.percentile_us(50.0),
+            latency_p99_us: self.command_latency.percentile_us(99.0),
+            latency_max_us: self.command_latency.max_us(),
+        }
+    }
+}
+
+/// The full command surface one partition serves to the router — object-safe
+/// and `Send`, so the router can hold `Box<dyn PartitionClient>` per region
+/// regardless of where the engine runs. See the [module docs](self) for the
+/// split-phase rules; every method is driven from the router's single
+/// thread, and a `begin_*` must be paired with its `finish_*` before any
+/// other command is issued on the same client.
+pub trait PartitionClient: Send {
+    /// The backend kind: `"in-process"` or `"http"`.
+    fn kind(&self) -> &'static str;
+
+    /// Where the partition lives (thread label or network address).
+    fn endpoint(&self) -> String;
+
+    /// The client's protocol counters (shared, lock-free).
+    fn counters(&self) -> Arc<ProtocolCounters>;
+
+    /// Dispatches a routed event batch for the partition's next tick.
+    fn begin_submit(&mut self, events: Vec<EngineEvent>) -> Result<(), PartitionError>;
+
+    /// Completes a [`begin_submit`](Self::begin_submit).
+    fn finish_submit(&mut self) -> Result<(), PartitionError>;
+
+    /// Dispatches one lockstep engine round at time `now`.
+    fn begin_tick(&mut self, now: f64) -> Result<(), PartitionError>;
+
+    /// Collects the tick reply of a [`begin_tick`](Self::begin_tick).
+    fn finish_tick(&mut self) -> Result<PartitionTick, PartitionError>;
+
+    /// Banks an en-route worker's answer; `Ok(false)` when it was not
+    /// committed here.
+    fn record_answer(
+        &mut self,
+        worker: WorkerId,
+        contribution: Contribution,
+    ) -> Result<bool, PartitionError>;
+
+    /// Releases an en-route worker (gave up / rejected) without banking.
+    fn release_worker(&mut self, worker: WorkerId) -> Result<(), PartitionError>;
+
+    /// The partition's standing committed pairs, sorted by `(task, worker)`.
+    fn assignments(&mut self) -> Result<Vec<ValidPair>, PartitionError>;
+
+    /// A consistent snapshot of the partition's serving state.
+    fn snapshot(&mut self) -> Result<EngineSnapshot, PartitionError>;
+
+    /// Does the partition have pending events or live tasks?
+    fn is_active(&mut self) -> Result<bool, PartitionError>;
+
+    /// Does the partition's index hold the worker? (Residency probe for
+    /// tests and debugging.)
+    fn has_worker(&mut self, id: WorkerId) -> Result<bool, PartitionError>;
+
+    /// Asks the partition to stop taking new commands (a daemon answers 503
+    /// to commands received after this). Part of the graceful-shutdown
+    /// ordering; in-process partitions, reachable only through this client,
+    /// treat it as a no-op.
+    fn drain(&mut self) -> Result<(), PartitionError>;
+
+    /// Stops the partition's engine: joins the engine thread, or tells the
+    /// daemon process to exit.
+    fn shutdown(&mut self) -> Result<(), PartitionError>;
+}
+
+/// One partition's engine plus the serving counters its snapshots need —
+/// the state machine **both** protocol backends execute: the in-process
+/// client runs one on a thread, and `rdbsc-partitiond` runs one behind its
+/// HTTP routes, so a command means exactly the same thing on either side of
+/// the wire.
+pub struct EnginePartition<I: SpatialIndex> {
+    engine: AssignmentEngine<I>,
+    last_now: f64,
+    events_applied: u64,
+    total_assignments: u64,
+}
+
+impl<I: SpatialIndex> EnginePartition<I> {
+    /// Wraps a freshly built engine.
+    pub fn new(engine: AssignmentEngine<I>) -> Self {
+        Self {
+            engine,
+            last_now: 0.0,
+            events_applied: 0,
+            total_assignments: 0,
+        }
+    }
+
+    /// Queues a routed event batch for the next tick.
+    pub fn submit(&mut self, events: Vec<EngineEvent>) {
+        self.engine.submit_all(events);
+    }
+
+    /// Runs one engine round and returns the report plus the post-tick
+    /// committed worker set (the handoff oracle).
+    pub fn tick(&mut self, now: f64) -> PartitionTick {
+        let report = self.engine.tick(now);
+        self.last_now = now;
+        self.events_applied += report.events_applied as u64;
+        self.total_assignments += report.new_assignments.len() as u64;
+        let committed: Vec<WorkerId> = self
+            .engine
+            .committed_assignments()
+            .iter()
+            .map(|p| p.worker)
+            .collect();
+        PartitionTick { report, committed }
+    }
+
+    /// Banks an answer; `false` when the worker was not en route.
+    pub fn record_answer(&mut self, worker: WorkerId, contribution: Contribution) -> bool {
+        self.engine.record_answer(worker, contribution)
+    }
+
+    /// Releases an en-route worker without banking.
+    pub fn release_worker(&mut self, worker: WorkerId) {
+        self.engine.release_worker(worker);
+    }
+
+    /// The standing committed pairs, sorted by `(task, worker)`.
+    pub fn assignments(&self) -> Vec<ValidPair> {
+        self.engine.committed_assignments()
+    }
+
+    /// A consistent snapshot of this partition's state.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot::capture(
+            &self.engine,
+            self.last_now,
+            self.events_applied,
+            self.total_assignments,
+        )
+    }
+
+    /// Pending events or live tasks?
+    pub fn is_active(&self) -> bool {
+        self.engine.num_pending_events() > 0 || self.engine.num_tasks() > 0
+    }
+
+    /// Does the index hold the worker?
+    pub fn has_worker(&self, id: WorkerId) -> bool {
+        self.engine.index().worker(id).is_some()
+    }
+}
+
+/// A command processed by one in-process partition's engine thread.
+enum Command {
+    Submit(Vec<EngineEvent>),
+    Tick { now: f64, reply: Sender<PartitionTick> },
+    RecordAnswer {
+        worker: WorkerId,
+        contribution: Contribution,
+        reply: Sender<bool>,
+    },
+    Release(WorkerId),
+    Assignments(Sender<Vec<ValidPair>>),
+    Snapshot(Sender<EngineSnapshot>),
+    IsActive(Sender<bool>),
+    HasWorker(WorkerId, Sender<bool>),
+    Shutdown,
+}
+
+/// The per-partition engine thread: an [`EnginePartition`] drained off a
+/// channel.
+fn slot_loop<I: SpatialIndex>(engine: AssignmentEngine<I>, commands: Receiver<Command>) {
+    let mut part = EnginePartition::new(engine);
+    while let Ok(command) = commands.recv() {
+        match command {
+            Command::Submit(events) => part.submit(events),
+            Command::Tick { now, reply } => {
+                let _ = reply.send(part.tick(now));
+            }
+            Command::RecordAnswer {
+                worker,
+                contribution,
+                reply,
+            } => {
+                let _ = reply.send(part.record_answer(worker, contribution));
+            }
+            Command::Release(worker) => part.release_worker(worker),
+            Command::Assignments(reply) => {
+                let _ = reply.send(part.assignments());
+            }
+            Command::Snapshot(reply) => {
+                let _ = reply.send(part.snapshot());
+            }
+            Command::IsActive(reply) => {
+                let _ = reply.send(part.is_active());
+            }
+            Command::HasWorker(id, reply) => {
+                let _ = reply.send(part.has_worker(id));
+            }
+            Command::Shutdown => return,
+        }
+    }
+}
+
+/// The thread-per-partition protocol backend: one [`AssignmentEngine`] on
+/// its own named OS thread behind an `mpsc` command channel — PR 4's
+/// hard-wired router plumbing, now just one [`PartitionClient`] impl.
+pub struct InProcessClient {
+    label: String,
+    sender: Option<Sender<Command>>,
+    thread: Option<JoinHandle<()>>,
+    counters: Arc<ProtocolCounters>,
+    pending_tick: Option<(Receiver<PartitionTick>, Instant)>,
+    submit_started: Option<Instant>,
+}
+
+impl InProcessClient {
+    /// Spawns the partition's engine thread. `index` names the partition in
+    /// the thread label and the endpoint string.
+    pub fn spawn<I: SpatialIndex + 'static>(index: usize, engine: AssignmentEngine<I>) -> Self {
+        let label = format!("rdbsc-partition-{index}");
+        let (tx, rx) = channel();
+        let thread = std::thread::Builder::new()
+            .name(label.clone())
+            .spawn(move || slot_loop(engine, rx))
+            .expect("spawn partition thread");
+        Self {
+            label,
+            sender: Some(tx),
+            thread: Some(thread),
+            counters: Arc::new(ProtocolCounters::default()),
+            pending_tick: None,
+            submit_started: None,
+        }
+    }
+
+    fn send(&self, command: Command) -> Result<(), PartitionError> {
+        let sender = self.sender.as_ref().ok_or_else(|| PartitionError::Transport {
+            endpoint: self.label.clone(),
+            detail: "partition already shut down".into(),
+        })?;
+        sender.send(command).map_err(|_| PartitionError::Transport {
+            endpoint: self.label.clone(),
+            detail: "partition thread is gone".into(),
+        })
+    }
+
+    /// One synchronous round trip: send, then receive on a fresh reply
+    /// channel, recording the command in the counters.
+    fn round_trip<R>(
+        &mut self,
+        make: impl FnOnce(Sender<R>) -> Command,
+    ) -> Result<R, PartitionError> {
+        let started = Instant::now();
+        let (tx, rx) = channel();
+        self.send(make(tx))?;
+        let reply = rx.recv().map_err(|_| PartitionError::Transport {
+            endpoint: self.label.clone(),
+            detail: "partition thread died mid-command".into(),
+        })?;
+        self.counters.requests.incr();
+        self.counters.command_latency.record(started.elapsed());
+        Ok(reply)
+    }
+}
+
+impl PartitionClient for InProcessClient {
+    fn kind(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn endpoint(&self) -> String {
+        self.label.clone()
+    }
+
+    fn counters(&self) -> Arc<ProtocolCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    fn begin_submit(&mut self, events: Vec<EngineEvent>) -> Result<(), PartitionError> {
+        self.submit_started = Some(Instant::now());
+        self.send(Command::Submit(events))
+    }
+
+    fn finish_submit(&mut self) -> Result<(), PartitionError> {
+        // Submits have no reply in-process: the channel preserves order, so
+        // the batch lands before any later tick command.
+        if let Some(started) = self.submit_started.take() {
+            self.counters.requests.incr();
+            self.counters.command_latency.record(started.elapsed());
+        }
+        Ok(())
+    }
+
+    fn begin_tick(&mut self, now: f64) -> Result<(), PartitionError> {
+        let (tx, rx) = channel();
+        self.send(Command::Tick { now, reply: tx })?;
+        self.pending_tick = Some((rx, Instant::now()));
+        Ok(())
+    }
+
+    fn finish_tick(&mut self) -> Result<PartitionTick, PartitionError> {
+        let (rx, started) = self.pending_tick.take().ok_or_else(|| PartitionError::Protocol {
+            endpoint: self.label.clone(),
+            detail: "finish_tick without begin_tick".into(),
+        })?;
+        let reply = rx.recv().map_err(|_| PartitionError::Transport {
+            endpoint: self.label.clone(),
+            detail: "partition thread died mid-tick".into(),
+        })?;
+        self.counters.requests.incr();
+        self.counters.command_latency.record(started.elapsed());
+        Ok(reply)
+    }
+
+    fn record_answer(
+        &mut self,
+        worker: WorkerId,
+        contribution: Contribution,
+    ) -> Result<bool, PartitionError> {
+        self.round_trip(|reply| Command::RecordAnswer {
+            worker,
+            contribution,
+            reply,
+        })
+    }
+
+    fn release_worker(&mut self, worker: WorkerId) -> Result<(), PartitionError> {
+        self.counters.requests.incr();
+        self.send(Command::Release(worker))
+    }
+
+    fn assignments(&mut self) -> Result<Vec<ValidPair>, PartitionError> {
+        self.round_trip(Command::Assignments)
+    }
+
+    fn snapshot(&mut self) -> Result<EngineSnapshot, PartitionError> {
+        self.round_trip(Command::Snapshot)
+    }
+
+    fn is_active(&mut self) -> Result<bool, PartitionError> {
+        self.round_trip(Command::IsActive)
+    }
+
+    fn has_worker(&mut self, id: WorkerId) -> Result<bool, PartitionError> {
+        self.round_trip(|reply| Command::HasWorker(id, reply))
+    }
+
+    fn drain(&mut self) -> Result<(), PartitionError> {
+        // The engine thread only hears commands through this client, so
+        // there is nothing to refuse: the router has already stopped
+        // sending by the time it drains.
+        Ok(())
+    }
+
+    fn shutdown(&mut self) -> Result<(), PartitionError> {
+        if let Some(sender) = self.sender.take() {
+            let _ = sender.send(Command::Shutdown);
+        }
+        if let Some(thread) = self.thread.take() {
+            thread.join().map_err(|_| PartitionError::Transport {
+                endpoint: self.label.clone(),
+                detail: "partition thread panicked".into(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for InProcessClient {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use rdbsc_geo::{AngleRange, Point, Rect};
+    use rdbsc_index::GridIndex;
+    use rdbsc_model::{Confidence, Task, TaskId, TimeWindow, Worker};
+
+    fn client() -> InProcessClient {
+        InProcessClient::spawn(
+            0,
+            AssignmentEngine::new(GridIndex::new(Rect::unit(), 0.2), EngineConfig::default()),
+        )
+    }
+
+    fn task(id: u32, x: f64, y: f64) -> Task {
+        Task::new(TaskId(id), Point::new(x, y), TimeWindow::new(0.0, 10.0).unwrap())
+    }
+
+    fn worker(id: u32, x: f64, y: f64) -> Worker {
+        Worker::new(
+            WorkerId(id),
+            Point::new(x, y),
+            0.5,
+            AngleRange::full(),
+            Confidence::new(0.9).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn in_process_client_speaks_the_full_protocol() {
+        let mut c = client();
+        assert_eq!(c.kind(), "in-process");
+        assert_eq!(c.endpoint(), "rdbsc-partition-0");
+
+        c.begin_submit(vec![
+            crate::engine::EngineEvent::TaskArrived(task(0, 0.6, 0.6)),
+            crate::engine::EngineEvent::WorkerCheckIn(worker(0, 0.5, 0.5)),
+        ])
+        .unwrap();
+        c.finish_submit().unwrap();
+        assert!(c.is_active().unwrap());
+
+        c.begin_tick(0.0).unwrap();
+        let tick = c.finish_tick().unwrap();
+        assert_eq!(tick.report.new_assignments.len(), 1);
+        assert_eq!(tick.committed, vec![WorkerId(0)]);
+        assert!(c.has_worker(WorkerId(0)).unwrap());
+        assert!(!c.has_worker(WorkerId(9)).unwrap());
+
+        let pair = tick.report.new_assignments[0];
+        assert_eq!(c.assignments().unwrap(), vec![pair]);
+        assert!(c.record_answer(pair.worker, pair.contribution).unwrap());
+        assert!(!c.record_answer(pair.worker, pair.contribution).unwrap());
+        let snapshot = c.snapshot().unwrap();
+        assert_eq!(snapshot.banked_answers, 1);
+        assert_eq!(snapshot.total_assignments, 1);
+
+        let stats = c.counters().stats();
+        assert!(stats.requests >= 8, "requests {:?}", stats.requests);
+        assert_eq!(stats.bytes_sent, 0, "in-process moves no wire bytes");
+
+        c.drain().unwrap();
+        c.shutdown().unwrap();
+        assert!(c.is_active().is_err(), "commands after shutdown fail");
+    }
+
+    #[test]
+    fn finish_tick_requires_begin_tick() {
+        let mut c = client();
+        assert!(matches!(
+            c.finish_tick(),
+            Err(PartitionError::Protocol { .. })
+        ));
+    }
+}

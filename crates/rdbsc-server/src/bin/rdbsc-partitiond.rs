@@ -1,0 +1,83 @@
+//! The `rdbsc-partitiond` binary: serve exactly one partition's assignment
+//! engine over the partition protocol.
+//!
+//! The daemon boots unconfigured; the router that mounts it (an
+//! `rdbsc-server` started with `--remote-partition ADDR`) performs the
+//! protocol-version handshake and pushes the routing table, region index,
+//! backend and engine configuration over `POST /partition/configure`. Stop
+//! it with `POST /partition/shutdown` (what a router's graceful shutdown
+//! sends) or `POST /admin/shutdown`.
+
+use rdbsc_server::{PartitionDaemon, PartitiondConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rdbsc-partitiond [--addr HOST:PORT] [--threads N] [--queue N]\n\
+         \x20                     [--max-body-bytes N] [--idle-timeout-ms N]\n\
+         \n\
+         Serves one spatial partition's engine over the partition protocol.\n\
+         The daemon starts unconfigured; a router (rdbsc-server with\n\
+         --remote-partition pointing here) pushes the routing table and\n\
+         engine configuration at boot. Stop with POST /partition/shutdown\n\
+         or POST /admin/shutdown."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = PartitiondConfig::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            usage();
+        }
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("{flag} requires a value");
+            usage();
+        };
+        i += 1;
+        let parse_err = |what: &str| -> ! {
+            eprintln!("{flag}: cannot parse {what:?}");
+            usage();
+        };
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--threads" => {
+                config.threads = value.parse().unwrap_or_else(|_| parse_err(value))
+            }
+            "--queue" => {
+                config.queue_capacity = value.parse().unwrap_or_else(|_| parse_err(value))
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes = value.parse().unwrap_or_else(|_| parse_err(value))
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value.parse().unwrap_or_else(|_| parse_err(value));
+                config.idle_timeout = Duration::from_millis(ms);
+            }
+            _ => {
+                eprintln!("unknown flag {flag}");
+                usage();
+            }
+        }
+    }
+
+    let daemon = match PartitionDaemon::start(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "rdbsc-partitiond listening on http://{} (unconfigured; waiting for a router)",
+        daemon.addr()
+    );
+    daemon.join();
+    println!("rdbsc-partitiond stopped");
+}

@@ -12,13 +12,18 @@ fn usage() -> ! {
          \x20                 [--flush-interval-ms N] [--max-batch N] [--seed N]\n\
          \x20                 [--beta F] [--cell-size F] [--time-scale F]\n\
          \x20                 [--backend grid|flat-grid] [--partitions N]\n\
+         \x20                 [--remote-partition HOST:PORT]...\n\
          \n\
          --flush-interval-ms 0 enables manual tick mode: the engine only\n\
          advances on POST /tick. Stop the server with POST /admin/shutdown.\n\
          --backend picks the spatial index (default flat-grid; results are\n\
          identical across backends, only the cost profile changes).\n\
-         --partitions N serves N spatial regions, one engine per region on\n\
-         its own thread, with cross-region worker handoff (default 1)."
+         --partitions N serves N spatial regions, one engine per region,\n\
+         with cross-region worker handoff (default 1).\n\
+         --remote-partition ADDR (repeatable) mounts a running\n\
+         rdbsc-partitiond daemon as a region: the k-th flag serves region\n\
+         k, remaining regions run in-process. The router handshakes and\n\
+         pushes each daemon its routing table and engine config at boot."
     );
     std::process::exit(2);
 }
@@ -78,6 +83,7 @@ fn main() {
                     usage();
                 }
             }
+            "--remote-partition" => config.remote_partitions.push(value.clone()),
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage();
@@ -85,6 +91,12 @@ fn main() {
         }
     }
     config.engine = engine;
+    if !config.remote_partitions.is_empty() && config.partitions < config.remote_partitions.len()
+    {
+        // `--remote-partition a --remote-partition b` with the default
+        // partition count means a 2-region topology, not a config error.
+        config.partitions = config.remote_partitions.len();
+    }
 
     let mut mode = if config.flush_interval.is_zero() {
         "manual-tick".to_string()
@@ -93,6 +105,13 @@ fn main() {
     };
     if config.partitions > 1 {
         mode.push_str(&format!(", {} partitions", config.partitions));
+    }
+    if !config.remote_partitions.is_empty() {
+        mode.push_str(&format!(
+            ", {} remote ({})",
+            config.remote_partitions.len(),
+            config.remote_partitions.join(", ")
+        ));
     }
     let server = match Server::start(config) {
         Ok(server) => server,

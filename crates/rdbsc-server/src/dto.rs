@@ -15,7 +15,7 @@ use rdbsc_model::{Confidence, Contribution, Task, TaskId, TimeWindow, Worker, Wo
 use rdbsc_platform::handle::EngineSnapshot;
 use rdbsc_platform::TickReport;
 
-fn num(value: &Json, field: &'static str) -> Result<f64, ServerError> {
+pub(crate) fn num(value: &Json, field: &'static str) -> Result<f64, ServerError> {
     value
         .get(field)
         .ok_or(ServerError::MissingField(field))?
@@ -26,7 +26,7 @@ fn num(value: &Json, field: &'static str) -> Result<f64, ServerError> {
         })
 }
 
-fn opt_num(value: &Json, field: &'static str) -> Result<Option<f64>, ServerError> {
+pub(crate) fn opt_num(value: &Json, field: &'static str) -> Result<Option<f64>, ServerError> {
     match value.get(field) {
         None | Some(Json::Null) => Ok(None),
         Some(v) => v
@@ -39,7 +39,7 @@ fn opt_num(value: &Json, field: &'static str) -> Result<Option<f64>, ServerError
     }
 }
 
-fn string(value: &Json, field: &'static str) -> Result<String, ServerError> {
+pub(crate) fn string(value: &Json, field: &'static str) -> Result<String, ServerError> {
     value
         .get(field)
         .ok_or(ServerError::MissingField(field))?
@@ -51,7 +51,7 @@ fn string(value: &Json, field: &'static str) -> Result<String, ServerError> {
         })
 }
 
-fn id(value: &Json, field: &'static str) -> Result<u32, ServerError> {
+pub(crate) fn id(value: &Json, field: &'static str) -> Result<u32, ServerError> {
     let n = num(value, field)?;
     if n.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&n) {
         return Err(ServerError::BadField {
@@ -356,6 +356,24 @@ impl AssignmentDto {
         }
     }
 
+    /// Converts back into an engine pair — the partition protocol carries
+    /// committed pairs across the wire, and the JSON codec's
+    /// shortest-round-trip float printing makes the reconstruction exact.
+    pub fn into_pair(self) -> Result<ValidPair, ServerError> {
+        if !self.angle.is_finite() || !self.arrival.is_finite() {
+            return Err(ServerError::BadField {
+                field: "angle/arrival",
+                expected: "finite numbers",
+            });
+        }
+        let confidence = Confidence::new(self.confidence)?;
+        Ok(ValidPair {
+            task: TaskId(self.task),
+            worker: WorkerId(self.worker),
+            contribution: Contribution::new(confidence, self.angle, self.arrival),
+        })
+    }
+
     /// Encodes the DTO.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -437,6 +455,40 @@ impl SnapshotDto {
             index_cells_repaired: s.index_counters.cells_repaired as f64,
             index_tcell_rebuilds: s.index_counters.tcell_rebuilds as f64,
         }
+    }
+
+    /// Converts back into an [`EngineSnapshot`] — the partition protocol
+    /// ships per-partition snapshots across the wire. The backend string is
+    /// mapped to the matching backend's static name (`"unknown"` if a newer
+    /// daemon reports a backend this build does not know).
+    pub fn into_snapshot(self) -> Result<EngineSnapshot, ServerError> {
+        use rdbsc_index::{IndexBackend, MaintenanceCounters};
+        use rdbsc_platform::EngineObjective;
+        let backend = IndexBackend::parse(&self.backend)
+            .map(|b| b.name())
+            .unwrap_or("unknown");
+        Ok(EngineSnapshot {
+            now: self.now,
+            ticks: self.ticks as u64,
+            events_applied: self.events_applied as u64,
+            pending_events: self.pending_events as usize,
+            live_tasks: self.live_tasks as usize,
+            live_workers: self.live_workers as usize,
+            committed_workers: self.committed_workers as usize,
+            banked_answers: self.banked_answers as usize,
+            total_assignments: self.total_assignments as u64,
+            objective: EngineObjective {
+                min_reliability: self.min_reliability,
+                total_std: self.total_std,
+                covered_tasks: self.covered_tasks as usize,
+            },
+            backend,
+            index_counters: MaintenanceCounters {
+                relocations: self.index_relocations as u64,
+                cells_repaired: self.index_cells_repaired as u64,
+                tcell_rebuilds: self.index_tcell_rebuilds as u64,
+            },
+        })
     }
 
     /// Encodes the DTO.

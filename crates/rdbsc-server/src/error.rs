@@ -27,6 +27,10 @@ pub enum ServerError {
     NotFound(String),
     /// The route exists but not for this method.
     MethodNotAllowed,
+    /// The request conflicts with the server's standing state (for the
+    /// partition daemon: a configure that contradicts the active one, or a
+    /// command before any configure).
+    Conflict(String),
     /// The declared body length exceeds the configured limit.
     PayloadTooLarge {
         /// The declared `Content-Length`.
@@ -53,6 +57,7 @@ impl ServerError {
             | ServerError::BadRequest(_) => 400,
             ServerError::NotFound(_) => 404,
             ServerError::MethodNotAllowed => 405,
+            ServerError::Conflict(_) => 409,
             ServerError::PayloadTooLarge { .. } => 413,
             ServerError::Overloaded => 429,
             ServerError::ShuttingDown => 503,
@@ -78,6 +83,7 @@ impl fmt::Display for ServerError {
             ServerError::BadRequest(why) => write!(f, "bad request: {why}"),
             ServerError::NotFound(path) => write!(f, "no route for '{path}'"),
             ServerError::MethodNotAllowed => write!(f, "method not allowed on this route"),
+            ServerError::Conflict(why) => write!(f, "conflict: {why}"),
             ServerError::PayloadTooLarge { length, limit } => {
                 write!(f, "body of {length} bytes exceeds the {limit}-byte limit")
             }

@@ -153,22 +153,14 @@ pub fn read_request(
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
 
-    // `Connection` is a comma-separated token list (RFC 9110 §7.6.1):
-    // `Connection: keep-alive, te` is legal and must still mean keep-alive.
-    // Tokens are matched case-insensitively after trimming; an explicit
-    // `close` wins over `keep-alive` if a (nonsensical) peer sends both.
-    let connection_tokens: Vec<String> = headers
-        .iter()
-        .filter(|(k, _)| k == "connection")
-        .flat_map(|(_, v)| v.split(','))
-        .map(|token| token.trim().to_ascii_lowercase())
-        .collect();
-    let close = if connection_tokens.iter().any(|t| t == "close") {
-        true
-    } else if connection_tokens.iter().any(|t| t == "keep-alive") {
-        false
-    } else {
-        version == "HTTP/1.0"
+    let close = match connection_directive(
+        headers
+            .iter()
+            .filter(|(k, _)| k == "connection")
+            .map(|(_, v)| v.as_str()),
+    ) {
+        Some(close) => close,
+        None => version == "HTTP/1.0",
     };
 
     let (path, query) = match target.split_once('?') {
@@ -184,6 +176,31 @@ pub fn read_request(
         body,
         close,
     }))
+}
+
+/// Folds any number of `Connection` header **values** into the peer's
+/// intent. Each value is a comma-separated token list (RFC 9110 §7.6.1):
+/// `Connection: keep-alive, te` is legal and must still mean keep-alive.
+/// Tokens are matched case-insensitively after trimming. Returns
+/// `Some(true)` when the peer asked to close, `Some(false)` when it asked
+/// to keep the connection alive (an explicit `close` wins over `keep-alive`
+/// if a nonsensical peer sends both), and `None` when neither token appears
+/// — the caller falls back to the HTTP-version default. Shared by the
+/// server's request parser and [`crate::client::HttpClient`]'s response
+/// parser, so both sides of the wire read the header identically.
+pub fn connection_directive<'a, V: IntoIterator<Item = &'a str>>(values: V) -> Option<bool> {
+    let tokens: Vec<String> = values
+        .into_iter()
+        .flat_map(|v| v.split(','))
+        .map(|token| token.trim().to_ascii_lowercase())
+        .collect();
+    if tokens.iter().any(|t| t == "close") {
+        Some(true)
+    } else if tokens.iter().any(|t| t == "keep-alive") {
+        Some(false)
+    } else {
+        None
+    }
 }
 
 /// A response ready to be written to the wire.
@@ -237,6 +254,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",

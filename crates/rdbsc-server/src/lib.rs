@@ -45,6 +45,18 @@
 //! happens at the next micro-batch flush. Run the binary with
 //! `cargo run --release -p rdbsc-server -- --help`, and drive it with the
 //! closed-loop load generator in `rdbsc-bench` (`--bin loadgen`).
+//!
+//! ## Distributed partitions
+//!
+//! The crate also ships the wire half of the **partition protocol**
+//! (`rdbsc_platform::protocol`): the [`protocol`] module defines the JSON
+//! DTOs for every partition command and reply, [`remote`] implements the
+//! router-side [`HttpPartitionClient`] over persistent keep-alive
+//! HTTP/1.1, and [`partitiond`] is the daemon hosting exactly one
+//! partition's engine (binary: `rdbsc-partitiond`). The serving tier takes
+//! `--remote-partition ADDR` (repeatable) to mount daemon-hosted regions
+//! next to in-process ones — with every region remote, the server is a
+//! thin stateless router.
 
 #![deny(missing_docs)]
 
@@ -54,7 +66,11 @@ pub mod dto;
 pub mod error;
 pub mod http;
 pub mod json;
+pub mod listener;
 pub mod metrics;
+pub mod partitiond;
+pub mod protocol;
+pub mod remote;
 pub mod server;
 
 pub use batch::{Clock, MicroBatcher};
@@ -64,5 +80,11 @@ pub use dto::{
 };
 pub use error::ServerError;
 pub use json::{parse, Json, JsonError};
+pub use listener::{HttpCore, ListenerConfig, ShutdownHandle};
 pub use metrics::{Counter, LatencyHistogram, ServerMetrics};
+pub use partitiond::{PartitionDaemon, PartitiondConfig};
+pub use protocol::{
+    ConfigureDto, EngineConfigDto, EventDto, HelloDto, RoutingTableDto, TickReplyDto,
+};
+pub use remote::{connect_remote_partition, HttpPartitionClient};
 pub use server::{Server, ServerConfig};

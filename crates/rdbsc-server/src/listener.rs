@@ -1,0 +1,367 @@
+//! The reusable HTTP serving core: acceptor, bounded connection queue,
+//! worker pool, connection registry and graceful-stop plumbing.
+//!
+//! ```text
+//!   clients ──► acceptor ──► bounded queue ──► worker pool ──► handler
+//!                   │ full?
+//!                   └─► 429 + close (shed)
+//! ```
+//!
+//! Extracted from the serving subsystem so both front-ends share one
+//! implementation: [`crate::server::Server`] (the routing tier) mounts its
+//! engine routes on it, and [`crate::partitiond::PartitionDaemon`] (one
+//! partition's engine behind the partition protocol) mounts the protocol
+//! routes. The core owns everything transport: admission control at the
+//! connection level (a full queue answers `429 Too Many Requests` and
+//! closes, spending no worker time), keep-alive serving with idle timeouts,
+//! and a graceful stop that interrupts reads parked on idle keep-alive
+//! peers while letting in-flight responses finish.
+//!
+//! What the core does **not** own is routing policy: the mounted
+//! [`Handler`] decides every response, including how to answer during a
+//! drain (the server 503s everything but `/healthz`; the daemon 503s
+//! partition commands while still serving its health and metrics routes).
+
+use crate::error::ServerError;
+use crate::http::{read_request, write_response, Request, Response};
+use crate::metrics::ServerMetrics;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of one serving core.
+#[derive(Debug, Clone)]
+pub struct ListenerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Bounded connection-queue capacity; beyond it, connections are shed
+    /// with 429.
+    pub queue_capacity: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// How long an idle keep-alive connection may hold a worker thread
+    /// before it is closed.
+    pub idle_timeout: Duration,
+}
+
+/// A request handler mounted on the core. Receives every parsed request
+/// plus the core's [`ShutdownHandle`], so a route can both read the stop
+/// state (drain responses) and trigger the stop (admin shutdown routes).
+pub type Handler =
+    dyn Fn(&Request, &ShutdownHandle) -> Result<Response, ServerError> + Send + Sync;
+
+/// The bounded hand-off between the acceptor and the worker pool.
+struct ConnectionQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnectionQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Tries to enqueue; hands the stream back when the queue is saturated
+    /// so the acceptor can shed it with a 429.
+    fn offer(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut queue = self.queue.lock().expect("connection queue lock");
+        if queue.len() >= self.capacity {
+            return Err(stream);
+        }
+        queue.push_back(stream);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops a connection, waiting up to `timeout`.
+    fn poll(&self, timeout: Duration) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().expect("connection queue lock");
+        if let Some(stream) = queue.pop_front() {
+            return Some(stream);
+        }
+        let (mut queue, _) = self
+            .ready
+            .wait_timeout(queue, timeout)
+            .expect("connection queue lock");
+        queue.pop_front()
+    }
+}
+
+/// Open connections currently owned by worker threads, so shutdown can
+/// interrupt reads blocked on idle keep-alive peers: closing the read side
+/// turns the blocked `read_request` into a clean EOF while the write side
+/// stays usable for an in-flight response.
+#[derive(Default)]
+struct ConnectionRegistry {
+    streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ConnectionRegistry {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .expect("connection registry lock")
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams
+            .lock()
+            .expect("connection registry lock")
+            .remove(&id);
+    }
+
+    fn shutdown_reads(&self) {
+        for stream in self
+            .streams
+            .lock()
+            .expect("connection registry lock")
+            .values()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
+
+struct CoreShared {
+    addr: SocketAddr,
+    stop: AtomicBool,
+    registry: ConnectionRegistry,
+    metrics: Arc<ServerMetrics>,
+    max_body_bytes: usize,
+    idle_timeout: Duration,
+}
+
+/// A clonable handle onto the core's stop state: routes use it to answer
+/// drain 503s and to trigger the stop from an admin shutdown route.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<CoreShared>,
+}
+
+impl ShutdownHandle {
+    /// Has the stop been triggered?
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Raises the stop flag (idempotent), unblocks reads parked on idle
+    /// keep-alive connections, and unblocks the acceptor's blocking
+    /// `accept` with one last loopback connection.
+    pub fn trigger(&self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.registry.shutdown_reads();
+        let _ = TcpStream::connect(self.shared.addr);
+    }
+}
+
+/// A running HTTP serving core. Mount a handler with [`HttpCore::start`],
+/// stop it with [`HttpCore::stopper`]'s [`ShutdownHandle::trigger`], then
+/// [`HttpCore::join`].
+pub struct HttpCore {
+    shared: Arc<CoreShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HttpCore {
+    /// Binds the address and starts the acceptor and worker pool, serving
+    /// every parsed request through `handler`.
+    pub fn start(
+        config: ListenerConfig,
+        metrics: Arc<ServerMetrics>,
+        handler: Arc<Handler>,
+    ) -> Result<HttpCore, ServerError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(CoreShared {
+            addr,
+            stop: AtomicBool::new(false),
+            registry: ConnectionRegistry::default(),
+            metrics: metrics.clone(),
+            max_body_bytes: config.max_body_bytes,
+            idle_timeout: config.idle_timeout,
+        });
+        let queue = Arc::new(ConnectionQueue::new(config.queue_capacity));
+
+        let mut threads = Vec::new();
+        for i in 0..config.threads.max(1) {
+            let (q, sh, h) = (queue.clone(), shared.clone(), handler.clone());
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rdbsc-worker-{i}"))
+                    .spawn(move || worker_loop(q, sh, h))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let (q, sh) = (queue.clone(), shared.clone());
+            threads.push(
+                std::thread::Builder::new()
+                    .name("rdbsc-acceptor".into())
+                    .spawn(move || acceptor_loop(listener, q, sh))
+                    .expect("spawn acceptor"),
+            );
+        }
+        Ok(HttpCore { shared, threads })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle onto the stop state.
+    pub fn stopper(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Waits for every core thread to exit. Trigger the stop first (or this
+    /// blocks until a mounted route does).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, queue: Arc<ConnectionQueue>, shared: Arc<CoreShared>) {
+    for incoming in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = incoming else {
+            // Persistent accept failures (EMFILE under fd exhaustion) would
+            // otherwise busy-spin this thread at 100% CPU.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        // Responses are small; waiting for ACKs (Nagle) only adds latency.
+        let _ = stream.set_nodelay(true);
+        match queue.offer(stream) {
+            Ok(()) => shared.metrics.connections_accepted.incr(),
+            Err(mut stream) => {
+                shared.metrics.connections_shed.incr();
+                shared.metrics.count_status(429);
+                let _ = write_response(
+                    &mut stream,
+                    &Response::from_error(&ServerError::Overloaded),
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(queue: Arc<ConnectionQueue>, shared: Arc<CoreShared>, handler: Arc<Handler>) {
+    loop {
+        let stopping = shared.stop.load(Ordering::Acquire);
+        let timeout = if stopping {
+            // Drain whatever is still queued (each request gets a clean
+            // response from the handler's drain path), then exit.
+            Duration::ZERO
+        } else {
+            Duration::from_millis(50)
+        };
+        match queue.poll(timeout) {
+            Some(stream) => serve_connection(stream, &shared, &handler),
+            None if stopping => return,
+            None => continue,
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<CoreShared>, handler: &Arc<Handler>) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    // Registering lets shutdown interrupt a read parked on this connection;
+    // the guard deregisters on every exit path.
+    let registration = shared.registry.register(&stream);
+    struct Deregister<'a>(&'a CoreShared, Option<u64>);
+    impl Drop for Deregister<'_> {
+        fn drop(&mut self) {
+            if let Some(id) = self.1 {
+                self.0.registry.deregister(id);
+            }
+        }
+    }
+    let _guard = Deregister(shared, registration);
+    // Timeouts are set once here (not per request — that is a setsockopt
+    // per request on the hot path) and tightened exactly once when the
+    // stop flag is first observed. The write timeout also bounds how long
+    // a peer that stops reading mid-response can pin this worker: shutdown
+    // only closes the read half (so in-flight responses can finish), which
+    // would otherwise leave a blocked `write_all` stuck forever.
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    let _ = stream.set_write_timeout(Some(shared.idle_timeout));
+    let shutdown = ShutdownHandle {
+        shared: shared.clone(),
+    };
+    let mut draining = false;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if !draining && shared.stop.load(Ordering::Acquire) {
+            // Shutdown drain: barely wait on idle peers at all.
+            draining = true;
+            let _ = reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(100)));
+        }
+        let request = match read_request(&mut reader, shared.max_body_bytes) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // peer closed cleanly
+            Err(ServerError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::UnexpectedEof
+                        | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                // Idle timeout or the peer went away mid-request: nobody is
+                // listening for an error body.
+                return;
+            }
+            Err(e) => {
+                // Malformed request: answer if the socket still works, then
+                // drop the connection (framing may be lost).
+                let _ = write_response(&mut writer, &Response::from_error(&e).with_close());
+                shared.metrics.count_status(e.status());
+                return;
+            }
+        };
+        let started = Instant::now();
+        shared.metrics.requests_total.incr();
+        let close_requested = request.close;
+        let mut response = match handler(&request, &shutdown) {
+            Ok(response) => response,
+            Err(e) => Response::from_error(&e),
+        };
+        if close_requested || shared.stop.load(Ordering::Acquire) {
+            response = response.with_close();
+        }
+        shared.metrics.count_status(response.status);
+        shared.metrics.request_latency.record(started.elapsed());
+        if write_response(&mut writer, &response).is_err() || response.close {
+            return;
+        }
+    }
+}

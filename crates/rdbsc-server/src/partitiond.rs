@@ -1,0 +1,446 @@
+//! `rdbsc-partitiond`: one partition's engine served over the partition
+//! protocol.
+//!
+//! A daemon boots *unconfigured* — it knows its listen address and nothing
+//! about the data space. The first router to connect performs the
+//! handshake: `GET /partition/hello` (protocol-version check) and
+//! `POST /partition/configure`, which ships the **routing table** (grid
+//! geometry + canonical region list), the region index this daemon serves,
+//! the index backend and the engine configuration. The daemon validates
+//! the table with [`rdbsc_cluster::RegionPartition::from_regions`] and
+//! builds its engine over exactly the region rectangle the router routes to
+//! it — a single source of truth for the geometry on both sides of the
+//! wire. Re-configures with the identical payload are idempotent (a
+//! stateless router restarting re-pushes its config); a *different* payload
+//! is answered `409 Conflict`, never silently adopted.
+//!
+//! ## Command surface
+//!
+//! | Route | Protocol command |
+//! |---|---|
+//! | `GET /partition/hello` | version/state handshake |
+//! | `POST /partition/configure` | build the engine (idempotent) |
+//! | `POST /partition/submit` | routed event batch |
+//! | `POST /partition/tick` | lockstep tick → report + committed set |
+//! | `POST /partition/answer` | bank an answer |
+//! | `POST /partition/release` | release an en-route worker |
+//! | `POST /partition/assignments` | standing committed pairs |
+//! | `GET /partition/snapshot` | engine snapshot |
+//! | `GET /partition/active` | pending events / live tasks? |
+//! | `POST /partition/has_worker` | residency probe |
+//! | `POST /partition/drain` | refuse further mutating commands |
+//! | `POST /partition/shutdown` | drain + exit |
+//! | `GET /healthz`, `GET /metrics`, `POST /admin/shutdown` | ops surface |
+//!
+//! ## Draining
+//!
+//! After a drain (or as part of shutdown) the daemon answers **`503`** to
+//! mutating commands — a parseable refusal, not a dropped connection — so a
+//! router mid-flight sees a clean protocol error instead of an I/O failure.
+//! Reads (`snapshot`, `active`, `hello`, `/metrics`, `/healthz`) keep
+//! working so operators can observe the drain.
+
+use crate::dto::{num, AnswerDto, AssignmentDto, SnapshotDto};
+use crate::error::ServerError;
+use crate::http::{Method, Request, Response};
+use crate::json::{parse, Json};
+use crate::listener::{HttpCore, ListenerConfig, ShutdownHandle};
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    request_id, submit_from_json, ConfigureDto, HelloDto, TickReplyDto,
+};
+use rdbsc_geo::Rect;
+use rdbsc_index::DynSpatialIndex;
+use rdbsc_model::WorkerId;
+use rdbsc_platform::{AssignmentEngine, EnginePartition, PROTOCOL_VERSION};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of one partition daemon.
+#[derive(Debug, Clone)]
+pub struct PartitiondConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads. A daemon serves one router (a handful of persistent
+    /// connections) plus metrics scrapes; the default of 4 is plenty.
+    pub threads: usize,
+    /// Bounded connection-queue capacity.
+    pub queue_capacity: usize,
+    /// Maximum accepted request-body size. Routed submit batches can be
+    /// large (one tick's worth of events for the region), so the default is
+    /// far above the serving tier's per-request limit.
+    pub max_body_bytes: usize,
+    /// Idle keep-alive timeout. Routers hold persistent connections between
+    /// ticks; the stale-connection retry on the client side makes an
+    /// expired connection invisible, so this just bounds resource use.
+    pub idle_timeout: Duration,
+}
+
+impl Default for PartitiondConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8800".to_string(),
+            threads: 4,
+            queue_capacity: 16,
+            max_body_bytes: 8 * 1024 * 1024,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// The configured engine plus what it was configured with.
+struct Configured {
+    part: EnginePartition<DynSpatialIndex>,
+    region_index: u32,
+    region: Rect,
+    /// The canonical JSON of the accepted configure payload, for the
+    /// idempotency check.
+    fingerprint: String,
+}
+
+struct DaemonState {
+    engine: Mutex<Option<Configured>>,
+    draining: AtomicBool,
+    metrics: Arc<ServerMetrics>,
+}
+
+/// A running partition daemon. [`PartitionDaemon::start`] boots it
+/// unconfigured; a router configures it over the wire. Stop it with
+/// [`PartitionDaemon::shutdown`] + [`PartitionDaemon::join`], with
+/// `POST /partition/shutdown` (what a router's graceful shutdown sends), or
+/// with `POST /admin/shutdown`.
+pub struct PartitionDaemon {
+    core: HttpCore,
+    state: Arc<DaemonState>,
+}
+
+impl PartitionDaemon {
+    /// Binds the address and starts serving the partition protocol.
+    pub fn start(config: PartitiondConfig) -> Result<PartitionDaemon, ServerError> {
+        let metrics = Arc::new(ServerMetrics::default());
+        let state = Arc::new(DaemonState {
+            engine: Mutex::new(None),
+            draining: AtomicBool::new(false),
+            metrics: metrics.clone(),
+        });
+        let core = {
+            let state = state.clone();
+            HttpCore::start(
+                ListenerConfig {
+                    addr: config.addr.clone(),
+                    threads: config.threads,
+                    queue_capacity: config.queue_capacity,
+                    max_body_bytes: config.max_body_bytes,
+                    idle_timeout: config.idle_timeout,
+                },
+                metrics,
+                Arc::new(move |request: &Request, shutdown: &ShutdownHandle| {
+                    route(request, &state, shutdown)
+                }),
+            )?
+        };
+        Ok(PartitionDaemon { core, state })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.core.addr()
+    }
+
+    /// Is the daemon draining (refusing mutating commands)?
+    pub fn is_draining(&self) -> bool {
+        self.state.draining.load(Ordering::Acquire)
+    }
+
+    /// Begins the drain + stop sequence (what the shutdown routes do).
+    pub fn shutdown(&self) {
+        self.state.draining.store(true, Ordering::Release);
+        self.core.stopper().trigger();
+    }
+
+    /// Waits for the serving core to exit.
+    pub fn join(self) {
+        self.core.join();
+    }
+}
+
+/// Runs a closure on the configured engine, or 409s before any configure.
+fn with_engine<R>(
+    state: &DaemonState,
+    f: impl FnOnce(&mut EnginePartition<DynSpatialIndex>) -> R,
+) -> Result<R, ServerError> {
+    let mut guard = state.engine.lock().expect("daemon engine lock");
+    match guard.as_mut() {
+        Some(configured) => Ok(f(&mut configured.part)),
+        None => Err(ServerError::Conflict(
+            "partition not configured — POST /partition/configure first".into(),
+        )),
+    }
+}
+
+fn parse_body(request: &Request) -> Result<Json, ServerError> {
+    Ok(parse(request.body_utf8()?)?)
+}
+
+fn reply(request_id: u64, extra: impl IntoIterator<Item = (&'static str, Json)>) -> Response {
+    let mut pairs = vec![("request_id", Json::Num(request_id as f64))];
+    pairs.extend(extra);
+    Response::json(200, Json::obj(pairs).to_string_compact())
+}
+
+fn configure(state: &DaemonState, body: &Json) -> Result<Response, ServerError> {
+    // Version first, before decoding the rest: a router from a different
+    // protocol revision must get the version conflict, not a decode error
+    // about fields that revision may not even have.
+    let version = crate::dto::id(body, "protocol_version")?;
+    if version != PROTOCOL_VERSION {
+        return Err(ServerError::Conflict(format!(
+            "protocol version mismatch: daemon speaks v{PROTOCOL_VERSION}, router sent v{version}"
+        )));
+    }
+    let dto = ConfigureDto::from_json(body)?;
+    let fingerprint = dto.to_json().to_string_compact();
+    let backend = dto.backend_kind()?;
+    let partition = dto.routing.clone().into_partition()?;
+    if dto.region_index as usize >= partition.num_regions() {
+        return Err(ServerError::BadField {
+            field: "region_index",
+            expected: "an index into the routing table's regions",
+        });
+    }
+    let engine_config = dto.engine.clone().into_config()?;
+    let region = partition.region_rect(dto.region_index as usize);
+    // The index is built with the router's RAW cell size — exactly what
+    // the router's in-process regions use — never the routing table's
+    // derived η: a different resolution would resolve different candidate
+    // cells and silently break cross-transport determinism.
+    let cell_size = dto.cell_size;
+    if !cell_size.is_finite() || cell_size <= 0.0 {
+        return Err(ServerError::BadField {
+            field: "cell_size",
+            expected: "a positive finite cell size",
+        });
+    }
+
+    let mut guard = state.engine.lock().expect("daemon engine lock");
+    if let Some(existing) = guard.as_ref() {
+        if existing.fingerprint == fingerprint {
+            // A stateless router re-pushing its config after a restart.
+            return Ok(configured_response(existing, true));
+        }
+        return Err(ServerError::Conflict(format!(
+            "already configured as region {} of a different topology; \
+             refusing to silently re-route",
+            existing.region_index
+        )));
+    }
+    let engine = AssignmentEngine::new(backend.build(region, cell_size), engine_config);
+    let configured = Configured {
+        part: EnginePartition::new(engine),
+        region_index: dto.region_index,
+        region,
+        fingerprint,
+    };
+    let response = configured_response(&configured, false);
+    *guard = Some(configured);
+    Ok(response)
+}
+
+fn configured_response(configured: &Configured, already: bool) -> Response {
+    Response::json(
+        200,
+        Json::obj([
+            ("protocol_version", Json::Num(PROTOCOL_VERSION as f64)),
+            ("region_index", Json::Num(configured.region_index as f64)),
+            ("already_configured", Json::Bool(already)),
+            (
+                "region",
+                Json::obj([
+                    ("min_x", Json::Num(configured.region.min_x)),
+                    ("min_y", Json::Num(configured.region.min_y)),
+                    ("max_x", Json::Num(configured.region.max_x)),
+                    ("max_y", Json::Num(configured.region.max_y)),
+                ]),
+            ),
+        ])
+        .to_string_compact(),
+    )
+}
+
+fn route(
+    request: &Request,
+    state: &DaemonState,
+    shutdown: &ShutdownHandle,
+) -> Result<Response, ServerError> {
+    let draining = state.draining.load(Ordering::Acquire) || shutdown.stopping();
+    // Mutating protocol commands get a parseable 503 while draining; reads
+    // and the ops surface keep working so the drain is observable.
+    if draining {
+        let refused = matches!(
+            (request.method, request.path.as_str()),
+            (Method::Post, "/partition/configure")
+                | (Method::Post, "/partition/submit")
+                | (Method::Post, "/partition/tick")
+                | (Method::Post, "/partition/answer")
+                | (Method::Post, "/partition/release")
+        );
+        if refused {
+            return Err(ServerError::ShuttingDown);
+        }
+    }
+    match (request.method, request.path.as_str()) {
+        (Method::Get, "/healthz") => Ok(Response::json(
+            200,
+            Json::obj([
+                ("status", Json::Str("ok".into())),
+                ("draining", Json::Bool(draining)),
+            ])
+            .to_string_compact(),
+        )),
+
+        (Method::Get, "/metrics") => {
+            let mut body = state.metrics.to_json();
+            if let Json::Obj(map) = &mut body {
+                map.insert(
+                    "protocol_version".to_string(),
+                    Json::Num(PROTOCOL_VERSION as f64),
+                );
+                map.insert("draining".to_string(), Json::Bool(draining));
+                let guard = state.engine.lock().expect("daemon engine lock");
+                match guard.as_ref() {
+                    Some(configured) => {
+                        map.insert("configured".to_string(), Json::Bool(true));
+                        map.insert(
+                            "region_index".to_string(),
+                            Json::Num(configured.region_index as f64),
+                        );
+                        map.insert(
+                            "engine".to_string(),
+                            SnapshotDto::from_snapshot(&configured.part.snapshot()).to_json(),
+                        );
+                    }
+                    None => {
+                        map.insert("configured".to_string(), Json::Bool(false));
+                    }
+                }
+            }
+            Ok(Response::json(200, body.to_string_compact()))
+        }
+
+        (Method::Get, "/partition/hello") => {
+            let region = state
+                .engine
+                .lock()
+                .expect("daemon engine lock")
+                .as_ref()
+                .map(|c| c.region_index);
+            Ok(Response::json(
+                200,
+                HelloDto::current(region, draining).to_json().to_string_compact(),
+            ))
+        }
+
+        (Method::Post, "/partition/configure") => configure(state, &parse_body(request)?),
+
+        (Method::Post, "/partition/submit") => {
+            let (rid, events) = submit_from_json(&parse_body(request)?)?;
+            let buffered = events.len();
+            with_engine(state, |part| part.submit(events))?;
+            Ok(reply(rid, [("buffered", Json::Num(buffered as f64))]))
+        }
+
+        (Method::Post, "/partition/tick") => {
+            let body = parse_body(request)?;
+            let rid = request_id(&body)?;
+            let now = num(&body, "now")?;
+            if !now.is_finite() {
+                return Err(ServerError::BadField {
+                    field: "now",
+                    expected: "a finite number",
+                });
+            }
+            let tick = with_engine(state, |part| part.tick(now))?;
+            Ok(Response::json(
+                200,
+                TickReplyDto::from_tick(rid, &tick).to_json().to_string_compact(),
+            ))
+        }
+
+        (Method::Post, "/partition/answer") => {
+            let body = parse_body(request)?;
+            let rid = request_id(&body)?;
+            let (worker, contribution) = AnswerDto::from_json(&body)?.into_answer()?;
+            let banked =
+                with_engine(state, |part| part.record_answer(worker, contribution))?;
+            Ok(reply(rid, [("banked", Json::Bool(banked))]))
+        }
+
+        (Method::Post, "/partition/release") => {
+            let body = parse_body(request)?;
+            let rid = request_id(&body)?;
+            let worker = crate::dto::id(&body, "worker")?;
+            with_engine(state, |part| part.release_worker(WorkerId(worker)))?;
+            Ok(reply(rid, []))
+        }
+
+        (Method::Post, "/partition/assignments") => {
+            let rid = request_id(&parse_body(request)?)?;
+            let pairs = with_engine(state, |part| part.assignments())?;
+            Ok(reply(
+                rid,
+                [(
+                    "assignments",
+                    Json::Arr(
+                        pairs
+                            .iter()
+                            .map(|p| AssignmentDto::from_pair(p).to_json())
+                            .collect(),
+                    ),
+                )],
+            ))
+        }
+
+        (Method::Get, "/partition/snapshot") => {
+            let snapshot = with_engine(state, |part| part.snapshot())?;
+            Ok(Response::json(
+                200,
+                SnapshotDto::from_snapshot(&snapshot).to_json().to_string_compact(),
+            ))
+        }
+
+        (Method::Get, "/partition/active") => {
+            let active = with_engine(state, |part| part.is_active())?;
+            Ok(Response::json(
+                200,
+                Json::obj([("active", Json::Bool(active))]).to_string_compact(),
+            ))
+        }
+
+        (Method::Post, "/partition/has_worker") => {
+            let body = parse_body(request)?;
+            let rid = request_id(&body)?;
+            let worker = crate::dto::id(&body, "id")?;
+            let present = with_engine(state, |part| part.has_worker(WorkerId(worker)))?;
+            Ok(reply(rid, [("present", Json::Bool(present))]))
+        }
+
+        (Method::Post, "/partition/drain") => {
+            let rid = request_id(&parse_body(request)?)?;
+            state.draining.store(true, Ordering::Release);
+            Ok(reply(rid, [("draining", Json::Bool(true))]))
+        }
+
+        (Method::Post, "/partition/shutdown") | (Method::Post, "/admin/shutdown") => {
+            state.draining.store(true, Ordering::Release);
+            shutdown.trigger();
+            Ok(Response::json(
+                200,
+                Json::obj([("stopping", Json::Bool(true))]).to_string_compact(),
+            )
+            .with_close())
+        }
+
+        (_, path) => Err(ServerError::NotFound(path.to_string())),
+    }
+}

@@ -1,0 +1,918 @@
+//! Wire DTOs for the partition command protocol.
+//!
+//! The router side of the protocol is defined in
+//! [`rdbsc_platform::protocol`]; this module gives every command and reply
+//! a JSON encoding so the protocol can travel over the hand-rolled HTTP
+//! stack between a router ([`crate::remote::HttpPartitionClient`]) and an
+//! `rdbsc-partitiond` daemon ([`crate::partitiond`]).
+//!
+//! Conventions:
+//!
+//! * Every command body carries a `request_id` the daemon echoes in its
+//!   reply — the client checks the echo, so a desynced connection surfaces
+//!   as a protocol error instead of silently mismatched replies.
+//! * The protocol version is negotiated once per connection
+//!   (`GET /partition/hello`) and pinned by the configure command; the
+//!   command bodies themselves stay unversioned.
+//! * Floats survive the wire exactly: the JSON codec prints
+//!   shortest-round-trip forms ([`crate::json::write_f64`]), which is what
+//!   makes the cross-process determinism contract hold byte for byte.
+//! * `u64` quantities that can exceed 2^53 (the engine seed) are carried as
+//!   **strings**; everything bounded (ids are `u32`, counters are counts)
+//!   rides as JSON numbers.
+//!
+//! Like the serving DTOs ([`crate::dto`]), decoding validates field
+//! presence and types; model-level invariants are enforced when a DTO is
+//! turned into the corresponding engine object, so a hostile daemon or
+//! router gets a clean 400, never a panic.
+
+use crate::dto::{id, num, string, AssignmentDto, HeartbeatDto, TaskDto, WorkerDto};
+use crate::error::ServerError;
+use crate::json::Json;
+use rdbsc_cluster::{CellRange, RegionPartition};
+use rdbsc_geo::Rect;
+use rdbsc_index::geometry::GridGeometry;
+use rdbsc_index::{IndexBackend, MaintenanceCounters};
+use rdbsc_model::{TaskId, WorkerId};
+use rdbsc_platform::{
+    EngineConfig, EngineEvent, PartitionTick, TickReport, PROTOCOL_VERSION,
+};
+
+fn uint(value: &Json, field: &'static str) -> Result<u64, ServerError> {
+    let n = num(value, field)?;
+    if n.fract() != 0.0 || !(0.0..=9_007_199_254_740_992f64).contains(&n) {
+        return Err(ServerError::BadField {
+            field,
+            expected: "a non-negative integer",
+        });
+    }
+    Ok(n as u64)
+}
+
+fn u64_string(value: &Json, field: &'static str) -> Result<u64, ServerError> {
+    string(value, field)?
+        .parse()
+        .map_err(|_| ServerError::BadField {
+            field,
+            expected: "a u64 in a string",
+        })
+}
+
+fn bool_field(value: &Json, field: &'static str) -> Result<bool, ServerError> {
+    value
+        .get(field)
+        .ok_or(ServerError::MissingField(field))?
+        .as_bool()
+        .ok_or(ServerError::BadField {
+            field,
+            expected: "a boolean",
+        })
+}
+
+fn finite(value: f64, field: &'static str) -> Result<f64, ServerError> {
+    if !value.is_finite() {
+        return Err(ServerError::BadField {
+            field,
+            expected: "a finite number",
+        });
+    }
+    Ok(value)
+}
+
+/// Reads and validates the `request_id` of a command or reply body.
+pub fn request_id(value: &Json) -> Result<u64, ServerError> {
+    uint(value, "request_id")
+}
+
+/// One engine event on the wire, tagged by `type`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventDto {
+    /// `TaskArrived`.
+    TaskArrived(TaskDto),
+    /// `TaskExpired`.
+    TaskExpired(u32),
+    /// `WorkerCheckIn`.
+    WorkerCheckIn(WorkerDto),
+    /// `WorkerMoved`.
+    WorkerMoved(HeartbeatDto),
+    /// `WorkerLeft`.
+    WorkerLeft(u32),
+}
+
+impl EventDto {
+    /// Builds the DTO from an engine event.
+    pub fn from_event(event: &EngineEvent) -> Self {
+        match event {
+            EngineEvent::TaskArrived(task) => EventDto::TaskArrived(TaskDto::from_task(task)),
+            EngineEvent::TaskExpired(id) => EventDto::TaskExpired(id.0),
+            EngineEvent::WorkerCheckIn(worker) => {
+                EventDto::WorkerCheckIn(WorkerDto::from_worker(worker))
+            }
+            EngineEvent::WorkerMoved(id, to) => EventDto::WorkerMoved(HeartbeatDto {
+                id: id.0,
+                x: to.x,
+                y: to.y,
+            }),
+            EngineEvent::WorkerLeft(id) => EventDto::WorkerLeft(id.0),
+        }
+    }
+
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        match self {
+            EventDto::TaskArrived(task) => Json::obj([
+                ("type", Json::Str("task_arrived".into())),
+                ("task", task.to_json()),
+            ]),
+            EventDto::TaskExpired(id) => Json::obj([
+                ("type", Json::Str("task_expired".into())),
+                ("id", Json::Num(*id as f64)),
+            ]),
+            EventDto::WorkerCheckIn(worker) => Json::obj([
+                ("type", Json::Str("worker_check_in".into())),
+                ("worker", worker.to_json()),
+            ]),
+            EventDto::WorkerMoved(heartbeat) => Json::obj([
+                ("type", Json::Str("worker_moved".into())),
+                ("move", heartbeat.to_json()),
+            ]),
+            EventDto::WorkerLeft(id) => Json::obj([
+                ("type", Json::Str("worker_left".into())),
+                ("id", Json::Num(*id as f64)),
+            ]),
+        }
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        let kind = string(value, "type")?;
+        match kind.as_str() {
+            "task_arrived" => Ok(EventDto::TaskArrived(TaskDto::from_json(
+                value.get("task").ok_or(ServerError::MissingField("task"))?,
+            )?)),
+            "task_expired" => Ok(EventDto::TaskExpired(id(value, "id")?)),
+            "worker_check_in" => Ok(EventDto::WorkerCheckIn(WorkerDto::from_json(
+                value
+                    .get("worker")
+                    .ok_or(ServerError::MissingField("worker"))?,
+            )?)),
+            "worker_moved" => Ok(EventDto::WorkerMoved(HeartbeatDto::from_json(
+                value.get("move").ok_or(ServerError::MissingField("move"))?,
+            )?)),
+            "worker_left" => Ok(EventDto::WorkerLeft(id(value, "id")?)),
+            _ => Err(ServerError::BadField {
+                field: "type",
+                expected: "a known event type",
+            }),
+        }
+    }
+
+    /// Converts into a validated engine event.
+    pub fn into_event(self) -> Result<EngineEvent, ServerError> {
+        Ok(match self {
+            EventDto::TaskArrived(task) => EngineEvent::TaskArrived(task.into_task()?),
+            EventDto::TaskExpired(id) => EngineEvent::TaskExpired(TaskId(id)),
+            EventDto::WorkerCheckIn(worker) => EngineEvent::WorkerCheckIn(worker.into_worker()?),
+            EventDto::WorkerMoved(heartbeat) => {
+                finite(heartbeat.x, "x")?;
+                finite(heartbeat.y, "y")?;
+                EngineEvent::WorkerMoved(
+                    WorkerId(heartbeat.id),
+                    rdbsc_geo::Point::new(heartbeat.x, heartbeat.y),
+                )
+            }
+            EventDto::WorkerLeft(id) => EngineEvent::WorkerLeft(WorkerId(id)),
+        })
+    }
+}
+
+/// Encodes a routed event batch (`POST /partition/submit`).
+pub fn submit_to_json(request_id: u64, events: &[EngineEvent]) -> Json {
+    Json::obj([
+        ("request_id", Json::Num(request_id as f64)),
+        (
+            "events",
+            Json::Arr(
+                events
+                    .iter()
+                    .map(|e| EventDto::from_event(e).to_json())
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a submit body into validated engine events.
+pub fn submit_from_json(value: &Json) -> Result<(u64, Vec<EngineEvent>), ServerError> {
+    let rid = request_id(value)?;
+    let events = value
+        .get("events")
+        .ok_or(ServerError::MissingField("events"))?
+        .as_arr()
+        .ok_or(ServerError::BadField {
+            field: "events",
+            expected: "an array",
+        })?
+        .iter()
+        .map(|e| EventDto::from_json(e)?.into_event())
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((rid, events))
+}
+
+/// The full-fidelity tick report on the wire — everything the router's
+/// merge needs, so a remote partition's tick contributes to the merged
+/// [`TickReport`] exactly like a local one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReplyDto {
+    /// The echoed request id.
+    pub request_id: u64,
+    /// The tick's time.
+    pub now: f64,
+    /// Events drained from the queue this tick.
+    pub events_applied: u64,
+    /// Tasks auto-expired at the start of the tick.
+    pub tasks_expired: u64,
+    /// Independent shards solved.
+    pub num_shards: u64,
+    /// Valid pairs in the largest shard.
+    pub largest_shard_pairs: u64,
+    /// Solver picked per shard, in shard order.
+    pub strategies: Vec<String>,
+    /// The pairs newly committed this tick.
+    pub new_assignments: Vec<AssignmentDto>,
+    /// Wall-clock seconds spent in the sharded solve.
+    pub solve_seconds: f64,
+    /// Per-shard solve seconds, in shard order.
+    pub shard_solve_seconds: Vec<f64>,
+    /// Index maintenance counters for this tick.
+    pub index_relocations: u64,
+    /// Cells repaired during this tick.
+    pub index_cells_repaired: u64,
+    /// `tcell_list` rebuilds during this tick.
+    pub index_tcell_rebuilds: u64,
+    /// Workers committed in this partition after the tick (the handoff
+    /// oracle), in the engine's listing order.
+    pub committed: Vec<u32>,
+}
+
+/// The solver names the engine can report; the wire decode maps back onto
+/// these statics so a merged report compares equal to a local one.
+const KNOWN_STRATEGIES: [&str; 4] = ["GREEDY", "SAMPLING", "D&C", "G-TRUTH"];
+
+impl TickReplyDto {
+    /// Builds the DTO from a partition tick.
+    pub fn from_tick(request_id: u64, tick: &PartitionTick) -> Self {
+        let r = &tick.report;
+        Self {
+            request_id,
+            now: r.now,
+            events_applied: r.events_applied as u64,
+            tasks_expired: r.tasks_expired as u64,
+            num_shards: r.num_shards as u64,
+            largest_shard_pairs: r.largest_shard_pairs as u64,
+            strategies: r.strategies.iter().map(|s| s.to_string()).collect(),
+            new_assignments: r.new_assignments.iter().map(AssignmentDto::from_pair).collect(),
+            solve_seconds: r.solve_seconds,
+            shard_solve_seconds: r.shard_solve_seconds.clone(),
+            index_relocations: r.index_maintenance.relocations,
+            index_cells_repaired: r.index_maintenance.cells_repaired,
+            index_tcell_rebuilds: r.index_maintenance.tcell_rebuilds,
+            committed: tick.committed.iter().map(|w| w.0).collect(),
+        }
+    }
+
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("request_id", Json::Num(self.request_id as f64)),
+            ("now", Json::Num(self.now)),
+            ("events_applied", Json::Num(self.events_applied as f64)),
+            ("tasks_expired", Json::Num(self.tasks_expired as f64)),
+            ("num_shards", Json::Num(self.num_shards as f64)),
+            (
+                "largest_shard_pairs",
+                Json::Num(self.largest_shard_pairs as f64),
+            ),
+            (
+                "strategies",
+                Json::Arr(
+                    self.strategies
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "new_assignments",
+                Json::Arr(self.new_assignments.iter().map(|a| a.to_json()).collect()),
+            ),
+            ("solve_seconds", Json::Num(self.solve_seconds)),
+            (
+                "shard_solve_seconds",
+                Json::Arr(
+                    self.shard_solve_seconds
+                        .iter()
+                        .map(|s| Json::Num(*s))
+                        .collect(),
+                ),
+            ),
+            ("index_relocations", Json::Num(self.index_relocations as f64)),
+            (
+                "index_cells_repaired",
+                Json::Num(self.index_cells_repaired as f64),
+            ),
+            (
+                "index_tcell_rebuilds",
+                Json::Num(self.index_tcell_rebuilds as f64),
+            ),
+            (
+                "committed",
+                Json::Arr(self.committed.iter().map(|w| Json::Num(*w as f64)).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        let strategies = value
+            .get("strategies")
+            .ok_or(ServerError::MissingField("strategies"))?
+            .as_arr()
+            .ok_or(ServerError::BadField {
+                field: "strategies",
+                expected: "an array",
+            })?
+            .iter()
+            .map(|s| {
+                s.as_str().map(str::to_string).ok_or(ServerError::BadField {
+                    field: "strategies",
+                    expected: "an array of strings",
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let new_assignments = value
+            .get("new_assignments")
+            .ok_or(ServerError::MissingField("new_assignments"))?
+            .as_arr()
+            .ok_or(ServerError::BadField {
+                field: "new_assignments",
+                expected: "an array",
+            })?
+            .iter()
+            .map(AssignmentDto::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let shard_solve_seconds = value
+            .get("shard_solve_seconds")
+            .ok_or(ServerError::MissingField("shard_solve_seconds"))?
+            .as_arr()
+            .ok_or(ServerError::BadField {
+                field: "shard_solve_seconds",
+                expected: "an array",
+            })?
+            .iter()
+            .map(|s| {
+                s.as_num().ok_or(ServerError::BadField {
+                    field: "shard_solve_seconds",
+                    expected: "an array of numbers",
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let committed = value
+            .get("committed")
+            .ok_or(ServerError::MissingField("committed"))?
+            .as_arr()
+            .ok_or(ServerError::BadField {
+                field: "committed",
+                expected: "an array",
+            })?
+            .iter()
+            .map(|w| {
+                let n = w.as_num().ok_or(ServerError::BadField {
+                    field: "committed",
+                    expected: "an array of worker ids",
+                })?;
+                if n.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&n) {
+                    return Err(ServerError::BadField {
+                        field: "committed",
+                        expected: "an array of worker ids",
+                    });
+                }
+                Ok(n as u32)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            request_id: request_id(value)?,
+            now: num(value, "now")?,
+            events_applied: uint(value, "events_applied")?,
+            tasks_expired: uint(value, "tasks_expired")?,
+            num_shards: uint(value, "num_shards")?,
+            largest_shard_pairs: uint(value, "largest_shard_pairs")?,
+            strategies,
+            new_assignments,
+            solve_seconds: num(value, "solve_seconds")?,
+            shard_solve_seconds,
+            index_relocations: uint(value, "index_relocations")?,
+            index_cells_repaired: uint(value, "index_cells_repaired")?,
+            index_tcell_rebuilds: uint(value, "index_tcell_rebuilds")?,
+            committed,
+        })
+    }
+
+    /// Converts into the router-side [`PartitionTick`]. Unknown strategy
+    /// names (a newer daemon) decode as `"UNKNOWN"` rather than failing.
+    pub fn into_tick(self) -> Result<PartitionTick, ServerError> {
+        let strategies = self
+            .strategies
+            .iter()
+            .map(|s| {
+                KNOWN_STRATEGIES
+                    .iter()
+                    .find(|known| *known == s)
+                    .copied()
+                    .unwrap_or("UNKNOWN")
+            })
+            .collect();
+        let new_assignments = self
+            .new_assignments
+            .into_iter()
+            .map(AssignmentDto::into_pair)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PartitionTick {
+            report: TickReport {
+                now: self.now,
+                events_applied: self.events_applied as usize,
+                tasks_expired: self.tasks_expired as usize,
+                num_shards: self.num_shards as usize,
+                largest_shard_pairs: self.largest_shard_pairs as usize,
+                strategies,
+                new_assignments,
+                solve_seconds: self.solve_seconds,
+                shard_solve_seconds: self.shard_solve_seconds,
+                index_maintenance: MaintenanceCounters {
+                    relocations: self.index_relocations,
+                    cells_repaired: self.index_cells_repaired,
+                    tcell_rebuilds: self.index_tcell_rebuilds,
+                },
+            },
+            committed: self.committed.into_iter().map(WorkerId).collect(),
+        })
+    }
+}
+
+/// The routing table: grid geometry plus the canonical region list —
+/// everything a daemon needs to agree with the router on region boundaries
+/// (and to reject a router whose geometry differs from the one it was
+/// configured with). The grid resolution rides as the **integer axis
+/// count**, not the float `η`: re-deriving the count from `η` on the far
+/// side (`ceil(extent / η)`) can land one ulp above the integer for some
+/// resolutions, which would make a daemon reject the router's own table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTableDto {
+    /// The data-space rectangle.
+    pub space: (f64, f64, f64, f64),
+    /// Grid cells per axis (`η` is recomputed as `extent / cells_per_axis`,
+    /// bit-identically on both sides).
+    pub cells_per_axis: u32,
+    /// The regions as cell ranges `(col0, row0, col1, row1)`, in partition
+    /// order.
+    pub regions: Vec<(u32, u32, u32, u32)>,
+}
+
+impl RoutingTableDto {
+    /// Builds the DTO from a region partition.
+    pub fn from_partition(partition: &RegionPartition) -> Self {
+        let geometry = partition.geometry();
+        let space = geometry.space();
+        Self {
+            space: (space.min_x, space.min_y, space.max_x, space.max_y),
+            cells_per_axis: geometry.cells_per_axis() as u32,
+            regions: partition
+                .regions()
+                .iter()
+                .map(|r| (r.col0 as u32, r.row0 as u32, r.col1 as u32, r.row1 as u32))
+                .collect(),
+        }
+    }
+
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        let (min_x, min_y, max_x, max_y) = self.space;
+        Json::obj([
+            (
+                "space",
+                Json::obj([
+                    ("min_x", Json::Num(min_x)),
+                    ("min_y", Json::Num(min_y)),
+                    ("max_x", Json::Num(max_x)),
+                    ("max_y", Json::Num(max_y)),
+                ]),
+            ),
+            ("cells_per_axis", Json::Num(self.cells_per_axis as f64)),
+            (
+                "regions",
+                Json::Arr(
+                    self.regions
+                        .iter()
+                        .map(|(col0, row0, col1, row1)| {
+                            Json::obj([
+                                ("col0", Json::Num(*col0 as f64)),
+                                ("row0", Json::Num(*row0 as f64)),
+                                ("col1", Json::Num(*col1 as f64)),
+                                ("row1", Json::Num(*row1 as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        let space = value.get("space").ok_or(ServerError::MissingField("space"))?;
+        let regions = value
+            .get("regions")
+            .ok_or(ServerError::MissingField("regions"))?
+            .as_arr()
+            .ok_or(ServerError::BadField {
+                field: "regions",
+                expected: "an array",
+            })?
+            .iter()
+            .map(|r| {
+                Ok((
+                    id(r, "col0")?,
+                    id(r, "row0")?,
+                    id(r, "col1")?,
+                    id(r, "row1")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, ServerError>>()?;
+        Ok(Self {
+            space: (
+                num(space, "min_x")?,
+                num(space, "min_y")?,
+                num(space, "max_x")?,
+                num(space, "max_y")?,
+            ),
+            cells_per_axis: id(value, "cells_per_axis")?,
+            regions,
+        })
+    }
+
+    /// Converts into a validated [`RegionPartition`]: finite geometry, a
+    /// positive cell size, and a region list that tiles the grid exactly in
+    /// canonical order (see [`RegionPartition::from_regions`]).
+    pub fn into_partition(self) -> Result<RegionPartition, ServerError> {
+        let (min_x, min_y, max_x, max_y) = self.space;
+        for v in [min_x, min_y, max_x, max_y] {
+            finite(v, "space")?;
+        }
+        if !(min_x < max_x && min_y < max_y) {
+            return Err(ServerError::BadField {
+                field: "space",
+                expected: "a non-empty rectangle",
+            });
+        }
+        if !(1..=1024).contains(&self.cells_per_axis) {
+            return Err(ServerError::BadField {
+                field: "cells_per_axis",
+                expected: "an axis count in [1, 1024]",
+            });
+        }
+        let geometry = GridGeometry::with_cells_per_axis(
+            Rect::new(min_x, min_y, max_x, max_y),
+            self.cells_per_axis as usize,
+        );
+        let regions = self
+            .regions
+            .into_iter()
+            .map(|(col0, row0, col1, row1)| CellRange {
+                col0: col0 as usize,
+                row0: row0 as usize,
+                col1: col1 as usize,
+                row1: row1 as usize,
+            })
+            .collect();
+        RegionPartition::from_regions(geometry, regions)
+            .map_err(ServerError::Conflict)
+    }
+}
+
+/// The engine configuration on the wire (the seed rides as a string: JSON
+/// numbers lose u64 precision past 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfigDto {
+    /// Diversity balance weight β.
+    pub beta: f64,
+    /// Solver parallelism (0 = all cores).
+    pub parallelism: u64,
+    /// Deterministic base seed.
+    pub seed: u64,
+    /// Auto-expire tasks at tick start?
+    pub auto_expire: bool,
+}
+
+impl EngineConfigDto {
+    /// Builds the DTO from an engine config.
+    pub fn from_config(config: &EngineConfig) -> Self {
+        Self {
+            beta: config.beta,
+            parallelism: config.parallelism as u64,
+            seed: config.seed,
+            auto_expire: config.auto_expire,
+        }
+    }
+
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("beta", Json::Num(self.beta)),
+            ("parallelism", Json::Num(self.parallelism as f64)),
+            ("seed", Json::Str(self.seed.to_string())),
+            ("auto_expire", Json::Bool(self.auto_expire)),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        Ok(Self {
+            beta: num(value, "beta")?,
+            parallelism: uint(value, "parallelism")?,
+            seed: u64_string(value, "seed")?,
+            auto_expire: bool_field(value, "auto_expire")?,
+        })
+    }
+
+    /// Converts into a validated [`EngineConfig`].
+    pub fn into_config(self) -> Result<EngineConfig, ServerError> {
+        finite(self.beta, "beta")?;
+        if !(0.0..=1.0).contains(&self.beta) {
+            return Err(ServerError::BadField {
+                field: "beta",
+                expected: "a weight in [0, 1]",
+            });
+        }
+        Ok(EngineConfig {
+            beta: self.beta,
+            parallelism: self.parallelism as usize,
+            seed: self.seed,
+            auto_expire: self.auto_expire,
+        })
+    }
+}
+
+/// `POST /partition/configure`: the routing table, which of its regions
+/// this daemon serves, the index backend and the engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigureDto {
+    /// The router's protocol version.
+    pub protocol_version: u32,
+    /// The routing table both sides must agree on.
+    pub routing: RoutingTableDto,
+    /// The region (partition index) this daemon serves.
+    pub region_index: u32,
+    /// The spatial-index backend name (`"grid"` / `"flat-grid"`).
+    pub backend: String,
+    /// The **raw configured cell size** the daemon must build its region
+    /// index with — the same value in-process regions are built with. The
+    /// routing table's effective `η` is derived from it but not identical
+    /// (clamping), and an index built with the wrong one resolves cells
+    /// differently, silently breaking cross-transport determinism.
+    pub cell_size: f64,
+    /// The engine configuration (shared by every partition).
+    pub engine: EngineConfigDto,
+}
+
+impl ConfigureDto {
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol_version", Json::Num(self.protocol_version as f64)),
+            ("routing", self.routing.to_json()),
+            ("region_index", Json::Num(self.region_index as f64)),
+            ("backend", Json::Str(self.backend.clone())),
+            ("cell_size", Json::Num(self.cell_size)),
+            ("engine", self.engine.to_json()),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        Ok(Self {
+            protocol_version: id(value, "protocol_version")?,
+            routing: RoutingTableDto::from_json(
+                value
+                    .get("routing")
+                    .ok_or(ServerError::MissingField("routing"))?,
+            )?,
+            region_index: id(value, "region_index")?,
+            backend: string(value, "backend")?,
+            cell_size: num(value, "cell_size")?,
+            engine: EngineConfigDto::from_json(
+                value
+                    .get("engine")
+                    .ok_or(ServerError::MissingField("engine"))?,
+            )?,
+        })
+    }
+
+    /// Validates the backend name.
+    pub fn backend_kind(&self) -> Result<IndexBackend, ServerError> {
+        IndexBackend::parse(&self.backend).ok_or(ServerError::BadField {
+            field: "backend",
+            expected: "a known index backend (grid / flat-grid)",
+        })
+    }
+}
+
+/// `GET /partition/hello`: what a daemon tells a connecting router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelloDto {
+    /// The daemon's protocol version.
+    pub protocol_version: u32,
+    /// Whether a configure has taken effect.
+    pub configured: bool,
+    /// The configured region index, when configured.
+    pub region_index: Option<u32>,
+    /// Whether the daemon is draining (refusing commands).
+    pub draining: bool,
+}
+
+impl HelloDto {
+    /// The hello for this build at the given state.
+    pub fn current(configured: Option<u32>, draining: bool) -> Self {
+        Self {
+            protocol_version: PROTOCOL_VERSION,
+            configured: configured.is_some(),
+            region_index: configured,
+            draining,
+        }
+    }
+
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("protocol_version", Json::Num(self.protocol_version as f64)),
+            ("configured", Json::Bool(self.configured)),
+            ("draining", Json::Bool(self.draining)),
+        ];
+        if let Some(region) = self.region_index {
+            pairs.push(("region_index", Json::Num(region as f64)));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        let region_index = match value.get("region_index") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(id(value, "region_index")?),
+        };
+        Ok(Self {
+            protocol_version: id(value, "protocol_version")?,
+            configured: bool_field(value, "configured")?,
+            region_index,
+            draining: bool_field(value, "draining")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use rdbsc_cluster::RegionPartitioner;
+    use rdbsc_geo::{AngleRange, Point};
+    use rdbsc_model::{Confidence, Task, TimeWindow, Worker};
+    use rdbsc_platform::PROTOCOL_VERSION;
+
+    fn events() -> Vec<EngineEvent> {
+        vec![
+            EngineEvent::TaskArrived(Task::new(
+                TaskId(1),
+                Point::new(0.25, 0.75),
+                TimeWindow::new(0.5, 4.5).unwrap(),
+            )),
+            EngineEvent::TaskExpired(TaskId(2)),
+            EngineEvent::WorkerCheckIn(
+                Worker::new(
+                    WorkerId(3),
+                    Point::new(0.1, 0.9),
+                    0.4,
+                    AngleRange::full(),
+                    Confidence::new(0.8).unwrap(),
+                )
+                .unwrap(),
+            ),
+            EngineEvent::WorkerMoved(WorkerId(4), Point::new(0.6, 0.6)),
+            EngineEvent::WorkerLeft(WorkerId(5)),
+        ]
+    }
+
+    #[test]
+    fn submit_bodies_round_trip() {
+        let events = events();
+        let body = submit_to_json(42, &events).to_string_compact();
+        let (rid, decoded) = submit_from_json(&parse(&body).unwrap()).unwrap();
+        assert_eq!(rid, 42);
+        assert_eq!(decoded.len(), events.len());
+        // Spot-check exact payload survival through the typed layer.
+        let reencoded = submit_to_json(42, &decoded).to_string_compact();
+        assert_eq!(reencoded, body);
+    }
+
+    #[test]
+    fn routing_tables_survive_eta_hostile_cell_sizes() {
+        // Regression: the table used to ship the derived float η and the
+        // daemon re-derived the axis count as ceil(extent / η), which lands
+        // one ulp above the integer for some resolutions (103 cells/axis is
+        // one) — the daemon then rejected the router's own table. The
+        // integer axis count on the wire is immune for every resolution.
+        // A stride over the axis range plus the counts known to trip the
+        // float re-derivation (49, 98, 103, 107 are among the 67 bad ones).
+        for cells in (1..=1024usize).step_by(23).chain([49, 98, 103, 107, 1024]) {
+            let geometry =
+                GridGeometry::with_cells_per_axis(Rect::unit(), cells);
+            let partition = RegionPartitioner::uniform().split(geometry, 2, &[]);
+            let wire = RoutingTableDto::from_partition(&partition)
+                .to_json()
+                .to_string_compact();
+            let rebuilt = RoutingTableDto::from_json(&crate::json::parse(&wire).unwrap())
+                .unwrap()
+                .into_partition()
+                .unwrap_or_else(|e| panic!("{cells} cells/axis rejected: {e}"));
+            assert_eq!(rebuilt, partition, "{cells} cells/axis");
+        }
+        // The concrete cell size from the bug report.
+        let geometry = GridGeometry::new(Rect::unit(), 0.009751);
+        let partition = RegionPartitioner::uniform().split(geometry, 2, &[]);
+        let rebuilt = RoutingTableDto::from_partition(&partition)
+            .into_partition()
+            .expect("a split's own table must validate");
+        assert_eq!(rebuilt, partition);
+    }
+
+    #[test]
+    fn routing_tables_round_trip_and_validate() {
+        let geometry = GridGeometry::new(Rect::unit(), 0.1);
+        let partition = RegionPartitioner::uniform().split(geometry, 3, &[]);
+        let dto = RoutingTableDto::from_partition(&partition);
+        let wire = dto.to_json().to_string_compact();
+        let decoded = RoutingTableDto::from_json(&parse(&wire).unwrap()).unwrap();
+        assert_eq!(decoded, dto);
+        let rebuilt = decoded.into_partition().unwrap();
+        assert_eq!(rebuilt, partition, "daemon and router agree on geometry");
+
+        // A reordered table must be rejected, not silently remapped.
+        let mut reordered = dto.clone();
+        reordered.regions.rotate_left(1);
+        assert!(reordered.into_partition().is_err());
+    }
+
+    #[test]
+    fn engine_config_round_trips_with_a_big_seed() {
+        let config = EngineConfig {
+            beta: 0.35,
+            parallelism: 3,
+            seed: u64::MAX - 12345, // would not survive as a JSON number
+            auto_expire: false,
+        };
+        let dto = EngineConfigDto::from_config(&config);
+        let wire = dto.to_json().to_string_compact();
+        let decoded = EngineConfigDto::from_json(&parse(&wire).unwrap()).unwrap();
+        assert_eq!(decoded, dto);
+        let rebuilt = decoded.into_config().unwrap();
+        assert_eq!(rebuilt.seed, config.seed);
+        assert_eq!(rebuilt.beta, config.beta);
+        assert!(!rebuilt.auto_expire);
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        for hello in [HelloDto::current(None, false), HelloDto::current(Some(2), true)] {
+            let wire = hello.to_json().to_string_compact();
+            assert_eq!(HelloDto::from_json(&parse(&wire).unwrap()).unwrap(), hello);
+        }
+        assert_eq!(HelloDto::current(None, false).protocol_version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn malformed_protocol_bodies_are_rejected_not_panicking() {
+        for hostile in [
+            "{}",
+            r#"{"request_id":-1,"events":[]}"#,
+            r#"{"request_id":1,"events":[{"type":"nope"}]}"#,
+            r#"{"request_id":1,"events":[{"type":"task_arrived"}]}"#,
+            r#"{"request_id":1.5,"events":[]}"#,
+            r#"{"request_id":1,"events":"no"}"#,
+        ] {
+            assert!(submit_from_json(&parse(hostile).unwrap()).is_err(), "{hostile}");
+        }
+        assert!(RoutingTableDto::from_json(&parse("{}").unwrap()).is_err());
+        assert!(EngineConfigDto::from_json(
+            &parse(r#"{"beta":0.5,"parallelism":0,"seed":42,"auto_expire":true}"#).unwrap()
+        )
+        .is_err(), "a numeric seed is rejected (must be a string)");
+    }
+}

@@ -1,0 +1,420 @@
+//! The wire backend of the partition protocol:
+//! [`HttpPartitionClient`] drives one `rdbsc-partitiond` daemon over
+//! persistent keep-alive HTTP/1.1.
+//!
+//! * **Handshake.** [`connect_remote_partition`] opens the connection, reads
+//!   `GET /partition/hello` (refusing a daemon speaking a different
+//!   [`PROTOCOL_VERSION`]) and pushes the configure payload — routing table,
+//!   region index, backend, engine config — so router and daemon provably
+//!   agree on the region geometry before the first event is routed.
+//! * **Request ids.** Every command carries a `request_id` the daemon
+//!   echoes; a mismatched echo is a protocol error, so a desynced
+//!   connection can never pair a reply with the wrong command.
+//! * **Split phases.** `begin_tick`/`begin_submit` only *write* the request;
+//!   the daemon starts working as soon as the bytes land, and the router
+//!   collects replies after dispatching to every partition — N daemons
+//!   solve concurrently.
+//! * **Connection discipline.** The underlying [`HttpClient`] honours
+//!   RFC 9110 `Connection` token lists on responses (reconnect on `close`,
+//!   reuse on `keep-alive`) and retries a command exactly once when a
+//!   *reused* keep-alive connection turns out stale — the daemon never saw
+//!   the request, so at-most-once execution holds. Retries, reconnects,
+//!   bytes and per-command latency all land in the shared
+//!   [`ProtocolCounters`], surfaced per partition on the router's
+//!   `/metrics`.
+
+use crate::client::{ClientResponse, HttpClient};
+use crate::dto::{AssignmentDto, SnapshotDto};
+use crate::error::ServerError;
+use crate::json::Json;
+use crate::protocol::{
+    self, ConfigureDto, EngineConfigDto, HelloDto, RoutingTableDto, TickReplyDto,
+};
+use rdbsc_cluster::RegionPartition;
+use rdbsc_index::IndexBackend;
+use rdbsc_model::valid_pairs::ValidPair;
+use rdbsc_model::{Contribution, WorkerId};
+use rdbsc_platform::{
+    EngineConfig, EngineEvent, EngineSnapshot, PartitionClient, PartitionError, PartitionTick,
+    ProtocolCounters, PROTOCOL_VERSION,
+};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long one protocol command may take on the wire before the router
+/// gives the partition up. Ticks solve whole regions, so this is generous.
+const COMMAND_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A split-phase command whose reply has not been collected yet.
+struct Pending {
+    request_id: u64,
+    started: Instant,
+}
+
+/// The partition protocol over HTTP/1.1 (see the [module docs](self)).
+pub struct HttpPartitionClient {
+    endpoint: String,
+    client: HttpClient,
+    counters: Arc<ProtocolCounters>,
+    next_request_id: u64,
+    pending_submit: Option<Pending>,
+    pending_tick: Option<Pending>,
+}
+
+/// Resolves, handshakes and configures one remote partition, returning the
+/// boxed protocol client the router mounts for that region. Fails when the
+/// daemon is unreachable, speaks a different protocol version, or is
+/// already configured as part of a different topology.
+pub fn connect_remote_partition(
+    addr: &str,
+    partition: &RegionPartition,
+    region_index: usize,
+    backend: IndexBackend,
+    cell_size: f64,
+    engine: &EngineConfig,
+) -> Result<Box<dyn PartitionClient>, ServerError> {
+    let mut client = HttpPartitionClient::connect(addr)?;
+    client.configure(partition, region_index, backend, cell_size, engine)?;
+    Ok(Box::new(client))
+}
+
+impl HttpPartitionClient {
+    /// Opens the transport and performs the protocol-version handshake.
+    pub fn connect(addr: &str) -> Result<Self, ServerError> {
+        let socket: SocketAddr = addr
+            .to_socket_addrs()
+            .map_err(|e| {
+                ServerError::BadRequest(format!("cannot resolve partition address {addr:?}: {e}"))
+            })?
+            .next()
+            .ok_or_else(|| {
+                ServerError::BadRequest(format!("partition address {addr:?} resolves to nothing"))
+            })?;
+        let counters = Arc::new(ProtocolCounters::default());
+        let mut client = Self {
+            endpoint: addr.to_string(),
+            client: HttpClient::new(socket)
+                .with_timeout(COMMAND_TIMEOUT)
+                .with_counters(Arc::clone(&counters)),
+            counters,
+            next_request_id: 0,
+            pending_submit: None,
+            pending_tick: None,
+        };
+        let hello = client.hello()?;
+        if hello.protocol_version != PROTOCOL_VERSION {
+            return Err(ServerError::Conflict(format!(
+                "partition {addr} speaks protocol v{} but this router speaks v{}",
+                hello.protocol_version, PROTOCOL_VERSION
+            )));
+        }
+        if hello.draining {
+            return Err(ServerError::Conflict(format!(
+                "partition {addr} is draining and cannot join a topology"
+            )));
+        }
+        Ok(client)
+    }
+
+    /// Reads the daemon's hello.
+    pub fn hello(&mut self) -> Result<HelloDto, ServerError> {
+        let response = self.client.get("/partition/hello")?;
+        if !response.is_success() {
+            return Err(ServerError::BadRequest(format!(
+                "hello from {} failed with {}: {}",
+                self.endpoint, response.status, response.body
+            )));
+        }
+        HelloDto::from_json(&response.json()?)
+    }
+
+    /// Pushes the routing table + engine config for `region_index`. The
+    /// daemon builds its engine over exactly this table's region rectangle,
+    /// with an index at the router's raw `cell_size` — the same value the
+    /// router's in-process regions use (idempotent for an identical
+    /// re-push; 409 for a conflicting one).
+    pub fn configure(
+        &mut self,
+        partition: &RegionPartition,
+        region_index: usize,
+        backend: IndexBackend,
+        cell_size: f64,
+        engine: &EngineConfig,
+    ) -> Result<(), ServerError> {
+        let dto = ConfigureDto {
+            protocol_version: PROTOCOL_VERSION,
+            routing: RoutingTableDto::from_partition(partition),
+            region_index: region_index as u32,
+            backend: backend.name().to_string(),
+            cell_size,
+            engine: EngineConfigDto::from_config(engine),
+        };
+        let response = self.client.post("/partition/configure", &dto.to_json())?;
+        if !response.is_success() {
+            return Err(ServerError::Conflict(format!(
+                "configuring partition {} as region {region_index} failed with {}: {}",
+                self.endpoint, response.status, response.body
+            )));
+        }
+        Ok(())
+    }
+
+    fn next_rid(&mut self) -> u64 {
+        self.next_request_id += 1;
+        self.next_request_id
+    }
+
+    fn transport(&self, e: ServerError) -> PartitionError {
+        PartitionError::Transport {
+            endpoint: self.endpoint.clone(),
+            detail: e.to_string(),
+        }
+    }
+
+    fn protocol_err(&self, detail: impl Into<String>) -> PartitionError {
+        PartitionError::Protocol {
+            endpoint: self.endpoint.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Validates a reply: 2xx, parseable, and echoing `request_id`. Records
+    /// the command in the counters on success.
+    fn check_reply(
+        &mut self,
+        response: ClientResponse,
+        rid: u64,
+        started: Instant,
+    ) -> Result<Json, PartitionError> {
+        if response.status == 503 {
+            return Err(PartitionError::Draining {
+                endpoint: self.endpoint.clone(),
+            });
+        }
+        if !response.is_success() {
+            return Err(self.protocol_err(format!(
+                "command failed with {}: {}",
+                response.status, response.body
+            )));
+        }
+        let body = response
+            .json()
+            .map_err(|e| self.protocol_err(format!("unparseable reply: {e}")))?;
+        let echoed = protocol::request_id(&body)
+            .map_err(|e| self.protocol_err(format!("reply without request_id: {e}")))?;
+        if echoed != rid {
+            return Err(self.protocol_err(format!(
+                "reply echoes request {echoed} but {rid} is in flight — connection desynced"
+            )));
+        }
+        self.counters.requests.incr();
+        self.counters.command_latency.record(started.elapsed());
+        Ok(body)
+    }
+
+    /// One full command round trip with a request id.
+    fn roundtrip(&mut self, path: &str, body: Json) -> Result<(u64, Json), PartitionError> {
+        let rid = protocol::request_id(&body).expect("caller embeds the request id");
+        let started = Instant::now();
+        let response = self
+            .client
+            .post(path, &body)
+            .map_err(|e| self.transport(e))?;
+        Ok((rid, self.check_reply(response, rid, started)?))
+    }
+
+    /// A `GET` round trip (no request id in the reply).
+    fn get(&mut self, path: &str) -> Result<Json, PartitionError> {
+        let started = Instant::now();
+        let response = self.client.get(path).map_err(|e| self.transport(e))?;
+        if response.status == 503 {
+            return Err(PartitionError::Draining {
+                endpoint: self.endpoint.clone(),
+            });
+        }
+        if !response.is_success() {
+            return Err(self.protocol_err(format!(
+                "GET {path} failed with {}: {}",
+                response.status, response.body
+            )));
+        }
+        let body = response
+            .json()
+            .map_err(|e| self.protocol_err(format!("unparseable reply: {e}")))?;
+        self.counters.requests.incr();
+        self.counters.command_latency.record(started.elapsed());
+        Ok(body)
+    }
+}
+
+impl PartitionClient for HttpPartitionClient {
+    fn kind(&self) -> &'static str {
+        "http"
+    }
+
+    fn endpoint(&self) -> String {
+        self.endpoint.clone()
+    }
+
+    fn counters(&self) -> Arc<ProtocolCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    fn begin_submit(&mut self, events: Vec<EngineEvent>) -> Result<(), PartitionError> {
+        if self.pending_submit.is_some() || self.pending_tick.is_some() {
+            return Err(self.protocol_err("begin_submit while another command is in flight"));
+        }
+        let rid = self.next_rid();
+        let body = protocol::submit_to_json(rid, &events);
+        let started = Instant::now();
+        self.client
+            .send("POST", "/partition/submit", Some(body.to_string_compact()))
+            .map_err(|e| self.transport(e))?;
+        self.pending_submit = Some(Pending {
+            request_id: rid,
+            started,
+        });
+        Ok(())
+    }
+
+    fn finish_submit(&mut self) -> Result<(), PartitionError> {
+        let pending = self
+            .pending_submit
+            .take()
+            .ok_or_else(|| self.protocol_err("finish_submit without begin_submit"))?;
+        let response = self.client.receive().map_err(|e| self.transport(e))?;
+        self.check_reply(response, pending.request_id, pending.started)?;
+        Ok(())
+    }
+
+    fn begin_tick(&mut self, now: f64) -> Result<(), PartitionError> {
+        if self.pending_submit.is_some() || self.pending_tick.is_some() {
+            return Err(self.protocol_err("begin_tick while another command is in flight"));
+        }
+        let rid = self.next_rid();
+        let body = Json::obj([
+            ("request_id", Json::Num(rid as f64)),
+            ("now", Json::Num(now)),
+        ]);
+        let started = Instant::now();
+        self.client
+            .send("POST", "/partition/tick", Some(body.to_string_compact()))
+            .map_err(|e| self.transport(e))?;
+        self.pending_tick = Some(Pending {
+            request_id: rid,
+            started,
+        });
+        Ok(())
+    }
+
+    fn finish_tick(&mut self) -> Result<PartitionTick, PartitionError> {
+        let pending = self
+            .pending_tick
+            .take()
+            .ok_or_else(|| self.protocol_err("finish_tick without begin_tick"))?;
+        let response = self.client.receive().map_err(|e| self.transport(e))?;
+        let body = self.check_reply(response, pending.request_id, pending.started)?;
+        TickReplyDto::from_json(&body)
+            .and_then(TickReplyDto::into_tick)
+            .map_err(|e| self.protocol_err(format!("malformed tick reply: {e}")))
+    }
+
+    fn record_answer(
+        &mut self,
+        worker: WorkerId,
+        contribution: Contribution,
+    ) -> Result<bool, PartitionError> {
+        let rid = self.next_rid();
+        let body = Json::obj([
+            ("request_id", Json::Num(rid as f64)),
+            ("worker", Json::Num(worker.0 as f64)),
+            ("confidence", Json::Num(contribution.p())),
+            ("angle", Json::Num(contribution.angle)),
+            ("arrival", Json::Num(contribution.arrival)),
+        ]);
+        let (_, reply) = self.roundtrip("/partition/answer", body)?;
+        reply
+            .get("banked")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| self.protocol_err("answer reply without 'banked'"))
+    }
+
+    fn release_worker(&mut self, worker: WorkerId) -> Result<(), PartitionError> {
+        let rid = self.next_rid();
+        let body = Json::obj([
+            ("request_id", Json::Num(rid as f64)),
+            ("worker", Json::Num(worker.0 as f64)),
+        ]);
+        self.roundtrip("/partition/release", body)?;
+        Ok(())
+    }
+
+    fn assignments(&mut self) -> Result<Vec<ValidPair>, PartitionError> {
+        let rid = self.next_rid();
+        let body = Json::obj([("request_id", Json::Num(rid as f64))]);
+        let (_, reply) = self.roundtrip("/partition/assignments", body)?;
+        reply
+            .get("assignments")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| self.protocol_err("assignments reply without the list"))?
+            .iter()
+            .map(|pair| {
+                AssignmentDto::from_json(pair)
+                    .and_then(AssignmentDto::into_pair)
+                    .map_err(|e| self.protocol_err(format!("malformed assignment: {e}")))
+            })
+            .collect()
+    }
+
+    fn snapshot(&mut self) -> Result<EngineSnapshot, PartitionError> {
+        let body = self.get("/partition/snapshot")?;
+        SnapshotDto::from_json(&body)
+            .and_then(SnapshotDto::into_snapshot)
+            .map_err(|e| self.protocol_err(format!("malformed snapshot: {e}")))
+    }
+
+    fn is_active(&mut self) -> Result<bool, PartitionError> {
+        let body = self.get("/partition/active")?;
+        body.get("active")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| self.protocol_err("active reply without 'active'"))
+    }
+
+    fn has_worker(&mut self, id: WorkerId) -> Result<bool, PartitionError> {
+        let rid = self.next_rid();
+        let body = Json::obj([
+            ("request_id", Json::Num(rid as f64)),
+            ("id", Json::Num(id.0 as f64)),
+        ]);
+        let (_, reply) = self.roundtrip("/partition/has_worker", body)?;
+        reply
+            .get("present")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| self.protocol_err("has_worker reply without 'present'"))
+    }
+
+    fn drain(&mut self) -> Result<(), PartitionError> {
+        let rid = self.next_rid();
+        let body = Json::obj([("request_id", Json::Num(rid as f64))]);
+        self.roundtrip("/partition/drain", body)?;
+        Ok(())
+    }
+
+    fn shutdown(&mut self) -> Result<(), PartitionError> {
+        let started = Instant::now();
+        let response = self
+            .client
+            .post("/partition/shutdown", &Json::obj([]))
+            .map_err(|e| self.transport(e))?;
+        if !response.is_success() {
+            return Err(self.protocol_err(format!(
+                "shutdown refused with {}: {}",
+                response.status, response.body
+            )));
+        }
+        self.counters.requests.incr();
+        self.counters.command_latency.record(started.elapsed());
+        Ok(())
+    }
+}

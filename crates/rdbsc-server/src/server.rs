@@ -1,41 +1,44 @@
-//! The serving loop: acceptor, bounded connection queue, worker pool,
-//! router and graceful shutdown.
+//! The serving tier: engine routes mounted on the reusable HTTP core
+//! ([`crate::listener`]), micro-batching, metrics and graceful shutdown.
 //!
 //! ```text
-//!   clients ──► acceptor ──► bounded queue ──► worker pool ──► router
-//!                   │ full?                        │
-//!                   └─► 429 + close (shed)         ├─► events → MicroBatcher ─► EngineHandle.tick
-//!                                                  └─► queries ─────────────► EngineHandle
+//!   clients ──► HttpCore (acceptor / queue / workers) ──► route
+//!                                                          │
+//!                              events → MicroBatcher ──► EngineHandle.tick
+//!                              queries ────────────────► EngineHandle
 //! ```
 //!
-//! Admission control is at the connection level: when the queue is full the
-//! acceptor answers `429 Too Many Requests` (with `retry-after`) and closes,
-//! spending no worker time on the connection. Accepted connections are
-//! served keep-alive until the peer closes or shutdown begins.
+//! The engine behind the handle is chosen by [`ServerConfig`]: one engine
+//! over the whole area, an in-process region-partitioned multi-engine
+//! (`partitions > 1`), or — with [`ServerConfig::remote_partitions`] — a
+//! **mixed topology** where some regions are served by `rdbsc-partitiond`
+//! daemons over the partition protocol and the rest stay in-process. With
+//! every region remote the server is a *thin stateless router*: all engine
+//! state lives in the daemons, and the tier can be restarted or scaled out
+//! independently of them.
 
 use crate::batch::{run_flusher, Clock, MicroBatcher};
 use crate::dto::{
     AnswerDto, AssignmentDto, HeartbeatDto, IdDto, SnapshotDto, TaskDto, TickDto, WorkerDto,
 };
 use crate::error::ServerError;
-use crate::http::{read_request, write_response, Method, Request, Response};
+use crate::http::{Method, Request, Response};
 use crate::json::{parse, Json};
+use crate::listener::{HttpCore, ListenerConfig, ShutdownHandle};
 use crate::metrics::ServerMetrics;
+use crate::remote::connect_remote_partition;
 use rdbsc_cluster::RegionPartitioner;
 use rdbsc_geo::{Point, Rect};
 use rdbsc_index::geometry::GridGeometry;
 use rdbsc_index::{DynSpatialIndex, IndexBackend};
 use rdbsc_model::{TaskId, WorkerId};
 use rdbsc_platform::{
-    merge_snapshots, AssignmentEngine, EngineConfig, EngineEvent, EngineHandle,
-    PartitionedEngine,
+    merge_snapshots, AssignmentEngine, EngineConfig, EngineEvent, EngineHandle, InProcessClient,
+    PartitionClient, PartitionedEngine,
 };
-use std::collections::VecDeque;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration of the serving subsystem.
 #[derive(Debug, Clone)]
@@ -82,11 +85,20 @@ pub struct ServerConfig {
     /// profile.
     pub backend: IndexBackend,
     /// Number of spatial partitions to serve. `1` (the default) runs the
-    /// classic single engine; `N > 1` runs one engine per region on its own
-    /// thread behind the partitioned router (uniform grid-cell-aligned
-    /// regions — the server has no workload sample at boot), with events
-    /// routed by location and workers handed off across region boundaries.
+    /// classic single engine; `N > 1` runs one engine per region behind the
+    /// partitioned router (uniform grid-cell-aligned regions — the server
+    /// has no workload sample at boot), with events routed by location and
+    /// workers handed off across region boundaries.
     pub partitions: usize,
+    /// Addresses of `rdbsc-partitiond` daemons serving regions remotely
+    /// over the partition protocol. The k-th address serves region k;
+    /// regions beyond the list run in-process, so local and remote
+    /// partitions mix freely. Must not name more daemons than
+    /// [`partitions`](Self::partitions). At boot the router performs the
+    /// protocol-version handshake and pushes each daemon its routing table,
+    /// region index, backend and engine config — both sides agree on the
+    /// geometry or the boot fails.
+    pub remote_partitions: Vec<String>,
     /// The engine configuration (seed, β, parallelism, auto-expire).
     pub engine: EngineConfig,
 }
@@ -107,6 +119,7 @@ impl Default for ServerConfig {
             cell_size: 0.1,
             backend: IndexBackend::FlatGrid,
             partitions: 1,
+            remote_partitions: Vec::new(),
             engine: EngineConfig::default(),
         }
     }
@@ -126,106 +139,56 @@ impl ServerConfig {
 
     /// Builds the engine handle this configuration describes: a single
     /// engine over the whole area, or — with
-    /// [`partitions`](Self::partitions) `> 1` — one engine per uniform
-    /// grid-cell-aligned region behind the partitioned router. Exposed so
-    /// embedders (the load generator's offline verification replica, tests)
-    /// can construct the byte-identical engine the server would serve.
-    pub fn build_handle(&self) -> EngineHandle<DynSpatialIndex> {
-        if self.partitions <= 1 {
-            return EngineHandle::new(AssignmentEngine::new(
+    /// [`partitions`](Self::partitions) `> 1` or any
+    /// [`remote_partitions`](Self::remote_partitions) — one engine per
+    /// uniform grid-cell-aligned region behind the partitioned router,
+    /// each region in-process or on a remote daemon. Exposed so embedders
+    /// (the load generator's offline verification replica, tests) can
+    /// construct the byte-identical engine the server would serve.
+    ///
+    /// Connecting remote partitions performs the protocol handshake and
+    /// configure; an unreachable or incompatible daemon fails the build.
+    pub fn build_handle(&self) -> Result<EngineHandle<DynSpatialIndex>, ServerError> {
+        if self.remote_partitions.len() > self.partitions {
+            return Err(ServerError::Conflict(format!(
+                "{} remote partitions named but only {} partitions configured",
+                self.remote_partitions.len(),
+                self.partitions
+            )));
+        }
+        if self.partitions <= 1 && self.remote_partitions.is_empty() {
+            return Ok(EngineHandle::new(AssignmentEngine::new(
                 self.backend.build(self.area, self.cell_size),
                 self.engine.clone(),
-            ));
+            )));
         }
         let geometry = GridGeometry::new(self.area, self.cell_size);
         let partition =
             RegionPartitioner::uniform().split(geometry, self.partitions, &[]);
-        let engine = PartitionedEngine::build(partition, self.engine.clone(), |rect| {
-            self.backend.build(rect, self.cell_size)
-        });
-        EngineHandle::new_partitioned(engine)
-    }
-}
-
-/// The bounded hand-off between the acceptor and the worker pool.
-struct ConnectionQueue {
-    queue: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
-    capacity: usize,
-}
-
-impl ConnectionQueue {
-    fn new(capacity: usize) -> Self {
-        Self {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-            capacity: capacity.max(1),
+        let mut clients: Vec<Box<dyn PartitionClient>> =
+            Vec::with_capacity(partition.num_regions());
+        for region in 0..partition.num_regions() {
+            if let Some(addr) = self.remote_partitions.get(region) {
+                clients.push(connect_remote_partition(
+                    addr,
+                    &partition,
+                    region,
+                    self.backend,
+                    self.cell_size,
+                    &self.engine,
+                )?);
+            } else {
+                let engine = AssignmentEngine::new(
+                    self.backend
+                        .build(partition.region_rect(region), self.cell_size),
+                    self.engine.clone(),
+                );
+                clients.push(Box::new(InProcessClient::spawn(region, engine)));
+            }
         }
-    }
-
-    /// Tries to enqueue; hands the stream back when the queue is saturated
-    /// so the acceptor can shed it with a 429.
-    fn offer(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut queue = self.queue.lock().expect("connection queue lock");
-        if queue.len() >= self.capacity {
-            return Err(stream);
-        }
-        queue.push_back(stream);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Pops a connection, waiting up to `timeout`.
-    fn poll(&self, timeout: Duration) -> Option<TcpStream> {
-        let mut queue = self.queue.lock().expect("connection queue lock");
-        if let Some(stream) = queue.pop_front() {
-            return Some(stream);
-        }
-        let (mut queue, _) = self
-            .ready
-            .wait_timeout(queue, timeout)
-            .expect("connection queue lock");
-        queue.pop_front()
-    }
-}
-
-/// Open connections currently owned by worker threads, so shutdown can
-/// interrupt reads blocked on idle keep-alive peers: closing the read side
-/// turns the blocked `read_request` into a clean EOF while the write side
-/// stays usable for an in-flight response.
-#[derive(Default)]
-struct ConnectionRegistry {
-    streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
-    next_id: std::sync::atomic::AtomicU64,
-}
-
-impl ConnectionRegistry {
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let clone = stream.try_clone().ok()?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.streams
-            .lock()
-            .expect("connection registry lock")
-            .insert(id, clone);
-        Some(id)
-    }
-
-    fn deregister(&self, id: u64) {
-        self.streams
-            .lock()
-            .expect("connection registry lock")
-            .remove(&id);
-    }
-
-    fn shutdown_reads(&self) {
-        for stream in self
-            .streams
-            .lock()
-            .expect("connection registry lock")
-            .values()
-        {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
+        Ok(EngineHandle::new_partitioned(PartitionedEngine::new(
+            partition, clients,
+        )))
     }
 }
 
@@ -235,110 +198,119 @@ impl ConnectionRegistry {
 /// drain, then [`Server::join`].
 pub struct Server {
     shared: Arc<Shared>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    core: HttpCore,
+    flusher: Option<std::thread::JoinHandle<()>>,
+    /// Did [`Server::start`] build the engine (vs. serving a caller's
+    /// handle)? Only then does [`Server::join`] tear the topology down.
+    owns_engine: bool,
 }
 
 struct Shared {
-    addr: SocketAddr,
     handle: EngineHandle<DynSpatialIndex>,
     batcher: Arc<MicroBatcher>,
     metrics: Arc<ServerMetrics>,
-    stop: Arc<AtomicBool>,
     clock: Clock,
-    max_body_bytes: usize,
-    idle_timeout: Duration,
-    registry: ConnectionRegistry,
+    /// The flusher's stop flag (the HTTP core keeps its own; this one is
+    /// raised by the same triggers so the final drain-and-tick runs).
+    stop: Arc<AtomicBool>,
 }
 
-/// Raises the stop flag, wakes the flusher for its final drain, unblocks
-/// reads parked on idle keep-alive connections, and unblocks the acceptor's
-/// blocking `accept` with one last loopback connection.
-fn trigger_shutdown(shared: &Shared) {
-    if shared.stop.swap(true, Ordering::AcqRel) {
-        return;
+impl Shared {
+    /// The one shutdown-trigger sequence, shared by [`Server::shutdown`]
+    /// and the `POST /admin/shutdown` route so the drain ordering cannot
+    /// diverge between the two paths: the HTTP core stops accepting, the
+    /// flusher's stop flag is raised, and the flusher is woken for its
+    /// final drain-and-tick.
+    fn trigger_shutdown(&self, core: &ShutdownHandle) {
+        core.trigger();
+        self.stop.store(true, Ordering::Release);
+        self.batcher.notify();
     }
-    shared.batcher.notify();
-    shared.registry.shutdown_reads();
-    let _ = TcpStream::connect(shared.addr);
 }
 
 impl Server {
-    /// Builds a fresh engine from the config — single or partitioned, on
-    /// the configured index backend — and starts serving on `config.addr`.
+    /// Builds a fresh engine from the config — single, partitioned, or a
+    /// mixed local/remote partition topology — and starts serving on
+    /// `config.addr`.
     pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
-        let handle = config.build_handle();
-        Self::start_with_handle(config, handle)
+        let handle = config.build_handle()?;
+        Self::start_inner(config, handle, true)
     }
 
     /// Starts serving an existing engine handle (tests and embedded use).
+    /// The caller keeps ownership of the engine's lifecycle: a
+    /// [`Server::join`] will not shut partition engines down.
     pub fn start_with_handle(
         config: ServerConfig,
         handle: EngineHandle<DynSpatialIndex>,
     ) -> Result<Server, ServerError> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
+        Self::start_inner(config, handle, false)
+    }
+
+    fn start_inner(
+        config: ServerConfig,
+        handle: EngineHandle<DynSpatialIndex>,
+        owns_engine: bool,
+    ) -> Result<Server, ServerError> {
         let metrics = Arc::new(ServerMetrics::default());
         let stop = Arc::new(AtomicBool::new(false));
         let batcher = Arc::new(MicroBatcher::new(
             config.max_batch,
             config.max_buffered_events,
         ));
-        let queue = Arc::new(ConnectionQueue::new(config.queue_capacity));
         let clock = Clock::new(config.time_scale);
         let manual_tick = config.flush_interval.is_zero();
 
         let shared = Arc::new(Shared {
-            addr,
             handle: handle.clone(),
             batcher: batcher.clone(),
             metrics: metrics.clone(),
-            stop: stop.clone(),
             clock: clock.clone(),
-            max_body_bytes: config.max_body_bytes,
-            idle_timeout: config.idle_timeout,
-            registry: ConnectionRegistry::default(),
+            stop: stop.clone(),
         });
 
-        let mut threads = Vec::new();
+        let core = {
+            let shared = shared.clone();
+            HttpCore::start(
+                ListenerConfig {
+                    addr: config.addr.clone(),
+                    threads: config.effective_threads(),
+                    queue_capacity: config.queue_capacity,
+                    max_body_bytes: config.max_body_bytes,
+                    idle_timeout: config.idle_timeout,
+                },
+                metrics.clone(),
+                Arc::new(move |request: &Request, shutdown: &ShutdownHandle| {
+                    route(request, &shared, shutdown)
+                }),
+            )?
+        };
 
-        if !manual_tick {
-            let (b, h, s, m) = (batcher.clone(), handle.clone(), stop.clone(), metrics.clone());
+        let flusher = if manual_tick {
+            None
+        } else {
+            let (b, h, s, m) = (batcher, handle, stop, metrics);
             let interval = config.flush_interval;
-            let flusher_clock = clock.clone();
-            threads.push(
+            let flusher_clock = clock;
+            Some(
                 std::thread::Builder::new()
                     .name("rdbsc-flusher".into())
                     .spawn(move || run_flusher(b, h, flusher_clock, interval, s, m))
                     .expect("spawn flusher"),
-            );
-        }
+            )
+        };
 
-        for i in 0..config.effective_threads() {
-            let (q, sh) = (queue.clone(), shared.clone());
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("rdbsc-worker-{i}"))
-                    .spawn(move || worker_loop(q, sh))
-                    .expect("spawn worker"),
-            );
-        }
-
-        {
-            let (q, m, s) = (queue.clone(), metrics.clone(), stop.clone());
-            threads.push(
-                std::thread::Builder::new()
-                    .name("rdbsc-acceptor".into())
-                    .spawn(move || acceptor_loop(listener, q, m, s))
-                    .expect("spawn acceptor"),
-            );
-        }
-
-        Ok(Server { shared, threads })
+        Ok(Server {
+            shared,
+            core,
+            flusher,
+            owns_engine,
+        })
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
-    pub fn addr(&self) -> SocketAddr {
-        self.shared.addr
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.core.addr()
     }
 
     /// The engine handle the server is driving.
@@ -354,145 +326,31 @@ impl Server {
     /// Begins a graceful shutdown: stop accepting, finish in-flight
     /// connections, run a final micro-batch flush.
     pub fn shutdown(&self) {
-        trigger_shutdown(&self.shared);
+        self.shared.trigger_shutdown(&self.core.stopper());
     }
 
-    /// Waits for every server thread to exit. Call [`Server::shutdown`]
+    /// Waits for every server thread to exit, then — when this server built
+    /// its own engine — tears the engine topology down in drain order: any
+    /// event a request thread buffered after the flusher's final drain is
+    /// handed to the engine, and a partitioned core runs one final drain
+    /// tick before its partitions (local threads *and* remote daemons) are
+    /// stopped, so nothing accepted is dropped. Call [`Server::shutdown`]
     /// first (or this blocks until someone hits `POST /admin/shutdown`).
     pub fn join(self) {
-        for t in self.threads {
-            let _ = t.join();
+        self.core.join();
+        if let Some(flusher) = self.flusher {
+            let _ = flusher.join();
         }
         // A request thread may have buffered an event after the flusher's
         // final drain; park any such leftovers in the engine's own queue so
-        // an embedder resuming the handle does not lose them.
+        // they ride the partition drain tick (or, for an embedder's handle,
+        // stay queued for the embedder to resume).
         let leftovers = self.shared.batcher.drain();
         if !leftovers.is_empty() {
             self.shared.handle.submit_all(leftovers);
         }
-    }
-}
-
-fn acceptor_loop(
-    listener: TcpListener,
-    queue: Arc<ConnectionQueue>,
-    metrics: Arc<ServerMetrics>,
-    stop: Arc<AtomicBool>,
-) {
-    for incoming in listener.incoming() {
-        if stop.load(Ordering::Acquire) {
-            return;
-        }
-        let Ok(stream) = incoming else {
-            // Persistent accept failures (EMFILE under fd exhaustion) would
-            // otherwise busy-spin this thread at 100% CPU.
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
-        };
-        // Responses are small; waiting for ACKs (Nagle) only adds latency.
-        let _ = stream.set_nodelay(true);
-        match queue.offer(stream) {
-            Ok(()) => metrics.connections_accepted.incr(),
-            Err(mut stream) => {
-                metrics.connections_shed.incr();
-                metrics.count_status(429);
-                let _ = write_response(
-                    &mut stream,
-                    &Response::from_error(&ServerError::Overloaded),
-                );
-            }
-        }
-    }
-}
-
-fn worker_loop(queue: Arc<ConnectionQueue>, shared: Arc<Shared>) {
-    loop {
-        let stopping = shared.stop.load(Ordering::Acquire);
-        let timeout = if stopping {
-            // Drain whatever is still queued (each request gets a clean
-            // 503 + close), then exit.
-            Duration::ZERO
-        } else {
-            Duration::from_millis(50)
-        };
-        match queue.poll(timeout) {
-            Some(stream) => serve_connection(stream, &shared),
-            None if stopping => return,
-            None => continue,
-        }
-    }
-}
-
-fn serve_connection(stream: TcpStream, shared: &Shared) {
-    let Ok(mut writer) = stream.try_clone() else {
-        return;
-    };
-    // Registering lets shutdown interrupt a read parked on this connection;
-    // the guard deregisters on every exit path.
-    let registration = shared.registry.register(&stream);
-    struct Deregister<'a>(&'a Shared, Option<u64>);
-    impl Drop for Deregister<'_> {
-        fn drop(&mut self) {
-            if let Some(id) = self.1 {
-                self.0.registry.deregister(id);
-            }
-        }
-    }
-    let _guard = Deregister(shared, registration);
-    // Timeouts are set once here (not per request — that is a setsockopt
-    // per request on the hot path) and tightened exactly once when the
-    // stop flag is first observed. The write timeout also bounds how long
-    // a peer that stops reading mid-response can pin this worker: shutdown
-    // only closes the read half (so in-flight responses can finish), which
-    // would otherwise leave a blocked `write_all` stuck forever.
-    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
-    let _ = stream.set_write_timeout(Some(shared.idle_timeout));
-    let mut draining = false;
-    let mut reader = BufReader::new(stream);
-    loop {
-        if !draining && shared.stop.load(Ordering::Acquire) {
-            // Shutdown drain: barely wait on idle peers at all.
-            draining = true;
-            let _ = reader.get_ref().set_read_timeout(Some(Duration::from_millis(100)));
-        }
-        let request = match read_request(&mut reader, shared.max_body_bytes) {
-            Ok(Some(request)) => request,
-            Ok(None) => return, // peer closed cleanly
-            Err(ServerError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::UnexpectedEof
-                        | std::io::ErrorKind::ConnectionReset
-                ) =>
-            {
-                // Idle timeout or the peer went away mid-request: nobody is
-                // listening for an error body.
-                return;
-            }
-            Err(e) => {
-                // Malformed request: answer if the socket still works, then
-                // drop the connection (framing may be lost).
-                let _ = write_response(&mut writer, &Response::from_error(&e).with_close());
-                shared.metrics.count_status(e.status());
-                return;
-            }
-        };
-        let started = Instant::now();
-        shared.metrics.requests_total.incr();
-        let close_requested = request.close;
-        let mut response = match route(&request, shared) {
-            Ok(response) => response,
-            Err(e) => Response::from_error(&e),
-        };
-        if close_requested || shared.stop.load(Ordering::Acquire) {
-            response = response.with_close();
-        }
-        shared.metrics.count_status(response.status);
-        shared.metrics.request_latency.record(started.elapsed());
-        if write_response(&mut writer, &response).is_err() || response.close {
-            return;
+        if self.owns_engine {
+            self.shared.handle.shutdown_partitions();
         }
     }
 }
@@ -527,8 +385,12 @@ fn require_finite_point(x: f64, y: f64) -> Result<Point, ServerError> {
     Ok(Point::new(x, y))
 }
 
-fn route(request: &Request, shared: &Shared) -> Result<Response, ServerError> {
-    if shared.stop.load(Ordering::Acquire) && request.path != "/healthz" {
+fn route(
+    request: &Request,
+    shared: &Shared,
+    shutdown: &ShutdownHandle,
+) -> Result<Response, ServerError> {
+    if shutdown.stopping() && request.path != "/healthz" {
         return Err(ServerError::ShuttingDown);
     }
     match (request.method, request.path.as_str()) {
@@ -557,6 +419,46 @@ fn route(request: &Request, shared: &Shared) -> Result<Response, ServerError> {
                     "partitions_count".to_string(),
                     Json::Num(snapshots.len() as f64),
                 );
+                // Per-partition protocol counters: how each region is
+                // reached and what the protocol costs — the observability
+                // for cross-process overhead.
+                let transports = shared.handle.partition_transports();
+                map.insert(
+                    "remote_partitions".to_string(),
+                    Json::Num(transports.iter().filter(|t| t.kind == "http").count() as f64),
+                );
+                if !transports.is_empty() {
+                    let entries = transports
+                        .iter()
+                        .map(|t| {
+                            Json::obj([
+                                ("partition", Json::Num(t.partition as f64)),
+                                ("kind", Json::Str(t.kind.to_string())),
+                                ("endpoint", Json::Str(t.endpoint.clone())),
+                                ("requests", Json::Num(t.stats.requests as f64)),
+                                ("retries", Json::Num(t.stats.retries as f64)),
+                                ("reconnects", Json::Num(t.stats.reconnects as f64)),
+                                ("bytes_sent", Json::Num(t.stats.bytes_sent as f64)),
+                                (
+                                    "bytes_received",
+                                    Json::Num(t.stats.bytes_received as f64),
+                                ),
+                                (
+                                    "command_latency",
+                                    Json::obj([
+                                        ("p50_us", Json::Num(t.stats.latency_p50_us)),
+                                        ("p99_us", Json::Num(t.stats.latency_p99_us)),
+                                        (
+                                            "max_us",
+                                            Json::Num(t.stats.latency_max_us as f64),
+                                        ),
+                                    ]),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    map.insert("transports".to_string(), Json::Arr(entries));
+                }
                 if snapshots.len() > 1 {
                     map.insert(
                         "handoffs".to_string(),
@@ -679,7 +581,7 @@ fn route(request: &Request, shared: &Shared) -> Result<Response, ServerError> {
         }
 
         (Method::Post, "/admin/shutdown") => {
-            trigger_shutdown(shared);
+            shared.trigger_shutdown(shutdown);
             Ok(Response::json(
                 200,
                 Json::obj([("stopping", Json::Bool(true))]).to_string_compact(),

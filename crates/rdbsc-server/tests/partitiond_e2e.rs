@@ -1,0 +1,321 @@
+//! End-to-end tests of the partition protocol over the wire: a real
+//! `rdbsc-partitiond` daemon (in-process, loopback HTTP) driven by the real
+//! [`HttpPartitionClient`], checked byte for byte against the in-process
+//! protocol backend on the identical event stream.
+
+use rdbsc_cluster::{RegionPartition, RegionPartitioner};
+use rdbsc_geo::{AngleRange, Point, Rect};
+use rdbsc_index::geometry::GridGeometry;
+use rdbsc_index::IndexBackend;
+use rdbsc_model::{Confidence, Task, TaskId, TimeWindow, Worker, WorkerId};
+use rdbsc_platform::{
+    AssignmentEngine, EngineConfig, EngineEvent, EnginePartition, InProcessClient,
+    PartitionClient, PartitionError, PartitionedEngine,
+};
+use rdbsc_server::{
+    HttpClient, HttpPartitionClient, Json, PartitionDaemon, PartitiondConfig,
+};
+use std::time::Duration;
+
+fn daemon() -> PartitionDaemon {
+    PartitionDaemon::start(PartitiondConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..PartitiondConfig::default()
+    })
+    .expect("daemon start")
+}
+
+fn task(id: u32, x: f64, y: f64, start: f64, end: f64) -> Task {
+    Task::new(
+        TaskId(id),
+        Point::new(x, y),
+        TimeWindow::new(start, end).unwrap(),
+    )
+}
+
+fn worker(id: u32, x: f64, y: f64, speed: f64) -> Worker {
+    Worker::new(
+        WorkerId(id),
+        Point::new(x, y),
+        speed,
+        AngleRange::full(),
+        Confidence::new(0.9).unwrap(),
+    )
+    .unwrap()
+}
+
+fn single_region() -> RegionPartition {
+    RegionPartition::single(GridGeometry::new(Rect::unit(), 0.1))
+}
+
+fn events() -> Vec<EngineEvent> {
+    let mut events = Vec::new();
+    for i in 0..6u32 {
+        let x = 0.15 + 0.12 * i as f64;
+        events.push(EngineEvent::TaskArrived(task(i, x, 0.5, 0.0, 5.0)));
+        events.push(EngineEvent::WorkerCheckIn(worker(i, x, 0.45, 0.3)));
+    }
+    events
+}
+
+/// Drives the full command surface over the wire and requires byte-identical
+/// results to a local [`EnginePartition`] on the same stream.
+#[test]
+fn daemon_matches_the_local_engine_byte_for_byte() {
+    let daemon = daemon();
+    let partition = single_region();
+    let config = EngineConfig::default();
+
+    let mut remote = HttpPartitionClient::connect(&daemon.addr().to_string()).unwrap();
+    remote
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .unwrap();
+
+    let mut local = EnginePartition::new(AssignmentEngine::new(
+        IndexBackend::FlatGrid.build(partition.region_rect(0), 0.1),
+        config,
+    ));
+
+    let stream = events();
+    local.submit(stream.clone());
+    remote.begin_submit(stream).unwrap();
+    remote.finish_submit().unwrap();
+    assert!(remote.is_active().unwrap());
+
+    let local_tick = local.tick(0.0);
+    remote.begin_tick(0.0).unwrap();
+    let remote_tick = remote.finish_tick().unwrap();
+    assert_eq!(
+        local_tick.report.new_assignments, remote_tick.report.new_assignments,
+        "assignments survive the wire bit-exactly"
+    );
+    assert_eq!(local_tick.report.strategies, remote_tick.report.strategies);
+    assert_eq!(
+        local_tick.report.events_applied,
+        remote_tick.report.events_applied
+    );
+    assert_eq!(local_tick.committed, remote_tick.committed);
+    assert_eq!(local.assignments(), remote.assignments().unwrap());
+
+    // Residency probe + answers flow identically.
+    let pair = local_tick.report.new_assignments[0];
+    assert!(remote.has_worker(pair.worker).unwrap());
+    assert_eq!(
+        local.record_answer(pair.worker, pair.contribution),
+        remote.record_answer(pair.worker, pair.contribution).unwrap()
+    );
+    assert!(!remote.record_answer(pair.worker, pair.contribution).unwrap());
+    local.record_answer(pair.worker, pair.contribution);
+
+    // Snapshots agree except for wall-clock-free fields... which is all of
+    // them: the snapshot is pure engine state.
+    assert_eq!(local.snapshot(), remote.snapshot().unwrap());
+
+    // Release mirrors too.
+    if let Some(other) = local_tick.report.new_assignments.get(1) {
+        local.release_worker(other.worker);
+        remote.release_worker(other.worker).unwrap();
+        assert_eq!(local.snapshot(), remote.snapshot().unwrap());
+    }
+
+    let stats = remote.counters().stats();
+    assert!(stats.requests >= 8);
+    assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
+
+    remote.shutdown().unwrap();
+    daemon.join();
+}
+
+/// A mixed topology (region 0 in-process, region 1 on a daemon) must be
+/// byte-identical to the all-in-process 2-partition router on the same
+/// event stream — the tentpole determinism contract.
+#[test]
+fn mixed_local_remote_topology_matches_all_in_process() {
+    let geometry = GridGeometry::new(Rect::unit(), 0.1);
+    let partition = RegionPartitioner::uniform().split(geometry, 2, &[]);
+    let config = EngineConfig::default();
+
+    let all_local = PartitionedEngine::build(partition.clone(), config.clone(), |rect| {
+        rdbsc_index::FlatGridIndex::new(rect, 0.1)
+    });
+
+    let daemon = daemon();
+    let mut remote = HttpPartitionClient::connect(&daemon.addr().to_string()).unwrap();
+    remote
+        .configure(&partition, 1, IndexBackend::FlatGrid, 0.1, &config)
+        .unwrap();
+    let clients: Vec<Box<dyn PartitionClient>> = vec![
+        Box::new(InProcessClient::spawn(
+            0,
+            AssignmentEngine::new(
+                IndexBackend::FlatGrid.build(partition.region_rect(0), 0.1),
+                config.clone(),
+            ),
+        )),
+        Box::new(remote),
+    ];
+    let mixed = PartitionedEngine::new(partition, clients);
+
+    let mut engines = [all_local, mixed];
+    // Two-sided churn with boundary crossings, three rounds.
+    for round in 0..3 {
+        let now = round as f64 * 0.4;
+        let mut reports = Vec::new();
+        for engine in &mut engines {
+            let mut stream = events();
+            // Every round, workers 0 and 5 cross the x = 0.5 boundary.
+            let flip = if round % 2 == 0 { 0.8 } else { 0.2 };
+            stream.push(EngineEvent::WorkerMoved(WorkerId(0), Point::new(flip, 0.5)));
+            stream.push(EngineEvent::WorkerMoved(
+                WorkerId(5),
+                Point::new(1.0 - flip, 0.5),
+            ));
+            engine.submit_all(stream);
+            reports.push(engine.tick(now));
+        }
+        assert_eq!(
+            reports[0].new_assignments, reports[1].new_assignments,
+            "round {round}: assignments identical across transports"
+        );
+        assert_eq!(reports[0].strategies, reports[1].strategies);
+        assert_eq!(reports[0].events_applied, reports[1].events_applied);
+        let [ref mut a, ref mut b] = engines;
+        assert_eq!(a.committed_assignments(), b.committed_assignments());
+        assert_eq!(a.partition_snapshots(), b.partition_snapshots());
+        assert_eq!(a.handoffs(), b.handoffs());
+        // Answer every new pair on both sides so commitments clear.
+        for pair in reports[0].new_assignments.clone() {
+            assert_eq!(
+                a.record_answer(pair.worker, pair.contribution),
+                b.record_answer(pair.worker, pair.contribution)
+            );
+        }
+    }
+
+    let [a, mut b] = engines;
+    drop(a);
+    let final_snapshot = b.shutdown(); // drains + stops the daemon too
+    assert_eq!(final_snapshot.pending_events, 0);
+    daemon.join();
+}
+
+/// Configure is idempotent for the identical payload and 409s a conflicting
+/// one; commands before any configure are 409 too.
+#[test]
+fn configure_is_idempotent_and_conflicts_are_rejected() {
+    let daemon = daemon();
+    let partition = single_region();
+    let config = EngineConfig::default();
+
+    let mut client = HttpPartitionClient::connect(&daemon.addr().to_string()).unwrap();
+    // A command before configure: a clean protocol error, not a hang.
+    assert!(matches!(
+        client.is_active(),
+        Err(PartitionError::Protocol { .. })
+    ));
+
+    client
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .unwrap();
+    // Identical re-push (a stateless router restarting): accepted.
+    client
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .unwrap();
+    // Different topology: refused, engine untouched.
+    let other = RegionPartitioner::uniform()
+        .split(GridGeometry::new(Rect::unit(), 0.1), 2, &[]);
+    assert!(client
+        .configure(&other, 1, IndexBackend::FlatGrid, 0.1, &config)
+        .is_err());
+    assert!(client.is_active().is_ok(), "original engine still serving");
+
+    // A router speaking a different protocol version is refused outright.
+    let mut raw = HttpClient::new(daemon.addr());
+    let body = Json::obj([("protocol_version", Json::Num(99.0))]);
+    let response = raw.post("/partition/configure", &body).unwrap();
+    assert_eq!(response.status, 409, "{}", response.body);
+
+    daemon.shutdown();
+    daemon.join();
+}
+
+/// While draining, mutating commands get a parseable 503 — not a dropped
+/// connection — and the observability surface stays up.
+#[test]
+fn draining_daemon_answers_503_not_dropped_connections() {
+    let daemon = daemon();
+    let partition = single_region();
+    let config = EngineConfig::default();
+    let mut client = HttpPartitionClient::connect(&daemon.addr().to_string()).unwrap();
+    client
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .unwrap();
+    client.begin_submit(events()).unwrap();
+    client.finish_submit().unwrap();
+
+    client.drain().unwrap();
+    assert!(daemon.is_draining());
+
+    // Mutating commands: clean 503s surfaced as Draining.
+    assert!(matches!(
+        client.begin_submit(events()).and_then(|_| client.finish_submit()),
+        Err(PartitionError::Draining { .. })
+    ));
+    assert!(matches!(
+        client.begin_tick(0.0).and_then(|_| {
+            client.finish_tick()?;
+            Ok(())
+        }),
+        Err(PartitionError::Draining { .. })
+    ));
+
+    // Reads and ops keep working so the drain is observable.
+    let mut raw = HttpClient::new(daemon.addr());
+    let health = raw.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"draining\":true"), "{}", health.body);
+    let metrics = raw.get("/metrics").unwrap();
+    assert!(metrics.body.contains("\"configured\":true"), "{}", metrics.body);
+    assert!(client.snapshot().is_ok(), "snapshot still served while draining");
+
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+/// A daemon that closes an idle keep-alive connection must not break the
+/// router: the next command transparently reconnects (client-side RFC 9110
+/// `Connection` handling + stale retry), observable in the counters.
+#[test]
+fn router_survives_daemon_idle_timeouts() {
+    let daemon = PartitionDaemon::start(PartitiondConfig {
+        addr: "127.0.0.1:0".to_string(),
+        idle_timeout: Duration::from_millis(150),
+        ..PartitiondConfig::default()
+    })
+    .unwrap();
+    let partition = single_region();
+    let config = EngineConfig::default();
+    let mut client = HttpPartitionClient::connect(&daemon.addr().to_string()).unwrap();
+    client
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .unwrap();
+
+    client.begin_submit(events()).unwrap();
+    client.finish_submit().unwrap();
+    // Let the daemon's idle timeout reap the cached connection.
+    std::thread::sleep(Duration::from_millis(500));
+    client.begin_tick(0.0).unwrap();
+    let tick = client.finish_tick().unwrap();
+    assert!(
+        !tick.report.new_assignments.is_empty(),
+        "the command after the idle reap still executed"
+    );
+    let stats = client.counters().stats();
+    assert!(
+        stats.reconnects >= 1 || stats.retries >= 1,
+        "the reap must be visible as a reconnect/retry: {stats:?}"
+    );
+
+    client.shutdown().unwrap();
+    daemon.join();
+}

@@ -181,7 +181,7 @@ fn partitioned_server_matches_its_offline_replica() {
         .collect();
     assert!(!online.is_empty(), "the scenario must produce assignments");
 
-    let offline_handle = offline_config.build_handle();
+    let offline_handle = offline_config.build_handle().expect("offline replica");
     for t in &tasks {
         offline_handle.submit(EngineEvent::TaskArrived(t.clone().into_task().unwrap()));
     }
