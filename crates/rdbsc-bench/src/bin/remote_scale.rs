@@ -300,6 +300,7 @@ fn run_routed(
                 BACKEND,
                 CELL_SIZE,
                 &engine_config,
+                None,
             )
             .expect("daemon handshake");
             daemons.push(daemon);

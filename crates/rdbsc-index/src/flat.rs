@@ -406,6 +406,18 @@ impl SpatialIndex for FlatGridIndex {
         expired
     }
 
+    fn live_tasks(&self) -> Vec<Task> {
+        let mut tasks: Vec<Task> = self.tasks.live_values().copied().collect();
+        tasks.sort_by_key(|t| t.id);
+        tasks
+    }
+
+    fn live_workers(&self) -> Vec<Worker> {
+        let mut workers: Vec<Worker> = self.workers.live_values().copied().collect();
+        workers.sort_by_key(|w| w.id);
+        workers
+    }
+
     fn insert_task(&mut self, task: Task) {
         self.remove_task(task.id);
         let cell_idx = self.geometry.cell_of(task.location);

@@ -731,6 +731,16 @@ impl SpatialIndex for GridIndex {
     fn expired_tasks(&self, now: f64) -> Vec<TaskId> {
         self.expired_tasks(now)
     }
+    fn live_tasks(&self) -> Vec<Task> {
+        let mut tasks: Vec<Task> = self.tasks.values().copied().collect();
+        tasks.sort_by_key(|t| t.id);
+        tasks
+    }
+    fn live_workers(&self) -> Vec<Worker> {
+        let mut workers: Vec<Worker> = self.workers.values().copied().collect();
+        workers.sort_by_key(|w| w.id);
+        workers
+    }
     fn insert_task(&mut self, task: Task) {
         self.insert_task(task);
     }

@@ -139,6 +139,16 @@ pub trait SpatialIndex: Send {
     /// in ascending id order.
     fn expired_tasks(&self, now: f64) -> Vec<TaskId>;
 
+    /// Every live task, in ascending id order. Checkpointing uses this to
+    /// capture the full indexed state; rebuilding an index by re-inserting
+    /// the returned set reproduces identical query results (the determinism
+    /// contract is content-based, not history-based).
+    fn live_tasks(&self) -> Vec<Task>;
+
+    /// Every live worker, in ascending id order (see
+    /// [`SpatialIndex::live_tasks`]).
+    fn live_workers(&self) -> Vec<Worker>;
+
     /// Inserts (or replaces) a task.
     fn insert_task(&mut self, task: Task);
 
@@ -212,6 +222,12 @@ impl<I: SpatialIndex + ?Sized> SpatialIndex for Box<I> {
     }
     fn expired_tasks(&self, now: f64) -> Vec<TaskId> {
         (**self).expired_tasks(now)
+    }
+    fn live_tasks(&self) -> Vec<Task> {
+        (**self).live_tasks()
+    }
+    fn live_workers(&self) -> Vec<Worker> {
+        (**self).live_workers()
     }
     fn insert_task(&mut self, task: Task) {
         (**self).insert_task(task);

@@ -44,7 +44,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// An update to the live instance, applied incrementally at the next tick.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EngineEvent {
     /// A new task was posted (or an existing one re-posted with new data).
     TaskArrived(Task),
@@ -676,6 +676,99 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         }
         self.committed.retain(|_, (task, _)| *task != id);
     }
+
+    /// Captures the engine's full logical state in the canonical (sorted)
+    /// order, for checkpointing. Restoring the result with
+    /// [`AssignmentEngine::restore_state`] into an empty index of any
+    /// backend yields an engine whose observable behaviour — tick outputs,
+    /// objective, snapshots — is byte-identical to this one's (the index
+    /// determinism contract is content-based, so rebuilding by re-insertion
+    /// loses nothing; only maintenance counters differ).
+    pub fn dump_state(&self) -> EngineState {
+        let mut committed: Vec<(WorkerId, TaskId, Contribution)> = self
+            .committed
+            .iter()
+            .map(|(w, (t, c))| (*w, *t, *c))
+            .collect();
+        committed.sort_unstable_by_key(|(w, _, _)| *w);
+        // Banked contribution vectors keep their arrival order: the float
+        // folds in `current_objective` are order-sensitive, so the inner
+        // order is part of the state.
+        let mut banked: Vec<(TaskId, Vec<Contribution>)> = self
+            .banked
+            .iter()
+            .map(|(t, cs)| (*t, cs.clone()))
+            .collect();
+        banked.sort_unstable_by_key(|(t, _)| *t);
+        let mut retired: Vec<Task> = self.retired.values().copied().collect();
+        retired.sort_unstable_by_key(|t| t.id);
+        EngineState {
+            depart_at: self.index.depart_at(),
+            allow_wait: self.index.allow_wait(),
+            tasks: self.index.live_tasks(),
+            workers: self.index.live_workers(),
+            pending: self.pending.clone(),
+            committed,
+            banked,
+            retired,
+            tick_count: self.tick_count,
+        }
+    }
+
+    /// Rebuilds an engine from a [`dump_state`](AssignmentEngine::dump_state)
+    /// checkpoint: `index` must be empty and spatially compatible with the
+    /// one that produced the state (same space and cell size — recovery uses
+    /// the persisted serving configuration to guarantee this).
+    pub fn restore_state(mut index: I, config: EngineConfig, state: EngineState) -> Self {
+        for task in &state.tasks {
+            index.insert_task(*task);
+        }
+        for worker in &state.workers {
+            index.insert_worker(*worker);
+        }
+        index.set_depart_at(state.depart_at);
+        index.set_allow_wait(state.allow_wait);
+        let mut engine = Self::new(index, config);
+        engine.pending = state.pending;
+        engine.committed = state
+            .committed
+            .into_iter()
+            .map(|(w, t, c)| (w, (t, c)))
+            .collect();
+        engine.banked_total = state.banked.iter().map(|(_, cs)| cs.len()).sum();
+        engine.banked = state.banked.into_iter().collect();
+        engine.retired = state.retired.into_iter().map(|t| (t.id, t)).collect();
+        engine.tick_count = state.tick_count;
+        engine
+    }
+}
+
+/// The engine's full logical state in canonical order — everything a
+/// checkpoint must carry to reconstruct an [`AssignmentEngine`] exactly
+/// (index content, queued events, standing commitments, banked answers,
+/// retired tasks and the tick counter; the solver and config are supplied
+/// by the restoring side from its serving configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// The index's departure time.
+    pub depart_at: f64,
+    /// The index's waiting policy.
+    pub allow_wait: bool,
+    /// Live tasks, ascending id.
+    pub tasks: Vec<Task>,
+    /// Live workers, ascending id.
+    pub workers: Vec<Worker>,
+    /// Events queued and not yet applied, in submission order.
+    pub pending: Vec<EngineEvent>,
+    /// Standing commitments, ascending worker id.
+    pub committed: Vec<(WorkerId, TaskId, Contribution)>,
+    /// Banked answers per task, ascending task id; each task's vector keeps
+    /// arrival order (the objective's float folds depend on it).
+    pub banked: Vec<(TaskId, Vec<Contribution>)>,
+    /// Retired tasks kept for objective accounting, ascending id.
+    pub retired: Vec<Task>,
+    /// Ticks run so far (drives per-tick solver seeding).
+    pub tick_count: u64,
 }
 
 // Per-tick / per-shard seed derivation: the shared SplitMix64-style mixer

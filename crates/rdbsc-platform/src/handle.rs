@@ -71,6 +71,10 @@ pub struct EngineSnapshot {
     pub backend: &'static str,
     /// The index's cumulative maintenance counters.
     pub index_counters: MaintenanceCounters,
+    /// Durable-log counters when the engine runs with a write-ahead log
+    /// (`None` on non-durable engines; a merged snapshot sums over the
+    /// durable partitions).
+    pub wal: Option<crate::wal::WalStats>,
 }
 
 /// What the handle drives: one engine over the whole space, or one engine
@@ -164,6 +168,7 @@ impl EngineSnapshot {
             objective: engine.current_objective(),
             backend: engine.index().backend_name(),
             index_counters: engine.index().maintenance_counters(),
+            wal: None,
         }
     }
 }
@@ -393,6 +398,25 @@ impl<I: SpatialIndex> EngineHandle<I> {
         match &self.lock().core {
             Core::Single(_) => Vec::new(),
             Core::Partitioned(engine) => engine.transport_stats(),
+        }
+    }
+
+    /// Query: the partitions the router has marked lost (empty on a single
+    /// engine and on a fully healthy topology) — see the failure model in
+    /// [`crate::partition`].
+    pub fn unhealthy_partitions(&self) -> Vec<crate::partition::PartitionHealth> {
+        match &self.lock().core {
+            Core::Single(_) => Vec::new(),
+            Core::Partitioned(engine) => engine.unhealthy_partitions(),
+        }
+    }
+
+    /// Query: events routed to a lost partition and dropped (always 0 on a
+    /// single engine).
+    pub fn events_dropped(&self) -> u64 {
+        match &self.lock().core {
+            Core::Single(_) => 0,
+            Core::Partitioned(engine) => engine.events_dropped(),
         }
     }
 

@@ -28,6 +28,9 @@
 //! host. The [`handle`] module wraps either form in a thread-safe
 //! [`EngineHandle`] command API so network servers (see the `rdbsc-server`
 //! crate) and other multi-threaded drivers can share one live instance.
+//! The [`wal`] module makes a partition durable: an append-only segmented
+//! write-ahead log that records every routed command before application,
+//! with periodic checkpoints and exact (digest-verified) crash recovery.
 
 #![deny(missing_docs)]
 
@@ -40,6 +43,7 @@ pub mod partition;
 pub mod protocol;
 pub mod sim;
 pub mod stats;
+pub mod wal;
 
 pub use accuracy::{answer_accuracy, answer_error, AnswerRecord};
 pub use coverage::{angular_coverage, temporal_coverage, CoverageReport};
@@ -47,10 +51,13 @@ pub use engine::{
     AdaptiveBatchSolver, AssignmentEngine, EngineConfig, EngineEvent, EngineObjective, TickReport,
 };
 pub use handle::{EngineHandle, EngineSnapshot};
-pub use partition::{merge_snapshots, PartitionTransport, PartitionedEngine};
+pub use partition::{merge_snapshots, PartitionHealth, PartitionTransport, PartitionedEngine};
 pub use protocol::{
     EnginePartition, InProcessClient, PartitionClient, PartitionError, PartitionTick,
     ProtocolCounters, ProtocolStats, PROTOCOL_VERSION,
 };
 pub use sim::{PlatformConfig, PlatformSim, RoundStats, SimulationReport};
 pub use stats::{Counter, LatencyHistogram};
+pub use wal::{
+    FailpointWriter, FaultPlan, PartitionState, Wal, WalConfig, WalError, WalRecord, WalStats,
+};

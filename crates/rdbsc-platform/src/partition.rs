@@ -61,10 +61,20 @@
 //!
 //! ## Failure model
 //!
-//! The router treats a partition command failure as fatal and panics with
-//! the partition's endpoint: the partitions are one logical engine, and
-//! continuing without a region would silently serve wrong answers.
-//! Partition failover/replication is future work (see ROADMAP).
+//! A partition command failure (a daemon killed mid-tick, a dropped
+//! connection) does **not** unwind the router. The failing slot is marked
+//! unhealthy with a structured [`PartitionHealth`] record — partition id,
+//! transport endpoint, and the [`PartitionError`] that killed it — and the
+//! router degrades: commands skip unhealthy slots, events routed to a lost
+//! region are counted in [`PartitionedEngine::events_dropped`] instead of
+//! being shipped, and [`PartitionedEngine::unhealthy_partitions`] surfaces
+//! the loss (the server exposes it as the `partitions_unhealthy` gauge on
+//! `/metrics`). Serving continues on the surviving regions; answers for the
+//! lost region are unavailable, not silently wrong — its tasks and workers
+//! simply drop out of merged snapshots and listings. Restoring the lost
+//! region (restart its daemon with `--data-dir` and let the WAL recover it,
+//! see [`crate::wal`]) requires a new router today; automatic re-attach and
+//! replication are future work (see ROADMAP).
 //!
 //! Known approximation: a task re-posted at a location in a *different*
 //! partition is treated as withdraw-then-arrive (the old partition retires
@@ -93,6 +103,21 @@ struct WorkerEntry {
     /// arriving in the submit-to-tick window must still route to `home` —
     /// exactly like a plain engine whose queue holds the same pending leave.
     departed: bool,
+}
+
+/// One lost partition: which region, where it lived, and what killed it —
+/// what [`PartitionedEngine::unhealthy_partitions`] reports and the server
+/// renders under `partitions_unhealthy` on `/metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionHealth {
+    /// The region index of the lost partition.
+    pub partition: usize,
+    /// The backend kind (`"in-process"` / `"http"`).
+    pub kind: &'static str,
+    /// The thread label or network address that stopped answering.
+    pub endpoint: String,
+    /// The first [`PartitionError`] observed on the slot, rendered.
+    pub error: String,
 }
 
 /// One partition's transport identity plus its protocol counters — what the
@@ -137,6 +162,12 @@ pub struct PartitionedEngine {
     /// to clear. Ordered so the post-tick resolution is deterministic.
     pending_handoff: BTreeSet<WorkerId>,
     handoffs: u64,
+    /// Per-slot health: `None` while the slot answers, the first observed
+    /// failure once it stops (see the module docs' failure model).
+    health: Vec<Option<PartitionHealth>>,
+    /// Events routed to a partition after it was marked unhealthy — dropped
+    /// instead of shipped, and surfaced so operators can size the loss.
+    events_dropped: u64,
     /// The most recent tick time (what the graceful-shutdown drain tick
     /// runs at).
     last_now: f64,
@@ -154,6 +185,7 @@ impl PartitionedEngine {
             "one partition client per region required"
         );
         let outbox = (0..clients.len()).map(|_| Vec::new()).collect();
+        let health = (0..clients.len()).map(|_| None).collect();
         Self {
             partition,
             clients,
@@ -163,6 +195,8 @@ impl PartitionedEngine {
             committed: HashSet::new(),
             pending_handoff: BTreeSet::new(),
             handoffs: 0,
+            health,
+            events_dropped: 0,
             last_now: 0.0,
             shut: false,
         }
@@ -229,13 +263,39 @@ impl PartitionedEngine {
             .collect()
     }
 
-    /// A partition command failed: the topology has lost a region, and the
-    /// router cannot serve correct answers without it.
-    fn protocol_failure(&self, slot: usize, error: PartitionError) -> ! {
-        panic!(
-            "partition {slot} ({}) failed: {error}",
-            self.clients[slot].endpoint()
+    /// A partition command failed: record the loss (first error wins) and
+    /// degrade — later commands skip the slot (see the module docs' failure
+    /// model). Idempotent per slot.
+    fn mark_unhealthy(&mut self, slot: usize, error: PartitionError) {
+        if self.health[slot].is_some() {
+            return;
+        }
+        let record = PartitionHealth {
+            partition: slot,
+            kind: self.clients[slot].kind(),
+            endpoint: self.clients[slot].endpoint(),
+            error: error.to_string(),
+        };
+        eprintln!(
+            "partition {slot} ({}) lost: {} — continuing on surviving regions",
+            record.endpoint, record.error
         );
+        self.health[slot] = Some(record);
+    }
+
+    fn healthy(&self, slot: usize) -> bool {
+        self.health[slot].is_none()
+    }
+
+    /// The partitions currently marked lost, in partition order (empty when
+    /// the topology is fully healthy).
+    pub fn unhealthy_partitions(&self) -> Vec<PartitionHealth> {
+        self.health.iter().flatten().cloned().collect()
+    }
+
+    /// Events routed to a lost partition and dropped instead of shipped.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
     }
 
     /// Buffers a routed event for `slot`; [`Self::flush_outbox`] ships it.
@@ -253,14 +313,24 @@ impl PartitionedEngine {
                 continue;
             }
             let batch = std::mem::take(&mut self.outbox[slot]);
-            if let Err(e) = self.clients[slot].begin_submit(batch) {
-                self.protocol_failure(slot, e);
+            if !self.healthy(slot) {
+                self.events_dropped += batch.len() as u64;
+                continue;
             }
-            inflight.push(slot);
+            let batch_len = batch.len() as u64;
+            if let Err(e) = self.clients[slot].begin_submit(batch) {
+                self.mark_unhealthy(slot, e);
+                self.events_dropped += batch_len;
+                continue;
+            }
+            inflight.push((slot, batch_len));
         }
-        for slot in inflight {
+        for (slot, batch_len) in inflight {
             if let Err(e) = self.clients[slot].finish_submit() {
-                self.protocol_failure(slot, e);
+                // Unconfirmed means unapplied as far as the router can
+                // know: count the batch lost.
+                self.mark_unhealthy(slot, e);
+                self.events_dropped += batch_len;
             }
         }
     }
@@ -435,16 +505,21 @@ impl PartitionedEngine {
     /// order, refreshes the router's committed-worker view and resolves any
     /// deferred handoffs whose commitment has cleared.
     pub fn tick(&mut self, now: f64) -> TickReport {
+        let mut ticking = Vec::with_capacity(self.clients.len());
         for slot in 0..self.clients.len() {
-            if let Err(e) = self.clients[slot].begin_tick(now) {
-                self.protocol_failure(slot, e);
+            if !self.healthy(slot) {
+                continue;
+            }
+            match self.clients[slot].begin_tick(now) {
+                Ok(()) => ticking.push(slot),
+                Err(e) => self.mark_unhealthy(slot, e),
             }
         }
-        let mut results = Vec::with_capacity(self.clients.len());
-        for slot in 0..self.clients.len() {
+        let mut results = Vec::with_capacity(ticking.len());
+        for slot in ticking {
             match self.clients[slot].finish_tick() {
                 Ok(reply) => results.push(reply),
-                Err(e) => self.protocol_failure(slot, e),
+                Err(e) => self.mark_unhealthy(slot, e),
             }
         }
         self.last_now = now;
@@ -516,10 +591,13 @@ impl PartitionedEngine {
     /// so one active partition ticks all of them.)
     pub fn is_active(&mut self) -> bool {
         for slot in 0..self.clients.len() {
+            if !self.healthy(slot) {
+                continue;
+            }
             match self.clients[slot].is_active() {
                 Ok(true) => return true,
                 Ok(false) => {}
-                Err(e) => self.protocol_failure(slot, e),
+                Err(e) => self.mark_unhealthy(slot, e),
             }
         }
         false
@@ -533,9 +611,15 @@ impl PartitionedEngine {
         let Some(entry) = self.worker_home.get(&worker).copied() else {
             return false;
         };
+        if !self.healthy(entry.home) {
+            return false;
+        }
         let banked = match self.clients[entry.home].record_answer(worker, contribution) {
             Ok(banked) => banked,
-            Err(e) => self.protocol_failure(entry.home, e),
+            Err(e) => {
+                self.mark_unhealthy(entry.home, e);
+                return false;
+            }
         };
         if banked {
             self.committed.remove(&worker);
@@ -555,8 +639,12 @@ impl PartitionedEngine {
         let Some(entry) = self.worker_home.get(&worker).copied() else {
             return;
         };
+        if !self.healthy(entry.home) {
+            return;
+        }
         if let Err(e) = self.clients[entry.home].release_worker(worker) {
-            self.protocol_failure(entry.home, e);
+            self.mark_unhealthy(entry.home, e);
+            return;
         }
         self.committed.remove(&worker);
         if self.pending_handoff.remove(&worker)
@@ -578,21 +666,28 @@ impl PartitionedEngine {
     pub fn committed_assignments(&mut self) -> Vec<ValidPair> {
         let mut merged = Vec::new();
         for slot in 0..self.clients.len() {
+            if !self.healthy(slot) {
+                continue;
+            }
             match self.clients[slot].assignments() {
                 Ok(pairs) => merged.extend(pairs),
-                Err(e) => self.protocol_failure(slot, e),
+                Err(e) => self.mark_unhealthy(slot, e),
             }
         }
         merged
     }
 
-    /// One consistent snapshot per partition, in partition order.
+    /// One consistent snapshot per surviving partition, in partition order
+    /// (lost partitions are absent — see the module docs' failure model).
     pub fn partition_snapshots(&mut self) -> Vec<EngineSnapshot> {
         let mut snapshots = Vec::with_capacity(self.clients.len());
         for slot in 0..self.clients.len() {
+            if !self.healthy(slot) {
+                continue;
+            }
             match self.clients[slot].snapshot() {
                 Ok(snapshot) => snapshots.push(snapshot),
-                Err(e) => self.protocol_failure(slot, e),
+                Err(e) => self.mark_unhealthy(slot, e),
             }
         }
         snapshots
@@ -610,10 +705,13 @@ impl PartitionedEngine {
     pub fn partitions_holding(&mut self, id: WorkerId) -> Vec<usize> {
         let mut holding = Vec::new();
         for slot in 0..self.clients.len() {
+            if !self.healthy(slot) {
+                continue;
+            }
             match self.clients[slot].has_worker(id) {
                 Ok(true) => holding.push(slot),
                 Ok(false) => {}
-                Err(e) => self.protocol_failure(slot, e),
+                Err(e) => self.mark_unhealthy(slot, e),
             }
         }
         holding
@@ -640,6 +738,9 @@ impl PartitionedEngine {
         }
         let snapshot = self.snapshot();
         for slot in 0..self.clients.len() {
+            if !self.healthy(slot) {
+                continue;
+            }
             // Best effort from here on: an already-dead partition must not
             // stop the others from being released.
             if let Err(e) = self.clients[slot].drain() {
@@ -674,6 +775,7 @@ pub fn merge_snapshots(parts: &[EngineSnapshot]) -> EngineSnapshot {
         },
         backend: parts.first().map(|p| p.backend).unwrap_or("none"),
         index_counters: MaintenanceCounters::default(),
+        wal: None,
     };
     for p in parts {
         merged.events_applied += p.events_applied;
@@ -694,6 +796,21 @@ pub fn merge_snapshots(parts: &[EngineSnapshot]) -> EngineSnapshot {
         merged.index_counters.relocations += p.index_counters.relocations;
         merged.index_counters.cells_repaired += p.index_counters.cells_repaired;
         merged.index_counters.tcell_rebuilds += p.index_counters.tcell_rebuilds;
+        if let Some(w) = p.wal {
+            // Durability counters sum across partitions; the checkpoint
+            // epoch reported is the most recent one (with lockstep ticks
+            // and a shared interval it is every partition's).
+            let m = merged.wal.get_or_insert_with(Default::default);
+            m.segments += w.segments;
+            m.segments_retired += w.segments_retired;
+            m.bytes_appended += w.bytes_appended;
+            m.records_appended += w.records_appended;
+            m.fsyncs += w.fsyncs;
+            m.checkpoints += w.checkpoints;
+            m.last_checkpoint_tick = m.last_checkpoint_tick.max(w.last_checkpoint_tick);
+            m.recovered_records += w.recovered_records;
+            m.recovered_checkpoint |= w.recovered_checkpoint;
+        }
     }
     if merged.objective.covered_tasks == 0 {
         merged.objective.min_reliability = 1.0;
@@ -959,6 +1076,156 @@ mod tests {
         let snaps = split.partition_snapshots();
         assert_eq!(snaps[0].live_tasks, 0, "old copy withdrawn");
         assert_eq!(snaps[1].live_tasks, 1, "new copy lives right");
+    }
+
+    /// Delegates to an in-process partition until "killed", then answers
+    /// every command with a transport error — the in-process analogue of a
+    /// daemon dying mid-run.
+    struct KillableClient {
+        inner: InProcessClient,
+        dead: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl KillableClient {
+        fn fail(&self) -> Result<(), PartitionError> {
+            if self.dead.load(std::sync::atomic::Ordering::SeqCst) {
+                Err(PartitionError::Transport {
+                    endpoint: self.inner.endpoint(),
+                    detail: "connection refused (killed)".into(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl PartitionClient for KillableClient {
+        fn kind(&self) -> &'static str {
+            self.inner.kind()
+        }
+        fn endpoint(&self) -> String {
+            self.inner.endpoint()
+        }
+        fn counters(&self) -> std::sync::Arc<crate::protocol::ProtocolCounters> {
+            self.inner.counters()
+        }
+        fn begin_submit(&mut self, events: Vec<EngineEvent>) -> Result<(), PartitionError> {
+            self.fail()?;
+            self.inner.begin_submit(events)
+        }
+        fn finish_submit(&mut self) -> Result<(), PartitionError> {
+            self.fail()?;
+            self.inner.finish_submit()
+        }
+        fn begin_tick(&mut self, now: f64) -> Result<(), PartitionError> {
+            self.fail()?;
+            self.inner.begin_tick(now)
+        }
+        fn finish_tick(&mut self) -> Result<crate::protocol::PartitionTick, PartitionError> {
+            self.fail()?;
+            self.inner.finish_tick()
+        }
+        fn record_answer(
+            &mut self,
+            worker: WorkerId,
+            contribution: Contribution,
+        ) -> Result<bool, PartitionError> {
+            self.fail()?;
+            self.inner.record_answer(worker, contribution)
+        }
+        fn release_worker(&mut self, worker: WorkerId) -> Result<(), PartitionError> {
+            self.fail()?;
+            self.inner.release_worker(worker)
+        }
+        fn assignments(&mut self) -> Result<Vec<ValidPair>, PartitionError> {
+            self.fail()?;
+            self.inner.assignments()
+        }
+        fn snapshot(&mut self) -> Result<EngineSnapshot, PartitionError> {
+            self.fail()?;
+            self.inner.snapshot()
+        }
+        fn is_active(&mut self) -> Result<bool, PartitionError> {
+            self.fail()?;
+            self.inner.is_active()
+        }
+        fn has_worker(&mut self, id: WorkerId) -> Result<bool, PartitionError> {
+            self.fail()?;
+            self.inner.has_worker(id)
+        }
+        fn drain(&mut self) -> Result<(), PartitionError> {
+            self.fail()?;
+            self.inner.drain()
+        }
+        fn shutdown(&mut self) -> Result<(), PartitionError> {
+            self.fail()?;
+            self.inner.shutdown()
+        }
+    }
+
+    #[test]
+    fn lost_partition_degrades_instead_of_panicking() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let geometry = GridGeometry::new(Rect::unit(), 0.1);
+        let partition = RegionPartitioner::uniform().split(geometry, 2, &[]);
+        let config = EngineConfig::default();
+        let dead = Arc::new(AtomicBool::new(false));
+        let clients: Vec<Box<dyn PartitionClient>> = (0..2)
+            .map(|i| {
+                let engine = AssignmentEngine::new(
+                    GridIndex::new(partition.region_rect(i), 0.1),
+                    config.clone(),
+                );
+                let inner = InProcessClient::spawn(i, engine);
+                if i == 1 {
+                    Box::new(KillableClient {
+                        inner,
+                        dead: Arc::clone(&dead),
+                    }) as Box<dyn PartitionClient>
+                } else {
+                    Box::new(inner)
+                }
+            })
+            .collect();
+        let mut split = PartitionedEngine::new(partition, clients);
+
+        split.submit_all(two_sided_events());
+        let report = split.tick(0.0);
+        assert!(report.new_assignments.len() >= 2, "both regions assign");
+        assert!(split.unhealthy_partitions().is_empty());
+
+        // Partition 1 dies mid-run: the next tick must not unwind.
+        dead.store(true, Ordering::SeqCst);
+        let report = split.tick(0.5);
+        let lost = split.unhealthy_partitions();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].partition, 1);
+        assert_eq!(lost[0].endpoint, "rdbsc-partition-1");
+        assert!(lost[0].error.contains("connection refused"), "{}", lost[0].error);
+        // The surviving region still reports (3 live tasks keep it active).
+        assert!(split.is_active());
+        assert_eq!(split.partition_snapshots().len(), 1);
+        assert_eq!(split.snapshot().live_tasks, 3);
+        let _ = report;
+
+        // Events for the lost region are dropped and counted; the healthy
+        // region keeps serving new work.
+        split.submit(EngineEvent::TaskArrived(task(10, 0.8, 0.5, 0.0, 9.0)));
+        split.submit(EngineEvent::TaskArrived(task(11, 0.2, 0.2, 0.0, 9.0)));
+        split.submit(EngineEvent::WorkerCheckIn(worker(11, 0.2, 0.25, 0.4)));
+        let report = split.tick(1.0);
+        assert_eq!(split.events_dropped(), 1);
+        assert!(report
+            .new_assignments
+            .iter()
+            .any(|p| p.worker == WorkerId(11)), "surviving region assigns");
+        assert_eq!(split.unhealthy_partitions().len(), 1, "first error wins, no duplicates");
+
+        // Shutdown stays graceful: drains the survivor, skips the corpse.
+        let final_snapshot = split.shutdown();
+        assert_eq!(final_snapshot.pending_events, 0);
     }
 
     #[test]

@@ -51,12 +51,14 @@
 //! prints shortest-round-trip forms). `rdbsc-bench --bin remote_scale`
 //! asserts this end to end.
 
-use crate::engine::{AssignmentEngine, EngineEvent, TickReport};
+use crate::engine::{AssignmentEngine, EngineConfig, EngineEvent, TickReport};
 use crate::handle::EngineSnapshot;
 use crate::stats::{Counter, LatencyHistogram};
+use crate::wal::{PartitionState, ScannedLog, Wal, WalConfig, WalError, WalRecord, WalStats};
 use rdbsc_index::SpatialIndex;
 use rdbsc_model::valid_pairs::ValidPair;
 use rdbsc_model::{Contribution, WorkerId};
+use std::path::Path;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -253,27 +255,107 @@ pub struct EnginePartition<I: SpatialIndex> {
     last_now: f64,
     events_applied: u64,
     total_assignments: u64,
+    /// The durable command log, when this partition runs with one. Every
+    /// command is logged *before* application (write-ahead redo); a log
+    /// I/O failure panics the partition — the crash-and-recover
+    /// discipline: a partition that cannot persist its commands must not
+    /// keep acknowledging them, and a reboot recovers exactly the logged
+    /// prefix.
+    wal: Option<Wal>,
 }
 
 impl<I: SpatialIndex> EnginePartition<I> {
-    /// Wraps a freshly built engine.
+    /// Wraps a freshly built engine (no durability).
     pub fn new(engine: AssignmentEngine<I>) -> Self {
         Self {
             engine,
             last_now: 0.0,
             events_applied: 0,
             total_assignments: 0,
+            wal: None,
+        }
+    }
+
+    /// Opens (or creates) the durable log in `dir` and recovers the
+    /// partition from it: the latest checkpoint is restored into a fresh
+    /// index from `make_index`, the logged tail is replayed through the
+    /// ordinary command path, and only then does the log attach — so
+    /// replayed commands are not re-logged. On an empty directory this is
+    /// simply a durable fresh partition.
+    pub fn open_durable(
+        dir: &Path,
+        wal_config: WalConfig,
+        engine_config: EngineConfig,
+        make_index: impl FnOnce() -> I,
+    ) -> Result<(Self, ScannedLog), WalError> {
+        let (wal, scan) = Wal::open(dir, wal_config)?;
+        let (checkpoint, tail) = scan.recovery_plan();
+        let engine = match checkpoint {
+            Some(state) => AssignmentEngine::restore_state(
+                make_index(),
+                engine_config,
+                state.engine.clone(),
+            ),
+            None => AssignmentEngine::new(make_index(), engine_config),
+        };
+        let mut part = Self::new(engine);
+        if let Some(state) = checkpoint {
+            part.last_now = state.last_now;
+            part.events_applied = state.events_applied;
+            part.total_assignments = state.total_assignments;
+        }
+        for record in tail {
+            part.replay(record.clone());
+        }
+        part.wal = Some(wal);
+        Ok((part, scan))
+    }
+
+    /// Applies one recovered record through the ordinary command path (the
+    /// log is not attached yet, so nothing is re-logged). Replayed ticks
+    /// recompute their assignments deterministically — the engine's
+    /// determinism contract is what makes redo recovery exact.
+    fn replay(&mut self, record: WalRecord) {
+        match record {
+            WalRecord::Events(events) => self.submit(events),
+            WalRecord::Tick { now } => {
+                self.tick(now);
+            }
+            WalRecord::Answer {
+                worker,
+                contribution,
+            } => {
+                self.record_answer(worker, contribution);
+            }
+            WalRecord::Release { worker } => self.release_worker(worker),
+            // recovery_plan() splits at the *latest* checkpoint; an older
+            // one surviving in the tail would be a scan bug, but replay is
+            // defensive: the record is self-contained state, not a command.
+            WalRecord::Checkpoint(_) => {}
+        }
+    }
+
+    fn log<R>(wal: &mut Option<Wal>, write: impl FnOnce(&mut Wal) -> Result<R, WalError>) {
+        if let Some(wal) = wal {
+            if let Err(e) = write(wal) {
+                panic!("partition wal append failed (crash-and-recover): {e}");
+            }
         }
     }
 
     /// Queues a routed event batch for the next tick.
     pub fn submit(&mut self, events: Vec<EngineEvent>) {
+        Self::log(&mut self.wal, |wal| wal.append_events(&events));
         self.engine.submit_all(events);
     }
 
     /// Runs one engine round and returns the report plus the post-tick
-    /// committed worker set (the handoff oracle).
+    /// committed worker set (the handoff oracle). On a durable partition
+    /// the tick command is logged and the log fsynced *before* the engine
+    /// runs (the group-commit boundary), and a checkpoint is written every
+    /// [`WalConfig::checkpoint_every_ticks`] ticks.
     pub fn tick(&mut self, now: f64) -> PartitionTick {
+        Self::log(&mut self.wal, |wal| wal.append_tick(now));
         let report = self.engine.tick(now);
         self.last_now = now;
         self.events_applied += report.events_applied as u64;
@@ -284,16 +366,27 @@ impl<I: SpatialIndex> EnginePartition<I> {
             .iter()
             .map(|p| p.worker)
             .collect();
+        let checkpoint_due = self.wal.as_ref().is_some_and(|wal| {
+            let every = wal.config().checkpoint_every_ticks;
+            every > 0 && self.engine.num_ticks().is_multiple_of(every)
+        });
+        if checkpoint_due {
+            let state = self.dump_state();
+            let tick = self.engine.num_ticks();
+            Self::log(&mut self.wal, |wal| wal.append_checkpoint(&state, tick));
+        }
         PartitionTick { report, committed }
     }
 
     /// Banks an answer; `false` when the worker was not en route.
     pub fn record_answer(&mut self, worker: WorkerId, contribution: Contribution) -> bool {
+        Self::log(&mut self.wal, |wal| wal.append_answer(worker, contribution));
         self.engine.record_answer(worker, contribution)
     }
 
     /// Releases an en-route worker without banking.
     pub fn release_worker(&mut self, worker: WorkerId) {
+        Self::log(&mut self.wal, |wal| wal.append_release(worker));
         self.engine.release_worker(worker);
     }
 
@@ -302,14 +395,47 @@ impl<I: SpatialIndex> EnginePartition<I> {
         self.engine.committed_assignments()
     }
 
-    /// A consistent snapshot of this partition's state.
+    /// A consistent snapshot of this partition's state (durable partitions
+    /// include their log counters).
     pub fn snapshot(&self) -> EngineSnapshot {
-        EngineSnapshot::capture(
+        let mut snapshot = EngineSnapshot::capture(
             &self.engine,
             self.last_now,
             self.events_applied,
             self.total_assignments,
-        )
+        );
+        snapshot.wal = self.wal_stats();
+        snapshot
+    }
+
+    /// The partition's full logical state in canonical form (the
+    /// checkpoint payload).
+    pub fn dump_state(&self) -> PartitionState {
+        PartitionState {
+            last_now: self.last_now,
+            events_applied: self.events_applied,
+            total_assignments: self.total_assignments,
+            engine: self.engine.dump_state(),
+        }
+    }
+
+    /// The FNV-1a digest of the canonical state encoding — equal digests ⇔
+    /// equal observable partition state. The recovery tests compare a
+    /// rebooted partition's digest against an offline replay of the logged
+    /// prefix.
+    pub fn state_digest(&self) -> u64 {
+        self.dump_state().digest()
+    }
+
+    /// Log counters, when this partition is durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(Wal::stats)
+    }
+
+    /// Forces the log to stable storage (no-op without one) — used by the
+    /// daemon's graceful shutdown so nothing acknowledged is lost.
+    pub fn sync_wal(&mut self) {
+        Self::log(&mut self.wal, Wal::sync);
     }
 
     /// Pending events or live tasks?
@@ -342,8 +468,7 @@ enum Command {
 
 /// The per-partition engine thread: an [`EnginePartition`] drained off a
 /// channel.
-fn slot_loop<I: SpatialIndex>(engine: AssignmentEngine<I>, commands: Receiver<Command>) {
-    let mut part = EnginePartition::new(engine);
+fn slot_loop<I: SpatialIndex>(mut part: EnginePartition<I>, commands: Receiver<Command>) {
     while let Ok(command) = commands.recv() {
         match command {
             Command::Submit(events) => part.submit(events),
@@ -391,11 +516,20 @@ impl InProcessClient {
     /// Spawns the partition's engine thread. `index` names the partition in
     /// the thread label and the endpoint string.
     pub fn spawn<I: SpatialIndex + 'static>(index: usize, engine: AssignmentEngine<I>) -> Self {
+        Self::spawn_partition(index, EnginePartition::new(engine))
+    }
+
+    /// Spawns the engine thread around a prebuilt [`EnginePartition`] —
+    /// e.g. a durable one recovered with [`EnginePartition::open_durable`].
+    pub fn spawn_partition<I: SpatialIndex + 'static>(
+        index: usize,
+        part: EnginePartition<I>,
+    ) -> Self {
         let label = format!("rdbsc-partition-{index}");
         let (tx, rx) = channel();
         let thread = std::thread::Builder::new()
             .name(label.clone())
-            .spawn(move || slot_loop(engine, rx))
+            .spawn(move || slot_loop(part, rx))
             .expect("spawn partition thread");
         Self {
             label,

@@ -1,0 +1,835 @@
+//! The durable partition event log (write-ahead log).
+//!
+//! Every partition engine is a deterministic state machine: byte-identical
+//! command streams produce byte-identical state (the contract the
+//! cross-topology FNV digests enforce). That turns durability into pure
+//! *redo logging* — persist the command stream, and recovery is exact, not
+//! best-effort: load the last checkpoint, replay the tail, and the engine
+//! provably reaches its pre-crash state.
+//!
+//! ## Log format
+//!
+//! The log is a directory of append-only segments:
+//!
+//! ```text
+//! wal-0000000000.log
+//! ┌──────────────────────────────────────────────────────────┐
+//! │ header: "RDBSCWAL" | version u32 | seqno u64 | first_lsn │
+//! ├──────────────────────────────────────────────────────────┤
+//! │ frame:  len u32 | crc32 u32 | lsn u64 | payload[len]     │
+//! │ frame:  …                                                │
+//! └──────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian; the CRC covers `lsn ‖ payload`. Records
+//! carry [`WalRecord`]s — routed event batches, tick commands, banked
+//! answers, worker releases and periodic [`PartitionState`] checkpoints —
+//! in the module's canonical binary encoding.
+//!
+//! ## Durability discipline
+//!
+//! Appends are buffered by the OS; the log fsyncs **on tick boundaries**
+//! ([`WalConfig::fsync_on_tick`]), so one `fsync` amortises over a whole
+//! micro-batch of events — the classic group-commit trade: a crash may
+//! lose the commands *after* the last tick boundary, never a prefix hole.
+//! A tick logged-but-not-applied is recomputed identically on replay (its
+//! reply was never externalised), which is what makes write-ahead redo
+//! sound here.
+//!
+//! ## Recovery invariant
+//!
+//! [`scan_dir`] walks the segments in sequence order and accepts records
+//! while the chain is intact: magic/version/seqno/lsn all match and every
+//! CRC verifies. The first violation — torn frame, flipped byte, missing
+//! segment — ends the *valid prefix*; everything after it is dropped (the
+//! torn tail is truncated, later segments deleted) and the appender resumes
+//! in a fresh segment. Recovery therefore always yields a prefix of the
+//! appended record stream, never a corrupted state — the property the
+//! fault-injection proptests in `tests/proptest_wal.rs` hammer with
+//! [`FailpointWriter`].
+//!
+//! Checkpoints ride in the log as ordinary records; segments strictly older
+//! than the segment holding the latest fsynced checkpoint are retired
+//! (deleted) so the log's footprint is bounded by the checkpoint interval.
+
+mod codec;
+mod failpoint;
+
+pub use codec::{crc32, decode_record, encode_partition_state, encode_record, fnv1a};
+pub use failpoint::{FailpointWriter, FaultPlan};
+
+use crate::engine::{EngineEvent, EngineState};
+use rdbsc_model::{Contribution, WorkerId};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The segment header magic.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"RDBSCWAL";
+/// The segment format revision this build reads and writes.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Upper bound on one record's payload (a corrupted length field must not
+/// look like a plausible frame).
+pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+const HEADER_BYTES: usize = 8 + 4 + 8 + 8;
+const FRAME_HEADER_BYTES: usize = 4 + 4 + 8;
+
+/// Why a log operation failed.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying filesystem failed.
+    Io(io::Error),
+    /// Bytes that should have been a record (or header) were not.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt(what) => write!(f, "wal corruption: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// One logged command — the redo stream's unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A routed event batch queued for the next tick.
+    Events(Vec<EngineEvent>),
+    /// A lockstep tick command (the fsync boundary).
+    Tick {
+        /// The tick's time.
+        now: f64,
+    },
+    /// An en-route worker's banked answer.
+    Answer {
+        /// The answering worker.
+        worker: WorkerId,
+        /// Its contribution.
+        contribution: Contribution,
+    },
+    /// An en-route worker released without banking.
+    Release {
+        /// The released worker.
+        worker: WorkerId,
+    },
+    /// A full-state checkpoint; replay restarts from the latest one.
+    Checkpoint(PartitionState),
+}
+
+/// A partition's full logical state — the engine state plus the serving
+/// counters the partition keeps around it. Its canonical encoding
+/// ([`encode_partition_state`]) doubles as the recovery tests' byte
+/// identity: equal encodings ⇔ equal observable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionState {
+    /// The time of the most recent tick.
+    pub last_now: f64,
+    /// Events applied across the partition's lifetime.
+    pub events_applied: u64,
+    /// Assignments committed across the partition's lifetime.
+    pub total_assignments: u64,
+    /// The engine's state.
+    pub engine: EngineState,
+}
+
+impl PartitionState {
+    /// The FNV-1a digest of the canonical encoding — the state identity the
+    /// recovery machinery compares.
+    pub fn digest(&self) -> u64 {
+        fnv1a(&encode_partition_state(self))
+    }
+}
+
+/// Durability knobs (pushed to daemons in the serving configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the current one exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// Write a checkpoint every N ticks (`0` disables checkpointing; the
+    /// log then grows unboundedly and replays from the beginning).
+    pub checkpoint_every_ticks: u64,
+    /// Fsync at every tick boundary (group commit). Disabling trades the
+    /// crash-durability of recent ticks for raw append throughput.
+    pub fsync_on_tick: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 4 << 20,
+            checkpoint_every_ticks: 64,
+            fsync_on_tick: true,
+        }
+    }
+}
+
+/// Point-in-time log counters, exposed on `/metrics` and snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WalStats {
+    /// Live segment files (including the one being appended).
+    pub segments: u64,
+    /// Segments retired (deleted) behind checkpoints.
+    pub segments_retired: u64,
+    /// Bytes appended through this handle (headers + frames).
+    pub bytes_appended: u64,
+    /// Records appended through this handle.
+    pub records_appended: u64,
+    /// Fsyncs issued.
+    pub fsyncs: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// The engine tick of the latest checkpoint (the checkpoint epoch).
+    pub last_checkpoint_tick: u64,
+    /// Records replayed from disk when this handle was opened.
+    pub recovered_records: u64,
+    /// Whether the open recovered from a checkpoint (vs full replay).
+    pub recovered_checkpoint: bool,
+}
+
+/// The write surface the appender needs from a segment file — [`fs::File`]
+/// in production, [`FailpointWriter`] under fault injection.
+pub trait WalFile: Send {
+    /// Appends `buf` in full.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Forces appended bytes to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl WalFile for fs::File {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(self, buf)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+/// Creates the file for a fresh segment — the injection point for
+/// [`FailpointWriter`]-wrapped files in the fault tests.
+pub type SegmentFactory = Box<dyn FnMut(&Path) -> io::Result<Box<dyn WalFile>> + Send>;
+
+fn default_factory() -> SegmentFactory {
+    Box::new(|path| {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        Ok(Box::new(file) as Box<dyn WalFile>)
+    })
+}
+
+fn segment_path(dir: &Path, seqno: u64) -> PathBuf {
+    dir.join(format!("wal-{seqno:010}.log"))
+}
+
+fn parse_segment_seqno(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let body = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if body.len() != 10 || !body.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    body.parse().ok()
+}
+
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if let Some(seqno) = parse_segment_seqno(&path) {
+            segments.push((seqno, path));
+        }
+    }
+    segments.sort_unstable_by_key(|(seqno, _)| *seqno);
+    Ok(segments)
+}
+
+/// What a read-only scan of a log directory found: the valid record prefix
+/// plus the repairs an appender must make before resuming.
+#[derive(Debug)]
+pub struct ScannedLog {
+    /// Every record of the valid prefix, in append (lsn) order.
+    pub records: Vec<WalRecord>,
+    /// The lsn the next append gets.
+    pub next_lsn: u64,
+    /// Highest segment sequence number seen (valid or not).
+    pub max_seqno: Option<u64>,
+    /// Surviving segment files after repairs.
+    pub segments: u64,
+    /// Bytes beyond the valid prefix (torn tail plus dropped segments).
+    pub dropped_bytes: u64,
+    /// Torn segment to truncate to its valid byte length.
+    truncate: Option<(PathBuf, u64)>,
+    /// Segment files entirely beyond the valid prefix, to delete.
+    drop_files: Vec<PathBuf>,
+}
+
+impl ScannedLog {
+    /// Splits the prefix into the latest checkpoint (if any) and the tail
+    /// records after it — the recovery inputs.
+    pub fn recovery_plan(&self) -> (Option<&PartitionState>, &[WalRecord]) {
+        let checkpoint_at = self
+            .records
+            .iter()
+            .rposition(|r| matches!(r, WalRecord::Checkpoint(_)));
+        match checkpoint_at {
+            Some(i) => {
+                let WalRecord::Checkpoint(state) = &self.records[i] else {
+                    unreachable!("rposition found a checkpoint");
+                };
+                (Some(state), &self.records[i + 1..])
+            }
+            None => (None, &self.records[..]),
+        }
+    }
+
+    /// Did the scan find damage (torn tail or unreadable segments)?
+    pub fn found_damage(&self) -> bool {
+        self.truncate.is_some() || !self.drop_files.is_empty()
+    }
+}
+
+/// Scans a log directory read-only and returns its valid record prefix
+/// (see the [module docs](self) for the invariant). Unreadable or
+/// out-of-chain bytes end the prefix; they are *reported*, not repaired —
+/// [`Wal::open`] applies the repairs before resuming appends.
+pub fn scan_dir(dir: &Path) -> Result<ScannedLog, WalError> {
+    let segments = list_segments(dir)?;
+    let mut scan = ScannedLog {
+        records: Vec::new(),
+        next_lsn: 0,
+        max_seqno: segments.last().map(|(seqno, _)| *seqno),
+        segments: 0,
+        dropped_bytes: 0,
+        truncate: None,
+        drop_files: Vec::new(),
+    };
+    let mut expected_lsn: Option<u64> = None;
+    let mut broken = false;
+    for (seqno, path) in segments {
+        if broken {
+            scan.dropped_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            scan.drop_files.push(path);
+            continue;
+        }
+        let bytes = fs::read(&path)?;
+        match scan_segment(&bytes, seqno, expected_lsn, &mut scan.records) {
+            SegmentScan::Clean { next_lsn } => {
+                expected_lsn = Some(next_lsn);
+                scan.segments += 1;
+            }
+            SegmentScan::Torn {
+                valid_bytes,
+                next_lsn,
+            } => {
+                // The prefix ends inside this segment: truncate it and drop
+                // everything after. The appender resumes in a new segment.
+                expected_lsn = Some(next_lsn);
+                scan.segments += 1;
+                scan.dropped_bytes += bytes.len() as u64 - valid_bytes;
+                scan.truncate = Some((path, valid_bytes));
+                broken = true;
+            }
+            SegmentScan::Unreadable => {
+                // Not even a valid header: nothing in this segment (or any
+                // later one) belongs to the prefix.
+                scan.dropped_bytes += bytes.len() as u64;
+                scan.drop_files.push(path);
+                broken = true;
+            }
+        }
+    }
+    scan.next_lsn = expected_lsn.unwrap_or(0);
+    Ok(scan)
+}
+
+enum SegmentScan {
+    Clean { next_lsn: u64 },
+    Torn { valid_bytes: u64, next_lsn: u64 },
+    Unreadable,
+}
+
+/// Walks one segment's bytes, pushing valid records onto `records` until
+/// the frame chain breaks. `expected_lsn` is `None` for the first surviving
+/// segment (retirement makes its first lsn the chain base).
+fn scan_segment(
+    bytes: &[u8],
+    seqno: u64,
+    expected_lsn: Option<u64>,
+    records: &mut Vec<WalRecord>,
+) -> SegmentScan {
+    if bytes.len() < HEADER_BYTES
+        || &bytes[..8] != SEGMENT_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != SEGMENT_VERSION
+        || u64::from_le_bytes(bytes[12..20].try_into().unwrap()) != seqno
+    {
+        return SegmentScan::Unreadable;
+    }
+    let first_lsn = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let mut lsn = match expected_lsn {
+        Some(expected) if expected != first_lsn => return SegmentScan::Unreadable,
+        Some(expected) => expected,
+        None => first_lsn,
+    };
+    let mut pos = HEADER_BYTES;
+    loop {
+        let Some(frame) = read_frame(&bytes[pos..], lsn) else {
+            return if pos == bytes.len() {
+                SegmentScan::Clean { next_lsn: lsn }
+            } else {
+                SegmentScan::Torn {
+                    valid_bytes: pos as u64,
+                    next_lsn: lsn,
+                }
+            };
+        };
+        records.push(frame.0);
+        pos += frame.1;
+        lsn += 1;
+    }
+}
+
+/// Reads and validates one frame at the start of `bytes`; `None` on any
+/// violation (truncation, bad CRC, lsn mismatch, undecodable payload).
+fn read_frame(bytes: &[u8], expected_lsn: u64) -> Option<(WalRecord, usize)> {
+    if bytes.len() < FRAME_HEADER_BYTES {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if len > MAX_RECORD_BYTES {
+        return None;
+    }
+    let total = FRAME_HEADER_BYTES + len as usize;
+    if bytes.len() < total {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let lsn = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    if lsn != expected_lsn {
+        return None;
+    }
+    if crc32(&bytes[8..total]) != crc {
+        return None;
+    }
+    let record = decode_record(&bytes[16..total]).ok()?;
+    Some((record, total))
+}
+
+/// The segmented append-only log: one open handle per partition.
+///
+/// All appends return `Result`; the partition layer treats an error as
+/// fatal (crash-and-recover — see `EnginePartition`), while the fault
+/// tests drive this API directly to exercise every error path.
+pub struct Wal {
+    dir: PathBuf,
+    config: WalConfig,
+    factory: SegmentFactory,
+    file: Box<dyn WalFile>,
+    seqno: u64,
+    segment_bytes: u64,
+    next_lsn: u64,
+    stats: WalStats,
+    dirty: bool,
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `dir`: scans the existing segments,
+    /// repairs any damage (truncates the torn tail, deletes out-of-chain
+    /// segments) and starts a fresh segment for new appends. Returns the
+    /// appender plus the scan — whose [`ScannedLog::recovery_plan`] the
+    /// partition replays before going live.
+    pub fn open(dir: &Path, config: WalConfig) -> Result<(Self, ScannedLog), WalError> {
+        Self::open_with_factory(dir, config, default_factory())
+    }
+
+    /// [`Wal::open`] with an explicit segment-file factory (fault tests
+    /// inject [`FailpointWriter`]-wrapped files here).
+    pub fn open_with_factory(
+        dir: &Path,
+        config: WalConfig,
+        factory: SegmentFactory,
+    ) -> Result<(Self, ScannedLog), WalError> {
+        fs::create_dir_all(dir)?;
+        let scan = scan_dir(dir)?;
+        if let Some((path, valid_bytes)) = &scan.truncate {
+            let file = fs::OpenOptions::new().write(true).open(path)?;
+            file.set_len(*valid_bytes)?;
+            file.sync_data()?;
+        }
+        for path in &scan.drop_files {
+            fs::remove_file(path)?;
+        }
+        let seqno = scan.max_seqno.map_or(0, |s| s + 1);
+        let (checkpoint, tail) = scan.recovery_plan();
+        let recovered_checkpoint = checkpoint.is_some();
+        let recovered_records = tail.len() as u64;
+        let mut wal = Self {
+            dir: dir.to_path_buf(),
+            config,
+            factory,
+            file: Box::new(NullFile),
+            seqno,
+            segment_bytes: 0,
+            next_lsn: scan.next_lsn,
+            stats: WalStats {
+                segments: scan.segments,
+                recovered_records,
+                recovered_checkpoint,
+                ..WalStats::default()
+            },
+            dirty: false,
+        };
+        wal.start_segment(seqno)?;
+        Ok((wal, scan))
+    }
+
+    fn start_segment(&mut self, seqno: u64) -> Result<(), WalError> {
+        let path = segment_path(&self.dir, seqno);
+        self.file = (self.factory)(&path)?;
+        let mut header = Vec::with_capacity(HEADER_BYTES);
+        header.extend_from_slice(SEGMENT_MAGIC);
+        header.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+        header.extend_from_slice(&seqno.to_le_bytes());
+        header.extend_from_slice(&self.next_lsn.to_le_bytes());
+        self.file.write_all(&header)?;
+        self.seqno = seqno;
+        self.segment_bytes = HEADER_BYTES as u64;
+        self.stats.segments += 1;
+        self.stats.bytes_appended += HEADER_BYTES as u64;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Appends one record, rotating first if the current segment is full.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        if self.segment_bytes >= self.config.segment_bytes
+            && self.segment_bytes > HEADER_BYTES as u64
+        {
+            self.sync()?;
+            self.start_segment(self.seqno + 1)?;
+        }
+        let payload = encode_record(record);
+        debug_assert!(payload.len() as u64 <= MAX_RECORD_BYTES as u64);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&[0u8; 4]); // crc placeholder
+        frame.extend_from_slice(&self.next_lsn.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let crc = crc32(&frame[8..]);
+        frame[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.segment_bytes += frame.len() as u64;
+        self.stats.bytes_appended += frame.len() as u64;
+        self.stats.records_appended += 1;
+        self.next_lsn += 1;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Logs a routed event batch (no-op for an empty batch).
+    pub fn append_events(&mut self, events: &[EngineEvent]) -> Result<(), WalError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        self.append(&WalRecord::Events(events.to_vec()))
+    }
+
+    /// Logs a tick command and, per [`WalConfig::fsync_on_tick`], forces
+    /// everything logged so far to stable storage — the group-commit
+    /// boundary: commands up to here survive any later crash.
+    pub fn append_tick(&mut self, now: f64) -> Result<(), WalError> {
+        self.append(&WalRecord::Tick { now })?;
+        if self.config.fsync_on_tick {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Logs a banked answer.
+    pub fn append_answer(
+        &mut self,
+        worker: WorkerId,
+        contribution: Contribution,
+    ) -> Result<(), WalError> {
+        self.append(&WalRecord::Answer {
+            worker,
+            contribution,
+        })
+    }
+
+    /// Logs a worker release.
+    pub fn append_release(&mut self, worker: WorkerId) -> Result<(), WalError> {
+        self.append(&WalRecord::Release { worker })
+    }
+
+    /// Logs a checkpoint of `state` taken at engine tick `tick`, fsyncs it,
+    /// and retires every older segment — replay now restarts from this
+    /// state, so the older history is dead weight. The checkpoint always
+    /// opens a fresh segment (it becomes the segment's first record), which
+    /// makes retirement exact: everything before its segment goes.
+    pub fn append_checkpoint(
+        &mut self,
+        state: &PartitionState,
+        tick: u64,
+    ) -> Result<(), WalError> {
+        if self.segment_bytes > HEADER_BYTES as u64 {
+            self.sync()?;
+            self.start_segment(self.seqno + 1)?;
+        }
+        self.append(&WalRecord::Checkpoint(state.clone()))?;
+        self.sync()?;
+        self.stats.checkpoints += 1;
+        self.stats.last_checkpoint_tick = tick;
+        for (seqno, path) in list_segments(&self.dir)? {
+            if seqno < self.seqno {
+                fs::remove_file(&path)?;
+                self.stats.segments_retired += 1;
+                self.stats.segments = self.stats.segments.saturating_sub(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces appended bytes to stable storage (no-op when clean).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.dirty {
+            self.file.sync()?;
+            self.stats.fsyncs += 1;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Point-in-time log counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The durability knobs this log runs with.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Placeholder file used only during `open` before the first segment
+/// starts; every write to it is a bug.
+struct NullFile;
+impl WalFile for NullFile {
+    fn write_all(&mut self, _buf: &[u8]) -> io::Result<()> {
+        Err(io::Error::other("wal segment not started"))
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        Err(io::Error::other("wal segment not started"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdbsc_geo::Point;
+    use rdbsc_model::{Task, TaskId, TimeWindow};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rdbsc-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn task_event(id: u32) -> EngineEvent {
+        EngineEvent::TaskArrived(Task::new(
+            TaskId(id),
+            Point::new(0.5, 0.5),
+            TimeWindow::new(0.0, 10.0).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn append_and_rescan_round_trips() {
+        let dir = tempdir("roundtrip");
+        let (mut wal, scan) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert!(scan.records.is_empty());
+        wal.append_events(&[task_event(0), task_event(1)]).unwrap();
+        wal.append_tick(0.5).unwrap();
+        wal.append_release(WorkerId(3)).unwrap();
+        wal.sync().unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.records_appended, 3);
+        assert!(stats.fsyncs >= 1);
+        drop(wal);
+
+        let rescan = scan_dir(&dir).unwrap();
+        assert_eq!(rescan.records.len(), 3);
+        assert_eq!(
+            rescan.records[0],
+            WalRecord::Events(vec![task_event(0), task_event(1)])
+        );
+        assert_eq!(rescan.records[1], WalRecord::Tick { now: 0.5 });
+        assert_eq!(rescan.records[2], WalRecord::Release { worker: WorkerId(3) });
+        assert!(!rescan.found_damage());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_and_reopen_continues_the_chain() {
+        let dir = tempdir("rotate");
+        let config = WalConfig {
+            segment_bytes: 256, // force rotation every few records
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = Wal::open(&dir, config).unwrap();
+        for i in 0..20 {
+            wal.append_events(&[task_event(i)]).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.stats().segments > 1, "{:?}", wal.stats());
+        drop(wal);
+
+        // Re-open: all 20 records survive, and new appends chain on.
+        let (mut wal, scan) = Wal::open(&dir, config).unwrap();
+        assert_eq!(scan.records.len(), 20);
+        wal.append_events(&[task_event(99)]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let rescan = scan_dir(&dir).unwrap();
+        assert_eq!(rescan.records.len(), 21);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_repaired() {
+        let dir = tempdir("torn");
+        let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+        for i in 0..5 {
+            wal.append_events(&[task_event(i)]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Tear the last record: chop 3 bytes off the segment.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        let file = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(scan.records.len(), 4, "torn record drops, prefix stays");
+        assert!(scan.found_damage());
+        assert!(scan.dropped_bytes > 0);
+
+        // Re-open repairs and appends resume; the torn record never
+        // reappears.
+        let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+        wal.append_events(&[task_event(50)]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let rescan = scan_dir(&dir).unwrap();
+        assert_eq!(rescan.records.len(), 5);
+        assert!(!rescan.found_damage());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_ends_the_prefix() {
+        let dir = tempdir("flip");
+        let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+        for i in 0..5 {
+            wal.append_events(&[task_event(i)]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = HEADER_BYTES + (bytes.len() - HEADER_BYTES) / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let scan = scan_dir(&dir).unwrap();
+        assert!(scan.records.len() < 5, "corruption must end the prefix");
+        assert!(scan.found_damage());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_retire_older_segments() {
+        use crate::engine::{AssignmentEngine, EngineConfig};
+        use rdbsc_index::GridIndex;
+        let dir = tempdir("retire");
+        let config = WalConfig {
+            segment_bytes: 200,
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = Wal::open(&dir, config).unwrap();
+        for i in 0..30 {
+            wal.append_events(&[task_event(i)]).unwrap();
+        }
+        let before = wal.stats().segments;
+        assert!(before > 2);
+
+        let engine: AssignmentEngine<GridIndex> = AssignmentEngine::new(
+            GridIndex::new(rdbsc_geo::Rect::unit(), 0.25),
+            EngineConfig::default(),
+        );
+        let state = PartitionState {
+            last_now: 1.0,
+            events_applied: 30,
+            total_assignments: 0,
+            engine: engine.dump_state(),
+        };
+        wal.append_checkpoint(&state, 7).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.segments, 1, "only the checkpoint's segment survives");
+        assert_eq!(stats.segments_retired, before, "checkpoint opens a fresh segment");
+        assert_eq!(stats.checkpoints, 1);
+        assert_eq!(stats.last_checkpoint_tick, 7);
+        drop(wal);
+
+        // Replay restarts from the checkpoint: the retired events are gone,
+        // the checkpoint carries the state.
+        let scan = scan_dir(&dir).unwrap();
+        let (checkpoint, tail) = scan.recovery_plan();
+        let recovered = checkpoint.expect("checkpoint survives");
+        assert_eq!(recovered.events_applied, 30);
+        assert_eq!(recovered.digest(), state.digest());
+        assert!(tail.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_directory_scans_to_an_empty_prefix() {
+        let dir = tempdir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(segment_path(&dir, 0), b"not a wal segment at all").unwrap();
+        fs::write(dir.join("configure.json"), b"{}").unwrap(); // ignored
+        let scan = scan_dir(&dir).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(scan.found_damage());
+        // Opening repairs: the garbage segment is deleted, appends work.
+        let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+        wal.append_events(&[task_event(1)]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        assert_eq!(scan_dir(&dir).unwrap().records.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

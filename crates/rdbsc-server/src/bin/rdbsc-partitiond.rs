@@ -15,12 +15,19 @@ fn usage() -> ! {
     eprintln!(
         "usage: rdbsc-partitiond [--addr HOST:PORT] [--threads N] [--queue N]\n\
          \x20                     [--max-body-bytes N] [--idle-timeout-ms N]\n\
+         \x20                     [--data-dir PATH]\n\
          \n\
          Serves one spatial partition's engine over the partition protocol.\n\
          The daemon starts unconfigured; a router (rdbsc-server with\n\
          --remote-partition pointing here) pushes the routing table and\n\
          engine configuration at boot. Stop with POST /partition/shutdown\n\
-         or POST /admin/shutdown."
+         or POST /admin/shutdown.\n\
+         \n\
+         --data-dir PATH makes the daemon durable: events and tick commands\n\
+         are write-ahead logged to PATH before application, and on restart\n\
+         the daemon self-configures from the persisted configure payload,\n\
+         loads the last checkpoint and replays the log tail — recovering\n\
+         exactly the acknowledged state."
     );
     std::process::exit(2);
 }
@@ -60,6 +67,7 @@ fn main() {
                 let ms: u64 = value.parse().unwrap_or_else(|_| parse_err(value));
                 config.idle_timeout = Duration::from_millis(ms);
             }
+            "--data-dir" => config.data_dir = Some(value.into()),
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage();
@@ -67,6 +75,7 @@ fn main() {
         }
     }
 
+    let durable = config.data_dir.is_some();
     let daemon = match PartitionDaemon::start(config) {
         Ok(daemon) => daemon,
         Err(e) => {
@@ -75,8 +84,13 @@ fn main() {
         }
     };
     println!(
-        "rdbsc-partitiond listening on http://{} (unconfigured; waiting for a router)",
-        daemon.addr()
+        "rdbsc-partitiond listening on http://{}{}",
+        daemon.addr(),
+        if durable {
+            " (durable; recovered state if a log was present)"
+        } else {
+            " (unconfigured; waiting for a router)"
+        }
     );
     daemon.join();
     println!("rdbsc-partitiond stopped");

@@ -12,7 +12,7 @@ fn usage() -> ! {
          \x20                 [--flush-interval-ms N] [--max-batch N] [--seed N]\n\
          \x20                 [--beta F] [--cell-size F] [--time-scale F]\n\
          \x20                 [--backend grid|flat-grid] [--partitions N]\n\
-         \x20                 [--remote-partition HOST:PORT]...\n\
+         \x20                 [--remote-partition HOST:PORT]... [--data-dir PATH]\n\
          \n\
          --flush-interval-ms 0 enables manual tick mode: the engine only\n\
          advances on POST /tick. Stop the server with POST /admin/shutdown.\n\
@@ -23,7 +23,10 @@ fn usage() -> ! {
          --remote-partition ADDR (repeatable) mounts a running\n\
          rdbsc-partitiond daemon as a region: the k-th flag serves region\n\
          k, remaining regions run in-process. The router handshakes and\n\
-         pushes each daemon its routing table and engine config at boot."
+         pushes each daemon its routing table and engine config at boot.\n\
+         --data-dir PATH write-ahead logs every in-process partition under\n\
+         PATH/part-NNNN and recovers from the logs on restart; remote\n\
+         daemons are durable when started with their own --data-dir."
     );
     std::process::exit(2);
 }
@@ -84,6 +87,7 @@ fn main() {
                 }
             }
             "--remote-partition" => config.remote_partitions.push(value.clone()),
+            "--data-dir" => config.data_dir = Some(value.into()),
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage();

@@ -39,6 +39,16 @@ pub(crate) fn opt_num(value: &Json, field: &'static str) -> Result<Option<f64>, 
     }
 }
 
+pub(crate) fn bool_field(value: &Json, field: &'static str) -> Result<bool, ServerError> {
+    match value.get(field).ok_or(ServerError::MissingField(field))? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(ServerError::BadField {
+            field,
+            expected: "a boolean",
+        }),
+    }
+}
+
 pub(crate) fn string(value: &Json, field: &'static str) -> Result<String, ServerError> {
     value
         .get(field)
@@ -432,6 +442,95 @@ pub struct SnapshotDto {
     pub index_cells_repaired: f64,
     /// Full reachability-list rebuilds performed by the index so far.
     pub index_tcell_rebuilds: f64,
+    /// Write-ahead-log counters when the engine runs durably (absent on
+    /// non-durable engines).
+    pub wal: Option<WalStatsDto>,
+}
+
+/// The durable-log counters nested in a [`SnapshotDto`] (and on a durable
+/// daemon's `/metrics`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalStatsDto {
+    /// Live log segments on disk.
+    pub segments: f64,
+    /// Segments retired by checkpoints across the log's lifetime.
+    pub segments_retired: f64,
+    /// Bytes appended across the log's lifetime.
+    pub bytes_appended: f64,
+    /// Records appended across the log's lifetime.
+    pub records_appended: f64,
+    /// fsync calls issued.
+    pub fsyncs: f64,
+    /// Checkpoints written.
+    pub checkpoints: f64,
+    /// Engine tick of the most recent checkpoint.
+    pub last_checkpoint_tick: f64,
+    /// Records replayed by the boot-time recovery.
+    pub recovered_records: f64,
+    /// Did the boot-time recovery restart from a checkpoint?
+    pub recovered_checkpoint: bool,
+}
+
+impl WalStatsDto {
+    /// Builds the DTO from the platform's log counters.
+    pub fn from_stats(s: &rdbsc_platform::WalStats) -> Self {
+        Self {
+            segments: s.segments as f64,
+            segments_retired: s.segments_retired as f64,
+            bytes_appended: s.bytes_appended as f64,
+            records_appended: s.records_appended as f64,
+            fsyncs: s.fsyncs as f64,
+            checkpoints: s.checkpoints as f64,
+            last_checkpoint_tick: s.last_checkpoint_tick as f64,
+            recovered_records: s.recovered_records as f64,
+            recovered_checkpoint: s.recovered_checkpoint,
+        }
+    }
+
+    /// Converts back into the platform's counter struct.
+    pub fn into_stats(self) -> rdbsc_platform::WalStats {
+        rdbsc_platform::WalStats {
+            segments: self.segments as u64,
+            segments_retired: self.segments_retired as u64,
+            bytes_appended: self.bytes_appended as u64,
+            records_appended: self.records_appended as u64,
+            fsyncs: self.fsyncs as u64,
+            checkpoints: self.checkpoints as u64,
+            last_checkpoint_tick: self.last_checkpoint_tick as u64,
+            recovered_records: self.recovered_records as u64,
+            recovered_checkpoint: self.recovered_checkpoint,
+        }
+    }
+
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("segments", Json::Num(self.segments)),
+            ("segments_retired", Json::Num(self.segments_retired)),
+            ("bytes_appended", Json::Num(self.bytes_appended)),
+            ("records_appended", Json::Num(self.records_appended)),
+            ("fsyncs", Json::Num(self.fsyncs)),
+            ("checkpoints", Json::Num(self.checkpoints)),
+            ("last_checkpoint_tick", Json::Num(self.last_checkpoint_tick)),
+            ("recovered_records", Json::Num(self.recovered_records)),
+            ("recovered_checkpoint", Json::Bool(self.recovered_checkpoint)),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        Ok(Self {
+            segments: num(value, "segments")?,
+            segments_retired: num(value, "segments_retired")?,
+            bytes_appended: num(value, "bytes_appended")?,
+            records_appended: num(value, "records_appended")?,
+            fsyncs: num(value, "fsyncs")?,
+            checkpoints: num(value, "checkpoints")?,
+            last_checkpoint_tick: num(value, "last_checkpoint_tick")?,
+            recovered_records: num(value, "recovered_records")?,
+            recovered_checkpoint: bool_field(value, "recovered_checkpoint")?,
+        })
+    }
 }
 
 impl SnapshotDto {
@@ -454,6 +553,7 @@ impl SnapshotDto {
             index_relocations: s.index_counters.relocations as f64,
             index_cells_repaired: s.index_counters.cells_repaired as f64,
             index_tcell_rebuilds: s.index_counters.tcell_rebuilds as f64,
+            wal: s.wal.as_ref().map(WalStatsDto::from_stats),
         }
     }
 
@@ -488,12 +588,13 @@ impl SnapshotDto {
                 cells_repaired: self.index_cells_repaired as u64,
                 tcell_rebuilds: self.index_tcell_rebuilds as u64,
             },
+            wal: self.wal.map(WalStatsDto::into_stats),
         })
     }
 
     /// Encodes the DTO.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut obj = Json::obj([
             ("now", Json::Num(self.now)),
             ("ticks", Json::Num(self.ticks)),
             ("events_applied", Json::Num(self.events_applied)),
@@ -510,7 +611,11 @@ impl SnapshotDto {
             ("index_relocations", Json::Num(self.index_relocations)),
             ("index_cells_repaired", Json::Num(self.index_cells_repaired)),
             ("index_tcell_rebuilds", Json::Num(self.index_tcell_rebuilds)),
-        ])
+        ]);
+        if let (Json::Obj(map), Some(wal)) = (&mut obj, &self.wal) {
+            map.insert("wal".to_string(), wal.to_json());
+        }
+        obj
     }
 
     /// Decodes the DTO.
@@ -532,6 +637,10 @@ impl SnapshotDto {
             index_relocations: num(value, "index_relocations")?,
             index_cells_repaired: num(value, "index_cells_repaired")?,
             index_tcell_rebuilds: num(value, "index_tcell_rebuilds")?,
+            wal: match value.get("wal") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(WalStatsDto::from_json(v)?),
+            },
         })
     }
 }

@@ -52,7 +52,10 @@ use crate::protocol::{
 use rdbsc_geo::Rect;
 use rdbsc_index::DynSpatialIndex;
 use rdbsc_model::WorkerId;
-use rdbsc_platform::{AssignmentEngine, EnginePartition, PROTOCOL_VERSION};
+use rdbsc_platform::{
+    AssignmentEngine, EnginePartition, WalConfig, WalError, PROTOCOL_VERSION,
+};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -75,6 +78,13 @@ pub struct PartitiondConfig {
     /// ticks; the stale-connection retry on the client side makes an
     /// expired connection invisible, so this just bounds resource use.
     pub idle_timeout: Duration,
+    /// Data directory for durability. When set, the daemon persists the
+    /// accepted configure payload to `configure.json` and runs its engine
+    /// behind a write-ahead log in the same directory; on boot with an
+    /// existing `configure.json` it **self-configures and recovers** (load
+    /// the last checkpoint, replay the tail) before taking commands. `None`
+    /// (the default) serves non-durably.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for PartitiondConfig {
@@ -85,6 +95,7 @@ impl Default for PartitiondConfig {
             queue_capacity: 16,
             max_body_bytes: 8 * 1024 * 1024,
             idle_timeout: Duration::from_secs(60),
+            data_dir: None,
         }
     }
 }
@@ -103,6 +114,8 @@ struct DaemonState {
     engine: Mutex<Option<Configured>>,
     draining: AtomicBool,
     metrics: Arc<ServerMetrics>,
+    /// Where the log and the persisted configure live (`None` = non-durable).
+    data_dir: Option<PathBuf>,
 }
 
 /// A running partition daemon. [`PartitionDaemon::start`] boots it
@@ -123,7 +136,25 @@ impl PartitionDaemon {
             engine: Mutex::new(None),
             draining: AtomicBool::new(false),
             metrics: metrics.clone(),
+            data_dir: config.data_dir.clone(),
         });
+        // Recover BEFORE the listener binds: a restarted daemon that has a
+        // persisted configure must come back already configured (checkpoint
+        // loaded, tail replayed) so the first router request it sees finds
+        // the same partition it was before the crash.
+        if let Some(dir) = &state.data_dir {
+            let persisted = dir.join("configure.json");
+            if persisted.exists() {
+                let text = std::fs::read_to_string(&persisted)?;
+                let body = parse(&text)?;
+                configure(&state, &body).map_err(|e| {
+                    ServerError::Conflict(format!(
+                        "boot recovery from {} failed: {e}",
+                        persisted.display()
+                    ))
+                })?;
+            }
+        }
         let core = {
             let state = state.clone();
             HttpCore::start(
@@ -235,9 +266,48 @@ fn configure(state: &DaemonState, body: &Json) -> Result<Response, ServerError> 
             existing.region_index
         )));
     }
-    let engine = AssignmentEngine::new(backend.build(region, cell_size), engine_config);
+    let part = match &state.data_dir {
+        Some(dir) => {
+            // Durable daemon: the engine runs behind a write-ahead log in the
+            // data directory. If segments are already there this IS recovery
+            // (load last checkpoint, replay the tail) — the configure payload
+            // must describe the same topology, which the persisted-fingerprint
+            // boot path and the idempotency check above guarantee.
+            let wal_config = match &dto.durability {
+                Some(d) => d.clone().into_wal_config()?,
+                None => WalConfig::default(),
+            };
+            let (part, scan) =
+                EnginePartition::open_durable(dir, wal_config, engine_config, move || {
+                    backend.build(region, cell_size)
+                })
+                .map_err(|e| match e {
+                    WalError::Io(io) => ServerError::Io(io),
+                    corrupt => ServerError::Conflict(format!(
+                        "wal recovery in {} failed: {corrupt}",
+                        dir.display()
+                    )),
+                })?;
+            if !scan.records.is_empty() {
+                let (checkpoint, tail) = scan.recovery_plan();
+                eprintln!(
+                    "rdbsc-partitiond: recovered region {} from {} ({} record(s) replayed, checkpoint {})",
+                    dto.region_index,
+                    dir.display(),
+                    tail.len(),
+                    if checkpoint.is_some() { "loaded" } else { "none" },
+                );
+            }
+            persist_configure(dir, &fingerprint)?;
+            part
+        }
+        None => EnginePartition::new(AssignmentEngine::new(
+            backend.build(region, cell_size),
+            engine_config,
+        )),
+    };
     let configured = Configured {
-        part: EnginePartition::new(engine),
+        part,
         region_index: dto.region_index,
         region,
         fingerprint,
@@ -245,6 +315,17 @@ fn configure(state: &DaemonState, body: &Json) -> Result<Response, ServerError> 
     let response = configured_response(&configured, false);
     *guard = Some(configured);
     Ok(response)
+}
+
+/// Persists the accepted configure payload so a restarted daemon can
+/// self-configure and recover without waiting for a router. Written via
+/// temp-file + rename so a crash mid-write never leaves a torn payload.
+fn persist_configure(dir: &Path, fingerprint: &str) -> Result<(), ServerError> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join("configure.json.tmp");
+    std::fs::write(&tmp, fingerprint)?;
+    std::fs::rename(&tmp, dir.join("configure.json"))?;
+    Ok(())
 }
 
 fn configured_response(configured: &Configured, already: bool) -> Response {
@@ -307,6 +388,7 @@ fn route(
                     Json::Num(PROTOCOL_VERSION as f64),
                 );
                 map.insert("draining".to_string(), Json::Bool(draining));
+                map.insert("durable".to_string(), Json::Bool(state.data_dir.is_some()));
                 let guard = state.engine.lock().expect("daemon engine lock");
                 match guard.as_ref() {
                     Some(configured) => {
@@ -402,11 +484,18 @@ fn route(
         }
 
         (Method::Get, "/partition/snapshot") => {
-            let snapshot = with_engine(state, |part| part.snapshot())?;
-            Ok(Response::json(
-                200,
-                SnapshotDto::from_snapshot(&snapshot).to_json().to_string_compact(),
-            ))
+            let (snapshot, digest) =
+                with_engine(state, |part| (part.snapshot(), part.state_digest()))?;
+            let mut body = SnapshotDto::from_snapshot(&snapshot).to_json();
+            if let Json::Obj(map) = &mut body {
+                // Hex string, not a number: u64 digests don't survive the
+                // f64 round-trip JSON numbers would force on them.
+                map.insert(
+                    "state_digest".to_string(),
+                    Json::Str(format!("{digest:016x}")),
+                );
+            }
+            Ok(Response::json(200, body.to_string_compact()))
         }
 
         (Method::Get, "/partition/active") => {

@@ -662,6 +662,71 @@ impl EngineConfigDto {
     }
 }
 
+/// Durability knobs a router pushes alongside the configure payload. A
+/// daemon booted with `--data-dir` runs its write-ahead log with these; a
+/// daemon without a data dir ignores them (durability is an operator
+/// decision, the knobs only tune it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityDto {
+    /// Rotate to a new log segment after this many bytes.
+    pub wal_segment_bytes: u64,
+    /// Write a checkpoint every N engine ticks (0 disables periodic
+    /// checkpoints).
+    pub wal_checkpoint_every_ticks: u64,
+    /// fsync at every tick boundary (group commit)?
+    pub wal_fsync_on_tick: bool,
+}
+
+impl DurabilityDto {
+    /// Builds the DTO from the platform's log configuration.
+    pub fn from_wal_config(config: &rdbsc_platform::WalConfig) -> Self {
+        Self {
+            wal_segment_bytes: config.segment_bytes,
+            wal_checkpoint_every_ticks: config.checkpoint_every_ticks,
+            wal_fsync_on_tick: config.fsync_on_tick,
+        }
+    }
+
+    /// Converts into the platform's log configuration.
+    pub fn into_wal_config(self) -> Result<rdbsc_platform::WalConfig, ServerError> {
+        if self.wal_segment_bytes == 0 {
+            return Err(ServerError::BadField {
+                field: "wal_segment_bytes",
+                expected: "a positive segment size",
+            });
+        }
+        Ok(rdbsc_platform::WalConfig {
+            segment_bytes: self.wal_segment_bytes,
+            checkpoint_every_ticks: self.wal_checkpoint_every_ticks,
+            fsync_on_tick: self.wal_fsync_on_tick,
+        })
+    }
+
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "wal_segment_bytes",
+                Json::Num(self.wal_segment_bytes as f64),
+            ),
+            (
+                "wal_checkpoint_every_ticks",
+                Json::Num(self.wal_checkpoint_every_ticks as f64),
+            ),
+            ("wal_fsync_on_tick", Json::Bool(self.wal_fsync_on_tick)),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        Ok(Self {
+            wal_segment_bytes: uint(value, "wal_segment_bytes")?,
+            wal_checkpoint_every_ticks: uint(value, "wal_checkpoint_every_ticks")?,
+            wal_fsync_on_tick: bool_field(value, "wal_fsync_on_tick")?,
+        })
+    }
+}
+
 /// `POST /partition/configure`: the routing table, which of its regions
 /// this daemon serves, the index backend and the engine configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -682,19 +747,28 @@ pub struct ConfigureDto {
     pub cell_size: f64,
     /// The engine configuration (shared by every partition).
     pub engine: EngineConfigDto,
+    /// Durability knobs for daemons running a write-ahead log (`None`
+    /// leaves a durable daemon on its defaults and is what pre-durability
+    /// routers send — the encoding omits the field, keeping fingerprints
+    /// stable).
+    pub durability: Option<DurabilityDto>,
 }
 
 impl ConfigureDto {
     /// Encodes the DTO.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut obj = Json::obj([
             ("protocol_version", Json::Num(self.protocol_version as f64)),
             ("routing", self.routing.to_json()),
             ("region_index", Json::Num(self.region_index as f64)),
             ("backend", Json::Str(self.backend.clone())),
             ("cell_size", Json::Num(self.cell_size)),
             ("engine", self.engine.to_json()),
-        ])
+        ]);
+        if let (Json::Obj(map), Some(durability)) = (&mut obj, &self.durability) {
+            map.insert("durability".to_string(), durability.to_json());
+        }
+        obj
     }
 
     /// Decodes the DTO.
@@ -714,6 +788,10 @@ impl ConfigureDto {
                     .get("engine")
                     .ok_or(ServerError::MissingField("engine"))?,
             )?,
+            durability: match value.get("durability") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(DurabilityDto::from_json(v)?),
+            },
         })
     }
 

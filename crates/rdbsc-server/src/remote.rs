@@ -73,9 +73,10 @@ pub fn connect_remote_partition(
     backend: IndexBackend,
     cell_size: f64,
     engine: &EngineConfig,
+    durability: Option<&rdbsc_platform::WalConfig>,
 ) -> Result<Box<dyn PartitionClient>, ServerError> {
     let mut client = HttpPartitionClient::connect(addr)?;
-    client.configure(partition, region_index, backend, cell_size, engine)?;
+    client.configure(partition, region_index, backend, cell_size, engine, durability)?;
     Ok(Box::new(client))
 }
 
@@ -141,6 +142,7 @@ impl HttpPartitionClient {
         backend: IndexBackend,
         cell_size: f64,
         engine: &EngineConfig,
+        durability: Option<&rdbsc_platform::WalConfig>,
     ) -> Result<(), ServerError> {
         let dto = ConfigureDto {
             protocol_version: PROTOCOL_VERSION,
@@ -149,6 +151,7 @@ impl HttpPartitionClient {
             backend: backend.name().to_string(),
             cell_size,
             engine: EngineConfigDto::from_config(engine),
+            durability: durability.map(crate::protocol::DurabilityDto::from_wal_config),
         };
         let response = self.client.post("/partition/configure", &dto.to_json())?;
         if !response.is_success() {

@@ -101,6 +101,17 @@ pub struct ServerConfig {
     pub remote_partitions: Vec<String>,
     /// The engine configuration (seed, β, parallelism, auto-expire).
     pub engine: EngineConfig,
+    /// Data directory for durable in-process partitions. When set, every
+    /// in-process region runs behind a write-ahead log under
+    /// `{data_dir}/part-NNNN/` and recovers its state on boot (a single
+    /// engine is served as a 1-partition topology, which the determinism
+    /// contract makes byte-identical). `None` (the default) serves
+    /// non-durably; remote daemons manage their own `--data-dir`.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Write-ahead-log knobs for durable partitions — applied to in-process
+    /// regions when [`data_dir`](Self::data_dir) is set, and pushed to
+    /// remote daemons (which apply them only when booted with a data dir).
+    pub wal: rdbsc_platform::WalConfig,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +132,8 @@ impl Default for ServerConfig {
             partitions: 1,
             remote_partitions: Vec::new(),
             engine: EngineConfig::default(),
+            data_dir: None,
+            wal: rdbsc_platform::WalConfig::default(),
         }
     }
 }
@@ -156,7 +169,8 @@ impl ServerConfig {
                 self.partitions
             )));
         }
-        if self.partitions <= 1 && self.remote_partitions.is_empty() {
+        if self.partitions <= 1 && self.remote_partitions.is_empty() && self.data_dir.is_none()
+        {
             return Ok(EngineHandle::new(AssignmentEngine::new(
                 self.backend.build(self.area, self.cell_size),
                 self.engine.clone(),
@@ -176,7 +190,26 @@ impl ServerConfig {
                     self.backend,
                     self.cell_size,
                     &self.engine,
+                    Some(&self.wal),
                 )?);
+            } else if let Some(data_dir) = &self.data_dir {
+                let rect = partition.region_rect(region);
+                let (backend, cell_size) = (self.backend, self.cell_size);
+                let (part, _scan) = rdbsc_platform::EnginePartition::open_durable(
+                    &data_dir.join(format!("part-{region:04}")),
+                    self.wal,
+                    self.engine.clone(),
+                    move || backend.build(rect, cell_size),
+                )
+                .map_err(|e| match e {
+                    rdbsc_platform::WalError::Io(io) => ServerError::Io(io),
+                    corrupt => ServerError::Conflict(format!(
+                        "wal recovery for partition {region} failed: {corrupt}"
+                    )),
+                })?;
+                clients.push(Box::new(
+                    rdbsc_platform::protocol::InProcessClient::spawn_partition(region, part),
+                ));
             } else {
                 let engine = AssignmentEngine::new(
                     self.backend
@@ -406,10 +439,13 @@ fn route(
                 // the per-partition breakdown, so the two always reconcile
                 // (separate handle queries could interleave with a tick).
                 let snapshots = shared.handle.partition_snapshots();
-                let merged = if snapshots.len() > 1 {
-                    merge_snapshots(&snapshots)
-                } else {
+                // merge_snapshots also covers the 0-snapshot case (every
+                // partition lost): the merged view degrades to zeros rather
+                // than panicking the metrics scrape.
+                let merged = if snapshots.len() == 1 {
                     snapshots[0].clone()
+                } else {
+                    merge_snapshots(&snapshots)
                 };
                 map.insert(
                     "engine".to_string(),
@@ -458,6 +494,33 @@ fn route(
                         })
                         .collect();
                     map.insert("transports".to_string(), Json::Arr(entries));
+                }
+                // Partition health: how many regions the router has lost,
+                // which, and how many routed events were dropped for them —
+                // the serving-tier view of the failure model in
+                // `rdbsc_platform::partition`.
+                let unhealthy = shared.handle.unhealthy_partitions();
+                map.insert(
+                    "partitions_unhealthy".to_string(),
+                    Json::Num(unhealthy.len() as f64),
+                );
+                map.insert(
+                    "events_dropped".to_string(),
+                    Json::Num(shared.handle.events_dropped() as f64),
+                );
+                if !unhealthy.is_empty() {
+                    let entries = unhealthy
+                        .iter()
+                        .map(|h| {
+                            Json::obj([
+                                ("partition", Json::Num(h.partition as f64)),
+                                ("kind", Json::Str(h.kind.to_string())),
+                                ("endpoint", Json::Str(h.endpoint.clone())),
+                                ("error", Json::Str(h.error.clone())),
+                            ])
+                        })
+                        .collect();
+                    map.insert("unhealthy".to_string(), Json::Arr(entries));
                 }
                 if snapshots.len() > 1 {
                     map.insert(

@@ -68,7 +68,7 @@ fn daemon_matches_the_local_engine_byte_for_byte() {
 
     let mut remote = HttpPartitionClient::connect(&daemon.addr().to_string()).unwrap();
     remote
-        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config, None)
         .unwrap();
 
     let mut local = EnginePartition::new(AssignmentEngine::new(
@@ -142,7 +142,7 @@ fn mixed_local_remote_topology_matches_all_in_process() {
     let daemon = daemon();
     let mut remote = HttpPartitionClient::connect(&daemon.addr().to_string()).unwrap();
     remote
-        .configure(&partition, 1, IndexBackend::FlatGrid, 0.1, &config)
+        .configure(&partition, 1, IndexBackend::FlatGrid, 0.1, &config, None)
         .unwrap();
     let clients: Vec<Box<dyn PartitionClient>> = vec![
         Box::new(InProcessClient::spawn(
@@ -215,17 +215,17 @@ fn configure_is_idempotent_and_conflicts_are_rejected() {
     ));
 
     client
-        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config, None)
         .unwrap();
     // Identical re-push (a stateless router restarting): accepted.
     client
-        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config, None)
         .unwrap();
     // Different topology: refused, engine untouched.
     let other = RegionPartitioner::uniform()
         .split(GridGeometry::new(Rect::unit(), 0.1), 2, &[]);
     assert!(client
-        .configure(&other, 1, IndexBackend::FlatGrid, 0.1, &config)
+        .configure(&other, 1, IndexBackend::FlatGrid, 0.1, &config, None)
         .is_err());
     assert!(client.is_active().is_ok(), "original engine still serving");
 
@@ -248,7 +248,7 @@ fn draining_daemon_answers_503_not_dropped_connections() {
     let config = EngineConfig::default();
     let mut client = HttpPartitionClient::connect(&daemon.addr().to_string()).unwrap();
     client
-        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config, None)
         .unwrap();
     client.begin_submit(events()).unwrap();
     client.finish_submit().unwrap();
@@ -297,7 +297,7 @@ fn router_survives_daemon_idle_timeouts() {
     let config = EngineConfig::default();
     let mut client = HttpPartitionClient::connect(&daemon.addr().to_string()).unwrap();
     client
-        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config)
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config, None)
         .unwrap();
 
     client.begin_submit(events()).unwrap();

@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use rdbsc_server::dto::{
-    AnswerDto, AssignmentDto, HeartbeatDto, IdDto, SnapshotDto, TaskDto, TickDto, WorkerDto,
+    AnswerDto, AssignmentDto, HeartbeatDto, IdDto, SnapshotDto, TaskDto, TickDto, WalStatsDto,
+    WorkerDto,
 };
 use rdbsc_server::json::{parse, Json};
 
@@ -175,6 +176,19 @@ proptest! {
             index_relocations: v[12].trunc(),
             index_cells_repaired: v[13].trunc(),
             index_tcell_rebuilds: v[14].trunc(),
+            // Alternate between a durable and a non-durable snapshot so both
+            // the present-field and absent-field decodes are exercised.
+            wal: flat.then(|| WalStatsDto {
+                segments: v[0].trunc(),
+                segments_retired: v[1].trunc(),
+                bytes_appended: v[2].trunc(),
+                records_appended: v[3].trunc(),
+                fsyncs: v[4].trunc(),
+                checkpoints: v[5].trunc(),
+                last_checkpoint_tick: v[6].trunc(),
+                recovered_records: v[7].trunc(),
+                recovered_checkpoint: (v[8] as u64).is_multiple_of(2),
+            }),
         };
         let encoded = snapshot.to_json().to_string_compact();
         prop_assert_eq!(

@@ -94,6 +94,7 @@ fn mixed_engine(
                     IndexBackend::FlatGrid,
                     0.1,
                     config,
+                    None,
                 )
                 .expect("daemon handshake")
             } else {
