@@ -1,0 +1,46 @@
+//! # rdbsc-obs
+//!
+//! Zero-dependency observability for the RDB-SC stack: every tier (router,
+//! partition daemons, WAL) reports through the primitives in this crate, so
+//! one scrape format and one trace model cover the whole system.
+//!
+//! Three layers, bottom up:
+//!
+//! * **Metric primitives** ([`metrics`]): lock-free [`Counter`], [`Gauge`]
+//!   and log-bucketed [`LatencyHistogram`] (grown out of
+//!   `rdbsc-platform::stats`, which now re-exports them), plus histogram
+//!   merging so per-partition histograms compose into a fleet view.
+//! * **Registry + rendering** ([`registry`], [`prom`]): a [`Registry`] of
+//!   named instruments that renders itself as Prometheus text exposition
+//!   format 0.0.4, with [`PromWriter`] for snapshot-derived samples
+//!   (engine gauges, WAL stats, transport counters) appended at scrape
+//!   time, and [`validate_prom`] — a small format checker used by CI.
+//! * **Tracing** ([`trace`], [`stage`], [`slow`]): tick-anchored spans
+//!   ([`span`], [`SpanGuard`]) recorded into lock-free per-thread ring
+//!   buffers and collected by trace id ([`collect_spans`]); the per-stage
+//!   tick breakdown [`StageTimings`] aggregated into per-stage histograms
+//!   by [`StageSet`]; and the [`SlowTickBuffer`] capturing the full span
+//!   tree of any tick exceeding a configurable threshold.
+//!
+//! Everything here is **observational only**: no value produced by this
+//! crate may flow into an engine decision, so instrumented runs stay
+//! byte-identical to uninstrumented ones.
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod prom;
+pub mod registry;
+pub mod slow;
+pub mod stage;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, LatencyHistogram, BUCKET_BOUNDS_US};
+pub use prom::{validate_prom, PromWriter};
+pub use registry::Registry;
+pub use slow::{SlowTick, SlowTickBuffer};
+pub use stage::{StageSet, StageTimings, NUM_STAGES};
+pub use trace::{
+    collect_spans, next_trace_id, now_us, record_span, record_stage_spans, span, SpanEvent,
+    SpanGuard,
+};

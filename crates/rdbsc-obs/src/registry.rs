@@ -1,0 +1,140 @@
+//! The unified metrics registry.
+//!
+//! One [`Registry`] per process tier (router, daemon) owns every named
+//! instrument — counters, gauges, histograms — replacing the ad-hoc metric
+//! structs that used to be scattered across `rdbsc-server::metrics`,
+//! `rdbsc-platform::stats` consumers and the WAL. Registration is
+//! idempotent (`counter("x", …)` twice returns the same `Arc`), instruments
+//! are updated lock-free through their `Arc` handles, and the registry
+//! renders itself as Prometheus text exposition format for
+//! `GET /metrics?format=prom`. Values that only exist at scrape time
+//! (engine snapshots, WAL stats, per-partition transports) are appended by
+//! the endpoint with [`crate::PromWriter`] after the registry's own render.
+
+use crate::metrics::{Counter, Gauge, LatencyHistogram};
+use crate::prom::PromWriter;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, (String, Arc<Counter>)>,
+    gauges: BTreeMap<String, (String, Arc<Gauge>)>,
+    histograms: BTreeMap<String, (String, Arc<LatencyHistogram>)>,
+}
+
+/// A registry of named instruments (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// A metric name must match the Prometheus grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`; registration panics otherwise (names are
+/// compile-time constants in practice, so this is a programmer error).
+fn check_name(name: &str) {
+    let mut chars = name.chars();
+    let ok = match chars.next() {
+        Some(c) => {
+            (c.is_ascii_alphabetic() || c == '_' || c == ':')
+                && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        None => false,
+    };
+    assert!(ok, "invalid metric name {name:?}");
+}
+
+impl Registry {
+    /// Registers (or fetches) the counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        check_name(name);
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        Arc::clone(
+            &inner
+                .counters
+                .entry(name.to_string())
+                .or_insert_with(|| (help.to_string(), Arc::new(Counter::default())))
+                .1,
+        )
+    }
+
+    /// Registers (or fetches) the gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        check_name(name);
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        Arc::clone(
+            &inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| (help.to_string(), Arc::new(Gauge::default())))
+                .1,
+        )
+    }
+
+    /// Registers (or fetches) the histogram `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<LatencyHistogram> {
+        check_name(name);
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        Arc::clone(
+            &inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| (help.to_string(), Arc::new(LatencyHistogram::default())))
+                .1,
+        )
+    }
+
+    /// Renders every registered instrument into `writer` in Prometheus text
+    /// exposition format (deterministic order: counters, gauges, histograms,
+    /// each sorted by name).
+    pub fn render_prom(&self, writer: &mut PromWriter) {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        for (name, (help, counter)) in &inner.counters {
+            writer.counter(name, help, counter.get());
+        }
+        for (name, (help, gauge)) in &inner.gauges {
+            writer.gauge(name, help, gauge.get());
+        }
+        for (name, (help, hist)) in &inner.histograms {
+            writer.histogram(name, help, hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::default();
+        let a = r.counter("requests_total", "requests");
+        let b = r.counter("requests_total", "ignored on re-register");
+        a.add(3);
+        assert_eq!(b.get(), 3, "same underlying instrument");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        Registry::default().counter("no spaces allowed", "help");
+    }
+
+    #[test]
+    fn renders_all_instrument_kinds() {
+        let r = Registry::default();
+        r.counter("c_total", "a counter").add(7);
+        r.gauge("g_now", "a gauge").set(1.5);
+        r.histogram("h_us", "a histogram")
+            .record(std::time::Duration::from_micros(42));
+        let mut w = PromWriter::new();
+        r.render_prom(&mut w);
+        let text = w.into_string();
+        assert!(text.contains("# TYPE c_total counter"));
+        assert!(text.contains("c_total 7"));
+        assert!(text.contains("g_now 1.5"));
+        assert!(text.contains("# TYPE h_us histogram"));
+        assert!(text.contains("h_us_bucket{le=\"+Inf\"} 1"));
+        crate::prom::validate_prom(&text).expect("registry output must validate");
+    }
+}

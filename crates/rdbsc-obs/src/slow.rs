@@ -1,0 +1,157 @@
+//! Slow-tick capture: a bounded buffer of full span trees for ticks that
+//! exceeded a configurable latency threshold.
+//!
+//! Percentile histograms tell you *that* ticks are slow; the slow-tick
+//! buffer tells you *why*: whenever a tick's wall time reaches the
+//! threshold, the capture snapshots that tick's entire span tree (collected
+//! by trace id across every thread ring) together with its stage breakdown,
+//! into a bounded FIFO served at `GET /debug/slow-ticks` on both the router
+//! and the daemons. A threshold of **0 captures every tick** (what the CI
+//! smoke uses to prove the pipeline works); `u64::MAX` disables capture.
+
+use crate::stage::StageTimings;
+use crate::trace::{collect_spans, SpanEvent};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Captured slow ticks retained before the oldest is dropped.
+pub const DEFAULT_SLOW_CAPACITY: usize = 32;
+
+/// One captured slow tick.
+#[derive(Debug, Clone)]
+pub struct SlowTick {
+    /// The tick's trace id.
+    pub trace: u64,
+    /// The simulation time passed to the tick.
+    pub now: f64,
+    /// Total tick wall time in microseconds.
+    pub total_us: u64,
+    /// The per-stage breakdown.
+    pub stages: StageTimings,
+    /// The full span tree recorded under this trace (process-local).
+    pub spans: Vec<SpanEvent>,
+}
+
+/// A bounded, threshold-gated buffer of [`SlowTick`] captures.
+#[derive(Debug)]
+pub struct SlowTickBuffer {
+    threshold_us: AtomicU64,
+    captured: crate::metrics::Counter,
+    ring: Mutex<VecDeque<SlowTick>>,
+    capacity: usize,
+}
+
+impl Default for SlowTickBuffer {
+    fn default() -> Self {
+        Self::new(DEFAULT_SLOW_CAPACITY, u64::MAX)
+    }
+}
+
+impl SlowTickBuffer {
+    /// A buffer holding up to `capacity` captures, firing at
+    /// `threshold_us` (0 = capture everything, `u64::MAX` = disabled).
+    pub fn new(capacity: usize, threshold_us: u64) -> Self {
+        Self {
+            threshold_us: AtomicU64::new(threshold_us),
+            captured: crate::metrics::Counter::default(),
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The current capture threshold in microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Reconfigures the capture threshold.
+    pub fn set_threshold_us(&self, threshold_us: u64) {
+        self.threshold_us.store(threshold_us, Ordering::Relaxed);
+    }
+
+    /// Ticks captured across the buffer's lifetime (including ones already
+    /// evicted by the capacity bound).
+    pub fn total_captured(&self) -> u64 {
+        self.captured.get()
+    }
+
+    /// Captures the tick if `total_us` reaches the threshold: collects the
+    /// trace's spans and pushes a [`SlowTick`], evicting the oldest capture
+    /// beyond capacity. Returns whether a capture happened.
+    pub fn observe(&self, trace: u64, now: f64, total_us: u64, stages: &StageTimings) -> bool {
+        if total_us < self.threshold_us() {
+            return false;
+        }
+        let spans = collect_spans(trace);
+        let mut ring = self.ring.lock().expect("slow-tick buffer lock");
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(SlowTick {
+            trace,
+            now,
+            total_us,
+            stages: *stages,
+            spans,
+        });
+        self.captured.incr();
+        true
+    }
+
+    /// The retained captures, oldest first.
+    pub fn captures(&self) -> Vec<SlowTick> {
+        self.ring
+            .lock()
+            .expect("slow-tick buffer lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{next_trace_id, record_span};
+
+    #[test]
+    fn threshold_gates_capture() {
+        let buf = SlowTickBuffer::new(4, 1_000);
+        let stages = StageTimings::default();
+        assert!(!buf.observe(next_trace_id(), 0.0, 999, &stages));
+        assert!(buf.observe(next_trace_id(), 0.0, 1_000, &stages));
+        assert_eq!(buf.captures().len(), 1);
+        assert_eq!(buf.total_captured(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_captures_everything_and_bounds_memory() {
+        let buf = SlowTickBuffer::new(2, 0);
+        for i in 0..5 {
+            assert!(buf.observe(next_trace_id(), i as f64, 0, &StageTimings::default()));
+        }
+        let caps = buf.captures();
+        assert_eq!(caps.len(), 2, "capacity bound");
+        assert_eq!(caps[0].now, 3.0, "oldest evicted first");
+        assert_eq!(buf.total_captured(), 5);
+    }
+
+    #[test]
+    fn capture_snapshots_the_span_tree() {
+        let trace = next_trace_id();
+        record_span(trace, 0, "test.slow-span", 10, 20);
+        let buf = SlowTickBuffer::new(4, 0);
+        buf.observe(trace, 1.5, 30, &StageTimings::default());
+        let caps = buf.captures();
+        assert_eq!(caps[0].trace, trace);
+        assert_eq!(caps[0].spans.len(), 1);
+        assert_eq!(caps[0].spans[0].name, "test.slow-span");
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let buf = SlowTickBuffer::default();
+        assert!(!buf.observe(next_trace_id(), 0.0, u64::MAX - 1, &StageTimings::default()));
+    }
+}

@@ -1,0 +1,179 @@
+//! The per-stage tick breakdown and its histogram aggregation.
+//!
+//! A tick passes through a fixed pipeline — apply queued events (index
+//! maintenance), extract connected-component shards, solve shards in
+//! parallel, merge/commit the winners, and (on a durable partition) append
+//! and fsync the WAL record. [`StageTimings`] carries one measured duration
+//! per stage inside every `TickReport`; [`StageSet`] aggregates them into
+//! per-stage log-bucketed histograms registered on a [`crate::Registry`],
+//! which is what `/metrics` serves on both the router and the daemons.
+//!
+//! All values are observational (microsecond stopwatch readings); none of
+//! them feed back into engine decisions.
+
+use crate::metrics::LatencyHistogram;
+use crate::registry::Registry;
+use std::sync::Arc;
+
+/// The number of profiled tick stages.
+pub const NUM_STAGES: usize = 6;
+
+/// Wall-clock microseconds spent in each stage of one tick.
+///
+/// The router's merged report takes the per-stage **max** across partitions
+/// (stages run concurrently, so the slowest partition bounds the tick —
+/// the same semantics as the merged `solve_seconds`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Draining the event queue into the index + auto-expiring tasks.
+    pub apply_us: u64,
+    /// Connected-component shard extraction (includes depart refresh).
+    pub extract_us: u64,
+    /// The parallel per-shard solve.
+    pub solve_us: u64,
+    /// Merging shard results and committing assignments.
+    pub merge_us: u64,
+    /// Appending the tick's WAL record (durable partitions only).
+    pub wal_append_us: u64,
+    /// The group-commit fsync (durable partitions with `fsync_on_tick`).
+    pub wal_fsync_us: u64,
+}
+
+impl StageTimings {
+    /// Stage names, in pipeline order, as used for span labels and metric
+    /// names (`stage.<name>` spans, `..._stage_<name>_us` histograms).
+    pub const NAMES: [&'static str; NUM_STAGES] =
+        ["apply", "extract", "solve", "merge", "wal_append", "wal_fsync"];
+
+    /// `(span label, duration)` per stage, in pipeline order.
+    pub fn as_array(&self) -> [(&'static str, u64); NUM_STAGES] {
+        [
+            ("stage.apply", self.apply_us),
+            ("stage.extract", self.extract_us),
+            ("stage.solve", self.solve_us),
+            ("stage.merge", self.merge_us),
+            ("stage.wal_append", self.wal_append_us),
+            ("stage.wal_fsync", self.wal_fsync_us),
+        ]
+    }
+
+    /// The stage durations in pipeline order (no labels).
+    pub fn values(&self) -> [u64; NUM_STAGES] {
+        [
+            self.apply_us,
+            self.extract_us,
+            self.solve_us,
+            self.merge_us,
+            self.wal_append_us,
+            self.wal_fsync_us,
+        ]
+    }
+
+    /// Builds timings from durations in pipeline order.
+    pub fn from_values(values: [u64; NUM_STAGES]) -> Self {
+        Self {
+            apply_us: values[0],
+            extract_us: values[1],
+            solve_us: values[2],
+            merge_us: values[3],
+            wal_append_us: values[4],
+            wal_fsync_us: values[5],
+        }
+    }
+
+    /// Folds another tick's timings in, keeping the per-stage maximum —
+    /// the merge rule for concurrent partitions.
+    pub fn merge_max(&mut self, other: &StageTimings) {
+        self.apply_us = self.apply_us.max(other.apply_us);
+        self.extract_us = self.extract_us.max(other.extract_us);
+        self.solve_us = self.solve_us.max(other.solve_us);
+        self.merge_us = self.merge_us.max(other.merge_us);
+        self.wal_append_us = self.wal_append_us.max(other.wal_append_us);
+        self.wal_fsync_us = self.wal_fsync_us.max(other.wal_fsync_us);
+    }
+
+    /// Total microseconds across all stages.
+    pub fn total_us(&self) -> u64 {
+        self.values().iter().sum()
+    }
+}
+
+/// One log-bucketed histogram per tick stage, registered on a [`Registry`]
+/// under `<prefix>_stage_<name>_us`.
+#[derive(Debug, Clone)]
+pub struct StageSet {
+    hists: [Arc<LatencyHistogram>; NUM_STAGES],
+}
+
+impl StageSet {
+    /// Registers the six per-stage histograms on `registry`.
+    pub fn register(registry: &Registry, prefix: &str) -> Self {
+        let hists = StageTimings::NAMES.map(|name| {
+            registry.histogram(
+                &format!("{prefix}_stage_{name}_us"),
+                &format!("Microseconds per tick in the {name} stage"),
+            )
+        });
+        Self { hists }
+    }
+
+    /// Records one tick's stage breakdown. The WAL stages are only recorded
+    /// when nonzero (non-durable engines never enter them, and a histogram
+    /// full of synthetic zeros would poison the percentiles).
+    pub fn record(&self, timings: &StageTimings) {
+        for (idx, us) in timings.values().into_iter().enumerate() {
+            let is_wal_stage = idx >= 4;
+            if is_wal_stage && us == 0 {
+                continue;
+            }
+            self.hists[idx].record_us(us);
+        }
+    }
+
+    /// The stage histograms in pipeline order, with their stage names.
+    pub fn histograms(&self) -> [(&'static str, &Arc<LatencyHistogram>); NUM_STAGES] {
+        let mut idx = 0;
+        StageTimings::NAMES.map(|name| {
+            let pair = (name, &self.hists[idx]);
+            idx += 1;
+            pair
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_max_is_elementwise() {
+        let mut a = StageTimings::from_values([1, 20, 3, 40, 5, 60]);
+        let b = StageTimings::from_values([10, 2, 30, 4, 50, 6]);
+        a.merge_max(&b);
+        assert_eq!(a.values(), [10, 20, 30, 40, 50, 60]);
+        assert_eq!(a.total_us(), 210);
+    }
+
+    #[test]
+    fn from_values_round_trips() {
+        let t = StageTimings::from_values([1, 2, 3, 4, 5, 6]);
+        assert_eq!(StageTimings::from_values(t.values()), t);
+    }
+
+    #[test]
+    fn stage_set_records_wal_stages_only_when_entered() {
+        let registry = Registry::default();
+        let set = StageSet::register(&registry, "tick");
+        set.record(&StageTimings::from_values([1, 2, 3, 4, 0, 0]));
+        set.record(&StageTimings::from_values([1, 2, 3, 4, 9, 9]));
+        let by_name: std::collections::BTreeMap<_, _> = set
+            .histograms()
+            .into_iter()
+            .map(|(name, h)| (name, h.count()))
+            .collect();
+        assert_eq!(by_name["apply"], 2);
+        assert_eq!(by_name["solve"], 2);
+        assert_eq!(by_name["wal_append"], 1);
+        assert_eq!(by_name["wal_fsync"], 1);
+    }
+}

@@ -43,6 +43,12 @@ use rdbsc_geo::{Point, Rect};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// Microseconds elapsed since a stage stopwatch was started (saturating;
+/// purely observational — see [`TickReport::stages`]).
+fn stage_us(started: Instant) -> u64 {
+    started.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
 /// An update to the live instance, applied incrementally at the next tick.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineEvent {
@@ -216,6 +222,12 @@ pub struct TickReport {
     /// the refresh inside shard extraction): cross-cell relocations, cells
     /// repaired and `tcell_list` rebuilds.
     pub index_maintenance: MaintenanceCounters,
+    /// Wall-clock microseconds per tick stage (apply / extract / solve /
+    /// merge here; the WAL stages are filled in by a durable
+    /// `EnginePartition`). Observational only — never fed back into engine
+    /// decisions — and merged across partitions by per-stage max, like
+    /// [`TickReport::solve_seconds`].
+    pub stages: rdbsc_obs::StageTimings,
 }
 
 impl TickReport {
@@ -423,6 +435,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
     /// stale tasks, shards the live instance and solves the shards in
     /// parallel, committing the newly assigned workers.
     pub fn tick(&mut self, now: f64) -> TickReport {
+        let stage_started = Instant::now();
         let counters_before = self.index.maintenance_counters();
         let events: Vec<EngineEvent> = std::mem::take(&mut self.pending);
         let events_applied = events.len();
@@ -437,7 +450,9 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
                 tasks_expired += 1;
             }
         }
+        let apply_us = stage_us(stage_started);
 
+        let stage_started = Instant::now();
         self.index.set_depart_at(now);
         let shards = self.index.extract_shards(self.config.beta);
         let index_maintenance = self
@@ -493,6 +508,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
             .map(|(_, available, _)| available.num_pairs())
             .max()
             .unwrap_or(0);
+        let extract_us = stage_us(stage_started);
 
         let threads = if self.config.parallelism == 0 {
             default_parallelism()
@@ -522,6 +538,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         );
         let solve_seconds = started.elapsed().as_secs_f64();
 
+        let stage_started = Instant::now();
         let mut new_assignments = Vec::new();
         let mut strategies = Vec::with_capacity(solved.len());
         let mut shard_solve_seconds = Vec::with_capacity(solved.len());
@@ -541,6 +558,8 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
             }
         }
 
+        let merge_us = stage_us(stage_started);
+
         self.tick_count += 1;
         TickReport {
             now,
@@ -553,6 +572,14 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
             solve_seconds,
             shard_solve_seconds,
             index_maintenance,
+            stages: rdbsc_obs::StageTimings {
+                apply_us,
+                extract_us,
+                solve_us: (solve_seconds * 1e6) as u64,
+                merge_us,
+                wal_append_us: 0,
+                wal_fsync_us: 0,
+            },
         }
     }
 

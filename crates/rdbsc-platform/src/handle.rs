@@ -99,10 +99,24 @@ impl<I: SpatialIndex> Core<I> {
         }
     }
 
-    fn tick(&mut self, now: f64) -> TickReport {
+    /// Runs one round and returns the report plus the trace id it ran
+    /// under. A partitioned core generates the id itself (it must reach the
+    /// partitions before their spans record); the single core gets one here
+    /// and synthesizes its stage spans from the report — the engine itself
+    /// stays tracing-free.
+    fn tick(&mut self, now: f64) -> (TickReport, u64) {
         match self {
-            Core::Single(engine) => engine.tick(now),
-            Core::Partitioned(engine) => engine.tick(now),
+            Core::Single(engine) => {
+                let trace = rdbsc_obs::next_trace_id();
+                let root = rdbsc_obs::span(trace, 0, "router.tick");
+                let report = engine.tick(now);
+                rdbsc_obs::record_stage_spans(trace, root.id(), &report.stages);
+                (report, trace)
+            }
+            Core::Partitioned(engine) => {
+                let report = engine.tick(now);
+                (report, engine.last_trace())
+            }
         }
     }
 
@@ -178,6 +192,9 @@ struct Shared<I: SpatialIndex> {
     last_now: f64,
     events_applied: u64,
     total_assignments: u64,
+    /// Trace id of the most recent tick (0 before the first) — what
+    /// `/debug/spans` resolves by default.
+    last_trace: u64,
 }
 
 /// A clonable, thread-safe handle to a shared [`AssignmentEngine`].
@@ -246,6 +263,7 @@ impl<I: SpatialIndex> EngineHandle<I> {
                 last_now: 0.0,
                 events_applied: 0,
                 total_assignments: 0,
+                last_trace: 0,
             })),
         }
     }
@@ -309,8 +327,9 @@ impl<I: SpatialIndex> EngineHandle<I> {
     /// is what the engine's per-`(tick, shard)` seeding needs.
     pub fn tick(&self, now: f64) -> TickReport {
         let mut shared = self.lock();
-        let report = shared.core.tick(now);
+        let (report, trace) = shared.core.tick(now);
         shared.last_now = now;
+        shared.last_trace = trace;
         shared.events_applied += report.events_applied as u64;
         shared.total_assignments += report.new_assignments.len() as u64;
         report
@@ -327,11 +346,19 @@ impl<I: SpatialIndex> EngineHandle<I> {
         if !shared.core.is_active() {
             return None;
         }
-        let report = shared.core.tick(now);
+        let (report, trace) = shared.core.tick(now);
         shared.last_now = now;
+        shared.last_trace = trace;
         shared.events_applied += report.events_applied as u64;
         shared.total_assignments += report.new_assignments.len() as u64;
         Some(report)
+    }
+
+    /// Query: the trace id of the most recent tick (`0` before the first).
+    /// [`rdbsc_obs::collect_spans`] on it returns that round's span tree —
+    /// on a partitioned core, including every in-process partition's spans.
+    pub fn last_trace(&self) -> u64 {
+        self.lock().last_trace
     }
 
     /// Query: is the worker currently en route?

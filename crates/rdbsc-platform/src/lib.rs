@@ -59,5 +59,6 @@ pub use protocol::{
 pub use sim::{PlatformConfig, PlatformSim, RoundStats, SimulationReport};
 pub use stats::{Counter, LatencyHistogram};
 pub use wal::{
-    FailpointWriter, FaultPlan, PartitionState, Wal, WalConfig, WalError, WalRecord, WalStats,
+    inspect_dir, FailpointWriter, FaultPlan, FrameInfo, PartitionState, SegmentInfo, Wal,
+    WalConfig, WalError, WalRecord, WalStats,
 };

@@ -171,6 +171,9 @@ pub struct PartitionedEngine {
     /// The most recent tick time (what the graceful-shutdown drain tick
     /// runs at).
     last_now: f64,
+    /// The trace id of the most recent tick (`0` before the first one) —
+    /// what `/debug/spans` looks up to show the last round's span tree.
+    last_trace: u64,
     /// Set once [`Self::shutdown`] has run; commands after it are bugs.
     shut: bool,
 }
@@ -198,6 +201,7 @@ impl PartitionedEngine {
             health,
             events_dropped: 0,
             last_now: 0.0,
+            last_trace: 0,
             shut: false,
         }
     }
@@ -246,6 +250,14 @@ impl PartitionedEngine {
     /// Cross-partition worker handoffs performed so far.
     pub fn handoffs(&self) -> u64 {
         self.handoffs
+    }
+
+    /// The trace id the most recent [`Self::tick`] ran under (`0` before
+    /// the first tick). Every partition's spans for that round carry this
+    /// id — [`rdbsc_obs::collect_spans`] reassembles the cross-partition
+    /// span tree from it.
+    pub fn last_trace(&self) -> u64 {
+        self.last_trace
     }
 
     /// Each partition's transport identity and protocol counters, in
@@ -505,11 +517,19 @@ impl PartitionedEngine {
     /// order, refreshes the router's committed-worker view and resolves any
     /// deferred handoffs whose commitment has cleared.
     pub fn tick(&mut self, now: f64) -> TickReport {
+        // Every round gets a fresh trace id; the clients propagate it to
+        // their partitions (thread or daemon), whose spans all carry it —
+        // one id correlates the whole fan-out. Observational only.
+        let trace = rdbsc_obs::next_trace_id();
+        self.last_trace = trace;
+        let root = rdbsc_obs::span(trace, 0, "router.tick");
+        let fanout = rdbsc_obs::span(trace, root.id(), "router.fanout");
         let mut ticking = Vec::with_capacity(self.clients.len());
         for slot in 0..self.clients.len() {
             if !self.healthy(slot) {
                 continue;
             }
+            self.clients[slot].set_trace(trace);
             match self.clients[slot].begin_tick(now) {
                 Ok(()) => ticking.push(slot),
                 Err(e) => self.mark_unhealthy(slot, e),
@@ -522,8 +542,10 @@ impl PartitionedEngine {
                 Err(e) => self.mark_unhealthy(slot, e),
             }
         }
+        drop(fanout);
         self.last_now = now;
 
+        let merge_span = rdbsc_obs::span(trace, root.id(), "router.merge");
         self.committed.clear();
         let mut merged = TickReport {
             now,
@@ -536,6 +558,7 @@ impl PartitionedEngine {
             solve_seconds: 0.0,
             shard_solve_seconds: Vec::new(),
             index_maintenance: MaintenanceCounters::default(),
+            stages: rdbsc_obs::StageTimings::default(),
         };
         for reply in results {
             let report = reply.report;
@@ -549,6 +572,7 @@ impl PartitionedEngine {
             // Partitions solve concurrently: the round's wall time is the
             // slowest partition's, not the sum.
             merged.solve_seconds = merged.solve_seconds.max(report.solve_seconds);
+            merged.stages.merge_max(&report.stages);
             merged
                 .shard_solve_seconds
                 .extend(report.shard_solve_seconds);
@@ -582,6 +606,7 @@ impl PartitionedEngine {
             }
         }
         self.flush_outbox();
+        drop(merge_span);
         merged
     }
 

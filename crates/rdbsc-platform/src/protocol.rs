@@ -123,6 +123,10 @@ pub struct PartitionTick {
     /// Workers committed (en route) in this partition after the tick, in
     /// the engine's deterministic `(task, worker)` listing order.
     pub committed: Vec<WorkerId>,
+    /// The trace id the partition attributed this tick to — the echo of the
+    /// router's [`PartitionClient::set_trace`], proving the id survived the
+    /// transport (`0` = the tick ran untraced). Observational only.
+    pub trace: u64,
 }
 
 /// Per-partition protocol counters the router keeps for each client, so
@@ -198,6 +202,13 @@ pub trait PartitionClient: Send {
     /// The client's protocol counters (shared, lock-free).
     fn counters(&self) -> Arc<ProtocolCounters>;
 
+    /// Sets the trace id subsequent submit/tick commands are attributed to
+    /// (`0` = untraced). Purely observational — backends propagate the id
+    /// to the partition so its spans correlate with the router's, and the
+    /// partition echoes it in [`PartitionTick::trace`]. The default is a
+    /// no-op so wrappers and test doubles without tracing keep compiling.
+    fn set_trace(&mut self, _trace: u64) {}
+
     /// Dispatches a routed event batch for the partition's next tick.
     fn begin_submit(&mut self, events: Vec<EngineEvent>) -> Result<(), PartitionError>;
 
@@ -262,6 +273,9 @@ pub struct EnginePartition<I: SpatialIndex> {
     /// keep acknowledging them, and a reboot recovers exactly the logged
     /// prefix.
     wal: Option<Wal>,
+    /// The trace id commands are currently attributed to (`0` = untraced).
+    /// Set by [`EnginePartition::set_trace`]; purely observational.
+    trace: u64,
 }
 
 impl<I: SpatialIndex> EnginePartition<I> {
@@ -273,7 +287,17 @@ impl<I: SpatialIndex> EnginePartition<I> {
             events_applied: 0,
             total_assignments: 0,
             wal: None,
+            trace: 0,
         }
+    }
+
+    /// Attributes subsequent commands to `trace` (`0` = untraced). The
+    /// partition's spans — WAL append/fsync, the synthesized engine stage
+    /// spans — carry this id, so a router-issued trace correlates across
+    /// the wire. Observational only: tracing never changes what the engine
+    /// computes.
+    pub fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
     }
 
     /// Opens (or creates) the durable log in `dir` and recovers the
@@ -345,6 +369,7 @@ impl<I: SpatialIndex> EnginePartition<I> {
 
     /// Queues a routed event batch for the next tick.
     pub fn submit(&mut self, events: Vec<EngineEvent>) {
+        let _span = rdbsc_obs::span(self.trace, 0, "partition.submit");
         Self::log(&mut self.wal, |wal| wal.append_events(&events));
         self.engine.submit_all(events);
     }
@@ -354,9 +379,42 @@ impl<I: SpatialIndex> EnginePartition<I> {
     /// the tick command is logged and the log fsynced *before* the engine
     /// runs (the group-commit boundary), and a checkpoint is written every
     /// [`WalConfig::checkpoint_every_ticks`] ticks.
+    ///
+    /// When a trace is set ([`EnginePartition::set_trace`]) the tick emits
+    /// spans — live `wal.append`/`wal.fsync` spans around the log I/O, the
+    /// engine's stage spans synthesized from [`TickReport::stages`] — under
+    /// a `partition.tick` root, and the report's WAL stage timings are
+    /// filled in. All observational: timings ride the report without
+    /// feeding back into engine decisions.
     pub fn tick(&mut self, now: f64) -> PartitionTick {
-        Self::log(&mut self.wal, |wal| wal.append_tick(now));
-        let report = self.engine.tick(now);
+        let trace = self.trace;
+        let root = rdbsc_obs::span(trace, 0, "partition.tick");
+        let mut wal_append_us = 0u64;
+        let mut wal_fsync_us = 0u64;
+        if self.wal.is_some() {
+            // Wal::append_tick, split so append and fsync time separately.
+            let started = Instant::now();
+            {
+                let _span = rdbsc_obs::span(trace, root.id(), "wal.append");
+                Self::log(&mut self.wal, |wal| wal.append(&WalRecord::Tick { now }));
+            }
+            wal_append_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            if self.wal.as_ref().is_some_and(|wal| wal.config().fsync_on_tick) {
+                let started = Instant::now();
+                {
+                    let _span = rdbsc_obs::span(trace, root.id(), "wal.fsync");
+                    Self::log(&mut self.wal, Wal::sync);
+                }
+                wal_fsync_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            }
+        }
+        let mut report = self.engine.tick(now);
+        // The engine computes its stage timings but stays tracing-free;
+        // synthesize its spans here (the WAL stages were traced live above,
+        // and report.stages still has them zeroed at this point).
+        rdbsc_obs::record_stage_spans(trace, root.id(), &report.stages);
+        report.stages.wal_append_us = wal_append_us;
+        report.stages.wal_fsync_us = wal_fsync_us;
         self.last_now = now;
         self.events_applied += report.events_applied as u64;
         self.total_assignments += report.new_assignments.len() as u64;
@@ -371,11 +429,16 @@ impl<I: SpatialIndex> EnginePartition<I> {
             every > 0 && self.engine.num_ticks().is_multiple_of(every)
         });
         if checkpoint_due {
+            let _span = rdbsc_obs::span(trace, root.id(), "wal.checkpoint");
             let state = self.dump_state();
             let tick = self.engine.num_ticks();
             Self::log(&mut self.wal, |wal| wal.append_checkpoint(&state, tick));
         }
-        PartitionTick { report, committed }
+        PartitionTick {
+            report,
+            committed,
+            trace,
+        }
     }
 
     /// Banks an answer; `false` when the worker was not en route.
@@ -451,8 +514,15 @@ impl<I: SpatialIndex> EnginePartition<I> {
 
 /// A command processed by one in-process partition's engine thread.
 enum Command {
-    Submit(Vec<EngineEvent>),
-    Tick { now: f64, reply: Sender<PartitionTick> },
+    Submit {
+        events: Vec<EngineEvent>,
+        trace: u64,
+    },
+    Tick {
+        now: f64,
+        trace: u64,
+        reply: Sender<PartitionTick>,
+    },
     RecordAnswer {
         worker: WorkerId,
         contribution: Contribution,
@@ -471,8 +541,12 @@ enum Command {
 fn slot_loop<I: SpatialIndex>(mut part: EnginePartition<I>, commands: Receiver<Command>) {
     while let Ok(command) = commands.recv() {
         match command {
-            Command::Submit(events) => part.submit(events),
-            Command::Tick { now, reply } => {
+            Command::Submit { events, trace } => {
+                part.set_trace(trace);
+                part.submit(events);
+            }
+            Command::Tick { now, trace, reply } => {
+                part.set_trace(trace);
                 let _ = reply.send(part.tick(now));
             }
             Command::RecordAnswer {
@@ -510,6 +584,7 @@ pub struct InProcessClient {
     counters: Arc<ProtocolCounters>,
     pending_tick: Option<(Receiver<PartitionTick>, Instant)>,
     submit_started: Option<Instant>,
+    trace: u64,
 }
 
 impl InProcessClient {
@@ -538,6 +613,7 @@ impl InProcessClient {
             counters: Arc::new(ProtocolCounters::default()),
             pending_tick: None,
             submit_started: None,
+            trace: 0,
         }
     }
 
@@ -584,9 +660,16 @@ impl PartitionClient for InProcessClient {
         Arc::clone(&self.counters)
     }
 
+    fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+
     fn begin_submit(&mut self, events: Vec<EngineEvent>) -> Result<(), PartitionError> {
         self.submit_started = Some(Instant::now());
-        self.send(Command::Submit(events))
+        self.send(Command::Submit {
+            events,
+            trace: self.trace,
+        })
     }
 
     fn finish_submit(&mut self) -> Result<(), PartitionError> {
@@ -601,7 +684,11 @@ impl PartitionClient for InProcessClient {
 
     fn begin_tick(&mut self, now: f64) -> Result<(), PartitionError> {
         let (tx, rx) = channel();
-        self.send(Command::Tick { now, reply: tx })?;
+        self.send(Command::Tick {
+            now,
+            trace: self.trace,
+            reply: tx,
+        })?;
         self.pending_tick = Some((rx, Instant::now()));
         Ok(())
     }
@@ -727,6 +814,7 @@ mod tests {
         c.begin_tick(0.0).unwrap();
         let tick = c.finish_tick().unwrap();
         assert_eq!(tick.report.new_assignments.len(), 1);
+        assert_eq!(tick.trace, 0, "ticks run untraced unless set_trace is called");
         assert_eq!(tick.committed, vec![WorkerId(0)]);
         assert!(c.has_worker(WorkerId(0)).unwrap());
         assert!(!c.has_worker(WorkerId(9)).unwrap());
@@ -746,6 +834,39 @@ mod tests {
         c.drain().unwrap();
         c.shutdown().unwrap();
         assert!(c.is_active().is_err(), "commands after shutdown fail");
+    }
+
+    #[test]
+    fn set_trace_propagates_across_the_thread_and_echoes() {
+        let mut c = client();
+        let trace = rdbsc_obs::next_trace_id();
+        c.set_trace(trace);
+        c.begin_submit(vec![
+            crate::engine::EngineEvent::TaskArrived(task(0, 0.6, 0.6)),
+            crate::engine::EngineEvent::WorkerCheckIn(worker(0, 0.5, 0.5)),
+        ])
+        .unwrap();
+        c.finish_submit().unwrap();
+        c.begin_tick(0.0).unwrap();
+        let tick = c.finish_tick().unwrap();
+        assert_eq!(tick.trace, trace, "the partition echoes the trace id");
+
+        // The partition thread's spans landed in its ring under this trace.
+        let spans = rdbsc_obs::collect_spans(trace);
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"partition.submit"), "{names:?}");
+        assert!(names.contains(&"partition.tick"), "{names:?}");
+        assert!(names.contains(&"stage.solve"), "{names:?}");
+        let root = spans.iter().find(|s| s.name == "partition.tick").unwrap();
+        assert_eq!(root.parent, 0);
+        assert!(
+            spans
+                .iter()
+                .filter(|s| s.name.starts_with("stage."))
+                .all(|s| s.parent == root.span),
+            "stage spans hang off the tick root: {spans:?}"
+        );
+        c.shutdown().unwrap();
     }
 
     #[test]

@@ -1,164 +1,12 @@
 //! Lock-free counting primitives shared by the serving and protocol layers.
 //!
 //! [`Counter`] and [`LatencyHistogram`] started life inside `rdbsc-server`'s
-//! metrics endpoint; the partition protocol needs the identical primitives on
-//! the router side (per-partition request/byte counters, command-latency
-//! percentiles), so they live here where both `rdbsc-platform::protocol` and
-//! `rdbsc-server::metrics` can share one implementation. Everything is
-//! updated lock-free from any thread and read without stopping the world;
-//! the histogram gives exact counts and sub-bucket-resolution percentile
-//! estimates (linear interpolation inside the winning bucket), which is
-//! plenty for p50/p99 over log-spaced buckets.
+//! metrics endpoint, moved here when the partition protocol needed the same
+//! primitives on the router side, and now live in [`rdbsc_obs`] at the
+//! bottom of the dependency stack — where the unified metrics registry,
+//! the Prometheus renderer and the per-stage tick profiler all build on
+//! them. This module re-exports them so every existing
+//! `rdbsc_platform::stats` consumer (protocol counters, server metrics,
+//! benches) keeps compiling unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-/// Upper bounds (microseconds, inclusive) of the histogram buckets: roughly
-/// 1-2-5 per decade from 10 µs to 10 s, plus an overflow bucket.
-pub const BUCKET_BOUNDS_US: [u64; 19] = [
-    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
-    500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
-];
-
-/// A monotone event counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Adds one.
-    pub fn incr(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Adds `n`.
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// The current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A fixed-bucket latency histogram (microsecond resolution).
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let idx = BUCKET_BOUNDS_US
-            .iter()
-            .position(|bound| us <= *bound)
-            .unwrap_or(BUCKET_BOUNDS_US.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// The largest observation so far, in microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        let count = self.count();
-        if count == 0 {
-            0.0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
-        }
-    }
-
-    /// Estimates the `p`-th percentile (`0 < p <= 100`) in microseconds by
-    /// linear interpolation inside the winning bucket. 0 when empty.
-    pub fn percentile_us(&self, p: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, bucket) in self.buckets.iter().enumerate() {
-            let in_bucket = bucket.load(Ordering::Relaxed);
-            if seen + in_bucket >= rank {
-                let lower = if idx == 0 { 0 } else { BUCKET_BOUNDS_US[idx - 1] };
-                let upper = if idx < BUCKET_BOUNDS_US.len() {
-                    BUCKET_BOUNDS_US[idx]
-                } else {
-                    self.max_us().max(lower + 1)
-                };
-                let fraction = if in_bucket == 0 {
-                    0.0
-                } else {
-                    (rank - seen) as f64 / in_bucket as f64
-                };
-                return lower as f64 + fraction * (upper - lower) as f64;
-            }
-            seen += in_bucket;
-        }
-        self.max_us() as f64
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counters_count() {
-        let c = Counter::default();
-        c.incr();
-        c.add(4);
-        assert_eq!(c.get(), 5);
-    }
-
-    #[test]
-    fn histogram_percentiles_bracket_the_data() {
-        let h = LatencyHistogram::default();
-        for ms in 1..=100u64 {
-            h.record(Duration::from_millis(ms));
-        }
-        assert_eq!(h.count(), 100);
-        let p50 = h.percentile_us(50.0);
-        let p99 = h.percentile_us(99.0);
-        assert!((20_000.0..=60_000.0).contains(&p50), "p50 {p50}");
-        assert!((90_000.0..=110_000.0).contains(&p99), "p99 {p99}");
-        assert!(p99 >= p50);
-        assert!((h.mean_us() - 50_500.0).abs() < 1_000.0);
-    }
-
-    #[test]
-    fn histogram_handles_empty_and_overflow() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.percentile_us(99.0), 0.0);
-        h.record(Duration::from_secs(60)); // beyond the last bound
-        assert_eq!(h.count(), 1);
-        assert!(h.percentile_us(50.0) > 10_000_000.0);
-    }
-}
+pub use rdbsc_obs::{Counter, Gauge, LatencyHistogram, BUCKET_BOUNDS_US};

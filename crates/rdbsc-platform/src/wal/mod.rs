@@ -127,6 +127,19 @@ pub enum WalRecord {
     Checkpoint(PartitionState),
 }
 
+impl WalRecord {
+    /// The record's type tag, for diagnostics (`wal-dump`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WalRecord::Events(_) => "events",
+            WalRecord::Tick { .. } => "tick",
+            WalRecord::Answer { .. } => "answer",
+            WalRecord::Release { .. } => "release",
+            WalRecord::Checkpoint(_) => "checkpoint",
+        }
+    }
+}
+
 /// A partition's full logical state — the engine state plus the serving
 /// counters the partition keeps around it. Its canonical encoding
 /// ([`encode_partition_state`]) doubles as the recovery tests' byte
@@ -357,6 +370,126 @@ enum SegmentScan {
     Clean { next_lsn: u64 },
     Torn { valid_bytes: u64, next_lsn: u64 },
     Unreadable,
+}
+
+/// Read-only metadata of one valid frame, produced by [`inspect_dir`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameInfo {
+    /// The frame's log sequence number.
+    pub lsn: u64,
+    /// The record's type tag (see [`WalRecord::kind`]).
+    pub kind: &'static str,
+    /// The encoded payload size (frame header excluded).
+    pub payload_bytes: u64,
+    /// A one-line human summary of the record's content.
+    pub detail: String,
+}
+
+/// Read-only metadata of one segment file, produced by [`inspect_dir`].
+#[derive(Debug)]
+pub struct SegmentInfo {
+    /// The sequence number parsed from the file name.
+    pub seqno: u64,
+    /// The segment file.
+    pub path: PathBuf,
+    /// The file's size on disk.
+    pub file_bytes: u64,
+    /// The `first_lsn` field of the segment header (`None` when the header
+    /// itself is unreadable).
+    pub first_lsn: Option<u64>,
+    /// The valid frames, in lsn order (empty for unreadable or
+    /// beyond-prefix segments).
+    pub frames: Vec<FrameInfo>,
+    /// Bytes past the last valid frame (a torn tail an appender would
+    /// truncate away; 0 on a clean segment).
+    pub torn_bytes: u64,
+    /// The header is invalid, the seqno disagrees with the file name, or
+    /// the lsn chain from the previous segment does not continue here.
+    pub unreadable: bool,
+    /// The segment follows an earlier break: no byte of it belongs to the
+    /// valid prefix, regardless of its own content.
+    pub beyond_prefix: bool,
+}
+
+/// Walks a log directory read-only and describes every segment file —
+/// header fields, per-frame lsn/type/size and torn-tail diagnosis. This is
+/// the `wal-dump` view: unlike [`scan_dir`] it keeps describing segments
+/// *past* a break (flagged [`SegmentInfo::beyond_prefix`]), so an operator
+/// sees what a repair would delete before anything is deleted.
+pub fn inspect_dir(dir: &Path) -> Result<Vec<SegmentInfo>, WalError> {
+    let mut infos = Vec::new();
+    let mut expected_lsn: Option<u64> = None;
+    let mut broken = false;
+    for (seqno, path) in list_segments(dir)? {
+        let bytes = fs::read(&path)?;
+        let mut info = SegmentInfo {
+            seqno,
+            path,
+            file_bytes: bytes.len() as u64,
+            first_lsn: None,
+            frames: Vec::new(),
+            torn_bytes: 0,
+            unreadable: false,
+            beyond_prefix: broken,
+        };
+        if broken {
+            infos.push(info);
+            continue;
+        }
+        let header_ok = bytes.len() >= HEADER_BYTES
+            && &bytes[..8] == SEGMENT_MAGIC
+            && u32::from_le_bytes(bytes[8..12].try_into().unwrap()) == SEGMENT_VERSION
+            && u64::from_le_bytes(bytes[12..20].try_into().unwrap()) == seqno;
+        if header_ok {
+            info.first_lsn = Some(u64::from_le_bytes(bytes[20..28].try_into().unwrap()));
+        }
+        let chain_ok = match (expected_lsn, info.first_lsn) {
+            (Some(expected), Some(first)) => expected == first,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if !header_ok || !chain_ok {
+            info.unreadable = true;
+            broken = true;
+            infos.push(info);
+            continue;
+        }
+        let mut lsn = info.first_lsn.expect("header parsed");
+        let mut pos = HEADER_BYTES;
+        while let Some((record, total)) = read_frame(&bytes[pos..], lsn) {
+            info.frames.push(FrameInfo {
+                lsn,
+                kind: record.kind(),
+                payload_bytes: (total - FRAME_HEADER_BYTES) as u64,
+                detail: record_detail(&record),
+            });
+            pos += total;
+            lsn += 1;
+        }
+        if pos < bytes.len() {
+            info.torn_bytes = (bytes.len() - pos) as u64;
+            broken = true;
+        }
+        expected_lsn = Some(lsn);
+        infos.push(info);
+    }
+    Ok(infos)
+}
+
+/// The one-line content summary [`inspect_dir`] attaches to each frame.
+fn record_detail(record: &WalRecord) -> String {
+    match record {
+        WalRecord::Events(events) => format!("{} events", events.len()),
+        WalRecord::Tick { now } => format!("now={now}"),
+        WalRecord::Answer { worker, .. } => format!("worker={}", worker.0),
+        WalRecord::Release { worker } => format!("worker={}", worker.0),
+        WalRecord::Checkpoint(state) => format!(
+            "digest={:016x} last_now={} events_applied={}",
+            state.digest(),
+            state.last_now,
+            state.events_applied
+        ),
+    }
 }
 
 /// Walks one segment's bytes, pushing valid records onto `records` until
@@ -745,6 +878,53 @@ mod tests {
         let rescan = scan_dir(&dir).unwrap();
         assert_eq!(rescan.records.len(), 5);
         assert!(!rescan.found_damage());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inspect_describes_segments_frames_and_torn_tails() {
+        let dir = tempdir("inspect");
+        let config = WalConfig {
+            segment_bytes: 256, // force rotation
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = Wal::open(&dir, config).unwrap();
+        for i in 0..12 {
+            wal.append_events(&[task_event(i)]).unwrap();
+        }
+        wal.append_tick(1.5).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Clean log: every segment readable, lsns contiguous, kinds tagged.
+        let infos = inspect_dir(&dir).unwrap();
+        assert!(infos.len() > 1, "rotation expected");
+        let mut next_lsn = 0;
+        for info in &infos {
+            assert!(!info.unreadable && !info.beyond_prefix);
+            assert_eq!(info.torn_bytes, 0);
+            assert_eq!(info.first_lsn, Some(next_lsn));
+            for frame in &info.frames {
+                assert_eq!(frame.lsn, next_lsn);
+                next_lsn += 1;
+            }
+        }
+        assert_eq!(next_lsn, 13);
+        let kinds: Vec<&str> = infos.iter().flat_map(|i| i.frames.iter().map(|f| f.kind)).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "events").count(), 12);
+        assert_eq!(*kinds.last().unwrap(), "tick");
+        let tick_frame = infos.last().unwrap().frames.last().unwrap();
+        assert_eq!(tick_frame.detail, "now=1.5");
+
+        // Tear the *first* segment's tail: later segments leave the valid
+        // prefix but are still listed, flagged beyond_prefix.
+        let (_, first) = list_segments(&dir).unwrap().remove(0);
+        let len = fs::metadata(&first).unwrap().len();
+        fs::OpenOptions::new().write(true).open(&first).unwrap().set_len(len - 3).unwrap();
+        let infos = inspect_dir(&dir).unwrap();
+        assert!(infos[0].torn_bytes > 0);
+        assert!(!infos[0].frames.is_empty(), "clean prefix of the torn segment survives");
+        assert!(infos[1..].iter().all(|i| i.beyond_prefix));
         fs::remove_dir_all(&dir).unwrap();
     }
 

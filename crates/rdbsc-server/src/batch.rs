@@ -160,9 +160,16 @@ pub fn run_flusher<I: SpatialIndex>(
             handle.submit_all(events);
         }
         let tick_started = Instant::now();
-        if handle.tick_if_active(clock.now()).is_some() {
+        if let Some(report) = handle.tick_if_active(clock.now()) {
             metrics.batch_flushes.incr();
-            metrics.tick_latency.record(tick_started.elapsed());
+            let elapsed = tick_started.elapsed();
+            metrics.tick_latency.record(elapsed);
+            metrics.observe_tick(
+                handle.last_trace(),
+                report.now,
+                elapsed.as_micros().min(u64::MAX as u128) as u64,
+                &report.stages,
+            );
         }
 
         if stopping {

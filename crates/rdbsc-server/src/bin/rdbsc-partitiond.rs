@@ -15,7 +15,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rdbsc-partitiond [--addr HOST:PORT] [--threads N] [--queue N]\n\
          \x20                     [--max-body-bytes N] [--idle-timeout-ms N]\n\
-         \x20                     [--data-dir PATH]\n\
+         \x20                     [--data-dir PATH] [--slow-tick-ms N]\n\
          \n\
          Serves one spatial partition's engine over the partition protocol.\n\
          The daemon starts unconfigured; a router (rdbsc-server with\n\
@@ -27,7 +27,10 @@ fn usage() -> ! {
          are write-ahead logged to PATH before application, and on restart\n\
          the daemon self-configures from the persisted configure payload,\n\
          loads the last checkpoint and replays the log tail — recovering\n\
-         exactly the acknowledged state."
+         exactly the acknowledged state.\n\
+         --slow-tick-ms N captures every tick slower than N ms (stage\n\
+         breakdown + span tree) for GET /debug/slow-ticks; 0 captures\n\
+         every tick. Off by default."
     );
     std::process::exit(2);
 }
@@ -68,6 +71,10 @@ fn main() {
                 config.idle_timeout = Duration::from_millis(ms);
             }
             "--data-dir" => config.data_dir = Some(value.into()),
+            "--slow-tick-ms" => {
+                let ms: u64 = value.parse().unwrap_or_else(|_| parse_err(value));
+                config.slow_tick_threshold_us = ms.saturating_mul(1000);
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage();

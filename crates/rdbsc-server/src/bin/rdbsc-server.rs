@@ -13,6 +13,7 @@ fn usage() -> ! {
          \x20                 [--beta F] [--cell-size F] [--time-scale F]\n\
          \x20                 [--backend grid|flat-grid] [--partitions N]\n\
          \x20                 [--remote-partition HOST:PORT]... [--data-dir PATH]\n\
+         \x20                 [--slow-tick-ms N]\n\
          \n\
          --flush-interval-ms 0 enables manual tick mode: the engine only\n\
          advances on POST /tick. Stop the server with POST /admin/shutdown.\n\
@@ -26,7 +27,10 @@ fn usage() -> ! {
          pushes each daemon its routing table and engine config at boot.\n\
          --data-dir PATH write-ahead logs every in-process partition under\n\
          PATH/part-NNNN and recovers from the logs on restart; remote\n\
-         daemons are durable when started with their own --data-dir."
+         daemons are durable when started with their own --data-dir.\n\
+         --slow-tick-ms N captures every tick slower than N ms (stage\n\
+         breakdown + span tree) for GET /debug/slow-ticks; 0 captures\n\
+         every tick. Off by default."
     );
     std::process::exit(2);
 }
@@ -88,6 +92,10 @@ fn main() {
             }
             "--remote-partition" => config.remote_partitions.push(value.clone()),
             "--data-dir" => config.data_dir = Some(value.into()),
+            "--slow-tick-ms" => {
+                let ms: u64 = value.parse().unwrap_or_else(|_| parse_err(value));
+                config.slow_tick_threshold_us = ms.saturating_mul(1000);
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 usage();

@@ -227,6 +227,18 @@ impl Response {
         }
     }
 
+    /// A Prometheus text-exposition response (`/metrics?format=prom`). The
+    /// version parameter is part of the exposition-format contract scrapers
+    /// negotiate on.
+    pub fn prom_text(body: String) -> Self {
+        Self {
+            status: 200,
+            body: body.into_bytes(),
+            content_type: "text/plain; version=0.0.4",
+            close: false,
+        }
+    }
+
     /// The response for an error, with `Retry-After`-worthy statuses closing
     /// the connection so a shed client does not hold a worker thread.
     pub fn from_error(e: &ServerError) -> Self {
@@ -244,6 +256,16 @@ impl Response {
         self.close = true;
         self
     }
+}
+
+/// Looks `key` up in a raw query string (`a=1&b=2`); a key without `=`
+/// yields `""`. No percent-decoding — the values the server reads (format
+/// names, hex trace ids) never need it.
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
 }
 
 /// The standard reason phrase for the status codes the server emits.

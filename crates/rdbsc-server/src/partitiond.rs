@@ -47,7 +47,7 @@ use crate::json::{parse, Json};
 use crate::listener::{HttpCore, ListenerConfig, ShutdownHandle};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    request_id, submit_from_json, ConfigureDto, HelloDto, TickReplyDto,
+    request_id, submit_from_json, trace_field, ConfigureDto, HelloDto, TickReplyDto,
 };
 use rdbsc_geo::Rect;
 use rdbsc_index::DynSpatialIndex;
@@ -85,6 +85,9 @@ pub struct PartitiondConfig {
     /// the last checkpoint, replay the tail) before taking commands. `None`
     /// (the default) serves non-durably.
     pub data_dir: Option<PathBuf>,
+    /// Slow-tick capture threshold in microseconds (0 = every tick,
+    /// `u64::MAX` = disabled); see `GET /debug/slow-ticks`.
+    pub slow_tick_threshold_us: u64,
 }
 
 impl Default for PartitiondConfig {
@@ -96,6 +99,7 @@ impl Default for PartitiondConfig {
             max_body_bytes: 8 * 1024 * 1024,
             idle_timeout: Duration::from_secs(60),
             data_dir: None,
+            slow_tick_threshold_us: u64::MAX,
         }
     }
 }
@@ -114,6 +118,8 @@ struct DaemonState {
     engine: Mutex<Option<Configured>>,
     draining: AtomicBool,
     metrics: Arc<ServerMetrics>,
+    /// The trace id of the most recent traced tick (`/debug/spans` default).
+    last_trace: std::sync::atomic::AtomicU64,
     /// Where the log and the persisted configure live (`None` = non-durable).
     data_dir: Option<PathBuf>,
 }
@@ -131,11 +137,14 @@ pub struct PartitionDaemon {
 impl PartitionDaemon {
     /// Binds the address and starts serving the partition protocol.
     pub fn start(config: PartitiondConfig) -> Result<PartitionDaemon, ServerError> {
-        let metrics = Arc::new(ServerMetrics::default());
+        let metrics = Arc::new(ServerMetrics::with_slow_threshold_us(
+            config.slow_tick_threshold_us,
+        ));
         let state = Arc::new(DaemonState {
             engine: Mutex::new(None),
             draining: AtomicBool::new(false),
             metrics: metrics.clone(),
+            last_trace: std::sync::atomic::AtomicU64::new(0),
             data_dir: config.data_dir.clone(),
         });
         // Recover BEFORE the listener binds: a restarted daemon that has a
@@ -349,6 +358,39 @@ fn configured_response(configured: &Configured, already: bool) -> Response {
     )
 }
 
+/// The Prometheus body of a daemon's `/metrics?format=prom`: the metric
+/// registry, the daemon's state gauges, and (when configured) the engine
+/// snapshot with its WAL totals.
+fn daemon_prom(state: &DaemonState, draining: bool) -> String {
+    let mut w = rdbsc_obs::PromWriter::new();
+    state.metrics.render_prom_into(&mut w);
+    w.gauge(
+        "protocol_version",
+        "The partition protocol version this daemon speaks",
+        PROTOCOL_VERSION as f64,
+    );
+    w.gauge("draining", "Is the daemon refusing mutating commands?", draining as u64 as f64);
+    w.gauge(
+        "durable",
+        "Is the daemon running a write-ahead log?",
+        state.data_dir.is_some() as u64 as f64,
+    );
+    let guard = state.engine.lock().expect("daemon engine lock");
+    match guard.as_ref() {
+        Some(configured) => {
+            w.gauge("configured", "Has a configure taken effect?", 1.0);
+            w.gauge(
+                "region_index",
+                "The region this daemon serves",
+                configured.region_index as f64,
+            );
+            crate::metrics::snapshot_to_prom(&mut w, &configured.part.snapshot());
+        }
+        None => w.gauge("configured", "Has a configure taken effect?", 0.0),
+    }
+    w.into_string()
+}
+
 fn route(
     request: &Request,
     state: &DaemonState,
@@ -381,6 +423,9 @@ fn route(
         )),
 
         (Method::Get, "/metrics") => {
+            if crate::http::query_param(&request.query, "format") == Some("prom") {
+                return Ok(Response::prom_text(daemon_prom(state, draining)));
+            }
             let mut body = state.metrics.to_json();
             if let Json::Obj(map) = &mut body {
                 map.insert(
@@ -410,6 +455,31 @@ fn route(
             Ok(Response::json(200, body.to_string_compact()))
         }
 
+        (Method::Get, "/debug/slow-ticks") => Ok(Response::json(
+            200,
+            state.metrics.slow_ticks_json().to_string_compact(),
+        )),
+
+        (Method::Get, "/debug/spans") => {
+            let trace = match crate::http::query_param(&request.query, "trace") {
+                Some(hex) => u64::from_str_radix(hex, 16).map_err(|_| {
+                    ServerError::BadField {
+                        field: "trace",
+                        expected: "a hex trace id",
+                    }
+                })?,
+                None => state.last_trace.load(Ordering::Acquire),
+            };
+            let body = Json::obj([
+                ("trace", Json::Str(crate::protocol::trace_to_hex(trace))),
+                (
+                    "spans",
+                    crate::metrics::spans_to_json(&rdbsc_obs::collect_spans(trace)),
+                ),
+            ]);
+            Ok(Response::json(200, body.to_string_compact()))
+        }
+
         (Method::Get, "/partition/hello") => {
             let region = state
                 .engine
@@ -426,9 +496,12 @@ fn route(
         (Method::Post, "/partition/configure") => configure(state, &parse_body(request)?),
 
         (Method::Post, "/partition/submit") => {
-            let (rid, events) = submit_from_json(&parse_body(request)?)?;
+            let (rid, events, trace) = submit_from_json(&parse_body(request)?)?;
             let buffered = events.len();
-            with_engine(state, |part| part.submit(events))?;
+            with_engine(state, |part| {
+                part.set_trace(trace);
+                part.submit(events)
+            })?;
             Ok(reply(rid, [("buffered", Json::Num(buffered as f64))]))
         }
 
@@ -442,7 +515,23 @@ fn route(
                     expected: "a finite number",
                 });
             }
-            let tick = with_engine(state, |part| part.tick(now))?;
+            let trace = trace_field(&body)?;
+            if trace != 0 {
+                state.last_trace.store(trace, Ordering::Release);
+            }
+            let started = std::time::Instant::now();
+            let tick = with_engine(state, |part| {
+                part.set_trace(trace);
+                part.tick(now)
+            })?;
+            let elapsed = started.elapsed();
+            state.metrics.tick_latency.record(elapsed);
+            state.metrics.observe_tick(
+                trace,
+                now,
+                elapsed.as_micros().min(u64::MAX as u128) as u64,
+                &tick.report.stages,
+            );
             Ok(Response::json(
                 200,
                 TickReplyDto::from_tick(rid, &tick).to_json().to_string_compact(),

@@ -84,6 +84,31 @@ pub fn request_id(value: &Json) -> Result<u64, ServerError> {
     uint(value, "request_id")
 }
 
+/// Encodes a trace id for the wire (16 hex digits, zero-padded).
+pub fn trace_to_hex(trace: u64) -> String {
+    format!("{trace:016x}")
+}
+
+/// Reads the optional `trace` field of a command or reply body. Absent or
+/// `null` decodes as 0 (untraced) — pre-tracing peers simply never send it,
+/// which is what keeps the field compatible within `PROTOCOL_VERSION` 1.
+pub fn trace_field(value: &Json) -> Result<u64, ServerError> {
+    match value.get("trace") {
+        None | Some(Json::Null) => Ok(0),
+        Some(v) => u64::from_str_radix(
+            v.as_str().ok_or(ServerError::BadField {
+                field: "trace",
+                expected: "a hex trace id in a string",
+            })?,
+            16,
+        )
+        .map_err(|_| ServerError::BadField {
+            field: "trace",
+            expected: "a hex trace id in a string",
+        }),
+    }
+}
+
 /// One engine event on the wire, tagged by `type`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventDto {
@@ -186,9 +211,11 @@ impl EventDto {
     }
 }
 
-/// Encodes a routed event batch (`POST /partition/submit`).
-pub fn submit_to_json(request_id: u64, events: &[EngineEvent]) -> Json {
-    Json::obj([
+/// Encodes a routed event batch (`POST /partition/submit`). A zero trace id
+/// (untraced) omits the field, keeping bodies byte-identical to what
+/// pre-tracing routers send.
+pub fn submit_to_json(request_id: u64, events: &[EngineEvent], trace: u64) -> Json {
+    let mut obj = Json::obj([
         ("request_id", Json::Num(request_id as f64)),
         (
             "events",
@@ -199,11 +226,16 @@ pub fn submit_to_json(request_id: u64, events: &[EngineEvent]) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ]);
+    if let (Json::Obj(map), true) = (&mut obj, trace != 0) {
+        map.insert("trace".to_string(), Json::Str(trace_to_hex(trace)));
+    }
+    obj
 }
 
-/// Decodes a submit body into validated engine events.
-pub fn submit_from_json(value: &Json) -> Result<(u64, Vec<EngineEvent>), ServerError> {
+/// Decodes a submit body into validated engine events plus the trace id
+/// (0 when the router sent none).
+pub fn submit_from_json(value: &Json) -> Result<(u64, Vec<EngineEvent>, u64), ServerError> {
     let rid = request_id(value)?;
     let events = value
         .get("events")
@@ -216,7 +248,7 @@ pub fn submit_from_json(value: &Json) -> Result<(u64, Vec<EngineEvent>), ServerE
         .iter()
         .map(|e| EventDto::from_json(e)?.into_event())
         .collect::<Result<Vec<_>, _>>()?;
-    Ok((rid, events))
+    Ok((rid, events, trace_field(value)?))
 }
 
 /// The full-fidelity tick report on the wire — everything the router's
@@ -253,6 +285,11 @@ pub struct TickReplyDto {
     /// Workers committed in this partition after the tick (the handoff
     /// oracle), in the engine's listing order.
     pub committed: Vec<u32>,
+    /// Per-stage microsecond breakdown of the tick (observational; a reply
+    /// from a pre-profiling daemon decodes as all zeros).
+    pub stages: rdbsc_obs::StageTimings,
+    /// The echoed trace id (0 when the command carried none).
+    pub trace: u64,
 }
 
 /// The solver names the engine can report; the wire decode maps back onto
@@ -278,12 +315,14 @@ impl TickReplyDto {
             index_cells_repaired: r.index_maintenance.cells_repaired,
             index_tcell_rebuilds: r.index_maintenance.tcell_rebuilds,
             committed: tick.committed.iter().map(|w| w.0).collect(),
+            stages: r.stages,
+            trace: tick.trace,
         }
     }
 
     /// Encodes the DTO.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut obj = Json::obj([
             ("request_id", Json::Num(self.request_id as f64)),
             ("now", Json::Num(self.now)),
             ("events_applied", Json::Num(self.events_applied as f64)),
@@ -329,7 +368,21 @@ impl TickReplyDto {
                 "committed",
                 Json::Arr(self.committed.iter().map(|w| Json::Num(*w as f64)).collect()),
             ),
-        ])
+            (
+                "stages",
+                Json::Arr(
+                    self.stages
+                        .values()
+                        .iter()
+                        .map(|us| Json::Num(*us as f64))
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let (Json::Obj(map), true) = (&mut obj, self.trace != 0) {
+            map.insert("trace".to_string(), Json::Str(trace_to_hex(self.trace)));
+        }
+        obj
     }
 
     /// Decodes the DTO.
@@ -400,6 +453,36 @@ impl TickReplyDto {
                 Ok(n as u32)
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let stages = match value.get("stages") {
+            None | Some(Json::Null) => rdbsc_obs::StageTimings::default(),
+            Some(v) => {
+                let arr = v.as_arr().ok_or(ServerError::BadField {
+                    field: "stages",
+                    expected: "an array of stage microseconds",
+                })?;
+                if arr.len() != rdbsc_obs::NUM_STAGES {
+                    return Err(ServerError::BadField {
+                        field: "stages",
+                        expected: "one duration per tick stage",
+                    });
+                }
+                let mut values = [0u64; rdbsc_obs::NUM_STAGES];
+                for (slot, entry) in values.iter_mut().zip(arr) {
+                    let n = entry.as_num().ok_or(ServerError::BadField {
+                        field: "stages",
+                        expected: "an array of stage microseconds",
+                    })?;
+                    if n.fract() != 0.0 || !(0.0..=9_007_199_254_740_992f64).contains(&n) {
+                        return Err(ServerError::BadField {
+                            field: "stages",
+                            expected: "an array of stage microseconds",
+                        });
+                    }
+                    *slot = n as u64;
+                }
+                rdbsc_obs::StageTimings::from_values(values)
+            }
+        };
         Ok(Self {
             request_id: request_id(value)?,
             now: num(value, "now")?,
@@ -415,6 +498,8 @@ impl TickReplyDto {
             index_cells_repaired: uint(value, "index_cells_repaired")?,
             index_tcell_rebuilds: uint(value, "index_tcell_rebuilds")?,
             committed,
+            stages,
+            trace: trace_field(value)?,
         })
     }
 
@@ -453,8 +538,10 @@ impl TickReplyDto {
                     cells_repaired: self.index_cells_repaired,
                     tcell_rebuilds: self.index_tcell_rebuilds,
                 },
+                stages: self.stages,
             },
             committed: self.committed.into_iter().map(WorkerId).collect(),
+            trace: self.trace,
         })
     }
 }
@@ -891,13 +978,33 @@ mod tests {
     #[test]
     fn submit_bodies_round_trip() {
         let events = events();
-        let body = submit_to_json(42, &events).to_string_compact();
-        let (rid, decoded) = submit_from_json(&parse(&body).unwrap()).unwrap();
+        let body = submit_to_json(42, &events, 0).to_string_compact();
+        assert!(!body.contains("trace"), "untraced bodies omit the field");
+        let (rid, decoded, trace) = submit_from_json(&parse(&body).unwrap()).unwrap();
         assert_eq!(rid, 42);
+        assert_eq!(trace, 0);
         assert_eq!(decoded.len(), events.len());
         // Spot-check exact payload survival through the typed layer.
-        let reencoded = submit_to_json(42, &decoded).to_string_compact();
+        let reencoded = submit_to_json(42, &decoded, 0).to_string_compact();
         assert_eq!(reencoded, body);
+    }
+
+    #[test]
+    fn submit_trace_rides_as_hex_and_round_trips() {
+        let events = events();
+        let body = submit_to_json(7, &events, 0xdead_beef_0042_0001).to_string_compact();
+        assert!(body.contains(r#""trace":"deadbeef00420001""#), "{body}");
+        let (_, _, trace) = submit_from_json(&parse(&body).unwrap()).unwrap();
+        assert_eq!(trace, 0xdead_beef_0042_0001);
+        // A hostile trace field is a clean 400, not a panic.
+        assert!(submit_from_json(
+            &parse(r#"{"request_id":1,"events":[],"trace":"zz"}"#).unwrap()
+        )
+        .is_err());
+        assert!(submit_from_json(
+            &parse(r#"{"request_id":1,"events":[],"trace":12}"#).unwrap()
+        )
+        .is_err());
     }
 
     #[test]

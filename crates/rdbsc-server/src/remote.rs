@@ -58,6 +58,7 @@ pub struct HttpPartitionClient {
     client: HttpClient,
     counters: Arc<ProtocolCounters>,
     next_request_id: u64,
+    trace: u64,
     pending_submit: Option<Pending>,
     pending_tick: Option<Pending>,
 }
@@ -100,6 +101,7 @@ impl HttpPartitionClient {
                 .with_counters(Arc::clone(&counters)),
             counters,
             next_request_id: 0,
+            trace: 0,
             pending_submit: None,
             pending_tick: None,
         };
@@ -264,12 +266,16 @@ impl PartitionClient for HttpPartitionClient {
         Arc::clone(&self.counters)
     }
 
+    fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+
     fn begin_submit(&mut self, events: Vec<EngineEvent>) -> Result<(), PartitionError> {
         if self.pending_submit.is_some() || self.pending_tick.is_some() {
             return Err(self.protocol_err("begin_submit while another command is in flight"));
         }
         let rid = self.next_rid();
-        let body = protocol::submit_to_json(rid, &events);
+        let body = protocol::submit_to_json(rid, &events, self.trace);
         let started = Instant::now();
         self.client
             .send("POST", "/partition/submit", Some(body.to_string_compact()))
@@ -296,10 +302,16 @@ impl PartitionClient for HttpPartitionClient {
             return Err(self.protocol_err("begin_tick while another command is in flight"));
         }
         let rid = self.next_rid();
-        let body = Json::obj([
+        let mut body = Json::obj([
             ("request_id", Json::Num(rid as f64)),
             ("now", Json::Num(now)),
         ]);
+        if let (Json::Obj(map), true) = (&mut body, self.trace != 0) {
+            map.insert(
+                "trace".to_string(),
+                Json::Str(protocol::trace_to_hex(self.trace)),
+            );
+        }
         let started = Instant::now();
         self.client
             .send("POST", "/partition/tick", Some(body.to_string_compact()))

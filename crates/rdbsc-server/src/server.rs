@@ -112,6 +112,11 @@ pub struct ServerConfig {
     /// regions when [`data_dir`](Self::data_dir) is set, and pushed to
     /// remote daemons (which apply them only when booted with a data dir).
     pub wal: rdbsc_platform::WalConfig,
+    /// Slow-tick capture threshold in microseconds: any tick whose
+    /// end-to-end wall time reaches it has its full span tree snapshotted
+    /// into the bounded buffer served at `GET /debug/slow-ticks`. `0`
+    /// captures every tick; `u64::MAX` (the default) disables capture.
+    pub slow_tick_threshold_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -134,6 +139,7 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             data_dir: None,
             wal: rdbsc_platform::WalConfig::default(),
+            slow_tick_threshold_us: u64::MAX,
         }
     }
 }
@@ -285,7 +291,9 @@ impl Server {
         handle: EngineHandle<DynSpatialIndex>,
         owns_engine: bool,
     ) -> Result<Server, ServerError> {
-        let metrics = Arc::new(ServerMetrics::default());
+        let metrics = Arc::new(ServerMetrics::with_slow_threshold_us(
+            config.slow_tick_threshold_us,
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let batcher = Arc::new(MicroBatcher::new(
             config.max_batch,
@@ -418,6 +426,80 @@ fn require_finite_point(x: f64, y: f64) -> Result<Point, ServerError> {
     Ok(Point::new(x, y))
 }
 
+/// The Prometheus body of the router's `/metrics?format=prom`: the metric
+/// registry first, then the scrape-time values that only exist as handle
+/// queries — merged engine snapshot, partition topology/health, aggregated
+/// transport counters and WAL totals.
+fn router_prom(shared: &Shared) -> String {
+    let mut w = rdbsc_obs::PromWriter::new();
+    shared.metrics.render_prom_into(&mut w);
+
+    let snapshots = shared.handle.partition_snapshots();
+    let merged = if snapshots.len() == 1 {
+        snapshots[0].clone()
+    } else {
+        merge_snapshots(&snapshots)
+    };
+    crate::metrics::snapshot_to_prom(&mut w, &merged);
+
+    let transports = shared.handle.partition_transports();
+    w.gauge(
+        "partitions_count",
+        "Partitions behind this router",
+        snapshots.len() as f64,
+    );
+    w.gauge(
+        "remote_partitions",
+        "Partitions served by remote daemons",
+        transports.iter().filter(|t| t.kind == "http").count() as f64,
+    );
+    w.gauge(
+        "partitions_unhealthy",
+        "Partitions the router has lost",
+        shared.handle.unhealthy_partitions().len() as f64,
+    );
+    w.counter(
+        "events_dropped_total",
+        "Routed events dropped for unhealthy partitions",
+        shared.handle.events_dropped(),
+    );
+    if snapshots.len() > 1 {
+        w.counter(
+            "handoffs_total",
+            "Cross-partition worker handoffs",
+            shared.handle.handoffs(),
+        );
+    }
+    if !transports.is_empty() {
+        w.counter(
+            "partition_commands_total",
+            "Partition protocol commands completed, all transports",
+            transports.iter().map(|t| t.stats.requests).sum(),
+        );
+        w.counter(
+            "partition_retries_total",
+            "Stale keep-alive retries, all transports",
+            transports.iter().map(|t| t.stats.retries).sum(),
+        );
+        w.counter(
+            "partition_reconnects_total",
+            "Transport reconnects, all transports",
+            transports.iter().map(|t| t.stats.reconnects).sum(),
+        );
+        w.counter(
+            "partition_bytes_sent_total",
+            "Bytes sent to partitions, all transports",
+            transports.iter().map(|t| t.stats.bytes_sent).sum(),
+        );
+        w.counter(
+            "partition_bytes_received_total",
+            "Bytes received from partitions, all transports",
+            transports.iter().map(|t| t.stats.bytes_received).sum(),
+        );
+    }
+    w.into_string()
+}
+
 fn route(
     request: &Request,
     shared: &Shared,
@@ -433,6 +515,9 @@ fn route(
         )),
 
         (Method::Get, "/metrics") => {
+            if crate::http::query_param(&request.query, "format") == Some("prom") {
+                return Ok(Response::prom_text(router_prom(shared)));
+            }
             let mut body = shared.metrics.to_json();
             if let Json::Obj(map) = &mut body {
                 // One snapshot pass feeds both the merged "engine" view and
@@ -544,6 +629,31 @@ fn route(
             Ok(Response::json(200, body.to_string_compact()))
         }
 
+        (Method::Get, "/debug/slow-ticks") => Ok(Response::json(
+            200,
+            shared.metrics.slow_ticks_json().to_string_compact(),
+        )),
+
+        (Method::Get, "/debug/spans") => {
+            let trace = match crate::http::query_param(&request.query, "trace") {
+                Some(hex) => u64::from_str_radix(hex, 16).map_err(|_| {
+                    ServerError::BadField {
+                        field: "trace",
+                        expected: "a hex trace id",
+                    }
+                })?,
+                None => shared.handle.last_trace(),
+            };
+            let body = Json::obj([
+                ("trace", Json::Str(crate::protocol::trace_to_hex(trace))),
+                (
+                    "spans",
+                    crate::metrics::spans_to_json(&rdbsc_obs::collect_spans(trace)),
+                ),
+            ]);
+            Ok(Response::json(200, body.to_string_compact()))
+        }
+
         (Method::Get, "/snapshot") => Ok(Response::json(
             200,
             SnapshotDto::from_snapshot(&shared.handle.snapshot())
@@ -635,8 +745,17 @@ fn route(
                     expected: "a finite number",
                 });
             }
+            let tick_started = std::time::Instant::now();
             let report = shared.batcher.flush_and_tick(&shared.handle, now);
             shared.metrics.batch_flushes.incr();
+            let elapsed = tick_started.elapsed();
+            shared.metrics.tick_latency.record(elapsed);
+            shared.metrics.observe_tick(
+                shared.handle.last_trace(),
+                report.now,
+                elapsed.as_micros().min(u64::MAX as u128) as u64,
+                &report.stages,
+            );
             Ok(Response::json(
                 200,
                 TickDto::from_report(&report).to_json().to_string_compact(),
@@ -653,7 +772,14 @@ fn route(
         }
 
         (method, path) => {
-            let known_get = ["/healthz", "/metrics", "/snapshot", "/assignments"];
+            let known_get = [
+                "/healthz",
+                "/metrics",
+                "/snapshot",
+                "/assignments",
+                "/debug/slow-ticks",
+                "/debug/spans",
+            ];
             let known_post = [
                 "/tasks",
                 "/tasks/expire",

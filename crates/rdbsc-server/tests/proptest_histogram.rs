@@ -1,0 +1,110 @@
+//! Property tests for the log-bucketed [`LatencyHistogram`]: percentile
+//! estimates always land inside the bucket holding the true order
+//! statistic (so p50/p99 are bounded by the true quantile's bucket edges),
+//! and merging per-partition histograms is exact — indistinguishable from
+//! one histogram that saw the concatenated stream.
+
+use proptest::prelude::*;
+use rdbsc_obs::{LatencyHistogram, BUCKET_BOUNDS_US};
+
+/// The half-open bucket `value` falls into: `(lower, upper_bound_index)`.
+/// `upper_bound_index == BUCKET_BOUNDS_US.len()` marks the overflow bucket.
+fn bucket_of(value: u64) -> usize {
+    BUCKET_BOUNDS_US
+        .iter()
+        .position(|bound| value <= *bound)
+        .unwrap_or(BUCKET_BOUNDS_US.len())
+}
+
+/// The same rank the histogram uses: ceil(p% of n), at least 1.
+fn true_rank(p: f64, n: usize) -> usize {
+    ((p / 100.0 * n as f64).ceil().max(1.0) as usize).min(n)
+}
+
+/// Sample values spanning every decade the bucket grid covers, plus the
+/// overflow region past the last bound.
+fn sample_us() -> impl Strategy<Value = u64> {
+    (0u32..7, 1u64..1000).prop_map(|(decade, mantissa)| {
+        // decades 0..6 → 1µs .. ~1000s; the last bound is 60s so the top
+        // decade exercises the overflow bucket.
+        mantissa * 10u64.pow(decade)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any stream, the p50/p90/p99 estimates are bounded by the edges
+    /// of the bucket containing the *true* quantile of the stream: the
+    /// log-bucket approximation never reports a value from the wrong
+    /// bucket.
+    #[test]
+    fn percentiles_bound_true_quantiles(
+        samples in proptest::collection::vec(sample_us(), 1..300),
+    ) {
+        let h = LatencyHistogram::default();
+        for s in &samples {
+            h.record_us(*s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [50.0, 90.0, 99.0] {
+            let truth = sorted[true_rank(p, sorted.len()) - 1];
+            let bucket = bucket_of(truth);
+            let lower = if bucket == 0 { 0 } else { BUCKET_BOUNDS_US[bucket - 1] };
+            let upper = if bucket < BUCKET_BOUNDS_US.len() {
+                BUCKET_BOUNDS_US[bucket]
+            } else {
+                *sorted.last().unwrap() // overflow bucket is capped by max
+            };
+            let est = h.percentile_us(p);
+            prop_assert!(
+                est >= lower as f64 && est <= upper as f64,
+                "p{p}: estimate {est} outside bucket [{lower}, {upper}] of true quantile {truth}"
+            );
+        }
+        // The estimate never exceeds the stream's maximum.
+        prop_assert!(h.percentile_us(99.0) <= *sorted.last().unwrap() as f64);
+        prop_assert_eq!(h.max_us(), *sorted.last().unwrap());
+        prop_assert_eq!(h.count(), sorted.len() as u64);
+        prop_assert_eq!(h.sum_us(), sorted.iter().sum::<u64>());
+    }
+
+    /// Merging is exact: `a.merge_from(&b)` leaves `a` indistinguishable —
+    /// bucket counts, count, sum, max, and every percentile — from a
+    /// histogram that recorded the concatenation of both streams.
+    #[test]
+    fn merge_equals_concatenated_stream(
+        left in proptest::collection::vec(sample_us(), 0..150),
+        right in proptest::collection::vec(sample_us(), 0..150),
+    ) {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        let direct = LatencyHistogram::default();
+        for s in &left {
+            a.record_us(*s);
+            direct.record_us(*s);
+        }
+        for s in &right {
+            b.record_us(*s);
+            direct.record_us(*s);
+        }
+        a.merge_from(&b);
+        prop_assert_eq!(a.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(a.count(), direct.count());
+        prop_assert_eq!(a.sum_us(), direct.sum_us());
+        prop_assert_eq!(a.max_us(), direct.max_us());
+        for p in [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(a.percentile_us(p), direct.percentile_us(p));
+        }
+        // Merging in the other order gives the same totals too.
+        let c = LatencyHistogram::default();
+        for s in &right {
+            c.record_us(*s);
+        }
+        for s in &left {
+            c.record_us(*s);
+        }
+        prop_assert_eq!(c.bucket_counts(), direct.bucket_counts());
+    }
+}

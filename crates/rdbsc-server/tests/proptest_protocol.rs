@@ -72,12 +72,14 @@ proptest! {
     fn submit_round_trips(
         request_id in 0u64..(1 << 53),
         events in proptest::collection::vec(event(), 0..12),
+        trace in (0u64..=u64::MAX).prop_map(|t| if t % 4 == 0 { 0 } else { t }),
     ) {
-        let wire = submit_to_json(request_id, &events).to_string_compact();
-        let (rid, decoded) = submit_from_json(&parse(&wire).unwrap()).unwrap();
+        let wire = submit_to_json(request_id, &events, trace).to_string_compact();
+        let (rid, decoded, echoed_trace) = submit_from_json(&parse(&wire).unwrap()).unwrap();
         prop_assert_eq!(rid, request_id);
+        prop_assert_eq!(echoed_trace, trace);
         prop_assert_eq!(decoded.len(), events.len());
-        let rewire = submit_to_json(request_id, &decoded).to_string_compact();
+        let rewire = submit_to_json(request_id, &decoded, echoed_trace).to_string_compact();
         prop_assert_eq!(rewire, wire, "decode must invert encode exactly");
     }
 
@@ -92,6 +94,8 @@ proptest! {
         shard_seconds in proptest::collection::vec(0.0f64..10.0, 0..6),
         committed in proptest::collection::vec(0u32..=u32::MAX, 0..8),
         strategy_picks in proptest::collection::vec(0usize..4, 0..6),
+        stage_us in proptest::collection::vec(0u64..(1 << 40), 6),
+        trace in (0u64..=u64::MAX).prop_map(|t| if t % 4 == 0 { 0 } else { t }),
     ) {
         let strategies: Vec<&'static str> = strategy_picks
             .iter()
@@ -117,8 +121,12 @@ proptest! {
                     cells_repaired: counts[0],
                     tcell_rebuilds: counts[1],
                 },
+                stages: rdbsc_obs::StageTimings::from_values([
+                    stage_us[0], stage_us[1], stage_us[2], stage_us[3], stage_us[4], stage_us[5],
+                ]),
             },
             committed: committed.iter().copied().map(WorkerId).collect(),
+            trace,
         };
         let dto = TickReplyDto::from_tick(request_id, &tick);
         let wire = dto.to_json().to_string_compact();
@@ -130,6 +138,8 @@ proptest! {
         prop_assert_eq!(rebuilt.report.shard_solve_seconds, shard_seconds);
         prop_assert_eq!(rebuilt.committed, tick.committed);
         prop_assert_eq!(rebuilt.report.events_applied, tick.report.events_applied);
+        prop_assert_eq!(rebuilt.report.stages, tick.report.stages);
+        prop_assert_eq!(rebuilt.trace, trace);
     }
 
     /// Routing tables round-trip with the region geometry — and therefore
