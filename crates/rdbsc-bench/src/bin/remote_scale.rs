@@ -1,25 +1,30 @@
 //! Remote-partition benchmark: the partition protocol's wire overhead and
 //! its cross-process determinism contract, measured end to end.
 //!
-//! Replays one deterministic scripted metro timeline through five
-//! topologies, **same seed everywhere**:
+//! Replays one deterministic scripted metro timeline through seven
+//! topologies, **same seed everywhere** — every remote topology runs A/B
+//! under both wire transports:
 //!
 //! | label | topology |
 //! |---|---|
 //! | `plain` | a bare `AssignmentEngine`, no router |
 //! | `1p-local` | router + 1 in-process partition |
-//! | `1p-remote` | router + 1 `rdbsc-partitiond` daemon (loopback HTTP) |
+//! | `1p-remote-http` | router + 1 `rdbsc-partitiond` daemon, HTTP/JSON |
+//! | `1p-remote` | router + 1 daemon, pipelined binary frames |
 //! | `2p-local` | router + 2 in-process partitions |
-//! | `2p-mixed` | router + 1 in-process + 1 daemon |
+//! | `2p-mixed-http` | router + 1 in-process + 1 daemon, HTTP/JSON |
+//! | `2p-mixed` | router + 1 in-process + 1 daemon, binary frames |
 //!
 //! Determinism is asserted by FNV digests over every committed pair's ids
-//! *and float bit patterns*: `plain == 1p-local == 1p-remote` (a remote
-//! partition is byte-identical to the plain engine) and
-//! `2p-local == 2p-mixed` (a mixed topology is byte-identical to the
-//! all-in-process router). The wall ratios `1p-remote / 1p-local` and
-//! `2p-mixed / 2p-local` are the protocol's measured router overhead, and
-//! each remote client's protocol counters (requests, bytes, command
-//! latency percentiles) are recorded alongside.
+//! *and float bit patterns*: `plain == 1p-local == 1p-remote-http ==
+//! 1p-remote` (a remote partition is byte-identical to the plain engine,
+//! on either transport) and `2p-local == 2p-mixed-http == 2p-mixed` (a
+//! mixed topology is byte-identical to the all-in-process router — and the
+//! two transports are byte-identical to *each other*). The wall ratios
+//! `1p-remote / 1p-local` and `2p-mixed / 2p-local` are the protocol's
+//! measured router overhead per transport, and each remote client's
+//! protocol counters (requests, frames, bytes, command latency
+//! percentiles) are recorded alongside.
 //!
 //! ```text
 //! cargo run --release -p rdbsc-bench --bin remote_scale -- --json BENCH_remote.json
@@ -41,7 +46,9 @@ use rdbsc_platform::{
     PartitionedEngine, ProtocolStats,
 };
 use rdbsc_server::json::Json;
-use rdbsc_server::{connect_remote_partition, PartitionDaemon, PartitiondConfig};
+use rdbsc_server::{
+    connect_remote_partition, PartitionDaemon, PartitiondConfig, RemoteTransport,
+};
 use rdbsc_workloads::{generate_metro_instance, MetroConfig};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -222,6 +229,9 @@ struct RunResult {
     answers: u64,
     handoffs: u64,
     digest: u64,
+    /// The wire transport the remote clients actually negotiated (`None`
+    /// for local-only runs).
+    remote_kind: Option<String>,
     /// Protocol stats of the remote clients (empty for local-only runs),
     /// captured right before shutdown.
     remote_stats: Vec<ProtocolStats>,
@@ -259,18 +269,20 @@ fn run_plain(args: &Args, script: &Script) -> RunResult {
         answers,
         handoffs: 0,
         digest,
+        remote_kind: None,
         remote_stats: Vec::new(),
     }
 }
 
 /// A routed topology: `partitions` regions, the first `remote` of them on
-/// freshly spawned loopback daemons.
+/// freshly spawned loopback daemons reached over `transport`.
 fn run_routed(
     args: &Args,
     script: &Script,
     label: &'static str,
     partitions: usize,
     remote: usize,
+    transport: RemoteTransport,
 ) -> RunResult {
     let geometry = GridGeometry::new(Rect::unit(), CELL_SIZE);
     let partition = if partitions == 1 {
@@ -301,6 +313,7 @@ fn run_routed(
                 CELL_SIZE,
                 &engine_config,
                 None,
+                transport,
             )
             .expect("daemon handshake");
             daemons.push(daemon);
@@ -332,12 +345,14 @@ fn run_routed(
     }
     let seconds = started.elapsed().as_secs_f64();
     let handoffs = engine.handoffs();
-    let remote_stats: Vec<ProtocolStats> = engine
+    let remote_transports: Vec<_> = engine
         .transport_stats()
         .into_iter()
-        .filter(|t| t.kind == "http")
-        .map(|t| t.stats)
+        .filter(|t| t.kind != "in-process")
         .collect();
+    let remote_kind = remote_transports.first().map(|t| t.kind.to_string());
+    let remote_stats: Vec<ProtocolStats> =
+        remote_transports.into_iter().map(|t| t.stats).collect();
     engine.shutdown(); // drains + stops local threads and daemons alike
     for daemon in daemons {
         daemon.join();
@@ -349,6 +364,7 @@ fn run_routed(
         answers,
         handoffs,
         digest,
+        remote_kind,
         remote_stats,
     }
 }
@@ -363,14 +379,16 @@ fn main() {
 
     let runs = vec![
         run_plain(&args, &script),
-        run_routed(&args, &script, "1p-local", 1, 0),
-        run_routed(&args, &script, "1p-remote", 1, 1),
-        run_routed(&args, &script, "2p-local", 2, 0),
-        run_routed(&args, &script, "2p-mixed", 2, 1),
+        run_routed(&args, &script, "1p-local", 1, 0, RemoteTransport::Binary),
+        run_routed(&args, &script, "1p-remote-http", 1, 1, RemoteTransport::Http),
+        run_routed(&args, &script, "1p-remote", 1, 1, RemoteTransport::Binary),
+        run_routed(&args, &script, "2p-local", 2, 0, RemoteTransport::Binary),
+        run_routed(&args, &script, "2p-mixed-http", 2, 1, RemoteTransport::Http),
+        run_routed(&args, &script, "2p-mixed", 2, 1, RemoteTransport::Binary),
     ];
     for r in &runs {
         print!(
-            "{:>9}: {:>7.3}s  {:>7.0} events/s  {} assignments, {} answers, {} handoffs, digest {:#018x}",
+            "{:>14}: {:>7.3}s  {:>7.0} events/s  {} assignments, {} answers, {} handoffs, digest {:#018x}",
             r.label,
             r.seconds,
             script.total_events as f64 / r.seconds,
@@ -381,7 +399,8 @@ fn main() {
         );
         if let Some(stats) = r.remote_stats.first() {
             print!(
-                "  [wire: {} cmds, p50 {:.0}us p99 {:.0}us, {:.1} MB out / {:.1} MB in]",
+                "  [{}: {} cmds, p50 {:.0}us p99 {:.0}us, {:.1} MB out / {:.1} MB in]",
+                r.remote_kind.as_deref().unwrap_or("wire"),
                 stats.requests,
                 stats.latency_p50_us,
                 stats.latency_p99_us,
@@ -395,9 +414,10 @@ fn main() {
     let by_label = |label: &str| runs.iter().find(|r| r.label == label).expect("run exists");
     let mut failures: Vec<String> = Vec::new();
 
-    // The determinism contract, over the wire.
+    // The determinism contract, over the wire — on both transports, which
+    // also proves the transports byte-identical to each other.
     let plain = by_label("plain");
-    for label in ["1p-local", "1p-remote"] {
+    for label in ["1p-local", "1p-remote-http", "1p-remote"] {
         let run = by_label(label);
         if run.digest != plain.digest {
             failures.push(format!(
@@ -406,15 +426,32 @@ fn main() {
             ));
         }
     }
-    if by_label("2p-mixed").digest != by_label("2p-local").digest {
-        failures.push(format!(
-            "2p-mixed digest {:#x} diverges from 2p-local {:#x}",
-            by_label("2p-mixed").digest,
-            by_label("2p-local").digest
-        ));
+    for label in ["2p-mixed-http", "2p-mixed"] {
+        if by_label(label).digest != by_label("2p-local").digest {
+            failures.push(format!(
+                "{label} digest {:#x} diverges from 2p-local {:#x}",
+                by_label(label).digest,
+                by_label("2p-local").digest
+            ));
+        }
+        if by_label(label).handoffs != by_label("2p-local").handoffs {
+            failures.push(format!("{label} handoff count differs across transports"));
+        }
     }
-    if by_label("2p-mixed").handoffs != by_label("2p-local").handoffs {
-        failures.push("handoff counts differ across transports".into());
+    // The negotiated transport must be what each A/B arm asked for — a
+    // silent fallback would fake the comparison.
+    for (label, expected) in [
+        ("1p-remote-http", "http"),
+        ("1p-remote", "binary"),
+        ("2p-mixed-http", "http"),
+        ("2p-mixed", "binary"),
+    ] {
+        let got = by_label(label).remote_kind.as_deref();
+        if got != Some(expected) {
+            failures.push(format!(
+                "{label} negotiated transport {got:?}, expected {expected:?}"
+            ));
+        }
     }
     for r in &runs {
         if r.assignments == 0 {
@@ -426,15 +463,24 @@ fn main() {
     }
     if failures.is_empty() {
         println!(
-            "determinism: PASS (1 remote partition == plain engine; mixed == all-in-process)"
+            "determinism: PASS (1 remote partition == plain engine; mixed == all-in-process; \
+             http == binary)"
         );
     }
 
     let overhead_1p = by_label("1p-remote").seconds / by_label("1p-local").seconds.max(1e-12);
     let overhead_2p = by_label("2p-mixed").seconds / by_label("2p-local").seconds.max(1e-12);
+    let overhead_1p_http =
+        by_label("1p-remote-http").seconds / by_label("1p-local").seconds.max(1e-12);
+    let overhead_2p_http =
+        by_label("2p-mixed-http").seconds / by_label("2p-local").seconds.max(1e-12);
     println!(
-        "router overhead: 1p-remote/1p-local {overhead_1p:.2}x, 2p-mixed/2p-local {overhead_2p:.2}x \
-         (loopback HTTP vs channel transport)"
+        "router overhead (binary): 1p-remote/1p-local {overhead_1p:.2}x, \
+         2p-mixed/2p-local {overhead_2p:.2}x"
+    );
+    println!(
+        "router overhead (http):   1p-remote/1p-local {overhead_1p_http:.2}x, \
+         2p-mixed/2p-local {overhead_2p_http:.2}x"
     );
 
     if let Some(path) = &args.json_path {
@@ -461,11 +507,22 @@ fn main() {
                     pairs.push((
                         "wire",
                         Json::obj([
+                            (
+                                "transport",
+                                Json::Str(
+                                    r.remote_kind.clone().unwrap_or_else(|| "?".into()),
+                                ),
+                            ),
                             ("commands", Json::Num(stats.requests as f64)),
                             ("retries", Json::Num(stats.retries as f64)),
                             ("reconnects", Json::Num(stats.reconnects as f64)),
                             ("bytes_sent", Json::Num(stats.bytes_sent as f64)),
                             ("bytes_received", Json::Num(stats.bytes_received as f64)),
+                            ("frames_sent", Json::Num(stats.frames_sent as f64)),
+                            (
+                                "frames_received",
+                                Json::Num(stats.frames_received as f64),
+                            ),
                             ("latency_p50_us", Json::Num(stats.latency_p50_us)),
                             ("latency_p99_us", Json::Num(stats.latency_p99_us)),
                         ]),
@@ -489,6 +546,8 @@ fn main() {
             ("engine_parallelism", Json::Num(1.0)),
             ("router_overhead_1p", Json::Num(overhead_1p)),
             ("router_overhead_2p", Json::Num(overhead_2p)),
+            ("router_overhead_1p_http", Json::Num(overhead_1p_http)),
+            ("router_overhead_2p_http", Json::Num(overhead_2p_http)),
             (
                 "determinism",
                 Json::Str(if failures.is_empty() { "pass".into() } else { "fail".into() }),

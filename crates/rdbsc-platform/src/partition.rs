@@ -168,6 +168,14 @@ pub struct PartitionedEngine {
     /// Events routed to a partition after it was marked unhealthy — dropped
     /// instead of shipped, and surfaced so operators can size the loss.
     events_dropped: u64,
+    /// Submits dispatched to pipelining clients whose replies are still on
+    /// the wire: `(slot, batch_len)`. A pipelining transport preserves
+    /// per-connection order, so the router leaves the submit unconfirmed,
+    /// streams the same slot's tick command behind it, and collects both
+    /// replies together — one round trip per round instead of two. At most
+    /// one entry per slot (the depth cap): the next dispatch to a slot
+    /// collects the previous reply first.
+    pending_submits: Vec<(usize, u64)>,
     /// The most recent tick time (what the graceful-shutdown drain tick
     /// runs at).
     last_now: f64,
@@ -200,6 +208,7 @@ impl PartitionedEngine {
             handoffs: 0,
             health,
             events_dropped: 0,
+            pending_submits: Vec::new(),
             last_now: 0.0,
             last_trace: 0,
             shut: false,
@@ -317,7 +326,11 @@ impl PartitionedEngine {
 
     /// Ships every buffered event, one split-phase submit per partition:
     /// all dispatches go out before any completion is awaited, so remote
-    /// partitions ingest concurrently.
+    /// partitions ingest concurrently. For pipelining clients the
+    /// completion is deferred entirely ([`Self::pending_submits`]): the
+    /// reply is collected just before the slot's next command dispatch, so
+    /// a submit-then-tick round writes both commands before reading
+    /// anything.
     fn flush_outbox(&mut self) {
         let mut inflight = Vec::new();
         for slot in 0..self.outbox.len() {
@@ -329,18 +342,52 @@ impl PartitionedEngine {
                 self.events_dropped += batch.len() as u64;
                 continue;
             }
+            // Depth cap: collect the slot's previous pipelined submit (if
+            // any) before dispatching the next one.
+            self.finish_pending_submit(slot);
+            if !self.healthy(slot) {
+                self.events_dropped += batch.len() as u64;
+                continue;
+            }
             let batch_len = batch.len() as u64;
             if let Err(e) = self.clients[slot].begin_submit(batch) {
                 self.mark_unhealthy(slot, e);
                 self.events_dropped += batch_len;
                 continue;
             }
-            inflight.push((slot, batch_len));
+            if self.clients[slot].supports_pipelining() {
+                self.pending_submits.push((slot, batch_len));
+            } else {
+                inflight.push((slot, batch_len));
+            }
         }
         for (slot, batch_len) in inflight {
             if let Err(e) = self.clients[slot].finish_submit() {
                 // Unconfirmed means unapplied as far as the router can
                 // know: count the batch lost.
+                self.mark_unhealthy(slot, e);
+                self.events_dropped += batch_len;
+            }
+        }
+    }
+
+    /// Collects `slot`'s deferred pipelined submit reply, if one is
+    /// outstanding, with the same loss accounting as an eager completion.
+    fn finish_pending_submit(&mut self, slot: usize) {
+        let Some(pos) = self.pending_submits.iter().position(|(s, _)| *s == slot) else {
+            return;
+        };
+        let (_, batch_len) = self.pending_submits.remove(pos);
+        if let Err(e) = self.clients[slot].finish_submit() {
+            self.mark_unhealthy(slot, e);
+            self.events_dropped += batch_len;
+        }
+    }
+
+    /// Collects every outstanding pipelined submit reply.
+    fn finish_all_pending_submits(&mut self) {
+        for (slot, batch_len) in std::mem::take(&mut self.pending_submits) {
+            if let Err(e) = self.clients[slot].finish_submit() {
                 self.mark_unhealthy(slot, e);
                 self.events_dropped += batch_len;
             }
@@ -535,8 +582,16 @@ impl PartitionedEngine {
                 Err(e) => self.mark_unhealthy(slot, e),
             }
         }
+        // Pipelined submit replies are collected only now, after the tick
+        // fan-out: each connection's submit reply precedes its tick reply
+        // (FIFO), and deferring the read this far means the submit round
+        // trips overlapped with every partition's solve.
+        self.finish_all_pending_submits();
         let mut results = Vec::with_capacity(ticking.len());
         for slot in ticking {
+            if !self.healthy(slot) {
+                continue;
+            }
             match self.clients[slot].finish_tick() {
                 Ok(reply) => results.push(reply),
                 Err(e) => self.mark_unhealthy(slot, e),
@@ -755,6 +810,7 @@ impl PartitionedEngine {
     pub fn shutdown(&mut self) -> EngineSnapshot {
         assert!(!self.shut, "PartitionedEngine::shutdown called twice");
         self.flush_outbox();
+        self.finish_all_pending_submits();
         if self.is_active() {
             // The drain tick: applies whatever the queues hold and fires
             // any deferred handoffs whose commitment has cleared. Re-using

@@ -145,6 +145,10 @@ pub struct ProtocolCounters {
     pub bytes_sent: Counter,
     /// Response bytes read from the transport (0 for in-process).
     pub bytes_received: Counter,
+    /// Binary frames written (0 for in-process and HTTP backends).
+    pub frames_sent: Counter,
+    /// Binary frames read (0 for in-process and HTTP backends).
+    pub frames_received: Counter,
     /// Per-command latency (dispatch to reply, including the engine work).
     pub command_latency: LatencyHistogram,
 }
@@ -162,6 +166,10 @@ pub struct ProtocolStats {
     pub bytes_sent: u64,
     /// Response bytes read.
     pub bytes_received: u64,
+    /// Binary frames written.
+    pub frames_sent: u64,
+    /// Binary frames read.
+    pub frames_received: u64,
     /// Median command latency (µs).
     pub latency_p50_us: f64,
     /// 99th-percentile command latency (µs).
@@ -179,6 +187,8 @@ impl ProtocolCounters {
             reconnects: self.reconnects.get(),
             bytes_sent: self.bytes_sent.get(),
             bytes_received: self.bytes_received.get(),
+            frames_sent: self.frames_sent.get(),
+            frames_received: self.frames_received.get(),
             latency_p50_us: self.command_latency.percentile_us(50.0),
             latency_p99_us: self.command_latency.percentile_us(99.0),
             latency_max_us: self.command_latency.max_us(),
@@ -193,7 +203,7 @@ impl ProtocolCounters {
 /// thread, and a `begin_*` must be paired with its `finish_*` before any
 /// other command is issued on the same client.
 pub trait PartitionClient: Send {
-    /// The backend kind: `"in-process"` or `"http"`.
+    /// The backend kind: `"in-process"`, `"http"` or `"binary"`.
     fn kind(&self) -> &'static str;
 
     /// Where the partition lives (thread label or network address).
@@ -201,6 +211,18 @@ pub trait PartitionClient: Send {
 
     /// The client's protocol counters (shared, lock-free).
     fn counters(&self) -> Arc<ProtocolCounters>;
+
+    /// May the router leave this client's `begin_submit` unfinished while
+    /// it issues the same slot's `begin_tick`? Pipelining backends answer
+    /// `true`: their transport preserves per-connection command order and
+    /// pairs replies to requests by id, so the router can stream a round's
+    /// submit **and** tick frames to every partition before reading any
+    /// reply. The default is `false` — one split-phase command in flight
+    /// at a time, the contract every pre-pipelining backend was written
+    /// against.
+    fn supports_pipelining(&self) -> bool {
+        false
+    }
 
     /// Sets the trace id subsequent submit/tick commands are attributed to
     /// (`0` = untraced). Purely observational — backends propagate the id

@@ -62,8 +62,9 @@ pub struct HttpClient {
     /// Whether the connection carrying the in-flight request was opened for
     /// it (fresh) or reused from a previous exchange.
     sent_on_reused: bool,
-    /// The wire bytes of the in-flight request, kept for the stale retry.
-    inflight: Option<Vec<u8>>,
+    /// The in-flight request's `(head, body)` wire bytes, kept for the
+    /// stale retry (re-sent with the same vectored write).
+    inflight: Option<(Vec<u8>, Vec<u8>)>,
     /// Connections opened over the client's lifetime.
     connections_opened: u64,
     counters: Option<Arc<ProtocolCounters>>,
@@ -132,13 +133,16 @@ impl HttpClient {
         Ok(self.stream.as_mut().expect("connection just set"))
     }
 
-    /// Writes `wire` on the current (or a fresh) connection, reconnecting
-    /// and re-writing once if a *reused* connection fails mid-write.
-    fn write_wire(&mut self, wire: &[u8]) -> Result<(), ServerError> {
+    /// Writes `head` then `body` on the current (or a fresh) connection
+    /// with one vectored write (no concatenation copy, and both parts leave
+    /// in a single syscall — see `http::write_response` on Nagle),
+    /// reconnecting and re-writing once if a *reused* connection fails
+    /// mid-write.
+    fn write_wire(&mut self, head: &[u8], body: &[u8]) -> Result<(), ServerError> {
         let reused = self.stream.is_some() && self.exchanged;
         let result = (|| -> std::io::Result<()> {
             let stream = self.connection()?.get_mut();
-            stream.write_all(wire)?;
+            crate::frame::write_all_vectored(stream, head, body)?;
             stream.flush()
         })();
         match result {
@@ -153,7 +157,7 @@ impl HttpClient {
                     c.retries.incr();
                 }
                 let stream = self.connection()?.get_mut();
-                stream.write_all(wire)?;
+                crate::frame::write_all_vectored(stream, head, body)?;
                 stream.flush()?;
                 self.sent_on_reused = false;
             }
@@ -163,7 +167,7 @@ impl HttpClient {
             }
         }
         if let Some(c) = &self.counters {
-            c.bytes_sent.add(wire.len() as u64);
+            c.bytes_sent.add((head.len() + body.len()) as u64);
         }
         Ok(())
     }
@@ -176,16 +180,14 @@ impl HttpClient {
         path: &str,
         body: Option<String>,
     ) -> Result<(), ServerError> {
-        let body = body.unwrap_or_default();
-        // One write for head + body (see `http::write_response` on Nagle).
-        let mut wire = format!(
+        let body = body.unwrap_or_default().into_bytes();
+        let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: rdbsc\r\ncontent-length: {}\r\n\r\n",
             body.len()
         )
         .into_bytes();
-        wire.extend_from_slice(body.as_bytes());
-        self.write_wire(&wire)?;
-        self.inflight = Some(wire);
+        self.write_wire(&head, &body)?;
+        self.inflight = Some((head, body));
         Ok(())
     }
 
@@ -200,7 +202,7 @@ impl HttpClient {
                 outcome
             }
             Err(StaleConnection) => {
-                let wire = self.inflight.take().ok_or_else(|| {
+                let (head, body) = self.inflight.take().ok_or_else(|| {
                     ServerError::BadRequest(
                         "server closed the connection before responding".into(),
                     )
@@ -209,7 +211,7 @@ impl HttpClient {
                 if let Some(c) = &self.counters {
                     c.retries.incr();
                 }
-                self.write_wire(&wire)?;
+                self.write_wire(&head, &body)?;
                 match self.receive_inner() {
                     Ok(outcome) => outcome,
                     Err(StaleConnection) => {
@@ -435,6 +437,23 @@ mod tests {
         let mut client = HttpClient::new(addr);
         assert!(client.get("/a").unwrap().is_success());
         assert!(client.is_connected(), "keep-alive token list must be seen");
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn client_connections_enable_nodelay() {
+        // Regression: the split-phase partition protocol writes a frame and
+        // may not read for a while — a Nagle-delayed request would stall
+        // every pipelined round by ~40 ms.
+        let (addr, server) = scripted_server(vec![canned("{}", None)]);
+        let mut client = HttpClient::new(addr);
+        assert!(client.get("/a").unwrap().is_success());
+        let stream = client.stream.as_ref().expect("keep-alive connection cached");
+        assert!(
+            stream.get_ref().nodelay().unwrap(),
+            "client sockets must disable Nagle"
+        );
         drop(client);
         server.join().unwrap();
     }

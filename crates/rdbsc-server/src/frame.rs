@@ -1,0 +1,1333 @@
+//! Length-prefixed binary framing for the partition protocol — the hot
+//! command path between router and `rdbsc-partitiond` daemons.
+//!
+//! HTTP+JSON (the [`crate::protocol`] module) stays the debuggable
+//! fallback; this codec carries the *same* command surface with none of the
+//! text-path costs: floats travel as their IEEE-754 bit patterns verbatim
+//! (no shortest-round-trip formatting, no re-parse), integers are
+//! little-endian fixed-width, and every frame is length-prefixed so the
+//! reader never scans for delimiters.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//!   offset  size  field
+//!   0       2     magic 0xB5 0xDC   (0xB5 is non-ASCII: one byte is
+//!                                    enough to tell a frame from "GET "
+//!                                    or "POST" on a shared listener)
+//!   2       1     frame version (1)
+//!   3       1     command tag
+//!   4       8     request id, u64 LE
+//!   12      4     payload length, u32 LE
+//!   16      ...   payload
+//! ```
+//!
+//! Request tags are `0x01..=0x0A`; the matching reply tag is the request
+//! tag with the high bit set (`0x81..=0x8A`), and `0xFF` is the error
+//! reply (status + detail, mirroring the HTTP status the JSON path would
+//! have answered). The request id is echoed in the reply header, which is
+//! what makes **pipelining** safe: a client may write several frames
+//! before reading any reply, and replies come back in order, each naming
+//! the request it answers.
+//!
+//! The decoder is hostile-input safe by construction: every read is
+//! bounds-checked against the declared payload, collection counts are
+//! validated against the bytes actually present before any allocation,
+//! and trailing garbage fails the frame. Malformed frames produce
+//! [`FrameError::Malformed`], never a panic (property-tested in
+//! `tests/proptest_frame.rs`).
+
+use crate::dto::{
+    AnswerDto, AssignmentDto, HeartbeatDto, SnapshotDto, TaskDto, WalStatsDto, WorkerDto,
+};
+use crate::protocol::{EventDto, TickReplyDto};
+use std::io::{BufRead, Write};
+
+/// The two magic bytes opening every frame.
+pub const MAGIC: [u8; 2] = [0xB5, 0xDC];
+/// The framing revision (independent of the logical
+/// `rdbsc_platform::PROTOCOL_VERSION`, which governs command semantics).
+pub const FRAME_VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Request command tags.
+pub mod tag {
+    /// `submit` — a routed event batch.
+    pub const SUBMIT: u8 = 0x01;
+    /// `tick` — one lockstep engine round.
+    pub const TICK: u8 = 0x02;
+    /// `answer` — bank an en-route worker's answer.
+    pub const ANSWER: u8 = 0x03;
+    /// `release` — release an en-route worker.
+    pub const RELEASE: u8 = 0x04;
+    /// `assignments` — the standing committed pairs.
+    pub const ASSIGNMENTS: u8 = 0x05;
+    /// `snapshot` — the partition's serving state.
+    pub const SNAPSHOT: u8 = 0x06;
+    /// `is_active` — pending events or live tasks?
+    pub const IS_ACTIVE: u8 = 0x07;
+    /// `has_worker` — residency probe.
+    pub const HAS_WORKER: u8 = 0x08;
+    /// `drain` — stop taking new commands.
+    pub const DRAIN: u8 = 0x09;
+    /// `shutdown` — stop the daemon.
+    pub const SHUTDOWN: u8 = 0x0A;
+    /// Reply tags set the high bit of their request tag.
+    pub const REPLY: u8 = 0x80;
+    /// The error reply (any request may answer with it).
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The transport failed mid-frame.
+    Io(std::io::Error),
+    /// The bytes are not a valid frame (bad magic/version/tag, truncated
+    /// or oversized payload, malformed field).
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o failed: {e}"),
+            FrameError::Malformed(detail) => write!(f, "malformed frame: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+fn malformed(detail: impl Into<String>) -> FrameError {
+    FrameError::Malformed(detail.into())
+}
+
+/// A frame as read off the wire, before command decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawFrame {
+    /// The command tag.
+    pub tag: u8,
+    /// The request id.
+    pub request_id: u64,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Builds the 16-byte header for a frame.
+pub fn header(tag: u8, request_id: u64, payload_len: usize) -> [u8; HEADER_LEN] {
+    let mut head = [0u8; HEADER_LEN];
+    head[0..2].copy_from_slice(&MAGIC);
+    head[2] = FRAME_VERSION;
+    head[3] = tag;
+    head[4..12].copy_from_slice(&request_id.to_le_bytes());
+    head[12..16].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    head
+}
+
+/// Writes `head` then `body` in full, using vectored writes so both land
+/// in one syscall when the transport accepts them together. Loops on
+/// partial writes (re-slicing by hand — no unstable `IoSlice` advancing),
+/// and treats a zero-length write as the peer gone.
+pub fn write_all_vectored<W: Write>(w: &mut W, head: &[u8], body: &[u8]) -> std::io::Result<()> {
+    let (mut head, mut body) = (head, body);
+    while !head.is_empty() || !body.is_empty() {
+        let n = if head.is_empty() {
+            w.write(body)?
+        } else {
+            w.write_vectored(&[std::io::IoSlice::new(head), std::io::IoSlice::new(body)])?
+        };
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "peer stopped accepting bytes mid-frame",
+            ));
+        }
+        let from_head = n.min(head.len());
+        head = &head[from_head..];
+        body = &body[n - from_head..];
+    }
+    Ok(())
+}
+
+/// Writes one frame (header + payload, vectored) and returns the bytes
+/// put on the wire. The caller flushes.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    tag: u8,
+    request_id: u64,
+    payload: &[u8],
+) -> std::io::Result<usize> {
+    let head = header(tag, request_id, payload.len());
+    write_all_vectored(w, &head, payload)?;
+    Ok(HEADER_LEN + payload.len())
+}
+
+/// Reads one frame. `Ok(None)` on a clean end-of-stream before any header
+/// byte (the peer hung up between commands); a payload longer than
+/// `max_payload` is malformed — the reader never allocates more than the
+/// cap for a single frame.
+pub fn read_raw<R: BufRead>(
+    reader: &mut R,
+    max_payload: usize,
+) -> Result<Option<RawFrame>, FrameError> {
+    let mut head = [0u8; HEADER_LEN];
+    // Distinguish "no next frame" from "died mid-header" by hand: a clean
+    // EOF on the first byte ends the connection, anything partial is an
+    // error.
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = reader.read(&mut head[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(malformed(format!(
+                "eof after {filled} of {HEADER_LEN} header bytes"
+            )));
+        }
+        filled += n;
+    }
+    if head[0..2] != MAGIC {
+        return Err(malformed(format!(
+            "bad magic {:#04x} {:#04x}",
+            head[0], head[1]
+        )));
+    }
+    if head[2] != FRAME_VERSION {
+        return Err(malformed(format!(
+            "frame version {} but this build speaks {FRAME_VERSION}",
+            head[2]
+        )));
+    }
+    let tag = head[3];
+    let request_id = u64::from_le_bytes(head[4..12].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(head[12..16].try_into().expect("4 bytes")) as usize;
+    if len > max_payload {
+        return Err(malformed(format!(
+            "payload of {len} bytes exceeds the {max_payload}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            malformed(format!("eof inside a {len}-byte payload"))
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    Ok(Some(RawFrame {
+        tag,
+        request_id,
+        payload,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Payload primitives.
+
+/// Little-endian payload writer — thin helpers over a `Vec<u8>`.
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn new() -> Self {
+        Enc(Vec::new())
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.0.push(v as u8);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    /// IEEE-754 bits verbatim — the wire identity the determinism digest
+    /// relies on.
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(v) => {
+                self.u8(1);
+                self.f64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn count(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+}
+
+/// Bounds-checked payload reader. Every accessor fails with
+/// [`FrameError::Malformed`] instead of panicking, and [`Dec::finish`]
+/// rejects trailing bytes.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(malformed(format!(
+                "payload truncated reading {what}: need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn bool(&mut self, what: &str) -> Result<bool, FrameError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(malformed(format!("{what} flag must be 0 or 1, got {other}"))),
+        }
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, FrameError> {
+        Ok(if self.bool(what)? {
+            Some(self.f64(what)?)
+        } else {
+            None
+        })
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, FrameError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    /// Reads a collection count and validates it against the bytes
+    /// actually present (`min_elem` bytes per element), so a hostile
+    /// length prefix cannot drive a huge allocation.
+    fn count(&mut self, min_elem: usize, what: &str) -> Result<usize, FrameError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_elem.max(1)) > self.remaining() {
+            return Err(malformed(format!(
+                "{what} declares {n} elements but only {} payload bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.remaining() != 0 {
+            return Err(malformed(format!(
+                "{} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DTO field codecs (shared by requests and replies).
+
+// Event tags inside a submit payload.
+const EV_TASK_ARRIVED: u8 = 1;
+const EV_TASK_EXPIRED: u8 = 2;
+const EV_WORKER_CHECK_IN: u8 = 3;
+const EV_WORKER_MOVED: u8 = 4;
+const EV_WORKER_LEFT: u8 = 5;
+
+fn put_event(e: &mut Enc, event: &EventDto) {
+    match event {
+        EventDto::TaskArrived(task) => {
+            e.u8(EV_TASK_ARRIVED);
+            e.u32(task.id);
+            e.f64(task.x);
+            e.f64(task.y);
+            e.f64(task.start);
+            e.f64(task.end);
+            e.opt_f64(task.beta);
+        }
+        EventDto::TaskExpired(id) => {
+            e.u8(EV_TASK_EXPIRED);
+            e.u32(*id);
+        }
+        EventDto::WorkerCheckIn(worker) => {
+            e.u8(EV_WORKER_CHECK_IN);
+            e.u32(worker.id);
+            e.f64(worker.x);
+            e.f64(worker.y);
+            e.f64(worker.speed);
+            match worker.heading {
+                Some((start, width)) => {
+                    e.u8(1);
+                    e.f64(start);
+                    e.f64(width);
+                }
+                None => e.u8(0),
+            }
+            e.f64(worker.confidence);
+            e.f64(worker.available_from);
+        }
+        EventDto::WorkerMoved(hb) => {
+            e.u8(EV_WORKER_MOVED);
+            e.u32(hb.id);
+            e.f64(hb.x);
+            e.f64(hb.y);
+        }
+        EventDto::WorkerLeft(id) => {
+            e.u8(EV_WORKER_LEFT);
+            e.u32(*id);
+        }
+    }
+}
+
+fn get_event(d: &mut Dec) -> Result<EventDto, FrameError> {
+    Ok(match d.u8("event tag")? {
+        EV_TASK_ARRIVED => EventDto::TaskArrived(TaskDto {
+            id: d.u32("task id")?,
+            x: d.f64("task x")?,
+            y: d.f64("task y")?,
+            start: d.f64("task start")?,
+            end: d.f64("task end")?,
+            beta: d.opt_f64("task beta")?,
+        }),
+        EV_TASK_EXPIRED => EventDto::TaskExpired(d.u32("expired id")?),
+        EV_WORKER_CHECK_IN => EventDto::WorkerCheckIn(WorkerDto {
+            id: d.u32("worker id")?,
+            x: d.f64("worker x")?,
+            y: d.f64("worker y")?,
+            speed: d.f64("worker speed")?,
+            heading: if d.bool("worker heading")? {
+                Some((d.f64("heading start")?, d.f64("heading width")?))
+            } else {
+                None
+            },
+            confidence: d.f64("worker confidence")?,
+            available_from: d.f64("worker available_from")?,
+        }),
+        EV_WORKER_MOVED => EventDto::WorkerMoved(HeartbeatDto {
+            id: d.u32("moved id")?,
+            x: d.f64("moved x")?,
+            y: d.f64("moved y")?,
+        }),
+        EV_WORKER_LEFT => EventDto::WorkerLeft(d.u32("left id")?),
+        other => return Err(malformed(format!("unknown event tag {other}"))),
+    })
+}
+
+fn put_assignment(e: &mut Enc, a: &AssignmentDto) {
+    e.u32(a.task);
+    e.u32(a.worker);
+    e.f64(a.confidence);
+    e.f64(a.angle);
+    e.f64(a.arrival);
+}
+
+fn get_assignment(d: &mut Dec) -> Result<AssignmentDto, FrameError> {
+    Ok(AssignmentDto {
+        task: d.u32("assignment task")?,
+        worker: d.u32("assignment worker")?,
+        confidence: d.f64("assignment confidence")?,
+        angle: d.f64("assignment angle")?,
+        arrival: d.f64("assignment arrival")?,
+    })
+}
+
+fn put_snapshot(e: &mut Enc, s: &SnapshotDto) {
+    e.f64(s.now);
+    e.f64(s.ticks);
+    e.f64(s.events_applied);
+    e.f64(s.pending_events);
+    e.f64(s.live_tasks);
+    e.f64(s.live_workers);
+    e.f64(s.committed_workers);
+    e.f64(s.banked_answers);
+    e.f64(s.total_assignments);
+    e.f64(s.min_reliability);
+    e.f64(s.total_std);
+    e.f64(s.covered_tasks);
+    e.str(&s.backend);
+    e.f64(s.index_relocations);
+    e.f64(s.index_cells_repaired);
+    e.f64(s.index_tcell_rebuilds);
+    match &s.wal {
+        Some(w) => {
+            e.u8(1);
+            e.f64(w.segments);
+            e.f64(w.segments_retired);
+            e.f64(w.bytes_appended);
+            e.f64(w.records_appended);
+            e.f64(w.fsyncs);
+            e.f64(w.checkpoints);
+            e.f64(w.last_checkpoint_tick);
+            e.f64(w.recovered_records);
+            e.bool(w.recovered_checkpoint);
+        }
+        None => e.u8(0),
+    }
+}
+
+fn get_snapshot(d: &mut Dec) -> Result<SnapshotDto, FrameError> {
+    Ok(SnapshotDto {
+        now: d.f64("snapshot now")?,
+        ticks: d.f64("snapshot ticks")?,
+        events_applied: d.f64("snapshot events_applied")?,
+        pending_events: d.f64("snapshot pending_events")?,
+        live_tasks: d.f64("snapshot live_tasks")?,
+        live_workers: d.f64("snapshot live_workers")?,
+        committed_workers: d.f64("snapshot committed_workers")?,
+        banked_answers: d.f64("snapshot banked_answers")?,
+        total_assignments: d.f64("snapshot total_assignments")?,
+        min_reliability: d.f64("snapshot min_reliability")?,
+        total_std: d.f64("snapshot total_std")?,
+        covered_tasks: d.f64("snapshot covered_tasks")?,
+        backend: d.str("snapshot backend")?,
+        index_relocations: d.f64("snapshot index_relocations")?,
+        index_cells_repaired: d.f64("snapshot index_cells_repaired")?,
+        index_tcell_rebuilds: d.f64("snapshot index_tcell_rebuilds")?,
+        wal: if d.bool("snapshot wal")? {
+            Some(WalStatsDto {
+                segments: d.f64("wal segments")?,
+                segments_retired: d.f64("wal segments_retired")?,
+                bytes_appended: d.f64("wal bytes_appended")?,
+                records_appended: d.f64("wal records_appended")?,
+                fsyncs: d.f64("wal fsyncs")?,
+                checkpoints: d.f64("wal checkpoints")?,
+                last_checkpoint_tick: d.f64("wal last_checkpoint_tick")?,
+                recovered_records: d.f64("wal recovered_records")?,
+                recovered_checkpoint: d.bool("wal recovered_checkpoint")?,
+            })
+        } else {
+            None
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Commands.
+
+/// A decoded request frame — one partition command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestFrame {
+    /// A routed event batch for the partition's next tick.
+    Submit {
+        /// The request id.
+        request_id: u64,
+        /// The trace id the batch is attributed to (`0` = untraced).
+        trace: u64,
+        /// The events, in routing order.
+        events: Vec<EventDto>,
+    },
+    /// One lockstep engine round.
+    Tick {
+        /// The request id.
+        request_id: u64,
+        /// The trace id (`0` = untraced).
+        trace: u64,
+        /// The tick time.
+        now: f64,
+    },
+    /// Bank an en-route worker's answer.
+    Answer {
+        /// The request id.
+        request_id: u64,
+        /// The answer.
+        answer: AnswerDto,
+    },
+    /// Release an en-route worker without banking.
+    Release {
+        /// The request id.
+        request_id: u64,
+        /// The worker.
+        worker: u32,
+    },
+    /// The standing committed pairs.
+    Assignments {
+        /// The request id.
+        request_id: u64,
+    },
+    /// The partition's serving-state snapshot.
+    Snapshot {
+        /// The request id.
+        request_id: u64,
+    },
+    /// Pending events or live tasks?
+    IsActive {
+        /// The request id.
+        request_id: u64,
+    },
+    /// Residency probe.
+    HasWorker {
+        /// The request id.
+        request_id: u64,
+        /// The worker.
+        worker: u32,
+    },
+    /// Stop taking new commands.
+    Drain {
+        /// The request id.
+        request_id: u64,
+    },
+    /// Stop the daemon.
+    Shutdown {
+        /// The request id.
+        request_id: u64,
+    },
+}
+
+impl RequestFrame {
+    /// The command tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            RequestFrame::Submit { .. } => tag::SUBMIT,
+            RequestFrame::Tick { .. } => tag::TICK,
+            RequestFrame::Answer { .. } => tag::ANSWER,
+            RequestFrame::Release { .. } => tag::RELEASE,
+            RequestFrame::Assignments { .. } => tag::ASSIGNMENTS,
+            RequestFrame::Snapshot { .. } => tag::SNAPSHOT,
+            RequestFrame::IsActive { .. } => tag::IS_ACTIVE,
+            RequestFrame::HasWorker { .. } => tag::HAS_WORKER,
+            RequestFrame::Drain { .. } => tag::DRAIN,
+            RequestFrame::Shutdown { .. } => tag::SHUTDOWN,
+        }
+    }
+
+    /// The request id.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            RequestFrame::Submit { request_id, .. }
+            | RequestFrame::Tick { request_id, .. }
+            | RequestFrame::Answer { request_id, .. }
+            | RequestFrame::Release { request_id, .. }
+            | RequestFrame::Assignments { request_id }
+            | RequestFrame::Snapshot { request_id }
+            | RequestFrame::IsActive { request_id }
+            | RequestFrame::HasWorker { request_id, .. }
+            | RequestFrame::Drain { request_id }
+            | RequestFrame::Shutdown { request_id } => *request_id,
+        }
+    }
+
+    /// Encodes the payload (header built separately by [`header`]).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            RequestFrame::Submit { trace, events, .. } => {
+                e.u64(*trace);
+                e.count(events.len());
+                for event in events {
+                    put_event(&mut e, event);
+                }
+            }
+            RequestFrame::Tick { trace, now, .. } => {
+                e.u64(*trace);
+                e.f64(*now);
+            }
+            RequestFrame::Answer { answer, .. } => {
+                e.u32(answer.worker);
+                e.f64(answer.confidence);
+                e.f64(answer.angle);
+                e.f64(answer.arrival);
+            }
+            RequestFrame::Release { worker, .. } | RequestFrame::HasWorker { worker, .. } => {
+                e.u32(*worker);
+            }
+            RequestFrame::Assignments { .. }
+            | RequestFrame::Snapshot { .. }
+            | RequestFrame::IsActive { .. }
+            | RequestFrame::Drain { .. }
+            | RequestFrame::Shutdown { .. } => {}
+        }
+        e.0
+    }
+
+    /// Writes the frame (header + payload in one vectored write); returns
+    /// the bytes put on the wire.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<usize> {
+        write_frame(w, self.tag(), self.request_id(), &self.encode_payload())
+    }
+
+    /// Decodes a raw frame into a request.
+    pub fn decode(raw: &RawFrame) -> Result<Self, FrameError> {
+        let rid = raw.request_id;
+        let mut d = Dec::new(&raw.payload);
+        let frame = match raw.tag {
+            tag::SUBMIT => {
+                let trace = d.u64("submit trace")?;
+                // The smallest event (TaskExpired / WorkerLeft) is 5 bytes.
+                let n = d.count(5, "submit events")?;
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(get_event(&mut d)?);
+                }
+                RequestFrame::Submit {
+                    request_id: rid,
+                    trace,
+                    events,
+                }
+            }
+            tag::TICK => RequestFrame::Tick {
+                request_id: rid,
+                trace: d.u64("tick trace")?,
+                now: d.f64("tick now")?,
+            },
+            tag::ANSWER => RequestFrame::Answer {
+                request_id: rid,
+                answer: AnswerDto {
+                    worker: d.u32("answer worker")?,
+                    confidence: d.f64("answer confidence")?,
+                    angle: d.f64("answer angle")?,
+                    arrival: d.f64("answer arrival")?,
+                },
+            },
+            tag::RELEASE => RequestFrame::Release {
+                request_id: rid,
+                worker: d.u32("release worker")?,
+            },
+            tag::ASSIGNMENTS => RequestFrame::Assignments { request_id: rid },
+            tag::SNAPSHOT => RequestFrame::Snapshot { request_id: rid },
+            tag::IS_ACTIVE => RequestFrame::IsActive { request_id: rid },
+            tag::HAS_WORKER => RequestFrame::HasWorker {
+                request_id: rid,
+                worker: d.u32("has_worker worker")?,
+            },
+            tag::DRAIN => RequestFrame::Drain { request_id: rid },
+            tag::SHUTDOWN => RequestFrame::Shutdown { request_id: rid },
+            other => return Err(malformed(format!("unknown request tag {other:#04x}"))),
+        };
+        d.finish()?;
+        Ok(frame)
+    }
+}
+
+/// A decoded reply frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyFrame {
+    /// Submit accepted; `buffered` events now pending.
+    SubmitOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// Events pending after the batch.
+        buffered: u32,
+    },
+    /// The full tick report (the reply's `request_id` lives in the DTO).
+    TickOk(Box<TickReplyDto>),
+    /// Answer processed.
+    AnswerOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// Was the worker committed here (and the answer banked)?
+        banked: bool,
+    },
+    /// Release processed.
+    ReleaseOk {
+        /// The echoed request id.
+        request_id: u64,
+    },
+    /// The standing committed pairs.
+    AssignmentsOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// The pairs, in `(task, worker)` order.
+        assignments: Vec<AssignmentDto>,
+    },
+    /// The serving-state snapshot.
+    SnapshotOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// The snapshot.
+        snapshot: Box<SnapshotDto>,
+    },
+    /// The activity probe's answer.
+    ActiveOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// Pending events or live tasks?
+        active: bool,
+    },
+    /// The residency probe's answer.
+    HasWorkerOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// Is the worker resident?
+        present: bool,
+    },
+    /// Drain acknowledged.
+    DrainOk {
+        /// The echoed request id.
+        request_id: u64,
+    },
+    /// Shutdown acknowledged.
+    ShutdownOk {
+        /// The echoed request id.
+        request_id: u64,
+    },
+    /// The command failed; `status` mirrors the HTTP status the JSON path
+    /// would have answered (503 = draining).
+    Error {
+        /// The echoed request id.
+        request_id: u64,
+        /// The HTTP-equivalent status.
+        status: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl ReplyFrame {
+    /// The reply tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ReplyFrame::SubmitOk { .. } => tag::SUBMIT | tag::REPLY,
+            ReplyFrame::TickOk(_) => tag::TICK | tag::REPLY,
+            ReplyFrame::AnswerOk { .. } => tag::ANSWER | tag::REPLY,
+            ReplyFrame::ReleaseOk { .. } => tag::RELEASE | tag::REPLY,
+            ReplyFrame::AssignmentsOk { .. } => tag::ASSIGNMENTS | tag::REPLY,
+            ReplyFrame::SnapshotOk { .. } => tag::SNAPSHOT | tag::REPLY,
+            ReplyFrame::ActiveOk { .. } => tag::IS_ACTIVE | tag::REPLY,
+            ReplyFrame::HasWorkerOk { .. } => tag::HAS_WORKER | tag::REPLY,
+            ReplyFrame::DrainOk { .. } => tag::DRAIN | tag::REPLY,
+            ReplyFrame::ShutdownOk { .. } => tag::SHUTDOWN | tag::REPLY,
+            ReplyFrame::Error { .. } => tag::ERROR,
+        }
+    }
+
+    /// The echoed request id.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            ReplyFrame::SubmitOk { request_id, .. }
+            | ReplyFrame::AnswerOk { request_id, .. }
+            | ReplyFrame::ReleaseOk { request_id }
+            | ReplyFrame::AssignmentsOk { request_id, .. }
+            | ReplyFrame::SnapshotOk { request_id, .. }
+            | ReplyFrame::ActiveOk { request_id, .. }
+            | ReplyFrame::HasWorkerOk { request_id, .. }
+            | ReplyFrame::DrainOk { request_id }
+            | ReplyFrame::ShutdownOk { request_id }
+            | ReplyFrame::Error { request_id, .. } => *request_id,
+            ReplyFrame::TickOk(dto) => dto.request_id,
+        }
+    }
+
+    /// Encodes the payload.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            ReplyFrame::SubmitOk { buffered, .. } => e.u32(*buffered),
+            ReplyFrame::TickOk(dto) => {
+                e.f64(dto.now);
+                e.u64(dto.events_applied);
+                e.u64(dto.tasks_expired);
+                e.u64(dto.num_shards);
+                e.u64(dto.largest_shard_pairs);
+                e.count(dto.strategies.len());
+                for s in &dto.strategies {
+                    e.str(s);
+                }
+                e.count(dto.new_assignments.len());
+                for a in &dto.new_assignments {
+                    put_assignment(&mut e, a);
+                }
+                e.f64(dto.solve_seconds);
+                e.count(dto.shard_solve_seconds.len());
+                for s in &dto.shard_solve_seconds {
+                    e.f64(*s);
+                }
+                e.u64(dto.index_relocations);
+                e.u64(dto.index_cells_repaired);
+                e.u64(dto.index_tcell_rebuilds);
+                e.count(dto.committed.len());
+                for w in &dto.committed {
+                    e.u32(*w);
+                }
+                for v in dto.stages.values() {
+                    e.u64(v);
+                }
+                e.u64(dto.trace);
+            }
+            ReplyFrame::AnswerOk { banked, .. } => e.bool(*banked),
+            ReplyFrame::AssignmentsOk { assignments, .. } => {
+                e.count(assignments.len());
+                for a in assignments {
+                    put_assignment(&mut e, a);
+                }
+            }
+            ReplyFrame::SnapshotOk { snapshot, .. } => put_snapshot(&mut e, snapshot),
+            ReplyFrame::ActiveOk { active, .. } => e.bool(*active),
+            ReplyFrame::HasWorkerOk { present, .. } => e.bool(*present),
+            ReplyFrame::Error { status, detail, .. } => {
+                e.u16(*status);
+                e.str(detail);
+            }
+            ReplyFrame::ReleaseOk { .. }
+            | ReplyFrame::DrainOk { .. }
+            | ReplyFrame::ShutdownOk { .. } => {}
+        }
+        e.0
+    }
+
+    /// Writes the frame (vectored); returns the bytes put on the wire.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<usize> {
+        write_frame(w, self.tag(), self.request_id(), &self.encode_payload())
+    }
+
+    /// Decodes a raw frame into a reply.
+    pub fn decode(raw: &RawFrame) -> Result<Self, FrameError> {
+        let rid = raw.request_id;
+        let mut d = Dec::new(&raw.payload);
+        let frame = match raw.tag {
+            t if t == tag::SUBMIT | tag::REPLY => ReplyFrame::SubmitOk {
+                request_id: rid,
+                buffered: d.u32("submit buffered")?,
+            },
+            t if t == tag::TICK | tag::REPLY => {
+                let now = d.f64("tick now")?;
+                let events_applied = d.u64("tick events_applied")?;
+                let tasks_expired = d.u64("tick tasks_expired")?;
+                let num_shards = d.u64("tick num_shards")?;
+                let largest_shard_pairs = d.u64("tick largest_shard_pairs")?;
+                let n = d.count(4, "tick strategies")?;
+                let mut strategies = Vec::with_capacity(n);
+                for _ in 0..n {
+                    strategies.push(d.str("tick strategy")?);
+                }
+                let n = d.count(32, "tick new_assignments")?;
+                let mut new_assignments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    new_assignments.push(get_assignment(&mut d)?);
+                }
+                let solve_seconds = d.f64("tick solve_seconds")?;
+                let n = d.count(8, "tick shard_solve_seconds")?;
+                let mut shard_solve_seconds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shard_solve_seconds.push(d.f64("tick shard seconds")?);
+                }
+                let index_relocations = d.u64("tick index_relocations")?;
+                let index_cells_repaired = d.u64("tick index_cells_repaired")?;
+                let index_tcell_rebuilds = d.u64("tick index_tcell_rebuilds")?;
+                let n = d.count(4, "tick committed")?;
+                let mut committed = Vec::with_capacity(n);
+                for _ in 0..n {
+                    committed.push(d.u32("tick committed worker")?);
+                }
+                let mut stages = [0u64; rdbsc_obs::NUM_STAGES];
+                for (i, slot) in stages.iter_mut().enumerate() {
+                    *slot = d.u64(rdbsc_obs::StageTimings::NAMES[i])?;
+                }
+                let trace = d.u64("tick trace")?;
+                ReplyFrame::TickOk(Box::new(TickReplyDto {
+                    request_id: rid,
+                    now,
+                    events_applied,
+                    tasks_expired,
+                    num_shards,
+                    largest_shard_pairs,
+                    strategies,
+                    new_assignments,
+                    solve_seconds,
+                    shard_solve_seconds,
+                    index_relocations,
+                    index_cells_repaired,
+                    index_tcell_rebuilds,
+                    committed,
+                    stages: rdbsc_obs::StageTimings::from_values(stages),
+                    trace,
+                }))
+            }
+            t if t == tag::ANSWER | tag::REPLY => ReplyFrame::AnswerOk {
+                request_id: rid,
+                banked: d.bool("answer banked")?,
+            },
+            t if t == tag::RELEASE | tag::REPLY => ReplyFrame::ReleaseOk { request_id: rid },
+            t if t == tag::ASSIGNMENTS | tag::REPLY => {
+                let n = d.count(32, "assignments")?;
+                let mut assignments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    assignments.push(get_assignment(&mut d)?);
+                }
+                ReplyFrame::AssignmentsOk {
+                    request_id: rid,
+                    assignments,
+                }
+            }
+            t if t == tag::SNAPSHOT | tag::REPLY => ReplyFrame::SnapshotOk {
+                request_id: rid,
+                snapshot: Box::new(get_snapshot(&mut d)?),
+            },
+            t if t == tag::IS_ACTIVE | tag::REPLY => ReplyFrame::ActiveOk {
+                request_id: rid,
+                active: d.bool("active")?,
+            },
+            t if t == tag::HAS_WORKER | tag::REPLY => ReplyFrame::HasWorkerOk {
+                request_id: rid,
+                present: d.bool("present")?,
+            },
+            t if t == tag::DRAIN | tag::REPLY => ReplyFrame::DrainOk { request_id: rid },
+            t if t == tag::SHUTDOWN | tag::REPLY => ReplyFrame::ShutdownOk { request_id: rid },
+            tag::ERROR => ReplyFrame::Error {
+                request_id: rid,
+                status: d.u16("error status")?,
+                detail: d.str("error detail")?,
+            },
+            other => return Err(malformed(format!("unknown reply tag {other:#04x}"))),
+        };
+        d.finish()?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(frame: RequestFrame) {
+        let mut wire = Vec::new();
+        let n = frame.write_to(&mut wire).unwrap();
+        assert_eq!(n, wire.len());
+        let raw = read_raw(&mut &wire[..], 1 << 20).unwrap().unwrap();
+        assert_eq!(RequestFrame::decode(&raw).unwrap(), frame);
+    }
+
+    fn round_trip_reply(frame: ReplyFrame) {
+        let mut wire = Vec::new();
+        let n = frame.write_to(&mut wire).unwrap();
+        assert_eq!(n, wire.len());
+        let raw = read_raw(&mut &wire[..], 1 << 20).unwrap().unwrap();
+        assert_eq!(ReplyFrame::decode(&raw).unwrap(), frame);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(RequestFrame::Submit {
+            request_id: 7,
+            trace: 0xdead_beef_cafe_f00d,
+            events: vec![
+                EventDto::TaskArrived(TaskDto {
+                    id: 1,
+                    x: 0.25,
+                    y: 0.1 + 0.2, // a value with no short decimal form
+                    start: 0.0,
+                    end: 9.5,
+                    beta: Some(0.75),
+                }),
+                EventDto::TaskExpired(2),
+                EventDto::WorkerCheckIn(WorkerDto {
+                    id: 3,
+                    x: f64::MIN_POSITIVE,
+                    y: 1.0,
+                    speed: 0.125,
+                    heading: Some((-1.5, 3.0)),
+                    confidence: 0.875,
+                    available_from: 4.5,
+                }),
+                EventDto::WorkerMoved(HeartbeatDto {
+                    id: 4,
+                    x: 0.5,
+                    y: 0.5,
+                }),
+                EventDto::WorkerLeft(5),
+            ],
+        });
+        round_trip_request(RequestFrame::Tick {
+            request_id: 8,
+            trace: 0,
+            now: 1.5,
+        });
+        round_trip_request(RequestFrame::Answer {
+            request_id: 9,
+            answer: AnswerDto {
+                worker: 3,
+                confidence: 0.9,
+                angle: 1.25,
+                arrival: 2.5,
+            },
+        });
+        round_trip_request(RequestFrame::Release {
+            request_id: 10,
+            worker: 3,
+        });
+        round_trip_request(RequestFrame::Assignments { request_id: 11 });
+        round_trip_request(RequestFrame::Snapshot { request_id: 12 });
+        round_trip_request(RequestFrame::IsActive { request_id: 13 });
+        round_trip_request(RequestFrame::HasWorker {
+            request_id: 14,
+            worker: 99,
+        });
+        round_trip_request(RequestFrame::Drain { request_id: 15 });
+        round_trip_request(RequestFrame::Shutdown { request_id: 16 });
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip_reply(ReplyFrame::SubmitOk {
+            request_id: 7,
+            buffered: 42,
+        });
+        round_trip_reply(ReplyFrame::TickOk(Box::new(TickReplyDto {
+            request_id: 8,
+            now: 2.5,
+            events_applied: 10,
+            tasks_expired: 1,
+            num_shards: 3,
+            largest_shard_pairs: 17,
+            strategies: vec!["GREEDY".into(), "D&C".into()],
+            new_assignments: vec![AssignmentDto {
+                task: 1,
+                worker: 2,
+                confidence: 0.5,
+                angle: 0.25,
+                arrival: 3.5,
+            }],
+            solve_seconds: 0.001,
+            shard_solve_seconds: vec![0.0005, 0.0002],
+            index_relocations: 5,
+            index_cells_repaired: 2,
+            index_tcell_rebuilds: 1,
+            committed: vec![2, 9],
+            stages: rdbsc_obs::StageTimings::from_values([1, 2, 3, 4, 5, 6]),
+            trace: 0xabcd,
+        })));
+        round_trip_reply(ReplyFrame::AnswerOk {
+            request_id: 9,
+            banked: true,
+        });
+        round_trip_reply(ReplyFrame::ReleaseOk { request_id: 10 });
+        round_trip_reply(ReplyFrame::AssignmentsOk {
+            request_id: 11,
+            assignments: vec![],
+        });
+        round_trip_reply(ReplyFrame::SnapshotOk {
+            request_id: 12,
+            snapshot: Box::new(SnapshotDto {
+                now: 1.0,
+                ticks: 2.0,
+                events_applied: 3.0,
+                pending_events: 4.0,
+                live_tasks: 5.0,
+                live_workers: 6.0,
+                committed_workers: 7.0,
+                banked_answers: 8.0,
+                total_assignments: 9.0,
+                min_reliability: 0.5,
+                total_std: 0.25,
+                covered_tasks: 10.0,
+                backend: "flat-grid".into(),
+                index_relocations: 11.0,
+                index_cells_repaired: 12.0,
+                index_tcell_rebuilds: 13.0,
+                wal: Some(WalStatsDto {
+                    segments: 1.0,
+                    segments_retired: 0.0,
+                    bytes_appended: 1024.0,
+                    records_appended: 7.0,
+                    fsyncs: 2.0,
+                    checkpoints: 1.0,
+                    last_checkpoint_tick: 3.0,
+                    recovered_records: 0.0,
+                    recovered_checkpoint: false,
+                }),
+            }),
+        });
+        round_trip_reply(ReplyFrame::ActiveOk {
+            request_id: 13,
+            active: false,
+        });
+        round_trip_reply(ReplyFrame::HasWorkerOk {
+            request_id: 14,
+            present: true,
+        });
+        round_trip_reply(ReplyFrame::DrainOk { request_id: 15 });
+        round_trip_reply(ReplyFrame::ShutdownOk { request_id: 16 });
+        round_trip_reply(ReplyFrame::Error {
+            request_id: 17,
+            status: 503,
+            detail: "draining".into(),
+        });
+    }
+
+    #[test]
+    fn float_bits_survive_verbatim() {
+        // The JSON path formats floats; the binary path must carry the
+        // exact bit pattern, including negative zero and subnormals.
+        for bits in [
+            0x8000_0000_0000_0000u64, // -0.0
+            0x0000_0000_0000_0001,    // smallest subnormal
+            0x7FEF_FFFF_FFFF_FFFF,    // f64::MAX
+            0x3FB9_9999_9999_999A,    // 0.1
+        ] {
+            let frame = RequestFrame::Tick {
+                request_id: 1,
+                trace: 0,
+                now: f64::from_bits(bits),
+            };
+            let mut wire = Vec::new();
+            frame.write_to(&mut wire).unwrap();
+            let raw = read_raw(&mut &wire[..], 1 << 20).unwrap().unwrap();
+            match RequestFrame::decode(&raw).unwrap() {
+                RequestFrame::Tick { now, .. } => assert_eq!(now.to_bits(), bits),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eof_yields_none_and_partial_headers_fail() {
+        assert!(read_raw(&mut &[][..], 1024).unwrap().is_none());
+        let wire = header(tag::DRAIN, 1, 0);
+        for cut in 1..HEADER_LEN {
+            let err = read_raw(&mut &wire[..cut], 1024).unwrap_err();
+            assert!(matches!(err, FrameError::Malformed(_)), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_frames_are_rejected_not_panicking() {
+        // Bad magic (an HTTP request hitting a binary reader).
+        let err = read_raw(&mut &b"GET /partition/hello HTTP/1.1\r\n\r\n"[..], 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)));
+        // Future frame version.
+        let mut wire = header(tag::DRAIN, 1, 0);
+        wire[2] = 9;
+        assert!(matches!(
+            read_raw(&mut &wire[..], 1024).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Payload length beyond the cap never allocates.
+        let wire = header(tag::SUBMIT, 1, 1 << 30);
+        assert!(matches!(
+            read_raw(&mut &wire[..], 1024).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Declared payload longer than the stream.
+        let wire = header(tag::SUBMIT, 1, 64);
+        assert!(matches!(
+            read_raw(&mut &wire[..], 1024).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // A submit whose event count promises more than the bytes hold.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let raw = RawFrame {
+            tag: tag::SUBMIT,
+            request_id: 1,
+            payload,
+        };
+        assert!(matches!(
+            RequestFrame::decode(&raw).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+        // Trailing garbage after a well-formed payload.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&3u32.to_le_bytes());
+        payload.push(0xEE);
+        let raw = RawFrame {
+            tag: tag::RELEASE,
+            request_id: 1,
+            payload,
+        };
+        assert!(matches!(
+            RequestFrame::decode(&raw).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn vectored_writes_survive_partial_write_boundaries() {
+        /// A writer that accepts at most `cap` bytes per call, exercising
+        /// the re-slicing loop across every head/body split.
+        struct Dribble {
+            out: Vec<u8>,
+            cap: usize,
+        }
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(self.cap);
+                self.out.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn write_vectored(
+                &mut self,
+                bufs: &[std::io::IoSlice<'_>],
+            ) -> std::io::Result<usize> {
+                let mut budget = self.cap;
+                let mut written = 0;
+                for buf in bufs {
+                    let n = buf.len().min(budget);
+                    self.out.extend_from_slice(&buf[..n]);
+                    written += n;
+                    budget -= n;
+                    if budget == 0 {
+                        break;
+                    }
+                }
+                Ok(written)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let head = b"0123456789abcdef".to_vec();
+        let body = b"the quick brown fox jumps over the lazy dog".to_vec();
+        for cap in 1..=head.len() + body.len() {
+            let mut w = Dribble {
+                out: Vec::new(),
+                cap,
+            };
+            write_all_vectored(&mut w, &head, &body).unwrap();
+            let mut expect = head.clone();
+            expect.extend_from_slice(&body);
+            assert_eq!(w.out, expect, "cap {cap}");
+        }
+    }
+}

@@ -64,6 +64,7 @@ pub mod batch;
 pub mod client;
 pub mod dto;
 pub mod error;
+pub mod frame;
 pub mod http;
 pub mod json;
 pub mod listener;
@@ -86,5 +87,7 @@ pub use partitiond::{PartitionDaemon, PartitiondConfig};
 pub use protocol::{
     ConfigureDto, EngineConfigDto, EventDto, HelloDto, RoutingTableDto, TickReplyDto,
 };
-pub use remote::{connect_remote_partition, HttpPartitionClient};
+pub use remote::{
+    connect_remote_partition, BinaryPartitionClient, HttpPartitionClient, RemoteTransport,
+};
 pub use server::{Server, ServerConfig};

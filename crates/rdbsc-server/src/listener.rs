@@ -23,10 +23,11 @@
 //! partition commands while still serving its health and metrics routes).
 
 use crate::error::ServerError;
+use crate::frame;
 use crate::http::{read_request, write_response, Request, Response};
 use crate::metrics::ServerMetrics;
 use std::collections::VecDeque;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -54,6 +55,14 @@ pub struct ListenerConfig {
 /// state (drain responses) and trigger the stop (admin shutdown routes).
 pub type Handler =
     dyn Fn(&Request, &ShutdownHandle) -> Result<Response, ServerError> + Send + Sync;
+
+/// A binary-frame handler mounted with [`HttpCore::start_with_frames`].
+/// Receives every decoded request frame ([`frame::RequestFrame`]) from
+/// connections that opened with the frame magic instead of an HTTP method
+/// line; the reply frame is written back on the same connection. Handlers
+/// report failures in-band as [`frame::ReplyFrame::Error`].
+pub type FrameHandler =
+    dyn Fn(&frame::RequestFrame, &ShutdownHandle) -> frame::ReplyFrame + Send + Sync;
 
 /// The bounded hand-off between the acceptor and the worker pool.
 struct ConnectionQueue {
@@ -187,6 +196,20 @@ impl HttpCore {
         metrics: Arc<ServerMetrics>,
         handler: Arc<Handler>,
     ) -> Result<HttpCore, ServerError> {
+        Self::start_with_frames(config, metrics, handler, None)
+    }
+
+    /// Like [`HttpCore::start`], but additionally mounts a binary-frame
+    /// handler. Both transports share the one listener: a connection whose
+    /// first byte is the frame magic (`0xB5` — not a byte any HTTP method
+    /// line can start with) is served as a binary command stream, anything
+    /// else as keep-alive HTTP.
+    pub fn start_with_frames(
+        config: ListenerConfig,
+        metrics: Arc<ServerMetrics>,
+        handler: Arc<Handler>,
+        frame_handler: Option<Arc<FrameHandler>>,
+    ) -> Result<HttpCore, ServerError> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(CoreShared {
@@ -202,10 +225,11 @@ impl HttpCore {
         let mut threads = Vec::new();
         for i in 0..config.threads.max(1) {
             let (q, sh, h) = (queue.clone(), shared.clone(), handler.clone());
+            let f = frame_handler.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rdbsc-worker-{i}"))
-                    .spawn(move || worker_loop(q, sh, h))
+                    .spawn(move || worker_loop(q, sh, h, f))
                     .expect("spawn worker"),
             );
         }
@@ -253,8 +277,7 @@ fn acceptor_loop(listener: TcpListener, queue: Arc<ConnectionQueue>, shared: Arc
             std::thread::sleep(Duration::from_millis(10));
             continue;
         };
-        // Responses are small; waiting for ACKs (Nagle) only adds latency.
-        let _ = stream.set_nodelay(true);
+        prepare_accepted(&stream);
         match queue.offer(stream) {
             Ok(()) => shared.metrics.connections_accepted.incr(),
             Err(mut stream) => {
@@ -269,7 +292,21 @@ fn acceptor_loop(listener: TcpListener, queue: Arc<ConnectionQueue>, shared: Arc
     }
 }
 
-fn worker_loop(queue: Arc<ConnectionQueue>, shared: Arc<CoreShared>, handler: Arc<Handler>) {
+/// Transport options applied to every accepted connection before it is
+/// queued: `TCP_NODELAY`, because protocol requests and replies are small
+/// and waiting for ACKs (Nagle) only adds latency. Mirrors the client side
+/// ([`crate::client::HttpClient`] and the binary partition client), so
+/// *both* ends of a partition connection run nodelay.
+fn prepare_accepted(stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+}
+
+fn worker_loop(
+    queue: Arc<ConnectionQueue>,
+    shared: Arc<CoreShared>,
+    handler: Arc<Handler>,
+    frame_handler: Option<Arc<FrameHandler>>,
+) {
     loop {
         let stopping = shared.stop.load(Ordering::Acquire);
         let timeout = if stopping {
@@ -280,14 +317,19 @@ fn worker_loop(queue: Arc<ConnectionQueue>, shared: Arc<CoreShared>, handler: Ar
             Duration::from_millis(50)
         };
         match queue.poll(timeout) {
-            Some(stream) => serve_connection(stream, &shared, &handler),
+            Some(stream) => serve_connection(stream, &shared, &handler, frame_handler.as_ref()),
             None if stopping => return,
             None => continue,
         }
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: &Arc<CoreShared>, handler: &Arc<Handler>) {
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Arc<CoreShared>,
+    handler: &Arc<Handler>,
+    frame_handler: Option<&Arc<FrameHandler>>,
+) {
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
@@ -316,6 +358,20 @@ fn serve_connection(stream: TcpStream, shared: &Arc<CoreShared>, handler: &Arc<H
     };
     let mut draining = false;
     let mut reader = BufReader::new(stream);
+    if let Some(frames) = frame_handler {
+        // Transport sniff: binary connections open with the frame magic,
+        // whose first byte (0xB5) is not a byte any HTTP method line can
+        // start with. One buffered peek decides the connection's protocol
+        // for its whole lifetime.
+        match reader.fill_buf() {
+            Ok(buf) if buf.first() == Some(&frame::MAGIC[0]) => {
+                serve_frames(reader, writer, shared, frames, &shutdown);
+                return;
+            }
+            Ok(_) => {} // HTTP (or clean EOF — the HTTP loop handles it)
+            Err(_) => return,
+        }
+    }
     loop {
         if !draining && shared.stop.load(Ordering::Acquire) {
             // Shutdown drain: barely wait on idle peers at all.
@@ -363,5 +419,93 @@ fn serve_connection(stream: TcpStream, shared: &Arc<CoreShared>, handler: &Arc<H
         if write_response(&mut writer, &response).is_err() || response.close {
             return;
         }
+    }
+}
+
+/// Serves one connection as a binary command stream: read a frame, decode,
+/// handle, write the reply — in arrival order, which is what lets the
+/// router pipeline commands and pair replies FIFO.
+fn serve_frames(
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    shared: &Arc<CoreShared>,
+    handler: &Arc<FrameHandler>,
+    shutdown: &ShutdownHandle,
+) {
+    let mut draining = false;
+    loop {
+        if !draining && shared.stop.load(Ordering::Acquire) {
+            draining = true;
+            let _ = reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(100)));
+        }
+        let raw = match frame::read_raw(&mut reader, shared.max_body_bytes) {
+            Ok(Some(raw)) => raw,
+            Ok(None) => return, // peer closed cleanly between frames
+            Err(frame::FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                // Idle timeout or the peer went away: nobody is listening.
+                return;
+            }
+            Err(_) => {
+                // Bad magic, truncated header or oversized payload: the
+                // framing is lost, so no reply can be paired — just close
+                // and let the client's next read fail cleanly.
+                shared.metrics.count_status(400);
+                return;
+            }
+        };
+        let started = Instant::now();
+        shared.metrics.requests_total.incr();
+        let reply = match frame::RequestFrame::decode(&raw) {
+            // Framing held (exactly `payload_len` bytes were consumed), so
+            // a payload-level decode error is answerable in-band and the
+            // connection stays usable.
+            Ok(request) => handler(&request, shutdown),
+            Err(e) => frame::ReplyFrame::Error {
+                request_id: raw.request_id,
+                status: 400,
+                detail: e.to_string(),
+            },
+        };
+        let status = match &reply {
+            frame::ReplyFrame::Error { status, .. } => *status,
+            _ => 200,
+        };
+        shared.metrics.count_status(status);
+        shared.metrics.request_latency.record(started.elapsed());
+        if reply.write_to(&mut writer).is_err() || shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: every *accepted* partition connection must run
+    /// `TCP_NODELAY` (the router side already does — `client.rs` has the
+    /// mirror test), or small command frames sit behind Nagle waiting for
+    /// ACKs of the previous reply.
+    #[test]
+    fn accepted_connections_enable_nodelay() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _client = TcpStream::connect(addr).expect("connect");
+        let (accepted, _) = listener.accept().expect("accept");
+        assert!(
+            !accepted.nodelay().expect("query nodelay before prepare"),
+            "fresh sockets default to Nagle on; if this flips, the helper is moot"
+        );
+        prepare_accepted(&accepted);
+        assert!(accepted.nodelay().expect("query nodelay after prepare"));
     }
 }

@@ -42,12 +42,13 @@
 
 use crate::dto::{num, AnswerDto, AssignmentDto, SnapshotDto};
 use crate::error::ServerError;
+use crate::frame::{ReplyFrame, RequestFrame};
 use crate::http::{Method, Request, Response};
 use crate::json::{parse, Json};
 use crate::listener::{HttpCore, ListenerConfig, ShutdownHandle};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    request_id, submit_from_json, trace_field, ConfigureDto, HelloDto, TickReplyDto,
+    request_id, submit_from_json, trace_field, ConfigureDto, EventDto, HelloDto, TickReplyDto,
 };
 use rdbsc_geo::Rect;
 use rdbsc_index::DynSpatialIndex;
@@ -165,8 +166,9 @@ impl PartitionDaemon {
             }
         }
         let core = {
-            let state = state.clone();
-            HttpCore::start(
+            let http_state = state.clone();
+            let frame_state = state.clone();
+            HttpCore::start_with_frames(
                 ListenerConfig {
                     addr: config.addr.clone(),
                     threads: config.threads,
@@ -176,8 +178,13 @@ impl PartitionDaemon {
                 },
                 metrics,
                 Arc::new(move |request: &Request, shutdown: &ShutdownHandle| {
-                    route(request, &state, shutdown)
+                    route(request, &http_state, shutdown)
                 }),
+                Some(Arc::new(
+                    move |request: &RequestFrame, shutdown: &ShutdownHandle| {
+                        route_frame(request, &frame_state, shutdown)
+                    },
+                )),
             )?
         };
         Ok(PartitionDaemon { core, state })
@@ -620,5 +627,164 @@ fn route(
         }
 
         (_, path) => Err(ServerError::NotFound(path.to_string())),
+    }
+}
+
+/// The binary-transport command router: same protocol semantics as
+/// [`route`] (draining 503s, unconfigured 409s, identical engine calls and
+/// tick metrics), with failures reported in-band as [`ReplyFrame::Error`]
+/// carrying the HTTP-equivalent status. Hello and configure stay HTTP-only
+/// — a binary connection only ever carries commands for an
+/// already-configured daemon.
+fn route_frame(request: &RequestFrame, state: &DaemonState, shutdown: &ShutdownHandle) -> ReplyFrame {
+    let rid = request.request_id();
+    let draining = state.draining.load(Ordering::Acquire) || shutdown.stopping();
+    if draining
+        && matches!(
+            request,
+            RequestFrame::Submit { .. }
+                | RequestFrame::Tick { .. }
+                | RequestFrame::Answer { .. }
+                | RequestFrame::Release { .. }
+        )
+    {
+        return error_frame(rid, &ServerError::ShuttingDown);
+    }
+    match frame_command(request, state, shutdown) {
+        Ok(reply) => reply,
+        Err(e) => error_frame(rid, &e),
+    }
+}
+
+fn error_frame(request_id: u64, e: &ServerError) -> ReplyFrame {
+    ReplyFrame::Error {
+        request_id,
+        status: e.status(),
+        detail: e.to_string(),
+    }
+}
+
+fn frame_command(
+    request: &RequestFrame,
+    state: &DaemonState,
+    shutdown: &ShutdownHandle,
+) -> Result<ReplyFrame, ServerError> {
+    match request {
+        RequestFrame::Submit {
+            request_id,
+            trace,
+            events,
+        } => {
+            let events = events
+                .iter()
+                .cloned()
+                .map(EventDto::into_event)
+                .collect::<Result<Vec<_>, _>>()?;
+            let buffered = events.len();
+            with_engine(state, |part| {
+                part.set_trace(*trace);
+                part.submit(events)
+            })?;
+            Ok(ReplyFrame::SubmitOk {
+                request_id: *request_id,
+                buffered: buffered as u32,
+            })
+        }
+
+        RequestFrame::Tick {
+            request_id,
+            trace,
+            now,
+        } => {
+            if !now.is_finite() {
+                return Err(ServerError::BadField {
+                    field: "now",
+                    expected: "a finite number",
+                });
+            }
+            if *trace != 0 {
+                state.last_trace.store(*trace, Ordering::Release);
+            }
+            let started = std::time::Instant::now();
+            let tick = with_engine(state, |part| {
+                part.set_trace(*trace);
+                part.tick(*now)
+            })?;
+            let elapsed = started.elapsed();
+            state.metrics.tick_latency.record(elapsed);
+            state.metrics.observe_tick(
+                *trace,
+                *now,
+                elapsed.as_micros().min(u64::MAX as u128) as u64,
+                &tick.report.stages,
+            );
+            Ok(ReplyFrame::TickOk(Box::new(TickReplyDto::from_tick(
+                *request_id,
+                &tick,
+            ))))
+        }
+
+        RequestFrame::Answer { request_id, answer } => {
+            let (worker, contribution) = answer.clone().into_answer()?;
+            let banked = with_engine(state, |part| part.record_answer(worker, contribution))?;
+            Ok(ReplyFrame::AnswerOk {
+                request_id: *request_id,
+                banked,
+            })
+        }
+
+        RequestFrame::Release { request_id, worker } => {
+            with_engine(state, |part| part.release_worker(WorkerId(*worker)))?;
+            Ok(ReplyFrame::ReleaseOk {
+                request_id: *request_id,
+            })
+        }
+
+        RequestFrame::Assignments { request_id } => {
+            let pairs = with_engine(state, |part| part.assignments())?;
+            Ok(ReplyFrame::AssignmentsOk {
+                request_id: *request_id,
+                assignments: pairs.iter().map(AssignmentDto::from_pair).collect(),
+            })
+        }
+
+        RequestFrame::Snapshot { request_id } => {
+            let snapshot = with_engine(state, |part| part.snapshot())?;
+            Ok(ReplyFrame::SnapshotOk {
+                request_id: *request_id,
+                snapshot: Box::new(SnapshotDto::from_snapshot(&snapshot)),
+            })
+        }
+
+        RequestFrame::IsActive { request_id } => {
+            let active = with_engine(state, |part| part.is_active())?;
+            Ok(ReplyFrame::ActiveOk {
+                request_id: *request_id,
+                active,
+            })
+        }
+
+        RequestFrame::HasWorker { request_id, worker } => {
+            let present = with_engine(state, |part| part.has_worker(WorkerId(*worker)))?;
+            Ok(ReplyFrame::HasWorkerOk {
+                request_id: *request_id,
+                present,
+            })
+        }
+
+        RequestFrame::Drain { request_id } => {
+            state.draining.store(true, Ordering::Release);
+            Ok(ReplyFrame::DrainOk {
+                request_id: *request_id,
+            })
+        }
+
+        RequestFrame::Shutdown { request_id } => {
+            state.draining.store(true, Ordering::Release);
+            shutdown.trigger();
+            Ok(ReplyFrame::ShutdownOk {
+                request_id: *request_id,
+            })
+        }
     }
 }

@@ -902,6 +902,10 @@ pub struct HelloDto {
     pub region_index: Option<u32>,
     /// Whether the daemon is draining (refusing commands).
     pub draining: bool,
+    /// The command transports the daemon accepts (`"http"`, `"binary"`).
+    /// A hello without the field — a pre-binary-transport daemon — means
+    /// `["http"]`, so routers negotiate down instead of failing.
+    pub transports: Vec<String>,
 }
 
 impl HelloDto {
@@ -912,7 +916,13 @@ impl HelloDto {
             configured: configured.is_some(),
             region_index: configured,
             draining,
+            transports: vec!["http".to_string(), "binary".to_string()],
         }
+    }
+
+    /// Does the daemon speak the binary frame transport?
+    pub fn speaks_binary(&self) -> bool {
+        self.transports.iter().any(|t| t == "binary")
     }
 
     /// Encodes the DTO.
@@ -921,6 +931,15 @@ impl HelloDto {
             ("protocol_version", Json::Num(self.protocol_version as f64)),
             ("configured", Json::Bool(self.configured)),
             ("draining", Json::Bool(self.draining)),
+            (
+                "transports",
+                Json::Arr(
+                    self.transports
+                        .iter()
+                        .map(|t| Json::Str(t.clone()))
+                        .collect(),
+                ),
+            ),
         ];
         if let Some(region) = self.region_index {
             pairs.push(("region_index", Json::Num(region as f64)));
@@ -934,11 +953,29 @@ impl HelloDto {
             None | Some(Json::Null) => None,
             Some(_) => Some(id(value, "region_index")?),
         };
+        let transports = match value.get("transports") {
+            None | Some(Json::Null) => vec!["http".to_string()],
+            Some(list) => list
+                .as_arr()
+                .ok_or(ServerError::BadField {
+                    field: "transports",
+                    expected: "an array of transport names",
+                })?
+                .iter()
+                .map(|t| {
+                    t.as_str().map(str::to_string).ok_or(ServerError::BadField {
+                        field: "transports",
+                        expected: "transport names as strings",
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(Self {
             protocol_version: id(value, "protocol_version")?,
             configured: bool_field(value, "configured")?,
             region_index,
             draining: bool_field(value, "draining")?,
+            transports,
         })
     }
 }

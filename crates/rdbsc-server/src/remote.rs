@@ -1,6 +1,8 @@
-//! The wire backend of the partition protocol:
+//! The wire backends of the partition protocol:
 //! [`HttpPartitionClient`] drives one `rdbsc-partitiond` daemon over
-//! persistent keep-alive HTTP/1.1.
+//! persistent keep-alive HTTP/1.1; [`BinaryPartitionClient`] drives it over
+//! length-prefixed binary frames ([`crate::frame`]) on a dedicated TCP
+//! connection, with per-connection pipelining.
 //!
 //! * **Handshake.** [`connect_remote_partition`] opens the connection, reads
 //!   `GET /partition/hello` (refusing a daemon speaking a different
@@ -22,13 +24,19 @@
 //!   bytes and per-command latency all land in the shared
 //!   [`ProtocolCounters`], surfaced per partition on the router's
 //!   `/metrics`.
+//! * **Transport negotiation.** Hello and configure always run over HTTP.
+//!   When the router asks for [`RemoteTransport::Binary`] and the daemon's
+//!   hello advertises `"binary"`, a second raw TCP connection is opened for
+//!   command frames; otherwise the HTTP client is kept — old daemons keep
+//!   working unchanged.
 
 use crate::client::{ClientResponse, HttpClient};
-use crate::dto::{AssignmentDto, SnapshotDto};
+use crate::dto::{AnswerDto, AssignmentDto, SnapshotDto};
 use crate::error::ServerError;
+use crate::frame::{self, FrameError, ReplyFrame, RequestFrame};
 use crate::json::Json;
 use crate::protocol::{
-    self, ConfigureDto, EngineConfigDto, HelloDto, RoutingTableDto, TickReplyDto,
+    self, ConfigureDto, EngineConfigDto, EventDto, HelloDto, RoutingTableDto, TickReplyDto,
 };
 use rdbsc_cluster::RegionPartition;
 use rdbsc_index::IndexBackend;
@@ -38,13 +46,52 @@ use rdbsc_platform::{
     EngineConfig, EngineEvent, EngineSnapshot, PartitionClient, PartitionError, PartitionTick,
     ProtocolCounters, PROTOCOL_VERSION,
 };
-use std::net::{SocketAddr, ToSocketAddrs};
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long one protocol command may take on the wire before the router
 /// gives the partition up. Ticks solve whole regions, so this is generous.
 const COMMAND_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The largest reply payload the binary client will accept. Tick replies
+/// scale with new assignments (~40 bytes each), so this is generous.
+const MAX_REPLY_PAYLOAD: usize = 64 << 20;
+
+/// Which wire protocol the router speaks to remote partition daemons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RemoteTransport {
+    /// JSON over persistent keep-alive HTTP/1.1. Always available; the
+    /// interoperability fallback.
+    Http,
+    /// Length-prefixed binary frames ([`crate::frame`]) over persistent
+    /// TCP, with per-connection pipelining. Negotiated via the hello
+    /// handshake; falls back to [`RemoteTransport::Http`] against a daemon
+    /// that does not advertise `"binary"`.
+    #[default]
+    Binary,
+}
+
+impl RemoteTransport {
+    /// Parses the CLI spelling (`"http"` or `"binary"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "http" => Some(Self::Http),
+            "binary" => Some(Self::Binary),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Http => "http",
+            Self::Binary => "binary",
+        }
+    }
+}
 
 /// A split-phase command whose reply has not been collected yet.
 struct Pending {
@@ -61,12 +108,14 @@ pub struct HttpPartitionClient {
     trace: u64,
     pending_submit: Option<Pending>,
     pending_tick: Option<Pending>,
+    speaks_binary: bool,
 }
 
 /// Resolves, handshakes and configures one remote partition, returning the
 /// boxed protocol client the router mounts for that region. Fails when the
 /// daemon is unreachable, speaks a different protocol version, or is
 /// already configured as part of a different topology.
+#[allow(clippy::too_many_arguments)]
 pub fn connect_remote_partition(
     addr: &str,
     partition: &RegionPartition,
@@ -75,9 +124,13 @@ pub fn connect_remote_partition(
     cell_size: f64,
     engine: &EngineConfig,
     durability: Option<&rdbsc_platform::WalConfig>,
+    transport: RemoteTransport,
 ) -> Result<Box<dyn PartitionClient>, ServerError> {
     let mut client = HttpPartitionClient::connect(addr)?;
     client.configure(partition, region_index, backend, cell_size, engine, durability)?;
+    if transport == RemoteTransport::Binary && client.speaks_binary {
+        return Ok(Box::new(BinaryPartitionClient::connect(addr)?));
+    }
     Ok(Box::new(client))
 }
 
@@ -104,6 +157,7 @@ impl HttpPartitionClient {
             trace: 0,
             pending_submit: None,
             pending_tick: None,
+            speaks_binary: false,
         };
         let hello = client.hello()?;
         if hello.protocol_version != PROTOCOL_VERSION {
@@ -117,6 +171,7 @@ impl HttpPartitionClient {
                 "partition {addr} is draining and cannot join a topology"
             )));
         }
+        client.speaks_binary = hello.speaks_binary();
         Ok(client)
     }
 
@@ -431,5 +486,497 @@ impl PartitionClient for HttpPartitionClient {
         self.counters.requests.incr();
         self.counters.command_latency.record(started.elapsed());
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary transport.
+
+/// What the oldest unanswered frame on the binary connection was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SentKind {
+    /// A `begin_submit` whose reply the router collects later.
+    Submit,
+    /// A `begin_tick` whose reply the router collects later.
+    Tick,
+}
+
+/// A pipelined command whose reply has not been read yet.
+struct Sent {
+    kind: SentKind,
+    request_id: u64,
+    started: Instant,
+}
+
+/// The partition protocol over length-prefixed binary frames
+/// ([`crate::frame`]) on a dedicated persistent TCP connection.
+///
+/// Unlike [`HttpPartitionClient`], this client *pipelines*: `begin_submit`
+/// and `begin_tick` only write their frame and park a record in `inflight`;
+/// the daemon answers strictly in arrival order, so replies are paired FIFO
+/// and validated by their echoed request id. The router exploits this
+/// (`supports_pipelining`) to stream a submit *and* the following tick to
+/// every partition before reading any reply — one wire round trip per tick
+/// instead of two. Immediate commands (answer, snapshot, probes) first
+/// drain any pipelined replies into the `submit_done`/`tick_done` caches,
+/// which the matching `finish_*` call later consumes.
+///
+/// Any transport or framing error *poisons* the connection: the stream is
+/// dropped and every in-flight command fails, because a desynced stream can
+/// never again pair bytes with the right command. A fresh connection is
+/// opened lazily on the next write; only an idle, previously-used
+/// connection is retried (the stale keep-alive case — the daemon never saw
+/// the frame, so at-most-once execution holds).
+pub struct BinaryPartitionClient {
+    endpoint: String,
+    socket: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+    /// Connections opened so far (first one is free; the rest count as
+    /// reconnects).
+    connections: u64,
+    /// Has the *current* connection completed a full frame exchange?
+    exchanged: bool,
+    counters: Arc<ProtocolCounters>,
+    next_request_id: u64,
+    trace: u64,
+    inflight: VecDeque<Sent>,
+    submit_done: Option<Result<(), PartitionError>>,
+    tick_done: Option<Result<PartitionTick, PartitionError>>,
+}
+
+impl BinaryPartitionClient {
+    /// Opens the binary command connection. The caller has already
+    /// handshaken and configured the daemon over HTTP and seen `"binary"`
+    /// advertised in its hello.
+    pub fn connect(addr: &str) -> Result<Self, ServerError> {
+        let socket: SocketAddr = addr
+            .to_socket_addrs()
+            .map_err(|e| {
+                ServerError::BadRequest(format!("cannot resolve partition address {addr:?}: {e}"))
+            })?
+            .next()
+            .ok_or_else(|| {
+                ServerError::BadRequest(format!("partition address {addr:?} resolves to nothing"))
+            })?;
+        let mut client = Self {
+            endpoint: addr.to_string(),
+            socket,
+            stream: None,
+            connections: 0,
+            exchanged: false,
+            counters: Arc::new(ProtocolCounters::default()),
+            next_request_id: 0,
+            trace: 0,
+            inflight: VecDeque::new(),
+            submit_done: None,
+            tick_done: None,
+        };
+        client.connection().map_err(|e| {
+            ServerError::BadRequest(format!("cannot open binary transport to {addr}: {e}"))
+        })?;
+        Ok(client)
+    }
+
+    fn next_rid(&mut self) -> u64 {
+        self.next_request_id += 1;
+        self.next_request_id
+    }
+
+    fn transport_str(&self, detail: impl Into<String>) -> PartitionError {
+        PartitionError::Transport {
+            endpoint: self.endpoint.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    fn protocol_err(&self, detail: impl Into<String>) -> PartitionError {
+        PartitionError::Protocol {
+            endpoint: self.endpoint.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The connection, opened lazily. `TCP_NODELAY` keeps small command
+    /// frames from waiting behind Nagle's algorithm.
+    fn connection(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.socket)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(COMMAND_TIMEOUT))?;
+            stream.set_write_timeout(Some(COMMAND_TIMEOUT))?;
+            if self.connections > 0 {
+                self.counters.reconnects.incr();
+            }
+            self.connections += 1;
+            self.exchanged = false;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(self.stream.as_mut().expect("connection just ensured"))
+    }
+
+    /// Drops the connection and fails every in-flight split-phase command —
+    /// once the stream desyncs or dies, no further bytes can be paired with
+    /// the right command. Returns `err` for the caller to propagate.
+    fn poison(&mut self, err: PartitionError) -> PartitionError {
+        self.stream = None;
+        for sent in std::mem::take(&mut self.inflight) {
+            let failure = PartitionError::Transport {
+                endpoint: self.endpoint.clone(),
+                detail: format!("connection poisoned: {err}"),
+            };
+            match sent.kind {
+                SentKind::Submit => self.submit_done = Some(Err(failure)),
+                SentKind::Tick => self.tick_done = Some(Err(failure)),
+            }
+        }
+        err
+    }
+
+    /// Writes one frame and counts it.
+    fn try_write(&mut self, frame: &RequestFrame) -> std::io::Result<()> {
+        let stream = self.connection()?;
+        let n = frame.write_to(stream.get_mut())?;
+        self.counters.bytes_sent.add(n as u64);
+        self.counters.frames_sent.incr();
+        Ok(())
+    }
+
+    /// Writes one request frame, retrying exactly once on a fresh
+    /// connection when a *reused idle* connection turns out stale (the
+    /// daemon never saw the frame, so at-most-once execution holds). A
+    /// write failure with replies in flight poisons the connection instead
+    /// — a rebuilt stream could never deliver them.
+    fn write_request(&mut self, frame: &RequestFrame) -> Result<(), PartitionError> {
+        let retriable = self.exchanged && self.inflight.is_empty() && self.stream.is_some();
+        match self.try_write(frame) {
+            Ok(()) => Ok(()),
+            Err(first) if retriable => {
+                self.stream = None;
+                self.counters.retries.incr();
+                self.try_write(frame).map_err(|e| {
+                    self.stream = None;
+                    self.transport_str(format!(
+                        "retry after stale connection ({first}) failed: {e}"
+                    ))
+                })
+            }
+            Err(e) => {
+                let err = self.transport_str(format!("writing command frame: {e}"));
+                Err(self.poison(err))
+            }
+        }
+    }
+
+    /// Reads and decodes the next reply frame; poisons on any failure.
+    fn read_reply(&mut self) -> Result<ReplyFrame, PartitionError> {
+        let reader = match self.stream.as_mut() {
+            Some(reader) => reader,
+            None => return Err(self.protocol_err("reading a reply without a connection")),
+        };
+        let raw = match frame::read_raw(reader, MAX_REPLY_PAYLOAD) {
+            Ok(Some(raw)) => raw,
+            Ok(None) => {
+                let err = self.transport_str("daemon closed the connection mid-command");
+                return Err(self.poison(err));
+            }
+            Err(FrameError::Io(e)) => {
+                let err = self.transport_str(format!("reading reply frame: {e}"));
+                return Err(self.poison(err));
+            }
+            Err(e) => {
+                let err = self.protocol_err(format!("malformed reply frame: {e}"));
+                return Err(self.poison(err));
+            }
+        };
+        self.counters
+            .bytes_received
+            .add((frame::HEADER_LEN + raw.payload.len()) as u64);
+        self.counters.frames_received.incr();
+        match ReplyFrame::decode(&raw) {
+            Ok(reply) => {
+                self.exchanged = true;
+                Ok(reply)
+            }
+            Err(e) => {
+                let err = self.protocol_err(format!("malformed reply frame: {e}"));
+                Err(self.poison(err))
+            }
+        }
+    }
+
+    /// Maps a daemon-reported error status like the HTTP path would.
+    fn status_error(&self, status: u16, detail: &str) -> PartitionError {
+        if status == 503 {
+            PartitionError::Draining {
+                endpoint: self.endpoint.clone(),
+            }
+        } else {
+            self.protocol_err(format!("command failed with {status}: {detail}"))
+        }
+    }
+
+    /// Reads the reply for `sent` — the FIFO-oldest unanswered frame — and
+    /// validates the request-id echo. Records the command in the counters
+    /// on success. A daemon [`ReplyFrame::Error`] maps to a command error
+    /// *without* poisoning (the stream is still in sync).
+    fn collect(&mut self, sent: &Sent) -> Result<ReplyFrame, PartitionError> {
+        let reply = self.read_reply()?;
+        if reply.request_id() != sent.request_id {
+            let err = self.protocol_err(format!(
+                "reply echoes request {} but {} is the oldest in flight — connection desynced",
+                reply.request_id(),
+                sent.request_id
+            ));
+            return Err(self.poison(err));
+        }
+        if let ReplyFrame::Error { status, detail, .. } = &reply {
+            return Err(self.status_error(*status, detail));
+        }
+        self.counters.requests.incr();
+        self.counters.command_latency.record(sent.started.elapsed());
+        Ok(reply)
+    }
+
+    /// Reads one reply off the wire and resolves the oldest in-flight
+    /// split-phase command into its cache slot (taken by the matching
+    /// `finish_*`). Failures land in the cache too, so this never needs to
+    /// report them directly.
+    fn pump_one(&mut self) {
+        let sent = self
+            .inflight
+            .pop_front()
+            .expect("pump_one needs a command in flight");
+        let result = self.collect(&sent);
+        match sent.kind {
+            SentKind::Submit => {
+                self.submit_done = Some(result.and_then(|reply| match reply {
+                    ReplyFrame::SubmitOk { .. } => Ok(()),
+                    other => Err(self.unexpected_reply("submit", &other)),
+                }));
+            }
+            SentKind::Tick => {
+                self.tick_done = Some(result.and_then(|reply| match reply {
+                    ReplyFrame::TickOk(dto) => dto
+                        .into_tick()
+                        .map_err(|e| self.protocol_err(format!("malformed tick reply: {e}"))),
+                    other => Err(self.unexpected_reply("tick", &other)),
+                }));
+            }
+        }
+    }
+
+    /// A reply whose id matched but whose tag didn't — the connection is
+    /// hopelessly desynced, so poison it.
+    fn unexpected_reply(&mut self, what: &str, reply: &ReplyFrame) -> PartitionError {
+        let err = self.protocol_err(format!(
+            "{what} answered with reply tag {:#04x} — connection desynced",
+            reply.tag()
+        ));
+        self.poison(err)
+    }
+
+    /// One full command round trip: write the frame, drain any pipelined
+    /// replies queued ahead of ours into their caches, then read our own.
+    fn immediate(&mut self, request: RequestFrame) -> Result<ReplyFrame, PartitionError> {
+        let sent = Sent {
+            kind: SentKind::Submit, // unused: collect() only reads request_id/started
+            request_id: request.request_id(),
+            started: Instant::now(),
+        };
+        self.write_request(&request)?;
+        while !self.inflight.is_empty() {
+            self.pump_one();
+            if self.stream.is_none() {
+                return Err(
+                    self.transport_str("connection poisoned while draining pipelined replies")
+                );
+            }
+        }
+        self.collect(&sent)
+    }
+}
+
+impl PartitionClient for BinaryPartitionClient {
+    fn kind(&self) -> &'static str {
+        "binary"
+    }
+
+    fn endpoint(&self) -> String {
+        self.endpoint.clone()
+    }
+
+    fn counters(&self) -> Arc<ProtocolCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    fn supports_pipelining(&self) -> bool {
+        true
+    }
+
+    fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+
+    fn begin_submit(&mut self, events: Vec<EngineEvent>) -> Result<(), PartitionError> {
+        if self.submit_done.is_some() || self.inflight.iter().any(|s| s.kind == SentKind::Submit)
+        {
+            return Err(self.protocol_err("begin_submit while a submit is unconfirmed"));
+        }
+        let rid = self.next_rid();
+        let request = RequestFrame::Submit {
+            request_id: rid,
+            trace: self.trace,
+            events: events.iter().map(EventDto::from_event).collect(),
+        };
+        let started = Instant::now();
+        self.write_request(&request)?;
+        self.inflight.push_back(Sent {
+            kind: SentKind::Submit,
+            request_id: rid,
+            started,
+        });
+        Ok(())
+    }
+
+    fn finish_submit(&mut self) -> Result<(), PartitionError> {
+        loop {
+            if let Some(done) = self.submit_done.take() {
+                return done;
+            }
+            if !self.inflight.iter().any(|s| s.kind == SentKind::Submit) {
+                return Err(self.protocol_err("finish_submit without begin_submit"));
+            }
+            self.pump_one();
+        }
+    }
+
+    fn begin_tick(&mut self, now: f64) -> Result<(), PartitionError> {
+        if self.tick_done.is_some() || self.inflight.iter().any(|s| s.kind == SentKind::Tick) {
+            return Err(self.protocol_err("begin_tick while a tick is unconfirmed"));
+        }
+        let rid = self.next_rid();
+        let request = RequestFrame::Tick {
+            request_id: rid,
+            trace: self.trace,
+            now,
+        };
+        let started = Instant::now();
+        self.write_request(&request)?;
+        self.inflight.push_back(Sent {
+            kind: SentKind::Tick,
+            request_id: rid,
+            started,
+        });
+        Ok(())
+    }
+
+    fn finish_tick(&mut self) -> Result<PartitionTick, PartitionError> {
+        loop {
+            if let Some(done) = self.tick_done.take() {
+                return done;
+            }
+            if !self.inflight.iter().any(|s| s.kind == SentKind::Tick) {
+                return Err(self.protocol_err("finish_tick without begin_tick"));
+            }
+            self.pump_one();
+        }
+    }
+
+    fn record_answer(
+        &mut self,
+        worker: WorkerId,
+        contribution: Contribution,
+    ) -> Result<bool, PartitionError> {
+        let rid = self.next_rid();
+        let request = RequestFrame::Answer {
+            request_id: rid,
+            answer: AnswerDto {
+                worker: worker.0,
+                confidence: contribution.p(),
+                angle: contribution.angle,
+                arrival: contribution.arrival,
+            },
+        };
+        match self.immediate(request)? {
+            ReplyFrame::AnswerOk { banked, .. } => Ok(banked),
+            other => Err(self.unexpected_reply("answer", &other)),
+        }
+    }
+
+    fn release_worker(&mut self, worker: WorkerId) -> Result<(), PartitionError> {
+        let rid = self.next_rid();
+        let request = RequestFrame::Release {
+            request_id: rid,
+            worker: worker.0,
+        };
+        match self.immediate(request)? {
+            ReplyFrame::ReleaseOk { .. } => Ok(()),
+            other => Err(self.unexpected_reply("release", &other)),
+        }
+    }
+
+    fn assignments(&mut self) -> Result<Vec<ValidPair>, PartitionError> {
+        let rid = self.next_rid();
+        let request = RequestFrame::Assignments { request_id: rid };
+        match self.immediate(request)? {
+            ReplyFrame::AssignmentsOk { assignments, .. } => assignments
+                .into_iter()
+                .map(|pair| {
+                    pair.into_pair()
+                        .map_err(|e| self.protocol_err(format!("malformed assignment: {e}")))
+                })
+                .collect(),
+            other => Err(self.unexpected_reply("assignments", &other)),
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<EngineSnapshot, PartitionError> {
+        let rid = self.next_rid();
+        let request = RequestFrame::Snapshot { request_id: rid };
+        match self.immediate(request)? {
+            ReplyFrame::SnapshotOk { snapshot, .. } => snapshot
+                .into_snapshot()
+                .map_err(|e| self.protocol_err(format!("malformed snapshot: {e}"))),
+            other => Err(self.unexpected_reply("snapshot", &other)),
+        }
+    }
+
+    fn is_active(&mut self) -> Result<bool, PartitionError> {
+        let rid = self.next_rid();
+        let request = RequestFrame::IsActive { request_id: rid };
+        match self.immediate(request)? {
+            ReplyFrame::ActiveOk { active, .. } => Ok(active),
+            other => Err(self.unexpected_reply("active", &other)),
+        }
+    }
+
+    fn has_worker(&mut self, id: WorkerId) -> Result<bool, PartitionError> {
+        let rid = self.next_rid();
+        let request = RequestFrame::HasWorker {
+            request_id: rid,
+            worker: id.0,
+        };
+        match self.immediate(request)? {
+            ReplyFrame::HasWorkerOk { present, .. } => Ok(present),
+            other => Err(self.unexpected_reply("has_worker", &other)),
+        }
+    }
+
+    fn drain(&mut self) -> Result<(), PartitionError> {
+        let rid = self.next_rid();
+        let request = RequestFrame::Drain { request_id: rid };
+        match self.immediate(request)? {
+            ReplyFrame::DrainOk { .. } => Ok(()),
+            other => Err(self.unexpected_reply("drain", &other)),
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<(), PartitionError> {
+        let rid = self.next_rid();
+        let request = RequestFrame::Shutdown { request_id: rid };
+        match self.immediate(request)? {
+            ReplyFrame::ShutdownOk { .. } => Ok(()),
+            other => Err(self.unexpected_reply("shutdown", &other)),
+        }
     }
 }

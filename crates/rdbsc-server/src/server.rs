@@ -26,7 +26,7 @@ use crate::http::{Method, Request, Response};
 use crate::json::{parse, Json};
 use crate::listener::{HttpCore, ListenerConfig, ShutdownHandle};
 use crate::metrics::ServerMetrics;
-use crate::remote::connect_remote_partition;
+use crate::remote::{connect_remote_partition, RemoteTransport};
 use rdbsc_cluster::RegionPartitioner;
 use rdbsc_geo::{Point, Rect};
 use rdbsc_index::geometry::GridGeometry;
@@ -99,6 +99,12 @@ pub struct ServerConfig {
     /// region index, backend and engine config — both sides agree on the
     /// geometry or the boot fails.
     pub remote_partitions: Vec<String>,
+    /// Wire transports for [`remote_partitions`](Self::remote_partitions):
+    /// the k-th entry applies to the k-th daemon; daemons beyond the list
+    /// use the last entry (so one entry sets all), and an empty list means
+    /// [`RemoteTransport::Binary`] — the negotiated fast path, which falls
+    /// back to HTTP per daemon when a daemon doesn't advertise `"binary"`.
+    pub remote_transports: Vec<RemoteTransport>,
     /// The engine configuration (seed, β, parallelism, auto-expire).
     pub engine: EngineConfig,
     /// Data directory for durable in-process partitions. When set, every
@@ -136,6 +142,7 @@ impl Default for ServerConfig {
             backend: IndexBackend::FlatGrid,
             partitions: 1,
             remote_partitions: Vec::new(),
+            remote_transports: Vec::new(),
             engine: EngineConfig::default(),
             data_dir: None,
             wal: rdbsc_platform::WalConfig::default(),
@@ -189,6 +196,12 @@ impl ServerConfig {
             Vec::with_capacity(partition.num_regions());
         for region in 0..partition.num_regions() {
             if let Some(addr) = self.remote_partitions.get(region) {
+                let transport = self
+                    .remote_transports
+                    .get(region)
+                    .or(self.remote_transports.last())
+                    .copied()
+                    .unwrap_or_default();
                 clients.push(connect_remote_partition(
                     addr,
                     &partition,
@@ -197,6 +210,7 @@ impl ServerConfig {
                     self.cell_size,
                     &self.engine,
                     Some(&self.wal),
+                    transport,
                 )?);
             } else if let Some(data_dir) = &self.data_dir {
                 let rect = partition.region_rect(region);
@@ -451,7 +465,7 @@ fn router_prom(shared: &Shared) -> String {
     w.gauge(
         "remote_partitions",
         "Partitions served by remote daemons",
-        transports.iter().filter(|t| t.kind == "http").count() as f64,
+        transports.iter().filter(|t| t.kind != "in-process").count() as f64,
     );
     w.gauge(
         "partitions_unhealthy",
@@ -495,6 +509,16 @@ fn router_prom(shared: &Shared) -> String {
             "partition_bytes_received_total",
             "Bytes received from partitions, all transports",
             transports.iter().map(|t| t.stats.bytes_received).sum(),
+        );
+        w.counter(
+            "partition_frames_sent_total",
+            "Binary frames sent to partitions (binary transport only)",
+            transports.iter().map(|t| t.stats.frames_sent).sum(),
+        );
+        w.counter(
+            "partition_frames_received_total",
+            "Binary frames received from partitions (binary transport only)",
+            transports.iter().map(|t| t.stats.frames_received).sum(),
         );
     }
     w.into_string()
@@ -546,7 +570,9 @@ fn route(
                 let transports = shared.handle.partition_transports();
                 map.insert(
                     "remote_partitions".to_string(),
-                    Json::Num(transports.iter().filter(|t| t.kind == "http").count() as f64),
+                    Json::Num(
+                        transports.iter().filter(|t| t.kind != "in-process").count() as f64,
+                    ),
                 );
                 if !transports.is_empty() {
                     let entries = transports
@@ -563,6 +589,11 @@ fn route(
                                 (
                                     "bytes_received",
                                     Json::Num(t.stats.bytes_received as f64),
+                                ),
+                                ("frames_sent", Json::Num(t.stats.frames_sent as f64)),
+                                (
+                                    "frames_received",
+                                    Json::Num(t.stats.frames_received as f64),
                                 ),
                                 (
                                     "command_latency",

@@ -1,0 +1,389 @@
+//! Fuzz-style property tests for the binary frame codec: every request and
+//! reply round-trips through encode → read → decode for arbitrary field
+//! values (including hostile strings and extreme float bit patterns), and
+//! the decoder never panics on random bytes, truncated frames, or
+//! bit-flipped frames — it fails with [`FrameError`] instead. Mirrors the
+//! `proptest_protocol.rs` treatment of the JSON wire path.
+
+use proptest::prelude::*;
+use rdbsc_server::dto::WalStatsDto;
+use rdbsc_server::frame::{
+    self, FrameError, RawFrame, ReplyFrame, RequestFrame, FRAME_VERSION, HEADER_LEN, MAGIC,
+};
+use rdbsc_server::protocol::{EventDto, TickReplyDto};
+use rdbsc_server::{AnswerDto, AssignmentDto, HeartbeatDto, SnapshotDto, TaskDto, WorkerDto};
+use std::io::Cursor;
+
+const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Reads one frame back out of an encoded buffer.
+fn read_back(bytes: &[u8]) -> Result<Option<RawFrame>, FrameError> {
+    frame::read_raw(&mut Cursor::new(bytes), MAX_PAYLOAD)
+}
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1.0e12f64..1.0e12
+}
+
+/// An arbitrary short string, including non-ASCII code points.
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x2100, 0..12).prop_map(|points| {
+        points
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect::<String>()
+    })
+}
+
+fn flag() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|b| b == 1)
+}
+
+fn event() -> impl Strategy<Value = EventDto> {
+    (
+        0u32..5,
+        0u32..=u32::MAX,
+        (finite(), finite(), finite(), finite(), finite(), finite()),
+        (flag(), flag()),
+    )
+        .prop_map(|(kind, id, (a, b, c, d, e, f), (opt1, opt2))| match kind {
+            0 => EventDto::TaskArrived(TaskDto {
+                id,
+                x: a,
+                y: b,
+                start: c,
+                end: d,
+                beta: opt1.then_some(e),
+            }),
+            1 => EventDto::TaskExpired(id),
+            2 => EventDto::WorkerCheckIn(WorkerDto {
+                id,
+                x: a,
+                y: b,
+                speed: c,
+                heading: opt2.then_some((d, e)),
+                confidence: f,
+                available_from: c,
+            }),
+            3 => EventDto::WorkerMoved(HeartbeatDto { id, x: a, y: b }),
+            _ => EventDto::WorkerLeft(id),
+        })
+}
+
+fn assignment() -> impl Strategy<Value = AssignmentDto> {
+    (0u32..=u32::MAX, 0u32..=u32::MAX, finite(), finite(), finite()).prop_map(
+        |(task, worker, confidence, angle, arrival)| AssignmentDto {
+            task,
+            worker,
+            confidence,
+            angle,
+            arrival,
+        },
+    )
+}
+
+fn request() -> impl Strategy<Value = RequestFrame> {
+    (
+        0u32..10,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u32..=u32::MAX,
+        (finite(), finite(), finite(), finite()),
+        proptest::collection::vec(event(), 0..8),
+    )
+        .prop_map(
+            |(kind, request_id, trace, worker, (w, x, y, z), events)| match kind {
+                0 => RequestFrame::Submit {
+                    request_id,
+                    trace,
+                    events,
+                },
+                1 => RequestFrame::Tick {
+                    request_id,
+                    trace,
+                    now: w,
+                },
+                2 => RequestFrame::Answer {
+                    request_id,
+                    answer: AnswerDto {
+                        worker,
+                        confidence: x,
+                        angle: y,
+                        arrival: z,
+                    },
+                },
+                3 => RequestFrame::Release { request_id, worker },
+                4 => RequestFrame::Assignments { request_id },
+                5 => RequestFrame::Snapshot { request_id },
+                6 => RequestFrame::IsActive { request_id },
+                7 => RequestFrame::HasWorker { request_id, worker },
+                8 => RequestFrame::Drain { request_id },
+                _ => RequestFrame::Shutdown { request_id },
+            },
+        )
+}
+
+fn tick_reply() -> impl Strategy<Value = TickReplyDto> {
+    (
+        (
+            0u64..=u64::MAX,
+            finite(),
+            proptest::collection::vec(0u64..=u64::MAX, 4),
+            proptest::collection::vec(text(), 0..4),
+            proptest::collection::vec(assignment(), 0..6),
+        ),
+        (
+            finite(),
+            proptest::collection::vec(finite(), 0..4),
+            proptest::collection::vec(0u64..=u64::MAX, 3),
+            proptest::collection::vec(0u32..=u32::MAX, 0..6),
+            proptest::collection::vec(0u64..=u64::MAX, 6),
+            0u64..=u64::MAX,
+        ),
+    )
+        .prop_map(
+            |(
+                (request_id, now, counts, strategies, new_assignments),
+                (solve_seconds, shard_solve_seconds, index, committed, stage_us, trace),
+            )| TickReplyDto {
+                request_id,
+                now,
+                events_applied: counts[0],
+                tasks_expired: counts[1],
+                num_shards: counts[2],
+                largest_shard_pairs: counts[3],
+                strategies,
+                new_assignments,
+                solve_seconds,
+                shard_solve_seconds,
+                index_relocations: index[0],
+                index_cells_repaired: index[1],
+                index_tcell_rebuilds: index[2],
+                committed,
+                stages: rdbsc_obs::StageTimings {
+                    apply_us: stage_us[0],
+                    extract_us: stage_us[1],
+                    solve_us: stage_us[2],
+                    merge_us: stage_us[3],
+                    wal_append_us: stage_us[4],
+                    wal_fsync_us: stage_us[5],
+                },
+                trace,
+            },
+        )
+}
+
+fn snapshot() -> impl Strategy<Value = SnapshotDto> {
+    (
+        proptest::collection::vec(finite(), 15),
+        text(),
+        (flag(), flag()),
+        proptest::collection::vec(finite(), 8),
+    )
+        .prop_map(|(head, backend, (has_wal, recovered_checkpoint), w)| SnapshotDto {
+            now: head[0],
+            ticks: head[1],
+            events_applied: head[2],
+            pending_events: head[3],
+            live_tasks: head[4],
+            live_workers: head[5],
+            committed_workers: head[6],
+            banked_answers: head[7],
+            total_assignments: head[8],
+            min_reliability: head[9],
+            total_std: head[10],
+            covered_tasks: head[11],
+            backend,
+            index_relocations: head[12],
+            index_cells_repaired: head[13],
+            index_tcell_rebuilds: head[14],
+            wal: has_wal.then_some(WalStatsDto {
+                segments: w[0],
+                segments_retired: w[1],
+                bytes_appended: w[2],
+                records_appended: w[3],
+                fsyncs: w[4],
+                checkpoints: w[5],
+                last_checkpoint_tick: w[6],
+                recovered_records: w[7],
+                recovered_checkpoint,
+            }),
+        })
+}
+
+fn reply() -> impl Strategy<Value = ReplyFrame> {
+    (
+        (0u32..11, 0u64..=u64::MAX, 0u32..=u32::MAX, flag(), 0u16..=u16::MAX),
+        text(),
+        proptest::collection::vec(assignment(), 0..6),
+        tick_reply(),
+        snapshot(),
+    )
+        .prop_map(
+            |((kind, request_id, buffered, yes, status), detail, assignments, tick, snap)| {
+                match kind {
+                    0 => ReplyFrame::SubmitOk {
+                        request_id,
+                        buffered,
+                    },
+                    1 => ReplyFrame::TickOk(Box::new(tick)),
+                    2 => ReplyFrame::AnswerOk {
+                        request_id,
+                        banked: yes,
+                    },
+                    3 => ReplyFrame::ReleaseOk { request_id },
+                    4 => ReplyFrame::AssignmentsOk {
+                        request_id,
+                        assignments,
+                    },
+                    5 => ReplyFrame::SnapshotOk {
+                        request_id,
+                        snapshot: Box::new(snap),
+                    },
+                    6 => ReplyFrame::ActiveOk {
+                        request_id,
+                        active: yes,
+                    },
+                    7 => ReplyFrame::HasWorkerOk {
+                        request_id,
+                        present: yes,
+                    },
+                    8 => ReplyFrame::DrainOk { request_id },
+                    9 => ReplyFrame::ShutdownOk { request_id },
+                    _ => ReplyFrame::Error {
+                        request_id,
+                        status,
+                        detail,
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every request decodes back to exactly what was encoded.
+    #[test]
+    fn requests_round_trip(request in request()) {
+        let mut wire = Vec::new();
+        let written = request.write_to(&mut wire).unwrap();
+        prop_assert_eq!(written, wire.len());
+        prop_assert_eq!(&wire[0..2], &MAGIC[..]);
+        prop_assert_eq!(wire[2], FRAME_VERSION);
+
+        let raw = read_back(&wire).unwrap().expect("one frame");
+        prop_assert_eq!(raw.tag, request.tag());
+        prop_assert_eq!(raw.request_id, request.request_id());
+        let decoded = RequestFrame::decode(&raw).unwrap();
+        prop_assert_eq!(decoded, request);
+
+        // And nothing left in the buffer after the frame.
+        let mut cursor = Cursor::new(&wire);
+        frame::read_raw(&mut cursor, MAX_PAYLOAD).unwrap();
+        prop_assert!(frame::read_raw(&mut cursor, MAX_PAYLOAD).unwrap().is_none());
+    }
+
+    /// Every reply decodes back to exactly what was encoded.
+    #[test]
+    fn replies_round_trip(reply in reply()) {
+        let mut wire = Vec::new();
+        reply.write_to(&mut wire).unwrap();
+        let raw = read_back(&wire).unwrap().expect("one frame");
+        prop_assert_eq!(raw.tag, reply.tag());
+        prop_assert_eq!(raw.request_id, reply.request_id());
+        let decoded = ReplyFrame::decode(&raw).unwrap();
+        prop_assert_eq!(decoded, reply);
+    }
+
+    /// Arbitrary f64 *bit patterns* — NaNs, infinities, subnormals — cross
+    /// the wire verbatim: decode → re-encode is byte-identical even when
+    /// `PartialEq` on the floats themselves would lie.
+    #[test]
+    fn float_bits_cross_the_wire_verbatim(
+        request_id in 0u64..=u64::MAX,
+        trace in 0u64..=u64::MAX,
+        bits in 0u64..=u64::MAX,
+    ) {
+        let request = RequestFrame::Tick { request_id, trace, now: f64::from_bits(bits) };
+        let mut wire = Vec::new();
+        request.write_to(&mut wire).unwrap();
+        let raw = read_back(&wire).unwrap().expect("one frame");
+        let decoded = RequestFrame::decode(&raw).unwrap();
+        let mut wire2 = Vec::new();
+        decoded.write_to(&mut wire2).unwrap();
+        prop_assert_eq!(wire, wire2);
+    }
+
+    /// Random bytes never panic the frame reader — they produce a frame,
+    /// a clean end-of-stream, or a `FrameError`.
+    #[test]
+    fn random_bytes_never_panic_the_reader(
+        bytes in proptest::collection::vec(0u8..=u8::MAX, 0..256),
+    ) {
+        let mut cursor = Cursor::new(&bytes);
+        while let Ok(Some(raw)) = frame::read_raw(&mut cursor, MAX_PAYLOAD) {
+            // Whatever the reader accepts, the decoders must also survive.
+            let _ = RequestFrame::decode(&raw);
+            let _ = ReplyFrame::decode(&raw);
+        }
+    }
+
+    /// A well-formed header followed by garbage never panics either
+    /// decoder — hostile counts, lengths, flags, and UTF-8 are all
+    /// rejected as `Malformed`.
+    #[test]
+    fn hostile_payloads_never_panic_the_decoders(
+        tag in 0u8..=u8::MAX,
+        request_id in 0u64..=u64::MAX,
+        payload in proptest::collection::vec(0u8..=u8::MAX, 0..200),
+    ) {
+        let mut wire = Vec::from(frame::header(tag, request_id, payload.len()));
+        wire.extend_from_slice(&payload);
+        let raw = read_back(&wire).unwrap().expect("one frame");
+        let _ = RequestFrame::decode(&raw);
+        let _ = ReplyFrame::decode(&raw);
+    }
+
+    /// Truncating a valid frame anywhere never panics: mid-header is
+    /// malformed (or clean EOF at byte zero), mid-payload is malformed.
+    #[test]
+    fn truncated_frames_never_panic(request in request(), keep in 0.0f64..1.0) {
+        let mut wire = Vec::new();
+        request.write_to(&mut wire).unwrap();
+        let cut = ((wire.len() as f64) * keep) as usize;
+        wire.truncate(cut);
+        match read_back(&wire) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at byte zero"),
+            Ok(Some(raw)) => {
+                // Only possible when the whole frame survived the cut.
+                prop_assert_eq!(cut, HEADER_LEN + raw.payload.len());
+            }
+            Err(FrameError::Malformed(_)) => {}
+            Err(FrameError::Io(e)) => return Err(format!("unexpected io error: {e}")),
+        }
+    }
+
+    /// Flipping any single bit of a valid frame never panics the reader or
+    /// decoders; flips in the magic or version bytes are always caught.
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        request in request(),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut wire = Vec::new();
+        request.write_to(&mut wire).unwrap();
+        let at = ((wire.len() as f64) * pos) as usize % wire.len();
+        wire[at] ^= 1 << bit;
+        match read_back(&wire) {
+            Ok(Some(raw)) => {
+                let _ = RequestFrame::decode(&raw);
+                let _ = ReplyFrame::decode(&raw);
+                prop_assert!(at >= 3, "magic/version flips must not be accepted");
+            }
+            Ok(None) => {}
+            Err(FrameError::Malformed(_)) | Err(FrameError::Io(_)) => {}
+        }
+    }
+}
