@@ -233,6 +233,9 @@ fn merge_answers(
         }
         parent[x]
     }
+    // The final partition is the same whatever order the conflict lists
+    // are unioned in, and groups are sorted before resolution below.
+    // lint:allow(D001): order-insensitive union-find merge
     for members in task_to_conflicts.values() {
         for pair in members.windows(2) {
             let a = find(&mut parent, index_of[&pair[0]]);
@@ -250,6 +253,8 @@ fn merge_answers(
     // Resolve each group. Groups touch disjoint task sets, so they can be
     // resolved independently against the already-merged non-conflicting
     // assignments (Lemma 6.2).
+    // Members of each group keep `conflicting`'s deterministic order.
+    // lint:allow(D001): collected here, sorted on the next line
     let mut group_list: Vec<Vec<WorkerId>> = groups.into_values().collect();
     group_list.sort_by_key(|g| g.first().map(|w| w.index()).unwrap_or(0));
     for group in group_list {

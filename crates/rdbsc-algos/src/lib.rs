@@ -74,6 +74,8 @@
 //! }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod baselines;
 pub mod dnc;
 pub mod exact;

@@ -24,7 +24,9 @@ use rdbsc_geo::FULL_TURN;
 /// A `[lower, upper]` interval bounding an expected diversity value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiversityBounds {
+    /// Greatest provable lower bound.
     pub lower: f64,
+    /// Least provable upper bound.
     pub upper: f64,
 }
 

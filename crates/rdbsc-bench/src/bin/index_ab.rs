@@ -23,6 +23,7 @@ use rdbsc_index::{
     choose_backend, FlatGridIndex, GridIndex, IndexBackend, SpatialIndex, WorkloadProfile,
 };
 use rdbsc_model::{Task, TaskId, TimeWindow, ValidPair, Worker, WorkerId};
+use rdbsc_obs::digest::Fnv1a;
 use rdbsc_server::json::Json;
 use rdbsc_workloads::{generate_metro_instance, MetroConfig};
 use std::time::Instant;
@@ -225,20 +226,17 @@ struct RunOutcome {
     tcell_rebuilds: u64,
 }
 
-/// FNV-1a over the candidate stream, order-sensitive.
+/// FNV-1a over the candidate stream, order-sensitive (the canonical
+/// word-wise fold from `rdbsc_obs::digest`).
 fn digest_pairs(pairs: &[ValidPair]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    let mut absorb = |v: u64| {
-        hash ^= v;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    };
+    let mut digest = Fnv1a::new();
     for p in pairs {
-        absorb(p.task.0 as u64);
-        absorb(p.worker.0 as u64);
-        absorb(p.contribution.angle.to_bits());
-        absorb(p.contribution.arrival.to_bits());
+        digest.write_u64(p.task.0 as u64);
+        digest.write_u64(p.worker.0 as u64);
+        digest.write_u64(p.contribution.angle.to_bits());
+        digest.write_u64(p.contribution.arrival.to_bits());
     }
-    hash
+    digest.finish()
 }
 
 /// Replays the script on one backend: apply each tick's events, then run the

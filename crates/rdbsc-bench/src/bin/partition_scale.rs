@@ -25,6 +25,7 @@ use rdbsc_cluster::{RegionPartition, RegionPartitioner};
 use rdbsc_geo::{Point, Rect};
 use rdbsc_index::geometry::GridGeometry;
 use rdbsc_index::FlatGridIndex;
+use rdbsc_obs::digest::Fnv1a;
 use rdbsc_platform::{EngineConfig, EngineEvent, PartitionedEngine};
 use rdbsc_server::json::Json;
 use rdbsc_workloads::{generate_metro_instance, MetroConfig};
@@ -234,7 +235,7 @@ fn run(args: &Args, script: &Script, partitions: usize) -> RunResult {
         FlatGridIndex::new(rect, CELL_SIZE)
     });
 
-    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over committed pairs
+    let mut digest = Fnv1a::new(); // FNV-1a over committed pairs
     let mut answers = 0u64;
     let mut assignments = 0u64;
     let mut solve_critical_s = 0.0;
@@ -248,7 +249,7 @@ fn run(args: &Args, script: &Script, partitions: usize) -> RunResult {
         assignments += report.new_assignments.len() as u64;
         for pair in &report.new_assignments {
             for word in [pair.task.0 as u64, pair.worker.0 as u64] {
-                digest = (digest ^ word).wrapping_mul(0x0000_0100_0000_01B3);
+                digest.write_u64(word);
             }
             // Deliver every answer right away: frees the workers for the
             // next round (and triggers any deferred boundary handoffs).
@@ -266,7 +267,7 @@ fn run(args: &Args, script: &Script, partitions: usize) -> RunResult {
         answers,
         handoffs: engine.handoffs(),
         ticks: script.rounds.len() as u64,
-        digest,
+        digest: digest.finish(),
     }
 }
 

@@ -41,6 +41,7 @@ use rdbsc_geo::{Point, Rect};
 use rdbsc_index::geometry::GridGeometry;
 use rdbsc_index::IndexBackend;
 use rdbsc_model::valid_pairs::ValidPair;
+use rdbsc_obs::digest::Fnv1a;
 use rdbsc_platform::{
     AssignmentEngine, EngineConfig, EngineEvent, InProcessClient, PartitionClient,
     PartitionedEngine, ProtocolStats,
@@ -208,8 +209,7 @@ fn build_script(args: &Args) -> Script {
 
 /// FNV-1a over a committed pair's ids **and float bit patterns** — a digest
 /// collision across transports would require bit-identical contributions.
-fn fold_pair(digest: u64, pair: &ValidPair) -> u64 {
-    let mut d = digest;
+fn fold_pair(digest: &mut Fnv1a, pair: &ValidPair) {
     for word in [
         pair.task.0 as u64,
         pair.worker.0 as u64,
@@ -217,9 +217,8 @@ fn fold_pair(digest: u64, pair: &ValidPair) -> u64 {
         pair.contribution.angle.to_bits(),
         pair.contribution.arrival.to_bits(),
     ] {
-        d = (d ^ word).wrapping_mul(0x0000_0100_0000_01B3);
+        digest.write_u64(word);
     }
-    d
 }
 
 struct RunResult {
@@ -247,7 +246,7 @@ fn run_plain(args: &Args, script: &Script) -> RunResult {
             ..EngineConfig::default()
         },
     );
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut digest = Fnv1a::new();
     let mut assignments = 0u64;
     let mut answers = 0u64;
     let started = Instant::now();
@@ -256,7 +255,7 @@ fn run_plain(args: &Args, script: &Script) -> RunResult {
         let report = engine.tick(round as f64 * script.dt);
         assignments += report.new_assignments.len() as u64;
         for pair in &report.new_assignments {
-            digest = fold_pair(digest, pair);
+            fold_pair(&mut digest, pair);
             if engine.record_answer(pair.worker, pair.contribution) {
                 answers += 1;
             }
@@ -268,7 +267,7 @@ fn run_plain(args: &Args, script: &Script) -> RunResult {
         assignments,
         answers,
         handoffs: 0,
-        digest,
+        digest: digest.finish(),
         remote_kind: None,
         remote_stats: Vec::new(),
     }
@@ -328,7 +327,7 @@ fn run_routed(
     }
     let mut engine = PartitionedEngine::new(partition, clients);
 
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut digest = Fnv1a::new();
     let mut assignments = 0u64;
     let mut answers = 0u64;
     let started = Instant::now();
@@ -337,7 +336,7 @@ fn run_routed(
         let report = engine.tick(round as f64 * script.dt);
         assignments += report.new_assignments.len() as u64;
         for pair in &report.new_assignments {
-            digest = fold_pair(digest, pair);
+            fold_pair(&mut digest, pair);
             if engine.record_answer(pair.worker, pair.contribution) {
                 answers += 1;
             }
@@ -363,7 +362,7 @@ fn run_routed(
         assignments,
         answers,
         handoffs,
-        digest,
+        digest: digest.finish(),
         remote_kind,
         remote_stats,
     }

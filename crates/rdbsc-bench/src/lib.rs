@@ -13,6 +13,8 @@
 //! See DESIGN.md §5 for the experiment ↔ figure index and EXPERIMENTS.md for
 //! the recorded paper-vs-measured comparison.
 
+#![deny(missing_docs)]
+
 pub mod figures;
 pub mod runner;
 

@@ -17,6 +17,8 @@
 //!   (constraint 1 of Definition 4).
 //! * [`Sector`] — the fan-shaped working area described in Section 8.1.
 
+#![deny(missing_docs)]
+
 pub mod angle;
 pub mod motion;
 pub mod point;

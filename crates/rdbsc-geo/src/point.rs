@@ -10,7 +10,9 @@ use std::ops::{Add, Mul, Sub};
 /// the choice of units.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
+    /// Horizontal coordinate.
     pub x: f64,
+    /// Vertical coordinate.
     pub y: f64,
 }
 

@@ -6,9 +6,13 @@ use crate::point::Point;
 /// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
+    /// Left edge.
     pub min_x: f64,
+    /// Bottom edge.
     pub min_y: f64,
+    /// Right edge.
     pub max_x: f64,
+    /// Top edge.
     pub max_y: f64,
 }
 

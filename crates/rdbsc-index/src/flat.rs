@@ -341,12 +341,14 @@ impl FlatGridIndex {
 
     fn id_capacity(&self) -> (usize, usize) {
         let max_task = self
+            // lint:allow(D001): max over keys — order-insensitive
             .task_handles
             .keys()
             .map(|t| t.index() + 1)
             .max()
             .unwrap_or(0);
         let max_worker = self
+            // lint:allow(D001): max over keys — order-insensitive
             .worker_handles
             .keys()
             .map(|w| w.index() + 1)

@@ -267,17 +267,20 @@ impl GridIndex {
 
     /// Iterates over the live tasks (arbitrary order).
     pub fn tasks(&self) -> impl Iterator<Item = &Task> {
+        // lint:allow(D001): documented arbitrary-order view — deterministic consumers sort (tests do)
         self.tasks.values()
     }
 
     /// Iterates over the live workers (arbitrary order).
     pub fn workers(&self) -> impl Iterator<Item = &Worker> {
+        // lint:allow(D001): documented arbitrary-order view — deterministic consumers sort (tests do)
         self.workers.values()
     }
 
     /// Ids of the live tasks whose valid period has ended at time `now`.
     pub fn expired_tasks(&self, now: f64) -> Vec<TaskId> {
         let mut expired: Vec<TaskId> = self
+            // lint:allow(D001): collected here, sorted before returning
             .tasks
             .values()
             .filter(|t| t.window.end < now)
@@ -554,8 +557,10 @@ impl GridIndex {
     // ------------------------------------------------------------------
 
     fn id_capacity(&self) -> (usize, usize) {
+        // lint:allow(D001): max over keys — order-insensitive
         let max_task = self.tasks.keys().map(|t| t.index() + 1).max().unwrap_or(0);
         let max_worker = self
+            // lint:allow(D001): max over keys — order-insensitive
             .workers
             .keys()
             .map(|w| w.index() + 1)
@@ -574,8 +579,10 @@ impl GridIndex {
     /// Retrieves every valid pair by brute force (no cell pruning), used to
     /// measure the index's benefit (Figure 17(b)) and to validate it.
     pub fn retrieve_valid_pairs_bruteforce(&self) -> BipartiteCandidates {
+        // lint:allow(D001): collected here, sorted on the next line
         let mut tasks: Vec<Task> = self.tasks.values().copied().collect();
         tasks.sort_by_key(|t| t.id);
+        // lint:allow(D001): collected here, sorted on the next line
         let mut workers: Vec<Worker> = self.workers.values().copied().collect();
         workers.sort_by_key(|w| w.id);
         bruteforce_pairs(
@@ -592,8 +599,10 @@ impl GridIndex {
     /// ids. Tasks and workers appear in ascending id order, so the view is
     /// deterministic.
     pub fn to_instance(&self, beta: f64) -> (ProblemInstance, rdbsc_model::instance::SubInstanceMapping) {
+        // lint:allow(D001): collected here, sorted on the next line
         let mut tasks: Vec<Task> = self.tasks.values().copied().collect();
         tasks.sort_by_key(|t| t.id);
+        // lint:allow(D001): collected here, sorted on the next line
         let mut workers: Vec<Worker> = self.workers.values().copied().collect();
         workers.sort_by_key(|w| w.id);
         let mapping = rdbsc_model::instance::SubInstanceMapping {
@@ -732,11 +741,13 @@ impl SpatialIndex for GridIndex {
         self.expired_tasks(now)
     }
     fn live_tasks(&self) -> Vec<Task> {
+        // lint:allow(D001): collected here, sorted on the next line
         let mut tasks: Vec<Task> = self.tasks.values().copied().collect();
         tasks.sort_by_key(|t| t.id);
         tasks
     }
     fn live_workers(&self) -> Vec<Worker> {
+        // lint:allow(D001): collected here, sorted on the next line
         let mut workers: Vec<Worker> = self.workers.values().copied().collect();
         workers.sort_by_key(|w| w.id);
         workers

@@ -108,6 +108,7 @@ pub(crate) fn extract_shards_via<C: CellTopology + ?Sized>(
         }
     }
 
+    // lint:allow(D001): collected here, sorted on the next line
     let mut roots: Vec<usize> = comp_worker_cells.keys().copied().collect();
     roots.sort_unstable();
 

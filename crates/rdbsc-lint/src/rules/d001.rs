@@ -1,0 +1,41 @@
+//! D001 — `HashMap`/`HashSet` iteration in deterministic-path code.
+//!
+//! Hash iteration order depends on the per-process `RandomState` seed, so
+//! any value that escapes such a loop (a float fold, a serialized sequence,
+//! an assignment choice) can differ between byte-identical engines running
+//! in different processes — the exact bug class behind the
+//! `current_objective` last-ulp divergence fixed in the transport PR.
+
+use crate::analysis::{self, SiteKind};
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+/// Runs D001 on one file.
+pub fn check(f: &SourceFile) -> Vec<Finding> {
+    let bindings = analysis::hash_bindings(f);
+    if bindings.is_empty() {
+        return Vec::new();
+    }
+    let test_spans = analysis::test_spans(f);
+    analysis::iteration_sites(f, &bindings)
+        .into_iter()
+        .filter(|s| !analysis::in_spans(&test_spans, s.byte))
+        .map(|s| {
+            let how = match &s.kind {
+                SiteKind::Method { method, .. } => format!(".{method}()"),
+                SiteKind::ForLoop { .. } => "a `for` loop".to_string(),
+            };
+            Finding {
+                file: f.rel.clone(),
+                line: s.line,
+                rule: "D001",
+                message: format!(
+                    "iteration over hash container `{}` via {how} — hash order \
+                     is not deterministic across processes; iterate a sorted \
+                     copy or switch to BTreeMap/BTreeSet",
+                    s.name
+                ),
+            }
+        })
+        .collect()
+}

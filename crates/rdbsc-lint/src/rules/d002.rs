@@ -1,0 +1,70 @@
+//! D002 — wall-clock or thread-identity reads in engine/solver/WAL code.
+//!
+//! The engine's contract is that *time enters through the tick*: every
+//! decision is a function of the submitted events and the tick timestamp,
+//! never of when the code happens to run. `Instant::now` for observational
+//! stopwatches is tolerated only behind an explicit suppression with a
+//! reason, so each site is audited once and the audit lives in the source.
+
+use crate::analysis;
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+/// Runs D002 on one file.
+pub fn check(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let test_spans = analysis::test_spans(f);
+    let n = f.code.len();
+    for i in 0..n {
+        let text = f.code_text(i);
+        let (line, byte) = match f.code_token(i) {
+            Some(t) => (t.line, t.start),
+            None => continue,
+        };
+        if analysis::in_spans(&test_spans, byte) {
+            continue;
+        }
+        // `Instant::now(` / `SystemTime::now(`.
+        if text == "now"
+            && f.code_text(i + 1) == "("
+            && i >= 3
+            && f.code_text(i - 1) == ":"
+            && f.code_text(i - 2) == ":"
+        {
+            let ty = f.code_text(i - 3);
+            if ty == "Instant" || ty == "SystemTime" {
+                out.push(Finding {
+                    file: f.rel.clone(),
+                    line,
+                    rule: "D002",
+                    message: format!(
+                        "`{ty}::now()` in deterministic-path code — wall-clock \
+                         values must never reach an engine decision; time \
+                         enters through the tick timestamp"
+                    ),
+                });
+            }
+        }
+        // `thread::current().id()`.
+        if text == "current"
+            && i >= 3
+            && f.code_text(i - 1) == ":"
+            && f.code_text(i - 2) == ":"
+            && f.code_text(i - 3) == "thread"
+            && f.code_text(i + 1) == "("
+            && f.code_text(i + 2) == ")"
+            && f.code_text(i + 3) == "."
+            && f.code_text(i + 4) == "id"
+        {
+            out.push(Finding {
+                file: f.rel.clone(),
+                line,
+                rule: "D002",
+                message: "`thread::current().id()` in deterministic-path code — \
+                          thread identity differs run to run and across hosts"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}

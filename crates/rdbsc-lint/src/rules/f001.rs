@@ -1,0 +1,89 @@
+//! F001 — re-rolled FNV-1a constants.
+//!
+//! The FNV-1a offset basis / prime used for every digest identity check in
+//! this workspace live in `rdbsc_obs::digest`, together with the streaming
+//! folder. History: the fold was copy-pasted into three bench binaries and
+//! the WAL codec before being centralized; this rule keeps it centralized.
+//! Any number literal equal to either constant outside the canonical module
+//! is a finding.
+
+use crate::analysis;
+use crate::lexer::TokenKind;
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+/// FNV-1a 64-bit offset basis.
+// lint:allow(F001): the rule's own definition of the constant it hunts
+const FNV_OFFSET: u128 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+// lint:allow(F001): the rule's own definition of the constant it hunts
+const FNV_PRIME: u128 = 0x0000_0100_0000_01b3;
+
+/// The one module allowed to spell the constants out.
+pub fn is_canonical_home(rel: &str) -> bool {
+    rel.ends_with("rdbsc-obs/src/digest.rs")
+}
+
+/// Runs F001 on one file.
+pub fn check(f: &SourceFile) -> Vec<Finding> {
+    if is_canonical_home(&f.rel) {
+        return Vec::new();
+    }
+    let test_spans = analysis::test_spans(f);
+    let mut out = Vec::new();
+    for &i in &f.code {
+        let Some(t) = f.tokens.get(i) else { continue };
+        if t.kind != TokenKind::Num || analysis::in_spans(&test_spans, t.start) {
+            continue;
+        }
+        let Some(value) = parse_number(f.text_of(t)) else {
+            continue;
+        };
+        if value == FNV_OFFSET || value == FNV_PRIME {
+            let which = if value == FNV_OFFSET {
+                "offset basis"
+            } else {
+                "prime"
+            };
+            out.push(Finding {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: "F001",
+                message: format!(
+                    "FNV-1a {which} literal — use `rdbsc_obs::digest` \
+                     (Fnv1a / fnv1a_bytes) instead of re-rolling the fold"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Parses a Rust number literal (underscores, radix prefixes, and type
+/// suffixes accepted). `None` for floats or malformed text.
+fn parse_number(text: &str) -> Option<u128> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let lower = cleaned.to_ascii_lowercase();
+    if lower.contains('.') {
+        return None;
+    }
+    let strip = |s: &str| -> String {
+        for suffix in [
+            "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+        ] {
+            if let Some(p) = s.strip_suffix(suffix) {
+                return p.to_string();
+            }
+        }
+        s.to_string()
+    };
+    if let Some(hex) = lower.strip_prefix("0x") {
+        u128::from_str_radix(&strip(hex), 16).ok()
+    } else if let Some(oct) = lower.strip_prefix("0o") {
+        u128::from_str_radix(&strip(oct), 8).ok()
+    } else if let Some(bin) = lower.strip_prefix("0b") {
+        u128::from_str_radix(&strip(bin), 2).ok()
+    } else {
+        strip(&lower).parse().ok()
+    }
+}

@@ -1,0 +1,276 @@
+//! W001 — partition frame-tag audit.
+//!
+//! The binary wire protocol's correctness rests on a table of `u8` tag
+//! constants in `rdbsc-server::frame` and two conventions around it: a
+//! reply's tag is its request's tag with the high bit set (`tag | 0x80`),
+//! and `0xFF` is the error reply. Three files have to agree (the tag table,
+//! the frame decoder, and the daemon's `route_frame`), and nothing but
+//! convention ties them together — exactly the kind of cross-file invariant
+//! a reviewer misses. This rule parses the table and mechanically checks:
+//!
+//! * every tag value is unique;
+//! * `REPLY == 0x80`, `ERROR == 0xFF`;
+//! * request tags sit in `0x01..=0x7E` so `tag | 0x80` neither collides
+//!   with a request tag nor with the error tag;
+//! * every request tag has a decoder arm (`tag::NAME =>`) and a reply
+//!   mapping (`tag::NAME | tag::REPLY`) in `frame.rs`;
+//! * every request tag has a `RequestFrame::<Variant>` routing arm in
+//!   `partitiond.rs`.
+
+use crate::lexer::TokenKind;
+use crate::rules::Finding;
+use crate::source::SourceFile;
+
+/// One parsed tag constant.
+#[derive(Debug)]
+struct TagConst {
+    name: String,
+    value: u32,
+    line: u32,
+}
+
+/// Runs W001 against the frame-tag table and (optionally) the daemon
+/// routing file.
+pub fn check(frame: &SourceFile, partitiond: Option<&SourceFile>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tags = parse_tag_consts(frame);
+    if tags.is_empty() {
+        out.push(Finding {
+            file: frame.rel.clone(),
+            line: 1,
+            rule: "W001",
+            message: "no `mod tag { const … }` table found — the frame-tag \
+                      audit has nothing to check"
+                .to_string(),
+        });
+        return out;
+    }
+    let finding = |line: u32, message: String| Finding {
+        file: frame.rel.clone(),
+        line,
+        rule: "W001",
+        message,
+    };
+
+    // Uniqueness.
+    for (i, a) in tags.iter().enumerate() {
+        for b in &tags[..i] {
+            if a.value == b.value {
+                out.push(finding(
+                    a.line,
+                    format!(
+                        "tag `{}` (0x{:02X}) duplicates `{}` — every frame tag \
+                         must be unique",
+                        a.name, a.value, b.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // The two structural tags.
+    match tags.iter().find(|t| t.name == "REPLY") {
+        Some(t) if t.value == 0x80 => {}
+        Some(t) => out.push(finding(
+            t.line,
+            format!(
+                "REPLY must be 0x80 (the high bit), found 0x{:02X} — the \
+                 `tag | 0x80` reply mapping depends on it",
+                t.value
+            ),
+        )),
+        None => out.push(finding(1, "missing `REPLY` tag constant".to_string())),
+    }
+    match tags.iter().find(|t| t.name == "ERROR") {
+        Some(t) if t.value == 0xFF => {}
+        Some(t) => out.push(finding(
+            t.line,
+            format!("ERROR must be 0xFF, found 0x{:02X}", t.value),
+        )),
+        None => out.push(finding(1, "missing `ERROR` tag constant".to_string())),
+    }
+
+    let requests: Vec<&TagConst> = tags
+        .iter()
+        .filter(|t| t.name != "REPLY" && t.name != "ERROR")
+        .collect();
+    for t in &requests {
+        if t.value == 0 || t.value > 0x7E {
+            out.push(finding(
+                t.line,
+                format!(
+                    "request tag `{}` is 0x{:02X} — request tags must sit in \
+                     0x01..=0x7E so `tag | 0x80` is a distinct non-error reply",
+                    t.name, t.value
+                ),
+            ));
+        }
+        if !has_decode_arm(frame, &t.name) {
+            out.push(finding(
+                t.line,
+                format!(
+                    "request tag `{}` has no decoder arm (`tag::{} =>`) in the \
+                     frame parser",
+                    t.name, t.name
+                ),
+            ));
+        }
+        if !has_reply_mapping(frame, &t.name) {
+            out.push(finding(
+                t.line,
+                format!(
+                    "request tag `{}` has no reply mapping \
+                     (`tag::{} | tag::REPLY`)",
+                    t.name, t.name
+                ),
+            ));
+        }
+        if let Some(p) = partitiond {
+            let variant = camel_case(&t.name);
+            if !has_route_arm(p, &variant) {
+                out.push(finding(
+                    t.line,
+                    format!(
+                        "request tag `{}` has no `RequestFrame::{variant}` \
+                         routing arm in {}",
+                        t.name, p.rel
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses `const NAME: u8 = <number>;` items inside `mod tag { … }`.
+fn parse_tag_consts(f: &SourceFile) -> Vec<TagConst> {
+    let n = f.code.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    // Find `mod tag {`.
+    let mut body_at = None;
+    while i + 2 < n {
+        if f.code_text(i) == "mod" && f.code_text(i + 1) == "tag" && f.code_text(i + 2) == "{" {
+            body_at = Some(i + 3);
+            break;
+        }
+        i += 1;
+    }
+    let Some(start) = body_at else {
+        return out;
+    };
+    let mut depth = 1i32;
+    let mut j = start;
+    while j < n && depth > 0 {
+        match f.code_text(j) {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            "const" => {
+                // const NAME : u8 = VALUE ;
+                let name = f.code_text(j + 1).to_string();
+                if f.code_text(j + 2) == ":"
+                    && f.code_text(j + 4) == "="
+                    && f.code_token(j + 5).map(|t| t.kind) == Some(TokenKind::Num)
+                {
+                    if let Some(value) = parse_u32(f.code_text(j + 5)) {
+                        let line = f.code_token(j + 1).map(|t| t.line).unwrap_or(1);
+                        out.push(TagConst { name, value, line });
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+fn parse_u32(text: &str) -> Option<u32> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let lower = cleaned.to_ascii_lowercase();
+    if let Some(hex) = lower.strip_prefix("0x") {
+        u32::from_str_radix(hex.trim_end_matches("u8"), 16).ok()
+    } else {
+        lower.trim_end_matches("u8").parse().ok()
+    }
+}
+
+/// Looks for `tag :: NAME =>` outside the tag module (a decoder match arm).
+fn has_decode_arm(f: &SourceFile, name: &str) -> bool {
+    let n = f.code.len();
+    for i in 0..n {
+        if f.code_text(i) == "tag"
+            && f.code_text(i + 1) == ":"
+            && f.code_text(i + 2) == ":"
+            && f.code_text(i + 3) == name
+            && f.code_text(i + 4) == "="
+            && f.code_text(i + 5) == ">"
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Looks for `tag :: NAME | tag :: REPLY` (the reply-tag construction).
+fn has_reply_mapping(f: &SourceFile, name: &str) -> bool {
+    let n = f.code.len();
+    for i in 0..n {
+        if f.code_text(i) == "tag"
+            && f.code_text(i + 1) == ":"
+            && f.code_text(i + 2) == ":"
+            && f.code_text(i + 3) == name
+            && f.code_text(i + 4) == "|"
+            && f.code_text(i + 5) == "tag"
+            && f.code_text(i + 6) == ":"
+            && f.code_text(i + 7) == ":"
+            && f.code_text(i + 8) == "REPLY"
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Looks for `RequestFrame :: Variant` anywhere in the routing file.
+fn has_route_arm(f: &SourceFile, variant: &str) -> bool {
+    let n = f.code.len();
+    for i in 0..n {
+        if f.code_text(i) == "RequestFrame"
+            && f.code_text(i + 1) == ":"
+            && f.code_text(i + 2) == ":"
+            && f.code_text(i + 3) == variant
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `IS_ACTIVE` → `IsActive`.
+fn camel_case(const_name: &str) -> String {
+    const_name
+        .split('_')
+        .map(|part| {
+            let mut chars = part.chars();
+            match chars.next() {
+                Some(first) => {
+                    first.to_ascii_uppercase().to_string() + &chars.as_str().to_ascii_lowercase()
+                }
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::camel_case;
+
+    #[test]
+    fn camel_case_variants() {
+        assert_eq!(camel_case("SUBMIT"), "Submit");
+        assert_eq!(camel_case("IS_ACTIVE"), "IsActive");
+        assert_eq!(camel_case("HAS_WORKER"), "HasWorker");
+    }
+}

@@ -1,0 +1,46 @@
+//! D001 fixture: hash iteration in shipped code fires; slices, sorted
+//! copies and `#[cfg(test)]` code do not. Tilde markers flag the expected
+//! finding lines.
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    committed: HashMap<u32, u32>,
+}
+
+impl State {
+    pub fn bad_field(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for v in self.committed.values() { //~ D001
+            out.push(*v);
+        }
+        out
+    }
+}
+
+pub fn bad_local(map: HashMap<u32, u32>) -> Vec<u32> {
+    map.keys().copied().collect() //~ D001
+}
+
+pub fn bad_for(set: &HashSet<u32>) {
+    for _x in set { //~ D001
+    }
+}
+
+pub fn fine(items: &[u32]) -> u32 {
+    let mut total = 0;
+    for x in items.iter() {
+        total += x;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_iteration_is_fine_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for _ in m.iter() {}
+    }
+}

@@ -1,0 +1,26 @@
+//! D002 fixture: wall-clock and thread-identity reads fire outside tests.
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now() //~ D002
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now() //~ D002
+}
+
+pub fn bad_thread_id() -> std::thread::ThreadId {
+    std::thread::current().id() //~ D002
+}
+
+pub fn fine(tick_now: f64) -> f64 {
+    tick_now + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stopwatches_are_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

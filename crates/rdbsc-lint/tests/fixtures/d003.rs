@@ -1,0 +1,30 @@
+//! D003 fixture: float folds over hash containers fire (alongside the
+//! D001 on the same iteration); integer sums and sorted copies do not.
+use std::collections::{HashMap, HashSet};
+
+pub fn bad_sum(weights: &HashSet<u64>) -> f64 {
+    weights.iter().map(|w| *w as f64).sum::<f64>() //~ D001 D003
+}
+
+pub fn bad_fold(m: &HashMap<u32, f64>) -> f64 {
+    m.values().fold(0.0, |acc, v| acc + v) //~ D001 D003
+}
+
+pub fn bad_loop_accumulation(m: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in m { //~ D001
+        total += v.1; //~ D003
+    }
+    total
+}
+
+pub fn integer_sum_is_order_independent(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum::<u32>() //~ D001
+}
+
+pub fn sorted_copy_is_fine(m: &HashMap<u32, f64>) -> f64 {
+    // lint:allow(D001): collected here, sorted on the next line
+    let mut vals: Vec<f64> = m.values().copied().collect();
+    vals.sort_by(f64::total_cmp);
+    vals.iter().sum()
+}

@@ -1,0 +1,3 @@
+//! A crate root without `#![deny(missing_docs)]` — M001 fires on line 1.
+
+pub fn item() {}

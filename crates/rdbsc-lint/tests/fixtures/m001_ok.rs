@@ -1,0 +1,6 @@
+//! A crate root carrying the attribute — M001 stays silent.
+
+#![deny(missing_docs)]
+
+/// Documented.
+pub fn item() {}

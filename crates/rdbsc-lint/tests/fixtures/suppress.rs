@@ -1,0 +1,28 @@
+//! Suppression fixture: reasoned allows cover their own line and the next;
+//! bare allows and unknown rules are S001 findings; doc comments never
+//! suppress.
+use std::collections::HashMap;
+
+pub fn covered_above(m: &HashMap<u32, u32>) -> usize {
+    // lint:allow(D001): fixture — the count is order-independent
+    m.keys().count()
+}
+
+pub fn covered_trailing(m: &HashMap<u32, u32>) -> usize {
+    m.values().count() // lint:allow(D001): fixture — the count is order-independent
+}
+
+pub fn bare_allow(m: &HashMap<u32, u32>) -> usize {
+    // lint:allow(D001) //~ S001
+    m.iter().count() //~ D001
+}
+
+pub fn unknown_rule(m: &HashMap<u32, u32>) -> usize {
+    // lint:allow(Z999): no such rule //~ S001
+    m.keys().count() //~ D001
+}
+
+/// Doc comments document the syntax without suppressing: lint:allow(D001): x
+pub fn doc_comment_is_not_a_suppression(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count() //~ D001
+}

@@ -1,0 +1,35 @@
+//! W001 fixture: a deliberately broken frame-tag table.
+//!
+//! `DUPE` duplicates `QUERY`'s value and has no routing arm in the paired
+//! partitiond fixture; `NO_REPLY` lacks a reply mapping; `BAD_RANGE` sits
+//! outside 0x01..=0x7E.
+
+pub mod tag {
+    pub const SUBMIT: u8 = 0x01;
+    pub const QUERY: u8 = 0x02;
+    pub const DUPE: u8 = 0x02; //~ W001 W001
+    pub const NO_REPLY: u8 = 0x03; //~ W001
+    pub const BAD_RANGE: u8 = 0x7F; //~ W001
+    pub const REPLY: u8 = 0x80;
+    pub const ERROR: u8 = 0xFF;
+}
+
+pub fn decode(t: u8) {
+    match t {
+        tag::SUBMIT => {}
+        tag::QUERY => {}
+        tag::DUPE => {}
+        tag::NO_REPLY => {}
+        tag::BAD_RANGE => {}
+        _ => {}
+    }
+}
+
+pub fn reply_tags() -> [u8; 4] {
+    [
+        tag::SUBMIT | tag::REPLY,
+        tag::QUERY | tag::REPLY,
+        tag::DUPE | tag::REPLY,
+        tag::BAD_RANGE | tag::REPLY,
+    ]
+}

@@ -1,0 +1,17 @@
+//! W001 fixture: routing arms for every request tag except `DUPE`.
+
+pub enum RequestFrame {
+    Submit,
+    Query,
+    NoReply,
+    BadRange,
+}
+
+pub fn route(f: &RequestFrame) -> u8 {
+    match f {
+        RequestFrame::Submit => 1,
+        RequestFrame::Query => 2,
+        RequestFrame::NoReply => 3,
+        RequestFrame::BadRange => 4,
+    }
+}

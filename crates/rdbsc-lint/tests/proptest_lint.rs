@@ -1,0 +1,159 @@
+//! Property tests for the lint analyzer.
+//!
+//! The analyzer runs unconditionally over every source file in CI, so its
+//! own robustness contract is total: the lexer must classify *any* byte
+//! sequence without panicking, rules must never fire on hazards that only
+//! appear inside string literals or comments, and the suppression syntax
+//! must round-trip through the parser exactly.
+
+use proptest::prelude::*;
+use rdbsc_lint::engine;
+use rdbsc_lint::lexer::lex;
+use rdbsc_lint::{SourceFile, ALL_RULES};
+use std::path::PathBuf;
+
+fn file(rel: &str, text: String) -> SourceFile {
+    SourceFile::from_text(PathBuf::from(rel), rel.to_string(), text)
+}
+
+/// Snippets that fire D001/D002/D003/F001 in code position (given the
+/// `committed` binding the template provides). Quarantined into string
+/// literals and comments, no rule may fire on them.
+const HAZARDS: &[&str] = &[
+    "for x in committed.iter() { total += x; }",
+    "committed.values().sum::<f64>()",
+    "committed.keys().fold(0.0, |a, b| a + b)",
+    "Instant::now()",
+    "SystemTime::now()",
+    "std::thread::current().id()",
+    "0xcbf29ce484222325",
+    "0x100000001b3",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer is total: arbitrary byte soup produces a token stream with
+    /// ordered, in-bounds, char-boundary-respecting spans — never a panic.
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..=256),
+    ) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&text);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start <= t.end, "inverted span {}..{}", t.start, t.end);
+            prop_assert!(t.end <= text.len(), "span past the end");
+            prop_assert!(prev_end <= t.start, "overlapping tokens");
+            prop_assert!(
+                text.get(t.start..t.end).is_some(),
+                "span {}..{} splits a char",
+                t.start,
+                t.end
+            );
+            prev_end = t.end;
+        }
+    }
+
+    /// The whole pipeline — lexing, binding analysis, every rule, the
+    /// suppression filter — survives arbitrary bytes under every path
+    /// scope, including the frame-tag audit's cross-file path.
+    #[test]
+    fn full_pipeline_is_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..=200),
+        which in 0usize..3,
+    ) {
+        let rel = [
+            "crates/rdbsc-model/src/x.rs",
+            "crates/rdbsc-platform/src/wal/x.rs",
+            "crates/rdbsc-server/src/frame.rs",
+        ][which];
+        let f = SourceFile::new(PathBuf::from(rel), rel.to_string(), &bytes);
+        let _ = engine::run_on(&[f]);
+    }
+
+    /// Hazards confined to a string literal, a line comment and a block
+    /// comment never produce findings, under the strictest path scope.
+    #[test]
+    fn rules_never_fire_inside_strings_or_comments(
+        which in 0usize..HAZARDS.len(),
+        pad in 0usize..=4,
+    ) {
+        let hazard = HAZARDS[which];
+        let mut text = String::new();
+        for i in 0..pad {
+            text.push_str(&format!("// filler {i}\n"));
+        }
+        text.push_str(
+            "pub fn f(committed: &std::collections::HashMap<u32, u32>) -> usize {\n",
+        );
+        text.push_str(&format!("    let s = \"{hazard}\";\n"));
+        text.push_str(&format!("    // {hazard}\n"));
+        text.push_str(&format!("    /* {hazard} */\n"));
+        text.push_str("    s.len() + committed.len()\n}\n");
+        let f = file("crates/rdbsc-platform/src/wal/x.rs", text);
+        let findings = engine::run_on(&[f]);
+        prop_assert!(findings.is_empty(), "hazard escaped quarantine: {findings:?}");
+    }
+
+    /// `// lint:allow(RULE): reason` round-trips through the parser: rule,
+    /// reason and line come back exactly, the coverage window is the
+    /// comment's own line plus the next, and a reasoned allow of a known
+    /// rule raises no S001.
+    #[test]
+    fn suppression_round_trips(
+        which in 0usize..ALL_RULES.len(),
+        reason_bytes in proptest::collection::vec(b'a'..=b'z', 1..=24),
+        pad in 0usize..=4,
+    ) {
+        let rule = ALL_RULES[which].id;
+        let reason = String::from_utf8(reason_bytes).unwrap();
+        let mut text = String::new();
+        for i in 0..pad {
+            text.push_str(&format!("// filler {i}\n"));
+        }
+        text.push_str(&format!("// lint:allow({rule}): {reason}\n"));
+        text.push_str("pub fn f() {}\n");
+        let f = file("crates/rdbsc-model/src/x.rs", text);
+        let parsed = f.suppressions();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].rule.as_str(), rule);
+        prop_assert_eq!(parsed[0].reason.as_deref(), Some(reason.as_str()));
+        let line = (pad + 1) as u32;
+        prop_assert_eq!(parsed[0].line, line);
+        prop_assert!(parsed[0].covers(rule, line));
+        prop_assert!(parsed[0].covers(rule, line + 1));
+        prop_assert!(!parsed[0].covers(rule, line + 2));
+        prop_assert!(engine::suppression_findings(&f).is_empty());
+    }
+
+    /// A reasoned allow swallows the finding it covers; stripping the
+    /// reason makes the allow itself a finding *and* lets the original
+    /// finding through — whatever the reason text was.
+    #[test]
+    fn reasoned_allow_suppresses_and_bare_allow_reports(
+        reason_bytes in proptest::collection::vec(b'a'..=b'z', 1..=24),
+        bare in 0usize..2,
+    ) {
+        let reason = String::from_utf8(reason_bytes).unwrap();
+        let marker = if bare == 1 {
+            "    // lint:allow(D001)\n".to_string()
+        } else {
+            format!("    // lint:allow(D001): {reason}\n")
+        };
+        let text = format!(
+            "pub fn f(committed: &std::collections::HashMap<u32, u32>) -> usize {{\n\
+             {marker}    committed.keys().count()\n}}\n"
+        );
+        let f = file("crates/rdbsc-model/src/x.rs", text);
+        let findings = engine::run_on(&[f]);
+        if bare == 1 {
+            let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+            rules.sort_unstable();
+            prop_assert_eq!(rules, vec!["D001", "S001"]);
+        } else {
+            prop_assert!(findings.is_empty(), "{findings:?}");
+        }
+    }
+}

@@ -15,7 +15,10 @@ use crate::valid_pairs::Contribution;
 ///
 /// Priors participate in both the reliability and the expected-diversity of a
 /// task, exactly like newly assigned workers.
-#[derive(Debug, Clone, Default)]
+/// `PartialEq` compares bucket *order* as well as content: the append order
+/// is part of the engine's byte-identity contract (float folds downstream
+/// are order-sensitive), and the equality is what regression tests assert.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TaskPriors {
     per_task: Vec<Vec<Contribution>>,
 }

@@ -1,0 +1,116 @@
+//! The canonical FNV-1a 64-bit digest — the single home of the fold every
+//! determinism check in the workspace compares.
+//!
+//! Snapshot identity across index backends, partition topologies, wire
+//! transports and crash recovery is asserted by comparing these digests,
+//! so the fold must be *bit-identical everywhere it is computed*. It used
+//! to be re-rolled inline in each bench binary and in the WAL codec; a
+//! constant typo in any one copy would silently weaken the strongest
+//! equivalence check the repo has. Now the constants and both fold shapes
+//! live here, and the `F001` lint rule flags any FNV literal outside this
+//! file.
+//!
+//! Two fold shapes exist on purpose and produce different values for the
+//! same logical input — callers must keep using the shape they recorded
+//! with:
+//!
+//! * **byte-wise** ([`Fnv1a::write_bytes`], [`fnv1a_bytes`]): each byte is
+//!   xored in separately. The WAL codec digests serialized record bytes
+//!   this way.
+//! * **word-wise** ([`Fnv1a::write_u64`]): a whole `u64` (an id, a float's
+//!   bit pattern) is xored in per multiply. The cross-topology and
+//!   cross-transport benches fold committed pairs this way.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit folder.
+///
+/// ```
+/// use rdbsc_obs::digest::Fnv1a;
+/// let mut d = Fnv1a::new();
+/// d.write_u64(7);
+/// d.write_u64(1.5f64.to_bits());
+/// let word_digest = d.finish();
+///
+/// let byte_digest = rdbsc_obs::digest::fnv1a_bytes(b"hello");
+/// assert_ne!(word_digest, byte_digest);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A folder seeded with the offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds in a byte string, one byte per multiply (the WAL-codec shape).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 ^ byte as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds in one `u64` word per multiply (the bench digest shape).
+    pub fn write_u64(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).wrapping_mul(FNV_PRIME);
+    }
+
+    /// The digest so far (the folder stays usable).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot byte-wise FNV-1a over `bytes`.
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut d = Fnv1a::new();
+    d.write_bytes(bytes);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known vectors from the reference FNV-1a definition: these pin the
+    /// constants, so a typo in either breaks this test and not just some
+    /// distant cross-run identity check.
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(fnv1a_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_bytes(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    /// The streaming folder must match the one-shot helper however the
+    /// input is chunked.
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut d = Fnv1a::new();
+        d.write_bytes(b"foo");
+        d.write_bytes(b"");
+        d.write_bytes(b"bar");
+        assert_eq!(d.finish(), fnv1a_bytes(b"foobar"));
+    }
+
+    /// The word fold is its own shape: one xor+multiply per u64, exactly
+    /// `(d ^ word).wrapping_mul(PRIME)` as the benches historically wrote.
+    #[test]
+    fn word_fold_shape() {
+        let mut d = Fnv1a::new();
+        d.write_u64(0x1234_5678_9abc_def0);
+        let expected = (FNV_OFFSET ^ 0x1234_5678_9abc_def0u64).wrapping_mul(FNV_PRIME);
+        assert_eq!(d.finish(), expected);
+    }
+}

@@ -22,12 +22,20 @@
 //!   by [`StageSet`]; and the [`SlowTickBuffer`] capturing the full span
 //!   tree of any tick exceeding a configurable threshold.
 //!
+//! The crate also hosts [`digest`]: the canonical FNV-1a fold behind every
+//! cross-run identity check (WAL recovery, cross-topology and
+//! cross-transport benches). It lives here because this is the one
+//! zero-dependency crate every tier already links.
+//!
 //! Everything here is **observational only**: no value produced by this
 //! crate may flow into an engine decision, so instrumented runs stay
-//! byte-identical to uninstrumented ones.
+//! byte-identical to uninstrumented ones. (The [`digest`] fold is the one
+//! deliberate exception on the *checking* side — it never feeds back into
+//! decisions either, it only asserts they were identical.)
 
 #![deny(missing_docs)]
 
+pub mod digest;
 pub mod metrics;
 pub mod prom;
 pub mod registry;
@@ -35,6 +43,7 @@ pub mod slow;
 pub mod stage;
 pub mod trace;
 
+pub use digest::{fnv1a_bytes, Fnv1a};
 pub use metrics::{Counter, Gauge, LatencyHistogram, BUCKET_BOUNDS_US};
 pub use prom::{validate_prom, PromWriter};
 pub use registry::Registry;

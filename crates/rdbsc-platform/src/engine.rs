@@ -376,6 +376,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
     pub fn num_banked_answers(&self) -> usize {
         debug_assert_eq!(
             self.banked_total,
+            // lint:allow(D001): integer length sum — order-insensitive
             self.banked.values().map(Vec::len).sum::<usize>()
         );
         self.banked_total
@@ -390,6 +391,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
     /// `(task, worker)` so the listing is deterministic.
     pub fn committed_assignments(&self) -> Vec<ValidPair> {
         let mut pairs: Vec<ValidPair> = self
+            // lint:allow(D001): collected here, sorted before returning
             .committed
             .iter()
             .map(|(worker, (task, contribution))| ValidPair {
@@ -435,7 +437,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
     /// stale tasks, shards the live instance and solves the shards in
     /// parallel, committing the newly assigned workers.
     pub fn tick(&mut self, now: f64) -> TickReport {
-        let stage_started = Instant::now();
+        let stage_started = Instant::now(); // lint:allow(D002): stage stopwatch — observational timing only, reported but never read by a decision
         let counters_before = self.index.maintenance_counters();
         let events: Vec<EngineEvent> = std::mem::take(&mut self.pending);
         let events_applied = events.len();
@@ -452,7 +454,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         }
         let apply_us = stage_us(stage_started);
 
-        let stage_started = Instant::now();
+        let stage_started = Instant::now(); // lint:allow(D002): stage stopwatch — observational timing only, reported but never read by a decision
         self.index.set_depart_at(now);
         let shards = self.index.extract_shards(self.config.beta);
         let index_maintenance = self
@@ -461,7 +463,8 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
             .delta_since(&counters_before);
 
         // Restrict every shard to available (non-committed) workers and
-        // carry the banked + en-route contributions in as priors.
+        // carry the banked + en-route contributions in as priors (see
+        // `shard_priors` for the append-order contract).
         let prepared: Vec<(ProblemShard, BipartiteCandidates, TaskPriors)> = shards
             .into_iter()
             .filter_map(|shard| {
@@ -478,7 +481,6 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
                 if available.pairs.is_empty() {
                     return None;
                 }
-                let mut priors = TaskPriors::empty(shard.instance.num_tasks());
                 let live_to_local: HashMap<TaskId, TaskId> = shard
                     .mapping
                     .tasks
@@ -486,18 +488,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
                     .enumerate()
                     .map(|(local, live)| (*live, TaskId::from(local)))
                     .collect();
-                for (live, contributions) in &self.banked {
-                    if let Some(local) = live_to_local.get(live) {
-                        for c in contributions {
-                            priors.add(*local, *c);
-                        }
-                    }
-                }
-                for (task, contribution) in self.committed.values() {
-                    if let Some(local) = live_to_local.get(task) {
-                        priors.add(*local, *contribution);
-                    }
-                }
+                let priors = self.shard_priors(&live_to_local, shard.instance.num_tasks());
                 Some((shard, available, priors))
             })
             .collect();
@@ -518,12 +509,12 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         let base_seed = mix_seed(self.config.seed, self.tick_count);
         let solver = self.solver.as_ref();
 
-        let started = Instant::now();
+        let started = Instant::now(); // lint:allow(D002): stage stopwatch — observational timing only, reported but never read by a decision
         let solved: Vec<(ProblemShard, Assignment, &'static str, f64)> = parallel_map(
             prepared,
             threads,
             |shard_idx, (shard, available, priors)| {
-                let shard_started = Instant::now();
+                let shard_started = Instant::now(); // lint:allow(D002): stage stopwatch — observational timing only, reported but never read by a decision
                 let request =
                     SolveRequest::new(&shard.instance, &available).with_priors(&priors);
                 let mut rng = StdRng::seed_from_u64(mix_seed(base_seed, shard_idx as u64));
@@ -538,7 +529,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         );
         let solve_seconds = started.elapsed().as_secs_f64();
 
-        let stage_started = Instant::now();
+        let stage_started = Instant::now(); // lint:allow(D002): stage stopwatch — observational timing only, reported but never read by a decision
         let mut new_assignments = Vec::new();
         let mut strategies = Vec::with_capacity(solved.len());
         let mut shard_solve_seconds = Vec::with_capacity(solved.len());
@@ -583,6 +574,47 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         }
     }
 
+    /// Builds one shard's priors: the banked and en-route (committed)
+    /// contributions of the shard's live tasks, remapped to local ids.
+    ///
+    /// The **append order is part of the determinism contract**: priors
+    /// land in per-task float buckets whose downstream statistics fold in
+    /// bucket order, so the order must be identical in every process. Two
+    /// workers en route to the same task would otherwise append in
+    /// `HashMap` iteration order, which differs between replicas (and
+    /// between a live engine and one rebuilt by `restore_state`). This
+    /// method therefore iterates sorted snapshots — banked first in
+    /// ascending task order, then commitments in ascending worker order —
+    /// and the regression test compares its output across engines restored
+    /// from permuted state vectors.
+    fn shard_priors(
+        &self,
+        live_to_local: &HashMap<TaskId, TaskId>,
+        num_tasks: usize,
+    ) -> TaskPriors {
+        let mut priors = TaskPriors::empty(num_tasks);
+        // lint:allow(D001): collected here, sorted on the next line
+        let mut banked_sorted: Vec<(&TaskId, &Vec<Contribution>)> = self.banked.iter().collect();
+        banked_sorted.sort_unstable_by_key(|(task, _)| **task);
+        let mut committed_sorted: Vec<(&WorkerId, &(TaskId, Contribution))> =
+            // lint:allow(D001): collected here, sorted on the next line
+            self.committed.iter().collect();
+        committed_sorted.sort_unstable_by_key(|(worker, _)| **worker);
+        for (live, contributions) in banked_sorted {
+            if let Some(local) = live_to_local.get(live) {
+                for c in contributions {
+                    priors.add(*local, *c);
+                }
+            }
+        }
+        for (_, (task, contribution)) in committed_sorted {
+            if let Some(local) = live_to_local.get(task) {
+                priors.add(*local, *contribution);
+            }
+        }
+        priors
+    }
+
     /// The quality of the standing state: banked answers plus en-route
     /// workers, over live and retired tasks.
     pub fn current_objective(&self) -> EngineObjective {
@@ -593,6 +625,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         // task's contribution vector — and therefore the float fold inside
         // expected_std — is identical on every engine with the same state.
         let mut committed: Vec<(WorkerId, (TaskId, Contribution))> = self
+            // lint:allow(D001): collected here, sorted two lines down
             .committed
             .iter()
             .map(|(w, tc)| (*w, *tc))
@@ -634,6 +667,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         // so a HashMap-order fold would make total_std differ in the last
         // ulp between identically-stated engines — breaking the protocol's
         // byte-identical snapshot contract across processes.
+        // lint:allow(D001): collected here, sorted on the next line
         let mut banked_ids: Vec<TaskId> = self.banked.keys().copied().collect();
         banked_ids.sort_unstable();
         for task_id in &banked_ids {
@@ -648,6 +682,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
                 None => score(task_id, banked),
             }
         }
+        // lint:allow(D001): collected here, sorted on the next line
         let mut en_route_ids: Vec<TaskId> = en_route.keys().copied().collect();
         en_route_ids.sort_unstable();
         for task_id in &en_route_ids {
@@ -713,6 +748,7 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
     /// loses nothing; only maintenance counters differ).
     pub fn dump_state(&self) -> EngineState {
         let mut committed: Vec<(WorkerId, TaskId, Contribution)> = self
+            // lint:allow(D001): collected here, sorted two lines down
             .committed
             .iter()
             .map(|(w, (t, c))| (*w, *t, *c))
@@ -722,11 +758,13 @@ impl<I: SpatialIndex> AssignmentEngine<I> {
         // folds in `current_objective` are order-sensitive, so the inner
         // order is part of the state.
         let mut banked: Vec<(TaskId, Vec<Contribution>)> = self
+            // lint:allow(D001): collected here, sorted two lines down
             .banked
             .iter()
             .map(|(t, cs)| (*t, cs.clone()))
             .collect();
         banked.sort_unstable_by_key(|(t, _)| *t);
+        // lint:allow(D001): collected here, sorted on the next line
         let mut retired: Vec<Task> = self.retired.values().copied().collect();
         retired.sort_unstable_by_key(|t| t.id);
         EngineState {
@@ -874,6 +912,77 @@ mod tests {
         );
         engine.submit_all(events);
         engine
+    }
+
+    /// The priors bucket order must not depend on the insertion order of
+    /// the `committed`/`banked` hash maps. Before `shard_priors` iterated
+    /// sorted snapshots it walked `self.committed.values()` directly, so
+    /// engines restored from permuted state vectors appended a task's
+    /// en-route contributions in different orders — caught here by
+    /// `TaskPriors`'s order-sensitive equality, independently of whether
+    /// the divergence survives downstream float rounding.
+    #[test]
+    fn shard_priors_are_insertion_order_independent() {
+        fn contribution(seed: u64) -> Contribution {
+            Contribution::new(
+                Confidence::new(0.5 + 0.4 * ((seed * 2_654_435_761) % 100) as f64 / 100.0)
+                    .unwrap(),
+                0.1 + seed as f64,
+                0.05 * seed as f64 + 0.01,
+            )
+        }
+        fn restore(rotation: usize) -> AssignmentEngine {
+            let mut committed: Vec<(WorkerId, TaskId, Contribution)> = vec![
+                (WorkerId(10), TaskId(2), contribution(1)),
+                (WorkerId(11), TaskId(2), contribution(2)),
+                (WorkerId(12), TaskId(2), contribution(3)),
+                (WorkerId(13), TaskId(0), contribution(4)),
+                (WorkerId(14), TaskId(1), contribution(5)),
+            ];
+            let mut banked: Vec<(TaskId, Vec<Contribution>)> = vec![
+                (TaskId(0), vec![contribution(6), contribution(7)]),
+                (TaskId(2), vec![contribution(8)]),
+            ];
+            let committed_rot = rotation % committed.len();
+            committed.rotate_left(committed_rot);
+            let banked_rot = rotation % banked.len();
+            banked.rotate_left(banked_rot);
+            if rotation % 2 == 1 {
+                committed.reverse();
+                banked.reverse();
+            }
+            let state = EngineState {
+                depart_at: 0.0,
+                allow_wait: true,
+                tasks: (0..3)
+                    .map(|i| task(i, 0.2 + 0.2 * i as f64, 0.5, 0.0, 4.0))
+                    .collect(),
+                workers: (10..15)
+                    .map(|i| worker(i, 0.1 * (i - 10) as f64, 0.9, 0.2))
+                    .collect(),
+                pending: Vec::new(),
+                committed,
+                banked,
+                retired: Vec::new(),
+                tick_count: 0,
+            };
+            AssignmentEngine::restore_state(
+                GridIndex::new(Rect::unit(), 0.1),
+                EngineConfig::default(),
+                state,
+            )
+        }
+        let live_to_local: HashMap<TaskId, TaskId> =
+            (0..3).map(|i| (TaskId(i), TaskId(i))).collect();
+        let reference = restore(0).shard_priors(&live_to_local, 3);
+        assert!(!reference.is_empty());
+        for rotation in 1..5 {
+            assert_eq!(
+                restore(rotation).shard_priors(&live_to_local, 3),
+                reference,
+                "priors bucket order diverged at rotation {rotation}"
+            );
+        }
     }
 
     #[test]

@@ -45,15 +45,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// FNV-1a over a byte string — the digest the recovery tests compare (the
-/// same fold the cross-topology benches use for snapshot identity).
+/// FNV-1a over a byte string — the digest the recovery tests compare.
+/// Delegates to the canonical fold in [`rdbsc_obs::digest`] so the WAL and
+/// the cross-topology benches can never drift apart constant-by-constant.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &byte in bytes {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x0100_0000_01b3);
-    }
-    hash
+    rdbsc_obs::digest::fnv1a_bytes(bytes)
 }
 
 /// An append-only byte sink with the codec's primitive writers.

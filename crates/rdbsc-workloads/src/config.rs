@@ -106,39 +106,47 @@ impl ExperimentConfig {
         }
     }
 
-    /// Builder-style setters used by the parameter sweeps.
+    /// Builder-style setter (used by the parameter sweeps): task count `m`.
     pub fn with_tasks(mut self, m: usize) -> Self {
         self.num_tasks = m;
         self
     }
+    /// Sets the worker count `n`.
     pub fn with_workers(mut self, n: usize) -> Self {
         self.num_workers = n;
         self
     }
+    /// Sets the range task valid periods are drawn from.
     pub fn with_rt_range(mut self, lo: f64, hi: f64) -> Self {
         self.rt_range = (lo, hi);
         self
     }
+    /// Sets the range worker reliabilities are drawn from.
     pub fn with_reliability_range(mut self, lo: f64, hi: f64) -> Self {
         self.reliability_range = (lo, hi);
         self
     }
+    /// Sets the range worker velocities are drawn from.
     pub fn with_velocity_range(mut self, lo: f64, hi: f64) -> Self {
         self.velocity_range = (lo, hi);
         self
     }
+    /// Sets the maximum width of worker moving-angle ranges.
     pub fn with_max_angle_range(mut self, a: f64) -> Self {
         self.max_angle_range = a;
         self
     }
+    /// Sets the range diversity weights β are drawn from.
     pub fn with_beta_range(mut self, lo: f64, hi: f64) -> Self {
         self.beta_range = (lo, hi);
         self
     }
+    /// Sets the spatial distribution of tasks and workers.
     pub fn with_distribution(mut self, d: Distribution) -> Self {
         self.distribution = d;
         self
     }
+    /// Sets the generator seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self

@@ -46,6 +46,8 @@
 //! assert!(metro.tasks.iter().all(|t| t.window.start <= 0.2));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod metro;
 pub mod peer_rating;

@@ -54,6 +54,8 @@
 //! | [`platform`] | the platform simulator, the parallel assignment engine + [`EngineHandle`](rdbsc_platform::EngineHandle) |
 //! | [`server`] | the HTTP/1.1 online serving subsystem (admission control, micro-batching, metrics) |
 
+#![deny(missing_docs)]
+
 pub use rdbsc_algos as algos;
 pub use rdbsc_cluster as cluster;
 pub use rdbsc_geo as geo;
