@@ -1,0 +1,421 @@
+//! Replication micro-benchmark: what log shipping costs the primary on the
+//! hot path, and what a standby promotion costs at failover.
+//!
+//! Replays one deterministic scripted timeline through four phases:
+//!
+//! 1. **durable baseline** — a WAL-backed [`EnginePartition`] with no
+//!    replication (the PR 6 configuration every durable deployment runs);
+//! 2. **replicated primary** — the identical partition with replication
+//!    enabled and a bootstrapped standby pulling every round; primary-side
+//!    time (submit/tick/answer + serving `repl_fetch` + wire-encoding every
+//!    shipped record) is measured separately from the standby's apply work,
+//!    so the reported overhead is exactly what the primary pays to ship;
+//! 3. **standby replay** — the standby decodes and applies each shipped
+//!    batch through the ordinary log-then-apply path (timed separately:
+//!    in production this runs on another host);
+//! 4. **promotion** — drop the primary (a simulated SIGKILL: no drain, no
+//!    final sync) and promote the standby ([`EnginePartition::seal_replication`]:
+//!    sealed-stream marker + checkpoint + fsync into its own log), asserting
+//!    the promoted FNV state digest equals the uninterrupted baseline's.
+//!
+//! ```text
+//! cargo run --release -p rdbsc-bench --bin repl_failover -- --json BENCH_repl.json
+//! cargo run --release -p rdbsc-bench --bin repl_failover -- --smoke
+//! ```
+//!
+//! `--smoke` runs a tiny workload and exits nonzero when any digest
+//! diverges, the stream reset, or nothing was shipped — the CI mode.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdbsc_geo::{AngleRange, Point, Rect};
+use rdbsc_index::FlatGridIndex;
+use rdbsc_model::{Confidence, Task, TaskId, TimeWindow, Worker, WorkerId};
+use rdbsc_platform::wal::{decode_record, encode_record};
+use rdbsc_platform::{
+    EngineConfig, EngineEvent, EnginePartition, WalConfig, WalRecord,
+};
+use rdbsc_server::json::Json;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+const CELL_SIZE: f64 = 0.05;
+/// Records per fetch, matching the daemon follower's batch size.
+const FETCH_BATCH: usize = 512;
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    ticks: usize,
+    tasks_per_tick: usize,
+    workers: usize,
+    segment_bytes: u64,
+    checkpoint_every: u64,
+    json_path: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repl_failover [--smoke] [--seed N] [--ticks N] [--tasks-per-tick N]\n\
+         \x20                    [--workers N] [--segment-bytes N] [--checkpoint-every N]\n\
+         \x20                    [--json FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        seed: 17,
+        ticks: 48,
+        tasks_per_tick: 16,
+        workers: 400,
+        segment_bytes: 256 << 10,
+        checkpoint_every: 12,
+        json_path: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        i += 1;
+        match flag {
+            "--help" | "-h" => usage(),
+            "--smoke" => {
+                args.smoke = true;
+                args.ticks = 8;
+                args.tasks_per_tick = 8;
+                args.workers = 120;
+                args.segment_bytes = 8 << 10;
+                args.checkpoint_every = 3;
+            }
+            "--seed" | "--ticks" | "--tasks-per-tick" | "--workers" | "--segment-bytes"
+            | "--checkpoint-every" | "--json" => {
+                let Some(value) = argv.get(i) else {
+                    eprintln!("{flag} requires a value");
+                    usage();
+                };
+                i += 1;
+                let bad = |v: &str| -> ! {
+                    eprintln!("{flag}: cannot parse {v:?}");
+                    usage();
+                };
+                match flag {
+                    "--seed" => args.seed = value.parse().unwrap_or_else(|_| bad(value)),
+                    "--ticks" => args.ticks = value.parse().unwrap_or_else(|_| bad(value)),
+                    "--tasks-per-tick" => {
+                        args.tasks_per_tick = value.parse().unwrap_or_else(|_| bad(value))
+                    }
+                    "--workers" => args.workers = value.parse().unwrap_or_else(|_| bad(value)),
+                    "--segment-bytes" => {
+                        args.segment_bytes = value.parse().unwrap_or_else(|_| bad(value))
+                    }
+                    "--checkpoint-every" => {
+                        args.checkpoint_every = value.parse().unwrap_or_else(|_| bad(value))
+                    }
+                    "--json" => args.json_path = Some(value.clone()),
+                    _ => unreachable!(),
+                }
+            }
+            _ => {
+                eprintln!("unknown flag {flag}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// The deterministic replay script: per-round event batches plus the tick
+/// time, identical for every phase.
+fn build_script(args: &Args) -> Vec<(Vec<EngineEvent>, f64)> {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut rounds = Vec::with_capacity(args.ticks);
+    let mut first: Vec<EngineEvent> = Vec::new();
+    for j in 0..args.workers {
+        let x = rng.gen_range(0.02..0.98);
+        let y = rng.gen_range(0.02..0.98);
+        first.push(EngineEvent::WorkerCheckIn(
+            Worker::new(
+                WorkerId(j as u32),
+                Point::new(x, y),
+                rng.gen_range(0.1..0.6),
+                AngleRange::full(),
+                Confidence::new(0.9).unwrap(),
+            )
+            .unwrap(),
+        ));
+    }
+    let mut next_task = 0u32;
+    let dt = 0.1;
+    for round in 0..args.ticks {
+        let now = round as f64 * dt;
+        let mut events = if round == 0 { std::mem::take(&mut first) } else { Vec::new() };
+        for _ in 0..args.tasks_per_tick {
+            let x = rng.gen_range(0.02..0.98);
+            let y = rng.gen_range(0.02..0.98);
+            events.push(EngineEvent::TaskArrived(Task::new(
+                TaskId(next_task),
+                Point::new(x, y),
+                TimeWindow::new(now, now + rng.gen_range(0.3..0.8)).unwrap(),
+            )));
+            next_task += 1;
+        }
+        for j in (0..args.workers).filter(|j| j % 7 == round % 7) {
+            events.push(EngineEvent::WorkerMoved(
+                WorkerId(j as u32),
+                Point::new(rng.gen_range(0.02..0.98), rng.gen_range(0.02..0.98)),
+            ));
+        }
+        rounds.push((events, now));
+    }
+    rounds
+}
+
+fn make_index() -> FlatGridIndex {
+    FlatGridIndex::new(Rect::unit(), CELL_SIZE)
+}
+
+/// One primary-side round: submit, tick, answer every fresh pair.
+fn drive_round(
+    part: &mut EnginePartition<FlatGridIndex>,
+    events: &[EngineEvent],
+    now: f64,
+) -> u64 {
+    part.submit(events.to_vec());
+    let tick = part.tick(now);
+    let fresh = tick.report.new_assignments.len() as u64;
+    for pair in &tick.report.new_assignments {
+        part.record_answer(pair.worker, pair.contribution);
+    }
+    fresh
+}
+
+/// Applies one shipped record through the standby's ordinary command path
+/// — the same dispatch `rdbsc-partitiond --follow` runs.
+fn apply_shipped(part: &mut EnginePartition<FlatGridIndex>, record: WalRecord) {
+    match record {
+        WalRecord::Events(events) => part.submit(events),
+        WalRecord::Tick { now } => {
+            part.tick(now);
+        }
+        WalRecord::Answer { worker, contribution } => {
+            part.record_answer(worker, contribution);
+        }
+        WalRecord::Release { worker } => part.release_worker(worker),
+        // Never shipped; ignored defensively, exactly like the daemon.
+        WalRecord::Checkpoint(_) | WalRecord::ReplMeta { .. } => {}
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let script = build_script(&args);
+    let total_events: usize = script.iter().map(|(e, _)| e.len()).sum();
+    println!(
+        "workload: {} ticks, {} events total, segment {} B, checkpoint every {} ticks",
+        args.ticks, total_events, args.segment_bytes, args.checkpoint_every
+    );
+
+    let scratch = std::env::temp_dir().join(format!("rdbsc-repl-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let dir_base = scratch.join("baseline");
+    let dir_primary = scratch.join("primary");
+    let dir_standby = scratch.join("standby");
+    for d in [&dir_base, &dir_primary, &dir_standby] {
+        std::fs::create_dir_all(d).expect("create bench data dir");
+    }
+    let wal_config = WalConfig {
+        segment_bytes: args.segment_bytes,
+        checkpoint_every_ticks: args.checkpoint_every,
+        fsync_on_tick: true,
+    };
+
+    // Phase 1: the durable (non-replicated) baseline every deployment runs.
+    let (mut baseline_part, _) =
+        EnginePartition::open_durable(&dir_base, wal_config, EngineConfig::default(), make_index)
+            .expect("open baseline partition");
+    let started = Instant::now();
+    let mut assignments = 0u64;
+    for (events, now) in &script {
+        assignments += drive_round(&mut baseline_part, events, *now);
+    }
+    let baseline_seconds = started.elapsed().as_secs_f64();
+    let baseline_digest = baseline_part.state_digest();
+    println!(
+        "durable  : {:>7.3}s  {:>8.0} events/s  {} assignments",
+        baseline_seconds,
+        total_events as f64 / baseline_seconds,
+        assignments
+    );
+
+    // Phase 2+3: the same replay on a replicated primary with a standby
+    // pulling after every round. Primary-side time (drive + fetch serving +
+    // wire encode) accumulates separately from the standby's decode+apply.
+    let (mut primary, _) = EnginePartition::open_durable(
+        &dir_primary,
+        wal_config,
+        EngineConfig::default(),
+        make_index,
+    )
+    .expect("open primary partition");
+    let (boot_state, start_lsn) = primary.enable_replication();
+    let mut standby = EnginePartition::restore_durable(
+        &dir_standby,
+        wal_config,
+        EngineConfig::default(),
+        &boot_state,
+        make_index,
+    )
+    .expect("bootstrap standby partition");
+    let mut applied = start_lsn;
+
+    let mut primary_seconds = 0.0f64;
+    let mut standby_seconds = 0.0f64;
+    let mut records_shipped = 0u64;
+    let mut wire_bytes = 0u64;
+    let mut wire: Vec<(u64, Vec<u8>)> = Vec::new();
+    for (events, now) in &script {
+        let t = Instant::now();
+        drive_round(&mut primary, events, *now);
+        // Ship everything new: fetch (which also acks the applied cursor),
+        // then encode each record exactly as the wire would.
+        loop {
+            let batch = primary
+                .repl_fetch(applied + wire.len() as u64, applied, FETCH_BATCH)
+                .expect("primary stream has no gap");
+            if batch.is_empty() {
+                break;
+            }
+            for (lsn, record) in batch {
+                let bytes = encode_record(&record);
+                wire_bytes += bytes.len() as u64;
+                wire.push((lsn, bytes));
+            }
+        }
+        primary_seconds += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        for (lsn, bytes) in wire.drain(..) {
+            let record = decode_record(&bytes).expect("shipped record decodes");
+            apply_shipped(&mut standby, record);
+            applied = lsn + 1;
+            records_shipped += 1;
+        }
+        standby_seconds += t.elapsed().as_secs_f64();
+    }
+    // Final ack so the primary can drop everything the standby applied.
+    let t = Instant::now();
+    let drained = primary
+        .repl_fetch(applied, applied, FETCH_BATCH)
+        .expect("final fetch");
+    primary_seconds += t.elapsed().as_secs_f64();
+    let repl_status = primary.repl_status().expect("replication enabled");
+    let shipping_overhead = (primary_seconds - baseline_seconds) / baseline_seconds.max(1e-12);
+    println!(
+        "primary  : {:>7.3}s  {:>8.0} events/s  shipping overhead {:+.1}%",
+        primary_seconds,
+        total_events as f64 / primary_seconds,
+        shipping_overhead * 100.0
+    );
+    println!(
+        "shipped  : {} records, {} KiB wire, acked {}, retained {}, {} resets",
+        records_shipped,
+        wire_bytes / 1024,
+        repl_status.acked,
+        repl_status.retained,
+        repl_status.resets
+    );
+    println!(
+        "standby  : {:>7.3}s apply ({:>8.0} records/s)",
+        standby_seconds,
+        records_shipped as f64 / standby_seconds.max(1e-12)
+    );
+
+    // Phase 4: the primary dies (no drain, no sync) and the standby is
+    // promoted: sealed-stream marker + checkpoint + fsync in its own log.
+    let primary_digest = primary.state_digest();
+    drop(primary);
+    let promote_started = Instant::now();
+    let promoted_digest = standby.seal_replication(applied);
+    let promotion_seconds = promote_started.elapsed().as_secs_f64();
+    println!(
+        "promote  : {:>7.3}s  digest {:016x}",
+        promotion_seconds, promoted_digest
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    if primary_digest != baseline_digest {
+        failures.push(format!(
+            "replicated primary diverged from baseline: {primary_digest:#x} vs {baseline_digest:#x}"
+        ));
+    }
+    if promoted_digest != primary_digest {
+        failures.push(format!(
+            "promoted standby diverged from the acknowledged primary: \
+             {promoted_digest:#x} vs {primary_digest:#x}"
+        ));
+    }
+    if !drained.is_empty() {
+        failures.push(format!("{} records left unshipped at quiesce", drained.len()));
+    }
+    if repl_status.resets != 0 {
+        failures.push(format!(
+            "the stream reset {} times under a keeping-up follower",
+            repl_status.resets
+        ));
+    }
+    if repl_status.acked != repl_status.next_lsn {
+        failures.push(format!(
+            "acknowledgement watermark stalled: acked {} vs head {}",
+            repl_status.acked, repl_status.next_lsn
+        ));
+    }
+    if records_shipped == 0 {
+        failures.push("nothing was shipped".into());
+    }
+    if assignments == 0 {
+        failures.push("workload made zero assignments".into());
+    }
+
+    if let Some(path) = &args.json_path {
+        let unix_now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let report = Json::obj([
+            ("bench", Json::Str("rdbsc replication shipping overhead + promotion".into())),
+            ("unix_time", Json::Num(unix_now as f64)),
+            ("seed", Json::Num(args.seed as f64)),
+            ("ticks", Json::Num(args.ticks as f64)),
+            ("total_events", Json::Num(total_events as f64)),
+            ("segment_bytes", Json::Num(args.segment_bytes as f64)),
+            ("checkpoint_every_ticks", Json::Num(args.checkpoint_every as f64)),
+            ("durable_baseline_seconds", Json::Num(baseline_seconds)),
+            ("replicated_primary_seconds", Json::Num(primary_seconds)),
+            ("shipping_overhead_frac", Json::Num(shipping_overhead)),
+            ("standby_apply_seconds", Json::Num(standby_seconds)),
+            ("promotion_seconds", Json::Num(promotion_seconds)),
+            ("records_shipped", Json::Num(records_shipped as f64)),
+            ("wire_bytes", Json::Num(wire_bytes as f64)),
+            ("stream_resets", Json::Num(repl_status.resets as f64)),
+            ("assignments", Json::Num(assignments as f64)),
+            ("promoted_digest", Json::Str(format!("{promoted_digest:016x}"))),
+            ("digests_match", Json::Bool(failures.is_empty())),
+        ]);
+        if let Err(e) = std::fs::write(path, report.to_string_compact()) {
+            eprintln!("cannot write {path}: {e}");
+            failures.push(format!("cannot write {path}"));
+        } else {
+            println!("report : {path}");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("OK");
+}

@@ -3,7 +3,9 @@
 //! Walks every `wal-*.log` segment via [`rdbsc_platform::inspect_dir`] and
 //! prints segment headers (seqno, header `first_lsn`, file size), every
 //! valid frame (LSN, record type, payload size, a one-line content
-//! summary), where the checkpoints sit, and a diagnosis of any damage: a
+//! summary), where the checkpoints sit, the replication metadata the log
+//! carries (the last ack watermark a primary noted, and any sealed-stream
+//! markers a promotion or detach wrote), and a diagnosis of any damage: a
 //! torn tail (bytes an appender would truncate on recovery), an unreadable
 //! header, or whole segments stranded beyond the first break.
 //!
@@ -53,6 +55,8 @@ fn main() {
     let mut damaged = false;
     let mut total_frames = 0usize;
     let mut checkpoints: Vec<u64> = Vec::new();
+    // (lsn, acked, sealed) of every repl-meta marker, in log order.
+    let mut repl_marks: Vec<(u64, u64, bool)> = Vec::new();
     for info in &infos {
         print_segment(info, frames);
         damaged |= info.unreadable || info.torn_bytes > 0 || info.beyond_prefix;
@@ -62,6 +66,11 @@ fn main() {
                 .iter()
                 .filter(|f| f.kind == "checkpoint")
                 .map(|f| f.lsn),
+        );
+        repl_marks.extend(
+            info.frames
+                .iter()
+                .filter_map(|f| f.repl.map(|(acked, sealed)| (f.lsn, acked, sealed))),
         );
     }
     println!();
@@ -73,6 +82,19 @@ fn main() {
     );
     if let Some(lsn) = checkpoints.last() {
         println!("latest checkpoint at lsn {lsn}");
+    }
+    if let Some(&(lsn, acked, sealed)) = repl_marks.last() {
+        let seals = repl_marks.iter().filter(|(_, _, s)| *s).count();
+        println!(
+            "replication: {} markers, ack watermark {acked} (noted at lsn {lsn}), \
+             stream {}",
+            repl_marks.len(),
+            if sealed {
+                format!("SEALED ({seals} seal marker(s) — promoted or detached)")
+            } else {
+                "open".to_string()
+            }
+        );
     }
     if damaged {
         println!("DAMAGED: recovery would keep the valid prefix and truncate the rest");
@@ -110,10 +132,16 @@ fn print_segment(info: &SegmentInfo, frames: bool) {
             );
         }
     } else {
-        for frame in info.frames.iter().filter(|f| f.kind == "checkpoint") {
+        // Checkpoints and replication markers are the log's landmarks —
+        // print them even without `--frames`.
+        for frame in info
+            .frames
+            .iter()
+            .filter(|f| f.kind == "checkpoint" || f.repl.is_some())
+        {
             println!(
-                "  lsn {:>8}  checkpoint  {:>6} B  {}",
-                frame.lsn, frame.payload_bytes, frame.detail
+                "  lsn {:>8}  {:<10}  {:>6} B  {}",
+                frame.lsn, frame.kind, frame.payload_bytes, frame.detail
             );
         }
     }

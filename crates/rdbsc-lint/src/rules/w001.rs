@@ -15,7 +15,11 @@
 //! * every request tag has a decoder arm (`tag::NAME =>`) and a reply
 //!   mapping (`tag::NAME | tag::REPLY`) in `frame.rs`;
 //! * every request tag has a `RequestFrame::<Variant>` routing arm in
-//!   `partitiond.rs`.
+//!   `partitiond.rs`;
+//! * the replication commands (`REPL_*`) occupy one contiguous tag range
+//!   with no unrelated command interleaved — the module doc advertises
+//!   them as a block, and the daemon's standby/draining refusal sets are
+//!   reasoned about against that block.
 
 use crate::lexer::TokenKind;
 use crate::rules::Finding;
@@ -134,6 +138,50 @@ pub fn check(frame: &SourceFile, partitiond: Option<&SourceFile>) -> Vec<Finding
                         "request tag `{}` has no `RequestFrame::{variant}` \
                          routing arm in {}",
                         t.name, p.rel
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Replication block: `REPL_*` tags are documented (and routed) as one
+    // contiguous range. Audit every value between the lowest and highest
+    // replication tag: a non-replication tag inside the range is an
+    // interloper, an unoccupied value is a hole someone will later fill
+    // with an unrelated command.
+    let mut repl: Vec<&TagConst> = requests
+        .iter()
+        .copied()
+        .filter(|t| t.name.starts_with("REPL_"))
+        .collect();
+    repl.sort_by_key(|t| t.value);
+    if let (Some(first), Some(last)) = (repl.first(), repl.last()) {
+        for value in first.value..=last.value {
+            if repl.iter().any(|t| t.value == value) {
+                continue;
+            }
+            if let Some(other) = requests
+                .iter()
+                .find(|t| t.value == value && !t.name.starts_with("REPL_"))
+            {
+                out.push(finding(
+                    other.line,
+                    format!(
+                        "tag `{}` (0x{:02X}) sits inside the replication \
+                         block 0x{:02X}..=0x{:02X} — `REPL_*` tags must form \
+                         one contiguous range with nothing interleaved",
+                        other.name, other.value, first.value, last.value
+                    ),
+                ));
+            } else {
+                let next = repl.iter().find(|t| t.value > value).unwrap_or(last);
+                out.push(finding(
+                    next.line,
+                    format!(
+                        "replication tag block 0x{:02X}..=0x{:02X} has a hole \
+                         at 0x{:02X} — keep `REPL_*` tags contiguous so the \
+                         block stays auditable as a range",
+                        first.value, last.value, value
                     ),
                 ));
             }

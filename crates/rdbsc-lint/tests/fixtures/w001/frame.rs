@@ -2,7 +2,8 @@
 //!
 //! `DUPE` duplicates `QUERY`'s value and has no routing arm in the paired
 //! partitiond fixture; `NO_REPLY` lacks a reply mapping; `BAD_RANGE` sits
-//! outside 0x01..=0x7E.
+//! outside 0x01..=0x7E. The replication block is broken twice: `INTERLOPER`
+//! sits inside the `REPL_*` range, and `REPL_STATUS` leaves a hole at 0x0E.
 
 pub mod tag {
     pub const SUBMIT: u8 = 0x01;
@@ -10,6 +11,10 @@ pub mod tag {
     pub const DUPE: u8 = 0x02; //~ W001 W001
     pub const NO_REPLY: u8 = 0x03; //~ W001
     pub const BAD_RANGE: u8 = 0x7F; //~ W001
+    pub const REPL_BOOTSTRAP: u8 = 0x0B;
+    pub const INTERLOPER: u8 = 0x0C; //~ W001
+    pub const REPL_FETCH: u8 = 0x0D;
+    pub const REPL_STATUS: u8 = 0x0F; //~ W001
     pub const REPLY: u8 = 0x80;
     pub const ERROR: u8 = 0xFF;
 }
@@ -21,15 +26,23 @@ pub fn decode(t: u8) {
         tag::DUPE => {}
         tag::NO_REPLY => {}
         tag::BAD_RANGE => {}
+        tag::REPL_BOOTSTRAP => {}
+        tag::INTERLOPER => {}
+        tag::REPL_FETCH => {}
+        tag::REPL_STATUS => {}
         _ => {}
     }
 }
 
-pub fn reply_tags() -> [u8; 4] {
+pub fn reply_tags() -> [u8; 8] {
     [
         tag::SUBMIT | tag::REPLY,
         tag::QUERY | tag::REPLY,
         tag::DUPE | tag::REPLY,
         tag::BAD_RANGE | tag::REPLY,
+        tag::REPL_BOOTSTRAP | tag::REPLY,
+        tag::INTERLOPER | tag::REPLY,
+        tag::REPL_FETCH | tag::REPLY,
+        tag::REPL_STATUS | tag::REPLY,
     ]
 }

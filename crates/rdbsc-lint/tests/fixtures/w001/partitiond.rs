@@ -5,6 +5,10 @@ pub enum RequestFrame {
     Query,
     NoReply,
     BadRange,
+    ReplBootstrap,
+    Interloper,
+    ReplFetch,
+    ReplStatus,
 }
 
 pub fn route(f: &RequestFrame) -> u8 {
@@ -13,5 +17,9 @@ pub fn route(f: &RequestFrame) -> u8 {
         RequestFrame::Query => 2,
         RequestFrame::NoReply => 3,
         RequestFrame::BadRange => 4,
+        RequestFrame::ReplBootstrap => 5,
+        RequestFrame::Interloper => 6,
+        RequestFrame::ReplFetch => 7,
+        RequestFrame::ReplStatus => 8,
     }
 }

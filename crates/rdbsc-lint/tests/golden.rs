@@ -101,12 +101,14 @@ fn w001_golden() {
     assert!(!exp.is_empty(), "fixture lost its markers");
     let findings = engine::run_on(&[frame, partitiond]);
     assert_eq!(reported(&findings), exp, "{:#?}", rendered(&findings));
-    // The four defect classes, by message.
+    // The six defect classes, by message.
     let all = rendered(&findings).join("\n");
     assert!(all.contains("duplicates `QUERY`"), "{all}");
     assert!(all.contains("no reply mapping"), "{all}");
     assert!(all.contains("routing arm"), "{all}");
     assert!(all.contains("0x01..=0x7E"), "{all}");
+    assert!(all.contains("inside the replication block"), "{all}");
+    assert!(all.contains("has a hole at 0x0E"), "{all}");
 }
 
 #[test]

@@ -79,9 +79,11 @@ pub struct EngineSnapshot {
 
 /// What the handle drives: one engine over the whole space, or one engine
 /// per region behind the partitioned router.
+// Both variants boxed: each holds hundreds of bytes of engine/router
+// state, and the enum sits inside every handle's mutex.
 enum Core<I: SpatialIndex> {
-    Single(AssignmentEngine<I>),
-    Partitioned(PartitionedEngine),
+    Single(Box<AssignmentEngine<I>>),
+    Partitioned(Box<PartitionedEngine>),
 }
 
 impl<I: SpatialIndex> Core<I> {
@@ -245,7 +247,7 @@ impl<I: SpatialIndex> Clone for EngineHandle<I> {
 impl<I: SpatialIndex> EngineHandle<I> {
     /// Wraps an engine (typically freshly constructed) in a shared handle.
     pub fn new(engine: AssignmentEngine<I>) -> Self {
-        Self::with_core(Core::Single(engine))
+        Self::with_core(Core::Single(Box::new(engine)))
     }
 
     /// Wraps a region-partitioned multi-engine
@@ -253,7 +255,7 @@ impl<I: SpatialIndex> EngineHandle<I> {
     /// identical; events are routed by location, ticks run lockstep across
     /// every partition, and queries return merged views.
     pub fn new_partitioned(engine: PartitionedEngine) -> Self {
-        Self::with_core(Core::Partitioned(engine))
+        Self::with_core(Core::Partitioned(Box::new(engine)))
     }
 
     fn with_core(core: Core<I>) -> Self {
@@ -444,6 +446,44 @@ impl<I: SpatialIndex> EngineHandle<I> {
         match &self.lock().core {
             Core::Single(_) => 0,
             Core::Partitioned(engine) => engine.events_dropped(),
+        }
+    }
+
+    /// Arms a standby promoter on a partitioned slot: the first transport
+    /// failure there fails over to the standby instead of degrading — see
+    /// the failure model in [`crate::partition`].
+    ///
+    /// # Panics
+    ///
+    /// On a single-engine handle or an out-of-range slot.
+    pub fn set_standby_promoter(
+        &self,
+        slot: usize,
+        promoter: Box<dyn crate::partition::StandbyPromoter>,
+    ) {
+        match &mut self.lock().core {
+            Core::Single(_) => {
+                panic!("standby promotion is only available on a partitioned handle")
+            }
+            Core::Partitioned(engine) => engine.set_standby_promoter(slot, promoter),
+        }
+    }
+
+    /// Query: completed standby promotions, in the order they happened
+    /// (empty on a single engine) — what `/metrics` renders under
+    /// `partitions_promoted`.
+    pub fn promotions(&self) -> Vec<crate::partition::PromotionRecord> {
+        match &self.lock().core {
+            Core::Single(_) => Vec::new(),
+            Core::Partitioned(engine) => engine.promotions().to_vec(),
+        }
+    }
+
+    /// Query: slots with a standby currently armed (0 on a single engine).
+    pub fn standbys_armed(&self) -> usize {
+        match &self.lock().core {
+            Core::Single(_) => 0,
+            Core::Partitioned(engine) => engine.standbys_armed(),
         }
     }
 

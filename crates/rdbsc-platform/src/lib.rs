@@ -31,6 +31,10 @@
 //! The [`wal`] module makes a partition durable: an append-only segmented
 //! write-ahead log that records every routed command before application,
 //! with periodic checkpoints and exact (digest-verified) crash recovery.
+//! The [`repl`] module stretches the same redo stream over the wire:
+//! log-shipping replication from a primary partition to a standby, with
+//! acknowledgement-watermark retention and digest-exact standby promotion
+//! on primary failure.
 
 #![deny(missing_docs)]
 
@@ -41,6 +45,7 @@ pub mod handle;
 pub mod par;
 pub mod partition;
 pub mod protocol;
+pub mod repl;
 pub mod sim;
 pub mod stats;
 pub mod wal;
@@ -51,11 +56,15 @@ pub use engine::{
     AdaptiveBatchSolver, AssignmentEngine, EngineConfig, EngineEvent, EngineObjective, TickReport,
 };
 pub use handle::{EngineHandle, EngineSnapshot};
-pub use partition::{merge_snapshots, PartitionHealth, PartitionTransport, PartitionedEngine};
+pub use partition::{
+    merge_snapshots, PartitionHealth, PartitionTransport, PartitionedEngine, PromotionRecord,
+    StandbyPromoter,
+};
 pub use protocol::{
     EnginePartition, InProcessClient, PartitionClient, PartitionError, PartitionTick,
     ProtocolCounters, ProtocolStats, PROTOCOL_VERSION,
 };
+pub use repl::{ReplError, ReplStatus, ReplicationLog};
 pub use sim::{PlatformConfig, PlatformSim, RoundStats, SimulationReport};
 pub use stats::{Counter, LatencyHistogram};
 pub use wal::{

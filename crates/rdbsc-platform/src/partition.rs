@@ -73,8 +73,22 @@
 //! lost region are unavailable, not silently wrong — its tasks and workers
 //! simply drop out of merged snapshots and listings. Restoring the lost
 //! region (restart its daemon with `--data-dir` and let the WAL recover it,
-//! see [`crate::wal`]) requires a new router today; automatic re-attach and
-//! replication are future work (see ROADMAP).
+//! see [`crate::wal`]) requires a new router today.
+//!
+//! A slot can instead be armed with a [`StandbyPromoter`] — a hot standby
+//! that has been replaying the primary's shipped log (see [`crate::repl`]).
+//! Then the first transport failure triggers **inline promotion**: the
+//! promoter health-checks its standby, waits for replay to finish, seals
+//! the stream and returns a fresh [`PartitionClient`] which replaces the
+//! dead one in place. The slot never goes unhealthy; the round that
+//! observed the failure skips the promoted slot (the successor never saw
+//! that round's `begin_tick` — a per-slot generation counter guards every
+//! deferred completion) and the next round serves from the standby, whose
+//! state is digest-identical to the primary's acknowledged prefix. Each
+//! promotion is recorded in [`PartitionedEngine::promotions`]. Promotion is
+//! one-shot per slot: a second failure degrades to the unhealthy path
+//! above (automated re-seeding of a fresh standby is future work, see
+//! ROADMAP).
 //!
 //! Known approximation: a task re-posted at a location in a *different*
 //! partition is treated as withdraw-then-arrive (the old partition retires
@@ -117,6 +131,41 @@ pub struct PartitionHealth {
     /// The thread label or network address that stopped answering.
     pub endpoint: String,
     /// The first [`PartitionError`] observed on the slot, rendered.
+    pub error: String,
+}
+
+/// How the router promotes a partition's configured standby when its
+/// primary dies: the implementation health-checks the standby daemon, tells
+/// it to seal its replication stream and start accepting commands, and
+/// hands back a fresh [`PartitionClient`] attached to it
+/// (`rdbsc-server::RemoteStandbyPromoter` is the wire implementation).
+pub trait StandbyPromoter: Send {
+    /// The standby's endpoint, for logs and the promotion record.
+    fn endpoint(&self) -> String;
+
+    /// Performs the promotion and returns a client attached to the
+    /// successor. An error leaves the slot on the ordinary unhealthy path.
+    fn promote(&mut self) -> Result<Box<dyn PartitionClient>, String>;
+
+    /// Stops the standby daemon when the topology shuts down without the
+    /// promoter ever firing (best effort; default no-op).
+    fn shutdown(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// One completed failover: which slot, which endpoints, and the transport
+/// failure that triggered it — surfaced on `/metrics` next to
+/// [`PartitionHealth`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotionRecord {
+    /// The region index that failed over.
+    pub partition: usize,
+    /// The lost primary's endpoint.
+    pub old_endpoint: String,
+    /// The promoted standby's endpoint now serving the region.
+    pub new_endpoint: String,
+    /// The rendered [`PartitionError`] that triggered the failover.
     pub error: String,
 }
 
@@ -165,17 +214,27 @@ pub struct PartitionedEngine {
     /// Per-slot health: `None` while the slot answers, the first observed
     /// failure once it stops (see the module docs' failure model).
     health: Vec<Option<PartitionHealth>>,
+    /// Per-slot standby promoter, armed by [`Self::set_standby_promoter`]
+    /// and consumed (one-shot) by the first transport failure on the slot.
+    promoters: Vec<Option<Box<dyn StandbyPromoter>>>,
+    /// Completed failovers, in order.
+    promotions: Vec<PromotionRecord>,
+    /// Per-slot client generation, bumped when a promotion swaps the
+    /// client. Round-scoped completions (`finish_tick`, deferred pipelined
+    /// submits) compare generations so a reply begun on the dead primary is
+    /// never collected from its successor.
+    client_gen: Vec<u64>,
     /// Events routed to a partition after it was marked unhealthy — dropped
     /// instead of shipped, and surfaced so operators can size the loss.
     events_dropped: u64,
     /// Submits dispatched to pipelining clients whose replies are still on
-    /// the wire: `(slot, batch_len)`. A pipelining transport preserves
+    /// the wire: `(slot, batch_len, client_gen)`. A pipelining transport preserves
     /// per-connection order, so the router leaves the submit unconfirmed,
     /// streams the same slot's tick command behind it, and collects both
     /// replies together — one round trip per round instead of two. At most
     /// one entry per slot (the depth cap): the next dispatch to a slot
     /// collects the previous reply first.
-    pending_submits: Vec<(usize, u64)>,
+    pending_submits: Vec<(usize, u64, u64)>,
     /// The most recent tick time (what the graceful-shutdown drain tick
     /// runs at).
     last_now: f64,
@@ -197,6 +256,8 @@ impl PartitionedEngine {
         );
         let outbox = (0..clients.len()).map(|_| Vec::new()).collect();
         let health = (0..clients.len()).map(|_| None).collect();
+        let promoters = (0..clients.len()).map(|_| None).collect();
+        let client_gen = vec![0; clients.len()];
         Self {
             partition,
             clients,
@@ -207,6 +268,9 @@ impl PartitionedEngine {
             pending_handoff: BTreeSet::new(),
             handoffs: 0,
             health,
+            promoters,
+            promotions: Vec::new(),
+            client_gen,
             events_dropped: 0,
             pending_submits: Vec::new(),
             last_now: 0.0,
@@ -284,12 +348,45 @@ impl PartitionedEngine {
             .collect()
     }
 
-    /// A partition command failed: record the loss (first error wins) and
-    /// degrade — later commands skip the slot (see the module docs' failure
-    /// model). Idempotent per slot.
+    /// A partition command failed. With a standby armed on the slot, the
+    /// failover path runs right here: the promoter (one-shot) promotes the
+    /// standby and the successor client takes the slot — the slot never
+    /// goes unhealthy, and the generation bump keeps this round's
+    /// outstanding completions away from the successor (it joins at the
+    /// next command). Otherwise — no standby, or the promotion itself
+    /// failed — record the loss (first error wins) and degrade: later
+    /// commands skip the slot (see the module docs' failure model).
+    /// Idempotent per slot.
     fn mark_unhealthy(&mut self, slot: usize, error: PartitionError) {
         if self.health[slot].is_some() {
             return;
+        }
+        if let Some(mut promoter) = self.promoters[slot].take() {
+            let old_endpoint = self.clients[slot].endpoint();
+            let standby = promoter.endpoint();
+            eprintln!(
+                "partition {slot} ({old_endpoint}) lost: {error} — promoting standby {standby}"
+            );
+            match promoter.promote() {
+                Ok(client) => {
+                    let new_endpoint = client.endpoint();
+                    self.clients[slot] = client;
+                    self.client_gen[slot] += 1;
+                    eprintln!(
+                        "partition {slot} failover complete: {new_endpoint} serves the region"
+                    );
+                    self.promotions.push(PromotionRecord {
+                        partition: slot,
+                        old_endpoint,
+                        new_endpoint,
+                        error: error.to_string(),
+                    });
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("partition {slot} standby {standby} promotion failed: {e}");
+                }
+            }
         }
         let record = PartitionHealth {
             partition: slot,
@@ -302,6 +399,25 @@ impl PartitionedEngine {
             record.endpoint, record.error
         );
         self.health[slot] = Some(record);
+    }
+
+    /// Arms `slot` with a standby promoter: the first transport failure on
+    /// the slot promotes the standby instead of marking the region lost.
+    /// One-shot — a second failure (or a failed promotion) falls back to
+    /// the ordinary unhealthy path until re-armed.
+    pub fn set_standby_promoter(&mut self, slot: usize, promoter: Box<dyn StandbyPromoter>) {
+        assert!(slot < self.clients.len(), "no such partition slot");
+        self.promoters[slot] = Some(promoter);
+    }
+
+    /// Completed failovers, in the order they happened.
+    pub fn promotions(&self) -> &[PromotionRecord] {
+        &self.promotions
+    }
+
+    /// Slots with a standby currently armed.
+    pub fn standbys_armed(&self) -> usize {
+        self.promoters.iter().flatten().count()
     }
 
     fn healthy(&self, slot: usize) -> bool {
@@ -356,7 +472,8 @@ impl PartitionedEngine {
                 continue;
             }
             if self.clients[slot].supports_pipelining() {
-                self.pending_submits.push((slot, batch_len));
+                self.pending_submits
+                    .push((slot, batch_len, self.client_gen[slot]));
             } else {
                 inflight.push((slot, batch_len));
             }
@@ -373,11 +490,17 @@ impl PartitionedEngine {
 
     /// Collects `slot`'s deferred pipelined submit reply, if one is
     /// outstanding, with the same loss accounting as an eager completion.
+    /// A generation mismatch means a promotion replaced the client since
+    /// the dispatch: the batch died with the primary and is counted lost.
     fn finish_pending_submit(&mut self, slot: usize) {
-        let Some(pos) = self.pending_submits.iter().position(|(s, _)| *s == slot) else {
+        let Some(pos) = self.pending_submits.iter().position(|(s, _, _)| *s == slot) else {
             return;
         };
-        let (_, batch_len) = self.pending_submits.remove(pos);
+        let (_, batch_len, gen) = self.pending_submits.remove(pos);
+        if self.client_gen[slot] != gen {
+            self.events_dropped += batch_len;
+            return;
+        }
         if let Err(e) = self.clients[slot].finish_submit() {
             self.mark_unhealthy(slot, e);
             self.events_dropped += batch_len;
@@ -386,7 +509,11 @@ impl PartitionedEngine {
 
     /// Collects every outstanding pipelined submit reply.
     fn finish_all_pending_submits(&mut self) {
-        for (slot, batch_len) in std::mem::take(&mut self.pending_submits) {
+        for (slot, batch_len, gen) in std::mem::take(&mut self.pending_submits) {
+            if self.client_gen[slot] != gen {
+                self.events_dropped += batch_len;
+                continue;
+            }
             if let Err(e) = self.clients[slot].finish_submit() {
                 self.mark_unhealthy(slot, e);
                 self.events_dropped += batch_len;
@@ -578,7 +705,7 @@ impl PartitionedEngine {
             }
             self.clients[slot].set_trace(trace);
             match self.clients[slot].begin_tick(now) {
-                Ok(()) => ticking.push(slot),
+                Ok(()) => ticking.push((slot, self.client_gen[slot])),
                 Err(e) => self.mark_unhealthy(slot, e),
             }
         }
@@ -588,8 +715,14 @@ impl PartitionedEngine {
         // trips overlapped with every partition's solve.
         self.finish_all_pending_submits();
         let mut results = Vec::with_capacity(ticking.len());
-        for slot in ticking {
+        for (slot, gen) in ticking {
             if !self.healthy(slot) {
+                continue;
+            }
+            // A generation bump means a promotion swapped the client while
+            // this round was in flight: the successor never received this
+            // round's begin_tick, so there is no reply to collect.
+            if self.client_gen[slot] != gen {
                 continue;
             }
             match self.clients[slot].finish_tick() {
@@ -829,6 +962,15 @@ impl PartitionedEngine {
             }
             if let Err(e) = self.clients[slot].shutdown() {
                 eprintln!("partition {slot} shutdown failed: {e}");
+            }
+        }
+        // Standbys that were never promoted still hold live processes or
+        // threads; release them too (best effort, same as above).
+        for (slot, promoter) in self.promoters.iter_mut().enumerate() {
+            if let Some(promoter) = promoter {
+                if let Err(e) = promoter.shutdown() {
+                    eprintln!("partition {slot} standby shutdown failed: {e}");
+                }
             }
         }
         self.shut = true;
@@ -1307,6 +1449,200 @@ mod tests {
         // Shutdown stays graceful: drains the survivor, skips the corpse.
         let final_snapshot = split.shutdown();
         assert_eq!(final_snapshot.pending_events, 0);
+    }
+
+    /// Hands out a pre-built standby client when promoted; the in-process
+    /// analogue of `rdbsc-server::RemoteStandbyPromoter`.
+    struct FakePromoter {
+        slot: usize,
+        standby: Option<InProcessClient>,
+        fail: bool,
+        shut: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl StandbyPromoter for FakePromoter {
+        fn endpoint(&self) -> String {
+            format!("standby-{}", self.slot)
+        }
+        fn promote(&mut self) -> Result<Box<dyn PartitionClient>, String> {
+            if self.fail {
+                return Err("standby unreachable".into());
+            }
+            Ok(Box::new(self.standby.take().expect("promoted once")))
+        }
+        fn shutdown(&mut self) -> Result<(), String> {
+            self.shut.store(true, std::sync::atomic::Ordering::SeqCst);
+            if let Some(mut standby) = self.standby.take() {
+                let _ = standby.drain();
+                let _ = standby.shutdown();
+            }
+            Ok(())
+        }
+    }
+
+    /// A 2-way split whose slot 1 is killable, with slot 1's routed
+    /// sub-stream returned so a test can grow a byte-identical standby.
+    fn killable_split() -> (
+        PartitionedEngine,
+        std::sync::Arc<std::sync::atomic::AtomicBool>,
+        AssignmentEngine<GridIndex>,
+    ) {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let geometry = GridGeometry::new(Rect::unit(), 0.1);
+        let partition = RegionPartitioner::uniform().split(geometry, 2, &[]);
+        let config = EngineConfig::default();
+        let standby = AssignmentEngine::new(
+            GridIndex::new(partition.region_rect(1), 0.1),
+            config.clone(),
+        );
+        let dead = Arc::new(AtomicBool::new(false));
+        let clients: Vec<Box<dyn PartitionClient>> = (0..2)
+            .map(|i| {
+                let engine = AssignmentEngine::new(
+                    GridIndex::new(partition.region_rect(i), 0.1),
+                    config.clone(),
+                );
+                let inner = InProcessClient::spawn(i, engine);
+                if i == 1 {
+                    Box::new(KillableClient {
+                        inner,
+                        dead: Arc::clone(&dead),
+                    }) as Box<dyn PartitionClient>
+                } else {
+                    Box::new(inner)
+                }
+            })
+            .collect();
+        (PartitionedEngine::new(partition, clients), dead, standby)
+    }
+
+    #[test]
+    fn transport_failure_promotes_the_armed_standby() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (mut split, dead, standby) = killable_split();
+
+        // The standby replays slot 1's routed sub-stream through the same
+        // protocol methods a real follower applies shipped records with —
+        // the in-process stand-in for log shipping. Determinism makes it
+        // byte-identical to the primary by construction.
+        let mut sub = Vec::new();
+        for i in [1u32, 3, 5] {
+            sub.push(EngineEvent::TaskArrived(task(i, 0.8, 0.5, 0.0, 5.0)));
+            sub.push(EngineEvent::WorkerCheckIn(worker(i, 0.8, 0.45, 0.3)));
+        }
+        let mut standby = InProcessClient::spawn(1, standby);
+        standby.begin_submit(sub).unwrap();
+        standby.finish_submit().unwrap();
+        standby.begin_tick(0.0).unwrap();
+        standby.finish_tick().unwrap();
+
+        let shut = Arc::new(AtomicBool::new(false));
+        split.set_standby_promoter(
+            1,
+            Box::new(FakePromoter {
+                slot: 1,
+                standby: Some(standby),
+                fail: false,
+                shut: Arc::clone(&shut),
+            }),
+        );
+        assert_eq!(split.standbys_armed(), 1);
+
+        split.submit_all(two_sided_events());
+        split.tick(0.0);
+        let acknowledged = split.partition_snapshots()[1].clone();
+
+        // The primary dies mid-run: the next tick promotes inline instead
+        // of degrading. The promoted slot skips the detection round (its
+        // begin_tick never happened), so its state is still exactly the
+        // acknowledged pre-kill snapshot.
+        dead.store(true, Ordering::SeqCst);
+        split.tick(0.5);
+        assert!(split.unhealthy_partitions().is_empty(), "slot stayed healthy");
+        assert_eq!(split.standbys_armed(), 0, "promotion is one-shot");
+        let promotions = split.promotions();
+        assert_eq!(promotions.len(), 1);
+        assert_eq!(promotions[0].partition, 1);
+        assert_eq!(promotions[0].old_endpoint, "rdbsc-partition-1");
+        assert_eq!(promotions[0].new_endpoint, "rdbsc-partition-1");
+        assert!(promotions[0].error.contains("connection refused"));
+        assert_eq!(
+            split.partition_snapshots()[1],
+            acknowledged,
+            "promoted standby serves the acknowledged state, bit for bit"
+        );
+
+        // The region keeps serving from the standby: new work routed right
+        // of the boundary assigns there.
+        split.submit(EngineEvent::TaskArrived(task(10, 0.85, 0.5, 0.0, 9.0)));
+        split.submit(EngineEvent::WorkerCheckIn(worker(10, 0.85, 0.45, 0.4)));
+        let report = split.tick(1.0);
+        assert!(
+            report.new_assignments.iter().any(|p| p.worker == WorkerId(10)),
+            "promoted region assigns new work"
+        );
+        assert_eq!(split.events_dropped(), 0, "no events lost across failover");
+
+        let final_snapshot = split.shutdown();
+        assert_eq!(final_snapshot.pending_events, 0);
+        assert!(!shut.load(Ordering::SeqCst), "fired promoter is not re-shut");
+    }
+
+    #[test]
+    fn failed_promotion_falls_back_to_the_unhealthy_path() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (mut split, dead, standby) = killable_split();
+        drop(standby);
+        let shut = Arc::new(AtomicBool::new(false));
+        split.set_standby_promoter(
+            1,
+            Box::new(FakePromoter {
+                slot: 1,
+                standby: None,
+                fail: true,
+                shut: Arc::clone(&shut),
+            }),
+        );
+
+        split.submit_all(two_sided_events());
+        split.tick(0.0);
+        dead.store(true, Ordering::SeqCst);
+        split.tick(0.5);
+
+        let lost = split.unhealthy_partitions();
+        assert_eq!(lost.len(), 1, "failed promotion degrades, not panics");
+        assert_eq!(lost[0].partition, 1);
+        assert!(split.promotions().is_empty());
+        assert_eq!(split.standbys_armed(), 0, "the attempt consumed the promoter");
+        split.shutdown();
+    }
+
+    #[test]
+    fn shutdown_releases_an_unfired_standby() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (mut split, _dead, standby) = killable_split();
+        let shut = Arc::new(AtomicBool::new(false));
+        split.set_standby_promoter(
+            1,
+            Box::new(FakePromoter {
+                slot: 1,
+                standby: Some(InProcessClient::spawn(1, standby)),
+                fail: false,
+                shut: Arc::clone(&shut),
+            }),
+        );
+        split.submit_all(two_sided_events());
+        split.tick(0.0);
+        split.shutdown();
+        assert!(shut.load(Ordering::SeqCst), "armed standby was stopped");
     }
 
     #[test]

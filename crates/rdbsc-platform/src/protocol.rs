@@ -53,6 +53,7 @@
 
 use crate::engine::{AssignmentEngine, EngineConfig, EngineEvent, TickReport};
 use crate::handle::EngineSnapshot;
+use crate::repl::{ReplError, ReplStatus, ReplicationLog, DEFAULT_MAX_RETAINED};
 use crate::stats::{Counter, LatencyHistogram};
 use crate::wal::{PartitionState, ScannedLog, Wal, WalConfig, WalError, WalRecord, WalStats};
 use rdbsc_index::SpatialIndex;
@@ -295,6 +296,10 @@ pub struct EnginePartition<I: SpatialIndex> {
     /// keep acknowledging them, and a reboot recovers exactly the logged
     /// prefix.
     wal: Option<Wal>,
+    /// The replication stream, when this partition runs as a primary: a
+    /// copy of every logged command record, retained until the follower
+    /// acknowledges it (see [`crate::repl`]).
+    repl: Option<ReplicationLog>,
     /// The trace id commands are currently attributed to (`0` = untraced).
     /// Set by [`EnginePartition::set_trace`]; purely observational.
     trace: u64,
@@ -309,6 +314,7 @@ impl<I: SpatialIndex> EnginePartition<I> {
             events_applied: 0,
             total_assignments: 0,
             wal: None,
+            repl: None,
             trace: 0,
         }
     }
@@ -378,6 +384,8 @@ impl<I: SpatialIndex> EnginePartition<I> {
             // one surviving in the tail would be a scan bug, but replay is
             // defensive: the record is self-contained state, not a command.
             WalRecord::Checkpoint(_) => {}
+            // Replication watermarks are observational notes, not commands.
+            WalRecord::ReplMeta { .. } => {}
         }
     }
 
@@ -393,6 +401,11 @@ impl<I: SpatialIndex> EnginePartition<I> {
     pub fn submit(&mut self, events: Vec<EngineEvent>) {
         let _span = rdbsc_obs::span(self.trace, 0, "partition.submit");
         Self::log(&mut self.wal, |wal| wal.append_events(&events));
+        if let Some(repl) = &mut self.repl {
+            if !events.is_empty() {
+                repl.publish(WalRecord::Events(events.clone()));
+            }
+        }
         self.engine.submit_all(events);
     }
 
@@ -430,6 +443,9 @@ impl<I: SpatialIndex> EnginePartition<I> {
                 wal_fsync_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
             }
         }
+        if let Some(repl) = &mut self.repl {
+            repl.publish(WalRecord::Tick { now });
+        }
         let mut report = self.engine.tick(now);
         // The engine computes its stage timings but stays tracing-free;
         // synthesize its spans here (the WAL stages were traced live above,
@@ -466,12 +482,21 @@ impl<I: SpatialIndex> EnginePartition<I> {
     /// Banks an answer; `false` when the worker was not en route.
     pub fn record_answer(&mut self, worker: WorkerId, contribution: Contribution) -> bool {
         Self::log(&mut self.wal, |wal| wal.append_answer(worker, contribution));
+        if let Some(repl) = &mut self.repl {
+            repl.publish(WalRecord::Answer {
+                worker,
+                contribution,
+            });
+        }
         self.engine.record_answer(worker, contribution)
     }
 
     /// Releases an en-route worker without banking.
     pub fn release_worker(&mut self, worker: WorkerId) {
         Self::log(&mut self.wal, |wal| wal.append_release(worker));
+        if let Some(repl) = &mut self.repl {
+            repl.publish(WalRecord::Release { worker });
+        }
         self.engine.release_worker(worker);
     }
 
@@ -521,6 +546,105 @@ impl<I: SpatialIndex> EnginePartition<I> {
     /// daemon's graceful shutdown so nothing acknowledged is lost.
     pub fn sync_wal(&mut self) {
         Self::log(&mut self.wal, Wal::sync);
+    }
+
+    /// Turns this partition into a replication primary (idempotent) and
+    /// starts — or restarts — the stream: returns the bootstrap snapshot
+    /// the follower restores from plus the stream lsn of the first record
+    /// published after it. Re-bootstrapping rebases the stream to its
+    /// head: the fresh snapshot covers everything published before it, so
+    /// the retained tail is dropped wholesale.
+    pub fn enable_replication(&mut self) -> (PartitionState, u64) {
+        let state = self.dump_state();
+        let repl = self
+            .repl
+            .get_or_insert_with(|| ReplicationLog::new(0, DEFAULT_MAX_RETAINED));
+        repl.rebase_to_head();
+        (state, repl.next_lsn())
+    }
+
+    /// Serves one follower pull: advances the acknowledgement watermark to
+    /// `ack` (records below it are released from retention), then returns
+    /// up to `max` records from stream lsn `from`. A gap means the
+    /// follower fell behind retention and must re-bootstrap.
+    pub fn repl_fetch(
+        &mut self,
+        from: u64,
+        ack: u64,
+        max: usize,
+    ) -> Result<Vec<(u64, WalRecord)>, ReplError> {
+        let repl = self.repl.as_mut().ok_or(ReplError::NotEnabled)?;
+        repl.ack(ack);
+        repl.fetch(from, max)
+    }
+
+    /// The primary-side stream counters (`None` when this partition is not
+    /// a replication primary).
+    pub fn repl_status(&self) -> Option<ReplStatus> {
+        self.repl.as_ref().map(ReplicationLog::status)
+    }
+
+    /// Notes a follower's acknowledgement watermark in this partition's
+    /// own log (no-op without one). Observational — replay ignores it —
+    /// but it lets `wal_dump` diagnose how far a standby's log got.
+    pub fn note_repl_watermark(&mut self, acked: u64) {
+        Self::log(&mut self.wal, |wal| {
+            wal.append(&WalRecord::ReplMeta {
+                acked,
+                sealed: false,
+            })
+        });
+    }
+
+    /// Seals a promoted standby's incoming stream: writes the sealed
+    /// marker at watermark `acked`, checkpoints the promoted state into a
+    /// fresh segment (the new primary's clean log epoch) and fsyncs.
+    /// Returns the promoted state digest — the value failover proofs
+    /// compare against the dead primary's last acknowledged digest.
+    pub fn seal_replication(&mut self, acked: u64) -> u64 {
+        Self::log(&mut self.wal, |wal| {
+            wal.append(&WalRecord::ReplMeta { acked, sealed: true })
+        });
+        let state = self.dump_state();
+        let tick = self.engine.num_ticks();
+        Self::log(&mut self.wal, |wal| wal.append_checkpoint(&state, tick));
+        Self::log(&mut self.wal, Wal::sync);
+        state.digest()
+    }
+
+    /// Rebuilds a partition from a shipped state snapshot (no durability)
+    /// — the in-memory half of the follower bootstrap path.
+    pub fn from_state(
+        state: &PartitionState,
+        engine_config: EngineConfig,
+        make_index: impl FnOnce() -> I,
+    ) -> Self {
+        let engine =
+            AssignmentEngine::restore_state(make_index(), engine_config, state.engine.clone());
+        let mut part = Self::new(engine);
+        part.last_now = state.last_now;
+        part.events_applied = state.events_applied;
+        part.total_assignments = state.total_assignments;
+        part
+    }
+
+    /// [`EnginePartition::from_state`] with a durable log in `dir`: the
+    /// snapshot is checkpointed immediately so the follower's log is
+    /// self-contained from its first byte, then the log attaches — shipped
+    /// records applied afterwards go through the ordinary log-then-apply
+    /// path.
+    pub fn restore_durable(
+        dir: &Path,
+        wal_config: WalConfig,
+        engine_config: EngineConfig,
+        state: &PartitionState,
+        make_index: impl FnOnce() -> I,
+    ) -> Result<Self, WalError> {
+        let (mut wal, _scan) = Wal::open(dir, wal_config)?;
+        let mut part = Self::from_state(state, engine_config, make_index);
+        wal.append_checkpoint(state, part.engine.num_ticks())?;
+        part.wal = Some(wal);
+        Ok(part)
     }
 
     /// Pending events or live tasks?

@@ -220,6 +220,11 @@ pub fn encode_record(record: &WalRecord) -> Vec<u8> {
             e.u8(5);
             e.partition_state(state);
         }
+        WalRecord::ReplMeta { acked, sealed } => {
+            e.u8(6);
+            e.u64(*acked);
+            e.bool(*sealed);
+        }
     }
     e.into_bytes()
 }
@@ -433,6 +438,10 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord, WalError> {
             worker: WorkerId(d.u32()?),
         },
         5 => WalRecord::Checkpoint(d.partition_state()?),
+        6 => WalRecord::ReplMeta {
+            acked: d.u64()?,
+            sealed: d.bool()?,
+        },
         _ => return Err(corrupt("invalid record tag")),
     };
     if d.remaining() != 0 {
@@ -499,6 +508,14 @@ mod tests {
                 contribution,
             },
             WalRecord::Release { worker: WorkerId(9) },
+            WalRecord::ReplMeta {
+                acked: 412,
+                sealed: false,
+            },
+            WalRecord::ReplMeta {
+                acked: u64::MAX,
+                sealed: true,
+            },
         ];
         for record in records {
             let bytes = encode_record(&record);

@@ -125,6 +125,19 @@ pub enum WalRecord {
     },
     /// A full-state checkpoint; replay restarts from the latest one.
     Checkpoint(PartitionState),
+    /// Replication-stream metadata a follower notes in its own log: the
+    /// acknowledgement watermark (highest primary lsn applied) and the
+    /// sealed marker promotion writes when the stream ends forever. Replay
+    /// ignores it — the record exists so `wal_dump` can diagnose a
+    /// standby's log read-only.
+    ReplMeta {
+        /// The highest shipped-record lsn this follower has applied and
+        /// acknowledged back to its primary.
+        acked: u64,
+        /// The stream is sealed: this follower was promoted to primary and
+        /// no further shipped records will ever be applied.
+        sealed: bool,
+    },
 }
 
 impl WalRecord {
@@ -136,6 +149,7 @@ impl WalRecord {
             WalRecord::Answer { .. } => "answer",
             WalRecord::Release { .. } => "release",
             WalRecord::Checkpoint(_) => "checkpoint",
+            WalRecord::ReplMeta { .. } => "repl-meta",
         }
     }
 }
@@ -383,6 +397,11 @@ pub struct FrameInfo {
     pub payload_bytes: u64,
     /// A one-line human summary of the record's content.
     pub detail: String,
+    /// Replication metadata when this frame is a `repl-meta` record:
+    /// `(acked, sealed)` — the shipped-stream ack watermark the primary
+    /// observed, and whether the marker sealed the stream (promotion or
+    /// replica detach). `None` for every other record kind.
+    pub repl: Option<(u64, bool)>,
 }
 
 /// Read-only metadata of one segment file, produced by [`inspect_dir`].
@@ -462,6 +481,10 @@ pub fn inspect_dir(dir: &Path) -> Result<Vec<SegmentInfo>, WalError> {
                 kind: record.kind(),
                 payload_bytes: (total - FRAME_HEADER_BYTES) as u64,
                 detail: record_detail(&record),
+                repl: match record {
+                    WalRecord::ReplMeta { acked, sealed } => Some((acked, sealed)),
+                    _ => None,
+                },
             });
             pos += total;
             lsn += 1;
@@ -489,6 +512,7 @@ fn record_detail(record: &WalRecord) -> String {
             state.last_now,
             state.events_applied
         ),
+        WalRecord::ReplMeta { acked, sealed } => format!("acked={acked} sealed={sealed}"),
     }
 }
 

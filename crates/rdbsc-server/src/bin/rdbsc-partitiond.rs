@@ -16,6 +16,7 @@ fn usage() -> ! {
         "usage: rdbsc-partitiond [--addr HOST:PORT] [--threads N] [--queue N]\n\
          \x20                     [--max-body-bytes N] [--idle-timeout-ms N]\n\
          \x20                     [--data-dir PATH] [--slow-tick-ms N]\n\
+         \x20                     [--follow HOST:PORT]\n\
          \n\
          Serves one spatial partition's engine over the partition protocol.\n\
          The daemon starts unconfigured; a router (rdbsc-server with\n\
@@ -28,6 +29,12 @@ fn usage() -> ! {
          the daemon self-configures from the persisted configure payload,\n\
          loads the last checkpoint and replays the log tail — recovering\n\
          exactly the acknowledged state.\n\
+         --follow HOST:PORT boots the daemon as a replication standby: it\n\
+         bootstraps its state from the primary at that address, applies\n\
+         shipped WAL records continuously (lag on /metrics), and refuses\n\
+         mutating client commands until POST /partition/repl/promote turns\n\
+         it into the serving primary — what a router with\n\
+         --standby-partition does on primary failure.\n\
          --slow-tick-ms N captures every tick slower than N ms (stage\n\
          breakdown + span tree) for GET /debug/slow-ticks; 0 captures\n\
          every tick. Off by default."
@@ -71,6 +78,7 @@ fn main() {
                 config.idle_timeout = Duration::from_millis(ms);
             }
             "--data-dir" => config.data_dir = Some(value.into()),
+            "--follow" => config.follow = Some(value.clone()),
             "--slow-tick-ms" => {
                 let ms: u64 = value.parse().unwrap_or_else(|_| parse_err(value));
                 config.slow_tick_threshold_us = ms.saturating_mul(1000);
@@ -83,6 +91,7 @@ fn main() {
     }
 
     let durable = config.data_dir.is_some();
+    let standby = config.follow.clone();
     let daemon = match PartitionDaemon::start(config) {
         Ok(daemon) => daemon,
         Err(e) => {
@@ -90,15 +99,12 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!(
-        "rdbsc-partitiond listening on http://{}{}",
-        daemon.addr(),
-        if durable {
-            " (durable; recovered state if a log was present)"
-        } else {
-            " (unconfigured; waiting for a router)"
-        }
-    );
+    let role = match &standby {
+        Some(primary) => format!(" (standby following {primary})"),
+        None if durable => " (durable; recovered state if a log was present)".to_string(),
+        None => " (unconfigured; waiting for a router)".to_string(),
+    };
+    println!("rdbsc-partitiond listening on http://{}{role}", daemon.addr());
     daemon.join();
     println!("rdbsc-partitiond stopped");
 }

@@ -14,6 +14,7 @@ fn usage() -> ! {
          \x20                 [--backend grid|flat-grid] [--partitions N]\n\
          \x20                 [--remote-partition HOST:PORT]... [--data-dir PATH]\n\
          \x20                 [--remote-transport http|binary]... [--slow-tick-ms N]\n\
+         \x20                 [--standby-partition HOST:PORT|-]...\n\
          \n\
          --flush-interval-ms 0 enables manual tick mode: the engine only\n\
          advances on POST /tick. Stop the server with POST /admin/shutdown.\n\
@@ -33,6 +34,12 @@ fn usage() -> ! {
          --data-dir PATH write-ahead logs every in-process partition under\n\
          PATH/part-NNNN and recovers from the logs on restart; remote\n\
          daemons are durable when started with their own --data-dir.\n\
+         --standby-partition ADDR (repeatable) arms failover for the k-th\n\
+         remote partition: ADDR names an rdbsc-partitiond started with\n\
+         --follow pointing at that region's primary. When the primary's\n\
+         transport fails, the router promotes the standby and re-attaches\n\
+         the slot to it instead of marking the region lost. Pass '-' to\n\
+         skip a region.\n\
          --slow-tick-ms N captures every tick slower than N ms (stage\n\
          breakdown + span tree) for GET /debug/slow-ticks; 0 captures\n\
          every tick. Off by default."
@@ -96,6 +103,11 @@ fn main() {
                 }
             }
             "--remote-partition" => config.remote_partitions.push(value.clone()),
+            "--standby-partition" => config.standby_partitions.push(if value == "-" {
+                String::new()
+            } else {
+                value.clone()
+            }),
             "--remote-transport" => config
                 .remote_transports
                 .push(RemoteTransport::parse(value).unwrap_or_else(|| parse_err(value))),
@@ -132,6 +144,14 @@ fn main() {
             config.remote_partitions.len(),
             config.remote_partitions.join(", ")
         ));
+    }
+    let standbys = config
+        .standby_partitions
+        .iter()
+        .filter(|s| !s.is_empty())
+        .count();
+    if standbys > 0 {
+        mode.push_str(&format!(", {standbys} standby(s) armed"));
     }
     let server = match Server::start(config) {
         Ok(server) => server,

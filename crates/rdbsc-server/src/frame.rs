@@ -22,8 +22,9 @@
 //!   16      ...   payload
 //! ```
 //!
-//! Request tags are `0x01..=0x0A`; the matching reply tag is the request
-//! tag with the high bit set (`0x81..=0x8A`), and `0xFF` is the error
+//! Request tags are `0x01..=0x0E` (`0x0B..=0x0E` are the replication
+//! commands); the matching reply tag is the request
+//! tag with the high bit set (`0x81..=0x8E`), and `0xFF` is the error
 //! reply (status + detail, mirroring the HTTP status the JSON path would
 //! have answered). The request id is echoed in the reply header, which is
 //! what makes **pipelining** safe: a client may write several frames
@@ -73,6 +74,16 @@ pub mod tag {
     pub const DRAIN: u8 = 0x09;
     /// `shutdown` — stop the daemon.
     pub const SHUTDOWN: u8 = 0x0A;
+    /// `repl_bootstrap` — start (or restart) the replication stream: a
+    /// state snapshot plus the stream lsn the live tail resumes at.
+    pub const REPL_BOOTSTRAP: u8 = 0x0B;
+    /// `repl_fetch` — pull shipped records and acknowledge applied ones.
+    pub const REPL_FETCH: u8 = 0x0C;
+    /// `repl_status` — the replication counters (role, watermarks, lag).
+    pub const REPL_STATUS: u8 = 0x0D;
+    /// `repl_promote` — promote a standby: seal the stream, start a fresh
+    /// log epoch, accept mutating commands.
+    pub const REPL_PROMOTE: u8 = 0x0E;
     /// Reply tags set the high bit of their request tag.
     pub const REPLY: u8 = 0x80;
     /// The error reply (any request may answer with it).
@@ -273,6 +284,12 @@ impl Enc {
         self.u32(s.len() as u32);
         self.0.extend_from_slice(s.as_bytes());
     }
+    /// Opaque length-prefixed bytes — replication records travel in the
+    /// platform's canonical WAL codec, never re-encoded here.
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
     fn count(&mut self, n: usize) {
         self.u32(n as u32);
     }
@@ -348,6 +365,13 @@ impl<'a> Dec<'a> {
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    /// Opaque length-prefixed bytes; the length is validated against the
+    /// remaining payload before any allocation.
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, FrameError> {
+        let len = self.u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
     }
 
     /// Reads a collection count and validates it against the bytes
@@ -622,6 +646,34 @@ pub enum RequestFrame {
         /// The request id.
         request_id: u64,
     },
+    /// Start (or restart) the replication stream from a fresh snapshot.
+    ReplBootstrap {
+        /// The request id.
+        request_id: u64,
+    },
+    /// Pull shipped records from `from`, acknowledging everything below
+    /// `ack`.
+    ReplFetch {
+        /// The request id.
+        request_id: u64,
+        /// The first stream lsn wanted.
+        from: u64,
+        /// The acknowledgement watermark (exclusive): every record below
+        /// it was applied by the follower and may be released.
+        ack: u64,
+        /// At most this many records.
+        max: u32,
+    },
+    /// The replication counters (role, watermarks, lag).
+    ReplStatus {
+        /// The request id.
+        request_id: u64,
+    },
+    /// Promote a standby to primary.
+    ReplPromote {
+        /// The request id.
+        request_id: u64,
+    },
 }
 
 impl RequestFrame {
@@ -638,6 +690,10 @@ impl RequestFrame {
             RequestFrame::HasWorker { .. } => tag::HAS_WORKER,
             RequestFrame::Drain { .. } => tag::DRAIN,
             RequestFrame::Shutdown { .. } => tag::SHUTDOWN,
+            RequestFrame::ReplBootstrap { .. } => tag::REPL_BOOTSTRAP,
+            RequestFrame::ReplFetch { .. } => tag::REPL_FETCH,
+            RequestFrame::ReplStatus { .. } => tag::REPL_STATUS,
+            RequestFrame::ReplPromote { .. } => tag::REPL_PROMOTE,
         }
     }
 
@@ -653,7 +709,11 @@ impl RequestFrame {
             | RequestFrame::IsActive { request_id }
             | RequestFrame::HasWorker { request_id, .. }
             | RequestFrame::Drain { request_id }
-            | RequestFrame::Shutdown { request_id } => *request_id,
+            | RequestFrame::Shutdown { request_id }
+            | RequestFrame::ReplBootstrap { request_id }
+            | RequestFrame::ReplFetch { request_id, .. }
+            | RequestFrame::ReplStatus { request_id }
+            | RequestFrame::ReplPromote { request_id } => *request_id,
         }
     }
 
@@ -681,11 +741,19 @@ impl RequestFrame {
             RequestFrame::Release { worker, .. } | RequestFrame::HasWorker { worker, .. } => {
                 e.u32(*worker);
             }
+            RequestFrame::ReplFetch { from, ack, max, .. } => {
+                e.u64(*from);
+                e.u64(*ack);
+                e.u32(*max);
+            }
             RequestFrame::Assignments { .. }
             | RequestFrame::Snapshot { .. }
             | RequestFrame::IsActive { .. }
             | RequestFrame::Drain { .. }
-            | RequestFrame::Shutdown { .. } => {}
+            | RequestFrame::Shutdown { .. }
+            | RequestFrame::ReplBootstrap { .. }
+            | RequestFrame::ReplStatus { .. }
+            | RequestFrame::ReplPromote { .. } => {}
         }
         e.0
     }
@@ -742,6 +810,15 @@ impl RequestFrame {
             },
             tag::DRAIN => RequestFrame::Drain { request_id: rid },
             tag::SHUTDOWN => RequestFrame::Shutdown { request_id: rid },
+            tag::REPL_BOOTSTRAP => RequestFrame::ReplBootstrap { request_id: rid },
+            tag::REPL_FETCH => RequestFrame::ReplFetch {
+                request_id: rid,
+                from: d.u64("repl_fetch from")?,
+                ack: d.u64("repl_fetch ack")?,
+                max: d.u32("repl_fetch max")?,
+            },
+            tag::REPL_STATUS => RequestFrame::ReplStatus { request_id: rid },
+            tag::REPL_PROMOTE => RequestFrame::ReplPromote { request_id: rid },
             other => return Err(malformed(format!("unknown request tag {other:#04x}"))),
         };
         d.finish()?;
@@ -811,6 +888,52 @@ pub enum ReplyFrame {
         /// The echoed request id.
         request_id: u64,
     },
+    /// The bootstrap snapshot: the primary's canonical state (an encoded
+    /// `Checkpoint` record in the platform's WAL codec), the stream lsn
+    /// the live tail resumes at, and the primary's accepted configure
+    /// payload (canonical JSON) so the standby can configure itself
+    /// identically.
+    ReplBootstrapOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// The stream lsn of the first record published after the
+        /// snapshot.
+        start_lsn: u64,
+        /// The snapshot, as an encoded `WalRecord::Checkpoint` — the
+        /// platform's canonical codec, never re-encoded by the transport.
+        state: Vec<u8>,
+        /// The primary's configure fingerprint (canonical JSON text).
+        configure: String,
+    },
+    /// A batch of shipped records.
+    ReplFetchOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// The primary's stream head (what lag is measured against).
+        next_lsn: u64,
+        /// `(lsn, record)` pairs, lsn-ascending; records are opaque
+        /// canonical-WAL-codec bytes.
+        records: Vec<(u64, Vec<u8>)>,
+    },
+    /// The replication counters.
+    ReplStatusOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// The counters.
+        status: crate::protocol::ReplStatusDto,
+    },
+    /// Promotion done: the standby sealed its stream and now accepts
+    /// mutating commands.
+    ReplPromoteOk {
+        /// The echoed request id.
+        request_id: u64,
+        /// The promoted state digest (FNV-1a of the canonical state
+        /// encoding) — what failover proofs compare against the dead
+        /// primary's last acknowledged digest.
+        digest: u64,
+        /// Stream records applied before the seal.
+        applied: u64,
+    },
     /// The command failed; `status` mirrors the HTTP status the JSON path
     /// would have answered (503 = draining).
     Error {
@@ -837,6 +960,10 @@ impl ReplyFrame {
             ReplyFrame::HasWorkerOk { .. } => tag::HAS_WORKER | tag::REPLY,
             ReplyFrame::DrainOk { .. } => tag::DRAIN | tag::REPLY,
             ReplyFrame::ShutdownOk { .. } => tag::SHUTDOWN | tag::REPLY,
+            ReplyFrame::ReplBootstrapOk { .. } => tag::REPL_BOOTSTRAP | tag::REPLY,
+            ReplyFrame::ReplFetchOk { .. } => tag::REPL_FETCH | tag::REPLY,
+            ReplyFrame::ReplStatusOk { .. } => tag::REPL_STATUS | tag::REPLY,
+            ReplyFrame::ReplPromoteOk { .. } => tag::REPL_PROMOTE | tag::REPLY,
             ReplyFrame::Error { .. } => tag::ERROR,
         }
     }
@@ -853,6 +980,10 @@ impl ReplyFrame {
             | ReplyFrame::HasWorkerOk { request_id, .. }
             | ReplyFrame::DrainOk { request_id }
             | ReplyFrame::ShutdownOk { request_id }
+            | ReplyFrame::ReplBootstrapOk { request_id, .. }
+            | ReplyFrame::ReplFetchOk { request_id, .. }
+            | ReplyFrame::ReplStatusOk { request_id, .. }
+            | ReplyFrame::ReplPromoteOk { request_id, .. }
             | ReplyFrame::Error { request_id, .. } => *request_id,
             ReplyFrame::TickOk(dto) => dto.request_id,
         }
@@ -904,6 +1035,42 @@ impl ReplyFrame {
             ReplyFrame::SnapshotOk { snapshot, .. } => put_snapshot(&mut e, snapshot),
             ReplyFrame::ActiveOk { active, .. } => e.bool(*active),
             ReplyFrame::HasWorkerOk { present, .. } => e.bool(*present),
+            ReplyFrame::ReplBootstrapOk {
+                start_lsn,
+                state,
+                configure,
+                ..
+            } => {
+                e.u64(*start_lsn);
+                e.bytes(state);
+                e.str(configure);
+            }
+            ReplyFrame::ReplFetchOk {
+                next_lsn, records, ..
+            } => {
+                e.u64(*next_lsn);
+                e.count(records.len());
+                for (lsn, record) in records {
+                    e.u64(*lsn);
+                    e.bytes(record);
+                }
+            }
+            ReplyFrame::ReplStatusOk { status, .. } => {
+                e.str(&status.role);
+                e.u64(status.next_lsn);
+                e.u64(status.acked);
+                e.u64(status.retained);
+                e.u64(status.resets);
+                e.u64(status.applied);
+                e.u64(status.lag);
+                e.bool(status.sealed);
+            }
+            ReplyFrame::ReplPromoteOk {
+                digest, applied, ..
+            } => {
+                e.u64(*digest);
+                e.u64(*applied);
+            }
             ReplyFrame::Error { status, detail, .. } => {
                 e.u16(*status);
                 e.str(detail);
@@ -1013,6 +1180,45 @@ impl ReplyFrame {
             },
             t if t == tag::DRAIN | tag::REPLY => ReplyFrame::DrainOk { request_id: rid },
             t if t == tag::SHUTDOWN | tag::REPLY => ReplyFrame::ShutdownOk { request_id: rid },
+            t if t == tag::REPL_BOOTSTRAP | tag::REPLY => ReplyFrame::ReplBootstrapOk {
+                request_id: rid,
+                start_lsn: d.u64("repl_bootstrap start_lsn")?,
+                state: d.bytes("repl_bootstrap state")?,
+                configure: d.str("repl_bootstrap configure")?,
+            },
+            t if t == tag::REPL_FETCH | tag::REPLY => {
+                let next_lsn = d.u64("repl_fetch next_lsn")?;
+                // The smallest record entry is lsn + an empty bytes field.
+                let n = d.count(12, "repl_fetch records")?;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let lsn = d.u64("repl_fetch record lsn")?;
+                    records.push((lsn, d.bytes("repl_fetch record")?));
+                }
+                ReplyFrame::ReplFetchOk {
+                    request_id: rid,
+                    next_lsn,
+                    records,
+                }
+            }
+            t if t == tag::REPL_STATUS | tag::REPLY => ReplyFrame::ReplStatusOk {
+                request_id: rid,
+                status: crate::protocol::ReplStatusDto {
+                    role: d.str("repl_status role")?,
+                    next_lsn: d.u64("repl_status next_lsn")?,
+                    acked: d.u64("repl_status acked")?,
+                    retained: d.u64("repl_status retained")?,
+                    resets: d.u64("repl_status resets")?,
+                    applied: d.u64("repl_status applied")?,
+                    lag: d.u64("repl_status lag")?,
+                    sealed: d.bool("repl_status sealed")?,
+                },
+            },
+            t if t == tag::REPL_PROMOTE | tag::REPLY => ReplyFrame::ReplPromoteOk {
+                request_id: rid,
+                digest: d.u64("repl_promote digest")?,
+                applied: d.u64("repl_promote applied")?,
+            },
             tag::ERROR => ReplyFrame::Error {
                 request_id: rid,
                 status: d.u16("error status")?,
@@ -1104,6 +1310,15 @@ mod tests {
         });
         round_trip_request(RequestFrame::Drain { request_id: 15 });
         round_trip_request(RequestFrame::Shutdown { request_id: 16 });
+        round_trip_request(RequestFrame::ReplBootstrap { request_id: 17 });
+        round_trip_request(RequestFrame::ReplFetch {
+            request_id: 18,
+            from: 42,
+            ack: 40,
+            max: 256,
+        });
+        round_trip_request(RequestFrame::ReplStatus { request_id: 19 });
+        round_trip_request(RequestFrame::ReplPromote { request_id: 20 });
     }
 
     #[test]
@@ -1187,6 +1402,35 @@ mod tests {
         });
         round_trip_reply(ReplyFrame::DrainOk { request_id: 15 });
         round_trip_reply(ReplyFrame::ShutdownOk { request_id: 16 });
+        round_trip_reply(ReplyFrame::ReplBootstrapOk {
+            request_id: 18,
+            start_lsn: 7,
+            state: vec![5, 0, 0, 0, 1, 2, 3],
+            configure: r#"{"region_index":1}"#.into(),
+        });
+        round_trip_reply(ReplyFrame::ReplFetchOk {
+            request_id: 19,
+            next_lsn: 44,
+            records: vec![(42, vec![2, 1]), (43, vec![])],
+        });
+        round_trip_reply(ReplyFrame::ReplStatusOk {
+            request_id: 20,
+            status: crate::protocol::ReplStatusDto {
+                role: "standby".into(),
+                next_lsn: 44,
+                acked: 40,
+                retained: 4,
+                resets: 0,
+                applied: 42,
+                lag: 2,
+                sealed: false,
+            },
+        });
+        round_trip_reply(ReplyFrame::ReplPromoteOk {
+            request_id: 21,
+            digest: 0xfeed_face_dead_beef,
+            applied: 42,
+        });
         round_trip_reply(ReplyFrame::Error {
             request_id: 17,
             status: 503,

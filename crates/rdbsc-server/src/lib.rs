@@ -85,9 +85,11 @@ pub use listener::{HttpCore, ListenerConfig, ShutdownHandle};
 pub use metrics::{Counter, LatencyHistogram, ServerMetrics};
 pub use partitiond::{PartitionDaemon, PartitiondConfig};
 pub use protocol::{
-    ConfigureDto, EngineConfigDto, EventDto, HelloDto, RoutingTableDto, TickReplyDto,
+    ConfigureDto, EngineConfigDto, EventDto, HelloDto, ReplBootstrapDto, ReplFetchDto,
+    ReplPromoteDto, ReplStatusDto, RoutingTableDto, TickReplyDto,
 };
 pub use remote::{
-    connect_remote_partition, BinaryPartitionClient, HttpPartitionClient, RemoteTransport,
+    connect_remote_partition, BinaryPartitionClient, HttpPartitionClient, RemoteStandbyPromoter,
+    RemoteTransport,
 };
 pub use server::{Server, ServerConfig};

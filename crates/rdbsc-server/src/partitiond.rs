@@ -30,6 +30,10 @@
 //! | `POST /partition/has_worker` | residency probe |
 //! | `POST /partition/drain` | refuse further mutating commands |
 //! | `POST /partition/shutdown` | drain + exit |
+//! | `POST /partition/repl/bootstrap` | replication: state + stream start |
+//! | `POST /partition/repl/fetch` | replication: shipped records + ack |
+//! | `POST /partition/repl/status` | replication: role, lag, watermark |
+//! | `POST /partition/repl/promote` | replication: standby → primary |
 //! | `GET /healthz`, `GET /metrics`, `POST /admin/shutdown` | ops surface |
 //!
 //! ## Draining
@@ -39,7 +43,26 @@
 //! router mid-flight sees a clean protocol error instead of an I/O failure.
 //! Reads (`snapshot`, `active`, `hello`, `/metrics`, `/healthz`) keep
 //! working so operators can observe the drain.
+//!
+//! ## Replication
+//!
+//! Started with `--follow PRIMARY_ADDR` the daemon is a **standby**: a
+//! background thread bootstraps from the primary (one encoded checkpoint
+//! record plus the configure fingerprint, exactly the checkpoint + tail
+//! shape crash recovery uses) and then pulls shipped WAL records, applying
+//! each through the ordinary log-then-apply path, so the standby's own log
+//! is a valid recovery source at every point. A standby refuses mutating
+//! *client* commands with `409` (it is not draining — it is one promote
+//! away from serving) and reports `repl.lag` on `/metrics`. The fetch ack
+//! doubles as the primary's retention watermark; if the standby falls off
+//! the retained window the primary answers `409` and the standby
+//! re-bootstraps. `POST /partition/repl/promote` finishes the replay, seals
+//! the stream (`ReplMeta{sealed}` + checkpoint + fsync on a fresh segment),
+//! clears the standby flag and returns the digest of the promoted state —
+//! the router compares it against its acknowledged watermark for
+//! digest-exact failover.
 
+use crate::client::HttpClient;
 use crate::dto::{num, AnswerDto, AssignmentDto, SnapshotDto};
 use crate::error::ServerError;
 use crate::frame::{ReplyFrame, RequestFrame};
@@ -48,16 +71,21 @@ use crate::json::{parse, Json};
 use crate::listener::{HttpCore, ListenerConfig, ShutdownHandle};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    request_id, submit_from_json, trace_field, ConfigureDto, EventDto, HelloDto, TickReplyDto,
+    request_id, slow_tick_threshold_us, submit_from_json, trace_field, uint, ConfigureDto,
+    EventDto, HelloDto, ReplBootstrapDto, ReplFetchDto, ReplPromoteDto, ReplStatusDto,
+    TickReplyDto,
 };
 use rdbsc_geo::Rect;
 use rdbsc_index::DynSpatialIndex;
 use rdbsc_model::WorkerId;
+use rdbsc_platform::wal::{decode_record, encode_record};
 use rdbsc_platform::{
-    AssignmentEngine, EnginePartition, WalConfig, WalError, PROTOCOL_VERSION,
+    AssignmentEngine, EnginePartition, PartitionState, WalConfig, WalError, WalRecord,
+    PROTOCOL_VERSION,
 };
+use std::net::ToSocketAddrs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -89,6 +117,11 @@ pub struct PartitiondConfig {
     /// Slow-tick capture threshold in microseconds (0 = every tick,
     /// `u64::MAX` = disabled); see `GET /debug/slow-ticks`.
     pub slow_tick_threshold_us: u64,
+    /// Primary address to follow (`host:port`). When set the daemon boots
+    /// as a replication **standby**: it bootstraps its state from the
+    /// primary, applies shipped WAL records continuously and refuses
+    /// mutating client commands until `POST /partition/repl/promote`.
+    pub follow: Option<String>,
 }
 
 impl Default for PartitiondConfig {
@@ -101,6 +134,7 @@ impl Default for PartitiondConfig {
             idle_timeout: Duration::from_secs(60),
             data_dir: None,
             slow_tick_threshold_us: u64::MAX,
+            follow: None,
         }
     }
 }
@@ -123,6 +157,23 @@ struct DaemonState {
     last_trace: std::sync::atomic::AtomicU64,
     /// Where the log and the persisted configure live (`None` = non-durable).
     data_dir: Option<PathBuf>,
+    /// Is this daemon a replication standby? A standby refuses mutating
+    /// client commands with `409 Conflict` — distinct from draining, which
+    /// is terminal — until a promote clears the flag.
+    standby: AtomicBool,
+    /// The primary address a follower pulls from (`None` = not a follower).
+    follow: Option<String>,
+    /// The follower's applied cursor: every stream lsn **below** this is
+    /// applied locally. Bootstrap sets it to the stream start.
+    repl_applied: AtomicU64,
+    /// The primary's stream head (`next_lsn`) from the last successful
+    /// fetch; `head - applied` is the standby's replication lag.
+    repl_head: AtomicU64,
+    /// Did a promotion seal the incoming stream? A sealed daemon serves as
+    /// primary and reports `lag = 0` permanently.
+    repl_sealed: AtomicBool,
+    /// Tells the follower thread to stop (set by promote and shutdown).
+    repl_stop: AtomicBool,
 }
 
 /// A running partition daemon. [`PartitionDaemon::start`] boots it
@@ -133,6 +184,8 @@ struct DaemonState {
 pub struct PartitionDaemon {
     core: HttpCore,
     state: Arc<DaemonState>,
+    /// The follower thread pulling from the primary (standby daemons only).
+    follower: Option<std::thread::JoinHandle<()>>,
 }
 
 impl PartitionDaemon {
@@ -147,22 +200,32 @@ impl PartitionDaemon {
             metrics: metrics.clone(),
             last_trace: std::sync::atomic::AtomicU64::new(0),
             data_dir: config.data_dir.clone(),
+            standby: AtomicBool::new(config.follow.is_some()),
+            follow: config.follow.clone(),
+            repl_applied: AtomicU64::new(0),
+            repl_head: AtomicU64::new(0),
+            repl_sealed: AtomicBool::new(false),
+            repl_stop: AtomicBool::new(false),
         });
         // Recover BEFORE the listener binds: a restarted daemon that has a
         // persisted configure must come back already configured (checkpoint
         // loaded, tail replayed) so the first router request it sees finds
-        // the same partition it was before the crash.
-        if let Some(dir) = &state.data_dir {
-            let persisted = dir.join("configure.json");
-            if persisted.exists() {
-                let text = std::fs::read_to_string(&persisted)?;
-                let body = parse(&text)?;
-                configure(&state, &body).map_err(|e| {
-                    ServerError::Conflict(format!(
-                        "boot recovery from {} failed: {e}",
-                        persisted.display()
-                    ))
-                })?;
+        // the same partition it was before the crash. A follower skips this:
+        // it always re-bootstraps from its primary, which replaces whatever
+        // is on disk with the primary's current checkpoint.
+        if state.follow.is_none() {
+            if let Some(dir) = &state.data_dir {
+                let persisted = dir.join("configure.json");
+                if persisted.exists() {
+                    let text = std::fs::read_to_string(&persisted)?;
+                    let body = parse(&text)?;
+                    configure(&state, &body).map_err(|e| {
+                        ServerError::Conflict(format!(
+                            "boot recovery from {} failed: {e}",
+                            persisted.display()
+                        ))
+                    })?;
+                }
             }
         }
         let core = {
@@ -187,7 +250,23 @@ impl PartitionDaemon {
                 )),
             )?
         };
-        Ok(PartitionDaemon { core, state })
+        let follower = match state.follow.clone() {
+            Some(primary) => Some(
+                std::thread::Builder::new()
+                    .name("repl-follower".into())
+                    .spawn({
+                        let state = state.clone();
+                        move || run_follower(&state, &primary)
+                    })
+                    .map_err(ServerError::Io)?,
+            ),
+            None => None,
+        };
+        Ok(PartitionDaemon {
+            core,
+            state,
+            follower,
+        })
     }
 
     /// The bound address.
@@ -200,15 +279,25 @@ impl PartitionDaemon {
         self.state.draining.load(Ordering::Acquire)
     }
 
+    /// Is the daemon an unpromoted replication standby?
+    pub fn is_standby(&self) -> bool {
+        self.state.standby.load(Ordering::Acquire)
+    }
+
     /// Begins the drain + stop sequence (what the shutdown routes do).
     pub fn shutdown(&self) {
         self.state.draining.store(true, Ordering::Release);
+        self.state.repl_stop.store(true, Ordering::Release);
         self.core.stopper().trigger();
     }
 
-    /// Waits for the serving core to exit.
+    /// Waits for the serving core (and any follower thread) to exit.
     pub fn join(self) {
         self.core.join();
+        self.state.repl_stop.store(true, Ordering::Release);
+        if let Some(follower) = self.follower {
+            let _ = follower.join();
+        }
     }
 }
 
@@ -382,6 +471,44 @@ fn daemon_prom(state: &DaemonState, draining: bool) -> String {
         "Is the daemon running a write-ahead log?",
         state.data_dir.is_some() as u64 as f64,
     );
+    // Replication gauges come from repl_status_dto, which takes the engine
+    // lock itself — render them before this function takes the same lock.
+    let repl = repl_status_dto(state);
+    w.gauge(
+        "repl_standby",
+        "Is this daemon an unpromoted replication standby?",
+        repl.role.eq("standby") as u64 as f64,
+    );
+    w.gauge(
+        "repl_sealed",
+        "Was the incoming replication stream sealed by a promotion?",
+        repl.sealed as u64 as f64,
+    );
+    w.gauge(
+        "repl_lag",
+        "Replication lag in records (unacked on a primary, unapplied on a standby)",
+        repl.lag as f64,
+    );
+    w.gauge(
+        "repl_next_lsn",
+        "The replication stream head (next lsn to publish or fetch)",
+        repl.next_lsn as f64,
+    );
+    w.gauge(
+        "repl_acked_lsn",
+        "The acknowledgement watermark bounding primary-side retention",
+        repl.acked as f64,
+    );
+    w.gauge(
+        "repl_applied_lsn",
+        "Shipped records this standby has applied (next lsn it will fetch)",
+        repl.applied as f64,
+    );
+    w.gauge(
+        "repl_stream_resets",
+        "Times the primary's retention cap forced a stream reset",
+        repl.resets as f64,
+    );
     let guard = state.engine.lock().expect("daemon engine lock");
     match guard.as_ref() {
         Some(configured) => {
@@ -414,9 +541,31 @@ fn route(
                 | (Method::Post, "/partition/tick")
                 | (Method::Post, "/partition/answer")
                 | (Method::Post, "/partition/release")
+                | (Method::Post, "/partition/repl/promote")
         );
         if refused {
             return Err(ServerError::ShuttingDown);
+        }
+    }
+    // A standby's state is owned by its primary: mutating client commands
+    // (and serving as a replication *source*) are refused with 409 until a
+    // promote. Reads keep working so the router's health checks and the
+    // failover choreography can observe it.
+    if state.standby.load(Ordering::Acquire) {
+        let refused = matches!(
+            (request.method, request.path.as_str()),
+            (Method::Post, "/partition/configure")
+                | (Method::Post, "/partition/submit")
+                | (Method::Post, "/partition/tick")
+                | (Method::Post, "/partition/answer")
+                | (Method::Post, "/partition/release")
+                | (Method::Post, "/partition/repl/bootstrap")
+                | (Method::Post, "/partition/repl/fetch")
+        );
+        if refused {
+            return Err(ServerError::Conflict(
+                "standby: refusing mutating commands until promoted".into(),
+            ));
         }
     }
     match (request.method, request.path.as_str()) {
@@ -441,6 +590,7 @@ fn route(
                 );
                 map.insert("draining".to_string(), Json::Bool(draining));
                 map.insert("durable".to_string(), Json::Bool(state.data_dir.is_some()));
+                map.insert("repl".to_string(), repl_status_dto(state).to_json());
                 let guard = state.engine.lock().expect("daemon engine lock");
                 match guard.as_ref() {
                     Some(configured) => {
@@ -466,6 +616,24 @@ fn route(
             200,
             state.metrics.slow_ticks_json().to_string_compact(),
         )),
+
+        (Method::Post, "/debug/slow-tick-ms") => {
+            let body = parse_body(request)?;
+            let rid = request_id(&body)?;
+            let threshold_us = slow_tick_threshold_us(&body)?;
+            state.metrics.slow_ticks.set_threshold_us(threshold_us);
+            Ok(reply(
+                rid,
+                [(
+                    "threshold_us",
+                    if threshold_us == u64::MAX {
+                        Json::Num(-1.0)
+                    } else {
+                        Json::Num(threshold_us as f64)
+                    },
+                )],
+            ))
+        }
 
         (Method::Get, "/debug/spans") => {
             let trace = match crate::http::query_param(&request.query, "trace") {
@@ -496,8 +664,37 @@ fn route(
                 .map(|c| c.region_index);
             Ok(Response::json(
                 200,
-                HelloDto::current(region, draining).to_json().to_string_compact(),
+                HelloDto::current(region, draining, state.standby.load(Ordering::Acquire))
+                    .to_json()
+                    .to_string_compact(),
             ))
+        }
+
+        (Method::Post, "/partition/repl/bootstrap") => {
+            let rid = request_id(&parse_body(request)?)?;
+            let dto = repl_bootstrap(state, rid)?;
+            Ok(Response::json(200, dto.to_json().to_string_compact()))
+        }
+
+        (Method::Post, "/partition/repl/fetch") => {
+            let body = parse_body(request)?;
+            let rid = request_id(&body)?;
+            let from = uint(&body, "from")?;
+            let ack = uint(&body, "ack")?;
+            let max = uint(&body, "max")?.min(u32::MAX as u64) as u32;
+            let dto = repl_fetch_command(state, rid, from, ack, max)?;
+            Ok(Response::json(200, dto.to_json().to_string_compact()))
+        }
+
+        (Method::Post, "/partition/repl/status") => {
+            let rid = request_id(&parse_body(request)?)?;
+            Ok(reply(rid, [("repl", repl_status_dto(state).to_json())]))
+        }
+
+        (Method::Post, "/partition/repl/promote") => {
+            let rid = request_id(&parse_body(request)?)?;
+            let dto = repl_promote_command(state, rid)?;
+            Ok(Response::json(200, dto.to_json().to_string_compact()))
         }
 
         (Method::Post, "/partition/configure") => configure(state, &parse_body(request)?),
@@ -646,9 +843,26 @@ fn route_frame(request: &RequestFrame, state: &DaemonState, shutdown: &ShutdownH
                 | RequestFrame::Tick { .. }
                 | RequestFrame::Answer { .. }
                 | RequestFrame::Release { .. }
+                | RequestFrame::ReplPromote { .. }
         )
     {
         return error_frame(rid, &ServerError::ShuttingDown);
+    }
+    if state.standby.load(Ordering::Acquire)
+        && matches!(
+            request,
+            RequestFrame::Submit { .. }
+                | RequestFrame::Tick { .. }
+                | RequestFrame::Answer { .. }
+                | RequestFrame::Release { .. }
+                | RequestFrame::ReplBootstrap { .. }
+                | RequestFrame::ReplFetch { .. }
+        )
+    {
+        return error_frame(
+            rid,
+            &ServerError::Conflict("standby: refusing mutating commands until promoted".into()),
+        );
     }
     match frame_command(request, state, shutdown) {
         Ok(reply) => reply,
@@ -786,5 +1000,423 @@ fn frame_command(
                 request_id: *request_id,
             })
         }
+
+        RequestFrame::ReplBootstrap { request_id } => {
+            let dto = repl_bootstrap(state, *request_id)?;
+            Ok(ReplyFrame::ReplBootstrapOk {
+                request_id: *request_id,
+                start_lsn: dto.start_lsn,
+                state: dto.state,
+                configure: dto.configure,
+            })
+        }
+
+        RequestFrame::ReplFetch {
+            request_id,
+            from,
+            ack,
+            max,
+        } => {
+            let dto = repl_fetch_command(state, *request_id, *from, *ack, *max)?;
+            Ok(ReplyFrame::ReplFetchOk {
+                request_id: *request_id,
+                next_lsn: dto.next_lsn,
+                records: dto.records,
+            })
+        }
+
+        RequestFrame::ReplStatus { request_id } => Ok(ReplyFrame::ReplStatusOk {
+            request_id: *request_id,
+            status: repl_status_dto(state),
+        }),
+
+        RequestFrame::ReplPromote { request_id } => {
+            let dto = repl_promote_command(state, *request_id)?;
+            Ok(ReplyFrame::ReplPromoteOk {
+                request_id: *request_id,
+                digest: dto.digest,
+                applied: dto.applied,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication: primary-side command handlers and the standby's follower
+// thread. Shipped records travel as opaque platform-WAL-codec bytes on both
+// transports — `encode_record`/`decode_record` is the only codec on this
+// path, so the follower applies byte-for-byte what the primary logged.
+
+/// How long an idle follower waits between fetches.
+const FOLLOW_IDLE: Duration = Duration::from_millis(20);
+/// How long the follower backs off after a failed bootstrap or fetch (an
+/// unreachable primary is *normal* — it may be dead, and promotion or
+/// shutdown, not the follower, decides what happens next).
+const FOLLOW_RETRY: Duration = Duration::from_millis(100);
+/// Records pulled per fetch.
+const FOLLOW_BATCH: u64 = 512;
+
+/// Serves a follower's bootstrap: enables replication (idempotent — a
+/// re-bootstrap rebases the stream to its head), ships the full state as
+/// one encoded checkpoint record plus the accepted configure payload
+/// verbatim, so the standby's fingerprint matches a router's re-push byte
+/// for byte at promotion time.
+fn repl_bootstrap(state: &DaemonState, request_id: u64) -> Result<ReplBootstrapDto, ServerError> {
+    let mut guard = state.engine.lock().expect("daemon engine lock");
+    let configured = guard.as_mut().ok_or_else(|| {
+        ServerError::Conflict("partition not configured — POST /partition/configure first".into())
+    })?;
+    let (pstate, start_lsn) = configured.part.enable_replication();
+    Ok(ReplBootstrapDto {
+        request_id,
+        start_lsn,
+        state: encode_record(&WalRecord::Checkpoint(pstate)),
+        configure: configured.fingerprint.clone(),
+    })
+}
+
+/// Serves one follower pull: advances the acknowledgement watermark
+/// (bounding retention), then returns records from `from`. A watermark
+/// that actually moved is noted in the primary's own log so `wal_dump`
+/// shows how far the standby got. A gap (the follower fell off the
+/// retained window) answers `409` — the follower re-bootstraps.
+fn repl_fetch_command(
+    state: &DaemonState,
+    request_id: u64,
+    from: u64,
+    ack: u64,
+    max: u32,
+) -> Result<ReplFetchDto, ServerError> {
+    let mut guard = state.engine.lock().expect("daemon engine lock");
+    let configured = guard.as_mut().ok_or_else(|| {
+        ServerError::Conflict("partition not configured — POST /partition/configure first".into())
+    })?;
+    let before = configured.part.repl_status().map_or(0, |s| s.acked);
+    let records = configured
+        .part
+        .repl_fetch(from, ack, max as usize)
+        .map_err(|e| ServerError::Conflict(format!("replication fetch: {e}")))?;
+    let status = configured
+        .part
+        .repl_status()
+        .expect("repl_fetch succeeded, so replication is enabled");
+    if status.acked > before {
+        configured.part.note_repl_watermark(status.acked);
+    }
+    Ok(ReplFetchDto {
+        request_id,
+        next_lsn: status.next_lsn,
+        records: records
+            .into_iter()
+            .map(|(lsn, record)| (lsn, encode_record(&record)))
+            .collect(),
+    })
+}
+
+/// The daemon's replication status from whichever side it is on: a
+/// primary reports the stream counters (lag = published − acked), a
+/// standby its applied cursor (lag = head − applied), a *promoted* daemon
+/// `sealed` with zero lag — the shape the CI failover smoke greps for.
+fn repl_status_dto(state: &DaemonState) -> ReplStatusDto {
+    let standby = state.standby.load(Ordering::Acquire);
+    let sealed = state.repl_sealed.load(Ordering::Acquire);
+    if standby || sealed {
+        let applied = state.repl_applied.load(Ordering::Acquire);
+        let head = state.repl_head.load(Ordering::Acquire).max(applied);
+        return ReplStatusDto {
+            role: if standby { "standby" } else { "primary" }.to_string(),
+            next_lsn: head,
+            acked: applied,
+            retained: 0,
+            resets: 0,
+            applied,
+            lag: if sealed { 0 } else { head - applied },
+            sealed,
+        };
+    }
+    let guard = state.engine.lock().expect("daemon engine lock");
+    match guard.as_ref().and_then(|c| c.part.repl_status()) {
+        Some(s) => ReplStatusDto {
+            role: "primary".to_string(),
+            next_lsn: s.next_lsn,
+            acked: s.acked,
+            retained: s.retained,
+            resets: s.resets,
+            applied: 0,
+            lag: s.next_lsn.saturating_sub(s.acked),
+            sealed: false,
+        },
+        None => ReplStatusDto {
+            role: "none".to_string(),
+            next_lsn: 0,
+            acked: 0,
+            retained: 0,
+            resets: 0,
+            applied: 0,
+            lag: 0,
+            sealed: false,
+        },
+    }
+}
+
+/// Promotes this standby to primary. Setting the stop flag first and then
+/// taking the engine lock IS the "wait for replay to finish": the
+/// follower applies batches under the same lock, so once we hold it the
+/// last in-flight batch has fully applied and no later one will (the
+/// follower discards a batch that lost this race — nothing in it was
+/// acknowledged). The stream is then sealed (`ReplMeta{sealed}` +
+/// checkpoint + fsync, a fresh log epoch) and the standby flag cleared so
+/// the daemon starts accepting commands. The returned digest is what the
+/// router compares against the dead primary's acknowledged state.
+fn repl_promote_command(
+    state: &DaemonState,
+    request_id: u64,
+) -> Result<ReplPromoteDto, ServerError> {
+    if !state.standby.load(Ordering::Acquire) {
+        return Err(ServerError::Conflict(
+            "not a standby — nothing to promote".into(),
+        ));
+    }
+    state.repl_stop.store(true, Ordering::Release);
+    let mut guard = state.engine.lock().expect("daemon engine lock");
+    let configured = guard.as_mut().ok_or_else(|| {
+        ServerError::Conflict("standby has not finished bootstrapping yet".into())
+    })?;
+    let applied = state.repl_applied.load(Ordering::Acquire);
+    let digest = configured.part.seal_replication(applied);
+    state.repl_sealed.store(true, Ordering::Release);
+    state.standby.store(false, Ordering::Release);
+    eprintln!("rdbsc-partitiond: promoted to primary at stream lsn {applied} (digest {digest:016x})");
+    Ok(ReplPromoteDto {
+        request_id,
+        digest,
+        applied,
+    })
+}
+
+fn follower_stopped(state: &DaemonState) -> bool {
+    state.repl_stop.load(Ordering::Acquire) || state.draining.load(Ordering::Acquire)
+}
+
+/// The standby's follower loop: bootstrap, then pull-and-apply until
+/// stopped by a promote or a shutdown. Every failure re-bootstraps — the
+/// primary rebases the stream on each bootstrap, so that is always safe.
+fn run_follower(state: &Arc<DaemonState>, primary: &str) {
+    let mut rid = 0u64;
+    let mut last_error = String::new();
+    loop {
+        if follower_stopped(state) {
+            return;
+        }
+        match follow_once(state, primary, &mut rid) {
+            Ok(()) => return,
+            Err(e) => {
+                // Only narrate *changes*: an unconfigured primary answers
+                // the same refusal every retry and would spam stderr.
+                if e != last_error {
+                    eprintln!("rdbsc-partitiond follower: {e}; retrying");
+                    last_error = e;
+                }
+                std::thread::sleep(FOLLOW_RETRY);
+            }
+        }
+    }
+}
+
+/// One bootstrap + fetch/apply session against the primary. `Ok(())`
+/// means the follower should exit (promote or shutdown); `Err` describes
+/// why the session ended and triggers a re-bootstrap.
+fn follow_once(state: &Arc<DaemonState>, primary: &str, rid: &mut u64) -> Result<(), String> {
+    let addr = primary
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {primary}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{primary} resolves to no address"))?;
+    let mut client = HttpClient::new(addr).with_timeout(Duration::from_secs(5));
+    *rid += 1;
+    let body = Json::obj([("request_id", Json::Num(*rid as f64))]);
+    let response = client
+        .post("/partition/repl/bootstrap", &body)
+        .map_err(|e| format!("bootstrap: {e}"))?;
+    if !response.is_success() {
+        return Err(format!(
+            "bootstrap answered {}: {}",
+            response.status, response.body
+        ));
+    }
+    let boot = response
+        .json()
+        .and_then(|json| ReplBootstrapDto::from_json(&json))
+        .map_err(|e| format!("bootstrap reply: {e}"))?;
+    let record = decode_record(&boot.state).map_err(|e| format!("bootstrap state: {e}"))?;
+    let WalRecord::Checkpoint(pstate) = record else {
+        return Err("bootstrap state is not a checkpoint record".to_string());
+    };
+    install_bootstrap(state, &boot.configure, &pstate)?;
+    state.repl_applied.store(boot.start_lsn, Ordering::Release);
+    state.repl_head.store(boot.start_lsn, Ordering::Release);
+    eprintln!(
+        "rdbsc-partitiond: standby bootstrapped from {primary} at stream lsn {}",
+        boot.start_lsn
+    );
+    loop {
+        if follower_stopped(state) {
+            return Ok(());
+        }
+        let from = state.repl_applied.load(Ordering::Acquire);
+        *rid += 1;
+        let body = Json::obj([
+            ("request_id", Json::Num(*rid as f64)),
+            ("from", Json::Num(from as f64)),
+            ("ack", Json::Num(from as f64)),
+            ("max", Json::Num(FOLLOW_BATCH as f64)),
+        ]);
+        let response = match client.post("/partition/repl/fetch", &body) {
+            Ok(r) => r,
+            Err(_) => {
+                // The primary may simply be dead. Stay bootstrapped and
+                // keep knocking — promotion or shutdown ends the wait.
+                std::thread::sleep(FOLLOW_RETRY);
+                continue;
+            }
+        };
+        if response.status == 409 {
+            return Err(format!("stream restarted on the primary: {}", response.body));
+        }
+        if !response.is_success() {
+            std::thread::sleep(FOLLOW_RETRY);
+            continue;
+        }
+        let fetch = response
+            .json()
+            .and_then(|json| ReplFetchDto::from_json(&json))
+            .map_err(|e| format!("fetch reply: {e}"))?;
+        state
+            .repl_head
+            .store(fetch.next_lsn.max(from), Ordering::Release);
+        if fetch.records.is_empty() {
+            std::thread::sleep(FOLLOW_IDLE);
+            continue;
+        }
+        apply_batch(state, &fetch.records)?;
+    }
+}
+
+/// Installs a shipped bootstrap state as this daemon's engine. A durable
+/// standby wipes its data directory first — the shipped checkpoint opens
+/// a fresh log epoch and whatever the directory held belonged to an older
+/// stream (re-seeding a *former primary's* log automatically is the known
+/// gap; see ROADMAP). The configure text is installed verbatim as the
+/// fingerprint so the idempotency check matches a router's re-push.
+fn install_bootstrap(
+    state: &DaemonState,
+    configure_text: &str,
+    pstate: &PartitionState,
+) -> Result<(), String> {
+    let body = parse(configure_text).map_err(|e| format!("configure fingerprint: {e}"))?;
+    let version = crate::dto::id(&body, "protocol_version").map_err(|e| e.to_string())?;
+    if version != PROTOCOL_VERSION {
+        return Err(format!(
+            "primary speaks protocol v{version}, this standby speaks v{PROTOCOL_VERSION}"
+        ));
+    }
+    let dto = ConfigureDto::from_json(&body).map_err(|e| e.to_string())?;
+    let backend = dto.backend_kind().map_err(|e| e.to_string())?;
+    let partition = dto
+        .routing
+        .clone()
+        .into_partition()
+        .map_err(|e| e.to_string())?;
+    if dto.region_index as usize >= partition.num_regions() {
+        return Err("region_index outside the routing table".to_string());
+    }
+    let engine_config = dto.engine.clone().into_config().map_err(|e| e.to_string())?;
+    let region = partition.region_rect(dto.region_index as usize);
+    let cell_size = dto.cell_size;
+    let part = match &state.data_dir {
+        Some(dir) => {
+            if dir.exists() {
+                std::fs::remove_dir_all(dir)
+                    .map_err(|e| format!("wiping {}: {e}", dir.display()))?;
+            }
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            let wal_config = match &dto.durability {
+                Some(d) => d.clone().into_wal_config().map_err(|e| e.to_string())?,
+                None => WalConfig::default(),
+            };
+            let part = EnginePartition::restore_durable(
+                dir,
+                wal_config,
+                engine_config,
+                pstate,
+                move || backend.build(region, cell_size),
+            )
+            .map_err(|e| format!("restoring in {}: {e}", dir.display()))?;
+            persist_configure(dir, configure_text).map_err(|e| e.to_string())?;
+            part
+        }
+        None => EnginePartition::from_state(pstate, engine_config, move || {
+            backend.build(region, cell_size)
+        }),
+    };
+    let mut guard = state.engine.lock().expect("daemon engine lock");
+    *guard = Some(Configured {
+        part,
+        region_index: dto.region_index,
+        region,
+        fingerprint: configure_text.to_string(),
+    });
+    Ok(())
+}
+
+/// Applies one fetched batch under the engine lock through the ordinary
+/// command path (log-then-apply — a durable standby's own log stays a
+/// valid recovery source at every point). Shipped lsns must be dense from
+/// the applied cursor; a skip means the stream and cursor disagree and
+/// the only safe move is a re-bootstrap. A batch that lost a race with a
+/// promotion (the stop flag is set by the time the lock is held) is
+/// discarded whole: nothing in it was acknowledged, and a sealed stream
+/// must not grow.
+fn apply_batch(state: &DaemonState, records: &[(u64, Vec<u8>)]) -> Result<(), String> {
+    let mut guard = state.engine.lock().expect("daemon engine lock");
+    if state.repl_stop.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let configured = guard
+        .as_mut()
+        .ok_or_else(|| "engine vanished mid-stream".to_string())?;
+    let mut next = state.repl_applied.load(Ordering::Acquire);
+    for (lsn, bytes) in records {
+        if *lsn != next {
+            return Err(format!("stream skipped from {next} to {lsn}"));
+        }
+        let record = decode_record(bytes).map_err(|e| format!("shipped record {lsn}: {e}"))?;
+        apply_shipped(&mut configured.part, record);
+        next = lsn + 1;
+        state.repl_applied.store(next, Ordering::Release);
+    }
+    Ok(())
+}
+
+/// Replays one shipped record through the partition's ordinary command
+/// methods — the same calls crash-recovery replay makes, so the standby's
+/// state (and digest) is identical to the primary's at the same lsn.
+fn apply_shipped(part: &mut EnginePartition<DynSpatialIndex>, record: WalRecord) {
+    match record {
+        WalRecord::Events(events) => part.submit(events),
+        WalRecord::Tick { now } => {
+            part.tick(now);
+        }
+        WalRecord::Answer {
+            worker,
+            contribution,
+        } => {
+            part.record_answer(worker, contribution);
+        }
+        WalRecord::Release { worker } => part.release_worker(worker),
+        // Self-contained state and stream notes are never shipped as
+        // commands; ignore them defensively rather than trust the wire.
+        WalRecord::Checkpoint(_) | WalRecord::ReplMeta { .. } => {}
     }
 }

@@ -38,7 +38,7 @@ use rdbsc_platform::{
     EngineConfig, EngineEvent, PartitionTick, TickReport, PROTOCOL_VERSION,
 };
 
-fn uint(value: &Json, field: &'static str) -> Result<u64, ServerError> {
+pub(crate) fn uint(value: &Json, field: &'static str) -> Result<u64, ServerError> {
     let n = num(value, field)?;
     if n.fract() != 0.0 || !(0.0..=9_007_199_254_740_992f64).contains(&n) {
         return Err(ServerError::BadField {
@@ -82,6 +82,24 @@ fn finite(value: f64, field: &'static str) -> Result<f64, ServerError> {
 /// Reads and validates the `request_id` of a command or reply body.
 pub fn request_id(value: &Json) -> Result<u64, ServerError> {
     uint(value, "request_id")
+}
+
+/// Decodes the `threshold_ms` body of `POST /debug/slow-tick-ms` into the
+/// microsecond threshold the slow-tick buffer takes: any negative value
+/// disables capture (`u64::MAX`), `0` captures every tick, positive values
+/// are whole milliseconds.
+pub(crate) fn slow_tick_threshold_us(value: &Json) -> Result<u64, ServerError> {
+    let ms = num(value, "threshold_ms")?;
+    if !ms.is_finite() || (ms >= 0.0 && ms.fract() != 0.0) {
+        return Err(ServerError::BadField {
+            field: "threshold_ms",
+            expected: "a whole number of milliseconds (negative disables)",
+        });
+    }
+    if ms < 0.0 {
+        return Ok(u64::MAX);
+    }
+    Ok((ms as u64).saturating_mul(1000))
 }
 
 /// Encodes a trace id for the wire (16 hex digits, zero-padded).
@@ -902,6 +920,11 @@ pub struct HelloDto {
     pub region_index: Option<u32>,
     /// Whether the daemon is draining (refusing commands).
     pub draining: bool,
+    /// Whether the daemon is a replication standby (refusing mutating
+    /// commands until promoted). Distinct from draining: a drain is
+    /// terminal, a standby is one promote away from serving. Absent on
+    /// the wire means `false` — pre-replication daemons never send it.
+    pub standby: bool,
     /// The command transports the daemon accepts (`"http"`, `"binary"`).
     /// A hello without the field — a pre-binary-transport daemon — means
     /// `["http"]`, so routers negotiate down instead of failing.
@@ -910,12 +933,13 @@ pub struct HelloDto {
 
 impl HelloDto {
     /// The hello for this build at the given state.
-    pub fn current(configured: Option<u32>, draining: bool) -> Self {
+    pub fn current(configured: Option<u32>, draining: bool, standby: bool) -> Self {
         Self {
             protocol_version: PROTOCOL_VERSION,
             configured: configured.is_some(),
             region_index: configured,
             draining,
+            standby,
             transports: vec!["http".to_string(), "binary".to_string()],
         }
     }
@@ -931,6 +955,7 @@ impl HelloDto {
             ("protocol_version", Json::Num(self.protocol_version as f64)),
             ("configured", Json::Bool(self.configured)),
             ("draining", Json::Bool(self.draining)),
+            ("standby", Json::Bool(self.standby)),
             (
                 "transports",
                 Json::Arr(
@@ -975,7 +1000,240 @@ impl HelloDto {
             configured: bool_field(value, "configured")?,
             region_index,
             draining: bool_field(value, "draining")?,
+            standby: match value.get("standby") {
+                None | Some(Json::Null) => false,
+                Some(_) => bool_field(value, "standby")?,
+            },
             transports,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication.
+
+/// Encodes opaque record bytes for the JSON transport (lowercase hex).
+pub fn bytes_to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes the JSON transport's hex record bytes.
+pub fn hex_to_bytes(s: &str, field: &'static str) -> Result<Vec<u8>, ServerError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(ServerError::BadField {
+            field,
+            expected: "an even-length hex string",
+        });
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| ServerError::BadField {
+                field,
+                expected: "a hex string",
+            })
+        })
+        .collect()
+}
+
+/// The replication counters a daemon reports — one shape for both roles,
+/// with the fields the other role doesn't track left at zero.
+///
+/// * A **primary** fills `next_lsn`/`acked`/`retained`/`resets` from its
+///   publication buffer; `lag` is `next_lsn - acked` (records shipped but
+///   not yet acknowledged).
+/// * A **standby** fills `applied` (records applied to its engine) and
+///   `next_lsn` (the primary's stream head at the last fetch); `lag` is
+///   `next_lsn - applied`, and `sealed` flips when a promotion seals the
+///   incoming stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplStatusDto {
+    /// `"primary"`, `"standby"` or `"none"`.
+    pub role: String,
+    /// The stream head (next lsn to be published / last head seen).
+    pub next_lsn: u64,
+    /// The primary's acknowledgement watermark.
+    pub acked: u64,
+    /// Records the primary currently retains.
+    pub retained: u64,
+    /// Retention-cap stream resets (each one forced a re-bootstrap).
+    pub resets: u64,
+    /// Records a standby has applied.
+    pub applied: u64,
+    /// Unacknowledged (primary) or unapplied (standby) records.
+    pub lag: u64,
+    /// Did a promotion seal this stream?
+    pub sealed: bool,
+}
+
+impl ReplStatusDto {
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("role", Json::Str(self.role.clone())),
+            ("next_lsn", Json::Num(self.next_lsn as f64)),
+            ("acked", Json::Num(self.acked as f64)),
+            ("retained", Json::Num(self.retained as f64)),
+            ("resets", Json::Num(self.resets as f64)),
+            ("applied", Json::Num(self.applied as f64)),
+            ("lag", Json::Num(self.lag as f64)),
+            ("sealed", Json::Bool(self.sealed)),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        Ok(Self {
+            role: string(value, "role")?,
+            next_lsn: uint(value, "next_lsn")?,
+            acked: uint(value, "acked")?,
+            retained: uint(value, "retained")?,
+            resets: uint(value, "resets")?,
+            applied: uint(value, "applied")?,
+            lag: uint(value, "lag")?,
+            sealed: bool_field(value, "sealed")?,
+        })
+    }
+}
+
+/// `POST /partition/repl/bootstrap` reply: the snapshot a standby restores
+/// from. `state` is an encoded `WalRecord::Checkpoint` in the platform's
+/// canonical codec (hex on the JSON transport) — the same bytes a local
+/// checkpoint would hold, so there is exactly one state codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplBootstrapDto {
+    /// The echoed request id.
+    pub request_id: u64,
+    /// The stream lsn of the first record published after the snapshot.
+    pub start_lsn: u64,
+    /// The encoded checkpoint record.
+    pub state: Vec<u8>,
+    /// The primary's accepted configure payload (canonical JSON text,
+    /// carried verbatim so the standby's fingerprint matches byte for
+    /// byte).
+    pub configure: String,
+}
+
+impl ReplBootstrapDto {
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("request_id", Json::Num(self.request_id as f64)),
+            ("start_lsn", Json::Num(self.start_lsn as f64)),
+            ("state", Json::Str(bytes_to_hex(&self.state))),
+            ("configure", Json::Str(self.configure.clone())),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        Ok(Self {
+            request_id: request_id(value)?,
+            start_lsn: uint(value, "start_lsn")?,
+            state: hex_to_bytes(&string(value, "state")?, "state")?,
+            configure: string(value, "configure")?,
+        })
+    }
+}
+
+/// `POST /partition/repl/fetch` reply: a batch of shipped records, each an
+/// encoded `WalRecord` in the canonical codec (hex on the JSON transport).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplFetchDto {
+    /// The echoed request id.
+    pub request_id: u64,
+    /// The primary's stream head (what lag is measured against).
+    pub next_lsn: u64,
+    /// `(lsn, record)` pairs, lsn-ascending.
+    pub records: Vec<(u64, Vec<u8>)>,
+}
+
+impl ReplFetchDto {
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("request_id", Json::Num(self.request_id as f64)),
+            ("next_lsn", Json::Num(self.next_lsn as f64)),
+            (
+                "records",
+                Json::Arr(
+                    self.records
+                        .iter()
+                        .map(|(lsn, bytes)| {
+                            Json::obj([
+                                ("lsn", Json::Num(*lsn as f64)),
+                                ("bytes", Json::Str(bytes_to_hex(bytes))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        let records = value
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or(ServerError::BadField {
+                field: "records",
+                expected: "an array of {lsn, bytes} records",
+            })?
+            .iter()
+            .map(|entry| {
+                Ok((
+                    uint(entry, "lsn")?,
+                    hex_to_bytes(&string(entry, "bytes")?, "bytes")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, ServerError>>()?;
+        Ok(Self {
+            request_id: request_id(value)?,
+            next_lsn: uint(value, "next_lsn")?,
+            records,
+        })
+    }
+}
+
+/// `POST /partition/repl/promote` reply: the promoted state digest (hex on
+/// the JSON transport, like `/partition/snapshot`'s `state_digest`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplPromoteDto {
+    /// The echoed request id.
+    pub request_id: u64,
+    /// The promoted state digest.
+    pub digest: u64,
+    /// Stream records applied before the seal.
+    pub applied: u64,
+}
+
+impl ReplPromoteDto {
+    /// Encodes the DTO.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("request_id", Json::Num(self.request_id as f64)),
+            ("digest", Json::Str(format!("{:016x}", self.digest))),
+            ("applied", Json::Num(self.applied as f64)),
+        ])
+    }
+
+    /// Decodes the DTO.
+    pub fn from_json(value: &Json) -> Result<Self, ServerError> {
+        let digest = u64::from_str_radix(&string(value, "digest")?, 16).map_err(|_| {
+            ServerError::BadField {
+                field: "digest",
+                expected: "a 16-digit hex digest",
+            }
+        })?;
+        Ok(Self {
+            request_id: request_id(value)?,
+            digest,
+            applied: uint(value, "applied")?,
         })
     }
 }
@@ -1112,11 +1370,66 @@ mod tests {
 
     #[test]
     fn hello_round_trips() {
-        for hello in [HelloDto::current(None, false), HelloDto::current(Some(2), true)] {
+        for hello in [
+            HelloDto::current(None, false, false),
+            HelloDto::current(Some(2), true, false),
+            HelloDto::current(Some(0), false, true),
+        ] {
             let wire = hello.to_json().to_string_compact();
             assert_eq!(HelloDto::from_json(&parse(&wire).unwrap()).unwrap(), hello);
         }
-        assert_eq!(HelloDto::current(None, false).protocol_version, PROTOCOL_VERSION);
+        // A pre-replication hello (no standby field) decodes as not-standby.
+        let old = HelloDto::current(Some(1), false, false).to_json().to_string_compact();
+        let old = old.replace(",\"standby\":false", "");
+        assert!(!HelloDto::from_json(&parse(&old).unwrap()).unwrap().standby);
+        assert_eq!(HelloDto::current(None, false, false).protocol_version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn repl_dtos_round_trip() {
+        let boot = ReplBootstrapDto {
+            request_id: 5,
+            start_lsn: 12,
+            state: vec![0x05, 0x00, 0xff, 0x7f],
+            configure: r#"{"region_index":1}"#.into(),
+        };
+        let wire = boot.to_json().to_string_compact();
+        assert_eq!(ReplBootstrapDto::from_json(&parse(&wire).unwrap()).unwrap(), boot);
+
+        let fetch = ReplFetchDto {
+            request_id: 6,
+            next_lsn: 15,
+            records: vec![(12, vec![2, 1, 2, 3]), (13, vec![])],
+        };
+        let wire = fetch.to_json().to_string_compact();
+        assert_eq!(ReplFetchDto::from_json(&parse(&wire).unwrap()).unwrap(), fetch);
+
+        let status = ReplStatusDto {
+            role: "primary".into(),
+            next_lsn: 15,
+            acked: 13,
+            retained: 2,
+            resets: 0,
+            applied: 0,
+            lag: 2,
+            sealed: false,
+        };
+        let wire = status.to_json().to_string_compact();
+        assert_eq!(ReplStatusDto::from_json(&parse(&wire).unwrap()).unwrap(), status);
+
+        let promote = ReplPromoteDto {
+            request_id: 7,
+            digest: 0x0123_4567_89ab_cdef,
+            applied: 13,
+        };
+        let wire = promote.to_json().to_string_compact();
+        assert!(wire.contains("0123456789abcdef"), "digest travels as hex: {wire}");
+        assert_eq!(ReplPromoteDto::from_json(&parse(&wire).unwrap()).unwrap(), promote);
+
+        // Hostile hex is rejected, never panics.
+        assert!(hex_to_bytes("0g", "bytes").is_err());
+        assert!(hex_to_bytes("012", "bytes").is_err());
+        assert_eq!(hex_to_bytes("", "bytes").unwrap(), Vec::<u8>::new());
     }
 
     #[test]

@@ -36,7 +36,8 @@ use crate::error::ServerError;
 use crate::frame::{self, FrameError, ReplyFrame, RequestFrame};
 use crate::json::Json;
 use crate::protocol::{
-    self, ConfigureDto, EngineConfigDto, EventDto, HelloDto, RoutingTableDto, TickReplyDto,
+    self, ConfigureDto, EngineConfigDto, EventDto, HelloDto, ReplPromoteDto, RoutingTableDto,
+    TickReplyDto,
 };
 use rdbsc_cluster::RegionPartition;
 use rdbsc_index::IndexBackend;
@@ -44,7 +45,7 @@ use rdbsc_model::valid_pairs::ValidPair;
 use rdbsc_model::{Contribution, WorkerId};
 use rdbsc_platform::{
     EngineConfig, EngineEvent, EngineSnapshot, PartitionClient, PartitionError, PartitionTick,
-    ProtocolCounters, PROTOCOL_VERSION,
+    ProtocolCounters, StandbyPromoter, PROTOCOL_VERSION,
 };
 use std::collections::VecDeque;
 use std::io::BufReader;
@@ -169,6 +170,11 @@ impl HttpPartitionClient {
         if hello.draining {
             return Err(ServerError::Conflict(format!(
                 "partition {addr} is draining and cannot join a topology"
+            )));
+        }
+        if hello.standby {
+            return Err(ServerError::Conflict(format!(
+                "partition {addr} is a replication standby; promote it before attaching it"
             )));
         }
         client.speaks_binary = hello.speaks_binary();
@@ -485,6 +491,158 @@ impl PartitionClient for HttpPartitionClient {
         }
         self.counters.requests.incr();
         self.counters.command_latency.record(started.elapsed());
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Standby promotion.
+
+/// How long one promotion step may take. The promote command waits for the
+/// standby's in-flight replay batch under the engine lock, seals the stream
+/// and fsyncs a fresh checkpoint — quick, but give slow disks headroom.
+const PROMOTE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The router's [`StandbyPromoter`] over the wire: health-check the
+/// `--follow` standby, tell it to finish its replay and seal the stream
+/// (`POST /partition/repl/promote`), then re-attach it through the ordinary
+/// connect path — the re-pushed configure matches the standby's fingerprint
+/// byte for byte, because the primary shipped its accepted payload verbatim
+/// at bootstrap.
+pub struct RemoteStandbyPromoter {
+    addr: String,
+    partition: RegionPartition,
+    region_index: usize,
+    backend: IndexBackend,
+    cell_size: f64,
+    engine: EngineConfig,
+    durability: Option<rdbsc_platform::WalConfig>,
+    transport: RemoteTransport,
+}
+
+impl RemoteStandbyPromoter {
+    /// Builds a promoter for `addr`, holding everything the re-attach needs
+    /// — the same arguments [`connect_remote_partition`] took for the slot's
+    /// original primary.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        addr: &str,
+        partition: RegionPartition,
+        region_index: usize,
+        backend: IndexBackend,
+        cell_size: f64,
+        engine: EngineConfig,
+        durability: Option<rdbsc_platform::WalConfig>,
+        transport: RemoteTransport,
+    ) -> Self {
+        Self {
+            addr: addr.to_string(),
+            partition,
+            region_index,
+            backend,
+            cell_size,
+            engine,
+            durability,
+            transport,
+        }
+    }
+
+    fn raw_client(&self) -> Result<HttpClient, String> {
+        let socket: SocketAddr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve standby address {:?}: {e}", self.addr))?
+            .next()
+            .ok_or_else(|| format!("standby address {:?} resolves to nothing", self.addr))?;
+        Ok(HttpClient::new(socket).with_timeout(PROMOTE_TIMEOUT))
+    }
+}
+
+impl StandbyPromoter for RemoteStandbyPromoter {
+    fn endpoint(&self) -> String {
+        self.addr.clone()
+    }
+
+    fn promote(&mut self) -> Result<Box<dyn PartitionClient>, String> {
+        let mut client = self.raw_client()?;
+        // Health-check first: an unreachable or draining standby fails the
+        // promotion cleanly and leaves the slot on the unhealthy path.
+        let response = client
+            .get("/partition/hello")
+            .map_err(|e| format!("standby {} unreachable: {e}", self.addr))?;
+        if !response.is_success() {
+            return Err(format!(
+                "standby {} hello failed with {}: {}",
+                self.addr, response.status, response.body
+            ));
+        }
+        let hello = response
+            .json()
+            .and_then(|json| HelloDto::from_json(&json))
+            .map_err(|e| format!("standby {} hello: {e}", self.addr))?;
+        if hello.protocol_version != PROTOCOL_VERSION {
+            return Err(format!(
+                "standby {} speaks protocol v{} but this router speaks v{}",
+                self.addr, hello.protocol_version, PROTOCOL_VERSION
+            ));
+        }
+        if hello.draining {
+            return Err(format!("standby {} is draining", self.addr));
+        }
+        // Promote — the daemon finishes its in-flight replay under the
+        // engine lock, seals the stream and starts accepting commands. A
+        // daemon that is no longer a standby was promoted by an earlier
+        // attempt that died before re-attaching; just re-attach it.
+        if hello.standby {
+            let body = Json::obj([("request_id", Json::Num(1.0))]);
+            let response = client
+                .post("/partition/repl/promote", &body)
+                .map_err(|e| format!("promoting {}: {e}", self.addr))?;
+            if !response.is_success() {
+                return Err(format!(
+                    "promoting {} failed with {}: {}",
+                    self.addr, response.status, response.body
+                ));
+            }
+            let dto = response
+                .json()
+                .and_then(|json| ReplPromoteDto::from_json(&json))
+                .map_err(|e| format!("promote reply from {}: {e}", self.addr))?;
+            eprintln!(
+                "rdbsc-server: promoted standby {} at stream lsn {} (digest {:016x})",
+                self.addr, dto.applied, dto.digest
+            );
+        }
+        connect_remote_partition(
+            &self.addr,
+            &self.partition,
+            self.region_index,
+            self.backend,
+            self.cell_size,
+            &self.engine,
+            self.durability.as_ref(),
+            self.transport,
+        )
+        .inspect(|_| {
+            eprintln!(
+                "rdbsc-server: region {} re-attached to promoted {}",
+                self.region_index, self.addr
+            );
+        })
+        .map_err(|e| format!("re-attaching promoted {}: {e}", self.addr))
+    }
+
+    fn shutdown(&mut self) -> Result<(), String> {
+        let mut client = self.raw_client()?;
+        let response = client
+            .post("/partition/shutdown", &Json::obj([]))
+            .map_err(|e| format!("stopping unfired standby {}: {e}", self.addr))?;
+        if !response.is_success() {
+            return Err(format!(
+                "unfired standby {} refused shutdown with {}: {}",
+                self.addr, response.status, response.body
+            ));
+        }
         Ok(())
     }
 }

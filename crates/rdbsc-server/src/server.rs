@@ -99,6 +99,15 @@ pub struct ServerConfig {
     /// region index, backend and engine config — both sides agree on the
     /// geometry or the boot fails.
     pub remote_partitions: Vec<String>,
+    /// Standby daemon addresses armed for failover: the k-th entry names an
+    /// `rdbsc-partitiond --follow` standby for region k (an empty string
+    /// leaves that region without one). When region k's transport fails,
+    /// the router health-checks the standby, promotes it — the standby
+    /// finishes its replay, seals the stream and reports the promoted
+    /// digest — and re-attaches the slot to it instead of marking the
+    /// region lost. Standbys only make sense for regions listed in
+    /// [`remote_partitions`](Self::remote_partitions).
+    pub standby_partitions: Vec<String>,
     /// Wire transports for [`remote_partitions`](Self::remote_partitions):
     /// the k-th entry applies to the k-th daemon; daemons beyond the list
     /// use the last entry (so one entry sets all), and an empty list means
@@ -142,6 +151,7 @@ impl Default for ServerConfig {
             backend: IndexBackend::FlatGrid,
             partitions: 1,
             remote_partitions: Vec::new(),
+            standby_partitions: Vec::new(),
             remote_transports: Vec::new(),
             engine: EngineConfig::default(),
             data_dir: None,
@@ -181,6 +191,21 @@ impl ServerConfig {
                 self.remote_partitions.len(),
                 self.partitions
             )));
+        }
+        if self.standby_partitions.len() > self.partitions {
+            return Err(ServerError::Conflict(format!(
+                "{} standby partitions named but only {} partitions configured",
+                self.standby_partitions.len(),
+                self.partitions
+            )));
+        }
+        for (region, standby) in self.standby_partitions.iter().enumerate() {
+            if !standby.is_empty() && self.remote_partitions.get(region).is_none() {
+                return Err(ServerError::Conflict(format!(
+                    "standby {standby} named for region {region}, which is not remote — \
+                     only daemon-served regions can fail over"
+                )));
+            }
         }
         if self.partitions <= 1 && self.remote_partitions.is_empty() && self.data_dir.is_none()
         {
@@ -239,9 +264,37 @@ impl ServerConfig {
                 clients.push(Box::new(InProcessClient::spawn(region, engine)));
             }
         }
-        Ok(EngineHandle::new_partitioned(PartitionedEngine::new(
-            partition, clients,
-        )))
+        let handle = EngineHandle::new_partitioned(PartitionedEngine::new(
+            partition.clone(),
+            clients,
+        ));
+        // Arm the failover path after the topology is up: slot k promotes
+        // standby_partitions[k] when its transport dies mid-round.
+        for (region, standby) in self.standby_partitions.iter().enumerate() {
+            if standby.is_empty() {
+                continue;
+            }
+            let transport = self
+                .remote_transports
+                .get(region)
+                .or(self.remote_transports.last())
+                .copied()
+                .unwrap_or_default();
+            handle.set_standby_promoter(
+                region,
+                Box::new(crate::remote::RemoteStandbyPromoter::new(
+                    standby,
+                    partition.clone(),
+                    region,
+                    self.backend,
+                    self.cell_size,
+                    self.engine.clone(),
+                    Some(self.wal),
+                    transport,
+                )),
+            );
+        }
+        Ok(handle)
     }
 }
 
@@ -477,6 +530,16 @@ fn router_prom(shared: &Shared) -> String {
         "Routed events dropped for unhealthy partitions",
         shared.handle.events_dropped(),
     );
+    w.gauge(
+        "standbys_armed",
+        "Slots with an unfired standby promoter armed",
+        shared.handle.standbys_armed() as f64,
+    );
+    w.counter(
+        "partitions_promoted_total",
+        "Completed standby promotions (failovers)",
+        shared.handle.promotions().len() as u64,
+    );
     if snapshots.len() > 1 {
         w.counter(
             "handoffs_total",
@@ -624,6 +687,31 @@ fn route(
                     "events_dropped".to_string(),
                     Json::Num(shared.handle.events_dropped() as f64),
                 );
+                // Failover: armed standbys and every completed promotion
+                // (slot, lost primary, promoted successor, trigger).
+                map.insert(
+                    "standbys_armed".to_string(),
+                    Json::Num(shared.handle.standbys_armed() as f64),
+                );
+                let promotions = shared.handle.promotions();
+                map.insert(
+                    "partitions_promoted".to_string(),
+                    Json::Num(promotions.len() as f64),
+                );
+                if !promotions.is_empty() {
+                    let entries = promotions
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("partition", Json::Num(p.partition as f64)),
+                                ("old_endpoint", Json::Str(p.old_endpoint.clone())),
+                                ("new_endpoint", Json::Str(p.new_endpoint.clone())),
+                                ("error", Json::Str(p.error.clone())),
+                            ])
+                        })
+                        .collect();
+                    map.insert("promotions".to_string(), Json::Arr(entries));
+                }
                 if !unhealthy.is_empty() {
                     let entries = unhealthy
                         .iter()
@@ -664,6 +752,28 @@ fn route(
             200,
             shared.metrics.slow_ticks_json().to_string_compact(),
         )),
+
+        (Method::Post, "/debug/slow-tick-ms") => {
+            let body = parse_body(request)?;
+            let rid = crate::protocol::request_id(&body)?;
+            let threshold_us = crate::protocol::slow_tick_threshold_us(&body)?;
+            shared.metrics.slow_ticks.set_threshold_us(threshold_us);
+            Ok(Response::json(
+                200,
+                Json::obj([
+                    ("request_id", Json::Num(rid as f64)),
+                    (
+                        "threshold_us",
+                        if threshold_us == u64::MAX {
+                            Json::Num(-1.0)
+                        } else {
+                            Json::Num(threshold_us as f64)
+                        },
+                    ),
+                ])
+                .to_string_compact(),
+            ))
+        }
 
         (Method::Get, "/debug/spans") => {
             let trace = match crate::http::query_param(&request.query, "trace") {
@@ -820,6 +930,7 @@ fn route(
                 "/answers",
                 "/tick",
                 "/admin/shutdown",
+                "/debug/slow-tick-ms",
             ];
             let exists_for_other_method = match method {
                 Method::Get => known_post.contains(&path),
