@@ -553,7 +553,11 @@ impl<I: SpatialIndex> EnginePartition<I> {
     /// the follower restores from plus the stream lsn of the first record
     /// published after it. Re-bootstrapping rebases the stream to its
     /// head: the fresh snapshot covers everything published before it, so
-    /// the retained tail is dropped wholesale.
+    /// the retained tail is dropped wholesale. The stream therefore feeds
+    /// exactly **one** follower at a time; callers serving the wire must
+    /// refuse a bootstrap while another follower is live (the daemon does,
+    /// via its fetch-liveness window), or two standbys would mutually
+    /// invalidate each other's cursors in an endless re-bootstrap loop.
     pub fn enable_replication(&mut self) -> (PartitionState, u64) {
         let state = self.dump_state();
         let repl = self

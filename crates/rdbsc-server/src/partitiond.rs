@@ -87,7 +87,7 @@ use std::net::ToSocketAddrs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of one partition daemon.
 #[derive(Debug, Clone)]
@@ -174,6 +174,12 @@ struct DaemonState {
     repl_sealed: AtomicBool,
     /// Tells the follower thread to stop (set by promote and shutdown).
     repl_stop: AtomicBool,
+    /// When this daemon (as primary) last served a follower fetch. The
+    /// stream supports exactly **one** standby — a concurrent pair would
+    /// mutually invalidate each other's cursors (each bootstrap rebases the
+    /// stream and drops the tail the other needs) in an endless
+    /// re-bootstrap loop — so a bootstrap while this is fresh is refused.
+    repl_fetch_seen: Mutex<Option<Instant>>,
 }
 
 /// A running partition daemon. [`PartitionDaemon::start`] boots it
@@ -206,6 +212,7 @@ impl PartitionDaemon {
             repl_head: AtomicU64::new(0),
             repl_sealed: AtomicBool::new(false),
             repl_stop: AtomicBool::new(false),
+            repl_fetch_seen: Mutex::new(None),
         });
         // Recover BEFORE the listener binds: a restarted daemon that has a
         // persisted configure must come back already configured (checkpoint
@@ -1055,13 +1062,36 @@ const FOLLOW_IDLE: Duration = Duration::from_millis(20);
 const FOLLOW_RETRY: Duration = Duration::from_millis(100);
 /// Records pulled per fetch.
 const FOLLOW_BATCH: u64 = 512;
+/// How long after a served fetch the primary still considers its follower
+/// alive, refusing a competing bootstrap. Comfortably above `FOLLOW_IDLE`
+/// and `FOLLOW_RETRY` (the live follower keeps the window fresh), small
+/// enough that a genuinely dead follower frees the slot promptly. A fetch
+/// that hits a retention gap clears the window immediately — that follower
+/// is about to re-bootstrap itself and must not be locked out.
+const FOLLOWER_LIVENESS: Duration = Duration::from_secs(2);
 
 /// Serves a follower's bootstrap: enables replication (idempotent — a
 /// re-bootstrap rebases the stream to its head), ships the full state as
 /// one encoded checkpoint record plus the accepted configure payload
 /// verbatim, so the standby's fingerprint matches a router's re-push byte
-/// for byte at promotion time.
+/// for byte at promotion time. Refused with `409` while another follower
+/// is actively fetching — the single-standby topology is enforced here at
+/// the wire layer, because a bootstrap rebases the stream and would drop
+/// the retained tail the live follower needs.
 fn repl_bootstrap(state: &DaemonState, request_id: u64) -> Result<ReplBootstrapDto, ServerError> {
+    let mut seen = state.repl_fetch_seen.lock().expect("follower liveness lock");
+    if let Some(at) = *seen {
+        if at.elapsed() < FOLLOWER_LIVENESS {
+            return Err(ServerError::Conflict(
+                "another follower is streaming from this primary \
+                 (single-standby topology); retry after it stops"
+                    .into(),
+            ));
+        }
+    }
+    // The slot is free (or stale): this bootstrap claims the stream.
+    *seen = None;
+    drop(seen);
     let mut guard = state.engine.lock().expect("daemon engine lock");
     let configured = guard.as_mut().ok_or_else(|| {
         ServerError::Conflict("partition not configured — POST /partition/configure first".into())
@@ -1092,10 +1122,21 @@ fn repl_fetch_command(
         ServerError::Conflict("partition not configured — POST /partition/configure first".into())
     })?;
     let before = configured.part.repl_status().map_or(0, |s| s.acked);
-    let records = configured
-        .part
-        .repl_fetch(from, ack, max as usize)
-        .map_err(|e| ServerError::Conflict(format!("replication fetch: {e}")))?;
+    let records = match configured.part.repl_fetch(from, ack, max as usize) {
+        Ok(records) => {
+            // A served fetch marks the follower alive, holding the stream
+            // against a competing bootstrap (see `repl_bootstrap`).
+            *state.repl_fetch_seen.lock().expect("follower liveness lock") = Some(Instant::now());
+            records
+        }
+        Err(e) => {
+            // A gap (or a disabled stream) sends this follower back to
+            // bootstrap — release the liveness window so its own
+            // re-bootstrap is not refused as a second follower.
+            *state.repl_fetch_seen.lock().expect("follower liveness lock") = None;
+            return Err(ServerError::Conflict(format!("replication fetch: {e}")));
+        }
+    };
     let status = configured
         .part
         .repl_status()
@@ -1117,20 +1158,24 @@ fn repl_fetch_command(
 /// primary reports the stream counters (lag = published − acked), a
 /// standby its applied cursor (lag = head − applied), a *promoted* daemon
 /// `sealed` with zero lag — the shape the CI failover smoke greps for.
+/// A promoted daemon that later serves a follower of its own is a primary
+/// again: its live stream counters take precedence over the sealed
+/// short-circuit (only `sealed` itself stays latched), so its real
+/// acked/retained/resets reach `/metrics`.
 fn repl_status_dto(state: &DaemonState) -> ReplStatusDto {
     let standby = state.standby.load(Ordering::Acquire);
     let sealed = state.repl_sealed.load(Ordering::Acquire);
-    if standby || sealed {
+    if standby {
         let applied = state.repl_applied.load(Ordering::Acquire);
         let head = state.repl_head.load(Ordering::Acquire).max(applied);
         return ReplStatusDto {
-            role: if standby { "standby" } else { "primary" }.to_string(),
+            role: "standby".to_string(),
             next_lsn: head,
             acked: applied,
             retained: 0,
             resets: 0,
             applied,
-            lag: if sealed { 0 } else { head - applied },
+            lag: head - applied,
             sealed,
         };
     }
@@ -1144,8 +1189,23 @@ fn repl_status_dto(state: &DaemonState) -> ReplStatusDto {
             resets: s.resets,
             applied: 0,
             lag: s.next_lsn.saturating_sub(s.acked),
-            sealed: false,
+            sealed,
         },
+        None if sealed => {
+            // Promoted, not (yet) serving a follower: report the sealed
+            // cursor with zero lag — nothing is streaming.
+            let applied = state.repl_applied.load(Ordering::Acquire);
+            ReplStatusDto {
+                role: "primary".to_string(),
+                next_lsn: state.repl_head.load(Ordering::Acquire).max(applied),
+                acked: applied,
+                retained: 0,
+                resets: 0,
+                applied,
+                lag: 0,
+                sealed: true,
+            }
+        }
         None => ReplStatusDto {
             role: "none".to_string(),
             next_lsn: 0,
@@ -1252,9 +1312,7 @@ fn follow_once(state: &Arc<DaemonState>, primary: &str, rid: &mut u64) -> Result
     let WalRecord::Checkpoint(pstate) = record else {
         return Err("bootstrap state is not a checkpoint record".to_string());
     };
-    install_bootstrap(state, &boot.configure, &pstate)?;
-    state.repl_applied.store(boot.start_lsn, Ordering::Release);
-    state.repl_head.store(boot.start_lsn, Ordering::Release);
+    install_bootstrap(state, &boot.configure, &pstate, boot.start_lsn)?;
     eprintln!(
         "rdbsc-partitiond: standby bootstrapped from {primary} at stream lsn {}",
         boot.start_lsn
@@ -1308,10 +1366,19 @@ fn follow_once(state: &Arc<DaemonState>, primary: &str, rid: &mut u64) -> Result
 /// stream (re-seeding a *former primary's* log automatically is the known
 /// gap; see ROADMAP). The configure text is installed verbatim as the
 /// fingerprint so the idempotency check matches a router's re-push.
+///
+/// The wipe, the restore and the engine swap all happen under the engine
+/// lock, with the stop flag re-checked once the lock is held: a promote
+/// sets `repl_stop` *before* taking this lock, so observing the flag here
+/// means the current engine was (or is being) promoted and this bootstrap
+/// lost the race. Installing anyway would wipe the new primary's fresh
+/// log epoch and replace its acknowledged state with the snapshot —
+/// mirror `apply_batch` and discard the bootstrap instead.
 fn install_bootstrap(
     state: &DaemonState,
     configure_text: &str,
     pstate: &PartitionState,
+    start_lsn: u64,
 ) -> Result<(), String> {
     let body = parse(configure_text).map_err(|e| format!("configure fingerprint: {e}"))?;
     let version = crate::dto::id(&body, "protocol_version").map_err(|e| e.to_string())?;
@@ -1333,6 +1400,10 @@ fn install_bootstrap(
     let engine_config = dto.engine.clone().into_config().map_err(|e| e.to_string())?;
     let region = partition.region_rect(dto.region_index as usize);
     let cell_size = dto.cell_size;
+    let mut guard = state.engine.lock().expect("daemon engine lock");
+    if state.repl_stop.load(Ordering::Acquire) {
+        return Err("promotion raced this bootstrap; install discarded".to_string());
+    }
     let part = match &state.data_dir {
         Some(dir) => {
             if dir.exists() {
@@ -1360,13 +1431,16 @@ fn install_bootstrap(
             backend.build(region, cell_size)
         }),
     };
-    let mut guard = state.engine.lock().expect("daemon engine lock");
     *guard = Some(Configured {
         part,
         region_index: dto.region_index,
         region,
         fingerprint: configure_text.to_string(),
     });
+    // The cursors move with the swap, still under the lock, so a promote
+    // waiting on it seals the freshly installed engine at a matching lsn.
+    state.repl_applied.store(start_lsn, Ordering::Release);
+    state.repl_head.store(start_lsn, Ordering::Release);
     Ok(())
 }
 

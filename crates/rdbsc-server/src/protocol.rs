@@ -1021,8 +1021,16 @@ pub fn bytes_to_hex(bytes: &[u8]) -> String {
     s
 }
 
-/// Decodes the JSON transport's hex record bytes.
+/// Decodes the JSON transport's hex record bytes. Rejects non-ASCII input
+/// up front — this decodes peer-supplied wire data, and slicing a str with
+/// multi-byte characters by byte offset would panic off a char boundary.
 pub fn hex_to_bytes(s: &str, field: &'static str) -> Result<Vec<u8>, ServerError> {
+    if !s.is_ascii() {
+        return Err(ServerError::BadField {
+            field,
+            expected: "a hex string",
+        });
+    }
     if !s.len().is_multiple_of(2) {
         return Err(ServerError::BadField {
             field,
@@ -1429,6 +1437,8 @@ mod tests {
         // Hostile hex is rejected, never panics.
         assert!(hex_to_bytes("0g", "bytes").is_err());
         assert!(hex_to_bytes("012", "bytes").is_err());
+        assert!(hex_to_bytes("éé", "bytes").is_err(), "multi-byte UTF-8 must not panic");
+        assert!(hex_to_bytes("ab\u{e9}\u{e9}ab", "bytes").is_err());
         assert_eq!(hex_to_bytes("", "bytes").unwrap(), Vec::<u8>::new());
     }
 

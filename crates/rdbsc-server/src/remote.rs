@@ -498,10 +498,21 @@ impl PartitionClient for HttpPartitionClient {
 // ---------------------------------------------------------------------------
 // Standby promotion.
 
-/// How long one promotion step may take. The promote command waits for the
-/// standby's in-flight replay batch under the engine lock, seals the stream
+/// How long the pre-promotion health check may take. Promotion runs inline
+/// while the router holds a slot's engine access, so a half-dead standby
+/// must fail FAST: one that cannot answer hello in this window is treated
+/// as lost and the slot degrades, instead of stalling every router request
+/// behind a long wire wait.
+const PROMOTE_HELLO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long the promote command itself may take. The promote waits for the
+/// standby's in-flight replay batch under its engine lock, seals the stream
 /// and fsyncs a fresh checkpoint — quick, but give slow disks headroom.
-const PROMOTE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Together with the hello gate this keeps the promotion budget well below
+/// [`COMMAND_TIMEOUT`]; only the final re-attach (against a daemon that
+/// just proved responsive by answering promote) uses the ordinary connect
+/// path and its steady-state timeout.
+const PROMOTE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// The router's [`StandbyPromoter`] over the wire: health-check the
 /// `--follow` standby, tell it to finish its replay and seal the stream
@@ -547,14 +558,14 @@ impl RemoteStandbyPromoter {
         }
     }
 
-    fn raw_client(&self) -> Result<HttpClient, String> {
+    fn raw_client(&self, timeout: Duration) -> Result<HttpClient, String> {
         let socket: SocketAddr = self
             .addr
             .to_socket_addrs()
             .map_err(|e| format!("cannot resolve standby address {:?}: {e}", self.addr))?
             .next()
             .ok_or_else(|| format!("standby address {:?} resolves to nothing", self.addr))?;
-        Ok(HttpClient::new(socket).with_timeout(PROMOTE_TIMEOUT))
+        Ok(HttpClient::new(socket).with_timeout(timeout))
     }
 }
 
@@ -564,9 +575,10 @@ impl StandbyPromoter for RemoteStandbyPromoter {
     }
 
     fn promote(&mut self) -> Result<Box<dyn PartitionClient>, String> {
-        let mut client = self.raw_client()?;
-        // Health-check first: an unreachable or draining standby fails the
-        // promotion cleanly and leaves the slot on the unhealthy path.
+        let mut client = self.raw_client(PROMOTE_HELLO_TIMEOUT)?;
+        // Health-check first, on a short leash: an unreachable, draining or
+        // merely sluggish standby fails the promotion cleanly and leaves
+        // the slot on the unhealthy path.
         let response = client
             .get("/partition/hello")
             .map_err(|e| format!("standby {} unreachable: {e}", self.addr))?;
@@ -594,6 +606,7 @@ impl StandbyPromoter for RemoteStandbyPromoter {
         // daemon that is no longer a standby was promoted by an earlier
         // attempt that died before re-attaching; just re-attach it.
         if hello.standby {
+            let mut client = self.raw_client(PROMOTE_TIMEOUT)?;
             let body = Json::obj([("request_id", Json::Num(1.0))]);
             let response = client
                 .post("/partition/repl/promote", &body)
@@ -633,7 +646,7 @@ impl StandbyPromoter for RemoteStandbyPromoter {
     }
 
     fn shutdown(&mut self) -> Result<(), String> {
-        let mut client = self.raw_client()?;
+        let mut client = self.raw_client(PROMOTE_TIMEOUT)?;
         let response = client
             .post("/partition/shutdown", &Json::obj([]))
             .map_err(|e| format!("stopping unfired standby {}: {e}", self.addr))?;

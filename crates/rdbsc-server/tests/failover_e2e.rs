@@ -303,6 +303,33 @@ fn sigkilled_primary_fails_over_to_a_digest_identical_standby() {
     tick(&mut http, 3.0);
     assert!(http.get("/snapshot").unwrap().is_success());
 
+    // A promoted daemon can serve a fresh follower of its own: once a
+    // bootstrap re-enables the stream, its *live* counters (not the sealed
+    // short-circuit) reach /metrics — `sealed` itself stays latched.
+    let mut standby_http = HttpClient::new(standby.addr).with_timeout(Duration::from_secs(5));
+    assert!(standby_http
+        .post(
+            "/partition/repl/bootstrap",
+            &Json::obj([("request_id", Json::Num(50.0))])
+        )
+        .unwrap()
+        .is_success());
+    post_task(&mut http, 901, 0.45, 0.5, 3.5);
+    post_worker(&mut http, 901, 0.45, 0.45);
+    tick(&mut http, 3.5);
+    let reseeding = repl_metrics(standby.addr);
+    assert_eq!(reseeding.get("role").and_then(Json::as_str), Some("primary"));
+    assert_eq!(
+        reseeding.get("sealed"),
+        Some(&Json::Bool(true)),
+        "sealed stays latched while re-seeding"
+    );
+    assert!(
+        reseeding.get("retained").and_then(Json::as_num).unwrap_or(0.0) > 0.0,
+        "a promoted daemon serving a follower reports live stream counters: {}",
+        reseeding.to_string_compact()
+    );
+
     // Clean admin shutdown propagates to the promoted daemon.
     assert!(http.post("/admin/shutdown", &Json::obj([])).unwrap().is_success());
     server.join();
@@ -364,6 +391,77 @@ fn standby_refuses_mutating_commands_until_promoted() {
         .post("/partition/shutdown", &Json::obj([]))
         .unwrap()
         .is_success());
+    primary.child.wait().ok();
+}
+
+/// The stream serves exactly one follower: while a live follower is
+/// fetching, a competing bootstrap answers `409` (it would rebase the
+/// stream out from under the live follower's cursor); a fetch that falls
+/// off the retained window frees the slot immediately, because *that*
+/// follower is about to re-bootstrap itself and must not be locked out.
+#[test]
+fn second_follower_bootstrap_is_refused_while_the_first_is_live() {
+    let mut primary = DaemonProcess::spawn(&[]);
+    let partition = RegionPartition::single(GridGeometry::new(Rect::unit(), 0.1));
+    let config = EngineConfig::default();
+    let mut remote = HttpPartitionClient::connect(&primary.addr.to_string()).unwrap();
+    remote
+        .configure(&partition, 0, IndexBackend::FlatGrid, 0.1, &config, None)
+        .unwrap();
+
+    let mut http = HttpClient::new(primary.addr).with_timeout(Duration::from_secs(5));
+    let bootstrap = |http: &mut HttpClient, rid: f64| {
+        http.post(
+            "/partition/repl/bootstrap",
+            &Json::obj([("request_id", Json::Num(rid))]),
+        )
+        .unwrap()
+    };
+    let fetch = |http: &mut HttpClient, rid: f64, from: f64, ack: f64| {
+        http.post(
+            "/partition/repl/fetch",
+            &Json::obj([
+                ("request_id", Json::Num(rid)),
+                ("from", Json::Num(from)),
+                ("ack", Json::Num(ack)),
+                ("max", Json::Num(64.0)),
+            ]),
+        )
+        .unwrap()
+    };
+
+    // Follower #1 bootstraps and starts fetching.
+    assert!(bootstrap(&mut http, 1.0).is_success());
+    assert!(fetch(&mut http, 2.0, 0.0, 0.0).is_success());
+
+    // A second follower knocking mid-stream is refused.
+    let refused = bootstrap(&mut http, 3.0);
+    assert_eq!(
+        refused.status, 409,
+        "second bootstrap must 409: {}",
+        refused.body
+    );
+
+    // Publish two records; follower #1 fetches and acks them, advancing
+    // the retained base past lsn 0.
+    remote.begin_tick(0.5).unwrap();
+    remote.finish_tick().unwrap();
+    remote.begin_tick(1.0).unwrap();
+    remote.finish_tick().unwrap();
+    assert!(fetch(&mut http, 4.0, 0.0, 0.0).is_success());
+    assert!(fetch(&mut http, 5.0, 2.0, 2.0).is_success());
+
+    // A fetch below the base is a gap — it 409s AND frees the follower
+    // slot, so the re-bootstrap that must follow succeeds immediately
+    // instead of being refused as a second follower.
+    let gap = fetch(&mut http, 6.0, 0.0, 2.0);
+    assert_eq!(gap.status, 409, "a fetch below the base must gap: {}", gap.body);
+    assert!(
+        bootstrap(&mut http, 7.0).is_success(),
+        "the gapped follower's own re-bootstrap must not be locked out"
+    );
+
+    remote.shutdown().unwrap();
     primary.child.wait().ok();
 }
 
